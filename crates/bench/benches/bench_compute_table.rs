@@ -1,0 +1,42 @@
+//! Ablation A3: effect of the operation caches (compute tables) inside the
+//! decision diagram package on simulation cost.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsdd_circuit::generators::{grover, qft};
+use qsdd_core::{DdSimulator, StochasticBackend};
+use qsdd_noise::NoiseModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_compute_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_table");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let noise = NoiseModel::paper_defaults();
+    let workloads = [("qft_14", qft(14)), ("grover_8", grover(8, 5, Some(3)))];
+    for (name, circuit) in &workloads {
+        group.bench_with_input(BenchmarkId::new("cached", name), circuit, |b, circuit| {
+            let backend = DdSimulator::new();
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                backend.run_once(circuit, &noise, &mut rng)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("uncached", name), circuit, |b, circuit| {
+            let backend = DdSimulator::without_caching();
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                backend.run_once(circuit, &noise, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compute_table);
+criterion_main!(benches);

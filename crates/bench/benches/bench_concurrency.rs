@@ -1,0 +1,39 @@
+//! Ablation A1 (Criterion variant): Monte-Carlo throughput with 1, 2 and 4
+//! worker threads — the "concurrency across simulation runs" design choice.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsdd_circuit::generators::ghz;
+use qsdd_core::{run_stochastic, DdSimulator, StochasticConfig};
+use qsdd_noise::NoiseModel;
+
+fn bench_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrency");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let circuit = ghz(20);
+    let backend = DdSimulator::new();
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("ghz20_128shots", threads),
+            &threads,
+            |b, &threads| {
+                let config = StochasticConfig {
+                    shots: 128,
+                    threads,
+                    seed: 5,
+                    noise: NoiseModel::paper_defaults(),
+                };
+                b.iter(|| run_stochastic(&backend, &circuit, &config, &[]));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrency);
+criterion_main!(benches);

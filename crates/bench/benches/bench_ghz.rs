@@ -1,0 +1,47 @@
+//! Criterion benchmark for Table Ia (entanglement / GHZ circuits):
+//! stochastic noisy simulation cost per batch of runs, decision diagram vs.
+//! dense baseline, as a function of the qubit count.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsdd_circuit::generators::ghz;
+use qsdd_core::{run_stochastic, DdSimulator, DenseSimulator, StochasticConfig};
+use qsdd_noise::NoiseModel;
+
+const SHOTS: usize = 10;
+
+fn config() -> StochasticConfig {
+    StochasticConfig {
+        shots: SHOTS,
+        threads: 1,
+        seed: 1,
+        noise: NoiseModel::paper_defaults(),
+    }
+}
+
+fn bench_ghz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1a_ghz");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for n in [8usize, 16, 24, 32, 64] {
+        let circuit = ghz(n);
+        group.bench_with_input(BenchmarkId::new("proposed_dd", n), &circuit, |b, circuit| {
+            let backend = DdSimulator::new();
+            b.iter(|| run_stochastic(&backend, circuit, &config(), &[]));
+        });
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("dense_baseline", n), &circuit, |b, circuit| {
+                let backend = DenseSimulator::new();
+                b.iter(|| run_stochastic(&backend, circuit, &config(), &[]));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ghz);
+criterion_main!(benches);

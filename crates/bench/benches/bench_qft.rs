@@ -1,0 +1,46 @@
+//! Criterion benchmark for Table Ib (QFT circuits): stochastic noisy
+//! simulation cost per batch of runs, decision diagram vs. dense baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsdd_circuit::generators::qft;
+use qsdd_core::{run_stochastic, DdSimulator, DenseSimulator, StochasticConfig};
+use qsdd_noise::NoiseModel;
+
+const SHOTS: usize = 5;
+
+fn config() -> StochasticConfig {
+    StochasticConfig {
+        shots: SHOTS,
+        threads: 1,
+        seed: 1,
+        noise: NoiseModel::paper_defaults(),
+    }
+}
+
+fn bench_qft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1b_qft");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for n in [8usize, 12, 16, 20, 24] {
+        let circuit = qft(n);
+        group.bench_with_input(BenchmarkId::new("proposed_dd", n), &circuit, |b, circuit| {
+            let backend = DdSimulator::new();
+            b.iter(|| run_stochastic(&backend, circuit, &config(), &[]));
+        });
+        if n <= 12 {
+            group.bench_with_input(BenchmarkId::new("dense_baseline", n), &circuit, |b, circuit| {
+                let backend = DenseSimulator::new();
+                b.iter(|| run_stochastic(&backend, circuit, &config(), &[]));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qft);
+criterion_main!(benches);

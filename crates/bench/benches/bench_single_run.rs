@@ -1,0 +1,43 @@
+//! Ablation A2: cost of a *single* stochastic run, decision diagram vs.
+//! dense statevector, isolating the per-run data-structure advantage from
+//! the Monte-Carlo parallelism.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsdd_circuit::generators::{ghz, qft};
+use qsdd_core::{DdSimulator, DenseSimulator, StochasticBackend};
+use qsdd_noise::NoiseModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_single_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_run");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let noise = NoiseModel::paper_defaults();
+    let workloads = [("ghz_14", ghz(14)), ("qft_12", qft(12))];
+    for (name, circuit) in &workloads {
+        group.bench_with_input(BenchmarkId::new("dd", name), circuit, |b, circuit| {
+            let backend = DdSimulator::new();
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                backend.run_once(circuit, &noise, &mut rng)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dense", name), circuit, |b, circuit| {
+            let backend = DenseSimulator::new();
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                backend.run_once(circuit, &noise, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_run);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation A1: how much does concurrency across simulation runs help?
+//!
+//! Runs a fixed stochastic workload with 1, 2, 4, ... worker threads and
+//! reports wall-clock time and speedup — the "concurrency across different
+//! simulation runs" claim of Section IV-C.
+//!
+//! Usage: `cargo run --release -p qsdd-bench --bin ablation_threads`
+
+use std::time::Instant;
+
+use qsdd_circuit::generators::{ghz, qft};
+use qsdd_core::{BackendKind, StochasticSimulator};
+use qsdd_noise::NoiseModel;
+
+fn main() {
+    let shots = std::env::var("QSDD_SHOTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000usize);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let noise = NoiseModel::paper_defaults();
+
+    for (name, circuit) in [("GHZ(20)", ghz(20)), ("QFT(16)", qft(16))] {
+        println!("\n{name}: {shots} stochastic runs, decision-diagram back-end");
+        println!("{:>8} {:>12} {:>10}", "threads", "time [s]", "speedup");
+        let mut baseline = None;
+        let mut threads = 1usize;
+        while threads <= max_threads {
+            let simulator = StochasticSimulator::new()
+                .with_backend(BackendKind::DecisionDiagram)
+                .with_shots(shots)
+                .with_noise(noise)
+                .with_threads(threads)
+                .with_seed(1);
+            let started = Instant::now();
+            let _ = simulator.run(&circuit);
+            let elapsed = started.elapsed().as_secs_f64();
+            let speedup = baseline.map(|b: f64| b / elapsed).unwrap_or(1.0);
+            if baseline.is_none() {
+                baseline = Some(elapsed);
+            }
+            println!("{threads:>8} {elapsed:>12.3} {speedup:>9.2}x");
+            threads *= 2;
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates Table Ia of the paper: stochastic noisy simulation of the
+//! entanglement (GHZ) circuits with increasing qubit counts.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p qsdd-bench --bin table_1a
+//! QSDD_SHOTS=1000 QSDD_BUDGET_SECS=120 cargo run --release -p qsdd-bench --bin table_1a
+//! ```
+//!
+//! The dense baseline stands in for the Qiskit and QLM columns; beyond
+//! `QSDD_DENSE_LIMIT` qubits it is skipped (in the paper those cells hit the
+//! one-hour timeout). The proposed decision-diagram simulator runs every row
+//! up to 64 qubits.
+
+use qsdd_bench::{print_header, print_row, HarnessConfig};
+use qsdd_circuit::generators::ghz;
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!(
+        "Table Ia — Entanglement (GHZ) circuits, {} shots per cell, budget {:?} per cell",
+        config.shots, config.budget
+    );
+    println!(
+        "noise: depolarizing {:.3} %, T1 {:.3} %, T2 {:.3} %\n",
+        config.noise.depolarizing_prob() * 100.0,
+        config.noise.amplitude_damping_prob() * 100.0,
+        config.noise.phase_flip_prob() * 100.0
+    );
+    print_header("qubits n");
+    // The paper lists n = 21..29 and 63, 64; smaller rows are added so the
+    // dense baseline produces finite numbers for the shape comparison.
+    for n in [8usize, 12, 16, 20, 21, 22, 23, 27, 28, 29, 48, 63, 64] {
+        let circuit = ghz(n);
+        print_row(&n.to_string(), &circuit, &config);
+    }
+}

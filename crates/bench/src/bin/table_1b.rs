@@ -1,0 +1,32 @@
+//! Regenerates Table Ib of the paper: stochastic noisy simulation of Quantum
+//! Fourier Transform circuits with increasing qubit counts.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p qsdd-bench --bin table_1b
+//! QSDD_SHOTS=1000 QSDD_BUDGET_SECS=120 cargo run --release -p qsdd-bench --bin table_1b
+//! ```
+
+use qsdd_bench::{print_header, print_row, HarnessConfig};
+use qsdd_circuit::generators::qft;
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    println!(
+        "Table Ib — QFT circuits, {} shots per cell, budget {:?} per cell",
+        config.shots, config.budget
+    );
+    println!(
+        "noise: depolarizing {:.3} %, T1 {:.3} %, T2 {:.3} %\n",
+        config.noise.depolarizing_prob() * 100.0,
+        config.noise.amplitude_damping_prob() * 100.0,
+        config.noise.phase_flip_prob() * 100.0
+    );
+    print_header("qubits n");
+    // The paper lists n = 12..19 and 63, 64.
+    for n in [8usize, 12, 13, 14, 17, 18, 19, 32, 48, 63, 64] {
+        let circuit = qft(n);
+        print_row(&n.to_string(), &circuit, &config);
+    }
+}

@@ -1,0 +1,60 @@
+//! Empirical check of Theorem 1: for several accuracy targets, run the
+//! number of samples prescribed by the bound and compare the worst observed
+//! estimation error against epsilon.
+//!
+//! Usage: `cargo run --release -p qsdd-bench --bin theorem1`
+
+use qsdd_circuit::generators::ghz;
+use qsdd_core::{sampling, Observable, StochasticSimulator};
+use qsdd_noise::NoiseModel;
+
+fn main() {
+    let qubits = 4;
+    let circuit = ghz(qubits);
+    let noise = NoiseModel::new(0.01, 0.02, 0.01);
+    let delta = 0.05;
+
+    // Exact reference values from the density-matrix simulator.
+    let exact = qsdd_density::simulate(&circuit, &noise);
+    let populations = exact.populations();
+    let all_ones = (1u64 << qubits) - 1;
+    let observables = vec![
+        Observable::BasisProbability(0),
+        Observable::BasisProbability(all_ones),
+        Observable::QubitExcitation(0),
+        Observable::QubitExcitation(qubits - 1),
+    ];
+    let exact_values = [
+        populations[0],
+        populations[all_ones as usize],
+        exact.probability_one(0),
+        exact.probability_one(qubits - 1),
+    ];
+
+    println!(
+        "Theorem 1 validation on noisy GHZ({qubits}), L = {} properties, delta = {delta}\n",
+        observables.len()
+    );
+    println!(
+        "{:>8} {:>10} {:>16} {:>14}",
+        "epsilon", "M (bound)", "max |error|", "within bound"
+    );
+    for epsilon in [0.1, 0.05, 0.02] {
+        let shots = sampling::required_samples(observables.len(), epsilon, delta);
+        let result = StochasticSimulator::new()
+            .with_shots(shots)
+            .with_noise(noise)
+            .with_seed(7)
+            .run_with_observables(&circuit, &observables);
+        let max_error = result
+            .observable_estimates
+            .iter()
+            .zip(&exact_values)
+            .map(|(estimate, exact)| (estimate - exact).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{epsilon:>8} {shots:>10} {max_error:>16.5} {:>14}",
+            if max_error <= epsilon { "yes" } else { "NO" }
+        );
+    }
+}

@@ -1,0 +1,611 @@
+//! The quantum circuit intermediate representation.
+//!
+//! A [`Circuit`] is an ordered list of [`Operation`]s over a fixed number of
+//! qubits and classical bits. It is the common input format of every
+//! simulator back-end in the workspace (decision diagram, statevector and
+//! density matrix).
+
+use std::fmt;
+
+use crate::gate::Gate;
+
+/// One step of a quantum circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operation {
+    /// A (possibly multi-controlled) unitary gate application.
+    Gate {
+        /// The base gate applied to the target.
+        gate: Gate,
+        /// Target qubit.
+        target: usize,
+        /// Control qubits (all must be `|1>` for the gate to fire).
+        controls: Vec<usize>,
+    },
+    /// Exchange of two qubits.
+    Swap {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+    /// Projective measurement of one qubit into a classical bit.
+    Measure {
+        /// Measured qubit.
+        qubit: usize,
+        /// Classical bit receiving the outcome.
+        clbit: usize,
+    },
+    /// Reset of a qubit to `|0>`.
+    Reset {
+        /// The qubit to reset.
+        qubit: usize,
+    },
+    /// A barrier (no semantic effect; kept for circuit fidelity).
+    Barrier,
+}
+
+impl Operation {
+    /// The qubits this operation touches (targets and controls).
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            Operation::Gate {
+                target, controls, ..
+            } => {
+                let mut q = controls.clone();
+                q.push(*target);
+                q
+            }
+            Operation::Swap { a, b } => vec![*a, *b],
+            Operation::Measure { qubit, .. } | Operation::Reset { qubit } => vec![*qubit],
+            Operation::Barrier => Vec::new(),
+        }
+    }
+
+    /// Returns `true` for unitary operations (gates and swaps).
+    pub fn is_unitary(&self) -> bool {
+        matches!(self, Operation::Gate { .. } | Operation::Swap { .. })
+    }
+}
+
+/// Summary statistics of a circuit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Total number of unitary gate operations (swaps count as one).
+    pub gate_count: usize,
+    /// Number of operations acting on two or more qubits.
+    pub multi_qubit_gate_count: usize,
+    /// Number of measurement operations.
+    pub measure_count: usize,
+    /// Circuit depth (longest chain of operations per qubit, barriers ignored).
+    pub depth: usize,
+}
+
+/// An ordered quantum circuit over `num_qubits` qubits.
+///
+/// Qubit 0 is the most significant qubit in basis-state indices, matching
+/// the convention of the decision diagram package and of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_circuit::Circuit;
+///
+/// let mut circuit = Circuit::new(2);
+/// circuit.h(0);
+/// circuit.cx(0, 1);
+/// circuit.measure_all();
+/// assert_eq!(circuit.num_qubits(), 2);
+/// assert_eq!(circuit.stats().gate_count, 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Circuit {
+    name: String,
+    num_qubits: usize,
+    num_clbits: usize,
+    operations: Vec<Operation>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits and as many
+    /// classical bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit::with_name(num_qubits, "circuit")
+    }
+
+    /// Creates an empty, named circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero.
+    pub fn with_name(num_qubits: usize, name: &str) -> Self {
+        assert!(num_qubits > 0, "a circuit needs at least one qubit");
+        Circuit {
+            name: name.to_string(),
+            num_qubits,
+            num_clbits: num_qubits,
+            operations: Vec::new(),
+        }
+    }
+
+    /// The circuit name (used in benchmark reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Sets the number of classical bits (defaults to the qubit count).
+    pub fn set_num_clbits(&mut self, clbits: usize) {
+        self.num_clbits = clbits;
+    }
+
+    /// The operations in execution order.
+    pub fn operations(&self) -> &[Operation] {
+        &self.operations
+    }
+
+    /// Iterates over the operations in execution order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Operation> {
+        self.operations.iter()
+    }
+
+    /// Number of operations (including measurements and barriers).
+    pub fn len(&self) -> usize {
+        self.operations.len()
+    }
+
+    /// Returns `true` when the circuit contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.operations.is_empty()
+    }
+
+    /// Appends a raw operation after validating its qubit indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range, a control equals the target, or
+    /// controls are duplicated.
+    pub fn push(&mut self, op: Operation) {
+        self.validate(&op);
+        self.operations.push(op);
+    }
+
+    fn validate(&self, op: &Operation) {
+        for q in op.qubits() {
+            assert!(
+                q < self.num_qubits,
+                "qubit {q} out of range for circuit with {} qubits",
+                self.num_qubits
+            );
+        }
+        match op {
+            Operation::Gate {
+                target, controls, ..
+            } => {
+                assert!(
+                    !controls.contains(target),
+                    "control qubit {target} equals the target"
+                );
+                for (i, c) in controls.iter().enumerate() {
+                    assert!(
+                        !controls[i + 1..].contains(c),
+                        "duplicate control qubit {c}"
+                    );
+                }
+            }
+            Operation::Swap { a, b } => {
+                assert_ne!(a, b, "swap requires two distinct qubits");
+            }
+            Operation::Measure { clbit, .. } => {
+                assert!(
+                    *clbit < self.num_clbits,
+                    "classical bit {clbit} out of range"
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Appends every operation of `other` to this circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits than this circuit.
+    pub fn append(&mut self, other: &Circuit) {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "appended circuit uses more qubits than the target circuit"
+        );
+        for op in &other.operations {
+            self.push(op.clone());
+        }
+    }
+
+    /// Returns the adjoint circuit (gates inverted, order reversed).
+    ///
+    /// Measurements, resets and barriers are dropped since they have no
+    /// unitary inverse.
+    pub fn inverse(&self) -> Circuit {
+        let mut inv = Circuit::with_name(self.num_qubits, &format!("{}_dg", self.name));
+        inv.num_clbits = self.num_clbits;
+        for op in self.operations.iter().rev() {
+            match op {
+                Operation::Gate {
+                    gate,
+                    target,
+                    controls,
+                } => inv.push(Operation::Gate {
+                    gate: gate.inverse(),
+                    target: *target,
+                    controls: controls.clone(),
+                }),
+                Operation::Swap { a, b } => inv.push(Operation::Swap { a: *a, b: *b }),
+                _ => {}
+            }
+        }
+        inv
+    }
+
+    /// Computes summary statistics for the circuit.
+    pub fn stats(&self) -> CircuitStats {
+        let mut stats = CircuitStats::default();
+        let mut qubit_depth = vec![0usize; self.num_qubits];
+        for op in &self.operations {
+            match op {
+                Operation::Gate { controls, .. } => {
+                    stats.gate_count += 1;
+                    if !controls.is_empty() {
+                        stats.multi_qubit_gate_count += 1;
+                    }
+                }
+                Operation::Swap { .. } => {
+                    stats.gate_count += 1;
+                    stats.multi_qubit_gate_count += 1;
+                }
+                Operation::Measure { .. } => stats.measure_count += 1,
+                _ => {}
+            }
+            if matches!(op, Operation::Barrier) {
+                continue;
+            }
+            let touched = op.qubits();
+            let level = touched
+                .iter()
+                .map(|&q| qubit_depth[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for &q in &touched {
+                qubit_depth[q] = level;
+            }
+        }
+        stats.depth = qubit_depth.into_iter().max().unwrap_or(0);
+        stats
+    }
+
+    // ------------------------------------------------------------------
+    // Builder helpers
+    // ------------------------------------------------------------------
+
+    /// Applies an uncontrolled gate to `target`.
+    pub fn gate(&mut self, gate: Gate, target: usize) -> &mut Self {
+        self.push(Operation::Gate {
+            gate,
+            target,
+            controls: Vec::new(),
+        });
+        self
+    }
+
+    /// Applies a controlled gate.
+    pub fn controlled_gate(&mut self, gate: Gate, controls: &[usize], target: usize) -> &mut Self {
+        self.push(Operation::Gate {
+            gate,
+            target,
+            controls: controls.to_vec(),
+        });
+        self
+    }
+
+    /// Hadamard gate.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::H, q)
+    }
+
+    /// Pauli-X gate.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::X, q)
+    }
+
+    /// Pauli-Y gate.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Y, q)
+    }
+
+    /// Pauli-Z gate.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Z, q)
+    }
+
+    /// S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::S, q)
+    }
+
+    /// S† gate.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Sdg, q)
+    }
+
+    /// T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::T, q)
+    }
+
+    /// T† gate.
+    pub fn tdg(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Tdg, q)
+    }
+
+    /// Square-root-of-X gate.
+    pub fn sx(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Sx, q)
+    }
+
+    /// X-rotation.
+    pub fn rx(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Rx(theta), q)
+    }
+
+    /// Y-rotation.
+    pub fn ry(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Ry(theta), q)
+    }
+
+    /// Z-rotation.
+    pub fn rz(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Rz(theta), q)
+    }
+
+    /// Phase gate `p(lambda)`.
+    pub fn p(&mut self, lambda: f64, q: usize) -> &mut Self {
+        self.gate(Gate::Phase(lambda), q)
+    }
+
+    /// General single-qubit gate `u3`.
+    pub fn u3(&mut self, theta: f64, phi: f64, lambda: f64, q: usize) -> &mut Self {
+        self.gate(Gate::U3(theta, phi, lambda), q)
+    }
+
+    /// CNOT gate.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.controlled_gate(Gate::X, &[control], target)
+    }
+
+    /// Controlled-Y gate.
+    pub fn cy(&mut self, control: usize, target: usize) -> &mut Self {
+        self.controlled_gate(Gate::Y, &[control], target)
+    }
+
+    /// Controlled-Z gate.
+    pub fn cz(&mut self, control: usize, target: usize) -> &mut Self {
+        self.controlled_gate(Gate::Z, &[control], target)
+    }
+
+    /// Controlled-Hadamard gate.
+    pub fn ch(&mut self, control: usize, target: usize) -> &mut Self {
+        self.controlled_gate(Gate::H, &[control], target)
+    }
+
+    /// Controlled phase gate.
+    pub fn cp(&mut self, lambda: f64, control: usize, target: usize) -> &mut Self {
+        self.controlled_gate(Gate::Phase(lambda), &[control], target)
+    }
+
+    /// Controlled Z-rotation.
+    pub fn crz(&mut self, theta: f64, control: usize, target: usize) -> &mut Self {
+        self.controlled_gate(Gate::Rz(theta), &[control], target)
+    }
+
+    /// Toffoli gate.
+    pub fn ccx(&mut self, c0: usize, c1: usize, target: usize) -> &mut Self {
+        self.controlled_gate(Gate::X, &[c0, c1], target)
+    }
+
+    /// Multi-controlled X gate.
+    pub fn mcx(&mut self, controls: &[usize], target: usize) -> &mut Self {
+        self.controlled_gate(Gate::X, controls, target)
+    }
+
+    /// Multi-controlled Z gate.
+    pub fn mcz(&mut self, controls: &[usize], target: usize) -> &mut Self {
+        self.controlled_gate(Gate::Z, controls, target)
+    }
+
+    /// SWAP gate.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Operation::Swap { a, b });
+        self
+    }
+
+    /// Controlled SWAP (Fredkin) gate, decomposed as `cx; ccx; cx`.
+    pub fn cswap(&mut self, control: usize, a: usize, b: usize) -> &mut Self {
+        self.cx(b, a);
+        self.controlled_gate(Gate::X, &[control, a], b);
+        self.cx(b, a)
+    }
+
+    /// Measures `qubit` into classical bit `clbit`.
+    pub fn measure(&mut self, qubit: usize, clbit: usize) -> &mut Self {
+        self.push(Operation::Measure { qubit, clbit });
+        self
+    }
+
+    /// Measures every qubit into the classical bit of the same index.
+    pub fn measure_all(&mut self) -> &mut Self {
+        for q in 0..self.num_qubits {
+            self.measure(q, q);
+        }
+        self
+    }
+
+    /// Resets a qubit to `|0>`.
+    pub fn reset(&mut self, qubit: usize) -> &mut Self {
+        self.push(Operation::Reset { qubit });
+        self
+    }
+
+    /// Inserts a barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.push(Operation::Barrier);
+        self
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({} qubits, {} operations)",
+            self.name,
+            self.num_qubits,
+            self.operations.len()
+        )?;
+        for op in &self.operations {
+            match op {
+                Operation::Gate {
+                    gate,
+                    target,
+                    controls,
+                } if controls.is_empty() => writeln!(f, "  {gate} q[{target}]")?,
+                Operation::Gate {
+                    gate,
+                    target,
+                    controls,
+                } => writeln!(f, "  c{gate} {controls:?} -> q[{target}]")?,
+                Operation::Swap { a, b } => writeln!(f, "  swap q[{a}], q[{b}]")?,
+                Operation::Measure { qubit, clbit } => {
+                    writeln!(f, "  measure q[{qubit}] -> c[{clbit}]")?
+                }
+                Operation::Reset { qubit } => writeln!(f, "  reset q[{qubit}]")?,
+                Operation::Barrier => writeln!(f, "  barrier")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Operation;
+    type IntoIter = std::slice::Iter<'a, Operation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.operations.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_operations() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccx(0, 1, 2).measure_all();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.stats().gate_count, 3);
+        assert_eq!(c.stats().multi_qubit_gate_count, 2);
+        assert_eq!(c.stats().measure_count, 3);
+    }
+
+    #[test]
+    fn depth_tracks_longest_qubit_chain() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2); // depth 1: all parallel
+        assert_eq!(c.stats().depth, 1);
+        c.cx(0, 1); // depth 2
+        c.cx(1, 2); // depth 3
+        assert_eq!(c.stats().depth, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(2);
+        c.h(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equals the target")]
+    fn control_equal_to_target_panics() {
+        let mut c = Circuit::new(2);
+        c.controlled_gate(Gate::X, &[1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate control")]
+    fn duplicate_controls_panic() {
+        let mut c = Circuit::new(3);
+        c.controlled_gate(Gate::X, &[0, 0], 1);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(1).cx(0, 1).measure_all();
+        let inv = c.inverse();
+        // Measurements dropped, 3 unitaries reversed.
+        assert_eq!(inv.len(), 3);
+        match &inv.operations()[0] {
+            Operation::Gate { gate, .. } => assert_eq!(*gate, Gate::X),
+            other => panic!("unexpected first op {other:?}"),
+        }
+        match &inv.operations()[1] {
+            Operation::Gate { gate, .. } => assert_eq!(*gate, Gate::Tdg),
+            other => panic!("unexpected second op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_copies_operations() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(3);
+        b.x(2);
+        b.append(&a);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_operations() {
+        let mut c = Circuit::with_name(2, "bell");
+        c.h(0).cx(0, 1);
+        let text = c.to_string();
+        assert!(text.contains("bell"));
+        assert!(text.contains("h q[0]"));
+    }
+
+    #[test]
+    fn cswap_decomposition_has_three_gates() {
+        let mut c = Circuit::new(3);
+        c.cswap(0, 1, 2);
+        assert_eq!(c.stats().gate_count, 3);
+    }
+}

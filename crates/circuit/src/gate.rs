@@ -1,0 +1,231 @@
+//! The gate set understood by the simulators.
+//!
+//! Every gate is either a (parameterised) single-qubit unitary — possibly
+//! with controls attached at the [`crate::Operation`] level — or the
+//! structural two-qubit SWAP. The gate knows its dense 2x2 matrix, which is
+//! all the decision diagram and statevector back-ends need to apply it.
+
+use qsdd_dd::Matrix2;
+use std::fmt;
+
+/// A single-qubit gate (or the structural SWAP gate).
+///
+/// Controls are not part of the gate itself; they are attached by
+/// [`crate::Operation::Gate`]. This mirrors how the decision diagram package
+/// builds controlled operators from a base matrix plus a control set.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_circuit::Gate;
+///
+/// let h = Gate::H;
+/// assert_eq!(h.name(), "h");
+/// assert!(h.matrix().unwrap().is_unitary(1e-12));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Gate {
+    /// Identity.
+    I,
+    /// Hadamard.
+    H,
+    /// Pauli-X (NOT).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S = sqrt(Z).
+    S,
+    /// Inverse phase gate S†.
+    Sdg,
+    /// T gate (pi/8 gate).
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// Square root of X.
+    Sx,
+    /// Rotation about X by the given angle.
+    Rx(f64),
+    /// Rotation about Y by the given angle.
+    Ry(f64),
+    /// Rotation about Z by the given angle.
+    Rz(f64),
+    /// Phase gate `diag(1, e^{i lambda})` (OpenQASM `u1` / `p`).
+    Phase(f64),
+    /// The OpenQASM `u2(phi, lambda)` gate.
+    U2(f64, f64),
+    /// The general single-qubit gate `u3(theta, phi, lambda)`.
+    U3(f64, f64, f64),
+    /// The two-qubit SWAP gate (structural; has no 2x2 matrix).
+    Swap,
+}
+
+impl Gate {
+    /// The dense 2x2 matrix of the gate, or `None` for [`Gate::Swap`].
+    pub fn matrix(&self) -> Option<Matrix2> {
+        use std::f64::consts::FRAC_PI_2;
+        let m = match *self {
+            Gate::I => Matrix2::identity(),
+            Gate::H => Matrix2::hadamard(),
+            Gate::X => Matrix2::pauli_x(),
+            Gate::Y => Matrix2::pauli_y(),
+            Gate::Z => Matrix2::pauli_z(),
+            Gate::S => Matrix2::s_gate(),
+            Gate::Sdg => Matrix2::sdg_gate(),
+            Gate::T => Matrix2::t_gate(),
+            Gate::Tdg => Matrix2::tdg_gate(),
+            Gate::Sx => Matrix2::sx_gate(),
+            Gate::Rx(theta) => Matrix2::rx(theta),
+            Gate::Ry(theta) => Matrix2::ry(theta),
+            Gate::Rz(theta) => Matrix2::rz(theta),
+            Gate::Phase(lambda) => Matrix2::phase(lambda),
+            Gate::U2(phi, lambda) => Matrix2::u3(FRAC_PI_2, phi, lambda),
+            Gate::U3(theta, phi, lambda) => Matrix2::u3(theta, phi, lambda),
+            Gate::Swap => return None,
+        };
+        Some(m)
+    }
+
+    /// Lower-case OpenQASM-style name of the gate.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::I => "id",
+            Gate::H => "h",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Sx => "sx",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::Phase(_) => "p",
+            Gate::U2(..) => "u2",
+            Gate::U3(..) => "u3",
+            Gate::Swap => "swap",
+        }
+    }
+
+    /// Number of qubits the bare gate acts on (1, or 2 for SWAP).
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::Swap => 2,
+            _ => 1,
+        }
+    }
+
+    /// The adjoint (inverse) of the gate.
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Sx => Gate::U3(-std::f64::consts::FRAC_PI_2, -std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2),
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::Phase(l) => Gate::Phase(-l),
+            Gate::U2(phi, lambda) => {
+                Gate::U3(-std::f64::consts::FRAC_PI_2, -lambda, -phi)
+            }
+            Gate::U3(theta, phi, lambda) => Gate::U3(-theta, -lambda, -phi),
+            g => g, // I, H, X, Y, Z, Swap are self-inverse
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) => {
+                write!(f, "{}({:.4})", self.name(), t)
+            }
+            Gate::U2(a, b) => write!(f, "u2({:.4},{:.4})", a, b),
+            Gate::U3(a, b, c) => write!(f, "u3({:.4},{:.4},{:.4})", a, b, c),
+            _ => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fixed_gates_are_unitary() {
+        let gates = [
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Rx(0.3),
+            Gate::Ry(1.2),
+            Gate::Rz(-0.8),
+            Gate::Phase(0.5),
+            Gate::U2(0.1, 0.7),
+            Gate::U3(0.4, 1.0, -0.3),
+        ];
+        for g in gates {
+            let m = g.matrix().expect("non-swap gate must have a matrix");
+            assert!(m.is_unitary(1e-12), "{g} is not unitary");
+        }
+    }
+
+    #[test]
+    fn swap_has_no_single_qubit_matrix() {
+        assert!(Gate::Swap.matrix().is_none());
+        assert_eq!(Gate::Swap.arity(), 2);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let gates = [
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::Sx,
+            Gate::Rx(0.7),
+            Gate::Rz(1.9),
+            Gate::Phase(-0.2),
+            Gate::U2(0.3, 0.9),
+            Gate::U3(0.4, 1.0, -0.3),
+        ];
+        for g in gates {
+            let m = g.matrix().unwrap();
+            let mi = g.inverse().matrix().unwrap();
+            let prod = m.matmul(&mi);
+            // The product must be the identity up to a global phase.
+            let phase = prod.entry(0, 0);
+            assert!(
+                prod.approx_eq(&Matrix2::identity().scale(phase), 1e-10),
+                "{g} times its inverse is not the identity (up to phase)"
+            );
+            assert!((phase.abs() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Gate::U3(0.0, 0.0, 0.0).name(), "u3");
+        assert_eq!(Gate::Phase(1.0).name(), "p");
+        assert_eq!(Gate::Sdg.name(), "sdg");
+    }
+
+    #[test]
+    fn display_includes_parameters() {
+        let s = Gate::Rz(0.5).to_string();
+        assert!(s.starts_with("rz(0.5"));
+        assert_eq!(Gate::X.to_string(), "x");
+    }
+}

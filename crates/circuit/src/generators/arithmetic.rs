@@ -1,0 +1,157 @@
+//! Reversible arithmetic benchmarks: the Cuccaro ripple-carry adder
+//! (QASMBench `bigadder` stand-in) and a shift-and-add multiplier
+//! (QASMBench `multiplier` stand-in).
+
+use crate::Circuit;
+
+/// The Cuccaro ripple-carry adder over two `bits`-bit registers.
+///
+/// Register layout (total `2 * bits + 2` qubits):
+///
+/// * qubit 0 — the incoming carry (initialised to `|0>`),
+/// * qubits `1 ..= bits` — register `b` (receives `a + b`),
+/// * qubits `bits + 1 ..= 2 * bits` — register `a`,
+/// * qubit `2 * bits + 1` — the outgoing carry.
+///
+/// For `bits = 8` this is the 18-qubit `bigadder` configuration of
+/// Table Ic.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn cuccaro_adder(bits: usize) -> Circuit {
+    assert!(bits > 0, "adder needs at least one bit per operand");
+    let n = 2 * bits + 2;
+    let mut c = Circuit::with_name(n, &format!("bigadder_{n}"));
+    let carry_in = 0usize;
+    let b = |i: usize| 1 + i;
+    let a = |i: usize| bits + 1 + i;
+    let carry_out = 2 * bits + 1;
+
+    // MAJ cascade.
+    maj(&mut c, carry_in, b(0), a(0));
+    for i in 1..bits {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    // Copy the final carry.
+    c.cx(a(bits - 1), carry_out);
+    // UMA cascade (un-majority and add).
+    for i in (1..bits).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, carry_in, b(0), a(0));
+    c.measure_all();
+    c
+}
+
+fn maj(c: &mut Circuit, x: usize, y: usize, z: usize) {
+    c.cx(z, y);
+    c.cx(z, x);
+    c.ccx(x, y, z);
+}
+
+fn uma(c: &mut Circuit, x: usize, y: usize, z: usize) {
+    c.ccx(x, y, z);
+    c.cx(z, x);
+    c.cx(x, y);
+}
+
+/// A shift-and-add multiplier circuit over an `a_bits`-bit and a
+/// `b_bits`-bit operand.
+///
+/// The circuit reproduces the gate structure of the QASMBench `multiplier`
+/// benchmark (per-partial-product Toffolis plus carry-propagation ladders);
+/// it is a workload stand-in for benchmarking rather than a verified
+/// arithmetic unit.
+///
+/// Register layout (total `a_bits + b_bits + (a_bits + b_bits) + 1` qubits):
+///
+/// * qubits `0 .. a_bits` — operand `a`,
+/// * qubits `a_bits .. a_bits + b_bits` — operand `b`,
+/// * the following `a_bits + b_bits` qubits — the product accumulator,
+/// * the last qubit — a carry ancilla.
+///
+/// Each partial product `a_i * b_j` is accumulated with a Toffoli into the
+/// product register followed by a carry-propagation ladder, mirroring the
+/// structure of the QASMBench `multiplier` benchmark. For
+/// `a_bits = 3, b_bits = 4` the circuit uses 15 qubits.
+///
+/// # Panics
+///
+/// Panics if either operand width is zero.
+pub fn multiplier(a_bits: usize, b_bits: usize) -> Circuit {
+    assert!(a_bits > 0 && b_bits > 0, "operands must have at least one bit");
+    let prod_bits = a_bits + b_bits;
+    let n = a_bits + b_bits + prod_bits + 1;
+    let mut c = Circuit::with_name(n, &format!("multiplier_{n}"));
+    let a = |i: usize| i;
+    let b = |j: usize| a_bits + j;
+    let p = |k: usize| a_bits + b_bits + k;
+    let carry = n - 1;
+
+    // Put the operands in superposition so the benchmark exercises
+    // non-trivial entanglement (the QASMBench circuit multiplies fixed
+    // classical inputs; a superposition input is strictly harder).
+    for i in 0..a_bits {
+        c.h(a(i));
+    }
+    for j in 0..b_bits {
+        c.h(b(j));
+    }
+    c.barrier();
+
+    for i in 0..a_bits {
+        for j in 0..b_bits {
+            let k = i + j;
+            // Add the partial product a_i * b_j into product bit k with a
+            // simple carry ladder into the higher bits.
+            c.ccx(a(i), b(j), carry);
+            // Carry-propagation ladder into the higher product bits.
+            for t in k..prod_bits.saturating_sub(1) {
+                c.ccx(carry, p(t), p(t + 1));
+            }
+            c.cx(carry, p(k));
+            // Uncompute the partial-product ancilla.
+            c.ccx(a(i), b(j), carry);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_width_matches_formula() {
+        assert_eq!(cuccaro_adder(8).num_qubits(), 18);
+        assert_eq!(cuccaro_adder(1).num_qubits(), 4);
+    }
+
+    #[test]
+    fn adder_gate_count_is_linear_in_bits() {
+        let small = cuccaro_adder(2).stats().gate_count;
+        let big = cuccaro_adder(4).stats().gate_count;
+        assert!(big > small);
+        assert!(big < 4 * small);
+    }
+
+    #[test]
+    fn multiplier_width_matches_formula() {
+        assert_eq!(multiplier(3, 4).num_qubits(), 15);
+        assert_eq!(multiplier(2, 2).num_qubits(), 9);
+    }
+
+    #[test]
+    fn multiplier_contains_toffolis() {
+        let c = multiplier(2, 2);
+        let toffolis = c
+            .iter()
+            .filter(|op| {
+                matches!(op, crate::Operation::Gate { controls, .. } if controls.len() == 2)
+            })
+            .count();
+        assert!(toffolis >= 8, "expected at least two Toffolis per partial product");
+    }
+}

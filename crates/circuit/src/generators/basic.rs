@@ -1,0 +1,165 @@
+//! Elementary benchmark circuits: GHZ/entanglement, W state,
+//! Bernstein–Vazirani and random circuits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Circuit, Gate};
+
+/// The *entanglement* circuit of the paper (Table Ia): a GHZ-state
+/// preparation over `n` qubits — one Hadamard followed by a CNOT chain from
+/// qubit 0 to every other qubit.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_circuit::generators::ghz;
+///
+/// let c = ghz(5);
+/// assert_eq!(c.num_qubits(), 5);
+/// assert_eq!(c.stats().gate_count, 5); // 1 H + 4 CX
+/// ```
+pub fn ghz(n: usize) -> Circuit {
+    let mut c = Circuit::with_name(n, &format!("entanglement_{n}"));
+    c.h(0);
+    for target in 1..n {
+        c.cx(0, target);
+    }
+    c
+}
+
+/// A W-state preparation circuit over `n` qubits using the standard cascade
+/// of controlled Y-rotations and CNOTs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn w_state(n: usize) -> Circuit {
+    let mut c = Circuit::with_name(n, &format!("wstate_{n}"));
+    // Start with the excitation on qubit 0 and distribute it.
+    c.x(0);
+    for k in 1..n {
+        // Rotate a fraction of the amplitude from qubit k-1 onto qubit k.
+        let remaining = (n - k) as f64;
+        let theta = 2.0 * (1.0 / (remaining + 1.0)).sqrt().acos();
+        c.controlled_gate(Gate::Ry(theta), &[k - 1], k);
+        c.cx(k, k - 1);
+    }
+    c
+}
+
+/// The Bernstein–Vazirani circuit over `n` qubits (`n - 1` data qubits plus
+/// one ancilla) for the given hidden bit string.
+///
+/// Bit `i` of `hidden` (counting from the least significant bit) corresponds
+/// to data qubit `i`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn bernstein_vazirani(n: usize, hidden: u64) -> Circuit {
+    assert!(n >= 2, "Bernstein-Vazirani needs at least one data qubit and an ancilla");
+    let data = n - 1;
+    let ancilla = n - 1;
+    let mut c = Circuit::with_name(n, &format!("bv_{n}"));
+    c.x(ancilla);
+    for q in 0..n {
+        c.h(q);
+    }
+    c.barrier();
+    for q in 0..data {
+        if (hidden >> q) & 1 == 1 {
+            c.cx(q, ancilla);
+        }
+    }
+    c.barrier();
+    for q in 0..data {
+        c.h(q);
+    }
+    for q in 0..data {
+        c.measure(q, q);
+    }
+    c
+}
+
+/// A pseudo-random circuit: `depth` layers of uniformly chosen single-qubit
+/// gates followed by a layer of CNOTs between randomly paired qubits.
+///
+/// The construction is deterministic in `seed`, which keeps property-based
+/// tests and benchmarks reproducible.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_circuit(n: usize, depth: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, &format!("random_{n}x{depth}"));
+    for _ in 0..depth {
+        for q in 0..n {
+            match rng.gen_range(0..6) {
+                0 => c.h(q),
+                1 => c.t(q),
+                2 => c.x(q),
+                3 => c.s(q),
+                4 => c.rx(rng.gen_range(0.0..std::f64::consts::TAU), q),
+                _ => c.rz(rng.gen_range(0.0..std::f64::consts::TAU), q),
+            };
+        }
+        if n >= 2 {
+            let mut qubits: Vec<usize> = (0..n).collect();
+            for i in (1..qubits.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                qubits.swap(i, j);
+            }
+            for pair in qubits.chunks_exact(2) {
+                c.cx(pair[0], pair[1]);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_structure() {
+        let c = ghz(8);
+        assert_eq!(c.num_qubits(), 8);
+        assert_eq!(c.stats().gate_count, 8);
+        assert_eq!(c.stats().multi_qubit_gate_count, 7);
+    }
+
+    #[test]
+    fn w_state_gate_count_grows_linearly() {
+        let c = w_state(6);
+        assert_eq!(c.stats().gate_count, 1 + 2 * 5);
+    }
+
+    #[test]
+    fn bernstein_vazirani_uses_one_cx_per_hidden_bit() {
+        let c = bernstein_vazirani(6, 0b10110);
+        let cx_count = c
+            .iter()
+            .filter(|op| {
+                matches!(op, crate::Operation::Gate { gate: Gate::X, controls, .. } if !controls.is_empty())
+            })
+            .count();
+        // 0b10110 has three set bits within the 5 data-qubit range.
+        assert_eq!(cx_count, 3);
+    }
+
+    #[test]
+    fn random_circuit_is_deterministic_in_seed() {
+        let a = random_circuit(5, 4, 99);
+        let b = random_circuit(5, 4, 99);
+        let c = random_circuit(5, 4, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,183 @@
+//! Hamiltonian-simulation and variational benchmarks: transverse-field Ising
+//! Trotterisation, VQE-style ansatz circuits, a basis-trotter stand-in, and
+//! the Shor-code based `seca` benchmark.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Circuit;
+
+/// Trotterised time evolution of a 1-D transverse-field Ising model over `n`
+/// qubits with `steps` Trotter steps (QASMBench `ising` stand-in).
+///
+/// Each step applies `ZZ` interactions between neighbouring qubits
+/// (decomposed as `CX · RZ · CX`) followed by `RX` rotations for the
+/// transverse field.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `steps == 0`.
+pub fn ising(n: usize, steps: usize) -> Circuit {
+    assert!(n > 0 && steps > 0, "ising model needs qubits and steps");
+    let dt = 0.1;
+    let coupling = 1.0;
+    let field = 0.7;
+    let mut c = Circuit::with_name(n, &format!("ising_{n}"));
+    // Start from a superposition to exercise entangling dynamics.
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..steps {
+        for q in 0..n.saturating_sub(1) {
+            c.cx(q, q + 1);
+            c.rz(2.0 * coupling * dt, q + 1);
+            c.cx(q, q + 1);
+        }
+        for q in 0..n {
+            c.rx(2.0 * field * dt, q);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// A hardware-efficient VQE ansatz of `layers` entangling layers over `n`
+/// qubits (QASMBench `vqe_uccsd` stand-in).
+///
+/// Each layer consists of parameterised `RY`/`RZ` rotations on every qubit
+/// followed by a linear CNOT ladder. The rotation angles are drawn
+/// deterministically from `seed`, so the same circuit is generated on every
+/// call.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `layers == 0`.
+pub fn vqe_ansatz(n: usize, layers: usize, seed: u64) -> Circuit {
+    assert!(n > 0 && layers > 0, "ansatz needs qubits and layers");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, &format!("vqe_uccsd_{n}"));
+    for _ in 0..layers {
+        for q in 0..n {
+            c.ry(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI), q);
+            c.rz(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI), q);
+        }
+        for q in 0..n.saturating_sub(1) {
+            c.cx(q, q + 1);
+        }
+    }
+    for q in 0..n {
+        c.ry(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI), q);
+    }
+    c.measure_all();
+    c
+}
+
+/// A dense Trotterised basis-rotation circuit over `n` qubits with `reps`
+/// repetitions (QASMBench `basis_trotter` stand-in).
+///
+/// The circuit interleaves Givens-rotation style blocks (`CX · RY · CX`)
+/// between every qubit pair with single-qubit phase rotations, producing the
+/// high gate density per qubit that characterises the original benchmark.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `reps == 0`.
+pub fn basis_trotter(n: usize, reps: usize) -> Circuit {
+    assert!(n >= 2 && reps > 0, "basis trotter needs two qubits and a repetition");
+    let mut c = Circuit::with_name(n, &format!("basis_trotter_{n}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    let mut angle = 0.05;
+    for _ in 0..reps {
+        for a in 0..n {
+            for b in (a + 1)..n {
+                // Givens rotation between qubits a and b.
+                c.cx(a, b);
+                c.ry(angle, b);
+                c.cx(a, b);
+                c.rz(angle * 0.5, a);
+                c.rz(-angle * 0.5, b);
+                angle += 0.013;
+            }
+        }
+        for q in 0..n {
+            c.t(q);
+            c.s(q);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// The `seca` benchmark stand-in: Shor's nine-qubit error-correction code
+/// encoding of one logical qubit plus a two-qubit entangled ancilla pair,
+/// for a total of 11 qubits.
+///
+/// The circuit encodes qubit 0 into the nine-qubit Shor code (phase-flip
+/// repetition over blocks of bit-flip repetitions), entangles the two
+/// ancillas with the code blocks, and measures the ancillas.
+pub fn seca() -> Circuit {
+    let n = 11;
+    let mut c = Circuit::with_name(n, "seca_11");
+    // Prepare an arbitrary logical state on qubit 0.
+    c.h(0);
+    c.t(0);
+    // Phase-flip repetition across block leaders 0, 3, 6.
+    c.cx(0, 3);
+    c.cx(0, 6);
+    c.h(0);
+    c.h(3);
+    c.h(6);
+    // Bit-flip repetition inside each block.
+    for leader in [0usize, 3, 6] {
+        c.cx(leader, leader + 1);
+        c.cx(leader, leader + 2);
+    }
+    c.barrier();
+    // Syndrome-style ancilla interactions (qubits 9 and 10).
+    for leader in [0usize, 3, 6] {
+        c.cx(leader, 9);
+        c.cx(leader + 1, 10);
+    }
+    c.h(9);
+    c.h(10);
+    c.measure(9, 9);
+    c.measure(10, 10);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ising_gate_count_scales_with_steps() {
+        let one = ising(6, 1).stats().gate_count;
+        let five = ising(6, 5).stats().gate_count;
+        assert!(five > 4 * one / 2);
+        assert_eq!(ising(10, 10).num_qubits(), 10);
+    }
+
+    #[test]
+    fn vqe_ansatz_is_deterministic() {
+        let a = vqe_ansatz(6, 6, 11);
+        let b = vqe_ansatz(6, 6, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.num_qubits(), 6);
+    }
+
+    #[test]
+    fn basis_trotter_is_gate_dense() {
+        let c = basis_trotter(4, 4);
+        // Far more gates than qubits: the defining property of this benchmark.
+        assert!(c.stats().gate_count > 20 * c.num_qubits());
+    }
+
+    #[test]
+    fn seca_uses_eleven_qubits() {
+        let c = seca();
+        assert_eq!(c.num_qubits(), 11);
+        assert_eq!(c.stats().measure_count, 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Additional algorithm generators beyond the paper's benchmark set.
+//!
+//! These circuits broaden the workload coverage of the library (and of the
+//! ablation benchmarks): oracle algorithms with constant/balanced structure
+//! (Deutsch–Jozsa), variational optimisation layers (QAOA for MaxCut on a
+//! ring), graph states, and a Draper-style QFT adder.
+
+use std::f64::consts::PI;
+
+use crate::generators::qft;
+use crate::Circuit;
+
+/// The Deutsch–Jozsa algorithm over `n` qubits (`n - 1` data qubits plus one
+/// ancilla).
+///
+/// When `balanced` is `false` the oracle is the constant-zero function and
+/// the algorithm deterministically measures the all-zero string; when `true`
+/// the oracle is the parity function (a balanced function) and at least one
+/// data qubit measures `|1>`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn deutsch_jozsa(n: usize, balanced: bool) -> Circuit {
+    assert!(n >= 2, "Deutsch-Jozsa needs a data qubit and an ancilla");
+    let data = n - 1;
+    let ancilla = n - 1;
+    let mut c = Circuit::with_name(n, &format!("dj_{n}"));
+    c.x(ancilla);
+    for q in 0..n {
+        c.h(q);
+    }
+    c.barrier();
+    if balanced {
+        // Parity oracle: flips the ancilla once per set data bit.
+        for q in 0..data {
+            c.cx(q, ancilla);
+        }
+    }
+    c.barrier();
+    for q in 0..data {
+        c.h(q);
+        c.measure(q, q);
+    }
+    c
+}
+
+/// A `p`-layer QAOA circuit for MaxCut on an `n`-vertex ring graph with the
+/// given mixing/cost angles (one `(gamma, beta)` pair per layer).
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `angles` is empty.
+pub fn qaoa_maxcut_ring(n: usize, angles: &[(f64, f64)]) -> Circuit {
+    assert!(n >= 3, "a ring needs at least three vertices");
+    assert!(!angles.is_empty(), "QAOA needs at least one layer");
+    let mut c = Circuit::with_name(n, &format!("qaoa_ring_{n}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    for &(gamma, beta) in angles {
+        // Cost layer: exp(-i gamma Z_u Z_v) on every ring edge.
+        for u in 0..n {
+            let v = (u + 1) % n;
+            c.cx(u, v);
+            c.rz(2.0 * gamma, v);
+            c.cx(u, v);
+        }
+        // Mixer layer.
+        for q in 0..n {
+            c.rx(2.0 * beta, q);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// A graph state over `n` qubits for the ring graph: Hadamards on every
+/// qubit followed by controlled-Z along every edge.
+///
+/// Graph states are stabiliser states with compact decision diagrams, which
+/// makes them another good scaling workload for the DD back-end.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring_graph_state(n: usize) -> Circuit {
+    assert!(n >= 3, "a ring needs at least three vertices");
+    let mut c = Circuit::with_name(n, &format!("graph_ring_{n}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    for u in 0..n {
+        c.cz(u, (u + 1) % n);
+    }
+    c
+}
+
+/// A Draper adder: adds the classical constant `addend` onto a `bits`-bit
+/// register in the Fourier basis (QFT, phase rotations, inverse QFT).
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn draper_adder(bits: usize, addend: u64) -> Circuit {
+    assert!(bits > 0, "adder needs at least one bit");
+    let mut c = Circuit::with_name(bits, &format!("draper_{bits}"));
+    c.append(&qft(bits));
+    // Phase rotations implementing the addition of `addend` modulo 2^bits.
+    for target in 0..bits {
+        let mut angle = 0.0;
+        for bit in 0..bits {
+            if (addend >> bit) & 1 == 1 {
+                // In the Fourier basis, qubit `target` accumulates the phase
+                // pi * 2^(bit - target) per set addend bit; positive weights
+                // are full turns and can be dropped.
+                let weight = bit as i64 - target as i64;
+                if weight <= 0 {
+                    angle += PI * 2f64.powi(weight as i32);
+                }
+            }
+        }
+        if angle != 0.0 {
+            c.p(angle, target);
+        }
+    }
+    let inverse_qft = qft(bits).inverse();
+    c.append(&inverse_qft);
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operation;
+
+    #[test]
+    fn deutsch_jozsa_constant_oracle_has_no_cx() {
+        let c = deutsch_jozsa(6, false);
+        let cx = c
+            .iter()
+            .filter(|op| matches!(op, Operation::Gate { controls, .. } if !controls.is_empty()))
+            .count();
+        assert_eq!(cx, 0);
+        assert_eq!(c.stats().measure_count, 5);
+    }
+
+    #[test]
+    fn deutsch_jozsa_balanced_oracle_touches_every_data_qubit() {
+        let c = deutsch_jozsa(6, true);
+        let cx = c
+            .iter()
+            .filter(|op| matches!(op, Operation::Gate { controls, .. } if !controls.is_empty()))
+            .count();
+        assert_eq!(cx, 5);
+    }
+
+    #[test]
+    fn qaoa_layer_count_scales_gate_count() {
+        let one = qaoa_maxcut_ring(6, &[(0.3, 0.7)]).stats().gate_count;
+        let three = qaoa_maxcut_ring(6, &[(0.3, 0.7); 3]).stats().gate_count;
+        assert!(three > 2 * one);
+    }
+
+    #[test]
+    fn ring_graph_state_has_n_cz_gates() {
+        let c = ring_graph_state(8);
+        assert_eq!(c.stats().gate_count, 16);
+        assert_eq!(c.stats().multi_qubit_gate_count, 8);
+    }
+
+    #[test]
+    fn draper_adder_width_and_structure() {
+        let c = draper_adder(4, 5);
+        assert_eq!(c.num_qubits(), 4);
+        // QFT + inverse QFT plus at least one phase rotation.
+        assert!(c.stats().gate_count > 2 * qft(4).stats().gate_count);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn qaoa_requires_layers() {
+        let _ = qaoa_maxcut_ring(5, &[]);
+    }
+}

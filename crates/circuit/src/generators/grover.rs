@@ -1,0 +1,194 @@
+//! Oracle-based search benchmarks: Grover search, a SAT-style oracle
+//! circuit, and the quantum counterfeit-coin protocol.
+
+use std::f64::consts::PI;
+
+use crate::Circuit;
+
+/// Grover search over `data` qubits for the marked basis state `marked`,
+/// running the optimal number of iterations (or `iterations` when given).
+///
+/// The oracle is a multi-controlled Z that flips the phase of the marked
+/// state; the diffusion operator is the standard inversion about the mean.
+///
+/// # Panics
+///
+/// Panics if `data < 2` or `marked >= 2^data`.
+pub fn grover(data: usize, marked: u64, iterations: Option<usize>) -> Circuit {
+    assert!(data >= 2, "Grover search needs at least two data qubits");
+    assert!(
+        marked < (1u64 << data),
+        "marked state does not fit into the data register"
+    );
+    let iters = iterations.unwrap_or_else(|| {
+        let amplitude = 1.0 / ((1u64 << data) as f64).sqrt();
+        ((PI / 4.0) / amplitude.asin()).floor().max(1.0) as usize
+    });
+    let mut c = Circuit::with_name(data, &format!("grover_{data}"));
+    for q in 0..data {
+        c.h(q);
+    }
+    for _ in 0..iters {
+        phase_oracle(&mut c, data, marked);
+        diffusion(&mut c, data);
+    }
+    c.measure_all();
+    c
+}
+
+/// Flips the phase of the `marked` basis state using X conjugation around a
+/// multi-controlled Z.
+fn phase_oracle(c: &mut Circuit, data: usize, marked: u64) {
+    // Qubit 0 is the most significant bit of the basis index.
+    let bit = |q: usize| (marked >> (data - 1 - q)) & 1;
+    for q in 0..data {
+        if bit(q) == 0 {
+            c.x(q);
+        }
+    }
+    let controls: Vec<usize> = (0..data - 1).collect();
+    c.mcz(&controls, data - 1);
+    for q in 0..data {
+        if bit(q) == 0 {
+            c.x(q);
+        }
+    }
+}
+
+/// The Grover diffusion (inversion about the mean) operator.
+fn diffusion(c: &mut Circuit, data: usize) {
+    for q in 0..data {
+        c.h(q);
+        c.x(q);
+    }
+    let controls: Vec<usize> = (0..data - 1).collect();
+    c.mcz(&controls, data - 1);
+    for q in 0..data {
+        c.x(q);
+        c.h(q);
+    }
+}
+
+/// A SAT-style oracle circuit over `n` qubits (QASMBench `sat_n11` stand-in):
+/// `n - 1` variable qubits, one phase ancilla, and a Grover-style search for
+/// an assignment satisfying a fixed clause structure.
+///
+/// The oracle marks assignments whose parity over three fixed variable
+/// groups is odd, implemented with multi-controlled X gates onto the
+/// ancilla prepared in the `|->` state.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+pub fn sat_oracle_circuit(n: usize) -> Circuit {
+    assert!(n >= 4, "SAT circuit needs at least three variables and an ancilla");
+    let vars = n - 1;
+    let ancilla = n - 1;
+    let mut c = Circuit::with_name(n, &format!("sat_{n}"));
+    // Ancilla in |-> so that controlled-X acts as a phase oracle.
+    c.x(ancilla);
+    c.h(ancilla);
+    for q in 0..vars {
+        c.h(q);
+    }
+    let iterations = 2;
+    for _ in 0..iterations {
+        // Clause oracle: three overlapping clauses over consecutive variables.
+        for start in [0usize, vars / 3, 2 * vars / 3] {
+            let a = start % vars;
+            let b = (start + 1) % vars;
+            let d = (start + 2) % vars;
+            if a != b && b != d && a != d {
+                c.ccx(a, b, ancilla);
+                c.cx(d, ancilla);
+            }
+        }
+        // Diffusion over the variable register.
+        for q in 0..vars {
+            c.h(q);
+            c.x(q);
+        }
+        let controls: Vec<usize> = (0..vars - 1).collect();
+        c.mcz(&controls, vars - 1);
+        for q in 0..vars {
+            c.x(q);
+            c.h(q);
+        }
+    }
+    for q in 0..vars {
+        c.measure(q, q);
+    }
+    c
+}
+
+/// The quantum counterfeit-coin finding circuit over `n` qubits
+/// (QASMBench `cc` stand-in): `n - 1` coin qubits and one balance ancilla.
+///
+/// The balance query is a CNOT fan-in from every selected coin into the
+/// ancilla; the false coin is fixed to the middle coin index.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn counterfeit_coin(n: usize) -> Circuit {
+    assert!(n >= 3, "counterfeit-coin circuit needs at least two coins");
+    let coins = n - 1;
+    let ancilla = n - 1;
+    let false_coin = coins / 2;
+    let mut c = Circuit::with_name(n, &format!("cc_{n}"));
+    // Superposition over coin selections.
+    for q in 0..coins {
+        c.h(q);
+    }
+    // Balance ancilla in |->.
+    c.x(ancilla);
+    c.h(ancilla);
+    c.barrier();
+    // Balance query: the false coin imprints a phase on selections containing it.
+    c.cx(false_coin, ancilla);
+    c.barrier();
+    // Decode with Hadamards and measure the coin register.
+    for q in 0..coins {
+        c.h(q);
+        c.measure(q, q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grover_uses_optimal_iteration_count_by_default() {
+        let c = grover(4, 0b1010, None);
+        // For 4 qubits the optimal iteration count is 3.
+        let mcz_count = c
+            .iter()
+            .filter(|op| {
+                matches!(op, crate::Operation::Gate { gate: crate::Gate::Z, controls, .. } if controls.len() == 3)
+            })
+            .count();
+        assert_eq!(mcz_count, 6, "3 iterations x (oracle + diffusion)");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn grover_rejects_out_of_range_marked_state() {
+        let _ = grover(3, 8, None);
+    }
+
+    #[test]
+    fn sat_circuit_has_requested_width() {
+        let c = sat_oracle_circuit(11);
+        assert_eq!(c.num_qubits(), 11);
+        assert!(c.stats().gate_count > 20);
+    }
+
+    #[test]
+    fn counterfeit_coin_measures_every_coin() {
+        let c = counterfeit_coin(18);
+        assert_eq!(c.num_qubits(), 18);
+        assert_eq!(c.stats().measure_count, 17);
+    }
+}

@@ -1,0 +1,115 @@
+//! Quantum Fourier Transform and phase-estimation circuits (Table Ib).
+
+use std::f64::consts::PI;
+
+use crate::Circuit;
+
+/// The Quantum Fourier Transform over `n` qubits, including the final qubit
+/// reversal swaps (Table Ib of the paper).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_circuit::generators::qft;
+///
+/// let c = qft(4);
+/// assert_eq!(c.num_qubits(), 4);
+/// // n Hadamards + n(n-1)/2 controlled phases + floor(n/2) swaps.
+/// assert_eq!(c.stats().gate_count, 4 + 6 + 2);
+/// ```
+pub fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::with_name(n, &format!("qft_{n}"));
+    for i in 0..n {
+        c.h(i);
+        for j in (i + 1)..n {
+            // Controlled phase of pi / 2^(j-i), the standard QFT ladder.
+            let angle = PI / (1u64 << (j - i)) as f64;
+            c.cp(angle, j, i);
+        }
+    }
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+    c
+}
+
+/// Quantum phase estimation of the phase gate `p(2*pi*phase)` using
+/// `counting` counting qubits plus one eigenstate qubit.
+///
+/// The eigenstate qubit (index `counting`) is prepared in `|1>`, which is an
+/// eigenvector of the phase gate, and the counting register ends up holding
+/// an approximation of `phase` in binary.
+///
+/// # Panics
+///
+/// Panics if `counting == 0`.
+pub fn quantum_phase_estimation(counting: usize, phase: f64) -> Circuit {
+    assert!(counting > 0, "need at least one counting qubit");
+    let n = counting + 1;
+    let eigenstate = counting;
+    let mut c = Circuit::with_name(n, &format!("qpe_{n}"));
+    c.x(eigenstate);
+    for q in 0..counting {
+        c.h(q);
+    }
+    // Controlled powers of the unitary: qubit q controls U^(2^(counting-1-q)).
+    for q in 0..counting {
+        let power = 1u64 << (counting - 1 - q);
+        let angle = 2.0 * PI * phase * power as f64;
+        c.cp(angle, q, eigenstate);
+    }
+    // Inverse QFT on the counting register.
+    let inverse_qft = qft(counting).inverse();
+    c.append(&inverse_qft);
+    for q in 0..counting {
+        c.measure(q, q);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_gate_count_is_quadratic() {
+        for n in [2usize, 5, 9] {
+            let c = qft(n);
+            let expected = n + n * (n - 1) / 2 + n / 2;
+            assert_eq!(c.stats().gate_count, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn qft_controlled_phase_angles_halve() {
+        let c = qft(3);
+        let mut angles = Vec::new();
+        for op in c.iter() {
+            if let crate::Operation::Gate {
+                gate: crate::Gate::Phase(a),
+                controls,
+                ..
+            } = op
+            {
+                if !controls.is_empty() {
+                    angles.push(*a);
+                }
+            }
+        }
+        assert_eq!(angles.len(), 3);
+        assert!((angles[0] - PI / 2.0).abs() < 1e-12);
+        assert!((angles[1] - PI / 4.0).abs() < 1e-12);
+        assert!((angles[2] - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qpe_has_expected_width() {
+        let c = quantum_phase_estimation(4, 0.125);
+        assert_eq!(c.num_qubits(), 5);
+        assert!(c.stats().gate_count > 10);
+    }
+}

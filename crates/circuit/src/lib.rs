@@ -1,0 +1,37 @@
+//! # qsdd-circuit — quantum circuit IR, OpenQASM front-end and generators
+//!
+//! This crate defines the circuit representation shared by every simulator
+//! back-end of the QSDD workspace:
+//!
+//! * [`Gate`] / [`Operation`] / [`Circuit`] — the intermediate
+//!   representation, built either programmatically (builder methods) or from
+//!   OpenQASM 2.0 sources via [`qasm::parse_source`],
+//! * [`generators`] — the benchmark circuits used in the evaluation of the
+//!   paper (entanglement/GHZ for Table Ia, QFT for Table Ib, and the
+//!   QASMBench-style suite for Table Ic).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qsdd_circuit::{Circuit, generators};
+//!
+//! // Build a Bell pair by hand ...
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1).measure_all();
+//!
+//! // ... or use a generator.
+//! let ghz = generators::ghz(5);
+//! assert_eq!(ghz.num_qubits(), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod circuit;
+mod gate;
+
+pub mod generators;
+pub mod qasm;
+
+pub use circuit::{Circuit, CircuitStats, Operation};
+pub use gate::Gate;

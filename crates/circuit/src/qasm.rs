@@ -1,0 +1,1093 @@
+//! A front-end for (a practical subset of) OpenQASM 2.0.
+//!
+//! The parser supports the constructs used by the QASMBench suite and by
+//! Qiskit-exported circuits:
+//!
+//! * `OPENQASM 2.0;` headers and `include` statements (includes are ignored;
+//!   the `qelib1.inc` standard gates are built in),
+//! * `qreg` / `creg` declarations (multiple registers are flattened into one
+//!   qubit index space),
+//! * applications of the built-in gates (`U`, `CX` and the `qelib1` set)
+//!   with arithmetic parameter expressions (`pi`, `+ - * /`, parentheses and
+//!   the common unary functions),
+//! * user-defined `gate` declarations, expanded recursively at use sites,
+//! * `measure`, `reset` and `barrier`,
+//! * register broadcast (applying a gate to whole registers).
+//!
+//! Classical feedback (`if (c == n) ...`) is not supported and reported as an
+//! error.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Circuit, Gate};
+
+/// Error raised while parsing an OpenQASM source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseQasmError {
+    message: String,
+}
+
+impl ParseQasmError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseQasmError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid OpenQASM input: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseQasmError {}
+
+/// Parses an OpenQASM 2.0 source string into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns a [`ParseQasmError`] for syntax errors, references to undeclared
+/// registers or gates, parameter-count mismatches, and unsupported
+/// constructs (classical feedback).
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_circuit::qasm::parse_source;
+///
+/// let source = r#"
+///     OPENQASM 2.0;
+///     include "qelib1.inc";
+///     qreg q[2];
+///     creg c[2];
+///     h q[0];
+///     cx q[0], q[1];
+///     measure q -> c;
+/// "#;
+/// let circuit = parse_source(source)?;
+/// assert_eq!(circuit.num_qubits(), 2);
+/// assert_eq!(circuit.stats().gate_count, 2);
+/// # Ok::<(), qsdd_circuit::qasm::ParseQasmError>(())
+/// ```
+pub fn parse_source(source: &str) -> Result<Circuit, ParseQasmError> {
+    Parser::new(source)?.parse()
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Symbol(char),
+    Arrow, // ->
+    Str(String),
+}
+
+fn tokenize(source: &str) -> Result<Vec<Token>, ParseQasmError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    while let Some(&ch) = chars.peek() {
+        match ch {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    // Line comment.
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    tokens.push(Token::Symbol('/'));
+                }
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    tokens.push(Token::Arrow);
+                } else {
+                    tokens.push(Token::Symbol('-'));
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        break;
+                    }
+                    s.push(c);
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' {
+                        s.push(c);
+                        chars.next();
+                    } else if (c == '+' || c == '-')
+                        && matches!(s.chars().last(), Some('e') | Some('E'))
+                    {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value: f64 = s
+                    .parse()
+                    .map_err(|_| ParseQasmError::new(format!("malformed number `{s}`")))?;
+                tokens.push(Token::Number(value));
+            }
+            c @ ('{' | '}' | '[' | ']' | '(' | ')' | ';' | ',' | '+' | '*' | '^' | '=' | '<'
+            | '>' | '!') => {
+                chars.next();
+                tokens.push(Token::Symbol(c));
+            }
+            other => {
+                return Err(ParseQasmError::new(format!(
+                    "unexpected character `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct GateDef {
+    params: Vec<String>,
+    args: Vec<String>,
+    body: Vec<RawCall>,
+}
+
+#[derive(Debug, Clone)]
+struct RawCall {
+    name: String,
+    params: Vec<Vec<Token>>,
+    args: Vec<(String, Option<usize>)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Register {
+    offset: usize,
+    size: usize,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    qregs: HashMap<String, Register>,
+    cregs: HashMap<String, Register>,
+    gate_defs: HashMap<String, GateDef>,
+    num_qubits: usize,
+    num_clbits: usize,
+}
+
+impl Parser {
+    fn new(source: &str) -> Result<Self, ParseQasmError> {
+        Ok(Parser {
+            tokens: tokenize(source)?,
+            pos: 0,
+            qregs: HashMap::new(),
+            cregs: HashMap::new(),
+            gate_defs: HashMap::new(),
+            num_qubits: 0,
+            num_clbits: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_symbol(&mut self, sym: char) -> Result<(), ParseQasmError> {
+        match self.next() {
+            Some(Token::Symbol(c)) if c == sym => Ok(()),
+            other => Err(ParseQasmError::new(format!(
+                "expected `{sym}`, found {other:?}"
+            ))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseQasmError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseQasmError::new(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse(&mut self) -> Result<Circuit, ParseQasmError> {
+        // First pass: collect declarations and statements while building the
+        // circuit lazily (registers must appear before use, as in QASM).
+        let mut pending: Vec<Statement> = Vec::new();
+        while let Some(token) = self.peek().cloned() {
+            match token {
+                Token::Ident(word) => match word.as_str() {
+                    "OPENQASM" => {
+                        self.next();
+                        // version number
+                        let _ = self.next();
+                        self.expect_symbol(';')?;
+                    }
+                    "include" => {
+                        self.next();
+                        let _ = self.next(); // file name string
+                        self.expect_symbol(';')?;
+                    }
+                    "qreg" => {
+                        self.next();
+                        let (name, size) = self.parse_reg_decl()?;
+                        self.qregs.insert(
+                            name,
+                            Register {
+                                offset: self.num_qubits,
+                                size,
+                            },
+                        );
+                        self.num_qubits += size;
+                    }
+                    "creg" => {
+                        self.next();
+                        let (name, size) = self.parse_reg_decl()?;
+                        self.cregs.insert(
+                            name,
+                            Register {
+                                offset: self.num_clbits,
+                                size,
+                            },
+                        );
+                        self.num_clbits += size;
+                    }
+                    "gate" => {
+                        self.next();
+                        self.parse_gate_def()?;
+                    }
+                    "opaque" => {
+                        // Skip until the terminating semicolon.
+                        while let Some(t) = self.next() {
+                            if t == Token::Symbol(';') {
+                                break;
+                            }
+                        }
+                    }
+                    "if" => {
+                        return Err(ParseQasmError::new(
+                            "classical feedback (`if`) is not supported",
+                        ));
+                    }
+                    "measure" => {
+                        self.next();
+                        pending.push(self.parse_measure()?);
+                    }
+                    "reset" => {
+                        self.next();
+                        let arg = self.parse_argument()?;
+                        self.expect_symbol(';')?;
+                        pending.push(Statement::Reset(arg));
+                    }
+                    "barrier" => {
+                        self.next();
+                        // Arguments are irrelevant for the barrier semantics.
+                        while let Some(t) = self.next() {
+                            if t == Token::Symbol(';') {
+                                break;
+                            }
+                        }
+                        pending.push(Statement::Barrier);
+                    }
+                    _ => {
+                        pending.push(Statement::Call(self.parse_call()?));
+                    }
+                },
+                other => {
+                    return Err(ParseQasmError::new(format!(
+                        "unexpected token {other:?} at top level"
+                    )))
+                }
+            }
+        }
+        if self.num_qubits == 0 {
+            return Err(ParseQasmError::new("no quantum register declared"));
+        }
+        let mut circuit = Circuit::with_name(self.num_qubits, "qasm");
+        circuit.set_num_clbits(self.num_clbits.max(self.num_qubits));
+        for statement in pending {
+            self.emit_statement(&statement, &mut circuit)?;
+        }
+        Ok(circuit)
+    }
+
+    fn parse_reg_decl(&mut self) -> Result<(String, usize), ParseQasmError> {
+        let name = self.expect_ident()?;
+        self.expect_symbol('[')?;
+        let size = match self.next() {
+            Some(Token::Number(n)) if n >= 1.0 => n as usize,
+            other => {
+                return Err(ParseQasmError::new(format!(
+                    "invalid register size {other:?}"
+                )))
+            }
+        };
+        self.expect_symbol(']')?;
+        self.expect_symbol(';')?;
+        Ok((name, size))
+    }
+
+    fn parse_gate_def(&mut self) -> Result<(), ParseQasmError> {
+        let name = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.peek() == Some(&Token::Symbol('(')) {
+            self.next();
+            while self.peek() != Some(&Token::Symbol(')')) {
+                params.push(self.expect_ident()?);
+                if self.peek() == Some(&Token::Symbol(',')) {
+                    self.next();
+                }
+            }
+            self.next(); // ')'
+        }
+        let mut args = Vec::new();
+        while self.peek() != Some(&Token::Symbol('{')) {
+            args.push(self.expect_ident()?);
+            if self.peek() == Some(&Token::Symbol(',')) {
+                self.next();
+            }
+        }
+        self.expect_symbol('{')?;
+        let mut body = Vec::new();
+        while self.peek() != Some(&Token::Symbol('}')) {
+            if self.peek().is_none() {
+                return Err(ParseQasmError::new("unterminated gate body"));
+            }
+            if let Some(Token::Ident(word)) = self.peek() {
+                if word == "barrier" {
+                    while let Some(t) = self.next() {
+                        if t == Token::Symbol(';') {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+            }
+            body.push(self.parse_call()?);
+        }
+        self.next(); // '}'
+        self.gate_defs.insert(name, GateDef { params, args, body });
+        Ok(())
+    }
+
+    fn parse_call(&mut self) -> Result<RawCall, ParseQasmError> {
+        let name = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.peek() == Some(&Token::Symbol('(')) {
+            self.next();
+            let mut depth = 1usize;
+            let mut current = Vec::new();
+            loop {
+                match self.next() {
+                    Some(Token::Symbol('(')) => {
+                        depth += 1;
+                        current.push(Token::Symbol('('));
+                    }
+                    Some(Token::Symbol(')')) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            params.push(std::mem::take(&mut current));
+                            break;
+                        }
+                        current.push(Token::Symbol(')'));
+                    }
+                    Some(Token::Symbol(',')) if depth == 1 => {
+                        params.push(std::mem::take(&mut current));
+                    }
+                    Some(t) => current.push(t),
+                    None => return Err(ParseQasmError::new("unterminated parameter list")),
+                }
+            }
+            params.retain(|p| !p.is_empty());
+        }
+        let mut args = Vec::new();
+        loop {
+            args.push(self.parse_argument()?);
+            match self.next() {
+                Some(Token::Symbol(',')) => continue,
+                Some(Token::Symbol(';')) => break,
+                other => {
+                    return Err(ParseQasmError::new(format!(
+                        "expected `,` or `;` after gate argument, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(RawCall { name, params, args })
+    }
+
+    fn parse_argument(&mut self) -> Result<(String, Option<usize>), ParseQasmError> {
+        let name = self.expect_ident()?;
+        if self.peek() == Some(&Token::Symbol('[')) {
+            self.next();
+            let idx = match self.next() {
+                Some(Token::Number(n)) => n as usize,
+                other => {
+                    return Err(ParseQasmError::new(format!(
+                        "invalid register index {other:?}"
+                    )))
+                }
+            };
+            self.expect_symbol(']')?;
+            Ok((name, Some(idx)))
+        } else {
+            Ok((name, None))
+        }
+    }
+
+    fn parse_measure(&mut self) -> Result<Statement, ParseQasmError> {
+        let q = self.parse_argument()?;
+        match self.next() {
+            Some(Token::Arrow) => {}
+            other => {
+                return Err(ParseQasmError::new(format!(
+                    "expected `->` in measure statement, found {other:?}"
+                )))
+            }
+        }
+        let c = self.parse_argument()?;
+        self.expect_symbol(';')?;
+        Ok(Statement::Measure(q, c))
+    }
+
+    // ------------------------------------------------------------------
+    // Emission
+    // ------------------------------------------------------------------
+
+    fn resolve_qubits(
+        &self,
+        arg: &(String, Option<usize>),
+    ) -> Result<Vec<usize>, ParseQasmError> {
+        let reg = self
+            .qregs
+            .get(&arg.0)
+            .ok_or_else(|| ParseQasmError::new(format!("unknown quantum register `{}`", arg.0)))?;
+        match arg.1 {
+            Some(i) if i < reg.size => Ok(vec![reg.offset + i]),
+            Some(i) => Err(ParseQasmError::new(format!(
+                "index {i} out of range for register `{}`",
+                arg.0
+            ))),
+            None => Ok((reg.offset..reg.offset + reg.size).collect()),
+        }
+    }
+
+    fn resolve_clbits(
+        &self,
+        arg: &(String, Option<usize>),
+    ) -> Result<Vec<usize>, ParseQasmError> {
+        let reg = self
+            .cregs
+            .get(&arg.0)
+            .ok_or_else(|| ParseQasmError::new(format!("unknown classical register `{}`", arg.0)))?;
+        match arg.1 {
+            Some(i) if i < reg.size => Ok(vec![reg.offset + i]),
+            Some(i) => Err(ParseQasmError::new(format!(
+                "index {i} out of range for register `{}`",
+                arg.0
+            ))),
+            None => Ok((reg.offset..reg.offset + reg.size).collect()),
+        }
+    }
+
+    fn emit_statement(
+        &self,
+        statement: &Statement,
+        circuit: &mut Circuit,
+    ) -> Result<(), ParseQasmError> {
+        match statement {
+            Statement::Barrier => {
+                circuit.barrier();
+                Ok(())
+            }
+            Statement::Reset(arg) => {
+                for q in self.resolve_qubits(arg)? {
+                    circuit.reset(q);
+                }
+                Ok(())
+            }
+            Statement::Measure(q, c) => {
+                let qubits = self.resolve_qubits(q)?;
+                let clbits = self.resolve_clbits(c)?;
+                if qubits.len() != clbits.len() {
+                    return Err(ParseQasmError::new(
+                        "measure register sizes do not match",
+                    ));
+                }
+                for (q, c) in qubits.into_iter().zip(clbits) {
+                    circuit.measure(q, c);
+                }
+                Ok(())
+            }
+            Statement::Call(call) => {
+                // Broadcast over full-register arguments.
+                let resolved: Vec<Vec<usize>> = call
+                    .args
+                    .iter()
+                    .map(|a| self.resolve_qubits(a))
+                    .collect::<Result<_, _>>()?;
+                let broadcast = resolved.iter().map(|v| v.len()).max().unwrap_or(1);
+                for (i, qubits) in resolved.iter().enumerate() {
+                    if qubits.len() != 1 && qubits.len() != broadcast {
+                        return Err(ParseQasmError::new(format!(
+                            "argument {i} of `{}` has mismatched register size",
+                            call.name
+                        )));
+                    }
+                }
+                let params: Vec<f64> = call
+                    .params
+                    .iter()
+                    .map(|p| eval_expression(p, &HashMap::new()))
+                    .collect::<Result<_, _>>()?;
+                for shot in 0..broadcast {
+                    let qubits: Vec<usize> = resolved
+                        .iter()
+                        .map(|v| if v.len() == 1 { v[0] } else { v[shot] })
+                        .collect();
+                    self.emit_gate(&call.name, &params, &qubits, circuit)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn emit_gate(
+        &self,
+        name: &str,
+        params: &[f64],
+        qubits: &[usize],
+        circuit: &mut Circuit,
+    ) -> Result<(), ParseQasmError> {
+        let check = |expected_p: usize, expected_q: usize| -> Result<(), ParseQasmError> {
+            if params.len() != expected_p || qubits.len() != expected_q {
+                Err(ParseQasmError::new(format!(
+                    "gate `{name}` expects {expected_p} parameter(s) and {expected_q} qubit(s), \
+                     got {} and {}",
+                    params.len(),
+                    qubits.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match name {
+            "U" | "u" | "u3" => {
+                check(3, 1)?;
+                circuit.u3(params[0], params[1], params[2], qubits[0]);
+            }
+            "u2" => {
+                check(2, 1)?;
+                circuit.gate(Gate::U2(params[0], params[1]), qubits[0]);
+            }
+            "u1" | "p" | "phase" => {
+                check(1, 1)?;
+                circuit.p(params[0], qubits[0]);
+            }
+            "CX" | "cx" | "cnot" => {
+                check(0, 2)?;
+                circuit.cx(qubits[0], qubits[1]);
+            }
+            "id" => {
+                check(0, 1)?;
+                circuit.gate(Gate::I, qubits[0]);
+            }
+            "x" => {
+                check(0, 1)?;
+                circuit.x(qubits[0]);
+            }
+            "y" => {
+                check(0, 1)?;
+                circuit.y(qubits[0]);
+            }
+            "z" => {
+                check(0, 1)?;
+                circuit.z(qubits[0]);
+            }
+            "h" => {
+                check(0, 1)?;
+                circuit.h(qubits[0]);
+            }
+            "s" => {
+                check(0, 1)?;
+                circuit.s(qubits[0]);
+            }
+            "sdg" => {
+                check(0, 1)?;
+                circuit.sdg(qubits[0]);
+            }
+            "t" => {
+                check(0, 1)?;
+                circuit.t(qubits[0]);
+            }
+            "tdg" => {
+                check(0, 1)?;
+                circuit.tdg(qubits[0]);
+            }
+            "sx" => {
+                check(0, 1)?;
+                circuit.sx(qubits[0]);
+            }
+            "rx" => {
+                check(1, 1)?;
+                circuit.rx(params[0], qubits[0]);
+            }
+            "ry" => {
+                check(1, 1)?;
+                circuit.ry(params[0], qubits[0]);
+            }
+            "rz" => {
+                check(1, 1)?;
+                circuit.rz(params[0], qubits[0]);
+            }
+            "cy" => {
+                check(0, 2)?;
+                circuit.cy(qubits[0], qubits[1]);
+            }
+            "cz" => {
+                check(0, 2)?;
+                circuit.cz(qubits[0], qubits[1]);
+            }
+            "ch" => {
+                check(0, 2)?;
+                circuit.ch(qubits[0], qubits[1]);
+            }
+            "swap" => {
+                check(0, 2)?;
+                circuit.swap(qubits[0], qubits[1]);
+            }
+            "ccx" | "toffoli" => {
+                check(0, 3)?;
+                circuit.ccx(qubits[0], qubits[1], qubits[2]);
+            }
+            "cswap" | "fredkin" => {
+                check(0, 3)?;
+                circuit.cswap(qubits[0], qubits[1], qubits[2]);
+            }
+            "crx" => {
+                check(1, 2)?;
+                circuit.controlled_gate(Gate::Rx(params[0]), &[qubits[0]], qubits[1]);
+            }
+            "cry" => {
+                check(1, 2)?;
+                circuit.controlled_gate(Gate::Ry(params[0]), &[qubits[0]], qubits[1]);
+            }
+            "crz" => {
+                check(1, 2)?;
+                circuit.crz(params[0], qubits[0], qubits[1]);
+            }
+            "cu1" | "cp" => {
+                check(1, 2)?;
+                circuit.cp(params[0], qubits[0], qubits[1]);
+            }
+            "cu3" => {
+                check(3, 2)?;
+                circuit.controlled_gate(
+                    Gate::U3(params[0], params[1], params[2]),
+                    &[qubits[0]],
+                    qubits[1],
+                );
+            }
+            "rzz" => {
+                check(1, 2)?;
+                circuit.cx(qubits[0], qubits[1]);
+                circuit.rz(params[0], qubits[1]);
+                circuit.cx(qubits[0], qubits[1]);
+            }
+            other => {
+                let def = self.gate_defs.get(other).ok_or_else(|| {
+                    ParseQasmError::new(format!("unknown gate `{other}`"))
+                })?;
+                if def.params.len() != params.len() || def.args.len() != qubits.len() {
+                    return Err(ParseQasmError::new(format!(
+                        "gate `{other}` called with wrong parameter or argument count"
+                    )));
+                }
+                let param_env: HashMap<String, f64> = def
+                    .params
+                    .iter()
+                    .cloned()
+                    .zip(params.iter().copied())
+                    .collect();
+                let arg_env: HashMap<String, usize> = def
+                    .args
+                    .iter()
+                    .cloned()
+                    .zip(qubits.iter().copied())
+                    .collect();
+                for call in &def.body {
+                    let nested_params: Vec<f64> = call
+                        .params
+                        .iter()
+                        .map(|p| eval_expression(p, &param_env))
+                        .collect::<Result<_, _>>()?;
+                    let nested_qubits: Vec<usize> = call
+                        .args
+                        .iter()
+                        .map(|(name, idx)| {
+                            if idx.is_some() {
+                                return Err(ParseQasmError::new(
+                                    "indexed arguments are not allowed inside gate bodies",
+                                ));
+                            }
+                            arg_env.get(name).copied().ok_or_else(|| {
+                                ParseQasmError::new(format!(
+                                    "unknown formal argument `{name}` in gate body"
+                                ))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    self.emit_gate(&call.name, &nested_params, &nested_qubits, circuit)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Statement {
+    Call(RawCall),
+    Measure((String, Option<usize>), (String, Option<usize>)),
+    Reset((String, Option<usize>)),
+    Barrier,
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+fn eval_expression(
+    tokens: &[Token],
+    env: &HashMap<String, f64>,
+) -> Result<f64, ParseQasmError> {
+    let mut parser = ExprParser { tokens, pos: 0, env };
+    let value = parser.parse_sum()?;
+    if parser.pos != tokens.len() {
+        return Err(ParseQasmError::new("trailing tokens in expression"));
+    }
+    Ok(value)
+}
+
+struct ExprParser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    env: &'a HashMap<String, f64>,
+}
+
+impl ExprParser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn parse_sum(&mut self) -> Result<f64, ParseQasmError> {
+        let mut value = self.parse_product()?;
+        while let Some(Token::Symbol(op @ ('+' | '-'))) = self.peek() {
+            let op = *op;
+            self.pos += 1;
+            let rhs = self.parse_product()?;
+            value = if op == '+' { value + rhs } else { value - rhs };
+        }
+        Ok(value)
+    }
+
+    fn parse_product(&mut self) -> Result<f64, ParseQasmError> {
+        let mut value = self.parse_unary()?;
+        while let Some(Token::Symbol(op @ ('*' | '/' | '^'))) = self.peek() {
+            let op = *op;
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            value = match op {
+                '*' => value * rhs,
+                '/' => value / rhs,
+                _ => value.powf(rhs),
+            };
+        }
+        Ok(value)
+    }
+
+    fn parse_unary(&mut self) -> Result<f64, ParseQasmError> {
+        match self.peek() {
+            Some(Token::Symbol('-')) => {
+                self.pos += 1;
+                Ok(-self.parse_unary()?)
+            }
+            Some(Token::Symbol('+')) => {
+                self.pos += 1;
+                self.parse_unary()
+            }
+            _ => self.parse_atom(),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<f64, ParseQasmError> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                Ok(n)
+            }
+            Some(Token::Symbol('(')) => {
+                self.pos += 1;
+                let value = self.parse_sum()?;
+                match self.peek() {
+                    Some(Token::Symbol(')')) => {
+                        self.pos += 1;
+                        Ok(value)
+                    }
+                    _ => Err(ParseQasmError::new("missing closing parenthesis")),
+                }
+            }
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                match name.as_str() {
+                    "pi" => Ok(std::f64::consts::PI),
+                    "sin" | "cos" | "tan" | "exp" | "ln" | "sqrt" => {
+                        // Function call: expect parenthesised argument.
+                        match self.peek() {
+                            Some(Token::Symbol('(')) => {
+                                self.pos += 1;
+                                let arg = self.parse_sum()?;
+                                match self.peek() {
+                                    Some(Token::Symbol(')')) => self.pos += 1,
+                                    _ => {
+                                        return Err(ParseQasmError::new(
+                                            "missing closing parenthesis after function",
+                                        ))
+                                    }
+                                }
+                                Ok(match name.as_str() {
+                                    "sin" => arg.sin(),
+                                    "cos" => arg.cos(),
+                                    "tan" => arg.tan(),
+                                    "exp" => arg.exp(),
+                                    "ln" => arg.ln(),
+                                    _ => arg.sqrt(),
+                                })
+                            }
+                            _ => Err(ParseQasmError::new(format!(
+                                "function `{name}` requires parentheses"
+                            ))),
+                        }
+                    }
+                    _ => self.env.get(&name).copied().ok_or_else(|| {
+                        ParseQasmError::new(format!("unknown identifier `{name}` in expression"))
+                    }),
+                }
+            }
+            other => Err(ParseQasmError::new(format!(
+                "unexpected token {other:?} in expression"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operation;
+
+    #[test]
+    fn parses_bell_circuit() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[2];
+            creg c[2];
+            h q[0];
+            cx q[0], q[1];
+            measure q -> c;
+        "#;
+        let c = parse_source(src).unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.stats().gate_count, 2);
+        assert_eq!(c.stats().measure_count, 2);
+    }
+
+    #[test]
+    fn parses_parameter_expressions() {
+        let src = r#"
+            OPENQASM 2.0;
+            qreg q[1];
+            rz(pi/2) q[0];
+            rx(-pi/4 + 0.5) q[0];
+            u3(2*pi, pi/8, sqrt(2)) q[0];
+        "#;
+        let c = parse_source(src).unwrap();
+        match &c.operations()[0] {
+            Operation::Gate {
+                gate: Gate::Rz(angle),
+                ..
+            } => assert!((angle - std::f64::consts::FRAC_PI_2).abs() < 1e-12),
+            other => panic!("unexpected op {other:?}"),
+        }
+        match &c.operations()[1] {
+            Operation::Gate {
+                gate: Gate::Rx(angle),
+                ..
+            } => assert!((angle - (0.5 - std::f64::consts::FRAC_PI_4)).abs() < 1e-12),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcasts_over_registers() {
+        let src = r#"
+            OPENQASM 2.0;
+            qreg q[3];
+            h q;
+        "#;
+        let c = parse_source(src).unwrap();
+        assert_eq!(c.stats().gate_count, 3);
+    }
+
+    #[test]
+    fn expands_custom_gate_definitions() {
+        let src = r#"
+            OPENQASM 2.0;
+            qreg q[2];
+            gate bell a, b { h a; cx a, b; }
+            gate rot(theta) a { rz(theta) a; rz(theta/2) a; }
+            bell q[0], q[1];
+            rot(pi) q[0];
+        "#;
+        let c = parse_source(src).unwrap();
+        assert_eq!(c.stats().gate_count, 4);
+        match &c.operations()[3] {
+            Operation::Gate {
+                gate: Gate::Rz(angle),
+                ..
+            } => assert!((angle - std::f64::consts::FRAC_PI_2).abs() < 1e-12),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handles_multiple_registers() {
+        let src = r#"
+            OPENQASM 2.0;
+            qreg a[2];
+            qreg b[3];
+            creg c[5];
+            x a[1];
+            x b[0];
+            measure b[2] -> c[4];
+        "#;
+        let c = parse_source(src).unwrap();
+        assert_eq!(c.num_qubits(), 5);
+        // a[1] -> flat index 1, b[0] -> flat index 2.
+        match &c.operations()[0] {
+            Operation::Gate { target, .. } => assert_eq!(*target, 1),
+            other => panic!("unexpected op {other:?}"),
+        }
+        match &c.operations()[1] {
+            Operation::Gate { target, .. } => assert_eq!(*target, 2),
+            other => panic!("unexpected op {other:?}"),
+        }
+        match &c.operations()[2] {
+            Operation::Measure { qubit, clbit } => {
+                assert_eq!(*qubit, 4);
+                assert_eq!(*clbit, 4);
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_unknown_gate() {
+        let src = "OPENQASM 2.0; qreg q[1]; foo q[0];";
+        let err = parse_source(src).unwrap_err();
+        assert!(err.to_string().contains("unknown gate"));
+    }
+
+    #[test]
+    fn reports_missing_register() {
+        let src = "OPENQASM 2.0; qreg q[1]; x r[0];";
+        let err = parse_source(src).unwrap_err();
+        assert!(err.to_string().contains("unknown quantum register"));
+    }
+
+    #[test]
+    fn rejects_classical_feedback() {
+        let src = "OPENQASM 2.0; qreg q[1]; creg c[1]; if (c == 1) x q[0];";
+        let err = parse_source(src).unwrap_err();
+        assert!(err.to_string().contains("not supported"));
+    }
+
+    #[test]
+    fn reports_out_of_range_index() {
+        let src = "OPENQASM 2.0; qreg q[2]; x q[5];";
+        let err = parse_source(src).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn skips_comments_and_barriers() {
+        let src = r#"
+            OPENQASM 2.0;
+            // prepare register
+            qreg q[2];
+            h q[0]; // superposition
+            barrier q;
+            cx q[0], q[1];
+        "#;
+        let c = parse_source(src).unwrap();
+        assert_eq!(c.stats().gate_count, 2);
+    }
+
+    #[test]
+    fn parses_ccx_and_swap() {
+        let src = r#"
+            OPENQASM 2.0;
+            qreg q[3];
+            ccx q[0], q[1], q[2];
+            swap q[0], q[2];
+            cswap q[0], q[1], q[2];
+        "#;
+        let c = parse_source(src).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        assert!(c.stats().gate_count >= 5);
+    }
+}

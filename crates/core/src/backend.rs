@@ -1,0 +1,75 @@
+//! The back-end abstraction shared by the stochastic simulators.
+//!
+//! A back-end knows how to execute *one* stochastic run of a circuit under a
+//! noise model (Section III of the paper) and how to evaluate quadratic
+//! observables on the resulting pure state. The Monte-Carlo runner in
+//! [`crate::stochastic`] drives any back-end concurrently; the paper's
+//! contribution is the decision-diagram back-end, the dense statevector
+//! back-end reproduces the baseline simulators.
+
+use qsdd_circuit::Circuit;
+use qsdd_noise::NoiseModel;
+use rand::rngs::StdRng;
+
+use crate::estimator::Observable;
+
+/// The result of a single stochastic simulation run.
+#[derive(Clone, Debug)]
+pub struct SingleRun<S> {
+    /// The sampled measurement outcome as a basis-state index.
+    ///
+    /// If the circuit contains explicit measurements, the outcome packs the
+    /// classical register (classical bit 0 is the most significant bit);
+    /// otherwise every qubit of the final state is sampled once.
+    pub outcome: u64,
+    /// The classical register after the run.
+    pub clbits: Vec<bool>,
+    /// Number of stochastic error events that fired during the run.
+    pub error_events: usize,
+    /// The final pure state of the run (back-end specific representation).
+    pub state: S,
+}
+
+/// A simulation engine that can produce independent stochastic runs.
+///
+/// Implementations must be [`Sync`]: the Monte-Carlo runner shares one
+/// back-end instance across worker threads, and every run receives its own
+/// random number generator.
+pub trait StochasticBackend: Sync {
+    /// Back-end specific representation of the final pure state of a run.
+    type State;
+
+    /// Human-readable name used in benchmark reports.
+    fn name(&self) -> &'static str;
+
+    /// Executes one stochastic run of `circuit` under `noise`.
+    fn run_once(&self, circuit: &Circuit, noise: &NoiseModel, rng: &mut StdRng)
+        -> SingleRun<Self::State>;
+
+    /// Evaluates a quadratic observable `|<omega|psi>|^2`-style property on
+    /// the final state of a run.
+    ///
+    /// Takes the run mutably because some back-ends fill internal caches
+    /// (e.g. interned complex values) while evaluating.
+    fn evaluate(&self, run: &mut SingleRun<Self::State>, observable: &Observable) -> f64;
+}
+
+/// Packs a classical register into a basis index (bit 0 of the register is
+/// the most significant bit of the index).
+pub(crate) fn pack_clbits(clbits: &[bool]) -> u64 {
+    clbits
+        .iter()
+        .fold(0u64, |acc, &bit| (acc << 1) | u64::from(bit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_clbits_uses_bit0_as_msb() {
+        assert_eq!(pack_clbits(&[true, false]), 0b10);
+        assert_eq!(pack_clbits(&[false, true, true]), 0b011);
+        assert_eq!(pack_clbits(&[]), 0);
+    }
+}

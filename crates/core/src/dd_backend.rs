@@ -1,0 +1,283 @@
+//! The decision-diagram back-end: the paper's proposed simulator.
+//!
+//! Every stochastic run owns a fresh [`DdPackage`], so runs are completely
+//! independent and can execute on different threads without sharing mutable
+//! state. Within a run, gates are applied as matrix decision diagrams and
+//! stochastic error events are injected after every gate on every touched
+//! qubit, exactly as described in Sections III and IV of the paper.
+
+use qsdd_circuit::{Circuit, Operation};
+use qsdd_dd::{DdPackage, Matrix2, VecEdge};
+use qsdd_noise::{NoiseModel, StochasticAction};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::backend::{pack_clbits, SingleRun, StochasticBackend};
+use crate::estimator::Observable;
+
+/// Final state of a decision-diagram run: the package owning the diagram and
+/// the edge of the final state.
+#[derive(Debug)]
+pub struct DdRunState {
+    /// The package owning every node of the run.
+    pub package: DdPackage,
+    /// Root edge of the final state.
+    pub state: VecEdge,
+    /// Number of qubits of the simulated circuit.
+    pub num_qubits: usize,
+}
+
+impl DdRunState {
+    /// Size of the final state's decision diagram (number of nodes).
+    pub fn node_count(&self) -> usize {
+        self.package.vec_node_count(self.state)
+    }
+}
+
+/// The decision-diagram simulator back-end (the "Proposed" column of
+/// Table I).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DdSimulator {
+    caching: bool,
+}
+
+impl DdSimulator {
+    /// Creates a back-end with operation caching enabled.
+    pub fn new() -> Self {
+        DdSimulator { caching: true }
+    }
+
+    /// Creates a back-end with operation caching disabled (ablation only).
+    pub fn without_caching() -> Self {
+        DdSimulator { caching: false }
+    }
+
+    /// Runs a circuit without noise and returns the final decision diagram.
+    ///
+    /// This is the deterministic simulation primitive; it is also used by
+    /// the examples to inspect decision diagram sizes.
+    pub fn simulate_noiseless(&self, circuit: &Circuit) -> DdRunState {
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let noiseless = NoiseModel::noiseless();
+        let run = self.run_once(circuit, &noiseless, &mut rng);
+        run.state
+    }
+}
+
+impl StochasticBackend for DdSimulator {
+    type State = DdRunState;
+
+    fn name(&self) -> &'static str {
+        "decision-diagram"
+    }
+
+    fn run_once(
+        &self,
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        rng: &mut StdRng,
+    ) -> SingleRun<Self::State> {
+        let n = circuit.num_qubits();
+        let mut dd = DdPackage::new();
+        dd.set_caching(self.caching);
+        let mut state = dd.zero_state(n);
+        let mut clbits = vec![false; circuit.num_clbits()];
+        let mut measured_any = false;
+        let mut error_events = 0usize;
+        let channels = noise.channels();
+
+        for op in circuit {
+            match op {
+                Operation::Gate {
+                    gate,
+                    target,
+                    controls,
+                } => {
+                    let m = gate
+                        .matrix()
+                        .expect("non-swap gates always provide a matrix");
+                    let op_dd = dd.controlled_op(n, *target, controls, m);
+                    state = dd.mat_vec_mul(op_dd, state);
+                }
+                Operation::Swap { a, b } => {
+                    let op_dd = dd.swap_op(n, *a, *b);
+                    state = dd.mat_vec_mul(op_dd, state);
+                }
+                Operation::Measure { qubit, clbit } => {
+                    let (outcome, collapsed) = dd.measure_qubit(state, *qubit, rng);
+                    state = collapsed;
+                    clbits[*clbit] = outcome;
+                    measured_any = true;
+                    continue;
+                }
+                Operation::Reset { qubit } => {
+                    let (outcome, collapsed) = dd.measure_qubit(state, *qubit, rng);
+                    state = collapsed;
+                    if outcome {
+                        let x = dd.single_qubit_op(n, *qubit, Matrix2::pauli_x());
+                        state = dd.mat_vec_mul(x, state);
+                    }
+                    continue;
+                }
+                Operation::Barrier => continue,
+            }
+            if channels.is_empty() {
+                continue;
+            }
+            for qubit in op.qubits() {
+                for channel in &channels {
+                    match channel.sample_action(rng) {
+                        StochasticAction::None => {}
+                        StochasticAction::Unitary(m) => {
+                            error_events += 1;
+                            let err = dd.single_qubit_op(n, qubit, m);
+                            state = dd.mat_vec_mul(err, state);
+                        }
+                        StochasticAction::Kraus(branches) => {
+                            // Amplitude damping: branch probabilities are the
+                            // squared norms of the (non-unitary) branch states
+                            // (Example 6 of the paper).
+                            let decay = dd.single_qubit_op(n, qubit, branches[0]);
+                            let (p_decay, decayed) = dd.apply_kraus(decay, state);
+                            if rng.gen::<f64>() < p_decay {
+                                error_events += 1;
+                                state = decayed;
+                            } else {
+                                let keep = dd.single_qubit_op(n, qubit, branches[1]);
+                                let (_, kept) = dd.apply_kraus(keep, state);
+                                state = kept;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let outcome = if measured_any {
+            pack_clbits(&clbits)
+        } else {
+            dd.sample_measurement(state, n, rng)
+        };
+        SingleRun {
+            outcome,
+            clbits,
+            error_events,
+            state: DdRunState {
+                package: dd,
+                state,
+                num_qubits: n,
+            },
+        }
+    }
+
+    fn evaluate(&self, run: &mut SingleRun<Self::State>, observable: &Observable) -> f64 {
+        let num_qubits = run.state.num_qubits;
+        let state = run.state.state;
+        let package = &mut run.state.package;
+        match observable {
+            Observable::BasisProbability(index) => {
+                package.amplitude(state, num_qubits, *index).norm_sqr()
+            }
+            Observable::QubitExcitation(qubit) => package.probability_one(state, *qubit),
+            Observable::Fidelity(reference) => {
+                let reference_edge = package.from_statevector(reference);
+                package.fidelity(reference_edge, state)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdd_circuit::generators::{ghz, qft};
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_ghz_only_yields_all_zero_or_all_one() {
+        let backend = DdSimulator::new();
+        let circuit = ghz(10);
+        let noiseless = NoiseModel::noiseless();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let run = backend.run_once(&circuit, &noiseless, &mut rng);
+            assert!(run.outcome == 0 || run.outcome == (1 << 10) - 1);
+            assert_eq!(run.error_events, 0);
+        }
+    }
+
+    #[test]
+    fn ghz_dd_stays_small_even_with_noise() {
+        let backend = DdSimulator::new();
+        let circuit = ghz(24);
+        let noise = NoiseModel::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(1);
+        let run = backend.run_once(&circuit, &noise, &mut rng);
+        assert!(
+            run.state.node_count() <= 2 * 24,
+            "noisy GHZ run produced {} nodes",
+            run.state.node_count()
+        );
+    }
+
+    #[test]
+    fn measured_circuit_packs_classical_bits() {
+        let backend = DdSimulator::new();
+        let mut circuit = Circuit::new(3);
+        circuit.x(0).measure_all();
+        let mut rng = StdRng::seed_from_u64(9);
+        let run = backend.run_once(&circuit, &NoiseModel::noiseless(), &mut rng);
+        assert_eq!(run.outcome, 0b100);
+        assert_eq!(run.clbits, vec![true, false, false]);
+    }
+
+    #[test]
+    fn observables_match_known_values_for_noiseless_ghz() {
+        let backend = DdSimulator::new();
+        let circuit = ghz(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut run = backend.run_once(&circuit, &NoiseModel::noiseless(), &mut rng);
+        let p0 = backend.evaluate(&mut run, &Observable::BasisProbability(0));
+        let p15 = backend.evaluate(&mut run, &Observable::BasisProbability(15));
+        let pq = backend.evaluate(&mut run, &Observable::QubitExcitation(2));
+        assert!((p0 - 0.5).abs() < 1e-10);
+        assert!((p15 - 0.5).abs() < 1e-10);
+        assert!((pq - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fidelity_observable_recognises_the_prepared_state() {
+        let backend = DdSimulator::new();
+        let circuit = ghz(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut run = backend.run_once(&circuit, &NoiseModel::noiseless(), &mut rng);
+        let inv = std::f64::consts::FRAC_1_SQRT_2;
+        let mut reference = vec![qsdd_dd::Complex::ZERO; 8];
+        reference[0] = qsdd_dd::Complex::real(inv);
+        reference[7] = qsdd_dd::Complex::real(inv);
+        let f = backend.evaluate(&mut run, &Observable::Fidelity(reference));
+        assert!((f - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qft_runs_under_noise_without_blowup() {
+        let backend = DdSimulator::new();
+        let circuit = qft(16);
+        let noise = NoiseModel::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(5);
+        let run = backend.run_once(&circuit, &noise, &mut rng);
+        // QFT of |0..0> stays a product state, so the DD stays linear even
+        // with sporadic errors.
+        assert!(run.state.node_count() <= 4 * 16);
+    }
+
+    #[test]
+    fn reset_forces_qubit_back_to_zero() {
+        let backend = DdSimulator::new();
+        let mut circuit = Circuit::new(2);
+        circuit.x(0).reset(0).measure_all();
+        let mut rng = StdRng::seed_from_u64(6);
+        let run = backend.run_once(&circuit, &NoiseModel::noiseless(), &mut rng);
+        assert_eq!(run.outcome, 0);
+    }
+}

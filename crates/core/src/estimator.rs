@@ -1,0 +1,143 @@
+//! Quadratic observables and their Monte-Carlo estimation.
+//!
+//! Section III of the paper considers properties of the form
+//! `o_l = |<omega_l | psi>|^2` (outcome probabilities, fidelities with
+//! reference states, ...). A single stochastic run yields an unbiased sample
+//! of such a property, and the empirical average over runs converges with
+//! the Hoeffding rate quantified in Theorem 1 (see [`crate::sampling`]).
+
+/// A quadratic property of the final state distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Observable {
+    /// The probability of observing the given computational basis state
+    /// (`|<index|psi>|^2`).
+    BasisProbability(u64),
+    /// The probability that the given qubit is measured as `|1>`.
+    QubitExcitation(usize),
+    /// The fidelity `|<phi|psi>|^2` with an explicitly given reference state
+    /// over the full register (amplitudes in basis order, qubit 0 is the
+    /// most significant index bit).
+    Fidelity(Vec<qsdd_dd::Complex>),
+}
+
+impl Observable {
+    /// A short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Observable::BasisProbability(idx) => format!("P(|{idx:b}>)"),
+            Observable::QubitExcitation(q) => format!("P(q{q}=1)"),
+            Observable::Fidelity(_) => "fidelity".to_string(),
+        }
+    }
+}
+
+/// Running mean of per-run observable samples.
+#[derive(Clone, Debug, Default)]
+pub struct ObservableAccumulator {
+    sums: Vec<f64>,
+    samples: u64,
+}
+
+impl ObservableAccumulator {
+    /// Creates an accumulator for `count` observables.
+    pub fn new(count: usize) -> Self {
+        ObservableAccumulator {
+            sums: vec![0.0; count],
+            samples: 0,
+        }
+    }
+
+    /// Adds the per-run samples (one value per observable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the accumulator width.
+    pub fn add(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.sums.len(), "observable count mismatch");
+        for (sum, v) in self.sums.iter_mut().zip(values) {
+            *sum += v;
+        }
+        self.samples += 1;
+    }
+
+    /// Merges another accumulator into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn merge(&mut self, other: &ObservableAccumulator) {
+        assert_eq!(
+            other.sums.len(),
+            self.sums.len(),
+            "observable count mismatch"
+        );
+        for (sum, v) in self.sums.iter_mut().zip(&other.sums) {
+            *sum += v;
+        }
+        self.samples += other.samples;
+    }
+
+    /// Number of samples accumulated so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The empirical means (the Monte-Carlo estimates `o_hat_l`).
+    pub fn means(&self) -> Vec<f64> {
+        if self.samples == 0 {
+            return vec![0.0; self.sums.len()];
+        }
+        self.sums
+            .iter()
+            .map(|s| s / self.samples as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_averages_samples() {
+        let mut acc = ObservableAccumulator::new(2);
+        acc.add(&[1.0, 0.0]);
+        acc.add(&[0.0, 1.0]);
+        acc.add(&[1.0, 1.0]);
+        let means = acc.means();
+        assert!((means[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((means[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(acc.samples(), 3);
+    }
+
+    #[test]
+    fn merge_combines_partial_results() {
+        let mut a = ObservableAccumulator::new(1);
+        a.add(&[1.0]);
+        let mut b = ObservableAccumulator::new(1);
+        b.add(&[0.0]);
+        b.add(&[0.0]);
+        a.merge(&b);
+        assert_eq!(a.samples(), 3);
+        assert!((a.means()[0] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zero_means() {
+        let acc = ObservableAccumulator::new(3);
+        assert_eq!(acc.means(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(Observable::BasisProbability(5).label(), "P(|101>)");
+        assert_eq!(Observable::QubitExcitation(2).label(), "P(q2=1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "observable count mismatch")]
+    fn mismatched_width_panics() {
+        let mut acc = ObservableAccumulator::new(2);
+        acc.add(&[1.0]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # qsdd-core — stochastic quantum circuit simulation using decision diagrams
+//!
+//! This crate implements the contribution of Grurl, Kueng, Fuß and Wille,
+//! *Stochastic Quantum Circuit Simulation Using Decision Diagrams*
+//! (DATE 2021):
+//!
+//! 1. **Decision diagrams for individual simulation runs** — every stochastic
+//!    run represents the state and the applied operators as decision diagrams
+//!    (via `qsdd-dd`), which keeps structured states compact and lets noisy
+//!    simulations scale to dozens of qubits ([`DdSimulator`]).
+//! 2. **Concurrency across simulation runs** — the Monte-Carlo runner
+//!    ([`stochastic::run_stochastic`]) executes the independent runs on
+//!    multiple threads and merges histograms and observable estimates.
+//!
+//! The dense [`DenseSimulator`] back-end executes the identical stochastic
+//! protocol on flat amplitude arrays and serves as the baseline
+//! (Qiskit / Atos QLM stand-in) for the benchmark harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qsdd_circuit::generators::ghz;
+//! use qsdd_core::{sampling, Observable, StochasticSimulator};
+//! use qsdd_noise::NoiseModel;
+//!
+//! // How many samples do we need for 10 properties at 5 % accuracy?
+//! let shots = sampling::required_samples(10, 0.05, 0.05).min(2000);
+//!
+//! let simulator = StochasticSimulator::new()
+//!     .with_shots(shots)
+//!     .with_noise(NoiseModel::paper_defaults())
+//!     .with_seed(42);
+//! let result = simulator.run_with_observables(
+//!     &ghz(6),
+//!     &[Observable::BasisProbability(0), Observable::QubitExcitation(3)],
+//! );
+//! assert!(result.observable_estimates[0] > 0.4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod dd_backend;
+pub mod dense_backend;
+pub mod estimator;
+pub mod sampling;
+pub mod simulator;
+pub mod stochastic;
+
+pub use backend::{SingleRun, StochasticBackend};
+pub use dd_backend::{DdRunState, DdSimulator};
+pub use dense_backend::DenseSimulator;
+pub use estimator::{Observable, ObservableAccumulator};
+pub use simulator::{BackendKind, StochasticSimulator};
+pub use stochastic::{run_stochastic, StochasticConfig, StochasticOutcome};

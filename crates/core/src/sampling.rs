@@ -1,0 +1,107 @@
+//! Sample-complexity bounds (Theorem 1 of the paper).
+//!
+//! Theorem 1: to estimate `L` quadratic properties to accuracy `epsilon`
+//! with confidence `1 - delta`, `M = log(2L / delta) / (2 epsilon^2)`
+//! independent stochastic runs suffice. The bound follows from Hoeffding's
+//! inequality plus a union bound over the `L` targets; it is independent of
+//! the system size, which is what makes the Monte-Carlo approach scale.
+
+/// Number of samples sufficient to estimate `num_properties` quadratic
+/// properties to additive accuracy `epsilon` with confidence `1 - delta`
+/// (Theorem 1).
+///
+/// # Panics
+///
+/// Panics unless `num_properties >= 1`, `0 < epsilon < 1` and
+/// `0 < delta < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_core::sampling::required_samples;
+///
+/// // The paper's configuration: 1000 properties, error < 0.01, 95 % confidence
+/// // needs about 30 000 samples.
+/// let m = required_samples(1000, 0.013, 0.05);
+/// assert!(m >= 29_000 && m <= 32_000);
+/// ```
+pub fn required_samples(num_properties: usize, epsilon: f64, delta: f64) -> usize {
+    assert!(num_properties >= 1, "need at least one property");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+    let l = num_properties as f64;
+    ((2.0 * l / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as usize
+}
+
+/// The Hoeffding failure probability `2 exp(-2 M epsilon^2)` for a single
+/// property estimated from `samples` runs.
+pub fn hoeffding_failure_probability(samples: usize, epsilon: f64) -> f64 {
+    2.0 * (-2.0 * samples as f64 * epsilon * epsilon).exp()
+}
+
+/// The accuracy `epsilon` guaranteed (with confidence `1 - delta` across
+/// `num_properties` properties) by a given number of samples — the inverse
+/// of [`required_samples`].
+pub fn achievable_epsilon(samples: usize, num_properties: usize, delta: f64) -> f64 {
+    assert!(samples >= 1, "need at least one sample");
+    assert!(num_properties >= 1, "need at least one property");
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+    ((2.0 * num_properties as f64 / delta).ln() / (2.0 * samples as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_properties_need_only_logarithmically_more_samples() {
+        let base = required_samples(1, 0.01, 0.05);
+        let thousand = required_samples(1000, 0.01, 0.05);
+        let million = required_samples(1_000_000, 0.01, 0.05);
+        assert!(thousand > base);
+        assert!(million > thousand);
+        // Logarithmic growth: going from 1 to a million properties costs less
+        // than a 5x increase in samples (ln(4e7)/ln(40) is about 4.7).
+        assert!((million as f64) < 5.0 * base as f64);
+    }
+
+    #[test]
+    fn samples_scale_inverse_quadratically_in_epsilon() {
+        let coarse = required_samples(10, 0.1, 0.05);
+        let fine = required_samples(10, 0.01, 0.05);
+        let ratio = fine as f64 / coarse as f64;
+        assert!((ratio - 100.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn round_trip_between_samples_and_epsilon() {
+        let eps = 0.02;
+        let m = required_samples(50, eps, 0.1);
+        let achieved = achievable_epsilon(m, 50, 0.1);
+        assert!(achieved <= eps + 1e-9);
+        assert!(achieved > eps * 0.95);
+    }
+
+    #[test]
+    fn hoeffding_probability_decreases_with_samples() {
+        let few = hoeffding_failure_probability(100, 0.05);
+        let many = hoeffding_failure_probability(10_000, 0.05);
+        assert!(many < few);
+        assert!(many < 1e-20);
+    }
+
+    #[test]
+    fn paper_configuration_is_about_thirty_thousand() {
+        // Section V: "a total of M = 30,000 iterations ... corresponds to
+        // tracking 1000 properties with an error margin of < 0.01 and a
+        // confidence of 95%". The bound with exactly eps = 0.013 gives ~31k.
+        let m = required_samples(1000, 0.0129, 0.05);
+        assert!(m >= 29_000 && m <= 32_000, "m = {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in (0, 1)")]
+    fn invalid_epsilon_panics() {
+        let _ = required_samples(10, 1.5, 0.05);
+    }
+}

@@ -1,0 +1,192 @@
+//! High-level facade over the back-ends and the Monte-Carlo runner.
+//!
+//! Most users interact with [`StochasticSimulator`]: pick a back-end, set
+//! the shot count and noise model, and run circuits. The lower-level pieces
+//! ([`crate::backend`], [`crate::stochastic`]) remain public for users who
+//! need custom observables or their own aggregation.
+
+use qsdd_circuit::Circuit;
+use qsdd_noise::NoiseModel;
+
+use crate::dd_backend::DdSimulator;
+use crate::dense_backend::DenseSimulator;
+use crate::estimator::Observable;
+use crate::stochastic::{run_stochastic, StochasticConfig, StochasticOutcome};
+
+/// Which simulation engine executes the individual runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The decision-diagram engine proposed by the paper.
+    #[default]
+    DecisionDiagram,
+    /// The dense statevector baseline (Qiskit/QLM stand-in).
+    Statevector,
+}
+
+/// A ready-to-use stochastic noise-aware quantum circuit simulator.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_circuit::generators::ghz;
+/// use qsdd_core::StochasticSimulator;
+/// use qsdd_noise::NoiseModel;
+///
+/// let simulator = StochasticSimulator::new()
+///     .with_shots(256)
+///     .with_noise(NoiseModel::paper_defaults())
+///     .with_seed(1);
+/// let result = simulator.run(&ghz(8));
+/// // The two GHZ peaks dominate even under realistic noise.
+/// let all_ones = (1u64 << 8) - 1;
+/// assert!(result.frequency(0) + result.frequency(all_ones) > 0.9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StochasticSimulator {
+    backend: BackendKind,
+    config: StochasticConfig,
+}
+
+impl StochasticSimulator {
+    /// Creates a simulator with the decision-diagram back-end, the paper's
+    /// noise model and 1024 shots.
+    pub fn new() -> Self {
+        StochasticSimulator {
+            backend: BackendKind::DecisionDiagram,
+            config: StochasticConfig::default(),
+        }
+    }
+
+    /// Selects the back-end.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the number of stochastic runs.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.config.shots = shots;
+        self
+    }
+
+    /// Sets the number of worker threads (`0` = all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the noise model.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.config.noise = noise;
+        self
+    }
+
+    /// The currently selected back-end.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The current run configuration.
+    pub fn config(&self) -> &StochasticConfig {
+        &self.config
+    }
+
+    /// Runs the circuit and returns the aggregated measurement statistics.
+    pub fn run(&self, circuit: &Circuit) -> StochasticOutcome {
+        self.run_with_observables(circuit, &[])
+    }
+
+    /// Runs the circuit while additionally estimating the given quadratic
+    /// observables (Section III of the paper).
+    pub fn run_with_observables(
+        &self,
+        circuit: &Circuit,
+        observables: &[Observable],
+    ) -> StochasticOutcome {
+        match self.backend {
+            BackendKind::DecisionDiagram => {
+                run_stochastic(&DdSimulator::new(), circuit, &self.config, observables)
+            }
+            BackendKind::Statevector => {
+                run_stochastic(&DenseSimulator::new(), circuit, &self.config, observables)
+            }
+        }
+    }
+}
+
+impl Default for StochasticSimulator {
+    fn default() -> Self {
+        StochasticSimulator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdd_circuit::generators::{ghz, qft};
+
+    #[test]
+    fn facade_runs_both_backends() {
+        let circuit = ghz(5);
+        for backend in [BackendKind::DecisionDiagram, BackendKind::Statevector] {
+            let simulator = StochasticSimulator::new()
+                .with_backend(backend)
+                .with_shots(100)
+                .with_seed(2)
+                .with_threads(2);
+            let outcome = simulator.run(&circuit);
+            assert_eq!(outcome.shots, 100);
+            let total: u64 = outcome.counts.values().sum();
+            assert_eq!(total, 100);
+        }
+    }
+
+    #[test]
+    fn qft_of_zero_state_gives_nearly_uniform_outcomes() {
+        let simulator = StochasticSimulator::new()
+            .with_shots(2000)
+            .with_noise(NoiseModel::noiseless())
+            .with_seed(3);
+        let outcome = simulator.run(&qft(3));
+        // Eight outcomes, each with probability 1/8.
+        for index in 0..8u64 {
+            let freq = outcome.frequency(index);
+            assert!((freq - 0.125).abs() < 0.05, "outcome {index} frequency {freq}");
+        }
+    }
+
+    #[test]
+    fn observables_are_estimated_through_the_facade() {
+        let simulator = StochasticSimulator::new()
+            .with_shots(200)
+            .with_noise(NoiseModel::noiseless())
+            .with_seed(5);
+        let outcome = simulator
+            .run_with_observables(&ghz(4), &[Observable::QubitExcitation(0)]);
+        assert!((outcome.observable_estimates[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_spreads_probability_beyond_the_ideal_peaks() {
+        let noiseless = StochasticSimulator::new()
+            .with_shots(1500)
+            .with_noise(NoiseModel::noiseless())
+            .with_seed(8)
+            .run(&ghz(10));
+        let noisy = StochasticSimulator::new()
+            .with_shots(1500)
+            .with_noise(NoiseModel::new(0.01, 0.02, 0.01))
+            .with_seed(8)
+            .run(&ghz(10));
+        let all_ones = (1u64 << 10) - 1;
+        let ideal_mass = |o: &StochasticOutcome| o.frequency(0) + o.frequency(all_ones);
+        assert!((ideal_mass(&noiseless) - 1.0).abs() < 1e-12);
+        assert!(ideal_mass(&noisy) < ideal_mass(&noiseless));
+    }
+}

@@ -1,0 +1,286 @@
+//! The concurrent Monte-Carlo runner.
+//!
+//! Stochastic quantum circuit simulation needs many independent runs to form
+//! accurate empirical averages (Theorem 1). Because the runs are i.i.d.,
+//! they parallelise perfectly: the runner partitions the requested shot
+//! count over worker threads, gives every *shot* its own deterministically
+//! derived random number generator (so results do not depend on the thread
+//! count), and merges the per-worker histograms and observable sums at the
+//! end. This is the "concurrency across simulation runs" idea of
+//! Section IV-C of the paper.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use qsdd_circuit::Circuit;
+use qsdd_noise::NoiseModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::backend::StochasticBackend;
+use crate::estimator::{Observable, ObservableAccumulator};
+
+/// Configuration of a stochastic simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StochasticConfig {
+    /// Number of independent simulation runs (samples).
+    pub shots: usize,
+    /// Number of worker threads; `0` uses the machine's available
+    /// parallelism.
+    pub threads: usize,
+    /// Master seed; every shot derives its own generator from it, so results
+    /// are reproducible and independent of the thread count.
+    pub seed: u64,
+    /// The noise model applied after every gate.
+    pub noise: NoiseModel,
+}
+
+impl StochasticConfig {
+    /// A configuration with the paper's noise model and a given shot count.
+    pub fn new(shots: usize) -> Self {
+        StochasticConfig {
+            shots,
+            threads: 0,
+            seed: 0xD1CE_5EED,
+            noise: NoiseModel::paper_defaults(),
+        }
+    }
+
+    /// Sets the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the noise model.
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Resolves the effective number of worker threads.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+impl Default for StochasticConfig {
+    fn default() -> Self {
+        StochasticConfig::new(1024)
+    }
+}
+
+/// Aggregated result of a stochastic simulation.
+#[derive(Clone, Debug)]
+pub struct StochasticOutcome {
+    /// Histogram of measurement outcomes (basis index -> count).
+    pub counts: HashMap<u64, u64>,
+    /// Number of runs performed.
+    pub shots: usize,
+    /// Monte-Carlo estimates of the requested observables (same order as the
+    /// request).
+    pub observable_estimates: Vec<f64>,
+    /// Total number of stochastic error events over all runs.
+    pub error_events: u64,
+    /// Wall-clock time of the whole simulation.
+    pub wall_time: Duration,
+    /// Number of worker threads used.
+    pub threads: usize,
+}
+
+impl StochasticOutcome {
+    /// Relative frequency of a measurement outcome.
+    pub fn frequency(&self, outcome: u64) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        *self.counts.get(&outcome).unwrap_or(&0) as f64 / self.shots as f64
+    }
+
+    /// The most frequent measurement outcome, if any run was performed.
+    pub fn most_frequent(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .max_by_key(|(_, &count)| count)
+            .map(|(&outcome, _)| outcome)
+    }
+
+    /// Average number of error events per run.
+    pub fn error_rate(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        self.error_events as f64 / self.shots as f64
+    }
+}
+
+/// Runs `config.shots` independent stochastic simulations of `circuit` on
+/// `backend`, estimating the given observables along the way.
+///
+/// Shots are distributed over worker threads ([`StochasticConfig::threads`]);
+/// every shot uses a random number generator derived deterministically from
+/// the master seed and the shot index, so the outcome is independent of how
+/// shots are assigned to threads.
+pub fn run_stochastic<B: StochasticBackend>(
+    backend: &B,
+    circuit: &Circuit,
+    config: &StochasticConfig,
+    observables: &[Observable],
+) -> StochasticOutcome {
+    let started = Instant::now();
+    let threads = config.effective_threads().max(1).min(config.shots.max(1));
+    let merged_counts: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
+    let merged_observables: Mutex<ObservableAccumulator> =
+        Mutex::new(ObservableAccumulator::new(observables.len()));
+    let merged_errors: Mutex<u64> = Mutex::new(0);
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let merged_counts = &merged_counts;
+            let merged_observables = &merged_observables;
+            let merged_errors = &merged_errors;
+            let observables = &observables;
+            let config = &config;
+            scope.spawn(move || {
+                let mut local_counts: HashMap<u64, u64> = HashMap::new();
+                let mut local_observables = ObservableAccumulator::new(observables.len());
+                let mut local_errors = 0u64;
+                let mut shot = worker;
+                while shot < config.shots {
+                    let mut rng = shot_rng(config.seed, shot as u64);
+                    let mut run = backend.run_once(circuit, &config.noise, &mut rng);
+                    *local_counts.entry(run.outcome).or_insert(0) += 1;
+                    local_errors += run.error_events as u64;
+                    if !observables.is_empty() {
+                        let values: Vec<f64> = observables
+                            .iter()
+                            .map(|o| backend.evaluate(&mut run, o))
+                            .collect();
+                        local_observables.add(&values);
+                    }
+                    shot += threads;
+                }
+                let mut counts = merged_counts.lock();
+                for (outcome, count) in local_counts {
+                    *counts.entry(outcome).or_insert(0) += count;
+                }
+                merged_observables.lock().merge(&local_observables);
+                *merged_errors.lock() += local_errors;
+            });
+        }
+    });
+
+    StochasticOutcome {
+        counts: merged_counts.into_inner(),
+        shots: config.shots,
+        observable_estimates: merged_observables.into_inner().means(),
+        error_events: merged_errors.into_inner(),
+        wall_time: started.elapsed(),
+        threads,
+    }
+}
+
+/// Derives the per-shot random number generator from the master seed.
+fn shot_rng(seed: u64, shot: u64) -> StdRng {
+    // SplitMix64-style mixing keeps neighbouring shot seeds uncorrelated.
+    let mut z = seed ^ shot.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dd_backend::DdSimulator;
+    use crate::dense_backend::DenseSimulator;
+    use qsdd_circuit::generators::ghz;
+
+    #[test]
+    fn histogram_counts_sum_to_shots() {
+        let backend = DdSimulator::new();
+        let config = StochasticConfig::new(500).with_threads(4);
+        let outcome = run_stochastic(&backend, &ghz(6), &config, &[]);
+        let total: u64 = outcome.counts.values().sum();
+        assert_eq!(total, 500);
+        assert_eq!(outcome.shots, 500);
+        assert_eq!(outcome.threads, 4);
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        let backend = DdSimulator::new();
+        let base = StochasticConfig::new(200).with_seed(7);
+        let single = run_stochastic(&backend, &ghz(4), &base.clone().with_threads(1), &[]);
+        let multi = run_stochastic(&backend, &ghz(4), &base.with_threads(4), &[]);
+        assert_eq!(single.counts, multi.counts);
+    }
+
+    #[test]
+    fn noiseless_ghz_splits_between_the_two_peaks() {
+        let backend = DdSimulator::new();
+        let config = StochasticConfig::new(400)
+            .with_noise(NoiseModel::noiseless())
+            .with_threads(2);
+        let outcome = run_stochastic(&backend, &ghz(5), &config, &[]);
+        let all_ones = (1u64 << 5) - 1;
+        let p0 = outcome.frequency(0);
+        let p1 = outcome.frequency(all_ones);
+        assert!((p0 + p1 - 1.0).abs() < 1e-12, "only the two GHZ outcomes occur");
+        assert!(p0 > 0.35 && p1 > 0.35);
+        assert_eq!(outcome.error_events, 0);
+    }
+
+    #[test]
+    fn observable_estimates_track_exact_values() {
+        let backend = DdSimulator::new();
+        let config = StochasticConfig::new(300)
+            .with_noise(NoiseModel::noiseless())
+            .with_threads(3);
+        let observables = vec![
+            Observable::BasisProbability(0),
+            Observable::QubitExcitation(1),
+        ];
+        let outcome = run_stochastic(&backend, &ghz(4), &config, &observables);
+        assert_eq!(outcome.observable_estimates.len(), 2);
+        assert!((outcome.observable_estimates[0] - 0.5).abs() < 1e-9);
+        assert!((outcome.observable_estimates[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_and_dd_backends_agree_statistically() {
+        let circuit = ghz(4);
+        let config = StochasticConfig::new(600).with_seed(21).with_threads(2);
+        let dd = run_stochastic(&DdSimulator::new(), &circuit, &config, &[]);
+        let dense = run_stochastic(&DenseSimulator::new(), &circuit, &config, &[]);
+        let all_ones = (1u64 << 4) - 1;
+        for outcome in [0, all_ones] {
+            let diff = (dd.frequency(outcome) - dense.frequency(outcome)).abs();
+            assert!(diff < 0.1, "frequency mismatch {diff} for outcome {outcome}");
+        }
+    }
+
+    #[test]
+    fn noise_produces_error_events() {
+        let backend = DdSimulator::new();
+        let config = StochasticConfig::new(200)
+            .with_noise(NoiseModel::new(0.05, 0.05, 0.05))
+            .with_threads(2);
+        let outcome = run_stochastic(&backend, &ghz(8), &config, &[]);
+        assert!(outcome.error_events > 0);
+        assert!(outcome.error_rate() > 0.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Canonical storage of complex edge weights.
+//!
+//! Decision diagram canonicity requires that two numerically equal edge
+//! weights are represented by the *same* handle, so that node hashing and
+//! unique-table lookups work on exact integer identifiers rather than on
+//! floating point values. The [`ComplexTable`] interns every complex value
+//! that appears as an edge weight and hands out stable [`ComplexId`]s.
+//! Values that differ by less than the table tolerance map to the same id,
+//! which absorbs floating point round-off accumulated during decision diagram
+//! operations (the approach of the JKU DD package, cf. Zulehner et al.,
+//! ICCAD 2019).
+
+use std::collections::HashMap;
+
+use crate::complex::Complex;
+
+/// Handle to an interned complex value inside a [`ComplexTable`].
+///
+/// Ids are only meaningful for the table that produced them. The two most
+/// common weights have fixed ids: [`ComplexId::ZERO`] and [`ComplexId::ONE`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComplexId(pub(crate) u32);
+
+impl ComplexId {
+    /// The id of the value `0`.
+    pub const ZERO: ComplexId = ComplexId(0);
+    /// The id of the value `1`.
+    pub const ONE: ComplexId = ComplexId(1);
+
+    /// Returns `true` when this id refers to the value `0`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == ComplexId::ZERO
+    }
+
+    /// Returns `true` when this id refers to the value `1`.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self == ComplexId::ONE
+    }
+
+    /// Raw index of the interned value (mainly useful for statistics).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Default tolerance under which two complex values are considered equal.
+pub const DEFAULT_TOLERANCE: f64 = 1e-10;
+
+/// Interning table for complex edge weights with tolerance-based lookup.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_dd::{Complex, ComplexTable};
+///
+/// let mut table = ComplexTable::new();
+/// let a = table.lookup(Complex::new(0.5, 0.0));
+/// let b = table.lookup(Complex::new(0.5 + 1e-13, 0.0));
+/// assert_eq!(a, b); // identical within tolerance
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComplexTable {
+    values: Vec<Complex>,
+    buckets: HashMap<(i64, i64), Vec<u32>>,
+    tolerance: f64,
+    lookups: u64,
+    hits: u64,
+}
+
+impl ComplexTable {
+    /// Creates a table with the [`DEFAULT_TOLERANCE`].
+    pub fn new() -> Self {
+        Self::with_tolerance(DEFAULT_TOLERANCE)
+    }
+
+    /// Creates a table with a custom equality tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not strictly positive.
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        let mut table = ComplexTable {
+            values: Vec::with_capacity(64),
+            buckets: HashMap::new(),
+            tolerance,
+            lookups: 0,
+            hits: 0,
+        };
+        // Insert 0 and 1 at the fixed positions expected by ComplexId.
+        let zero = table.insert(Complex::ZERO);
+        let one = table.insert(Complex::ONE);
+        debug_assert_eq!(zero, ComplexId::ZERO);
+        debug_assert_eq!(one, ComplexId::ONE);
+        table
+    }
+
+    /// The equality tolerance of this table.
+    #[inline]
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Number of distinct values currently interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when only the two default entries (0 and 1) exist.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.len() <= 2
+    }
+
+    /// Returns the interned value for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    #[inline]
+    pub fn value(&self, id: ComplexId) -> Complex {
+        self.values[id.0 as usize]
+    }
+
+    /// Interns `value`, returning the id of an existing entry within
+    /// tolerance if one exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` contains NaN components.
+    pub fn lookup(&mut self, value: Complex) -> ComplexId {
+        assert!(!value.is_nan(), "cannot intern NaN complex value");
+        self.lookups += 1;
+        // Values within tolerance of the canonical 0/1 snap to them so that
+        // the fast-path identities (is_zero / is_one) stay reliable.
+        if value.approx_eq(Complex::ZERO, self.tolerance) {
+            self.hits += 1;
+            return ComplexId::ZERO;
+        }
+        if value.approx_eq(Complex::ONE, self.tolerance) {
+            self.hits += 1;
+            return ComplexId::ONE;
+        }
+        if let Some(found) = self.find(value) {
+            self.hits += 1;
+            return found;
+        }
+        self.insert(value)
+    }
+
+    /// Looks up the product of two interned values.
+    pub fn mul(&mut self, a: ComplexId, b: ComplexId) -> ComplexId {
+        if a.is_zero() || b.is_zero() {
+            return ComplexId::ZERO;
+        }
+        if a.is_one() {
+            return b;
+        }
+        if b.is_one() {
+            return a;
+        }
+        let v = self.value(a) * self.value(b);
+        self.lookup(v)
+    }
+
+    /// Looks up the sum of two interned values.
+    pub fn add(&mut self, a: ComplexId, b: ComplexId) -> ComplexId {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let v = self.value(a) + self.value(b);
+        self.lookup(v)
+    }
+
+    /// Looks up the difference of two interned values.
+    pub fn sub(&mut self, a: ComplexId, b: ComplexId) -> ComplexId {
+        if b.is_zero() {
+            return a;
+        }
+        let v = self.value(a) - self.value(b);
+        self.lookup(v)
+    }
+
+    /// Looks up the quotient of two interned values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is the zero id.
+    pub fn div(&mut self, a: ComplexId, b: ComplexId) -> ComplexId {
+        assert!(!b.is_zero(), "division by interned zero");
+        if a.is_zero() {
+            return ComplexId::ZERO;
+        }
+        if b.is_one() {
+            return a;
+        }
+        if a == b {
+            return ComplexId::ONE;
+        }
+        let v = self.value(a) / self.value(b);
+        self.lookup(v)
+    }
+
+    /// Looks up the complex conjugate of an interned value.
+    pub fn conj(&mut self, a: ComplexId) -> ComplexId {
+        if a.is_zero() || a.is_one() {
+            return a;
+        }
+        let v = self.value(a).conj();
+        self.lookup(v)
+    }
+
+    /// Looks up the negation of an interned value.
+    pub fn neg(&mut self, a: ComplexId) -> ComplexId {
+        if a.is_zero() {
+            return a;
+        }
+        let v = -self.value(a);
+        self.lookup(v)
+    }
+
+    /// Squared magnitude of an interned value.
+    #[inline]
+    pub fn norm_sqr(&self, a: ComplexId) -> f64 {
+        self.value(a).norm_sqr()
+    }
+
+    /// Lookup statistics `(lookups, hits)` since table creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+
+    fn key(&self, value: Complex) -> (i64, i64) {
+        // A bucket spans several tolerances so that near-boundary values only
+        // require inspecting the immediate neighbour buckets.
+        let cell = self.tolerance * 4.0;
+        ((value.re / cell).round() as i64, (value.im / cell).round() as i64)
+    }
+
+    fn find(&self, value: Complex) -> Option<ComplexId> {
+        let (kr, ki) = self.key(value);
+        for dr in -1..=1 {
+            for di in -1..=1 {
+                if let Some(candidates) = self.buckets.get(&(kr + dr, ki + di)) {
+                    for &idx in candidates {
+                        if self.values[idx as usize].approx_eq(value, self.tolerance) {
+                            return Some(ComplexId(idx));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, value: Complex) -> ComplexId {
+        let idx = self.values.len() as u32;
+        self.values.push(value);
+        let key = self.key(value);
+        self.buckets.entry(key).or_default().push(idx);
+        ComplexId(idx)
+    }
+}
+
+impl Default for ComplexTable {
+    fn default() -> Self {
+        ComplexTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_have_fixed_ids() {
+        let mut t = ComplexTable::new();
+        assert_eq!(t.lookup(Complex::ZERO), ComplexId::ZERO);
+        assert_eq!(t.lookup(Complex::ONE), ComplexId::ONE);
+        assert!(t.lookup(Complex::new(1e-14, -1e-14)).is_zero());
+        assert!(t.lookup(Complex::new(1.0 + 1e-14, 0.0)).is_one());
+    }
+
+    #[test]
+    fn nearby_values_share_an_id() {
+        let mut t = ComplexTable::new();
+        let a = t.lookup(Complex::new(0.25, -0.75));
+        let b = t.lookup(Complex::new(0.25 + 1e-12, -0.75 - 1e-12));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn distinct_values_get_distinct_ids() {
+        let mut t = ComplexTable::new();
+        let a = t.lookup(Complex::new(0.5, 0.0));
+        let b = t.lookup(Complex::new(0.5, 0.5));
+        let c = t.lookup(Complex::new(-0.5, 0.0));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn boundary_values_near_bucket_edges_still_dedupe() {
+        let mut t = ComplexTable::with_tolerance(1e-10);
+        // Choose a value right at a bucket boundary (cell = 4 * tol).
+        let v = Complex::new(2.0e-10, 0.0);
+        let a = t.lookup(v);
+        let b = t.lookup(Complex::new(2.0e-10 + 0.9e-10, 0.0));
+        // These differ by less than the tolerance? No: 0.9e-10 < 1e-10, so yes.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arithmetic_helpers_match_direct_computation() {
+        let mut t = ComplexTable::new();
+        let a = t.lookup(Complex::new(0.3, 0.4));
+        let b = t.lookup(Complex::new(-0.1, 0.9));
+        let prod = t.mul(a, b);
+        assert!(t
+            .value(prod)
+            .approx_eq(Complex::new(0.3, 0.4) * Complex::new(-0.1, 0.9), 1e-12));
+        let sum = t.add(a, b);
+        assert!(t
+            .value(sum)
+            .approx_eq(Complex::new(0.2, 1.3), 1e-12));
+        let quot = t.div(prod, b);
+        assert_eq!(quot, a);
+        let conj = t.conj(a);
+        assert!(t.value(conj).approx_eq(Complex::new(0.3, -0.4), 1e-12));
+    }
+
+    #[test]
+    fn mul_fast_paths() {
+        let mut t = ComplexTable::new();
+        let a = t.lookup(Complex::new(0.3, 0.4));
+        assert_eq!(t.mul(ComplexId::ZERO, a), ComplexId::ZERO);
+        assert_eq!(t.mul(a, ComplexId::ZERO), ComplexId::ZERO);
+        assert_eq!(t.mul(ComplexId::ONE, a), a);
+        assert_eq!(t.mul(a, ComplexId::ONE), a);
+        assert_eq!(t.div(a, a), ComplexId::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by interned zero")]
+    fn division_by_zero_panics() {
+        let mut t = ComplexTable::new();
+        let a = t.lookup(Complex::new(0.3, 0.4));
+        let _ = t.div(a, ComplexId::ZERO);
+    }
+
+    #[test]
+    fn table_does_not_grow_for_repeated_values() {
+        let mut t = ComplexTable::new();
+        for _ in 0..1000 {
+            t.lookup(Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0));
+        }
+        assert_eq!(t.len(), 3);
+        let (lookups, hits) = t.stats();
+        assert_eq!(lookups, 1000);
+        assert_eq!(hits, 999);
+    }
+}

@@ -1,0 +1,372 @@
+//! Dense 2x2 complex matrices.
+//!
+//! These are the "base" matrices from which gate decision diagrams are built:
+//! every single-qubit gate and every Kraus operator used by the noise models
+//! is a [`Matrix2`]. Multi-qubit operators are assembled by the decision
+//! diagram package from such factors (Kronecker products plus the
+//! controlled-gate decomposition).
+
+use crate::complex::{Complex, FRAC_1_SQRT_2};
+
+/// A dense 2x2 complex matrix in row-major order (`m[row][col]`).
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_dd::{Complex, Matrix2};
+///
+/// let h = Matrix2::hadamard();
+/// let hh = h.matmul(&h);
+/// assert!(hh.approx_eq(&Matrix2::identity(), 1e-12));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Matrix2(pub [[Complex; 2]; 2]);
+
+impl Matrix2 {
+    /// Creates a matrix from four entries, row-major.
+    #[inline]
+    pub const fn new(m00: Complex, m01: Complex, m10: Complex, m11: Complex) -> Self {
+        Matrix2([[m00, m01], [m10, m11]])
+    }
+
+    /// Creates a matrix from four real entries.
+    pub const fn from_real(m00: f64, m01: f64, m10: f64, m11: f64) -> Self {
+        Matrix2([
+            [Complex::real(m00), Complex::real(m01)],
+            [Complex::real(m10), Complex::real(m11)],
+        ])
+    }
+
+    /// The 2x2 identity matrix.
+    pub const fn identity() -> Self {
+        Matrix2::from_real(1.0, 0.0, 0.0, 1.0)
+    }
+
+    /// The all-zero matrix.
+    pub const fn zero() -> Self {
+        Matrix2::from_real(0.0, 0.0, 0.0, 0.0)
+    }
+
+    /// The Pauli-X (NOT) matrix.
+    pub const fn pauli_x() -> Self {
+        Matrix2::from_real(0.0, 1.0, 1.0, 0.0)
+    }
+
+    /// The Pauli-Y matrix.
+    pub const fn pauli_y() -> Self {
+        Matrix2::new(
+            Complex::ZERO,
+            Complex::new(0.0, -1.0),
+            Complex::new(0.0, 1.0),
+            Complex::ZERO,
+        )
+    }
+
+    /// The Pauli-Z matrix.
+    pub const fn pauli_z() -> Self {
+        Matrix2::from_real(1.0, 0.0, 0.0, -1.0)
+    }
+
+    /// The Hadamard matrix.
+    pub const fn hadamard() -> Self {
+        Matrix2::from_real(
+            FRAC_1_SQRT_2,
+            FRAC_1_SQRT_2,
+            FRAC_1_SQRT_2,
+            -FRAC_1_SQRT_2,
+        )
+    }
+
+    /// The phase gate `S = diag(1, i)`.
+    pub const fn s_gate() -> Self {
+        Matrix2::new(
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::new(0.0, 1.0),
+        )
+    }
+
+    /// The inverse phase gate `S† = diag(1, -i)`.
+    pub const fn sdg_gate() -> Self {
+        Matrix2::new(
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::new(0.0, -1.0),
+        )
+    }
+
+    /// The T gate `diag(1, e^{i pi/4})`.
+    pub fn t_gate() -> Self {
+        Matrix2::phase(std::f64::consts::FRAC_PI_4)
+    }
+
+    /// The inverse T gate `diag(1, e^{-i pi/4})`.
+    pub fn tdg_gate() -> Self {
+        Matrix2::phase(-std::f64::consts::FRAC_PI_4)
+    }
+
+    /// The square-root-of-X gate.
+    pub fn sx_gate() -> Self {
+        let p = Complex::new(0.5, 0.5);
+        let m = Complex::new(0.5, -0.5);
+        Matrix2::new(p, m, m, p)
+    }
+
+    /// The phase gate `diag(1, e^{i lambda})` (OpenQASM `u1`/`p`).
+    pub fn phase(lambda: f64) -> Self {
+        Matrix2::new(
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::from_polar(1.0, lambda),
+        )
+    }
+
+    /// Rotation about the X axis by angle `theta`.
+    pub fn rx(theta: f64) -> Self {
+        let c = (theta / 2.0).cos();
+        let s = (theta / 2.0).sin();
+        Matrix2::new(
+            Complex::real(c),
+            Complex::new(0.0, -s),
+            Complex::new(0.0, -s),
+            Complex::real(c),
+        )
+    }
+
+    /// Rotation about the Y axis by angle `theta`.
+    pub fn ry(theta: f64) -> Self {
+        let c = (theta / 2.0).cos();
+        let s = (theta / 2.0).sin();
+        Matrix2::from_real(c, -s, s, c)
+    }
+
+    /// Rotation about the Z axis by angle `theta`.
+    pub fn rz(theta: f64) -> Self {
+        Matrix2::new(
+            Complex::from_polar(1.0, -theta / 2.0),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::from_polar(1.0, theta / 2.0),
+        )
+    }
+
+    /// The general single-qubit gate `U(theta, phi, lambda)` (OpenQASM `u3`).
+    pub fn u3(theta: f64, phi: f64, lambda: f64) -> Self {
+        let c = (theta / 2.0).cos();
+        let s = (theta / 2.0).sin();
+        Matrix2::new(
+            Complex::real(c),
+            -Complex::from_polar(s, lambda),
+            Complex::from_polar(s, phi),
+            Complex::from_polar(c, phi + lambda),
+        )
+    }
+
+    /// The amplitude-damping Kraus operator `A0 = [[0, sqrt(p)], [0, 0]]`.
+    ///
+    /// Applying `A0` maps `|1>` to `sqrt(p) |0>`: the qubit relaxes to the
+    /// ground state.
+    pub fn amplitude_damping_a0(p: f64) -> Self {
+        Matrix2::from_real(0.0, p.sqrt(), 0.0, 0.0)
+    }
+
+    /// The amplitude-damping Kraus operator `A1 = [[1, 0], [0, sqrt(1-p)]]`.
+    pub fn amplitude_damping_a1(p: f64) -> Self {
+        Matrix2::from_real(1.0, 0.0, 0.0, (1.0 - p).sqrt())
+    }
+
+    /// The projector onto `|0>`.
+    pub const fn projector_zero() -> Self {
+        Matrix2::from_real(1.0, 0.0, 0.0, 0.0)
+    }
+
+    /// The projector onto `|1>`.
+    pub const fn projector_one() -> Self {
+        Matrix2::from_real(0.0, 0.0, 0.0, 1.0)
+    }
+
+    /// Returns entry `(row, col)`.
+    #[inline]
+    pub fn entry(&self, row: usize, col: usize) -> Complex {
+        self.0[row][col]
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix2) -> Matrix2 {
+        let mut out = Matrix2::zero();
+        for r in 0..2 {
+            for c in 0..2 {
+                out.0[r][c] =
+                    self.0[r][0] * rhs.0[0][c] + self.0[r][1] * rhs.0[1][c];
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * v` for a length-2 vector.
+    pub fn apply(&self, v: [Complex; 2]) -> [Complex; 2] {
+        [
+            self.0[0][0] * v[0] + self.0[0][1] * v[1],
+            self.0[1][0] * v[0] + self.0[1][1] * v[1],
+        ]
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Matrix2 {
+        Matrix2::new(
+            self.0[0][0].conj(),
+            self.0[1][0].conj(),
+            self.0[0][1].conj(),
+            self.0[1][1].conj(),
+        )
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, rhs: &Matrix2) -> Matrix2 {
+        let mut out = Matrix2::zero();
+        for r in 0..2 {
+            for c in 0..2 {
+                out.0[r][c] = self.0[r][c] + rhs.0[r][c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, rhs: &Matrix2) -> Matrix2 {
+        let mut out = Matrix2::zero();
+        for r in 0..2 {
+            for c in 0..2 {
+                out.0[r][c] = self.0[r][c] - rhs.0[r][c];
+            }
+        }
+        out
+    }
+
+    /// Multiplies every entry by a complex scalar.
+    pub fn scale(&self, s: Complex) -> Matrix2 {
+        let mut out = Matrix2::zero();
+        for r in 0..2 {
+            for c in 0..2 {
+                out.0[r][c] = self.0[r][c] * s;
+            }
+        }
+        out
+    }
+
+    /// Returns `true` when every entry is within `eps` of `rhs`.
+    pub fn approx_eq(&self, rhs: &Matrix2, eps: f64) -> bool {
+        for r in 0..2 {
+            for c in 0..2 {
+                if !self.0[r][c].approx_eq(rhs.0[r][c], eps) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when the matrix is unitary up to tolerance `eps`.
+    pub fn is_unitary(&self, eps: f64) -> bool {
+        self.matmul(&self.adjoint()).approx_eq(&Matrix2::identity(), eps)
+    }
+}
+
+impl Default for Matrix2 {
+    fn default() -> Self {
+        Matrix2::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_matrices_are_unitary_and_involutive() {
+        for m in [Matrix2::pauli_x(), Matrix2::pauli_y(), Matrix2::pauli_z()] {
+            assert!(m.is_unitary(1e-12));
+            assert!(m.matmul(&m).approx_eq(&Matrix2::identity(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let h = Matrix2::hadamard();
+        assert!(h.is_unitary(1e-12));
+        assert!(h.matmul(&h).approx_eq(&Matrix2::identity(), 1e-12));
+    }
+
+    #[test]
+    fn y_equals_i_x_z() {
+        let ixz = Matrix2::pauli_x()
+            .matmul(&Matrix2::pauli_z())
+            .scale(Complex::I);
+        assert!(ixz.approx_eq(&Matrix2::pauli_y(), 1e-12));
+    }
+
+    #[test]
+    fn s_is_sqrt_z_and_t_is_sqrt_s() {
+        let s2 = Matrix2::s_gate().matmul(&Matrix2::s_gate());
+        assert!(s2.approx_eq(&Matrix2::pauli_z(), 1e-12));
+        let t2 = Matrix2::t_gate().matmul(&Matrix2::t_gate());
+        assert!(t2.approx_eq(&Matrix2::s_gate(), 1e-12));
+    }
+
+    #[test]
+    fn sx_squares_to_x() {
+        let sx2 = Matrix2::sx_gate().matmul(&Matrix2::sx_gate());
+        assert!(sx2.approx_eq(&Matrix2::pauli_x(), 1e-12));
+    }
+
+    #[test]
+    fn rotations_at_pi_match_paulis_up_to_phase() {
+        // RX(pi) = -i X
+        let rx = Matrix2::rx(std::f64::consts::PI);
+        let expected = Matrix2::pauli_x().scale(Complex::new(0.0, -1.0));
+        assert!(rx.approx_eq(&expected, 1e-12));
+        // RZ(pi) = -i Z
+        let rz = Matrix2::rz(std::f64::consts::PI);
+        let expected = Matrix2::pauli_z().scale(Complex::new(0.0, -1.0));
+        assert!(rz.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        // u3(0, 0, lambda) = phase(lambda)
+        let lam = 0.7;
+        assert!(Matrix2::u3(0.0, 0.0, lam).approx_eq(&Matrix2::phase(lam), 1e-12));
+        // u3(pi/2, 0, pi) = H
+        let u = Matrix2::u3(std::f64::consts::FRAC_PI_2, 0.0, std::f64::consts::PI);
+        assert!(u.approx_eq(&Matrix2::hadamard(), 1e-12));
+    }
+
+    #[test]
+    fn amplitude_damping_kraus_completeness() {
+        let p = 0.37;
+        let a0 = Matrix2::amplitude_damping_a0(p);
+        let a1 = Matrix2::amplitude_damping_a1(p);
+        let sum = a0.adjoint().matmul(&a0).add(&a1.adjoint().matmul(&a1));
+        assert!(sum.approx_eq(&Matrix2::identity(), 1e-12));
+    }
+
+    #[test]
+    fn adjoint_and_apply() {
+        let m = Matrix2::u3(0.3, 0.8, -0.2);
+        let v = [Complex::new(0.6, 0.1), Complex::new(-0.3, 0.7)];
+        let w = m.apply(v);
+        // <Mv, Mv> == <v, M†Mv> == <v, v> for unitary M.
+        let n_in = v[0].norm_sqr() + v[1].norm_sqr();
+        let n_out = w[0].norm_sqr() + w[1].norm_sqr();
+        assert!((n_in - n_out).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projectors_sum_to_identity() {
+        let sum = Matrix2::projector_zero().add(&Matrix2::projector_one());
+        assert!(sum.approx_eq(&Matrix2::identity(), 1e-12));
+    }
+}

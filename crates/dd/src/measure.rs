@@ -1,0 +1,342 @@
+//! Measurement, sampling and collapse operations on vector decision
+//! diagrams.
+//!
+//! Sampling a complete computational-basis measurement only requires a walk
+//! from the root to the terminal: at each node the branch is chosen with
+//! probability proportional to the squared norm of the corresponding
+//! sub-diagram (which is cached per node). This is what makes drawing
+//! measurement outcomes from a decision diagram cheap even for many qubits.
+
+use rand::Rng;
+
+use crate::node::VecEdge;
+use crate::package::DdPackage;
+
+impl DdPackage {
+    /// Probability of observing `|1>` on `qubit` when measuring the state
+    /// `v` over `n` qubits.
+    ///
+    /// The state does not need to be normalised; the probability is relative
+    /// to the state's norm.
+    pub fn probability_one(&mut self, v: VecEdge, qubit: usize) -> f64 {
+        let total = self.norm_sqr(v);
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let p1 = self.prob_one_rec(v, qubit as u16);
+        (p1 / total).clamp(0.0, 1.0)
+    }
+
+    fn prob_one_rec(&mut self, edge: VecEdge, target: u16) -> f64 {
+        if edge.is_zero() {
+            return 0.0;
+        }
+        let wsq = self.ctable.norm_sqr(edge.weight);
+        if edge.node.is_terminal() {
+            // The target qubit does not exist below the terminal.
+            return 0.0;
+        }
+        let node = self.vec_nodes[edge.node.index()];
+        if node.var == target {
+            let e1 = node.edges[1];
+            if e1.is_zero() {
+                return 0.0;
+            }
+            let sub = self.ctable.norm_sqr(e1.weight) * self.node_norm(e1.node);
+            return wsq * sub;
+        }
+        if let Some(&cached) = self.ct_prob_one.get(&(edge.node, target)) {
+            return wsq * cached;
+        }
+        let p = self.prob_one_rec(node.edges[0], target)
+            + self.prob_one_rec(node.edges[1], target);
+        // Cache the probability of the node with unit incoming weight.
+        if self.caching_enabled {
+            self.ct_prob_one.insert((edge.node, target), p);
+        }
+        wsq * p
+    }
+
+    /// Draws one complete computational-basis measurement outcome from the
+    /// state without collapsing it.
+    ///
+    /// The result is the basis-state index with qubit 0 as the most
+    /// significant bit, matching [`DdPackage::basis_state_from_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is the zero vector.
+    pub fn sample_measurement<R: Rng + ?Sized>(
+        &mut self,
+        v: VecEdge,
+        n: usize,
+        rng: &mut R,
+    ) -> u64 {
+        assert!(!v.is_zero(), "cannot sample from the zero vector");
+        assert!(n <= 64, "sampling supports at most 64 qubits");
+        let mut index: u64 = 0;
+        let mut edge = v;
+        for level in 0..n {
+            if edge.node.is_terminal() {
+                // Remaining qubits are unreachable (zero amplitude elsewhere);
+                // this only happens for malformed states, keep bits at zero.
+                index <<= (n - level) as u32;
+                break;
+            }
+            let node = self.vec_nodes[edge.node.index()];
+            debug_assert_eq!(node.var as usize, level);
+            let p0 = if node.edges[0].is_zero() {
+                0.0
+            } else {
+                self.ctable.norm_sqr(node.edges[0].weight) * self.node_norm(node.edges[0].node)
+            };
+            let p1 = if node.edges[1].is_zero() {
+                0.0
+            } else {
+                self.ctable.norm_sqr(node.edges[1].weight) * self.node_norm(node.edges[1].node)
+            };
+            let total = p0 + p1;
+            let bit = if total <= 0.0 {
+                0
+            } else {
+                usize::from(rng.gen::<f64>() * total >= p0)
+            };
+            index = (index << 1) | bit as u64;
+            edge = node.edges[bit];
+        }
+        index
+    }
+
+    /// Projects the state onto `qubit = outcome` *without* renormalising.
+    ///
+    /// The squared norm of the returned state equals the probability of the
+    /// outcome. Use [`DdPackage::normalize`] afterwards to obtain the
+    /// post-measurement state.
+    pub fn project(&mut self, v: VecEdge, qubit: usize, outcome: bool) -> VecEdge {
+        self.project_rec(v, qubit as u16, outcome)
+    }
+
+    fn project_rec(&mut self, edge: VecEdge, target: u16, outcome: bool) -> VecEdge {
+        if edge.is_zero() {
+            return edge;
+        }
+        if edge.node.is_terminal() {
+            return edge;
+        }
+        if let Some(&cached) = self.ct_collapse.get(&(edge.node, target, outcome)) {
+            return VecEdge {
+                node: cached.node,
+                weight: self.ctable.mul(edge.weight, cached.weight),
+            };
+        }
+        let node = self.vec_nodes[edge.node.index()];
+        let result = if node.var == target {
+            let mut children = [VecEdge::zero(); 2];
+            children[usize::from(outcome)] = node.edges[usize::from(outcome)];
+            self.make_vec_node(node.var, children)
+        } else {
+            let c0 = self.project_rec(node.edges[0], target, outcome);
+            let c1 = self.project_rec(node.edges[1], target, outcome);
+            self.make_vec_node(node.var, [c0, c1])
+        };
+        if self.caching_enabled {
+            self.ct_collapse.insert((edge.node, target, outcome), result);
+        }
+        VecEdge {
+            node: result.node,
+            weight: self.ctable.mul(edge.weight, result.weight),
+        }
+    }
+
+    /// Measures a single qubit, collapses the state accordingly, and returns
+    /// the observed outcome together with the renormalised post-measurement
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is the zero vector.
+    pub fn measure_qubit<R: Rng + ?Sized>(
+        &mut self,
+        v: VecEdge,
+        qubit: usize,
+        rng: &mut R,
+    ) -> (bool, VecEdge) {
+        assert!(!v.is_zero(), "cannot measure the zero vector");
+        let p1 = self.probability_one(v, qubit);
+        let outcome = rng.gen::<f64>() < p1;
+        let projected = self.project(v, qubit, outcome);
+        let collapsed = self.normalize(projected);
+        (outcome, collapsed)
+    }
+
+    /// Applies a (possibly non-unitary) operator `m`, renormalises the
+    /// result, and returns the acceptance probability (the squared norm
+    /// before renormalisation) together with the new state.
+    ///
+    /// This is the primitive used for amplitude-damping Kraus branches
+    /// (Example 6 of the paper): apply `A0` or `A1`, read off the branch
+    /// probability, and keep the renormalised survivor.
+    pub fn apply_kraus(&mut self, m: crate::node::MatEdge, v: VecEdge) -> (f64, VecEdge) {
+        let unnormalised = self.mat_vec_mul(m, v);
+        let p = self.norm_sqr(unnormalised);
+        if p <= 0.0 {
+            return (0.0, VecEdge::zero());
+        }
+        let normalised = self.normalize(unnormalised);
+        (p, normalised)
+    }
+
+    /// Counts the distinct nodes reachable from `v` (the usual decision
+    /// diagram size metric; the terminal is not counted).
+    pub fn vec_node_count(&self, v: VecEdge) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![v.node];
+        while let Some(node) = stack.pop() {
+            if node.is_terminal() || !seen.insert(node) {
+                continue;
+            }
+            let data = self.vec_nodes[node.index()];
+            for e in data.edges {
+                if !e.is_zero() {
+                    stack.push(e.node);
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// Counts the distinct nodes reachable from the matrix diagram `m`.
+    pub fn mat_node_count(&self, m: crate::node::MatEdge) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![m.node];
+        while let Some(node) = stack.pop() {
+            if node.is_terminal() || !seen.insert(node) {
+                continue;
+            }
+            let data = self.mat_nodes[node.index()];
+            for e in data.edges {
+                if !e.is_zero() {
+                    stack.push(e.node);
+                }
+            }
+        }
+        seen.len()
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix2::Matrix2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bell_state(dd: &mut DdPackage) -> VecEdge {
+        let s = dd.zero_state(2);
+        let h = dd.single_qubit_op(2, 0, Matrix2::hadamard());
+        let cx = dd.controlled_op(2, 1, &[0], Matrix2::pauli_x());
+        let s = dd.mat_vec_mul(h, s);
+        dd.mat_vec_mul(cx, s)
+    }
+
+    #[test]
+    fn probability_of_basis_states_is_deterministic() {
+        let mut dd = DdPackage::new();
+        let s = dd.basis_state_from_index(3, 0b101);
+        assert!((dd.probability_one(s, 0) - 1.0).abs() < 1e-12);
+        assert!(dd.probability_one(s, 1).abs() < 1e-12);
+        assert!((dd.probability_one(s, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_has_half_probability_on_each_qubit() {
+        let mut dd = DdPackage::new();
+        let bell = bell_state(&mut dd);
+        assert!((dd.probability_one(bell, 0) - 0.5).abs() < 1e-12);
+        assert!((dd.probability_one(bell, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_bell_state_only_yields_correlated_outcomes() {
+        let mut dd = DdPackage::new();
+        let bell = bell_state(&mut dd);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen00 = 0;
+        let mut seen11 = 0;
+        for _ in 0..2000 {
+            match dd.sample_measurement(bell, 2, &mut rng) {
+                0 => seen00 += 1,
+                3 => seen11 += 1,
+                other => panic!("impossible outcome {other} sampled from a Bell state"),
+            }
+        }
+        // Both outcomes occur with roughly equal frequency.
+        assert!(seen00 > 800 && seen11 > 800);
+    }
+
+    #[test]
+    fn measuring_collapses_entangled_partner() {
+        let mut dd = DdPackage::new();
+        let bell = bell_state(&mut dd);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (outcome, collapsed) = dd.measure_qubit(bell, 0, &mut rng);
+        // After measuring qubit 0, qubit 1 is deterministic and equal.
+        let p1 = dd.probability_one(collapsed, 1);
+        if outcome {
+            assert!((p1 - 1.0).abs() < 1e-10);
+        } else {
+            assert!(p1.abs() < 1e-10);
+        }
+        assert!((dd.norm_sqr(collapsed) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn projection_norm_equals_probability() {
+        let mut dd = DdPackage::new();
+        let bell = bell_state(&mut dd);
+        let projected = dd.project(bell, 0, true);
+        assert!((dd.norm_sqr(projected) - 0.5).abs() < 1e-12);
+        let projected = dd.project(bell, 0, false);
+        assert!((dd.norm_sqr(projected) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_damping_kraus_branches_follow_example_6() {
+        // |psi'> = (|00> + |11>)/sqrt(2); damping qubit 0 with probability p
+        // yields branch probabilities p/2 and 1 - p/2 (Example 6).
+        let p = 0.3;
+        let mut dd = DdPackage::new();
+        let bell = bell_state(&mut dd);
+        let a0 = dd.single_qubit_op(2, 0, Matrix2::amplitude_damping_a0(p));
+        let a1 = dd.single_qubit_op(2, 0, Matrix2::amplitude_damping_a1(p));
+        let (p0, s0) = dd.apply_kraus(a0, bell);
+        let (p1, s1) = dd.apply_kraus(a1, bell);
+        assert!((p0 - p / 2.0).abs() < 1e-12);
+        assert!((p1 - (1.0 - p / 2.0)).abs() < 1e-12);
+        assert!((p0 + p1 - 1.0).abs() < 1e-12);
+        // Branch 0 collapses to |01>.
+        let v0 = dd.to_statevector(s0, 2);
+        assert!((v0[1].abs() - 1.0).abs() < 1e-12);
+        // Branch 1 keeps both components with reweighted amplitudes.
+        let v1 = dd.to_statevector(s1, 2);
+        assert!((v1[0].norm_sqr() - 1.0 / (2.0 - p)).abs() < 1e-12);
+        assert!((v1[3].norm_sqr() - (1.0 - p) / (2.0 - p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_node_count_is_linear() {
+        let mut dd = DdPackage::new();
+        let n = 16;
+        let mut state = dd.zero_state(n);
+        let h = dd.single_qubit_op(n, 0, Matrix2::hadamard());
+        state = dd.mat_vec_mul(h, state);
+        for t in 1..n {
+            let cx = dd.controlled_op(n, t, &[0], Matrix2::pauli_x());
+            state = dd.mat_vec_mul(cx, state);
+        }
+        let count = dd.vec_node_count(state);
+        // GHZ decision diagrams grow linearly with the number of qubits.
+        assert!(count <= 2 * n, "GHZ DD has {count} nodes for {n} qubits");
+    }
+}

@@ -1,0 +1,213 @@
+//! Node and edge types of the decision diagram package.
+//!
+//! Decision diagrams are stored in per-package arenas. Nodes are referenced
+//! by compact integer ids ([`VecNodeId`] / [`MatNodeId`]); an *edge* is a
+//! node id paired with an interned complex weight ([`ComplexId`]). The
+//! reserved terminal id represents the 1-element vector / 1x1 matrix at the
+//! bottom of the diagram.
+//!
+//! Following the paper, qubit `q0` is the most significant qubit and labels
+//! the *top* node of a diagram; the variable index stored in a node is the
+//! qubit index, increasing towards the terminal.
+
+use crate::complex_table::ComplexId;
+
+/// Identifier of a vector decision diagram node inside a [`crate::DdPackage`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VecNodeId(pub(crate) u32);
+
+/// Identifier of a matrix decision diagram node inside a [`crate::DdPackage`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatNodeId(pub(crate) u32);
+
+impl VecNodeId {
+    /// The terminal (leaf) node shared by all vector diagrams.
+    pub const TERMINAL: VecNodeId = VecNodeId(u32::MAX);
+
+    /// Returns `true` when this id is the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self == VecNodeId::TERMINAL
+    }
+
+    /// Raw arena index (meaningless for the terminal).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl MatNodeId {
+    /// The terminal (leaf) node shared by all matrix diagrams.
+    pub const TERMINAL: MatNodeId = MatNodeId(u32::MAX);
+
+    /// Returns `true` when this id is the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self == MatNodeId::TERMINAL
+    }
+
+    /// Raw arena index (meaningless for the terminal).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An edge of a vector decision diagram: a target node plus a complex weight.
+///
+/// The state vector represented by an edge is the weight times the vector
+/// represented by the target node. The all-zero sub-vector is canonically
+/// represented by [`VecEdge::zero`] (terminal node, weight 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VecEdge {
+    /// Target node.
+    pub node: VecNodeId,
+    /// Interned complex weight on the edge.
+    pub weight: ComplexId,
+}
+
+impl VecEdge {
+    /// The canonical zero edge (terminal node with weight 0).
+    #[inline]
+    pub fn zero() -> Self {
+        VecEdge {
+            node: VecNodeId::TERMINAL,
+            weight: ComplexId::ZERO,
+        }
+    }
+
+    /// An edge to the terminal node with weight 1 (the scalar 1).
+    #[inline]
+    pub fn one() -> Self {
+        VecEdge {
+            node: VecNodeId::TERMINAL,
+            weight: ComplexId::ONE,
+        }
+    }
+
+    /// A terminal edge carrying an arbitrary weight.
+    #[inline]
+    pub fn terminal(weight: ComplexId) -> Self {
+        VecEdge {
+            node: VecNodeId::TERMINAL,
+            weight,
+        }
+    }
+
+    /// Returns `true` when this edge represents the all-zero vector.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.weight.is_zero()
+    }
+
+    /// Returns `true` when this edge points at the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.node.is_terminal()
+    }
+}
+
+/// An edge of a matrix decision diagram: a target node plus a complex weight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MatEdge {
+    /// Target node.
+    pub node: MatNodeId,
+    /// Interned complex weight on the edge.
+    pub weight: ComplexId,
+}
+
+impl MatEdge {
+    /// The canonical zero edge (terminal node with weight 0).
+    #[inline]
+    pub fn zero() -> Self {
+        MatEdge {
+            node: MatNodeId::TERMINAL,
+            weight: ComplexId::ZERO,
+        }
+    }
+
+    /// An edge to the terminal node with weight 1 (the scalar 1).
+    #[inline]
+    pub fn one() -> Self {
+        MatEdge {
+            node: MatNodeId::TERMINAL,
+            weight: ComplexId::ONE,
+        }
+    }
+
+    /// A terminal edge carrying an arbitrary weight.
+    #[inline]
+    pub fn terminal(weight: ComplexId) -> Self {
+        MatEdge {
+            node: MatNodeId::TERMINAL,
+            weight,
+        }
+    }
+
+    /// Returns `true` when this edge represents the all-zero matrix.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.weight.is_zero()
+    }
+
+    /// Returns `true` when this edge points at the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.node.is_terminal()
+    }
+}
+
+/// A vector decision diagram node: splits the represented vector on one
+/// qubit, with successor edges for the qubit being `|0>` (index 0) and `|1>`
+/// (index 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VecNode {
+    /// Qubit index this node decides on (`0` = most significant / top).
+    pub var: u16,
+    /// Successor edges, indexed by the basis value of the decided qubit.
+    pub edges: [VecEdge; 2],
+}
+
+/// A matrix decision diagram node: splits the represented matrix into four
+/// quadrants. Edge order is row-major: `[top-left, top-right, bottom-left,
+/// bottom-right]`, i.e. index `2*row + col` for row/col of the decided qubit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MatNode {
+    /// Qubit index this node decides on (`0` = most significant / top).
+    pub var: u16,
+    /// Successor edges in row-major quadrant order.
+    pub edges: [MatEdge; 4],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_ids_are_terminal() {
+        assert!(VecNodeId::TERMINAL.is_terminal());
+        assert!(MatNodeId::TERMINAL.is_terminal());
+        assert!(!VecNodeId(0).is_terminal());
+        assert!(!MatNodeId(0).is_terminal());
+    }
+
+    #[test]
+    fn zero_and_one_edges() {
+        assert!(VecEdge::zero().is_zero());
+        assert!(VecEdge::zero().is_terminal());
+        assert!(!VecEdge::one().is_zero());
+        assert!(MatEdge::zero().is_zero());
+        assert!(!MatEdge::one().is_zero());
+    }
+
+    #[test]
+    fn edges_are_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(VecEdge::zero());
+        set.insert(VecEdge::one());
+        set.insert(VecEdge::zero());
+        assert_eq!(set.len(), 2);
+    }
+}

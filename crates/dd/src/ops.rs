@@ -1,0 +1,449 @@
+//! Decision diagram arithmetic: addition, multiplication and inner products.
+//!
+//! All operations are recursive traversals over the node structure with
+//! memoisation in the package's compute tables. Multiplication caches are
+//! keyed on node ids only (the incoming edge weights factor out of the
+//! bilinear operations); addition caches include the weights because addition
+//! does not factor.
+
+use crate::complex::Complex;
+use crate::node::{MatEdge, VecEdge};
+use crate::package::DdPackage;
+
+impl DdPackage {
+    /// Multiplies a matrix diagram onto a vector diagram (`m * v`).
+    ///
+    /// Both diagrams must have been built over the same number of qubits by
+    /// this package.
+    pub fn mat_vec_mul(&mut self, m: MatEdge, v: VecEdge) -> VecEdge {
+        self.maybe_trim_caches();
+        self.mat_vec_rec(m, v)
+    }
+
+    fn mat_vec_rec(&mut self, m: MatEdge, v: VecEdge) -> VecEdge {
+        if m.is_zero() || v.is_zero() {
+            return VecEdge::zero();
+        }
+        let weight = self.ctable.mul(m.weight, v.weight);
+        if m.node.is_terminal() {
+            // Scalar operator: simply scales the vector.
+            return VecEdge {
+                node: v.node,
+                weight,
+            };
+        }
+        debug_assert!(
+            !v.node.is_terminal(),
+            "operator extends below the state vector terminal"
+        );
+        if self.caching_enabled {
+            if let Some(&cached) = self.ct_mat_vec.get(&(m.node, v.node)) {
+                let w = self.ctable.mul(weight, cached.weight);
+                return VecEdge {
+                    node: cached.node,
+                    weight: w,
+                };
+            }
+        }
+        let mnode = self.mat_nodes[m.node.index()];
+        let vnode = self.vec_nodes[v.node.index()];
+        debug_assert_eq!(
+            mnode.var, vnode.var,
+            "operator and state decide different qubits"
+        );
+        let mut children = [VecEdge::zero(); 2];
+        for (r, child) in children.iter_mut().enumerate() {
+            let p0 = self.mat_vec_rec(mnode.edges[2 * r], vnode.edges[0]);
+            let p1 = self.mat_vec_rec(mnode.edges[2 * r + 1], vnode.edges[1]);
+            *child = self.vec_add_rec(p0, p1);
+        }
+        let result = self.make_vec_node(mnode.var, children);
+        if self.caching_enabled {
+            self.ct_mat_vec.insert((m.node, v.node), result);
+        }
+        VecEdge {
+            node: result.node,
+            weight: self.ctable.mul(weight, result.weight),
+        }
+    }
+
+    /// Adds two vector diagrams element-wise.
+    pub fn vec_add(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+        self.maybe_trim_caches();
+        self.vec_add_rec(a, b)
+    }
+
+    pub(crate) fn vec_add_rec(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if a.node.is_terminal() && b.node.is_terminal() {
+            let w = self.ctable.add(a.weight, b.weight);
+            return VecEdge::terminal(w);
+        }
+        debug_assert!(
+            !a.node.is_terminal() && !b.node.is_terminal(),
+            "cannot add vectors of different heights"
+        );
+        // Addition is commutative: order the operands for better cache reuse.
+        let (x, y) = if (a.node, a.weight) <= (b.node, b.weight) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        if self.caching_enabled {
+            if let Some(&cached) = self.ct_vec_add.get(&(x, y)) {
+                return cached;
+            }
+        }
+        let xn = self.vec_nodes[x.node.index()];
+        let yn = self.vec_nodes[y.node.index()];
+        debug_assert_eq!(xn.var, yn.var, "operands decide different qubits");
+        let mut children = [VecEdge::zero(); 2];
+        for (i, child) in children.iter_mut().enumerate() {
+            let ex = VecEdge {
+                node: xn.edges[i].node,
+                weight: self.ctable.mul(x.weight, xn.edges[i].weight),
+            };
+            let ey = VecEdge {
+                node: yn.edges[i].node,
+                weight: self.ctable.mul(y.weight, yn.edges[i].weight),
+            };
+            *child = self.vec_add_rec(ex, ey);
+        }
+        let result = self.make_vec_node(xn.var, children);
+        if self.caching_enabled {
+            self.ct_vec_add.insert((x, y), result);
+        }
+        result
+    }
+
+    /// Adds two matrix diagrams element-wise.
+    pub fn mat_add(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        self.maybe_trim_caches();
+        self.mat_add_rec(a, b)
+    }
+
+    fn mat_add_rec(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if a.node.is_terminal() && b.node.is_terminal() {
+            let w = self.ctable.add(a.weight, b.weight);
+            return MatEdge::terminal(w);
+        }
+        debug_assert!(
+            !a.node.is_terminal() && !b.node.is_terminal(),
+            "cannot add matrices of different heights"
+        );
+        let (x, y) = if (a.node, a.weight) <= (b.node, b.weight) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        if self.caching_enabled {
+            if let Some(&cached) = self.ct_mat_add.get(&(x, y)) {
+                return cached;
+            }
+        }
+        let xn = self.mat_nodes[x.node.index()];
+        let yn = self.mat_nodes[y.node.index()];
+        debug_assert_eq!(xn.var, yn.var, "operands decide different qubits");
+        let mut children = [MatEdge::zero(); 4];
+        for (i, child) in children.iter_mut().enumerate() {
+            let ex = MatEdge {
+                node: xn.edges[i].node,
+                weight: self.ctable.mul(x.weight, xn.edges[i].weight),
+            };
+            let ey = MatEdge {
+                node: yn.edges[i].node,
+                weight: self.ctable.mul(y.weight, yn.edges[i].weight),
+            };
+            *child = self.mat_add_rec(ex, ey);
+        }
+        let result = self.make_mat_node(xn.var, children);
+        if self.caching_enabled {
+            self.ct_mat_add.insert((x, y), result);
+        }
+        result
+    }
+
+    /// Multiplies two matrix diagrams (`a * b`).
+    pub fn mat_mat_mul(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        self.maybe_trim_caches();
+        self.mat_mat_rec(a, b)
+    }
+
+    fn mat_mat_rec(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        if a.is_zero() || b.is_zero() {
+            return MatEdge::zero();
+        }
+        let weight = self.ctable.mul(a.weight, b.weight);
+        if a.node.is_terminal() {
+            return MatEdge {
+                node: b.node,
+                weight,
+            };
+        }
+        if b.node.is_terminal() {
+            return MatEdge {
+                node: a.node,
+                weight,
+            };
+        }
+        if self.caching_enabled {
+            if let Some(&cached) = self.ct_mat_mat.get(&(a.node, b.node)) {
+                let w = self.ctable.mul(weight, cached.weight);
+                return MatEdge {
+                    node: cached.node,
+                    weight: w,
+                };
+            }
+        }
+        let an = self.mat_nodes[a.node.index()];
+        let bn = self.mat_nodes[b.node.index()];
+        debug_assert_eq!(an.var, bn.var, "operands decide different qubits");
+        let mut children = [MatEdge::zero(); 4];
+        for r in 0..2 {
+            for c in 0..2 {
+                let p0 = self.mat_mat_rec(an.edges[2 * r], bn.edges[c]);
+                let p1 = self.mat_mat_rec(an.edges[2 * r + 1], bn.edges[2 + c]);
+                children[2 * r + c] = self.mat_add_rec(p0, p1);
+            }
+        }
+        let result = self.make_mat_node(an.var, children);
+        if self.caching_enabled {
+            self.ct_mat_mat.insert((a.node, b.node), result);
+        }
+        MatEdge {
+            node: result.node,
+            weight: self.ctable.mul(weight, result.weight),
+        }
+    }
+
+    /// Computes the inner product `<a|b>` (conjugate-linear in `a`).
+    pub fn inner_product(&mut self, a: VecEdge, b: VecEdge) -> Complex {
+        self.maybe_trim_caches();
+        self.inner_rec(a, b)
+    }
+
+    fn inner_rec(&mut self, a: VecEdge, b: VecEdge) -> Complex {
+        if a.is_zero() || b.is_zero() {
+            return Complex::ZERO;
+        }
+        let w = self.ctable.value(a.weight).conj() * self.ctable.value(b.weight);
+        if a.node.is_terminal() && b.node.is_terminal() {
+            return w;
+        }
+        debug_assert!(
+            !a.node.is_terminal() && !b.node.is_terminal(),
+            "cannot take inner product of vectors of different heights"
+        );
+        if self.caching_enabled {
+            if let Some(&cached) = self.ct_inner.get(&(a.node, b.node)) {
+                return cached * w;
+            }
+        }
+        let an = self.vec_nodes[a.node.index()];
+        let bn = self.vec_nodes[b.node.index()];
+        debug_assert_eq!(an.var, bn.var, "operands decide different qubits");
+        let mut sum = Complex::ZERO;
+        for i in 0..2 {
+            sum += self.inner_rec(an.edges[i], bn.edges[i]);
+        }
+        if self.caching_enabled {
+            self.ct_inner.insert((a.node, b.node), sum);
+        }
+        sum * w
+    }
+
+    /// Squared Euclidean norm of the vector represented by `v`.
+    pub fn norm_sqr(&mut self, v: VecEdge) -> f64 {
+        let w = self.ctable.norm_sqr(v.weight);
+        w * self.node_norm(v.node)
+    }
+
+    /// Fidelity `|<a|b>|^2` between two (normalised) states.
+    pub fn fidelity(&mut self, a: VecEdge, b: VecEdge) -> f64 {
+        self.inner_product(a, b).norm_sqr()
+    }
+
+    /// Divides the top edge weight so that the state has unit norm.
+    ///
+    /// Returns the zero edge unchanged.
+    pub fn normalize(&mut self, v: VecEdge) -> VecEdge {
+        if v.is_zero() {
+            return v;
+        }
+        let norm = self.norm_sqr(v).sqrt();
+        let value = self.ctable.value(v.weight).scale(1.0 / norm);
+        VecEdge {
+            node: v.node,
+            weight: self.ctable.lookup(value),
+        }
+    }
+
+    /// Squared norm of the sub-vector represented by a node with an incoming
+    /// weight of one. Cached per node (nodes are immutable).
+    pub(crate) fn node_norm(&mut self, node: crate::node::VecNodeId) -> f64 {
+        if node.is_terminal() {
+            return 1.0;
+        }
+        if let Some(&n) = self.norm_cache.get(&node) {
+            return n;
+        }
+        let data = self.vec_nodes[node.index()];
+        let mut total = 0.0;
+        for e in data.edges {
+            if e.is_zero() {
+                continue;
+            }
+            total += self.ctable.norm_sqr(e.weight) * self.node_norm(e.node);
+        }
+        self.norm_cache.insert(node, total);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::FRAC_1_SQRT_2;
+    use crate::matrix2::Matrix2;
+
+    fn bell_state(dd: &mut DdPackage) -> VecEdge {
+        let s = dd.zero_state(2);
+        let h = dd.single_qubit_op(2, 0, Matrix2::hadamard());
+        let cx = dd.controlled_op(2, 1, &[0], Matrix2::pauli_x());
+        let s = dd.mat_vec_mul(h, s);
+        dd.mat_vec_mul(cx, s)
+    }
+
+    #[test]
+    fn bell_state_has_expected_amplitudes() {
+        let mut dd = DdPackage::new();
+        let bell = bell_state(&mut dd);
+        let v = dd.to_statevector(bell, 2);
+        assert!((v[0].re - FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!(v[1].abs() < 1e-12);
+        assert!(v[2].abs() < 1e-12);
+        assert!((v[3].re - FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_is_preserved_by_unitaries() {
+        let mut dd = DdPackage::new();
+        let bell = bell_state(&mut dd);
+        assert!((dd.norm_sqr(bell) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn vector_addition_matches_dense_addition() {
+        let mut dd = DdPackage::new();
+        let a = dd.basis_state_from_index(2, 0);
+        let b = dd.basis_state_from_index(2, 3);
+        let sum = dd.vec_add(a, b);
+        let v = dd.to_statevector(sum, 2);
+        assert!((v[0].re - 1.0).abs() < 1e-12);
+        assert!((v[3].re - 1.0).abs() < 1e-12);
+        assert!(v[1].abs() < 1e-12 && v[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn adding_opposite_vectors_gives_zero() {
+        let mut dd = DdPackage::new();
+        let a = dd.basis_state_from_index(2, 1);
+        let minus_one = dd.lookup_complex(Complex::real(-1.0));
+        let neg = VecEdge {
+            node: a.node,
+            weight: minus_one,
+        };
+        let sum = dd.vec_add(a, neg);
+        assert!(sum.is_zero());
+    }
+
+    #[test]
+    fn matrix_multiplication_composes_gates() {
+        let mut dd = DdPackage::new();
+        let h = dd.single_qubit_op(1, 0, Matrix2::hadamard());
+        let hh = dd.mat_mat_mul(h, h);
+        let id = dd.identity_op(1);
+        assert_eq!(hh, id, "H * H must be the identity diagram");
+        let x = dd.single_qubit_op(1, 0, Matrix2::pauli_x());
+        let z = dd.single_qubit_op(1, 0, Matrix2::pauli_z());
+        let xz = dd.mat_mat_mul(x, z);
+        let zx = dd.mat_mat_mul(z, x);
+        assert_ne!(xz, zx, "X and Z anticommute, so XZ != ZX");
+    }
+
+    #[test]
+    fn composed_operator_equals_sequential_application() {
+        let mut dd = DdPackage::new();
+        let s = dd.zero_state(3);
+        let h = dd.single_qubit_op(3, 0, Matrix2::hadamard());
+        let cx = dd.controlled_op(3, 2, &[0], Matrix2::pauli_x());
+        let combined = dd.mat_mat_mul(cx, h);
+        let sequential = {
+            let t = dd.mat_vec_mul(h, s);
+            dd.mat_vec_mul(cx, t)
+        };
+        let at_once = dd.mat_vec_mul(combined, s);
+        assert_eq!(sequential, at_once);
+    }
+
+    #[test]
+    fn inner_product_of_orthogonal_states_is_zero() {
+        let mut dd = DdPackage::new();
+        let a = dd.basis_state_from_index(3, 2);
+        let b = dd.basis_state_from_index(3, 5);
+        assert!(dd.inner_product(a, b).abs() < 1e-12);
+        assert!((dd.inner_product(a, a).re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_detects_phase() {
+        let mut dd = DdPackage::new();
+        let plus = {
+            let s = dd.zero_state(1);
+            let h = dd.single_qubit_op(1, 0, Matrix2::hadamard());
+            dd.mat_vec_mul(h, s)
+        };
+        let minus = {
+            let s = dd.basis_state_from_index(1, 1);
+            let h = dd.single_qubit_op(1, 0, Matrix2::hadamard());
+            dd.mat_vec_mul(h, s)
+        };
+        assert!(dd.inner_product(plus, minus).abs() < 1e-12);
+        assert!((dd.fidelity(plus, plus) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_restores_unit_norm() {
+        let mut dd = DdPackage::new();
+        let a = dd.basis_state_from_index(2, 0);
+        let b = dd.basis_state_from_index(2, 3);
+        let sum = dd.vec_add(a, b); // norm^2 = 2
+        let normalized = dd.normalize(sum);
+        assert!((dd.norm_sqr(normalized) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn caching_can_be_disabled_without_changing_results() {
+        let mut cached = DdPackage::new();
+        let mut uncached = DdPackage::new();
+        uncached.set_caching(false);
+        let a = bell_state(&mut cached);
+        let b = bell_state(&mut uncached);
+        let va = cached.to_statevector(a, 2);
+        let vb = uncached.to_statevector(b, 2);
+        for (x, y) in va.iter().zip(vb.iter()) {
+            assert!(x.approx_eq(*y, 1e-12));
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! The decision diagram package: arenas, unique tables and operator builders.
+//!
+//! A [`DdPackage`] owns every node of the diagrams it creates. Nodes are
+//! hash-consed through unique tables so that structurally identical
+//! sub-diagrams are stored exactly once — this sharing is what makes the
+//! representation compact for structured states such as GHZ or QFT outputs.
+
+use std::collections::HashMap;
+
+use crate::complex::Complex;
+use crate::complex_table::{ComplexId, ComplexTable};
+use crate::matrix2::Matrix2;
+use crate::node::{MatEdge, MatNode, MatNodeId, VecEdge, VecNode, VecNodeId};
+
+/// Default number of entries after which the operation caches are cleared.
+pub const DEFAULT_CACHE_LIMIT: usize = 1 << 21;
+
+/// Statistics about the current contents of a [`DdPackage`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackageStats {
+    /// Number of distinct vector nodes ever created.
+    pub vec_nodes: usize,
+    /// Number of distinct matrix nodes ever created.
+    pub mat_nodes: usize,
+    /// Number of interned complex values.
+    pub complex_values: usize,
+    /// Current number of matrix-vector multiplication cache entries.
+    pub mat_vec_cache: usize,
+    /// Current number of vector addition cache entries.
+    pub vec_add_cache: usize,
+}
+
+/// A self-contained decision diagram manager.
+///
+/// All diagrams handed out by a package (as [`VecEdge`] / [`MatEdge`]) are
+/// only valid together with that package. The stochastic simulator creates
+/// one package per simulation run, which keeps memory bounded and makes
+/// concurrent runs trivially data-race free.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_dd::{DdPackage, Matrix2};
+///
+/// let mut dd = DdPackage::new();
+/// let state = dd.zero_state(2);
+/// let h = dd.single_qubit_op(2, 0, Matrix2::hadamard());
+/// let cx = dd.controlled_op(2, 1, &[0], Matrix2::pauli_x());
+/// let state = dd.mat_vec_mul(h, state);
+/// let bell = dd.mat_vec_mul(cx, state);
+/// let amps = dd.to_statevector(bell, 2);
+/// assert!((amps[0].re - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+/// assert!((amps[3].re - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DdPackage {
+    pub(crate) ctable: ComplexTable,
+    pub(crate) vec_nodes: Vec<VecNode>,
+    pub(crate) mat_nodes: Vec<MatNode>,
+    pub(crate) vec_unique: HashMap<VecNode, VecNodeId>,
+    pub(crate) mat_unique: HashMap<MatNode, MatNodeId>,
+    pub(crate) ct_mat_vec: HashMap<(MatNodeId, VecNodeId), VecEdge>,
+    pub(crate) ct_vec_add: HashMap<(VecEdge, VecEdge), VecEdge>,
+    pub(crate) ct_mat_add: HashMap<(MatEdge, MatEdge), MatEdge>,
+    pub(crate) ct_mat_mat: HashMap<(MatNodeId, MatNodeId), MatEdge>,
+    pub(crate) ct_inner: HashMap<(VecNodeId, VecNodeId), Complex>,
+    pub(crate) ct_prob_one: HashMap<(VecNodeId, u16), f64>,
+    pub(crate) ct_collapse: HashMap<(VecNodeId, u16, bool), VecEdge>,
+    pub(crate) norm_cache: HashMap<VecNodeId, f64>,
+    pub(crate) cache_limit: usize,
+    pub(crate) caching_enabled: bool,
+}
+
+impl DdPackage {
+    /// Creates an empty package with default settings.
+    pub fn new() -> Self {
+        DdPackage {
+            ctable: ComplexTable::new(),
+            vec_nodes: Vec::new(),
+            mat_nodes: Vec::new(),
+            vec_unique: HashMap::new(),
+            mat_unique: HashMap::new(),
+            ct_mat_vec: HashMap::new(),
+            ct_vec_add: HashMap::new(),
+            ct_mat_add: HashMap::new(),
+            ct_mat_mat: HashMap::new(),
+            ct_inner: HashMap::new(),
+            ct_prob_one: HashMap::new(),
+            ct_collapse: HashMap::new(),
+            norm_cache: HashMap::new(),
+            cache_limit: DEFAULT_CACHE_LIMIT,
+            caching_enabled: true,
+        }
+    }
+
+    /// Creates a package with a custom complex-equality tolerance.
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        let mut p = DdPackage::new();
+        p.ctable = ComplexTable::with_tolerance(tolerance);
+        p
+    }
+
+    /// Enables or disables the operation caches (compute tables).
+    ///
+    /// Disabling is only useful for ablation experiments; normal users should
+    /// leave caching on.
+    pub fn set_caching(&mut self, enabled: bool) {
+        self.caching_enabled = enabled;
+        if !enabled {
+            self.clear_caches();
+        }
+    }
+
+    /// Returns a read-only view of the complex table.
+    pub fn complex_table(&self) -> &ComplexTable {
+        &self.ctable
+    }
+
+    /// Interns a complex value and returns its id.
+    pub fn lookup_complex(&mut self, value: Complex) -> ComplexId {
+        self.ctable.lookup(value)
+    }
+
+    /// Returns the complex value behind an interned id.
+    pub fn complex_value(&self, id: ComplexId) -> Complex {
+        self.ctable.value(id)
+    }
+
+    /// Returns the node data behind a non-terminal vector node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is the terminal node or not from this package.
+    pub fn vec_node(&self, id: VecNodeId) -> VecNode {
+        self.vec_nodes[id.index()]
+    }
+
+    /// Returns the node data behind a non-terminal matrix node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is the terminal node or not from this package.
+    pub fn mat_node(&self, id: MatNodeId) -> MatNode {
+        self.mat_nodes[id.index()]
+    }
+
+    /// Current package statistics.
+    pub fn stats(&self) -> PackageStats {
+        PackageStats {
+            vec_nodes: self.vec_nodes.len(),
+            mat_nodes: self.mat_nodes.len(),
+            complex_values: self.ctable.len(),
+            mat_vec_cache: self.ct_mat_vec.len(),
+            vec_add_cache: self.ct_vec_add.len(),
+        }
+    }
+
+    /// Clears all operation caches (not the unique tables).
+    pub fn clear_caches(&mut self) {
+        self.ct_mat_vec.clear();
+        self.ct_vec_add.clear();
+        self.ct_mat_add.clear();
+        self.ct_mat_mat.clear();
+        self.ct_inner.clear();
+        self.ct_prob_one.clear();
+        self.ct_collapse.clear();
+    }
+
+    pub(crate) fn maybe_trim_caches(&mut self) {
+        if self.ct_mat_vec.len() > self.cache_limit
+            || self.ct_vec_add.len() > self.cache_limit
+        {
+            self.clear_caches();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Node construction with normalisation
+    // ------------------------------------------------------------------
+
+    /// Creates (or finds) a normalised vector node and returns the edge
+    /// pointing to it.
+    ///
+    /// Normalisation divides both successor weights by the weight of largest
+    /// magnitude (ties resolved towards edge 0) and returns that factor as
+    /// the weight of the produced edge, which keeps the representation
+    /// canonical. An all-zero pair of successors collapses to the zero edge.
+    pub fn make_vec_node(&mut self, var: u16, edges: [VecEdge; 2]) -> VecEdge {
+        let mut edges = edges;
+        for e in &mut edges {
+            if e.weight.is_zero() {
+                *e = VecEdge::zero();
+            }
+        }
+        if edges[0].is_zero() && edges[1].is_zero() {
+            return VecEdge::zero();
+        }
+        // Pick the normalisation weight: larger magnitude, ties -> edge 0.
+        let mag0 = self.ctable.norm_sqr(edges[0].weight);
+        let mag1 = self.ctable.norm_sqr(edges[1].weight);
+        let norm_idx = if mag0 >= mag1 { 0 } else { 1 };
+        let norm_weight = edges[norm_idx].weight;
+        debug_assert!(!norm_weight.is_zero());
+        let new_edges = [
+            VecEdge {
+                node: edges[0].node,
+                weight: self.ctable.div(edges[0].weight, norm_weight),
+            },
+            VecEdge {
+                node: edges[1].node,
+                weight: self.ctable.div(edges[1].weight, norm_weight),
+            },
+        ];
+        let node = VecNode {
+            var,
+            edges: new_edges,
+        };
+        let id = match self.vec_unique.get(&node) {
+            Some(&id) => id,
+            None => {
+                let id = VecNodeId(self.vec_nodes.len() as u32);
+                self.vec_nodes.push(node);
+                self.vec_unique.insert(node, id);
+                id
+            }
+        };
+        VecEdge {
+            node: id,
+            weight: norm_weight,
+        }
+    }
+
+    /// Creates (or finds) a normalised matrix node and returns the edge
+    /// pointing to it.
+    ///
+    /// The normalisation rule mirrors [`DdPackage::make_vec_node`] over the
+    /// four quadrant edges.
+    pub fn make_mat_node(&mut self, var: u16, edges: [MatEdge; 4]) -> MatEdge {
+        let mut edges = edges;
+        for e in &mut edges {
+            if e.weight.is_zero() {
+                *e = MatEdge::zero();
+            }
+        }
+        if edges.iter().all(|e| e.is_zero()) {
+            return MatEdge::zero();
+        }
+        let mut norm_idx = 0;
+        let mut best = -1.0f64;
+        for (i, e) in edges.iter().enumerate() {
+            let mag = self.ctable.norm_sqr(e.weight);
+            if mag > best {
+                best = mag;
+                norm_idx = i;
+            }
+        }
+        let norm_weight = edges[norm_idx].weight;
+        debug_assert!(!norm_weight.is_zero());
+        let mut new_edges = [MatEdge::zero(); 4];
+        for i in 0..4 {
+            new_edges[i] = MatEdge {
+                node: edges[i].node,
+                weight: self.ctable.div(edges[i].weight, norm_weight),
+            };
+        }
+        let node = MatNode {
+            var,
+            edges: new_edges,
+        };
+        let id = match self.mat_unique.get(&node) {
+            Some(&id) => id,
+            None => {
+                let id = MatNodeId(self.mat_nodes.len() as u32);
+                self.mat_nodes.push(node);
+                self.mat_unique.insert(node, id);
+                id
+            }
+        };
+        MatEdge {
+            node: id,
+            weight: norm_weight,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // State constructors
+    // ------------------------------------------------------------------
+
+    /// The `n`-qubit all-zero computational basis state `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or larger than `u16::MAX`.
+    pub fn zero_state(&mut self, n: usize) -> VecEdge {
+        self.basis_state_from_fn(n, |_| false)
+    }
+
+    /// The computational basis state selected by `bits`, where `bits[q]` is
+    /// the value of qubit `q` (qubit 0 is the most significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != n` or `n == 0`.
+    pub fn basis_state(&mut self, n: usize, bits: &[bool]) -> VecEdge {
+        assert_eq!(bits.len(), n, "bits length must equal qubit count");
+        self.basis_state_from_fn(n, |q| bits[q])
+    }
+
+    /// The computational basis state with index `index` (qubit 0 = most
+    /// significant bit of the index, as in the paper's state-vector layout).
+    pub fn basis_state_from_index(&mut self, n: usize, index: u64) -> VecEdge {
+        assert!(n >= 1 && n <= 64, "qubit count must be within 1..=64");
+        self.basis_state_from_fn(n, |q| (index >> (n - 1 - q)) & 1 == 1)
+    }
+
+    fn basis_state_from_fn(&mut self, n: usize, bit: impl Fn(usize) -> bool) -> VecEdge {
+        assert!(n >= 1, "state must contain at least one qubit");
+        assert!(n <= u16::MAX as usize, "qubit count exceeds u16 range");
+        let mut edge = VecEdge::one();
+        for var in (0..n).rev() {
+            let mut children = [VecEdge::zero(); 2];
+            children[usize::from(bit(var))] = edge;
+            edge = self.make_vec_node(var as u16, children);
+        }
+        edge
+    }
+
+    // ------------------------------------------------------------------
+    // Operator constructors
+    // ------------------------------------------------------------------
+
+    /// The identity operator on `n` qubits.
+    pub fn identity_op(&mut self, n: usize) -> MatEdge {
+        self.kron_operator(n, &[])
+    }
+
+    /// A single-qubit operator `m` acting on `target`, identity elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= n`.
+    pub fn single_qubit_op(&mut self, n: usize, target: usize, m: Matrix2) -> MatEdge {
+        assert!(target < n, "target qubit out of range");
+        self.kron_operator(n, &[(target, m)])
+    }
+
+    /// A Kronecker-product operator: `m_q` on each qubit `q` listed in
+    /// `assignments`, identity on every other qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assigned qubit index is out of range or repeated.
+    pub fn kron_operator(&mut self, n: usize, assignments: &[(usize, Matrix2)]) -> MatEdge {
+        assert!(n >= 1, "operator must act on at least one qubit");
+        assert!(n <= u16::MAX as usize, "qubit count exceeds u16 range");
+        for (i, (q, _)) in assignments.iter().enumerate() {
+            assert!(*q < n, "assigned qubit {q} out of range for {n} qubits");
+            assert!(
+                assignments[i + 1..].iter().all(|(other, _)| other != q),
+                "qubit {q} assigned twice"
+            );
+        }
+        let mut edge = MatEdge::one();
+        for var in (0..n).rev() {
+            let m = assignments
+                .iter()
+                .find(|(q, _)| *q == var)
+                .map(|(_, m)| *m)
+                .unwrap_or_else(Matrix2::identity);
+            edge = self.stack_mat_level(var as u16, &m, edge);
+        }
+        edge
+    }
+
+    /// A (multi-)controlled single-qubit operator: `m` is applied to `target`
+    /// when all `controls` are `|1>`, otherwise the state is unchanged.
+    ///
+    /// Uses the decomposition `U = I + P1(controls) ⊗ (m - I)(target)`, which
+    /// keeps the construction cost linear in the number of qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` or any control is out of range, or if `target`
+    /// appears in `controls`.
+    pub fn controlled_op(
+        &mut self,
+        n: usize,
+        target: usize,
+        controls: &[usize],
+        m: Matrix2,
+    ) -> MatEdge {
+        assert!(target < n, "target qubit out of range");
+        assert!(
+            !controls.contains(&target),
+            "target qubit cannot also be a control"
+        );
+        if controls.is_empty() {
+            return self.single_qubit_op(n, target, m);
+        }
+        let mut assignments = Vec::with_capacity(controls.len() + 1);
+        assignments.push((target, m.sub(&Matrix2::identity())));
+        for &c in controls {
+            assert!(c < n, "control qubit out of range");
+            assignments.push((c, Matrix2::projector_one()));
+        }
+        let difference = self.kron_operator(n, &assignments);
+        let identity = self.identity_op(n);
+        self.mat_add(identity, difference)
+    }
+
+    /// A SWAP operator between qubits `a` and `b`.
+    ///
+    /// Built as the sum of the four transfer terms
+    /// `|00><00| + |01><10| + |10><01| + |11><11|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn swap_op(&mut self, n: usize, a: usize, b: usize) -> MatEdge {
+        assert_ne!(a, b, "swap requires two distinct qubits");
+        assert!(a < n && b < n, "swap qubit out of range");
+        let p0 = Matrix2::projector_zero();
+        let p1 = Matrix2::projector_one();
+        let raise = Matrix2::from_real(0.0, 1.0, 0.0, 0.0); // |0><1|
+        let lower = Matrix2::from_real(0.0, 0.0, 1.0, 0.0); // |1><0|
+        let t00 = self.kron_operator(n, &[(a, p0), (b, p0)]);
+        let t01 = self.kron_operator(n, &[(a, raise), (b, lower)]);
+        let t10 = self.kron_operator(n, &[(a, lower), (b, raise)]);
+        let t11 = self.kron_operator(n, &[(a, p1), (b, p1)]);
+        let s = self.mat_add(t00, t01);
+        let s = self.mat_add(s, t10);
+        self.mat_add(s, t11)
+    }
+
+    fn stack_mat_level(&mut self, var: u16, m: &Matrix2, below: MatEdge) -> MatEdge {
+        let mut edges = [MatEdge::zero(); 4];
+        for r in 0..2 {
+            for c in 0..2 {
+                let entry = m.entry(r, c);
+                if entry.is_zero() || below.is_zero() {
+                    continue;
+                }
+                let w = self.ctable.lookup(entry);
+                let weight = self.ctable.mul(w, below.weight);
+                edges[2 * r + c] = MatEdge {
+                    node: below.node,
+                    weight,
+                };
+            }
+        }
+        self.make_mat_node(var, edges)
+    }
+}
+
+impl Default for DdPackage {
+    fn default() -> Self {
+        DdPackage::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_amplitudes() {
+        let mut dd = DdPackage::new();
+        let s = dd.zero_state(3);
+        let v = dd.to_statevector(s, 3);
+        assert!((v[0].re - 1.0).abs() < 1e-12);
+        assert!(v[1..].iter().all(|a| a.abs() < 1e-12));
+    }
+
+    #[test]
+    fn basis_state_round_trip() {
+        let mut dd = DdPackage::new();
+        for idx in 0..8u64 {
+            let s = dd.basis_state_from_index(3, idx);
+            let v = dd.to_statevector(s, 3);
+            for (i, amp) in v.iter().enumerate() {
+                let expected = if i as u64 == idx { 1.0 } else { 0.0 };
+                assert!((amp.re - expected).abs() < 1e-12, "index {idx} entry {i}");
+                assert!(amp.im.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn basis_state_bits_and_index_agree() {
+        let mut dd = DdPackage::new();
+        let a = dd.basis_state(3, &[true, false, true]); // |101> -> index 5
+        let b = dd.basis_state_from_index(3, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equal_states_share_nodes() {
+        let mut dd = DdPackage::new();
+        let a = dd.zero_state(4);
+        let b = dd.zero_state(4);
+        assert_eq!(a, b);
+        // Only four nodes for four qubits: maximal sharing.
+        assert_eq!(dd.stats().vec_nodes, 4);
+    }
+
+    #[test]
+    fn make_vec_node_normalises_to_unit_max_weight() {
+        let mut dd = DdPackage::new();
+        let half = dd.lookup_complex(Complex::real(0.5));
+        let quarter = dd.lookup_complex(Complex::real(0.25));
+        let e = dd.make_vec_node(
+            0,
+            [VecEdge::terminal(half), VecEdge::terminal(quarter)],
+        );
+        // The larger weight (0.5) is pulled out.
+        assert!(dd.complex_value(e.weight).approx_eq(Complex::real(0.5), 1e-12));
+        let node = dd.vec_node(e.node);
+        assert!(node.edges[0].weight.is_one());
+        assert!(dd
+            .complex_value(node.edges[1].weight)
+            .approx_eq(Complex::real(0.5), 1e-12));
+    }
+
+    #[test]
+    fn make_vec_node_all_zero_collapses() {
+        let mut dd = DdPackage::new();
+        let e = dd.make_vec_node(0, [VecEdge::zero(), VecEdge::zero()]);
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn identity_operator_preserves_states() {
+        let mut dd = DdPackage::new();
+        let id = dd.identity_op(3);
+        let s = dd.basis_state_from_index(3, 6);
+        let t = dd.mat_vec_mul(id, s);
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn single_qubit_x_flips_the_right_qubit() {
+        let mut dd = DdPackage::new();
+        let s = dd.zero_state(3);
+        let x1 = dd.single_qubit_op(3, 1, Matrix2::pauli_x());
+        let t = dd.mat_vec_mul(x1, s);
+        // Flipping qubit 1 (middle) of |000> gives |010> = index 2.
+        let v = dd.to_statevector(t, 3);
+        assert!((v[2].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controlled_x_only_fires_when_control_set() {
+        let mut dd = DdPackage::new();
+        let cx = dd.controlled_op(2, 1, &[0], Matrix2::pauli_x());
+        let s00 = dd.zero_state(2);
+        let t = dd.mat_vec_mul(cx, s00);
+        assert_eq!(t, s00, "CX must not act when control is |0>");
+        let s10 = dd.basis_state_from_index(2, 2);
+        let t = dd.mat_vec_mul(cx, s10);
+        let expected = dd.basis_state_from_index(2, 3);
+        assert_eq!(t, expected, "CX must flip target when control is |1>");
+    }
+
+    #[test]
+    fn toffoli_matches_truth_table() {
+        let mut dd = DdPackage::new();
+        let ccx = dd.controlled_op(3, 2, &[0, 1], Matrix2::pauli_x());
+        for idx in 0..8u64 {
+            let s = dd.basis_state_from_index(3, idx);
+            let t = dd.mat_vec_mul(ccx, s);
+            let expected_idx = if idx >> 1 == 3 { idx ^ 1 } else { idx };
+            let expected = dd.basis_state_from_index(3, expected_idx);
+            assert_eq!(t, expected, "input index {idx}");
+        }
+    }
+
+    #[test]
+    fn swap_operator_exchanges_qubits() {
+        let mut dd = DdPackage::new();
+        let swap = dd.swap_op(3, 0, 2);
+        for idx in 0..8u64 {
+            let s = dd.basis_state_from_index(3, idx);
+            let t = dd.mat_vec_mul(swap, s);
+            let b0 = (idx >> 2) & 1;
+            let b2 = idx & 1;
+            let swapped = (idx & 0b010) | (b2 << 2) | b0;
+            let expected = dd.basis_state_from_index(3, swapped);
+            assert_eq!(t, expected, "input index {idx}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target qubit out of range")]
+    fn out_of_range_target_panics() {
+        let mut dd = DdPackage::new();
+        let _ = dd.single_qubit_op(2, 2, Matrix2::pauli_x());
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit 1 assigned twice")]
+    fn duplicate_assignment_panics() {
+        let mut dd = DdPackage::new();
+        let _ = dd.kron_operator(
+            3,
+            &[(1, Matrix2::pauli_x()), (1, Matrix2::pauli_z())],
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Dense density matrices and exact (deterministic) noisy evolution.
+
+use qsdd_dd::{Complex, Matrix2};
+
+/// A dense `2^n x 2^n` density matrix in row-major order.
+///
+/// This representation grows quadratically faster than a state vector and is
+/// only meant as *ground truth* for small systems: the exact mixed state of
+/// a noisy computation against which the Monte-Carlo estimates of the
+/// stochastic simulators can be validated (cf. Section III of the paper,
+/// which motivates stochastic simulation precisely by the cost of this
+/// object).
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_dd::Matrix2;
+/// use qsdd_density::DensityMatrix;
+///
+/// let mut rho = DensityMatrix::new(1);
+/// rho.apply_single_unitary(0, &Matrix2::hadamard());
+/// assert!((rho.probability_one(0) - 0.5).abs() < 1e-12);
+/// assert!((rho.purity() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrix {
+    num_qubits: usize,
+    dim: usize,
+    data: Vec<Complex>,
+}
+
+impl DensityMatrix {
+    /// Creates the pure density matrix `|0...0><0...0|` over `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 12` (the dense matrix would not fit in
+    /// memory).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "density matrix needs at least one qubit");
+        assert!(n <= 12, "dense density matrices above 12 qubits are not supported");
+        let dim = 1usize << n;
+        let mut data = vec![Complex::ZERO; dim * dim];
+        data[0] = Complex::ONE;
+        DensityMatrix {
+            num_qubits: n,
+            dim,
+            data,
+        }
+    }
+
+    /// Creates the pure density matrix `|psi><psi|` from a state vector of
+    /// length `2^n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or exceeds the 12-qubit
+    /// limit.
+    pub fn from_pure(amplitudes: &[Complex]) -> Self {
+        assert!(
+            amplitudes.len() >= 2 && amplitudes.len().is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
+        let n = amplitudes.len().trailing_zeros() as usize;
+        assert!(n <= 12, "dense density matrices above 12 qubits are not supported");
+        let dim = amplitudes.len();
+        let mut data = vec![Complex::ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                data[r * dim + c] = amplitudes[r] * amplitudes[c].conj();
+            }
+        }
+        DensityMatrix {
+            num_qubits: n,
+            dim,
+            data,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Matrix dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Matrix entry `(row, col)`.
+    pub fn entry(&self, row: usize, col: usize) -> Complex {
+        self.data[row * self.dim + col]
+    }
+
+    /// The trace of the matrix (1 for a valid state).
+    pub fn trace(&self) -> Complex {
+        (0..self.dim).fold(Complex::ZERO, |acc, i| acc + self.entry(i, i))
+    }
+
+    /// The purity `Tr(rho^2)`; 1 for pure states, `1/2^n` for the maximally
+    /// mixed state.
+    pub fn purity(&self) -> f64 {
+        let mut total = Complex::ZERO;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                total += self.entry(r, c) * self.entry(c, r);
+            }
+        }
+        total.re
+    }
+
+    /// The diagonal of the matrix: the probability of each computational
+    /// basis outcome.
+    pub fn populations(&self) -> Vec<f64> {
+        (0..self.dim).map(|i| self.entry(i, i).re).collect()
+    }
+
+    /// Probability of observing `|1>` on `qubit`.
+    pub fn probability_one(&self, qubit: usize) -> f64 {
+        let mask = self.bit_mask(qubit);
+        (0..self.dim)
+            .filter(|i| i & mask != 0)
+            .map(|i| self.entry(i, i).re)
+            .sum()
+    }
+
+    fn bit_mask(&self, qubit: usize) -> usize {
+        assert!(qubit < self.num_qubits, "qubit index out of range");
+        1usize << (self.num_qubits - 1 - qubit)
+    }
+
+    /// Applies a single-qubit unitary `U` to `target`: `rho -> U rho U†`.
+    pub fn apply_single_unitary(&mut self, target: usize, m: &Matrix2) {
+        self.apply_controlled_unitary(&[], target, m);
+    }
+
+    /// Applies a controlled single-qubit unitary: the operator acts on
+    /// `target` when all `controls` are `|1>`.
+    pub fn apply_controlled_unitary(&mut self, controls: &[usize], target: usize, m: &Matrix2) {
+        self.left_multiply(controls, target, m);
+        self.right_multiply_dagger(controls, target, m);
+    }
+
+    /// Exchanges two qubits.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        // SWAP = CX(a,b) CX(b,a) CX(a,b)
+        let x = Matrix2::pauli_x();
+        self.apply_controlled_unitary(&[a], b, &x);
+        self.apply_controlled_unitary(&[b], a, &x);
+        self.apply_controlled_unitary(&[a], b, &x);
+    }
+
+    /// Applies a single-qubit channel given by its Kraus operators to
+    /// `qubit`: `rho -> sum_k K_k rho K_k†`.
+    pub fn apply_kraus_channel(&mut self, qubit: usize, kraus: &[Matrix2]) {
+        let mut accumulated = vec![Complex::ZERO; self.data.len()];
+        let original = self.clone();
+        for k in kraus {
+            let mut branch = original.clone();
+            branch.left_multiply(&[], qubit, k);
+            branch.right_multiply_dagger(&[], qubit, k);
+            for (acc, value) in accumulated.iter_mut().zip(&branch.data) {
+                *acc += *value;
+            }
+        }
+        self.data = accumulated;
+    }
+
+    /// Dephases `qubit` in the computational basis (the effect of a
+    /// projective measurement whose outcome is discarded).
+    pub fn dephase(&mut self, qubit: usize) {
+        self.apply_kraus_channel(
+            qubit,
+            &[Matrix2::projector_zero(), Matrix2::projector_one()],
+        );
+    }
+
+    /// Resets `qubit` to `|0>` (the `|0><0| + |0><1|` reset channel).
+    pub fn reset(&mut self, qubit: usize) {
+        let to_zero_from_zero = Matrix2::projector_zero();
+        let to_zero_from_one = Matrix2::from_real(0.0, 1.0, 0.0, 0.0);
+        self.apply_kraus_channel(qubit, &[to_zero_from_zero, to_zero_from_one]);
+    }
+
+    fn left_multiply(&mut self, controls: &[usize], target: usize, m: &Matrix2) {
+        let mask = self.bit_mask(target);
+        let control_mask: usize = controls.iter().map(|&c| self.bit_mask(c)).sum();
+        for col in 0..self.dim {
+            for row in 0..self.dim {
+                if row & mask == 0 && row & control_mask == control_mask {
+                    let other = row | mask;
+                    let a0 = self.data[row * self.dim + col];
+                    let a1 = self.data[other * self.dim + col];
+                    self.data[row * self.dim + col] = m.entry(0, 0) * a0 + m.entry(0, 1) * a1;
+                    self.data[other * self.dim + col] = m.entry(1, 0) * a0 + m.entry(1, 1) * a1;
+                }
+            }
+        }
+    }
+
+    fn right_multiply_dagger(&mut self, controls: &[usize], target: usize, m: &Matrix2) {
+        let mask = self.bit_mask(target);
+        let control_mask: usize = controls.iter().map(|&c| self.bit_mask(c)).sum();
+        for row in 0..self.dim {
+            for col in 0..self.dim {
+                if col & mask == 0 && col & control_mask == control_mask {
+                    let other = col | mask;
+                    let a0 = self.data[row * self.dim + col];
+                    let a1 = self.data[row * self.dim + other];
+                    // rho U†: new[.,c] = sum_k rho[.,k] conj(U[c][k])
+                    self.data[row * self.dim + col] =
+                        a0 * m.entry(0, 0).conj() + a1 * m.entry(0, 1).conj();
+                    self.data[row * self.dim + other] =
+                        a0 * m.entry(1, 0).conj() + a1 * m.entry(1, 1).conj();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_is_pure_zero() {
+        let rho = DensityMatrix::new(2);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!((rho.populations()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_evolution_preserves_trace_and_purity() {
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_single_unitary(0, &Matrix2::hadamard());
+        rho.apply_controlled_unitary(&[0], 1, &Matrix2::pauli_x());
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        let pops = rho.populations();
+        assert!((pops[0] - 0.5).abs() < 1e-12);
+        assert!((pops[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_channel_mixes_the_state() {
+        let mut rho = DensityMatrix::new(1);
+        // Full depolarization: the qubit ends up maximally mixed.
+        let p: f64 = 1.0;
+        let kraus = vec![
+            Matrix2::identity().scale((1.0 - 0.75 * p).sqrt().into()),
+            Matrix2::pauli_x().scale((0.25 * p).sqrt().into()),
+            Matrix2::pauli_y().scale((0.25 * p).sqrt().into()),
+            Matrix2::pauli_z().scale((0.25 * p).sqrt().into()),
+        ];
+        rho.apply_kraus_channel(0, &kraus);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 0.5).abs() < 1e-12);
+        assert!((rho.probability_one(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_damping_drains_excited_population() {
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_single_unitary(0, &Matrix2::pauli_x()); // |1>
+        let p = 0.4;
+        rho.apply_kraus_channel(
+            0,
+            &[
+                Matrix2::amplitude_damping_a1(p),
+                Matrix2::amplitude_damping_a0(p),
+            ],
+        );
+        assert!((rho.probability_one(0) - (1.0 - p)).abs() < 1e-12);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dephasing_kills_coherences_but_keeps_populations() {
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_single_unitary(0, &Matrix2::hadamard());
+        assert!(rho.entry(0, 1).abs() > 0.4);
+        rho.dephase(0);
+        assert!(rho.entry(0, 1).abs() < 1e-12);
+        assert!((rho.probability_one(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_returns_qubit_to_ground_state() {
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_single_unitary(1, &Matrix2::pauli_x());
+        rho.reset(1);
+        assert!(rho.probability_one(1).abs() < 1e-12);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_pure_reproduces_projector() {
+        let inv = std::f64::consts::FRAC_1_SQRT_2;
+        let rho = DensityMatrix::from_pure(&[Complex::real(inv), Complex::real(inv)]);
+        assert!((rho.entry(0, 1).re - 0.5).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Single-qubit error channels.
+//!
+//! The paper considers three physically motivated channels (Section II-B):
+//! depolarizing gate errors, amplitude damping (T1) and phase flip (T2)
+//! decoherence. Each channel is described both by its Kraus operators (used
+//! by the exact density-matrix reference simulator) and by a stochastic
+//! sampling rule (used by the Monte-Carlo simulators of Section III).
+
+use qsdd_dd::Matrix2;
+use rand::Rng;
+
+/// The kind of a single-qubit error channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Gate error: the qubit is replaced by the maximally mixed state with
+    /// probability `p` (uniform application of I, X, Y or Z).
+    Depolarizing,
+    /// T1 decay towards `|0>` with damping probability `p`.
+    AmplitudeDamping,
+    /// T2 dephasing: a Z flip with probability `p`.
+    PhaseFlip,
+}
+
+/// What a stochastic simulation run has to do for one sampled error event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StochasticAction {
+    /// No error occurred; leave the state untouched.
+    None,
+    /// Apply the given unitary error operator to the affected qubit.
+    Unitary(Matrix2),
+    /// Apply one of the given (non-unitary) Kraus branches; the branch must
+    /// be selected according to the squared norms of the resulting states
+    /// (the channel is state-dependent, cf. Example 6 of the paper).
+    Kraus(Vec<Matrix2>),
+}
+
+/// A single-qubit error channel with an occurrence probability.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_noise::{ErrorChannel, ErrorKind};
+///
+/// let t2 = ErrorChannel::new(ErrorKind::PhaseFlip, 0.001);
+/// assert_eq!(t2.kind(), ErrorKind::PhaseFlip);
+/// assert!(t2.kraus_operators().len() == 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorChannel {
+    kind: ErrorKind,
+    probability: f64,
+}
+
+impl ErrorChannel {
+    /// Creates a channel of the given kind firing with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn new(kind: ErrorKind, probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "error probability must lie in [0, 1]"
+        );
+        ErrorChannel { kind, probability }
+    }
+
+    /// The channel kind.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The per-application error probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// The Kraus operators of the channel (they satisfy
+    /// `sum_k K_k† K_k = I`).
+    pub fn kraus_operators(&self) -> Vec<Matrix2> {
+        let p = self.probability;
+        match self.kind {
+            ErrorKind::Depolarizing => {
+                // With probability 1-p nothing happens, with probability p the
+                // qubit is depolarized (uniform I, X, Y, Z), i.e. the identity
+                // survives with weight 1 - 3p/4.
+                vec![
+                    Matrix2::identity().scale((1.0 - 0.75 * p).sqrt().into()),
+                    Matrix2::pauli_x().scale((0.25 * p).sqrt().into()),
+                    Matrix2::pauli_y().scale((0.25 * p).sqrt().into()),
+                    Matrix2::pauli_z().scale((0.25 * p).sqrt().into()),
+                ]
+            }
+            ErrorKind::AmplitudeDamping => vec![
+                Matrix2::amplitude_damping_a1(p),
+                Matrix2::amplitude_damping_a0(p),
+            ],
+            ErrorKind::PhaseFlip => vec![
+                Matrix2::identity().scale((1.0 - p).sqrt().into()),
+                Matrix2::pauli_z().scale(p.sqrt().into()),
+            ],
+        }
+    }
+
+    /// Samples the stochastic action for one application of the channel.
+    ///
+    /// Unitary-equivalent channels (depolarizing, phase flip) resolve their
+    /// randomness here; the state-dependent amplitude-damping channel always
+    /// returns its Kraus branches so the simulator can pick the branch based
+    /// on the state (Example 6 of the paper).
+    pub fn sample_action<R: Rng + ?Sized>(&self, rng: &mut R) -> StochasticAction {
+        let p = self.probability;
+        if p == 0.0 {
+            return StochasticAction::None;
+        }
+        match self.kind {
+            ErrorKind::Depolarizing => {
+                if rng.gen::<f64>() >= p {
+                    StochasticAction::None
+                } else {
+                    match rng.gen_range(0..4) {
+                        0 => StochasticAction::None, // identity branch
+                        1 => StochasticAction::Unitary(Matrix2::pauli_x()),
+                        2 => StochasticAction::Unitary(Matrix2::pauli_y()),
+                        _ => StochasticAction::Unitary(Matrix2::pauli_z()),
+                    }
+                }
+            }
+            ErrorKind::PhaseFlip => {
+                if rng.gen::<f64>() < p {
+                    StochasticAction::Unitary(Matrix2::pauli_z())
+                } else {
+                    StochasticAction::None
+                }
+            }
+            ErrorKind::AmplitudeDamping => StochasticAction::Kraus(vec![
+                Matrix2::amplitude_damping_a0(p),
+                Matrix2::amplitude_damping_a1(p),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_kraus_complete(channel: &ErrorChannel) {
+        let kraus = channel.kraus_operators();
+        let mut sum = Matrix2::zero();
+        for k in &kraus {
+            sum = sum.add(&k.adjoint().matmul(k));
+        }
+        assert!(
+            sum.approx_eq(&Matrix2::identity(), 1e-12),
+            "{:?} Kraus operators are not trace preserving",
+            channel.kind()
+        );
+    }
+
+    #[test]
+    fn all_channels_are_trace_preserving() {
+        for kind in [
+            ErrorKind::Depolarizing,
+            ErrorKind::AmplitudeDamping,
+            ErrorKind::PhaseFlip,
+        ] {
+            for p in [0.0, 0.001, 0.1, 0.5, 1.0] {
+                assert_kraus_complete(&ErrorChannel::new(kind, p));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_probability_channels_never_fire() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for kind in [ErrorKind::Depolarizing, ErrorKind::PhaseFlip] {
+            let c = ErrorChannel::new(kind, 0.0);
+            for _ in 0..100 {
+                assert_eq!(c.sample_action(&mut rng), StochasticAction::None);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_flip_fires_with_roughly_its_probability() {
+        let c = ErrorChannel::new(ErrorKind::PhaseFlip, 0.25);
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut fired = 0;
+        let n = 40_000;
+        for _ in 0..n {
+            if matches!(c.sample_action(&mut rng), StochasticAction::Unitary(_)) {
+                fired += 1;
+            }
+        }
+        let rate = fired as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "observed rate {rate}");
+    }
+
+    #[test]
+    fn depolarizing_splits_evenly_over_paulis() {
+        let c = ErrorChannel::new(ErrorKind::Depolarizing, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut x = 0;
+        let mut y = 0;
+        let mut z = 0;
+        let mut id = 0;
+        let n = 40_000;
+        for _ in 0..n {
+            match c.sample_action(&mut rng) {
+                StochasticAction::None => id += 1,
+                StochasticAction::Unitary(m) => {
+                    if m.approx_eq(&Matrix2::pauli_x(), 1e-12) {
+                        x += 1;
+                    } else if m.approx_eq(&Matrix2::pauli_y(), 1e-12) {
+                        y += 1;
+                    } else {
+                        z += 1;
+                    }
+                }
+                StochasticAction::Kraus(_) => panic!("depolarizing must not return Kraus"),
+            }
+        }
+        for count in [id, x, y, z] {
+            let rate = count as f64 / n as f64;
+            assert!((rate - 0.25).abs() < 0.02, "observed rate {rate}");
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_always_returns_both_branches() {
+        let c = ErrorChannel::new(ErrorKind::AmplitudeDamping, 0.002);
+        let mut rng = StdRng::seed_from_u64(3);
+        match c.sample_action(&mut rng) {
+            StochasticAction::Kraus(branches) => assert_eq!(branches.len(), 2),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "error probability must lie in [0, 1]")]
+    fn invalid_probability_panics() {
+        let _ = ErrorChannel::new(ErrorKind::PhaseFlip, 1.5);
+    }
+}

@@ -1,0 +1,39 @@
+//! # qsdd-noise — error channels and noise models
+//!
+//! Quantum hardware is noisy: gates are imperfect (depolarizing errors) and
+//! qubits decohere over time (amplitude damping / T1 and phase flip / T2).
+//! This crate describes those errors in two equivalent ways:
+//!
+//! * as **Kraus operators** (used by the exact density-matrix reference
+//!   simulator in `qsdd-density`), and
+//! * as **stochastic events** sampled per gate application (used by the
+//!   Monte-Carlo simulators in `qsdd-core` and `qsdd-statevector`, following
+//!   Section III of the paper).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qsdd_noise::{ErrorKind, NoiseModel, StochasticAction};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let model = NoiseModel::paper_defaults();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! for channel in model.channels() {
+//!     match channel.sample_action(&mut rng) {
+//!         StochasticAction::None => {}
+//!         StochasticAction::Unitary(_) => { /* apply the error unitary */ }
+//!         StochasticAction::Kraus(branches) => assert_eq!(branches.len(), 2),
+//!     }
+//!     let _ = channel.kind() == ErrorKind::PhaseFlip;
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod channels;
+mod model;
+
+pub use channels::{ErrorChannel, ErrorKind, StochasticAction};
+pub use model::NoiseModel;

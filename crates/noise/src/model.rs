@@ -1,0 +1,182 @@
+//! The per-gate noise model used by the evaluation.
+//!
+//! Following Section V of the paper, every qubit touched by a gate is
+//! subjected to a depolarizing error, an amplitude-damping (T1) error and a
+//! phase-flip (T2) error, each with its own probability. The defaults are
+//! the values used in the paper's experiments: 0.1 %, 0.2 % and 0.1 %.
+
+use crate::channels::{ErrorChannel, ErrorKind};
+
+/// A noise model assigning per-gate, per-qubit error probabilities.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_noise::NoiseModel;
+///
+/// let model = NoiseModel::paper_defaults();
+/// assert!((model.depolarizing_prob() - 0.001).abs() < 1e-12);
+/// assert!(!model.is_noiseless());
+/// assert_eq!(model.channels().len(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    depolarizing: f64,
+    amplitude_damping: f64,
+    phase_flip: f64,
+}
+
+impl NoiseModel {
+    /// The error probabilities used in the paper's evaluation:
+    /// depolarizing 0.1 %, amplitude damping (T1) 0.2 %, phase flip (T2)
+    /// 0.1 %.
+    pub fn paper_defaults() -> Self {
+        NoiseModel {
+            depolarizing: 0.001,
+            amplitude_damping: 0.002,
+            phase_flip: 0.001,
+        }
+    }
+
+    /// A model in which no errors ever occur.
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            depolarizing: 0.0,
+            amplitude_damping: 0.0,
+            phase_flip: 0.0,
+        }
+    }
+
+    /// Creates a model from explicit probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(depolarizing: f64, amplitude_damping: f64, phase_flip: f64) -> Self {
+        for (name, p) in [
+            ("depolarizing", depolarizing),
+            ("amplitude damping", amplitude_damping),
+            ("phase flip", phase_flip),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability must lie in [0, 1]"
+            );
+        }
+        NoiseModel {
+            depolarizing,
+            amplitude_damping,
+            phase_flip,
+        }
+    }
+
+    /// Returns a copy with a different depolarizing probability.
+    pub fn with_depolarizing(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        self.depolarizing = p;
+        self
+    }
+
+    /// Returns a copy with a different amplitude-damping probability.
+    pub fn with_amplitude_damping(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        self.amplitude_damping = p;
+        self
+    }
+
+    /// Returns a copy with a different phase-flip probability.
+    pub fn with_phase_flip(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        self.phase_flip = p;
+        self
+    }
+
+    /// The depolarizing (gate error) probability.
+    pub fn depolarizing_prob(&self) -> f64 {
+        self.depolarizing
+    }
+
+    /// The amplitude-damping (T1) probability.
+    pub fn amplitude_damping_prob(&self) -> f64 {
+        self.amplitude_damping
+    }
+
+    /// The phase-flip (T2) probability.
+    pub fn phase_flip_prob(&self) -> f64 {
+        self.phase_flip
+    }
+
+    /// Returns `true` when every probability is zero.
+    pub fn is_noiseless(&self) -> bool {
+        self.depolarizing == 0.0 && self.amplitude_damping == 0.0 && self.phase_flip == 0.0
+    }
+
+    /// The error channels applied (in order) to every qubit touched by a
+    /// gate. Channels with zero probability are omitted.
+    pub fn channels(&self) -> Vec<ErrorChannel> {
+        let mut out = Vec::with_capacity(3);
+        if self.depolarizing > 0.0 {
+            out.push(ErrorChannel::new(ErrorKind::Depolarizing, self.depolarizing));
+        }
+        if self.amplitude_damping > 0.0 {
+            out.push(ErrorChannel::new(
+                ErrorKind::AmplitudeDamping,
+                self.amplitude_damping,
+            ));
+        }
+        if self.phase_flip > 0.0 {
+            out.push(ErrorChannel::new(ErrorKind::PhaseFlip, self.phase_flip));
+        }
+        out
+    }
+}
+
+impl Default for NoiseModel {
+    /// The default model is the paper's configuration
+    /// ([`NoiseModel::paper_defaults`]).
+    fn default() -> Self {
+        NoiseModel::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_v() {
+        let m = NoiseModel::paper_defaults();
+        assert_eq!(m.depolarizing_prob(), 0.001);
+        assert_eq!(m.amplitude_damping_prob(), 0.002);
+        assert_eq!(m.phase_flip_prob(), 0.001);
+    }
+
+    #[test]
+    fn noiseless_model_has_no_channels() {
+        let m = NoiseModel::noiseless();
+        assert!(m.is_noiseless());
+        assert!(m.channels().is_empty());
+    }
+
+    #[test]
+    fn channels_skip_zero_probabilities() {
+        let m = NoiseModel::new(0.0, 0.01, 0.0);
+        let channels = m.channels();
+        assert_eq!(channels.len(), 1);
+        assert_eq!(channels[0].kind(), ErrorKind::AmplitudeDamping);
+    }
+
+    #[test]
+    fn builder_methods_replace_single_probabilities() {
+        let m = NoiseModel::noiseless().with_phase_flip(0.25);
+        assert_eq!(m.phase_flip_prob(), 0.25);
+        assert_eq!(m.depolarizing_prob(), 0.0);
+        assert!(!m.is_noiseless());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must lie in [0, 1]")]
+    fn invalid_probability_is_rejected() {
+        let _ = NoiseModel::new(0.1, -0.2, 0.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! A dense state-vector representation of a pure quantum state.
+//!
+//! This is the array-based representation used by the baseline simulators
+//! the paper compares against (Qiskit's statevector simulator and the Atos
+//! QLM LinAlg simulator): all `2^n` amplitudes are stored explicitly and
+//! every gate touches half (or a quarter) of them.
+
+use qsdd_dd::{Complex, Matrix2};
+use rand::Rng;
+
+/// A dense `2^n` amplitude vector.
+///
+/// Qubit 0 is the most significant bit of the basis-state index, matching
+/// the convention of the decision diagram package.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_dd::Matrix2;
+/// use qsdd_statevector::StateVector;
+///
+/// let mut state = StateVector::new(2);
+/// state.apply_single(0, &Matrix2::hadamard());
+/// state.apply_controlled(&[0], 1, &Matrix2::pauli_x());
+/// assert!((state.probability_of_index(0b00) - 0.5).abs() < 1e-12);
+/// assert!((state.probability_of_index(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amplitudes: Vec<Complex>,
+}
+
+impl StateVector {
+    /// Creates the all-zero basis state `|0...0>` over `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 30` (the dense representation would not
+    /// fit in memory).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "state must contain at least one qubit");
+        assert!(n <= 30, "dense state vectors above 30 qubits are not supported");
+        let mut amplitudes = vec![Complex::ZERO; 1usize << n];
+        amplitudes[0] = Complex::ONE;
+        StateVector {
+            num_qubits: n,
+            amplitudes,
+        }
+    }
+
+    /// Creates a state from explicit amplitudes (length must be `2^n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two of at least 2.
+    pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Self {
+        assert!(
+            amplitudes.len() >= 2 && amplitudes.len().is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
+        StateVector {
+            num_qubits: amplitudes.len().trailing_zeros() as usize,
+            amplitudes,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw amplitudes in basis order.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amplitudes
+    }
+
+    /// The amplitude of basis state `index`.
+    pub fn amplitude(&self, index: u64) -> Complex {
+        self.amplitudes[index as usize]
+    }
+
+    /// The probability of observing basis state `index`.
+    pub fn probability_of_index(&self, index: u64) -> f64 {
+        self.amplitudes[index as usize].norm_sqr()
+    }
+
+    fn bit_mask(&self, qubit: usize) -> usize {
+        assert!(qubit < self.num_qubits, "qubit index out of range");
+        1usize << (self.num_qubits - 1 - qubit)
+    }
+
+    /// Applies a single-qubit unitary (or Kraus operator) to `target`.
+    pub fn apply_single(&mut self, target: usize, m: &Matrix2) {
+        let mask = self.bit_mask(target);
+        for i in 0..self.amplitudes.len() {
+            if i & mask == 0 {
+                let j = i | mask;
+                let a0 = self.amplitudes[i];
+                let a1 = self.amplitudes[j];
+                self.amplitudes[i] = m.entry(0, 0) * a0 + m.entry(0, 1) * a1;
+                self.amplitudes[j] = m.entry(1, 0) * a0 + m.entry(1, 1) * a1;
+            }
+        }
+    }
+
+    /// Applies a single-qubit operator to `target`, conditioned on every
+    /// qubit in `controls` being `|1>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a control equals the target or an index is out of range.
+    pub fn apply_controlled(&mut self, controls: &[usize], target: usize, m: &Matrix2) {
+        if controls.is_empty() {
+            return self.apply_single(target, m);
+        }
+        assert!(
+            !controls.contains(&target),
+            "control qubit equals the target"
+        );
+        let mask = self.bit_mask(target);
+        let control_mask: usize = controls.iter().map(|&c| self.bit_mask(c)).sum();
+        for i in 0..self.amplitudes.len() {
+            if i & mask == 0 && i & control_mask == control_mask {
+                let j = i | mask;
+                let a0 = self.amplitudes[i];
+                let a1 = self.amplitudes[j];
+                self.amplitudes[i] = m.entry(0, 0) * a0 + m.entry(0, 1) * a1;
+                self.amplitudes[j] = m.entry(1, 0) * a0 + m.entry(1, 1) * a1;
+            }
+        }
+    }
+
+    /// Exchanges two qubits.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "swap requires two distinct qubits");
+        let ma = self.bit_mask(a);
+        let mb = self.bit_mask(b);
+        for i in 0..self.amplitudes.len() {
+            let bit_a = i & ma != 0;
+            let bit_b = i & mb != 0;
+            if bit_a && !bit_b {
+                let j = (i & !ma) | mb;
+                self.amplitudes.swap(i, j);
+            }
+        }
+    }
+
+    /// Squared Euclidean norm of the state.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Rescales the state to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is (numerically) zero.
+    pub fn normalize(&mut self) {
+        let norm = self.norm_sqr().sqrt();
+        assert!(norm > 0.0, "cannot normalise the zero vector");
+        for a in &mut self.amplitudes {
+            *a = a.scale(1.0 / norm);
+        }
+    }
+
+    /// Probability of observing `|1>` on `qubit` (relative to the norm).
+    pub fn probability_one(&self, qubit: usize) -> f64 {
+        let mask = self.bit_mask(qubit);
+        let p1: f64 = self
+            .amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
+        let total = self.norm_sqr();
+        if total <= 0.0 {
+            0.0
+        } else {
+            (p1 / total).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Draws one complete measurement outcome without collapsing the state.
+    pub fn sample_measurement<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let total = self.norm_sqr();
+        let mut threshold = rng.gen::<f64>() * total;
+        for (i, a) in self.amplitudes.iter().enumerate() {
+            threshold -= a.norm_sqr();
+            if threshold <= 0.0 {
+                return i as u64;
+            }
+        }
+        (self.amplitudes.len() - 1) as u64
+    }
+
+    /// Projects onto `qubit = outcome` without renormalising; the squared
+    /// norm of the result is the outcome probability.
+    pub fn project(&mut self, qubit: usize, outcome: bool) {
+        let mask = self.bit_mask(qubit);
+        for (i, a) in self.amplitudes.iter_mut().enumerate() {
+            let bit = i & mask != 0;
+            if bit != outcome {
+                *a = Complex::ZERO;
+            }
+        }
+    }
+
+    /// Measures one qubit, collapsing the state, and returns the outcome.
+    pub fn measure_qubit<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) -> bool {
+        let p1 = self.probability_one(qubit);
+        let outcome = rng.gen::<f64>() < p1;
+        self.project(qubit, outcome);
+        self.normalize();
+        outcome
+    }
+
+    /// Resets a qubit to `|0>` by measuring it and flipping when needed.
+    pub fn reset_qubit<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) {
+        let outcome = self.measure_qubit(qubit, rng);
+        if outcome {
+            self.apply_single(qubit, &Matrix2::pauli_x());
+        }
+    }
+
+    /// Inner product `<self|other>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn inner_product(&self, other: &StateVector) -> Complex {
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "states have different sizes"
+        );
+        self.amplitudes
+            .iter()
+            .zip(&other.amplitudes)
+            .fold(Complex::ZERO, |acc, (a, b)| acc + a.conj() * *b)
+    }
+
+    /// Fidelity `|<self|other>|^2`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_state_is_all_zero_basis_state() {
+        let s = StateVector::new(3);
+        assert_eq!(s.amplitudes().len(), 8);
+        assert!((s.probability_of_index(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips_the_most_significant_qubit() {
+        let mut s = StateVector::new(3);
+        s.apply_single(0, &Matrix2::pauli_x());
+        assert!((s.probability_of_index(0b100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_then_cx_creates_bell_state() {
+        let mut s = StateVector::new(2);
+        s.apply_single(0, &Matrix2::hadamard());
+        s.apply_controlled(&[0], 1, &Matrix2::pauli_x());
+        assert!((s.probability_of_index(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability_of_index(3) - 0.5).abs() < 1e-12);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controlled_gate_does_nothing_without_control() {
+        let mut s = StateVector::new(2);
+        s.apply_controlled(&[0], 1, &Matrix2::pauli_x());
+        assert!((s.probability_of_index(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut s = StateVector::new(2);
+        s.apply_single(1, &Matrix2::pauli_x()); // |01>
+        s.apply_swap(0, 1); // -> |10>
+        assert!((s.probability_of_index(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_statistics_match_probabilities() {
+        let mut s = StateVector::new(1);
+        s.apply_single(0, &Matrix2::ry(2.0 * (0.3f64).sqrt().asin()));
+        // Probability of |1> is 0.3 by construction.
+        assert!((s.probability_one(0) - 0.3).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(5);
+        let ones: usize = (0..20_000)
+            .map(|_| usize::from(s.sample_measurement(&mut rng) == 1))
+            .sum();
+        let rate = ones as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed rate {rate}");
+    }
+
+    #[test]
+    fn measuring_collapses_the_state() {
+        let mut s = StateVector::new(2);
+        s.apply_single(0, &Matrix2::hadamard());
+        s.apply_controlled(&[0], 1, &Matrix2::pauli_x());
+        let mut rng = StdRng::seed_from_u64(11);
+        let outcome = s.measure_qubit(0, &mut rng);
+        let p1 = s.probability_one(1);
+        if outcome {
+            assert!((p1 - 1.0).abs() < 1e-10);
+        } else {
+            assert!(p1.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn reset_returns_qubit_to_zero() {
+        let mut s = StateVector::new(1);
+        s.apply_single(0, &Matrix2::hadamard());
+        let mut rng = StdRng::seed_from_u64(3);
+        s.reset_qubit(0, &mut rng);
+        assert!(s.probability_one(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let mut a = StateVector::new(2);
+        a.apply_single(0, &Matrix2::hadamard());
+        let b = a.clone();
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit index out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut s = StateVector::new(2);
+        s.apply_single(5, &Matrix2::pauli_x());
+    }
+}

@@ -1,0 +1,59 @@
+//! Entanglement (GHZ) scaling under noise — a small interactive version of
+//! Table Ia of the paper.
+//!
+//! For a sweep of qubit counts the example runs the stochastic decision
+//! diagram simulator and, where still feasible, the dense statevector
+//! baseline, and reports wall-clock times and the surviving GHZ-peak
+//! probability.
+//!
+//! Run with `cargo run --release --example ghz_noise`.
+
+use std::time::Instant;
+
+use qsdd::circuit::generators::ghz;
+use qsdd::core::{BackendKind, StochasticSimulator};
+use qsdd::noise::NoiseModel;
+
+fn main() {
+    let shots = 500;
+    let noise = NoiseModel::paper_defaults();
+    println!("GHZ scaling, {shots} stochastic runs per point, paper noise model");
+    println!("{:>6} {:>16} {:>16} {:>12}", "qubits", "DD time [s]", "dense time [s]", "peak mass");
+
+    for qubits in [8usize, 12, 16, 20, 24, 32, 48, 64] {
+        let circuit = ghz(qubits);
+
+        let dd = StochasticSimulator::new()
+            .with_backend(BackendKind::DecisionDiagram)
+            .with_shots(shots)
+            .with_noise(noise)
+            .with_seed(7);
+        let started = Instant::now();
+        let result = dd.run(&circuit);
+        let dd_time = started.elapsed().as_secs_f64();
+
+        let all_ones = if qubits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << qubits) - 1
+        };
+        let peak_mass = result.frequency(0) + result.frequency(all_ones);
+
+        // The dense baseline becomes impractical quickly; only run it while
+        // the state vector still fits comfortably in memory.
+        let dense_time = if qubits <= 16 {
+            let dense = StochasticSimulator::new()
+                .with_backend(BackendKind::Statevector)
+                .with_shots(shots)
+                .with_noise(noise)
+                .with_seed(7);
+            let started = Instant::now();
+            let _ = dense.run(&circuit);
+            format!("{:>16.3}", started.elapsed().as_secs_f64())
+        } else {
+            format!("{:>16}", "skipped")
+        };
+
+        println!("{qubits:>6} {dd_time:>16.3} {dense_time} {peak_mass:>12.4}");
+    }
+}

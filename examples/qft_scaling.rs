@@ -1,0 +1,53 @@
+//! Quantum Fourier Transform scaling — a small interactive version of
+//! Table Ib of the paper, with decision diagram size statistics.
+//!
+//! Run with `cargo run --release --example qft_scaling`.
+
+use std::time::Instant;
+
+use qsdd::circuit::generators::qft;
+use qsdd::core::{BackendKind, DdSimulator, StochasticSimulator};
+use qsdd::noise::NoiseModel;
+
+fn main() {
+    let shots = 200;
+    let noise = NoiseModel::paper_defaults();
+    println!("QFT scaling, {shots} stochastic runs per point, paper noise model");
+    println!(
+        "{:>6} {:>10} {:>10} {:>16} {:>16}",
+        "qubits", "gates", "DD nodes", "DD time [s]", "dense time [s]"
+    );
+
+    for qubits in [8usize, 12, 16, 20, 24, 32, 48, 64] {
+        let circuit = qft(qubits);
+        let gates = circuit.stats().gate_count;
+
+        // Size of the final decision diagram of a noiseless run: the QFT of
+        // |0...0> is a product state, so this stays linear in the qubit count.
+        let node_count = DdSimulator::new().simulate_noiseless(&circuit).node_count();
+
+        let dd = StochasticSimulator::new()
+            .with_backend(BackendKind::DecisionDiagram)
+            .with_shots(shots)
+            .with_noise(noise)
+            .with_seed(11);
+        let started = Instant::now();
+        let _ = dd.run(&circuit);
+        let dd_time = started.elapsed().as_secs_f64();
+
+        let dense_time = if qubits <= 16 {
+            let dense = StochasticSimulator::new()
+                .with_backend(BackendKind::Statevector)
+                .with_shots(shots)
+                .with_noise(noise)
+                .with_seed(11);
+            let started = Instant::now();
+            let _ = dense.run(&circuit);
+            format!("{:>16.3}", started.elapsed().as_secs_f64())
+        } else {
+            format!("{:>16}", "skipped")
+        };
+
+        println!("{qubits:>6} {gates:>10} {node_count:>10} {dd_time:>16.3} {dense_time}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: simulate a noisy GHZ-state preparation and inspect the
+//! measurement statistics.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use qsdd::circuit::generators::ghz;
+use qsdd::core::{Observable, StochasticSimulator};
+use qsdd::noise::NoiseModel;
+
+fn main() {
+    let qubits = 12;
+    let circuit = ghz(qubits);
+    println!(
+        "circuit: {} ({} gates)",
+        circuit.name(),
+        circuit.stats().gate_count
+    );
+
+    // The paper's noise model: depolarizing 0.1 %, T1 0.2 %, T2 0.1 %.
+    let noise = NoiseModel::paper_defaults();
+    let simulator = StochasticSimulator::new()
+        .with_shots(2000)
+        .with_noise(noise)
+        .with_seed(2021);
+
+    let all_ones = (1u64 << qubits) - 1;
+    let result = simulator.run_with_observables(
+        &circuit,
+        &[
+            Observable::BasisProbability(0),
+            Observable::BasisProbability(all_ones),
+        ],
+    );
+
+    println!(
+        "{} shots on {} threads in {:.3} s",
+        result.shots,
+        result.threads,
+        result.wall_time.as_secs_f64()
+    );
+    println!("average error events per run: {:.3}", result.error_rate());
+    println!("P(|0...0>) ~= {:.4}", result.observable_estimates[0]);
+    println!("P(|1...1>) ~= {:.4}", result.observable_estimates[1]);
+
+    // Show the five most frequent outcomes.
+    let mut outcomes: Vec<_> = result.counts.iter().collect();
+    outcomes.sort_by(|a, b| b.1.cmp(a.1));
+    println!("top outcomes:");
+    for (outcome, count) in outcomes.into_iter().take(5) {
+        println!(
+            "  |{outcome:0width$b}>  {count:5} ({:.2} %)",
+            100.0 * *count as f64 / result.shots as f64,
+            width = qubits
+        );
+    }
+}

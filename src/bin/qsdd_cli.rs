@@ -1,0 +1,265 @@
+//! `qsdd-cli` — command-line front-end for the stochastic decision-diagram
+//! simulator.
+//!
+//! ```text
+//! qsdd_cli run circuit.qasm --shots 2000 --seed 7
+//! qsdd_cli generate ghz 32 --shots 1000 --backend dd
+//! qsdd_cli generate qft 20 --noiseless --top 10
+//! ```
+//!
+//! The tool loads a circuit (from an OpenQASM 2.0 file or a built-in
+//! generator), runs the stochastic simulation under the configured noise
+//! model and prints the outcome histogram.
+
+use std::process::ExitCode;
+
+use qsdd::circuit::{generators, qasm, Circuit};
+use qsdd::core::{BackendKind, StochasticSimulator};
+use qsdd::noise::NoiseModel;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+struct Options {
+    circuit: Circuit,
+    shots: usize,
+    threads: usize,
+    seed: u64,
+    backend: BackendKind,
+    noise: NoiseModel,
+    top: usize,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    run(options);
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "\
+usage:
+  qsdd_cli run <circuit.qasm> [options]
+  qsdd_cli generate <ghz|qft|grover|bv|wstate|qaoa> <qubits> [options]
+
+options:
+  --shots <N>          number of stochastic runs (default 1000)
+  --threads <N>        worker threads, 0 = all cores (default 0)
+  --seed <N>           master seed (default 2021)
+  --backend <dd|dense> simulation engine (default dd)
+  --noiseless          disable all errors
+  --depolarizing <p>   gate error probability (default 0.001)
+  --damping <p>        amplitude damping / T1 probability (default 0.002)
+  --phaseflip <p>      phase flip / T2 probability (default 0.001)
+  --top <K>            number of outcomes to print (default 10)";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    if args.is_empty() {
+        return Err("missing command".to_string());
+    }
+    let mut iter = args.iter().peekable();
+    let command = iter.next().expect("nonempty").as_str();
+    let circuit = match command {
+        "run" => {
+            let path = iter
+                .next()
+                .ok_or_else(|| "missing OpenQASM file path".to_string())?;
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            qasm::parse_source(&source).map_err(|e| e.to_string())?
+        }
+        "generate" => {
+            let kind = iter
+                .next()
+                .ok_or_else(|| "missing generator name".to_string())?;
+            let qubits: usize = iter
+                .next()
+                .ok_or_else(|| "missing qubit count".to_string())?
+                .parse()
+                .map_err(|_| "qubit count must be an integer".to_string())?;
+            build_generator(kind, qubits)?
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    };
+
+    let mut options = Options {
+        circuit,
+        shots: 1000,
+        threads: 0,
+        seed: 2021,
+        backend: BackendKind::DecisionDiagram,
+        noise: NoiseModel::paper_defaults(),
+        top: 10,
+    };
+    let mut depolarizing = options.noise.depolarizing_prob();
+    let mut damping = options.noise.amplitude_damping_prob();
+    let mut phase_flip = options.noise.phase_flip_prob();
+    let mut noiseless = false;
+
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match flag.as_str() {
+            "--shots" => options.shots = parse_number(&value("--shots")?)?,
+            "--threads" => options.threads = parse_number(&value("--threads")?)?,
+            "--seed" => options.seed = parse_number(&value("--seed")?)? as u64,
+            "--top" => options.top = parse_number(&value("--top")?)?,
+            "--backend" => {
+                options.backend = match value("--backend")?.as_str() {
+                    "dd" => BackendKind::DecisionDiagram,
+                    "dense" => BackendKind::Statevector,
+                    other => return Err(format!("unknown backend `{other}`")),
+                }
+            }
+            "--noiseless" => noiseless = true,
+            "--depolarizing" => depolarizing = parse_probability(&value("--depolarizing")?)?,
+            "--damping" => damping = parse_probability(&value("--damping")?)?,
+            "--phaseflip" => phase_flip = parse_probability(&value("--phaseflip")?)?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    options.noise = if noiseless {
+        NoiseModel::noiseless()
+    } else {
+        NoiseModel::new(depolarizing, damping, phase_flip)
+    };
+    Ok(options)
+}
+
+fn build_generator(kind: &str, qubits: usize) -> Result<Circuit, String> {
+    let circuit = match kind {
+        "ghz" | "entanglement" => generators::ghz(qubits),
+        "qft" => generators::qft(qubits),
+        "grover" => generators::grover(qubits, 1, None),
+        "bv" => generators::bernstein_vazirani(qubits, 0x5555_5555_5555_5555),
+        "wstate" => generators::w_state(qubits),
+        "qaoa" => generators::qaoa_maxcut_ring(qubits, &[(0.4, 0.9), (0.7, 0.3)]),
+        other => return Err(format!("unknown generator `{other}`")),
+    };
+    Ok(circuit)
+}
+
+fn parse_number(text: &str) -> Result<usize, String> {
+    text.parse()
+        .map_err(|_| format!("`{text}` is not a valid number"))
+}
+
+fn parse_probability(text: &str) -> Result<f64, String> {
+    let p: f64 = text
+        .parse()
+        .map_err(|_| format!("`{text}` is not a valid probability"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("probability {p} is outside [0, 1]"));
+    }
+    Ok(p)
+}
+
+fn run(options: Options) {
+    let stats = options.circuit.stats();
+    println!(
+        "circuit `{}`: {} qubits, {} gates, depth {}",
+        options.circuit.name(),
+        options.circuit.num_qubits(),
+        stats.gate_count,
+        stats.depth
+    );
+    println!(
+        "noise: depolarizing {:.4}, damping {:.4}, phase flip {:.4}",
+        options.noise.depolarizing_prob(),
+        options.noise.amplitude_damping_prob(),
+        options.noise.phase_flip_prob()
+    );
+
+    let simulator = StochasticSimulator::new()
+        .with_backend(options.backend)
+        .with_shots(options.shots)
+        .with_threads(options.threads)
+        .with_seed(options.seed)
+        .with_noise(options.noise);
+    let result = simulator.run(&options.circuit);
+
+    println!(
+        "{} shots on {} threads in {:.3} s ({:.3} error events per run)",
+        result.shots,
+        result.threads,
+        result.wall_time.as_secs_f64(),
+        result.error_rate()
+    );
+    let mut outcomes: Vec<_> = result.counts.iter().collect();
+    outcomes.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!("top {} outcomes:", options.top.min(outcomes.len()));
+    for (outcome, count) in outcomes.into_iter().take(options.top) {
+        println!(
+            "  |{outcome:0width$b}>  {count:6}  ({:.2} %)",
+            100.0 * *count as f64 / result.shots as f64,
+            width = options.circuit.num_qubits()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_generate_command_with_flags() {
+        let options = parse_args(&args(&[
+            "generate", "ghz", "12", "--shots", "50", "--backend", "dense", "--noiseless",
+            "--top", "3",
+        ]))
+        .unwrap();
+        assert_eq!(options.circuit.num_qubits(), 12);
+        assert_eq!(options.shots, 50);
+        assert_eq!(options.backend, BackendKind::Statevector);
+        assert!(options.noise.is_noiseless());
+        assert_eq!(options.top, 3);
+    }
+
+    #[test]
+    fn parses_noise_overrides() {
+        let options = parse_args(&args(&[
+            "generate",
+            "qft",
+            "5",
+            "--depolarizing",
+            "0.01",
+            "--damping",
+            "0.02",
+            "--phaseflip",
+            "0.03",
+        ]))
+        .unwrap();
+        assert!((options.noise.depolarizing_prob() - 0.01).abs() < 1e-12);
+        assert!((options.noise.amplitude_damping_prob() - 0.02).abs() < 1e-12);
+        assert!((options.noise.phase_flip_prob() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_commands() {
+        assert!(parse_args(&args(&["explode"])).is_err());
+        assert!(parse_args(&args(&["generate", "ghz", "4", "--wat"])).is_err());
+        assert!(parse_args(&args(&["generate", "nope", "4"])).is_err());
+        assert!(parse_args(&args(&["generate", "ghz", "four"])).is_err());
+        assert!(parse_args(&args(&["run"])).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        let result = parse_args(&args(&["generate", "ghz", "4", "--damping", "1.5"]));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! Facade crate re-exporting the QSDD workspace.
+//!
+//! See the individual crates for details:
+//! - [`qsdd_dd`] — decision-diagram package
+//! - [`qsdd_circuit`] — circuit IR, OpenQASM front-end, generators
+//! - [`qsdd_noise`] — error channels and noise models
+//! - [`qsdd_statevector`] — dense statevector baseline simulator
+//! - [`qsdd_density`] — exact density-matrix reference simulator
+//! - [`qsdd_core`] — the stochastic decision-diagram simulator
+
+pub use qsdd_circuit as circuit;
+pub use qsdd_core as core;
+pub use qsdd_dd as dd;
+pub use qsdd_density as density;
+pub use qsdd_noise as noise;
+pub use qsdd_statevector as statevector;

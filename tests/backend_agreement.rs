@@ -1,0 +1,169 @@
+//! Cross-crate integration tests: the decision-diagram simulator, the dense
+//! statevector simulator and the exact density-matrix simulator must agree.
+
+use qsdd::circuit::generators::{bernstein_vazirani, ghz, grover, qft, random_circuit, w_state};
+use qsdd::circuit::Circuit;
+use qsdd::core::{BackendKind, DdSimulator, StochasticSimulator};
+use qsdd::dd::DdPackage;
+use qsdd::density;
+use qsdd::noise::NoiseModel;
+use qsdd::statevector::run_noiseless;
+
+/// Returns a copy of the circuit with measurements and resets removed, so
+/// that final-state amplitudes can be compared without mid-run collapses.
+fn unitary_part(circuit: &Circuit) -> Circuit {
+    let mut stripped = Circuit::with_name(circuit.num_qubits(), circuit.name());
+    for op in circuit {
+        if op.is_unitary() {
+            stripped.push(op.clone());
+        }
+    }
+    stripped
+}
+
+/// Runs a circuit noiselessly on the DD back-end and returns the dense
+/// amplitudes of the final state.
+fn dd_amplitudes(circuit: &Circuit) -> Vec<qsdd::dd::Complex> {
+    let run = DdSimulator::new().simulate_noiseless(circuit);
+    run.package.to_statevector(run.state, run.num_qubits)
+}
+
+fn assert_states_match(circuit: &Circuit, tolerance: f64) {
+    let circuit = unitary_part(circuit);
+    let dd = dd_amplitudes(&circuit);
+    let dense = run_noiseless(&circuit);
+    for (i, (a, b)) in dd.iter().zip(dense.amplitudes()).enumerate() {
+        assert!(
+            a.approx_eq(*b, tolerance),
+            "{}: amplitude {i} differs: dd {a} vs dense {b}",
+            circuit.name()
+        );
+    }
+}
+
+#[test]
+fn dd_and_dense_agree_on_standard_generators() {
+    assert_states_match(&ghz(8), 1e-9);
+    assert_states_match(&qft(7), 1e-9);
+    assert_states_match(&w_state(6), 1e-9);
+    assert_states_match(&grover(5, 19, Some(2)), 1e-9);
+    assert_states_match(&bernstein_vazirani(7, 0b10101), 1e-9);
+}
+
+#[test]
+fn dd_and_dense_agree_on_random_circuits() {
+    for seed in 0..5u64 {
+        let circuit = random_circuit(6, 6, seed);
+        assert_states_match(&circuit, 1e-8);
+    }
+}
+
+#[test]
+fn dd_monte_carlo_tracks_exact_density_matrix() {
+    // A strongly noisy 4-qubit GHZ circuit: the Monte-Carlo histogram of the
+    // DD simulator must match the exact outcome distribution.
+    let circuit = ghz(4);
+    let noise = NoiseModel::new(0.02, 0.03, 0.02);
+    let exact = density::outcome_distribution(&circuit, &noise);
+
+    let result = StochasticSimulator::new()
+        .with_shots(20_000)
+        .with_noise(noise)
+        .with_seed(123)
+        .run(&circuit);
+
+    for (index, &p_exact) in exact.iter().enumerate() {
+        let p_mc = result.frequency(index as u64);
+        assert!(
+            (p_mc - p_exact).abs() < 0.02,
+            "outcome {index}: exact {p_exact:.4} vs Monte-Carlo {p_mc:.4}"
+        );
+    }
+}
+
+#[test]
+fn dense_monte_carlo_tracks_exact_density_matrix() {
+    let circuit = ghz(3);
+    let noise = NoiseModel::new(0.03, 0.05, 0.03);
+    let exact = density::outcome_distribution(&circuit, &noise);
+
+    let result = StochasticSimulator::new()
+        .with_backend(BackendKind::Statevector)
+        .with_shots(15_000)
+        .with_noise(noise)
+        .with_seed(77)
+        .run(&circuit);
+
+    for (index, &p_exact) in exact.iter().enumerate() {
+        let p_mc = result.frequency(index as u64);
+        assert!(
+            (p_mc - p_exact).abs() < 0.025,
+            "outcome {index}: exact {p_exact:.4} vs Monte-Carlo {p_mc:.4}"
+        );
+    }
+}
+
+#[test]
+fn both_stochastic_backends_agree_under_noise() {
+    let circuit = qft(5);
+    let noise = NoiseModel::paper_defaults();
+    let dd = StochasticSimulator::new()
+        .with_shots(6000)
+        .with_noise(noise)
+        .with_seed(5)
+        .run(&circuit);
+    let dense = StochasticSimulator::new()
+        .with_backend(BackendKind::Statevector)
+        .with_shots(6000)
+        .with_noise(noise)
+        .with_seed(6)
+        .run(&circuit);
+    // The QFT of |0..0> is uniform; compare the total variation distance of
+    // the two empirical distributions loosely.
+    let mut tv = 0.0;
+    for index in 0..(1u64 << 5) {
+        tv += (dd.frequency(index) - dense.frequency(index)).abs();
+    }
+    tv /= 2.0;
+    assert!(tv < 0.08, "total variation distance too large: {tv}");
+}
+
+#[test]
+fn dd_simulator_scales_to_many_qubits_under_noise() {
+    // The headline capability: noisy GHZ simulation far beyond dense limits.
+    let circuit = ghz(64);
+    let result = StochasticSimulator::new()
+        .with_shots(50)
+        .with_noise(NoiseModel::paper_defaults())
+        .with_seed(4)
+        .run(&circuit);
+    let total: u64 = result.counts.values().sum();
+    assert_eq!(total, 50);
+    // The vast majority of runs still land on one of the two GHZ peaks.
+    let peak = result.frequency(0) + result.frequency(u64::MAX);
+    assert!(peak > 0.5, "peak mass {peak}");
+}
+
+#[test]
+fn measured_circuits_report_classical_bits_consistently() {
+    let mut circuit = Circuit::new(3);
+    circuit.x(0).cx(0, 1).measure_all();
+    let result = StochasticSimulator::new()
+        .with_shots(200)
+        .with_noise(NoiseModel::noiseless())
+        .with_seed(9)
+        .run(&circuit);
+    assert_eq!(result.frequency(0b110), 1.0);
+}
+
+#[test]
+fn dd_package_round_trips_dense_states_from_circuits() {
+    let circuit = random_circuit(5, 4, 99);
+    let dense = run_noiseless(&circuit);
+    let mut dd = DdPackage::new();
+    let edge = dd.from_statevector(dense.amplitudes());
+    let back = dd.to_statevector(edge, 5);
+    for (a, b) in dense.amplitudes().iter().zip(&back) {
+        assert!(a.approx_eq(*b, 1e-10));
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end test of the OpenQASM front-end: parse a source, simulate it on
+//! both stochastic back-ends and compare against the dense reference.
+
+use qsdd::circuit::qasm::parse_source;
+use qsdd::core::{BackendKind, DdSimulator, StochasticSimulator};
+use qsdd::noise::NoiseModel;
+use qsdd::statevector::run_noiseless;
+
+const ADDER_LIKE: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+gate majority a, b, c { cx c, b; cx c, a; ccx a, b, c; }
+h q[0];
+h q[1];
+majority q[0], q[1], q[2];
+rz(pi/8) q[2];
+cx q[2], q[3];
+u3(pi/2, 0, pi) q[3];
+measure q -> c;
+"#;
+
+#[test]
+fn parsed_circuit_matches_dense_reference() {
+    let parsed = parse_source(ADDER_LIKE).expect("sample parses");
+    assert_eq!(parsed.num_qubits(), 4);
+
+    // Compare the unitary part only (the trailing measurement collapses the
+    // DD state but is ignored by the dense noiseless executor).
+    let mut circuit = qsdd::circuit::Circuit::new(4);
+    for op in &parsed {
+        if op.is_unitary() {
+            circuit.push(op.clone());
+        }
+    }
+
+    // Noiseless DD amplitudes equal the dense amplitudes.
+    let run = DdSimulator::new().simulate_noiseless(&circuit);
+    let dd_amps = run.package.to_statevector(run.state, 4);
+    let dense = run_noiseless(&circuit);
+    for (a, b) in dd_amps.iter().zip(dense.amplitudes()) {
+        assert!(a.approx_eq(*b, 1e-10));
+    }
+}
+
+#[test]
+fn parsed_circuit_runs_on_both_stochastic_backends() {
+    let circuit = parse_source(ADDER_LIKE).expect("sample parses");
+    let noise = NoiseModel::paper_defaults();
+    for backend in [BackendKind::DecisionDiagram, BackendKind::Statevector] {
+        let result = StochasticSimulator::new()
+            .with_backend(backend)
+            .with_shots(300)
+            .with_noise(noise)
+            .with_seed(3)
+            .run(&circuit);
+        let total: u64 = result.counts.values().sum();
+        assert_eq!(total, 300);
+    }
+}
+
+#[test]
+fn ghz_qasm_matches_generator() {
+    let source = r#"
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[6];
+        h q[0];
+        cx q[0], q[1];
+        cx q[0], q[2];
+        cx q[0], q[3];
+        cx q[0], q[4];
+        cx q[0], q[5];
+    "#;
+    let parsed = parse_source(source).expect("ghz parses");
+    let generated = qsdd::circuit::generators::ghz(6);
+
+    let run_a = DdSimulator::new().simulate_noiseless(&parsed);
+    let run_b = DdSimulator::new().simulate_noiseless(&generated);
+    let a = run_a.package.to_statevector(run_a.state, 6);
+    let b = run_b.package.to_statevector(run_b.state, 6);
+    for (x, y) in a.iter().zip(&b) {
+        assert!(x.approx_eq(*y, 1e-12));
+    }
+}
