@@ -1,0 +1,258 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API subset the QSDD benches use — `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_with_input` and `Bencher::iter` — as a simple
+//! wall-clock harness printing mean iteration times. No statistics, plots or
+//! comparison against saved baselines; swap for the registry crate when
+//! network access is available.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("## {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut group = self.benchmark_group(name);
+        let mut bencher = Bencher::new(group.sample_size, group.measurement_time);
+        f(&mut bencher);
+        group.report(name, &bencher);
+        group.finish();
+    }
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter (qubit count, thread count, circuit name, ...).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of measured samples.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Sets the target measurement duration.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        bencher.warm_up = self.warm_up_time;
+        f(&mut bencher, input);
+        let id = id.id.clone();
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        bencher.warm_up = self.warm_up_time;
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        if let Some(mean) = bencher.mean() {
+            println!("{}/{id}  time: {}", self.name, format_duration(mean));
+        } else {
+            println!("{}/{id}  (no measurement)", self.name);
+        }
+    }
+
+    /// Ends the group (prints a trailing newline for readability).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Measures one closure, handed to the benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up: Duration,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Bencher {
+            sample_size,
+            measurement_time,
+            warm_up: Duration::from_millis(100),
+            total: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// Times repeated executions of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: at least one call, until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measurement: `sample_size` calls, early-stopping on the time budget
+        // (but always at least one measured call).
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        for _ in 0..self.sample_size.max(1) {
+            black_box(routine());
+            iterations += 1;
+            if started.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.total = started.elapsed();
+        self.iterations = iterations;
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        if self.iterations == 0 {
+            None
+        } else {
+            Some(self.total / self.iterations as u32)
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_at_least_one_iteration() {
+        let mut b = Bencher::new(5, Duration::from_millis(10));
+        b.warm_up = Duration::ZERO;
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert!(b.iterations >= 1);
+        assert!(calls >= b.iterations as u32);
+        assert!(b.mean().is_some());
+    }
+
+    #[test]
+    fn group_builders_chain() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::ZERO)
+            .measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::new("id", 1), &2u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

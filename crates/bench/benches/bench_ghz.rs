@@ -29,15 +29,23 @@ fn bench_ghz(c: &mut Criterion) {
 
     for n in [8usize, 16, 24, 32, 64] {
         let circuit = ghz(n);
-        group.bench_with_input(BenchmarkId::new("proposed_dd", n), &circuit, |b, circuit| {
-            let backend = DdSimulator::new();
-            b.iter(|| run_stochastic(&backend, circuit, &config(), &[]));
-        });
-        if n <= 16 {
-            group.bench_with_input(BenchmarkId::new("dense_baseline", n), &circuit, |b, circuit| {
-                let backend = DenseSimulator::new();
+        group.bench_with_input(
+            BenchmarkId::new("proposed_dd", n),
+            &circuit,
+            |b, circuit| {
+                let backend = DdSimulator::new();
                 b.iter(|| run_stochastic(&backend, circuit, &config(), &[]));
-            });
+            },
+        );
+        if n <= 16 {
+            group.bench_with_input(
+                BenchmarkId::new("dense_baseline", n),
+                &circuit,
+                |b, circuit| {
+                    let backend = DenseSimulator::new();
+                    b.iter(|| run_stochastic(&backend, circuit, &config(), &[]));
+                },
+            );
         }
     }
     group.finish();

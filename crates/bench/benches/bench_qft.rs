@@ -28,15 +28,23 @@ fn bench_qft(c: &mut Criterion) {
 
     for n in [8usize, 12, 16, 20, 24] {
         let circuit = qft(n);
-        group.bench_with_input(BenchmarkId::new("proposed_dd", n), &circuit, |b, circuit| {
-            let backend = DdSimulator::new();
-            b.iter(|| run_stochastic(&backend, circuit, &config(), &[]));
-        });
-        if n <= 12 {
-            group.bench_with_input(BenchmarkId::new("dense_baseline", n), &circuit, |b, circuit| {
-                let backend = DenseSimulator::new();
+        group.bench_with_input(
+            BenchmarkId::new("proposed_dd", n),
+            &circuit,
+            |b, circuit| {
+                let backend = DdSimulator::new();
                 b.iter(|| run_stochastic(&backend, circuit, &config(), &[]));
-            });
+            },
+        );
+        if n <= 12 {
+            group.bench_with_input(
+                BenchmarkId::new("dense_baseline", n),
+                &circuit,
+                |b, circuit| {
+                    let backend = DenseSimulator::new();
+                    b.iter(|| run_stochastic(&backend, circuit, &config(), &[]));
+                },
+            );
         }
     }
     group.finish();

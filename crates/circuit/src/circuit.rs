@@ -131,6 +131,29 @@ impl Circuit {
         }
     }
 
+    /// Rebuilds a circuit from raw parts, validating every operation.
+    ///
+    /// This is the constructor used by the `qsdd-transpile` pass pipeline to
+    /// materialise an optimized operation list back into a circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero or any operation fails validation
+    /// (see [`Circuit::push`]).
+    pub fn from_parts(
+        name: &str,
+        num_qubits: usize,
+        num_clbits: usize,
+        operations: Vec<Operation>,
+    ) -> Self {
+        let mut circuit = Circuit::with_name(num_qubits, name);
+        circuit.num_clbits = num_clbits;
+        for op in operations {
+            circuit.push(op);
+        }
+        circuit
+    }
+
     /// The circuit name (used in benchmark reports).
     pub fn name(&self) -> &str {
         &self.name
@@ -286,12 +309,7 @@ impl Circuit {
                 continue;
             }
             let touched = op.qubits();
-            let level = touched
-                .iter()
-                .map(|&q| qubit_depth[q])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let level = touched.iter().map(|&q| qubit_depth[q]).max().unwrap_or(0) + 1;
             for &q in &touched {
                 qubit_depth[q] = level;
             }

@@ -125,14 +125,16 @@ impl Gate {
             Gate::Sdg => Gate::S,
             Gate::T => Gate::Tdg,
             Gate::Tdg => Gate::T,
-            Gate::Sx => Gate::U3(-std::f64::consts::FRAC_PI_2, -std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2),
+            Gate::Sx => Gate::U3(
+                -std::f64::consts::FRAC_PI_2,
+                -std::f64::consts::FRAC_PI_2,
+                std::f64::consts::FRAC_PI_2,
+            ),
             Gate::Rx(t) => Gate::Rx(-t),
             Gate::Ry(t) => Gate::Ry(-t),
             Gate::Rz(t) => Gate::Rz(-t),
             Gate::Phase(l) => Gate::Phase(-l),
-            Gate::U2(phi, lambda) => {
-                Gate::U3(-std::f64::consts::FRAC_PI_2, -lambda, -phi)
-            }
+            Gate::U2(phi, lambda) => Gate::U3(-std::f64::consts::FRAC_PI_2, -lambda, -phi),
             Gate::U3(theta, phi, lambda) => Gate::U3(-theta, -lambda, -phi),
             g => g, // I, H, X, Y, Z, Swap are self-inverse
         }

@@ -80,7 +80,10 @@ fn uma(c: &mut Circuit, x: usize, y: usize, z: usize) {
 ///
 /// Panics if either operand width is zero.
 pub fn multiplier(a_bits: usize, b_bits: usize) -> Circuit {
-    assert!(a_bits > 0 && b_bits > 0, "operands must have at least one bit");
+    assert!(
+        a_bits > 0 && b_bits > 0,
+        "operands must have at least one bit"
+    );
     let prod_bits = a_bits + b_bits;
     let n = a_bits + b_bits + prod_bits + 1;
     let mut c = Circuit::with_name(n, &format!("multiplier_{n}"));
@@ -148,10 +151,13 @@ mod tests {
         let c = multiplier(2, 2);
         let toffolis = c
             .iter()
-            .filter(|op| {
-                matches!(op, crate::Operation::Gate { controls, .. } if controls.len() == 2)
-            })
+            .filter(
+                |op| matches!(op, crate::Operation::Gate { controls, .. } if controls.len() == 2),
+            )
             .count();
-        assert!(toffolis >= 8, "expected at least two Toffolis per partial product");
+        assert!(
+            toffolis >= 8,
+            "expected at least two Toffolis per partial product"
+        );
     }
 }

@@ -62,7 +62,10 @@ pub fn w_state(n: usize) -> Circuit {
 ///
 /// Panics if `n < 2`.
 pub fn bernstein_vazirani(n: usize, hidden: u64) -> Circuit {
-    assert!(n >= 2, "Bernstein-Vazirani needs at least one data qubit and an ancilla");
+    assert!(
+        n >= 2,
+        "Bernstein-Vazirani needs at least one data qubit and an ancilla"
+    );
     let data = n - 1;
     let ancilla = n - 1;
     let mut c = Circuit::with_name(n, &format!("bv_{n}"));

@@ -58,15 +58,24 @@ pub fn vqe_ansatz(n: usize, layers: usize, seed: u64) -> Circuit {
     let mut c = Circuit::with_name(n, &format!("vqe_uccsd_{n}"));
     for _ in 0..layers {
         for q in 0..n {
-            c.ry(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI), q);
-            c.rz(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI), q);
+            c.ry(
+                rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+                q,
+            );
+            c.rz(
+                rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+                q,
+            );
         }
         for q in 0..n.saturating_sub(1) {
             c.cx(q, q + 1);
         }
     }
     for q in 0..n {
-        c.ry(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI), q);
+        c.ry(
+            rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+            q,
+        );
     }
     c.measure_all();
     c
@@ -83,7 +92,10 @@ pub fn vqe_ansatz(n: usize, layers: usize, seed: u64) -> Circuit {
 ///
 /// Panics if `n < 2` or `reps == 0`.
 pub fn basis_trotter(n: usize, reps: usize) -> Circuit {
-    assert!(n >= 2 && reps > 0, "basis trotter needs two qubits and a repetition");
+    assert!(
+        n >= 2 && reps > 0,
+        "basis trotter needs two qubits and a repetition"
+    );
     let mut c = Circuit::with_name(n, &format!("basis_trotter_{n}"));
     for q in 0..n {
         c.h(q);

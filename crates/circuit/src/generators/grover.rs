@@ -81,7 +81,10 @@ fn diffusion(c: &mut Circuit, data: usize) {
 ///
 /// Panics if `n < 4`.
 pub fn sat_oracle_circuit(n: usize) -> Circuit {
-    assert!(n >= 4, "SAT circuit needs at least three variables and an ancilla");
+    assert!(
+        n >= 4,
+        "SAT circuit needs at least three variables and an ancilla"
+    );
     let vars = n - 1;
     let ancilla = n - 1;
     let mut c = Circuit::with_name(n, &format!("sat_{n}"));

@@ -52,7 +52,7 @@ pub fn qasmbench_suite() -> Vec<BenchmarkEntry> {
         ("multiplier_15", multiplier(3, 4)),
         ("bigadder_18", cuccaro_adder(8)),
         ("cc_18", counterfeit_coin(18)),
-        ("bv_19", bernstein_vazirani(19, 0b101_0101_0101_0101_01)),
+        ("bv_19", bernstein_vazirani(19, 0b1_0101_0101_0101_0101)),
     ];
     entries
         .into_iter()

@@ -144,12 +144,13 @@ fn tokenize(source: &str) -> Result<Vec<Token>, ParseQasmError> {
             c if c.is_ascii_digit() || c == '.' => {
                 let mut s = String::new();
                 while let Some(&c) = chars.peek() {
-                    if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' {
-                        s.push(c);
-                        chars.next();
-                    } else if (c == '+' || c == '-')
-                        && matches!(s.chars().last(), Some('e') | Some('E'))
-                    {
+                    let part_of_number = c.is_ascii_digit()
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || ((c == '+' || c == '-')
+                            && matches!(s.chars().last(), Some('e') | Some('E')));
+                    if part_of_number {
                         s.push(c);
                         chars.next();
                     } else {
@@ -497,10 +498,7 @@ impl Parser {
     // Emission
     // ------------------------------------------------------------------
 
-    fn resolve_qubits(
-        &self,
-        arg: &(String, Option<usize>),
-    ) -> Result<Vec<usize>, ParseQasmError> {
+    fn resolve_qubits(&self, arg: &(String, Option<usize>)) -> Result<Vec<usize>, ParseQasmError> {
         let reg = self
             .qregs
             .get(&arg.0)
@@ -515,14 +513,10 @@ impl Parser {
         }
     }
 
-    fn resolve_clbits(
-        &self,
-        arg: &(String, Option<usize>),
-    ) -> Result<Vec<usize>, ParseQasmError> {
-        let reg = self
-            .cregs
-            .get(&arg.0)
-            .ok_or_else(|| ParseQasmError::new(format!("unknown classical register `{}`", arg.0)))?;
+    fn resolve_clbits(&self, arg: &(String, Option<usize>)) -> Result<Vec<usize>, ParseQasmError> {
+        let reg = self.cregs.get(&arg.0).ok_or_else(|| {
+            ParseQasmError::new(format!("unknown classical register `{}`", arg.0))
+        })?;
         match arg.1 {
             Some(i) if i < reg.size => Ok(vec![reg.offset + i]),
             Some(i) => Err(ParseQasmError::new(format!(
@@ -553,9 +547,7 @@ impl Parser {
                 let qubits = self.resolve_qubits(q)?;
                 let clbits = self.resolve_clbits(c)?;
                 if qubits.len() != clbits.len() {
-                    return Err(ParseQasmError::new(
-                        "measure register sizes do not match",
-                    ));
+                    return Err(ParseQasmError::new("measure register sizes do not match"));
                 }
                 for (q, c) in qubits.into_iter().zip(clbits) {
                     circuit.measure(q, c);
@@ -738,9 +730,10 @@ impl Parser {
                 circuit.cx(qubits[0], qubits[1]);
             }
             other => {
-                let def = self.gate_defs.get(other).ok_or_else(|| {
-                    ParseQasmError::new(format!("unknown gate `{other}`"))
-                })?;
+                let def = self
+                    .gate_defs
+                    .get(other)
+                    .ok_or_else(|| ParseQasmError::new(format!("unknown gate `{other}`")))?;
                 if def.params.len() != params.len() || def.args.len() != qubits.len() {
                     return Err(ParseQasmError::new(format!(
                         "gate `{other}` called with wrong parameter or argument count"
@@ -800,11 +793,12 @@ enum Statement {
 // Expression evaluation
 // ---------------------------------------------------------------------------
 
-fn eval_expression(
-    tokens: &[Token],
-    env: &HashMap<String, f64>,
-) -> Result<f64, ParseQasmError> {
-    let mut parser = ExprParser { tokens, pos: 0, env };
+fn eval_expression(tokens: &[Token], env: &HashMap<String, f64>) -> Result<f64, ParseQasmError> {
+    let mut parser = ExprParser {
+        tokens,
+        pos: 0,
+        env,
+    };
     let value = parser.parse_sum()?;
     if parser.pos != tokens.len() {
         return Err(ParseQasmError::new("trailing tokens in expression"));

@@ -43,8 +43,12 @@ pub trait StochasticBackend: Sync {
     fn name(&self) -> &'static str;
 
     /// Executes one stochastic run of `circuit` under `noise`.
-    fn run_once(&self, circuit: &Circuit, noise: &NoiseModel, rng: &mut StdRng)
-        -> SingleRun<Self::State>;
+    fn run_once(
+        &self,
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        rng: &mut StdRng,
+    ) -> SingleRun<Self::State>;
 
     /// Evaluates a quadratic observable `|<omega|psi>|^2`-style property on
     /// the final state of a run.

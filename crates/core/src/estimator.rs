@@ -87,10 +87,7 @@ impl ObservableAccumulator {
         if self.samples == 0 {
             return vec![0.0; self.sums.len()];
         }
-        self.sums
-            .iter()
-            .map(|s| s / self.samples as f64)
-            .collect()
+        self.sums.iter().map(|s| s / self.samples as f64).collect()
     }
 }
 

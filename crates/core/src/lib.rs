@@ -54,3 +54,6 @@ pub use dense_backend::DenseSimulator;
 pub use estimator::{Observable, ObservableAccumulator};
 pub use simulator::{BackendKind, StochasticSimulator};
 pub use stochastic::{run_stochastic, StochasticConfig, StochasticOutcome};
+// Re-exported so `StochasticSimulator::with_opt_level` is usable without a
+// direct `qsdd-transpile` dependency.
+pub use qsdd_transpile::OptLevel;

@@ -96,7 +96,7 @@ mod tests {
         // tracking 1000 properties with an error margin of < 0.01 and a
         // confidence of 95%". The bound with exactly eps = 0.013 gives ~31k.
         let m = required_samples(1000, 0.0129, 0.05);
-        assert!(m >= 29_000 && m <= 32_000, "m = {m}");
+        assert!((29_000..=32_000).contains(&m), "m = {m}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use qsdd_circuit::Circuit;
 use qsdd_noise::NoiseModel;
+use qsdd_transpile::{layout, transpile, OptLevel, TranspileResult};
 
 use crate::dd_backend::DdSimulator;
 use crate::dense_backend::DenseSimulator;
@@ -45,15 +46,17 @@ pub enum BackendKind {
 pub struct StochasticSimulator {
     backend: BackendKind,
     config: StochasticConfig,
+    opt_level: OptLevel,
 }
 
 impl StochasticSimulator {
     /// Creates a simulator with the decision-diagram back-end, the paper's
-    /// noise model and 1024 shots.
+    /// noise model, 1024 shots and no circuit optimization.
     pub fn new() -> Self {
         StochasticSimulator {
             backend: BackendKind::DecisionDiagram,
             config: StochasticConfig::default(),
+            opt_level: OptLevel::O0,
         }
     }
 
@@ -87,9 +90,26 @@ impl StochasticSimulator {
         self
     }
 
+    /// Sets the circuit-optimization level applied before the shot loop.
+    ///
+    /// The circuit is transpiled **once** (see [`qsdd_transpile`]); every
+    /// stochastic run then executes the smaller circuit, so the savings
+    /// multiply by the shot count. Results are reported in the original
+    /// circuit's qubit order: outcomes and observables are remapped through
+    /// the transpiler's output layout when trailing SWAPs were elided.
+    pub fn with_opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
+        self
+    }
+
     /// The currently selected back-end.
     pub fn backend(&self) -> BackendKind {
         self.backend
+    }
+
+    /// The currently selected optimization level.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
     }
 
     /// The current run configuration.
@@ -104,11 +124,55 @@ impl StochasticSimulator {
 
     /// Runs the circuit while additionally estimating the given quadratic
     /// observables (Section III of the paper).
+    ///
+    /// With an optimization level above [`OptLevel::O0`] the circuit is
+    /// transpiled once before the shot loop; outcomes and observables are
+    /// reported in the original circuit's qubit order regardless.
     pub fn run_with_observables(
         &self,
         circuit: &Circuit,
         observables: &[Observable],
     ) -> StochasticOutcome {
+        if self.opt_level == OptLevel::O0 {
+            return self.dispatch(circuit, observables);
+        }
+        self.run_transpiled(&transpile(circuit, self.opt_level), observables)
+    }
+
+    /// Runs an already-transpiled circuit, remapping outcomes and
+    /// observables through its output layout so results are reported in the
+    /// *original* circuit's qubit order.
+    ///
+    /// Use this when the [`TranspileResult`] is needed anyway (e.g. to print
+    /// its report) to avoid transpiling twice; [`Self::run_with_observables`]
+    /// with an opt level is the convenience path that transpiles internally.
+    pub fn run_transpiled(
+        &self,
+        transpiled: &TranspileResult,
+        observables: &[Observable],
+    ) -> StochasticOutcome {
+        if transpiled.has_identity_layout() {
+            return self.dispatch(&transpiled.circuit, observables);
+        }
+        // A non-identity layout means trailing SWAPs were elided, which the
+        // transpiler only does for measurement-free circuits — there the
+        // outcome is a full-register sample, so remapping its bits through
+        // the layout restores the original qubit order exactly.
+        let output_layout = &transpiled.output_layout;
+        let mapped: Vec<Observable> = observables
+            .iter()
+            .map(|observable| remap_observable(observable, output_layout))
+            .collect();
+        let mut outcome = self.dispatch(&transpiled.circuit, &mapped);
+        outcome.counts = outcome
+            .counts
+            .into_iter()
+            .map(|(index, count)| (layout::restore_outcome(index, output_layout), count))
+            .collect();
+        outcome
+    }
+
+    fn dispatch(&self, circuit: &Circuit, observables: &[Observable]) -> StochasticOutcome {
         match self.backend {
             BackendKind::DecisionDiagram => {
                 run_stochastic(&DdSimulator::new(), circuit, &self.config, observables)
@@ -116,6 +180,24 @@ impl StochasticSimulator {
             BackendKind::Statevector => {
                 run_stochastic(&DenseSimulator::new(), circuit, &self.config, observables)
             }
+        }
+    }
+}
+
+/// Re-expresses an observable over the original qubits as one over the
+/// optimized circuit's qubits (`layout[q]` holds original qubit `q`).
+fn remap_observable(observable: &Observable, output_layout: &[usize]) -> Observable {
+    match observable {
+        Observable::QubitExcitation(q) => Observable::QubitExcitation(output_layout[*q]),
+        Observable::BasisProbability(index) => {
+            Observable::BasisProbability(layout::permute_index(*index, output_layout))
+        }
+        Observable::Fidelity(amplitudes) => {
+            let mut permuted = amplitudes.clone();
+            for (index, amplitude) in amplitudes.iter().enumerate() {
+                permuted[layout::permute_index(index as u64, output_layout) as usize] = *amplitude;
+            }
+            Observable::Fidelity(permuted)
         }
     }
 }
@@ -130,6 +212,7 @@ impl Default for StochasticSimulator {
 mod tests {
     use super::*;
     use qsdd_circuit::generators::{ghz, qft};
+    use qsdd_circuit::Circuit;
 
     #[test]
     fn facade_runs_both_backends() {
@@ -157,7 +240,10 @@ mod tests {
         // Eight outcomes, each with probability 1/8.
         for index in 0..8u64 {
             let freq = outcome.frequency(index);
-            assert!((freq - 0.125).abs() < 0.05, "outcome {index} frequency {freq}");
+            assert!(
+                (freq - 0.125).abs() < 0.05,
+                "outcome {index} frequency {freq}"
+            );
         }
     }
 
@@ -167,9 +253,70 @@ mod tests {
             .with_shots(200)
             .with_noise(NoiseModel::noiseless())
             .with_seed(5);
-        let outcome = simulator
-            .run_with_observables(&ghz(4), &[Observable::QubitExcitation(0)]);
+        let outcome = simulator.run_with_observables(&ghz(4), &[Observable::QubitExcitation(0)]);
         assert!((outcome.observable_estimates[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opt_levels_preserve_noiseless_statistics() {
+        // qft(3) ends in a trailing swap that O2 elides, exercising the
+        // outcome-remapping path end to end.
+        let run = |level: OptLevel| {
+            StochasticSimulator::new()
+                .with_shots(2000)
+                .with_noise(NoiseModel::noiseless())
+                .with_seed(3)
+                .with_opt_level(level)
+                .run(&qft(3))
+        };
+        let baseline = run(OptLevel::O0);
+        let optimized = run(OptLevel::O2);
+        for index in 0..8u64 {
+            let diff = (baseline.frequency(index) - optimized.frequency(index)).abs();
+            assert!(diff < 0.05, "outcome {index} drifted by {diff}");
+            assert!((optimized.frequency(index) - 0.125).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn opt_level_remaps_observables_through_the_layout() {
+        // Prepare |1> on qubit 1 only, then swap it onto qubit 2 at the very
+        // end: O2 elides the swap and must still report qubit 2 as excited.
+        let mut circuit = Circuit::new(3);
+        circuit.x(1).swap(1, 2);
+        let observables = [
+            Observable::QubitExcitation(1),
+            Observable::QubitExcitation(2),
+            Observable::BasisProbability(0b001),
+        ];
+        for level in [OptLevel::O0, OptLevel::O2] {
+            let outcome = StochasticSimulator::new()
+                .with_shots(50)
+                .with_noise(NoiseModel::noiseless())
+                .with_seed(4)
+                .with_opt_level(level)
+                .run_with_observables(&circuit, &observables);
+            assert!(
+                (outcome.observable_estimates[0] - 0.0).abs() < 1e-9,
+                "{level}"
+            );
+            assert!(
+                (outcome.observable_estimates[1] - 1.0).abs() < 1e-9,
+                "{level}"
+            );
+            assert!(
+                (outcome.observable_estimates[2] - 1.0).abs() < 1e-9,
+                "{level}"
+            );
+            assert!((outcome.frequency(0b001) - 1.0).abs() < 1e-12, "{level}");
+        }
+    }
+
+    #[test]
+    fn opt_level_accessor_round_trips() {
+        let simulator = StochasticSimulator::new().with_opt_level(OptLevel::O1);
+        assert_eq!(simulator.opt_level(), OptLevel::O1);
+        assert_eq!(StochasticSimulator::new().opt_level(), OptLevel::O0);
     }
 
     #[test]

@@ -111,10 +111,13 @@ impl StochasticOutcome {
     }
 
     /// The most frequent measurement outcome, if any run was performed.
+    ///
+    /// Ties are broken deterministically in favour of the smallest outcome
+    /// index (hash-map iteration order must not leak into results).
     pub fn most_frequent(&self) -> Option<u64> {
         self.counts
             .iter()
-            .max_by_key(|(_, &count)| count)
+            .max_by_key(|(&outcome, &count)| (count, std::cmp::Reverse(outcome)))
             .map(|(&outcome, _)| outcome)
     }
 
@@ -141,7 +144,18 @@ pub fn run_stochastic<B: StochasticBackend>(
     observables: &[Observable],
 ) -> StochasticOutcome {
     let started = Instant::now();
-    let threads = config.effective_threads().max(1).min(config.shots.max(1));
+    if config.shots == 0 {
+        // Nothing to run: return an empty outcome without spawning workers.
+        return StochasticOutcome {
+            counts: HashMap::new(),
+            shots: 0,
+            observable_estimates: vec![0.0; observables.len()],
+            error_events: 0,
+            wall_time: started.elapsed(),
+            threads: 0,
+        };
+    }
+    let threads = config.effective_threads().max(1).min(config.shots);
     let merged_counts: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
     let merged_observables: Mutex<ObservableAccumulator> =
         Mutex::new(ObservableAccumulator::new(observables.len()));
@@ -239,7 +253,10 @@ mod tests {
         let all_ones = (1u64 << 5) - 1;
         let p0 = outcome.frequency(0);
         let p1 = outcome.frequency(all_ones);
-        assert!((p0 + p1 - 1.0).abs() < 1e-12, "only the two GHZ outcomes occur");
+        assert!(
+            (p0 + p1 - 1.0).abs() < 1e-12,
+            "only the two GHZ outcomes occur"
+        );
         assert!(p0 > 0.35 && p1 > 0.35);
         assert_eq!(outcome.error_events, 0);
     }
@@ -269,8 +286,50 @@ mod tests {
         let all_ones = (1u64 << 4) - 1;
         for outcome in [0, all_ones] {
             let diff = (dd.frequency(outcome) - dense.frequency(outcome)).abs();
-            assert!(diff < 0.1, "frequency mismatch {diff} for outcome {outcome}");
+            assert!(
+                diff < 0.1,
+                "frequency mismatch {diff} for outcome {outcome}"
+            );
         }
+    }
+
+    #[test]
+    fn most_frequent_breaks_ties_by_smallest_outcome() {
+        let outcome = StochasticOutcome {
+            counts: HashMap::from([(7u64, 5u64), (2, 5), (4, 5), (9, 3)]),
+            shots: 18,
+            observable_estimates: Vec::new(),
+            error_events: 0,
+            wall_time: Duration::ZERO,
+            threads: 1,
+        };
+        // All of 2, 4, 7 are tied at 5 counts: the smallest index wins,
+        // independent of hash-map iteration order.
+        assert_eq!(outcome.most_frequent(), Some(2));
+        let empty = StochasticOutcome {
+            counts: HashMap::new(),
+            shots: 0,
+            observable_estimates: Vec::new(),
+            error_events: 0,
+            wall_time: Duration::ZERO,
+            threads: 0,
+        };
+        assert_eq!(empty.most_frequent(), None);
+    }
+
+    #[test]
+    fn zero_shots_yield_an_empty_outcome() {
+        let backend = DdSimulator::new();
+        let config = StochasticConfig::new(0).with_threads(4);
+        let observables = [Observable::QubitExcitation(0)];
+        let outcome = run_stochastic(&backend, &ghz(3), &config, &observables);
+        assert_eq!(outcome.shots, 0);
+        assert!(outcome.counts.is_empty());
+        assert_eq!(outcome.threads, 0);
+        assert_eq!(outcome.observable_estimates, vec![0.0]);
+        assert_eq!(outcome.most_frequent(), None);
+        assert_eq!(outcome.error_rate(), 0.0);
+        assert_eq!(outcome.frequency(0), 0.0);
     }
 
     #[test]

@@ -184,6 +184,7 @@ impl Mul<f64> for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }

@@ -241,7 +241,10 @@ impl ComplexTable {
         // A bucket spans several tolerances so that near-boundary values only
         // require inspecting the immediate neighbour buckets.
         let cell = self.tolerance * 4.0;
-        ((value.re / cell).round() as i64, (value.im / cell).round() as i64)
+        (
+            (value.re / cell).round() as i64,
+            (value.im / cell).round() as i64,
+        )
     }
 
     fn find(&self, value: Complex) -> Option<ComplexId> {
@@ -329,9 +332,7 @@ mod tests {
             .value(prod)
             .approx_eq(Complex::new(0.3, 0.4) * Complex::new(-0.1, 0.9), 1e-12));
         let sum = t.add(a, b);
-        assert!(t
-            .value(sum)
-            .approx_eq(Complex::new(0.2, 1.3), 1e-12));
+        assert!(t.value(sum).approx_eq(Complex::new(0.2, 1.3), 1e-12));
         let quot = t.div(prod, b);
         assert_eq!(quot, a);
         let conj = t.conj(a);

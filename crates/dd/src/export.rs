@@ -12,7 +12,7 @@ impl DdPackage {
     /// Returns the amplitude of the computational basis state `index` (qubit
     /// 0 is the most significant bit of the index).
     pub fn amplitude(&self, v: VecEdge, n: usize, index: u64) -> Complex {
-        assert!(n >= 1 && n <= 64, "qubit count must be within 1..=64");
+        assert!((1..=64).contains(&n), "qubit count must be within 1..=64");
         let mut value = self.ctable.value(v.weight);
         let mut node_id = v.node;
         for level in 0..n {
@@ -25,7 +25,7 @@ impl DdPackage {
             let node = self.vec_nodes[node_id.index()];
             let bit = ((index >> (n - 1 - level)) & 1) as usize;
             let edge = node.edges[bit];
-            value = value * self.ctable.value(edge.weight);
+            value *= self.ctable.value(edge.weight);
             node_id = edge.node;
         }
         value
@@ -77,12 +77,14 @@ impl DdPackage {
     /// `n >= 1`.
     pub fn from_statevector(&mut self, amplitudes: &[Complex]) -> VecEdge {
         let len = amplitudes.len();
-        assert!(len >= 2 && len.is_power_of_two(), "length must be 2^n, n >= 1");
-        let n = len.trailing_zeros() as usize;
-        self.from_slice_rec(amplitudes, 0, n)
+        assert!(
+            len >= 2 && len.is_power_of_two(),
+            "length must be 2^n, n >= 1"
+        );
+        self.slice_to_edge(amplitudes, 0)
     }
 
-    fn from_slice_rec(&mut self, amps: &[Complex], level: usize, n: usize) -> VecEdge {
+    fn slice_to_edge(&mut self, amps: &[Complex], level: usize) -> VecEdge {
         if amps.len() == 1 {
             if amps[0].is_zero() {
                 return VecEdge::zero();
@@ -91,8 +93,8 @@ impl DdPackage {
             return VecEdge::terminal(w);
         }
         let half = amps.len() / 2;
-        let c0 = self.from_slice_rec(&amps[..half], level + 1, n);
-        let c1 = self.from_slice_rec(&amps[half..], level + 1, n);
+        let c0 = self.slice_to_edge(&amps[..half], level + 1);
+        let c1 = self.slice_to_edge(&amps[half..], level + 1);
         self.make_vec_node(level as u16, [c0, c1])
     }
 
@@ -103,7 +105,10 @@ impl DdPackage {
     ///
     /// Panics if `n > 13` to guard against accidental exponential blow-up.
     pub fn to_matrix(&self, m: MatEdge, n: usize) -> Vec<Vec<Complex>> {
-        assert!(n <= 13, "refusing to materialise more than 2^26 matrix entries");
+        assert!(
+            n <= 13,
+            "refusing to materialise more than 2^26 matrix entries"
+        );
         let dim = 1usize << n;
         let mut out = vec![vec![Complex::ZERO; dim]; dim];
         self.fill_matrix(m, n, 0, 0, 0, Complex::ONE, &mut out);
@@ -129,7 +134,10 @@ impl DdPackage {
             out[row][col] = acc;
             return;
         }
-        debug_assert!(!edge.node.is_terminal(), "operator shorter than qubit count");
+        debug_assert!(
+            !edge.node.is_terminal(),
+            "operator shorter than qubit count"
+        );
         let node = self.mat_nodes[edge.node.index()];
         for r in 0..2 {
             for c in 0..2 {

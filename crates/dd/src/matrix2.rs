@@ -69,12 +69,7 @@ impl Matrix2 {
 
     /// The Hadamard matrix.
     pub const fn hadamard() -> Self {
-        Matrix2::from_real(
-            FRAC_1_SQRT_2,
-            FRAC_1_SQRT_2,
-            FRAC_1_SQRT_2,
-            -FRAC_1_SQRT_2,
-        )
+        Matrix2::from_real(FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2)
     }
 
     /// The phase gate `S = diag(1, i)`.
@@ -199,8 +194,7 @@ impl Matrix2 {
         let mut out = Matrix2::zero();
         for r in 0..2 {
             for c in 0..2 {
-                out.0[r][c] =
-                    self.0[r][0] * rhs.0[0][c] + self.0[r][1] * rhs.0[1][c];
+                out.0[r][c] = self.0[r][0] * rhs.0[0][c] + self.0[r][1] * rhs.0[1][c];
             }
         }
         out
@@ -271,7 +265,27 @@ impl Matrix2 {
 
     /// Returns `true` when the matrix is unitary up to tolerance `eps`.
     pub fn is_unitary(&self, eps: f64) -> bool {
-        self.matmul(&self.adjoint()).approx_eq(&Matrix2::identity(), eps)
+        self.matmul(&self.adjoint())
+            .approx_eq(&Matrix2::identity(), eps)
+    }
+
+    /// Returns `true` when the matrix equals the identity up to tolerance
+    /// `eps` (exactly, not up to a global phase).
+    pub fn is_identity(&self, eps: f64) -> bool {
+        self.approx_eq(&Matrix2::identity(), eps)
+    }
+
+    /// Returns `true` when the matrix is `e^{i alpha} * I` for some global
+    /// phase `alpha`, up to tolerance `eps`.
+    ///
+    /// A gate with such a matrix acts trivially when uncontrolled (the phase
+    /// is global), but *not* when controls are attached (the phase becomes
+    /// relative); callers must check the control set before dropping it.
+    pub fn is_identity_up_to_phase(&self, eps: f64) -> bool {
+        self.0[0][1].abs() < eps
+            && self.0[1][0].abs() < eps
+            && (self.0[0][0] - self.0[1][1]).abs() < eps
+            && (self.0[0][0].abs() - 1.0).abs() < eps
     }
 }
 
@@ -362,6 +376,17 @@ mod tests {
         let n_in = v[0].norm_sqr() + v[1].norm_sqr();
         let n_out = w[0].norm_sqr() + w[1].norm_sqr();
         assert!((n_in - n_out).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_predicates_distinguish_phases() {
+        assert!(Matrix2::identity().is_identity(1e-12));
+        assert!(Matrix2::identity().is_identity_up_to_phase(1e-12));
+        let phased = Matrix2::identity().scale(Complex::from_polar(1.0, 0.7));
+        assert!(!phased.is_identity(1e-12));
+        assert!(phased.is_identity_up_to_phase(1e-12));
+        assert!(!Matrix2::pauli_x().is_identity_up_to_phase(1e-12));
+        assert!(!Matrix2::pauli_z().is_identity_up_to_phase(1e-12));
     }
 
     #[test]

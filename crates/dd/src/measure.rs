@@ -48,8 +48,7 @@ impl DdPackage {
         if let Some(&cached) = self.ct_prob_one.get(&(edge.node, target)) {
             return wsq * cached;
         }
-        let p = self.prob_one_rec(node.edges[0], target)
-            + self.prob_one_rec(node.edges[1], target);
+        let p = self.prob_one_rec(node.edges[0], target) + self.prob_one_rec(node.edges[1], target);
         // Cache the probability of the node with unit incoming weight.
         if self.caching_enabled {
             self.ct_prob_one.insert((edge.node, target), p);
@@ -140,7 +139,8 @@ impl DdPackage {
             self.make_vec_node(node.var, [c0, c1])
         };
         if self.caching_enabled {
-            self.ct_collapse.insert((edge.node, target, outcome), result);
+            self.ct_collapse
+                .insert((edge.node, target, outcome), result);
         }
         VecEdge {
             node: result.node,
@@ -222,7 +222,6 @@ impl DdPackage {
         }
         seen.len()
     }
-
 }
 
 #[cfg(test)]

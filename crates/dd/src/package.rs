@@ -167,9 +167,7 @@ impl DdPackage {
     }
 
     pub(crate) fn maybe_trim_caches(&mut self) {
-        if self.ct_mat_vec.len() > self.cache_limit
-            || self.ct_vec_add.len() > self.cache_limit
-        {
+        if self.ct_mat_vec.len() > self.cache_limit || self.ct_vec_add.len() > self.cache_limit {
             self.clear_caches();
         }
     }
@@ -309,7 +307,7 @@ impl DdPackage {
     /// The computational basis state with index `index` (qubit 0 = most
     /// significant bit of the index, as in the paper's state-vector layout).
     pub fn basis_state_from_index(&mut self, n: usize, index: u64) -> VecEdge {
-        assert!(n >= 1 && n <= 64, "qubit count must be within 1..=64");
+        assert!((1..=64).contains(&n), "qubit count must be within 1..=64");
         self.basis_state_from_fn(n, |q| (index >> (n - 1 - q)) & 1 == 1)
     }
 
@@ -508,12 +506,11 @@ mod tests {
         let mut dd = DdPackage::new();
         let half = dd.lookup_complex(Complex::real(0.5));
         let quarter = dd.lookup_complex(Complex::real(0.25));
-        let e = dd.make_vec_node(
-            0,
-            [VecEdge::terminal(half), VecEdge::terminal(quarter)],
-        );
+        let e = dd.make_vec_node(0, [VecEdge::terminal(half), VecEdge::terminal(quarter)]);
         // The larger weight (0.5) is pulled out.
-        assert!(dd.complex_value(e.weight).approx_eq(Complex::real(0.5), 1e-12));
+        assert!(dd
+            .complex_value(e.weight)
+            .approx_eq(Complex::real(0.5), 1e-12));
         let node = dd.vec_node(e.node);
         assert!(node.edges[0].weight.is_one());
         assert!(dd
@@ -600,9 +597,6 @@ mod tests {
     #[should_panic(expected = "qubit 1 assigned twice")]
     fn duplicate_assignment_panics() {
         let mut dd = DdPackage::new();
-        let _ = dd.kron_operator(
-            3,
-            &[(1, Matrix2::pauli_x()), (1, Matrix2::pauli_z())],
-        );
+        let _ = dd.kron_operator(3, &[(1, Matrix2::pauli_x()), (1, Matrix2::pauli_z())]);
     }
 }

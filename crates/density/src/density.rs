@@ -38,7 +38,10 @@ impl DensityMatrix {
     /// memory).
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "density matrix needs at least one qubit");
-        assert!(n <= 12, "dense density matrices above 12 qubits are not supported");
+        assert!(
+            n <= 12,
+            "dense density matrices above 12 qubits are not supported"
+        );
         let dim = 1usize << n;
         let mut data = vec![Complex::ZERO; dim * dim];
         data[0] = Complex::ONE;
@@ -62,7 +65,10 @@ impl DensityMatrix {
             "amplitude count must be a power of two"
         );
         let n = amplitudes.len().trailing_zeros() as usize;
-        assert!(n <= 12, "dense density matrices above 12 qubits are not supported");
+        assert!(
+            n <= 12,
+            "dense density matrices above 12 qubits are not supported"
+        );
         let dim = amplitudes.len();
         let mut data = vec![Complex::ZERO; dim * dim];
         for r in 0..dim {

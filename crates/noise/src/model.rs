@@ -116,7 +116,10 @@ impl NoiseModel {
     pub fn channels(&self) -> Vec<ErrorChannel> {
         let mut out = Vec::with_capacity(3);
         if self.depolarizing > 0.0 {
-            out.push(ErrorChannel::new(ErrorKind::Depolarizing, self.depolarizing));
+            out.push(ErrorChannel::new(
+                ErrorKind::Depolarizing,
+                self.depolarizing,
+            ));
         }
         if self.amplitude_damping > 0.0 {
             out.push(ErrorChannel::new(

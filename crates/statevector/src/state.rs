@@ -40,7 +40,10 @@ impl StateVector {
     /// fit in memory).
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "state must contain at least one qubit");
-        assert!(n <= 30, "dense state vectors above 30 qubits are not supported");
+        assert!(
+            n <= 30,
+            "dense state vectors above 30 qubits are not supported"
+        );
         let mut amplitudes = vec![Complex::ZERO; 1usize << n];
         amplitudes[0] = Complex::ONE;
         StateVector {
@@ -224,6 +227,44 @@ impl StateVector {
         }
     }
 
+    /// Re-expresses the state under a qubit relabeling.
+    ///
+    /// `layout[q] = j` means: qubit `q` of the *returned* state takes the
+    /// amplitude role of qubit `j` of `self`. Formally, for every basis
+    /// index `b` of the result, `result[b] = self[b']` where bit `q` of `b`
+    /// equals bit `layout[q]` of `b'`.
+    ///
+    /// This is how the transpiler's elided trailing SWAP gates are undone:
+    /// running the optimized circuit and permuting with the recorded output
+    /// layout reproduces the original circuit's state exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout` is not a permutation of `0..num_qubits`.
+    pub fn permute_qubits(&self, layout: &[usize]) -> StateVector {
+        let n = self.num_qubits;
+        assert_eq!(layout.len(), n, "layout length must match the qubit count");
+        let mut seen = vec![false; n];
+        for &j in layout {
+            assert!(j < n && !seen[j], "layout is not a permutation");
+            seen[j] = true;
+        }
+        let mut amplitudes = vec![Complex::ZERO; self.amplitudes.len()];
+        for (b, amp) in amplitudes.iter_mut().enumerate() {
+            let mut source = 0usize;
+            for (q, &j) in layout.iter().enumerate() {
+                if b >> (n - 1 - q) & 1 == 1 {
+                    source |= 1 << (n - 1 - j);
+                }
+            }
+            *amp = self.amplitudes[source];
+        }
+        StateVector {
+            num_qubits: n,
+            amplitudes,
+        }
+    }
+
     /// Inner product `<self|other>`.
     ///
     /// # Panics
@@ -327,6 +368,33 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         s.reset_qubit(0, &mut rng);
         assert!(s.probability_one(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permute_qubits_matches_an_explicit_swap() {
+        // Prepare |01> then compare swap-as-gate against swap-as-relabeling.
+        let mut swapped = StateVector::new(2);
+        swapped.apply_single(1, &Matrix2::pauli_x());
+        let relabeled = swapped.permute_qubits(&[1, 0]);
+        swapped.apply_swap(0, 1);
+        assert!((swapped.fidelity(&relabeled) - 1.0).abs() < 1e-12);
+        assert!((relabeled.probability_of_index(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_layout_is_a_no_op() {
+        let mut s = StateVector::new(3);
+        s.apply_single(0, &Matrix2::hadamard());
+        s.apply_controlled(&[0], 2, &Matrix2::pauli_x());
+        let p = s.permute_qubits(&[0, 1, 2]);
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn invalid_layout_panics() {
+        let s = StateVector::new(2);
+        s.permute_qubits(&[0, 0]);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Output-layout bookkeeping for elided trailing SWAP gates.
+//!
+//! When [`crate::passes::ElideFinalSwaps`] removes a SWAP it records the
+//! relabeling in a *layout* permutation instead of applying the gate:
+//! `layout[q] = j` means the value of original qubit `q` lives on qubit `j`
+//! of the optimized circuit. The helpers here translate basis-state indices
+//! and measurement outcomes between the two frames; `qsdd-core` uses them to
+//! remap histograms and observables, `qsdd-statevector` applies the same
+//! convention in [`StateVector::permute_qubits`](qsdd_statevector::StateVector::permute_qubits).
+
+/// Returns `true` when the layout maps every qubit to itself.
+pub fn is_identity_layout(layout: &[usize]) -> bool {
+    layout.iter().enumerate().all(|(q, &j)| q == j)
+}
+
+/// Inverts a permutation: `inverse[layout[q]] == q`.
+///
+/// # Panics
+///
+/// Panics if `layout` is not a permutation of `0..layout.len()`.
+pub fn inverse_layout(layout: &[usize]) -> Vec<usize> {
+    let n = layout.len();
+    let mut inverse = vec![usize::MAX; n];
+    for (q, &j) in layout.iter().enumerate() {
+        assert!(
+            j < n && inverse[j] == usize::MAX,
+            "layout is not a permutation"
+        );
+        inverse[j] = q;
+    }
+    inverse
+}
+
+/// Moves bit `q` of `index` to bit position `layout[q]`.
+///
+/// Bit positions follow the workspace convention: qubit 0 is the most
+/// significant bit. For an original-frame basis index `b`, this returns the
+/// optimized-frame index `b'` with the same amplitude, because original
+/// qubit `q` is stored on optimized qubit `layout[q]`.
+pub fn permute_index(index: u64, layout: &[usize]) -> u64 {
+    let n = layout.len();
+    let mut permuted = 0u64;
+    for (q, &j) in layout.iter().enumerate() {
+        if index >> (n - 1 - q) & 1 == 1 {
+            permuted |= 1 << (n - 1 - j);
+        }
+    }
+    permuted
+}
+
+/// Maps an optimized-frame measurement outcome back to the original frame
+/// (original bit `q` = optimized bit `layout[q]`).
+pub fn restore_outcome(outcome: u64, layout: &[usize]) -> u64 {
+    let n = layout.len();
+    let mut restored = 0u64;
+    for (q, &j) in layout.iter().enumerate() {
+        if outcome >> (n - 1 - j) & 1 == 1 {
+            restored |= 1 << (n - 1 - q);
+        }
+    }
+    restored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_layout_is_detected() {
+        assert!(is_identity_layout(&[0, 1, 2]));
+        assert!(!is_identity_layout(&[1, 0, 2]));
+        assert!(is_identity_layout(&[]));
+    }
+
+    #[test]
+    fn inverse_undoes_the_permutation() {
+        let layout = vec![2, 0, 1];
+        let inverse = inverse_layout(&layout);
+        for q in 0..layout.len() {
+            assert_eq!(inverse[layout[q]], q);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn duplicate_entries_panic() {
+        inverse_layout(&[0, 0]);
+    }
+
+    #[test]
+    fn permute_and_restore_are_inverse_maps() {
+        let layout = vec![1, 2, 0];
+        for b in 0..8u64 {
+            let forward = permute_index(b, &layout);
+            assert_eq!(restore_outcome(forward, &layout), b);
+        }
+    }
+
+    #[test]
+    fn single_swap_layout_exchanges_bits() {
+        // layout for one elided swap(0, 1) over 2 qubits.
+        let layout = vec![1, 0];
+        assert_eq!(permute_index(0b10, &layout), 0b01);
+        assert_eq!(restore_outcome(0b01, &layout), 0b10);
+        assert_eq!(permute_index(0b11, &layout), 0b11);
+    }
+}

@@ -1,0 +1,61 @@
+//! # qsdd-transpile — circuit optimization for the stochastic hot path
+//!
+//! Stochastic quantum circuit simulation (Grurl, Kueng, Fuß, Wille, DATE
+//! 2021) runs the *same* circuit thousands of times to form Monte-Carlo
+//! estimates, so every gate removed from the circuit is saved once **per
+//! shot**. This crate provides the pre-execution optimization pipeline:
+//! a [`PassManager`] drives [`Pass`]es over a
+//! [`Circuit`](qsdd_circuit::Circuit) at a chosen [`OptLevel`], reporting
+//! per-pass gate-count deltas in a [`TranspileReport`].
+//!
+//! ## Passes
+//!
+//! | Pass | Effect |
+//! |------|--------|
+//! | [`passes::CancelInversePairs`] | adjacent gate/inverse pairs annihilate (`H·H`, `X·X`, `CX·CX`, `S·S†`, `T·T†`, `Swap·Swap`, ...) |
+//! | [`passes::MergeRotations`] | adjacent same-axis `Rx`/`Ry`/`Rz`/`Phase` rotations sum their angles; near-zero sums drop |
+//! | [`passes::FuseSingleQubitGates`] | runs of uncontrolled single-qubit gates collapse into one `U3` via [`Matrix2`](qsdd_dd::Matrix2) products |
+//! | [`passes::RemoveIdentities`] | gates whose matrix is the identity disappear |
+//! | [`passes::ElideFinalSwaps`] | trailing SWAPs become a recorded output relabeling ([`TranspileResult::output_layout`]) |
+//!
+//! ## Correctness
+//!
+//! Every pass preserves circuit semantics up to global phase; the
+//! [`verify`] module cross-checks optimized against original circuits for
+//! statevector fidelity ≈ 1 using `qsdd-statevector`, and the workspace
+//! test suite runs this check over all circuit generators and random
+//! circuits.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qsdd_circuit::generators::qft;
+//! use qsdd_transpile::{transpile, verify, OptLevel};
+//!
+//! let circuit = qft(10);
+//! let result = transpile(&circuit, OptLevel::O2);
+//!
+//! // Fewer gates to execute on every one of the thousands of shots ...
+//! assert!(result.circuit.stats().gate_count < circuit.stats().gate_count);
+//! println!("{}", result.report);
+//!
+//! // ... and still exactly the same circuit semantics.
+//! let fidelity = verify::fidelity(&circuit, &result);
+//! assert!(fidelity > 1.0 - 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod manager;
+mod pass;
+mod report;
+
+pub mod layout;
+pub mod passes;
+pub mod verify;
+
+pub use manager::{transpile, PassManager, TranspileResult};
+pub use pass::{OptLevel, Pass, TranspileState};
+pub use report::{PassRecord, TranspileReport};
+pub use verify::{transpile_verified, VerificationError, DEFAULT_FIDELITY_TOLERANCE};

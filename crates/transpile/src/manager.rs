@@ -1,0 +1,257 @@
+//! The pass pipeline driver.
+
+use qsdd_circuit::Circuit;
+
+use crate::pass::{OptLevel, Pass, TranspileState};
+use crate::passes::{
+    CancelInversePairs, ElideFinalSwaps, FuseSingleQubitGates, MergeRotations, RemoveIdentities,
+};
+use crate::report::{PassRecord, TranspileReport};
+
+/// Everything a transpilation produces: the optimized circuit, the output
+/// layout left by SWAP elision, and the per-pass accounting.
+#[derive(Clone, Debug)]
+pub struct TranspileResult {
+    /// The optimized circuit.
+    pub circuit: Circuit,
+    /// Output layout: the value of original qubit `q` lives on optimized
+    /// qubit `layout[q]`. Identity unless trailing SWAPs were elided; see
+    /// [`crate::layout`] for the remapping helpers.
+    pub output_layout: Vec<usize>,
+    /// Per-pass gate-count deltas.
+    pub report: TranspileReport,
+}
+
+impl TranspileResult {
+    /// Returns `true` when the output layout is the identity (no relabeling
+    /// needed when interpreting outcomes).
+    pub fn has_identity_layout(&self) -> bool {
+        crate::layout::is_identity_layout(&self.output_layout)
+    }
+}
+
+/// An ordered pipeline of [`Pass`]es, optionally iterated to a fixed point.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_circuit::Circuit;
+/// use qsdd_transpile::{OptLevel, PassManager};
+///
+/// let mut redundant = Circuit::new(2);
+/// redundant.h(0).h(0).cx(0, 1).cx(0, 1).x(1);
+///
+/// let result = PassManager::for_level(OptLevel::O2).run(&redundant);
+/// assert_eq!(result.circuit.stats().gate_count, 1);
+/// assert_eq!(result.report.total_removed(), 4);
+/// ```
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    max_iterations: usize,
+}
+
+impl PassManager {
+    /// An empty pipeline (the identity transpilation).
+    pub fn new() -> Self {
+        PassManager {
+            passes: Vec::new(),
+            max_iterations: 1,
+        }
+    }
+
+    /// The standard pipeline for an optimization level.
+    pub fn for_level(level: OptLevel) -> Self {
+        let mut manager = PassManager::new();
+        match level {
+            OptLevel::O0 => {}
+            OptLevel::O1 => {
+                manager
+                    .add_pass(Box::new(CancelInversePairs))
+                    .add_pass(Box::new(MergeRotations::default()))
+                    .add_pass(Box::new(RemoveIdentities::default()));
+            }
+            OptLevel::O2 => {
+                manager
+                    .add_pass(Box::new(CancelInversePairs))
+                    .add_pass(Box::new(MergeRotations::default()))
+                    .add_pass(Box::new(FuseSingleQubitGates::default()))
+                    .add_pass(Box::new(RemoveIdentities::default()))
+                    .add_pass(Box::new(ElideFinalSwaps));
+                manager.max_iterations = 4;
+            }
+        }
+        manager
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn add_pass(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Sets how often the whole pipeline repeats (it stops early once an
+    /// iteration removes no gate).
+    pub fn with_max_iterations(mut self, iterations: usize) -> Self {
+        self.max_iterations = iterations.max(1);
+        self
+    }
+
+    /// Names of the passes in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline over a circuit.
+    pub fn run(&self, circuit: &Circuit) -> TranspileResult {
+        let mut state = TranspileState::from_circuit(circuit);
+        let mut report = TranspileReport {
+            original: circuit.stats(),
+            ..TranspileReport::default()
+        };
+        for iteration in 1..=self.max_iterations {
+            let at_start = state.gate_count();
+            for pass in &self.passes {
+                let gates_before = state.gate_count();
+                pass.run(&mut state);
+                let gates_after = state.gate_count();
+                report.passes.push(PassRecord {
+                    pass: pass.name(),
+                    iteration,
+                    gates_before,
+                    gates_after,
+                });
+            }
+            report.iterations = iteration;
+            if state.gate_count() == at_start {
+                break;
+            }
+        }
+        let output_layout = state.layout.clone();
+        let circuit = state.into_circuit();
+        report.optimized = circuit.stats();
+        TranspileResult {
+            circuit,
+            output_layout,
+            report,
+        }
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::new()
+    }
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.pass_names())
+            .field("max_iterations", &self.max_iterations)
+            .finish()
+    }
+}
+
+/// Transpiles a circuit at the given optimization level with the standard
+/// pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_circuit::generators::qft;
+/// use qsdd_transpile::{transpile, OptLevel};
+///
+/// let result = transpile(&qft(10), OptLevel::O2);
+/// // The QFT's trailing qubit-reversal swaps are elided.
+/// assert!(result.circuit.stats().gate_count < qft(10).stats().gate_count);
+/// assert!(!result.has_identity_layout());
+/// ```
+pub fn transpile(circuit: &Circuit, level: OptLevel) -> TranspileResult {
+    PassManager::for_level(level).run(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdd_circuit::generators::{ghz, grover, qft};
+
+    #[test]
+    fn o0_is_the_identity_transpilation() {
+        let circuit = qft(6);
+        let result = transpile(&circuit, OptLevel::O0);
+        assert_eq!(result.circuit, circuit);
+        assert!(result.has_identity_layout());
+        assert_eq!(result.report.total_removed(), 0);
+    }
+
+    #[test]
+    fn pipeline_iterates_until_fixed_point() {
+        // Fusing t·tdg-sandwiched Hadamards needs a second iteration:
+        // the fusion pass first produces identities the cleanup removes,
+        // re-exposing new cancellation opportunities.
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).tdg(0).h(0);
+        let result = transpile(&c, OptLevel::O2);
+        assert_eq!(result.circuit.stats().gate_count, 0);
+    }
+
+    #[test]
+    fn qft_reduces_at_o2() {
+        let circuit = qft(10);
+        let result = transpile(&circuit, OptLevel::O2);
+        let before = circuit.stats().gate_count;
+        let after = result.circuit.stats().gate_count;
+        assert!(after < before, "no reduction: {before} -> {after}");
+        // Exactly the 5 reversal swaps go away.
+        assert_eq!(before - after, 5);
+        assert_eq!(result.report.total_removed(), 5);
+    }
+
+    #[test]
+    fn grover_reduces_at_o2() {
+        let circuit = grover(5, 11, None);
+        let result = transpile(&circuit, OptLevel::O2);
+        let before = circuit.stats().gate_count;
+        let after = result.circuit.stats().gate_count;
+        assert!(after < before, "no reduction: {before} -> {after}");
+    }
+
+    #[test]
+    fn ghz_is_already_minimal() {
+        let circuit = ghz(8);
+        let result = transpile(&circuit, OptLevel::O2);
+        assert_eq!(
+            result.circuit.stats().gate_count,
+            circuit.stats().gate_count
+        );
+    }
+
+    #[test]
+    fn report_names_every_pass_execution() {
+        let result = transpile(&qft(4), OptLevel::O1);
+        let names: Vec<_> = result.report.passes.iter().map(|r| r.pass).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cancel-inverse-pairs",
+                "merge-rotations",
+                "remove-identities"
+            ]
+        );
+        assert_eq!(result.report.iterations, 1);
+    }
+
+    #[test]
+    fn gate_count_never_increases() {
+        for level in OptLevel::ALL {
+            for circuit in [ghz(6), qft(7), grover(4, 3, Some(2))] {
+                let result = transpile(&circuit, level);
+                assert!(
+                    result.circuit.stats().gate_count <= circuit.stats().gate_count,
+                    "{level} increased gates on {}",
+                    circuit.name()
+                );
+            }
+        }
+    }
+}

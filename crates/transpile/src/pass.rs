@@ -1,0 +1,174 @@
+//! The pass abstraction: optimization levels, the [`Pass`] trait and the
+//! mutable [`TranspileState`] passes rewrite.
+
+use qsdd_circuit::{Circuit, Operation};
+
+/// How aggressively the transpiler optimizes.
+///
+/// * [`OptLevel::O0`] — no optimization; the circuit passes through
+///   untouched.
+/// * [`OptLevel::O1`] — one sweep of the cheap peephole passes
+///   (inverse-pair cancellation, rotation merging, identity elimination).
+/// * [`OptLevel::O2`] — the full pipeline including single-qubit gate
+///   fusion and trailing-SWAP elision, iterated to a fixed point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OptLevel {
+    /// No optimization.
+    #[default]
+    O0,
+    /// Cheap single-sweep peephole optimizations.
+    O1,
+    /// Full pipeline, iterated to a fixed point.
+    O2,
+}
+
+impl OptLevel {
+    /// All levels, in increasing aggressiveness.
+    pub const ALL: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptLevel::O0 => write!(f, "O0"),
+            OptLevel::O1 => write!(f, "O1"),
+            OptLevel::O2 => write!(f, "O2"),
+        }
+    }
+}
+
+impl std::str::FromStr for OptLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "0" | "O0" | "o0" => Ok(OptLevel::O0),
+            "1" | "O1" | "o1" => Ok(OptLevel::O1),
+            "2" | "O2" | "o2" => Ok(OptLevel::O2),
+            other => Err(format!("unknown optimization level `{other}`")),
+        }
+    }
+}
+
+/// The mutable circuit representation passes operate on.
+///
+/// Besides the operation list this carries the *output layout*: a
+/// permutation recording how measured qubit values of the original circuit
+/// map onto qubits of the optimized circuit (see
+/// [`crate::passes::ElideFinalSwaps`]). `layout[q] = j` means the value of
+/// original qubit `q` is found on optimized qubit `j`.
+#[derive(Clone, Debug)]
+pub struct TranspileState {
+    name: String,
+    num_qubits: usize,
+    num_clbits: usize,
+    /// The working operation list.
+    pub ops: Vec<Operation>,
+    /// Output layout accumulated by swap elision (identity when untouched).
+    pub layout: Vec<usize>,
+}
+
+impl TranspileState {
+    /// Captures a circuit into a mutable pass state.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        TranspileState {
+            name: circuit.name().to_string(),
+            num_qubits: circuit.num_qubits(),
+            num_clbits: circuit.num_clbits(),
+            ops: circuit.operations().to_vec(),
+            layout: (0..circuit.num_qubits()).collect(),
+        }
+    }
+
+    /// Number of qubits of the circuit being optimized.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of unitary gate operations currently in the list.
+    pub fn gate_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.is_unitary()).count()
+    }
+
+    /// Materialises the state back into a validated circuit.
+    pub fn into_circuit(self) -> Circuit {
+        Circuit::from_parts(&self.name, self.num_qubits, self.num_clbits, self.ops)
+    }
+}
+
+/// One rewrite of the operation list.
+///
+/// Passes must preserve circuit semantics: the optimized circuit, with the
+/// recorded output layout applied, must prepare the same state (up to global
+/// phase) as the original. [`crate::verify`] checks exactly this.
+pub trait Pass: Send + Sync {
+    /// Short name used in [`crate::TranspileReport`] entries.
+    fn name(&self) -> &'static str;
+
+    /// Rewrites the state in place.
+    fn run(&self, state: &mut TranspileState);
+}
+
+/// Index of the last operation in `ops` that acts on any of `qubits`, if
+/// any. Barriers conflict with everything (they are optimization fences).
+pub(crate) fn last_conflict(ops: &[Operation], qubits: &[usize]) -> Option<usize> {
+    ops.iter().rposition(|op| match op {
+        Operation::Barrier => true,
+        other => other.qubits().iter().any(|q| qubits.contains(q)),
+    })
+}
+
+/// Whether two control lists describe the same control set (order ignored).
+pub(crate) fn same_controls(a: &[usize], b: &[usize]) -> bool {
+    a.len() == b.len() && a.iter().all(|c| b.contains(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_level_round_trips_through_strings() {
+        for level in OptLevel::ALL {
+            let parsed: OptLevel = level.to_string().parse().unwrap();
+            assert_eq!(parsed, level);
+        }
+        assert_eq!("1".parse::<OptLevel>().unwrap(), OptLevel::O1);
+        assert!("3".parse::<OptLevel>().is_err());
+    }
+
+    #[test]
+    fn state_round_trips_a_circuit() {
+        let mut c = Circuit::with_name(3, "probe");
+        c.h(0).cx(0, 1).swap(1, 2).measure_all();
+        let state = TranspileState::from_circuit(&c);
+        assert_eq!(state.gate_count(), 3);
+        assert_eq!(state.layout, vec![0, 1, 2]);
+        let back = state.into_circuit();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn last_conflict_finds_the_latest_toucher() {
+        let mut c = Circuit::new(3);
+        c.h(0).x(1).cx(0, 2);
+        let ops = c.operations();
+        assert_eq!(last_conflict(ops, &[0]), Some(2));
+        assert_eq!(last_conflict(ops, &[1]), Some(1));
+        assert_eq!(last_conflict(&ops[..2], &[2]), None);
+    }
+
+    #[test]
+    fn barriers_conflict_with_every_qubit() {
+        let mut c = Circuit::new(2);
+        c.h(0).barrier();
+        assert_eq!(last_conflict(c.operations(), &[1]), Some(1));
+    }
+
+    #[test]
+    fn control_sets_ignore_order() {
+        assert!(same_controls(&[1, 2], &[2, 1]));
+        assert!(!same_controls(&[1], &[2]));
+        assert!(!same_controls(&[1, 2], &[1]));
+    }
+}

@@ -1,0 +1,199 @@
+//! Cancellation of adjacent gate/inverse pairs.
+
+use qsdd_circuit::Operation;
+
+use crate::pass::{last_conflict, same_controls, Pass, TranspileState};
+
+/// Cancels adjacent inverse pairs: `H·H`, `X·X`, `Y·Y`, `Z·Z`, `CX·CX`,
+/// `S·S†`, `T·T†`, `Rz(θ)·Rz(−θ)`, `Swap·Swap`, and every other pair where
+/// the second gate is the inverse of the first on the same target and
+/// control set.
+///
+/// [`Gate::inverse`](qsdd_circuit::Gate::inverse) is only guaranteed up to
+/// a *global* phase (e.g. `Sx.inverse()` is `e^{iπ/4}·Sx†`). A global phase
+/// is harmless for uncontrolled pairs, but controls turn it into a relative
+/// phase, so controlled pairs additionally require the product of the two
+/// matrices to be the exact identity before they cancel.
+///
+/// The scan looks through operations on disjoint qubits (they commute), so
+/// `H(0) X(1) H(0)` still cancels the Hadamards. Cancellation cascades
+/// within a single sweep: `H X X H` reduces to nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CancelInversePairs;
+
+/// Whether dropping the pair `prev; gate` (same target and controls) is
+/// semantics-preserving.
+fn cancels_exactly(prev: &qsdd_circuit::Gate, gate: &qsdd_circuit::Gate, controlled: bool) -> bool {
+    if prev.inverse() != *gate {
+        return false;
+    }
+    if !controlled {
+        return true;
+    }
+    match (prev.matrix(), gate.matrix()) {
+        // Controlled pair: the product must be the identity exactly, not
+        // just up to phase.
+        (Some(prev_matrix), Some(matrix)) => matrix.matmul(&prev_matrix).is_identity(1e-10),
+        _ => false,
+    }
+}
+
+impl Pass for CancelInversePairs {
+    fn name(&self) -> &'static str {
+        "cancel-inverse-pairs"
+    }
+
+    fn run(&self, state: &mut TranspileState) {
+        let mut out: Vec<Operation> = Vec::with_capacity(state.ops.len());
+        for op in state.ops.drain(..) {
+            let cancelled = match &op {
+                Operation::Gate {
+                    gate,
+                    target,
+                    controls,
+                } => last_conflict(&out, &op.qubits()).is_some_and(|idx| {
+                    let matches = matches!(
+                        &out[idx],
+                        Operation::Gate {
+                            gate: prev_gate,
+                            target: prev_target,
+                            controls: prev_controls,
+                        } if prev_target == target
+                            && same_controls(prev_controls, controls)
+                            && cancels_exactly(prev_gate, gate, !controls.is_empty())
+                    );
+                    if matches {
+                        out.remove(idx);
+                    }
+                    matches
+                }),
+                Operation::Swap { a, b } => last_conflict(&out, &[*a, *b]).is_some_and(|idx| {
+                    let matches = matches!(
+                        &out[idx],
+                        Operation::Swap { a: pa, b: pb }
+                            if (pa, pb) == (a, b) || (pb, pa) == (a, b)
+                    );
+                    if matches {
+                        out.remove(idx);
+                    }
+                    matches
+                }),
+                _ => false,
+            };
+            if !cancelled {
+                out.push(op);
+            }
+        }
+        state.ops = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdd_circuit::{Circuit, Gate};
+
+    fn run(circuit: &Circuit) -> Vec<Operation> {
+        let mut state = TranspileState::from_circuit(circuit);
+        CancelInversePairs.run(&mut state);
+        state.ops
+    }
+
+    #[test]
+    fn self_inverse_pairs_annihilate() {
+        let mut c = Circuit::new(2);
+        c.h(0)
+            .h(0)
+            .x(1)
+            .x(1)
+            .cx(0, 1)
+            .cx(0, 1)
+            .swap(0, 1)
+            .swap(1, 0);
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn adjoint_pairs_annihilate() {
+        let mut c = Circuit::new(1);
+        c.s(0).sdg(0).t(0).tdg(0).rz(0.7, 0).rz(-0.7, 0);
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn cancellation_cascades() {
+        let mut c = Circuit::new(1);
+        c.h(0).x(0).x(0).h(0);
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn disjoint_qubits_are_looked_through() {
+        let mut c = Circuit::new(2);
+        c.h(0).x(1).h(0);
+        let ops = run(&c);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(
+            &ops[0],
+            Operation::Gate {
+                gate: Gate::X,
+                target: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn intervening_entangler_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0);
+        assert_eq!(run(&c).len(), 3);
+    }
+
+    #[test]
+    fn phase_inexact_inverse_cancels_only_uncontrolled() {
+        // Sx.inverse() is Sx† only up to the global phase e^{iπ/4}: fine to
+        // drop without controls, wrong (a relative phase) with controls.
+        let inverse = Gate::Sx.inverse();
+        let mut uncontrolled = Circuit::new(1);
+        uncontrolled.sx(0).gate(inverse, 0);
+        assert!(run(&uncontrolled).is_empty());
+
+        let mut controlled = Circuit::new(2);
+        controlled
+            .controlled_gate(Gate::Sx, &[0], 1)
+            .controlled_gate(inverse, &[0], 1);
+        assert_eq!(run(&controlled).len(), 2);
+    }
+
+    #[test]
+    fn exact_controlled_inverses_still_cancel() {
+        let mut c = Circuit::new(2);
+        c.crz(0.7, 0, 1)
+            .crz(-0.7, 0, 1)
+            .cp(0.3, 0, 1)
+            .cp(-0.3, 0, 1);
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn different_control_sets_do_not_cancel() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2).ccx(0, 1, 2);
+        assert_eq!(run(&c).len(), 2);
+    }
+
+    #[test]
+    fn barrier_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.h(0).barrier().h(0);
+        assert_eq!(run(&c).len(), 3);
+    }
+
+    #[test]
+    fn measurement_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0, 0).h(0);
+        assert_eq!(run(&c).len(), 3);
+    }
+}

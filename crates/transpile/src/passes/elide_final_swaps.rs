@@ -1,0 +1,142 @@
+//! Elision of trailing SWAP gates into an output relabeling.
+
+use qsdd_circuit::Operation;
+
+use crate::pass::{Pass, TranspileState};
+
+/// Removes SWAP gates that are followed by no further operation on either
+/// qubit, recording the exchange in the state's output layout instead of
+/// executing it.
+///
+/// A trailing SWAP only relabels which wire carries which value — the
+/// classic example is the reversal network ending a QFT circuit. Running
+/// the circuit without the SWAP and permuting sampled outcomes through the
+/// layout gives bit-identical results while saving the gate *every shot*.
+///
+/// The pass is deliberately conservative: it only fires on circuits with no
+/// `Measure`/`Reset` operations (there the outcome is a full-register
+/// sample, which `qsdd-core` remaps through the layout; with explicit
+/// measurements the classical register would need rewriting as well).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ElideFinalSwaps;
+
+impl Pass for ElideFinalSwaps {
+    fn name(&self) -> &'static str {
+        "elide-final-swaps"
+    }
+
+    fn run(&self, state: &mut TranspileState) {
+        if state
+            .ops
+            .iter()
+            .any(|op| matches!(op, Operation::Measure { .. } | Operation::Reset { .. }))
+        {
+            return;
+        }
+        // Backward scan: a SWAP is elidable while both its qubits are still
+        // untouched by any later (non-elided) operation.
+        let mut dirty = vec![false; state.num_qubits()];
+        let mut elide = vec![false; state.ops.len()];
+        for (i, op) in state.ops.iter().enumerate().rev() {
+            match op {
+                Operation::Swap { a, b } if !dirty[*a] && !dirty[*b] => {
+                    elide[i] = true;
+                }
+                Operation::Barrier => {}
+                other => {
+                    for q in other.qubits() {
+                        dirty[q] = true;
+                    }
+                }
+            }
+        }
+        if !elide.contains(&true) {
+            return;
+        }
+        // Compose the elided swaps (in forward circuit order) into the
+        // layout: original bit q = optimized bit layout[q].
+        let mut elided_layout: Vec<usize> = (0..state.num_qubits()).collect();
+        let mut index = 0;
+        state.ops.retain(|op| {
+            let keep = !elide[index];
+            if !keep {
+                if let Operation::Swap { a, b } = op {
+                    elided_layout.swap(*a, *b);
+                }
+            }
+            index += 1;
+            keep
+        });
+        for entry in state.layout.iter_mut() {
+            *entry = elided_layout[*entry];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::TranspileState;
+    use qsdd_circuit::Circuit;
+
+    fn run(circuit: &Circuit) -> TranspileState {
+        let mut state = TranspileState::from_circuit(circuit);
+        ElideFinalSwaps.run(&mut state);
+        state
+    }
+
+    #[test]
+    fn trailing_swap_becomes_a_layout_entry() {
+        let mut c = Circuit::new(2);
+        c.h(0).swap(0, 1);
+        let state = run(&c);
+        assert_eq!(state.ops.len(), 1);
+        assert_eq!(state.layout, vec![1, 0]);
+    }
+
+    #[test]
+    fn chained_trailing_swaps_compose() {
+        let mut c = Circuit::new(3);
+        c.h(0).swap(0, 1).swap(1, 2);
+        let state = run(&c);
+        assert_eq!(state.ops.len(), 1);
+        // After swap(0,1); swap(1,2): original q0 holds old q1's wire, etc.
+        assert_eq!(state.layout, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn swap_followed_by_a_gate_stays() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).h(0);
+        let state = run(&c);
+        assert_eq!(state.ops.len(), 2);
+        assert_eq!(state.layout, vec![0, 1]);
+    }
+
+    #[test]
+    fn swap_followed_by_gate_on_other_qubits_is_elided() {
+        let mut c = Circuit::new(3);
+        c.swap(0, 1).h(2);
+        let state = run(&c);
+        assert_eq!(state.ops.len(), 1);
+        assert_eq!(state.layout, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn measurements_disable_the_pass() {
+        let mut c = Circuit::new(2);
+        c.h(0).swap(0, 1).measure_all();
+        let state = run(&c);
+        assert_eq!(state.ops.len(), 4);
+        assert_eq!(state.layout, vec![0, 1]);
+    }
+
+    #[test]
+    fn qft_reversal_network_is_fully_elided() {
+        let c = qsdd_circuit::generators::qft(6);
+        let before = c.stats().gate_count;
+        let state = run(&c);
+        assert_eq!(state.gate_count(), before - 3);
+        assert_eq!(state.layout, vec![5, 4, 3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,272 @@
+//! Fusion of single-qubit gate runs into one `U3`.
+
+use std::f64::consts::PI;
+
+use qsdd_circuit::{Gate, Operation};
+use qsdd_dd::Matrix2;
+
+use crate::pass::{last_conflict, Pass, TranspileState};
+
+/// Collapses runs of uncontrolled single-qubit gates on one qubit into a
+/// single gate by multiplying their dense 2x2 matrices ([`Matrix2`]) and
+/// re-synthesising the product as `U3(θ, φ, λ)` (or `Phase(λ)` when the
+/// product is diagonal, or nothing when it is the identity up to a global
+/// phase).
+///
+/// Only uncontrolled gates fuse: dropping the global phase of the product
+/// is safe exactly when no control ever turns it into a relative phase.
+/// Operations on other qubits are looked through; entanglers, measurements
+/// and barriers end a run.
+#[derive(Clone, Copy, Debug)]
+pub struct FuseSingleQubitGates {
+    /// Tolerance for recognising diagonal/identity products.
+    pub eps: f64,
+}
+
+impl Default for FuseSingleQubitGates {
+    fn default() -> Self {
+        FuseSingleQubitGates { eps: 1e-10 }
+    }
+}
+
+/// Re-synthesises a unitary 2x2 matrix as a gate, up to global phase.
+/// Returns `None` when the matrix is the identity up to phase.
+pub(crate) fn matrix_to_gate(m: &Matrix2, eps: f64) -> Option<Gate> {
+    if m.is_identity_up_to_phase(eps) {
+        return None;
+    }
+    let c = m.entry(0, 0).abs();
+    let s = m.entry(1, 0).abs();
+    if s < eps {
+        // Diagonal: a pure relative phase diag(1, e^{iλ}) up to global phase.
+        let lambda = wrap_angle(m.entry(1, 1).arg() - m.entry(0, 0).arg());
+        if lambda.abs() < eps {
+            return None;
+        }
+        return Some(Gate::Phase(lambda));
+    }
+    if c < eps {
+        // Anti-diagonal: U3(π, 0, λ) = [[0, −e^{iλ}], [1, 0]] up to phase.
+        let alpha = m.entry(1, 0).arg();
+        let lambda = wrap_angle((-m.entry(0, 1)).arg() - alpha);
+        return Some(Gate::U3(PI, 0.0, lambda));
+    }
+    // General case: factor out the phase of m00 so the U3 form
+    // [[cos, −e^{iλ}sin], [e^{iφ}sin, e^{i(φ+λ)}cos]] applies.
+    let alpha = m.entry(0, 0).arg();
+    let theta = 2.0 * s.atan2(c);
+    let phi = wrap_angle(m.entry(1, 0).arg() - alpha);
+    let lambda = wrap_angle((-m.entry(0, 1)).arg() - alpha);
+    Some(Gate::U3(theta, phi, lambda))
+}
+
+/// Wraps an angle into `(-π, π]`.
+fn wrap_angle(angle: f64) -> f64 {
+    let wrapped = angle.rem_euclid(2.0 * PI);
+    if wrapped > PI {
+        wrapped - 2.0 * PI
+    } else {
+        wrapped
+    }
+}
+
+impl Pass for FuseSingleQubitGates {
+    fn name(&self) -> &'static str {
+        "fuse-single-qubit"
+    }
+
+    fn run(&self, state: &mut TranspileState) {
+        let mut out: Vec<Operation> = Vec::with_capacity(state.ops.len());
+        for op in state.ops.drain(..) {
+            let Operation::Gate {
+                gate,
+                target,
+                controls,
+            } = &op
+            else {
+                out.push(op);
+                continue;
+            };
+            if !controls.is_empty() || gate.arity() != 1 {
+                out.push(op);
+                continue;
+            }
+            let matrix = gate.matrix().expect("single-qubit gates have a matrix");
+            let prev_matrix = last_conflict(&out, &[*target]).and_then(|idx| match &out[idx] {
+                Operation::Gate {
+                    gate: prev_gate,
+                    target: prev_target,
+                    controls: prev_controls,
+                } if prev_target == target
+                    && prev_controls.is_empty()
+                    && prev_gate.arity() == 1 =>
+                {
+                    let m = prev_gate.matrix().expect("single-qubit gate");
+                    out.remove(idx);
+                    Some(m)
+                }
+                _ => None,
+            });
+            let Some(prev_matrix) = prev_matrix else {
+                out.push(op);
+                continue;
+            };
+            // Circuit order: prev first, then the current gate.
+            let product = matrix.matmul(&prev_matrix);
+            if let Some(fused) = matrix_to_gate(&product, self.eps) {
+                out.push(Operation::Gate {
+                    gate: fused,
+                    target: *target,
+                    controls: Vec::new(),
+                });
+            }
+        }
+        state.ops = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdd_circuit::Circuit;
+    use qsdd_dd::Complex;
+
+    fn run(circuit: &Circuit) -> Vec<Operation> {
+        let mut state = TranspileState::from_circuit(circuit);
+        FuseSingleQubitGates::default().run(&mut state);
+        state.ops
+    }
+
+    /// The fused circuit must implement the same single-qubit unitary as
+    /// the original sequence, up to global phase.
+    fn assert_same_unitary(original: &[Gate], fused: &[Operation]) {
+        let product = |gates: &[Matrix2]| {
+            gates
+                .iter()
+                .fold(Matrix2::identity(), |acc, m| m.matmul(&acc))
+        };
+        let lhs = product(
+            &original
+                .iter()
+                .map(|g| g.matrix().unwrap())
+                .collect::<Vec<_>>(),
+        );
+        let rhs = product(
+            &fused
+                .iter()
+                .map(|op| match op {
+                    Operation::Gate { gate, .. } => gate.matrix().unwrap(),
+                    other => panic!("unexpected op {other:?}"),
+                })
+                .collect::<Vec<_>>(),
+        );
+        // Compare up to global phase by aligning the largest entry.
+        let phase = align_phase(&lhs, &rhs);
+        assert!(
+            lhs.approx_eq(&rhs.scale(phase), 1e-9),
+            "unitaries differ:\n{lhs:?}\nvs\n{rhs:?}"
+        );
+    }
+
+    fn align_phase(a: &Matrix2, b: &Matrix2) -> Complex {
+        for r in 0..2 {
+            for c in 0..2 {
+                if b.entry(r, c).abs() > 0.5 {
+                    return a.entry(r, c) * b.entry(r, c).recip();
+                }
+            }
+        }
+        Complex::ONE
+    }
+
+    #[test]
+    fn run_of_gates_becomes_one_gate() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0).s(0).x(0);
+        let ops = run(&c);
+        assert_eq!(ops.len(), 1);
+        assert_same_unitary(&[Gate::H, Gate::T, Gate::H, Gate::S, Gate::X], &ops);
+    }
+
+    #[test]
+    fn identity_products_vanish() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        assert!(run(&c).is_empty());
+        let mut c = Circuit::new(1);
+        c.x(0).y(0).z(0); // = iI, global phase only
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn diagonal_products_become_a_phase_gate() {
+        let mut c = Circuit::new(1);
+        c.t(0).t(0);
+        let ops = run(&c);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(
+            &ops[0],
+            Operation::Gate { gate: Gate::Phase(l), .. } if (l - std::f64::consts::FRAC_PI_2).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn single_gates_are_left_alone() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).t(1);
+        let ops = run(&c);
+        assert_eq!(ops.len(), 3);
+        assert!(matches!(&ops[0], Operation::Gate { gate: Gate::H, .. }));
+    }
+
+    #[test]
+    fn entangler_ends_a_run() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(0);
+        assert_eq!(run(&c).len(), 3);
+    }
+
+    #[test]
+    fn runs_fuse_across_disjoint_qubits() {
+        let mut c = Circuit::new(2);
+        c.h(0).x(1).t(0);
+        let ops = run(&c);
+        // h(0) and t(0) fuse despite the interleaved x(1).
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn anti_diagonal_products_round_trip() {
+        let gates = [Gate::X, Gate::Phase(0.4)];
+        let mut c = Circuit::new(1);
+        for g in gates {
+            c.gate(g, 0);
+        }
+        let ops = run(&c);
+        assert_eq!(ops.len(), 1);
+        assert_same_unitary(&gates, &ops);
+    }
+
+    #[test]
+    fn matrix_to_gate_reconstructs_random_unitaries() {
+        for (i, (theta, phi, lambda)) in [
+            (0.3f64, 0.8, -0.2),
+            (2.9, -1.4, 0.6),
+            (PI, 0.3, 0.9),
+            (0.0, 0.0, 1.1),
+            (1.5607, 2.2, -2.9),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let m = Matrix2::u3(theta, phi, lambda);
+            let gate = matrix_to_gate(&m, 1e-10).unwrap_or(Gate::I);
+            let back = gate.matrix().unwrap();
+            let phase = align_phase(&m, &back);
+            assert!(
+                m.approx_eq(&back.scale(phase), 1e-9),
+                "case {i}: u3({theta},{phi},{lambda}) not reconstructed"
+            );
+        }
+    }
+}

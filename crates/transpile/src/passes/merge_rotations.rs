@@ -1,0 +1,216 @@
+//! Merging of adjacent same-axis rotations.
+
+use std::f64::consts::TAU;
+
+use qsdd_circuit::{Gate, Operation};
+
+use crate::pass::{last_conflict, same_controls, Pass, TranspileState};
+
+/// The rotation families the pass merges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Axis {
+    Rx,
+    Ry,
+    Rz,
+    Phase,
+}
+
+fn axis_of(gate: &Gate) -> Option<(Axis, f64)> {
+    match *gate {
+        Gate::Rx(theta) => Some((Axis::Rx, theta)),
+        Gate::Ry(theta) => Some((Axis::Ry, theta)),
+        Gate::Rz(theta) => Some((Axis::Rz, theta)),
+        Gate::Phase(lambda) => Some((Axis::Phase, lambda)),
+        _ => None,
+    }
+}
+
+fn gate_of(axis: Axis, angle: f64) -> Gate {
+    match axis {
+        Axis::Rx => Gate::Rx(angle),
+        Axis::Ry => Gate::Ry(angle),
+        Axis::Rz => Gate::Rz(angle),
+        Axis::Phase => Gate::Phase(angle),
+    }
+}
+
+/// Merges adjacent `Rx`/`Ry`/`Rz`/`Phase` gates on the same qubit with the
+/// same control set by summing their angles (`Rz(a)·Rz(b) = Rz(a+b)`
+/// exactly). Sums that are a no-op drop entirely.
+///
+/// Dropping is phase-aware: a `Phase` gate drops when its angle is `0 mod
+/// 2π`; an uncontrolled rotation drops when its angle is `0 mod 2π` (at
+/// `2π` the rotation is `−I`, a global phase); a *controlled* rotation
+/// needs `0 mod 4π`, because the `−1` at `2π` is a relative phase there.
+#[derive(Clone, Copy, Debug)]
+pub struct MergeRotations {
+    /// Angles closer to a no-op than this drop. The fidelity error of a
+    /// drop is `O(eps²)`, so the default `1e-9` stays far below the
+    /// verification tolerance.
+    pub eps: f64,
+}
+
+impl Default for MergeRotations {
+    fn default() -> Self {
+        MergeRotations { eps: 1e-9 }
+    }
+}
+
+impl MergeRotations {
+    fn is_noop(&self, axis: Axis, angle: f64, controlled: bool) -> bool {
+        let period = match axis {
+            Axis::Phase => TAU,
+            _ if controlled => 2.0 * TAU,
+            _ => TAU,
+        };
+        let remainder = angle.rem_euclid(period);
+        remainder < self.eps || period - remainder < self.eps
+    }
+}
+
+impl Pass for MergeRotations {
+    fn name(&self) -> &'static str {
+        "merge-rotations"
+    }
+
+    fn run(&self, state: &mut TranspileState) {
+        let mut out: Vec<Operation> = Vec::with_capacity(state.ops.len());
+        for op in state.ops.drain(..) {
+            let Operation::Gate {
+                gate,
+                target,
+                controls,
+            } = &op
+            else {
+                out.push(op);
+                continue;
+            };
+            let Some((axis, angle)) = axis_of(gate) else {
+                out.push(op);
+                continue;
+            };
+            let mut merged_angle = angle;
+            if let Some(idx) = last_conflict(&out, &op.qubits()) {
+                if let Operation::Gate {
+                    gate: prev_gate,
+                    target: prev_target,
+                    controls: prev_controls,
+                } = &out[idx]
+                {
+                    if prev_target == target && same_controls(prev_controls, controls) {
+                        if let Some((prev_axis, prev_angle)) = axis_of(prev_gate) {
+                            if prev_axis == axis {
+                                merged_angle += prev_angle;
+                                out.remove(idx);
+                            }
+                        }
+                    }
+                }
+            }
+            if !self.is_noop(axis, merged_angle, !controls.is_empty()) {
+                out.push(Operation::Gate {
+                    gate: gate_of(axis, merged_angle),
+                    target: *target,
+                    controls: controls.clone(),
+                });
+            }
+        }
+        state.ops = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdd_circuit::Circuit;
+    use std::f64::consts::PI;
+
+    fn run(circuit: &Circuit) -> Vec<Operation> {
+        let mut state = TranspileState::from_circuit(circuit);
+        MergeRotations::default().run(&mut state);
+        state.ops
+    }
+
+    fn angle_of(op: &Operation) -> f64 {
+        match op {
+            Operation::Gate { gate, .. } => axis_of(gate).expect("rotation").1,
+            other => panic!("not a rotation: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_axis_angles_sum() {
+        let mut c = Circuit::new(1);
+        c.rz(0.3, 0).rz(0.4, 0);
+        let ops = run(&c);
+        assert_eq!(ops.len(), 1);
+        assert!((angle_of(&ops[0]) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_cascades_over_runs() {
+        let mut c = Circuit::new(1);
+        c.rx(0.1, 0).rx(0.2, 0).rx(0.3, 0);
+        let ops = run(&c);
+        assert_eq!(ops.len(), 1);
+        assert!((angle_of(&ops[0]) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_angles_drop() {
+        let mut c = Circuit::new(1);
+        c.ry(1.2, 0).ry(-1.2, 0).p(0.8, 0).p(-0.8, 0);
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn different_axes_do_not_merge() {
+        let mut c = Circuit::new(1);
+        c.rx(0.3, 0).rz(0.3, 0);
+        assert_eq!(run(&c).len(), 2);
+    }
+
+    #[test]
+    fn disjoint_qubits_are_looked_through() {
+        let mut c = Circuit::new(2);
+        c.rz(0.2, 0).x(1).rz(0.5, 0);
+        let ops = run(&c);
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn uncontrolled_two_pi_rotation_drops_but_controlled_survives() {
+        let mut c = Circuit::new(2);
+        c.rz(PI, 0).rz(PI, 0); // 2π: global phase −1, droppable
+        c.crz(PI, 0, 1);
+        c.crz(PI, 0, 1); // controlled 2π: relative phase, must stay
+        let ops = run(&c);
+        assert_eq!(ops.len(), 1);
+        assert!((angle_of(&ops[0]) - TAU).abs() < 1e-12);
+        assert!(matches!(
+            &ops[0],
+            Operation::Gate { controls, .. } if controls.len() == 1
+        ));
+    }
+
+    #[test]
+    fn controlled_four_pi_rotation_drops() {
+        let mut c = Circuit::new(2);
+        c.crz(TAU, 0, 1).crz(TAU, 0, 1);
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn phase_two_pi_drops_even_controlled() {
+        let mut c = Circuit::new(2);
+        c.cp(PI, 0, 1).cp(PI, 0, 1);
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn mismatched_controls_do_not_merge() {
+        let mut c = Circuit::new(2);
+        c.rz(0.3, 1).crz(0.4, 0, 1);
+        assert_eq!(run(&c).len(), 2);
+    }
+}

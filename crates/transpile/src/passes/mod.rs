@@ -1,0 +1,31 @@
+//! The optimization passes.
+//!
+//! Every pass is a peephole rewrite over the operation list that preserves
+//! circuit semantics (checked by [`crate::verify`]):
+//!
+//! * [`CancelInversePairs`] — adjacent gate/inverse pairs annihilate
+//!   (`H·H`, `X·X`, `CX·CX`, `S·S†`, `T·T†`, `Swap·Swap`, ...),
+//! * [`MergeRotations`] — adjacent rotations about the same axis on the
+//!   same qubit sum their angles; near-zero sums drop,
+//! * [`FuseSingleQubitGates`] — runs of uncontrolled single-qubit gates
+//!   collapse into one `U3` via dense 2x2 matrix products,
+//! * [`RemoveIdentities`] — gates whose matrix is the identity (identity
+//!   gates, zero-angle rotations) disappear,
+//! * [`ElideFinalSwaps`] — trailing SWAP gates become a recorded output
+//!   relabeling instead of executed gates.
+//!
+//! "Adjacent" always means adjacent *on the involved qubits*: operations on
+//! disjoint qubits commute and are looked through, while barriers fence off
+//! all optimization.
+
+mod cancel_inverses;
+mod elide_final_swaps;
+mod fuse_single_qubit;
+mod merge_rotations;
+mod remove_identities;
+
+pub use cancel_inverses::CancelInversePairs;
+pub use elide_final_swaps::ElideFinalSwaps;
+pub use fuse_single_qubit::FuseSingleQubitGates;
+pub use merge_rotations::MergeRotations;
+pub use remove_identities::RemoveIdentities;

@@ -1,0 +1,103 @@
+//! Elimination of gates that act as the identity.
+
+use qsdd_circuit::{Gate, Operation};
+
+use crate::pass::{Pass, TranspileState};
+
+/// Drops operations whose matrix is the identity: explicit `id` gates,
+/// zero-angle rotations (`Rx(0)`, `Rz(0)`, `Phase(0)`, `U3(0,0,0)`), and —
+/// for uncontrolled gates only — matrices that are the identity up to a
+/// global phase (controls turn a global phase into a relative one, so
+/// controlled phase-identities are kept).
+#[derive(Clone, Copy, Debug)]
+pub struct RemoveIdentities {
+    /// Matrix-entry tolerance for identity recognition.
+    pub eps: f64,
+}
+
+impl Default for RemoveIdentities {
+    fn default() -> Self {
+        RemoveIdentities { eps: 1e-10 }
+    }
+}
+
+impl Pass for RemoveIdentities {
+    fn name(&self) -> &'static str {
+        "remove-identities"
+    }
+
+    fn run(&self, state: &mut TranspileState) {
+        let eps = self.eps;
+        state.ops.retain(|op| {
+            let Operation::Gate { gate, controls, .. } = op else {
+                return true;
+            };
+            if matches!(gate, Gate::I) {
+                return false;
+            }
+            let Some(matrix) = gate.matrix() else {
+                return true;
+            };
+            if matrix.is_identity(eps) {
+                return false;
+            }
+            if controls.is_empty() && matrix.is_identity_up_to_phase(eps) {
+                return false;
+            }
+            true
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdd_circuit::Circuit;
+
+    fn run(circuit: &Circuit) -> Vec<Operation> {
+        let mut state = TranspileState::from_circuit(circuit);
+        RemoveIdentities::default().run(&mut state);
+        state.ops
+    }
+
+    #[test]
+    fn identity_gates_and_zero_rotations_drop() {
+        let mut c = Circuit::new(2);
+        c.gate(Gate::I, 0)
+            .rx(0.0, 0)
+            .rz(0.0, 1)
+            .p(0.0, 0)
+            .u3(0.0, 0.0, 0.0, 1)
+            .controlled_gate(Gate::I, &[0], 1)
+            .controlled_gate(Gate::Rz(0.0), &[0], 1);
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn real_gates_survive() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).rz(0.1, 1).swap(0, 1).measure_all();
+        assert_eq!(run(&c).len(), c.operations().len());
+    }
+
+    #[test]
+    fn uncontrolled_global_phase_identity_drops_controlled_stays() {
+        use std::f64::consts::TAU;
+        let mut c = Circuit::new(2);
+        c.rz(TAU, 0); // −I: global phase, droppable
+        c.crz(TAU, 0, 1); // controlled −I: relative phase, must stay
+        let ops = run(&c);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(
+            &ops[0],
+            Operation::Gate { controls, .. } if !controls.is_empty()
+        ));
+    }
+
+    #[test]
+    fn barriers_and_measurements_are_untouched() {
+        let mut c = Circuit::new(1);
+        c.barrier().measure(0, 0).reset(0);
+        assert_eq!(run(&c).len(), 3);
+    }
+}

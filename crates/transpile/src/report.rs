@@ -1,0 +1,128 @@
+//! Per-pass gate-count accounting.
+
+use qsdd_circuit::CircuitStats;
+use std::fmt;
+
+/// What one pass execution did to the gate count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassRecord {
+    /// Name of the pass.
+    pub pass: &'static str,
+    /// 1-based pipeline iteration this execution belongs to.
+    pub iteration: usize,
+    /// Unitary gate count before the pass ran.
+    pub gates_before: usize,
+    /// Unitary gate count after the pass ran.
+    pub gates_after: usize,
+}
+
+impl PassRecord {
+    /// Number of gates the pass removed (passes never add gates).
+    pub fn removed(&self) -> usize {
+        self.gates_before.saturating_sub(self.gates_after)
+    }
+}
+
+/// Summary of a full transpilation: original/optimized statistics plus one
+/// [`PassRecord`] per pass execution.
+#[derive(Clone, Debug, Default)]
+pub struct TranspileReport {
+    /// Statistics of the input circuit.
+    pub original: CircuitStats,
+    /// Statistics of the optimized circuit.
+    pub optimized: CircuitStats,
+    /// Per-pass deltas, in execution order.
+    pub passes: Vec<PassRecord>,
+    /// Number of pipeline iterations performed.
+    pub iterations: usize,
+}
+
+impl TranspileReport {
+    /// Total number of gates removed across all passes.
+    pub fn total_removed(&self) -> usize {
+        self.original
+            .gate_count
+            .saturating_sub(self.optimized.gate_count)
+    }
+
+    /// Fraction of the original gate count that was removed (0 for an empty
+    /// circuit).
+    pub fn reduction(&self) -> f64 {
+        if self.original.gate_count == 0 {
+            0.0
+        } else {
+            self.total_removed() as f64 / self.original.gate_count as f64
+        }
+    }
+}
+
+impl fmt::Display for TranspileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "transpiled: {} -> {} gates ({:.1} % removed), depth {} -> {}, {} iteration(s)",
+            self.original.gate_count,
+            self.optimized.gate_count,
+            100.0 * self.reduction(),
+            self.original.depth,
+            self.optimized.depth,
+            self.iterations,
+        )?;
+        for record in &self.passes {
+            if record.removed() > 0 {
+                writeln!(
+                    f,
+                    "  [iter {}] {:<24} -{} gates ({} -> {})",
+                    record.iteration,
+                    record.pass,
+                    record.removed(),
+                    record.gates_before,
+                    record.gates_after,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_reports_removed_gates() {
+        let record = PassRecord {
+            pass: "probe",
+            iteration: 1,
+            gates_before: 10,
+            gates_after: 7,
+        };
+        assert_eq!(record.removed(), 3);
+    }
+
+    #[test]
+    fn report_totals_and_reduction() {
+        let report = TranspileReport {
+            original: CircuitStats {
+                gate_count: 20,
+                ..CircuitStats::default()
+            },
+            optimized: CircuitStats {
+                gate_count: 15,
+                ..CircuitStats::default()
+            },
+            passes: vec![],
+            iterations: 2,
+        };
+        assert_eq!(report.total_removed(), 5);
+        assert!((report.reduction() - 0.25).abs() < 1e-12);
+        let text = report.to_string();
+        assert!(text.contains("20 -> 15"));
+    }
+
+    #[test]
+    fn empty_circuit_has_zero_reduction() {
+        let report = TranspileReport::default();
+        assert_eq!(report.reduction(), 0.0);
+    }
+}

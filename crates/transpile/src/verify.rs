@@ -1,0 +1,121 @@
+//! Equivalence checking of original vs. optimized circuits.
+//!
+//! Correctness of the pass pipeline is enforced by construction *and*
+//! checked by simulation: the optimized circuit, with the recorded output
+//! layout applied, must prepare the same statevector as the original (up to
+//! global phase), i.e. fidelity ≈ 1. The check runs on the dense
+//! `qsdd-statevector` back-end, so it is exact up to floating-point
+//! round-off — but also exponential in the qubit count; keep it to circuits
+//! of at most ~20 qubits (the test suite does).
+
+use qsdd_circuit::Circuit;
+use qsdd_statevector::run_noiseless;
+
+use crate::manager::{transpile, TranspileResult};
+use crate::pass::OptLevel;
+
+/// Fidelity below which [`verify`] rejects a transpilation. A correct pass
+/// pipeline stays within floating-point round-off of 1.
+pub const DEFAULT_FIDELITY_TOLERANCE: f64 = 1e-9;
+
+/// A transpilation that failed cross-checking.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerificationError {
+    /// The measured fidelity between original and optimized circuit.
+    pub fidelity: f64,
+    /// The tolerance that was violated (`fidelity < 1 - tolerance`).
+    pub tolerance: f64,
+}
+
+impl std::fmt::Display for VerificationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "optimized circuit diverges from the original: fidelity {} < 1 - {}",
+            self.fidelity, self.tolerance
+        )
+    }
+}
+
+impl std::error::Error for VerificationError {}
+
+/// Statevector fidelity `|<original|optimized>|²` between the original
+/// circuit and a transpilation of it, with the output layout applied.
+///
+/// Measurements and resets are ignored (the unitary part is compared),
+/// matching how the pass pipeline treats them as optimization fences.
+///
+/// # Panics
+///
+/// Panics if the circuit is wider than 30 qubits (dense statevector limit).
+pub fn fidelity(original: &Circuit, result: &TranspileResult) -> f64 {
+    let reference = run_noiseless(original);
+    let optimized = run_noiseless(&result.circuit).permute_qubits(&result.output_layout);
+    reference.fidelity(&optimized)
+}
+
+/// Cross-checks a transpilation, returning the measured fidelity or a
+/// [`VerificationError`] when it falls below `1 - tolerance`.
+pub fn verify(
+    original: &Circuit,
+    result: &TranspileResult,
+    tolerance: f64,
+) -> Result<f64, VerificationError> {
+    let fidelity = fidelity(original, result);
+    if fidelity < 1.0 - tolerance {
+        Err(VerificationError {
+            fidelity,
+            tolerance,
+        })
+    } else {
+        Ok(fidelity)
+    }
+}
+
+/// Transpiles and cross-checks in one step: the optimized circuit is only
+/// returned when its fidelity with the original is at least
+/// `1 - `[`DEFAULT_FIDELITY_TOLERANCE`].
+pub fn transpile_verified(
+    circuit: &Circuit,
+    level: OptLevel,
+) -> Result<TranspileResult, VerificationError> {
+    let result = transpile(circuit, level);
+    verify(circuit, &result, DEFAULT_FIDELITY_TOLERANCE)?;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdd_circuit::generators::{ghz, grover, qft, w_state};
+
+    #[test]
+    fn generators_verify_at_every_level() {
+        for level in OptLevel::ALL {
+            for circuit in [ghz(6), qft(8), grover(4, 9, None), w_state(5)] {
+                let result = transpile(&circuit, level);
+                let f = verify(&circuit, &result, DEFAULT_FIDELITY_TOLERANCE)
+                    .unwrap_or_else(|e| panic!("{} at {level}: {e}", circuit.name()));
+                assert!(f > 1.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn transpile_verified_returns_the_result() {
+        let circuit = qft(6);
+        let result = transpile_verified(&circuit, OptLevel::O2).unwrap();
+        assert!(result.circuit.stats().gate_count < circuit.stats().gate_count);
+    }
+
+    #[test]
+    fn a_wrong_transpilation_is_rejected() {
+        let mut original = Circuit::new(2);
+        original.h(0).cx(0, 1);
+        let mut broken = transpile(&original, OptLevel::O0);
+        broken.circuit.x(0); // corrupt the "optimized" circuit
+        let err = verify(&original, &broken, DEFAULT_FIDELITY_TOLERANCE).unwrap_err();
+        assert!(err.fidelity < 0.9);
+        assert!(err.to_string().contains("diverges"));
+    }
+}

@@ -18,7 +18,10 @@ fn main() {
     let shots = 500;
     let noise = NoiseModel::paper_defaults();
     println!("GHZ scaling, {shots} stochastic runs per point, paper noise model");
-    println!("{:>6} {:>16} {:>16} {:>12}", "qubits", "DD time [s]", "dense time [s]", "peak mass");
+    println!(
+        "{:>6} {:>16} {:>16} {:>12}",
+        "qubits", "DD time [s]", "dense time [s]", "peak mass"
+    );
 
     for qubits in [8usize, 12, 16, 20, 24, 32, 48, 64] {
         let circuit = ghz(qubits);

@@ -30,8 +30,9 @@ measure q -> c;
 
 fn main() {
     let source = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read `{path}`: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read `{path}`: {e}"))
+        }
         None => SAMPLE.to_string(),
     };
 

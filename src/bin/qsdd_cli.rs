@@ -14,8 +14,9 @@
 use std::process::ExitCode;
 
 use qsdd::circuit::{generators, qasm, Circuit};
-use qsdd::core::{BackendKind, StochasticSimulator};
+use qsdd::core::{BackendKind, OptLevel, StochasticSimulator};
 use qsdd::noise::NoiseModel;
+use qsdd::transpile::{transpile, verify, DEFAULT_FIDELITY_TOLERANCE};
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -27,6 +28,8 @@ struct Options {
     backend: BackendKind,
     noise: NoiseModel,
     top: usize,
+    opt: OptLevel,
+    verify_opt: bool,
 }
 
 fn main() -> ExitCode {
@@ -40,8 +43,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    run(options);
-    ExitCode::SUCCESS
+    run(options)
 }
 
 const USAGE: &str = "\
@@ -54,6 +56,10 @@ options:
   --threads <N>        worker threads, 0 = all cores (default 0)
   --seed <N>           master seed (default 2021)
   --backend <dd|dense> simulation engine (default dd)
+  --opt <0|1|2>        circuit optimization level (default 0); the gate-count
+                       report of the transpiler is printed for levels > 0
+  --verify-opt         cross-check the optimized circuit against the original
+                       via statevector fidelity before running (<= 22 qubits)
   --noiseless          disable all errors
   --depolarizing <p>   gate error probability (default 0.001)
   --damping <p>        amplitude damping / T1 probability (default 0.002)
@@ -71,8 +77,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             let path = iter
                 .next()
                 .ok_or_else(|| "missing OpenQASM file path".to_string())?;
-            let source = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let source =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             qasm::parse_source(&source).map_err(|e| e.to_string())?
         }
         "generate" => {
@@ -97,6 +103,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         backend: BackendKind::DecisionDiagram,
         noise: NoiseModel::paper_defaults(),
         top: 10,
+        opt: OptLevel::O0,
+        verify_opt: false,
     };
     let mut depolarizing = options.noise.depolarizing_prob();
     let mut damping = options.noise.amplitude_damping_prob();
@@ -121,6 +129,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown backend `{other}`")),
                 }
             }
+            "--opt" => {
+                options.opt = value("--opt")?.parse::<OptLevel>()?;
+            }
+            "--verify-opt" => options.verify_opt = true,
             "--noiseless" => noiseless = true,
             "--depolarizing" => depolarizing = parse_probability(&value("--depolarizing")?)?,
             "--damping" => damping = parse_probability(&value("--damping")?)?,
@@ -164,7 +176,7 @@ fn parse_probability(text: &str) -> Result<f64, String> {
     Ok(p)
 }
 
-fn run(options: Options) {
+fn run(options: Options) -> ExitCode {
     let stats = options.circuit.stats();
     println!(
         "circuit `{}`: {} qubits, {} gates, depth {}",
@@ -180,13 +192,39 @@ fn run(options: Options) {
         options.noise.phase_flip_prob()
     );
 
+    // Transpile once: the same result feeds the report, the optional
+    // verification and the simulation itself.
+    let transpiled = (options.opt != OptLevel::O0).then(|| {
+        let transpiled = transpile(&options.circuit, options.opt);
+        print!("{}", transpiled.report);
+        transpiled
+    });
+    if let (Some(transpiled), true) = (&transpiled, options.verify_opt) {
+        if options.circuit.num_qubits() <= 22 {
+            match verify::verify(&options.circuit, transpiled, DEFAULT_FIDELITY_TOLERANCE) {
+                Ok(fidelity) => println!("verified: fidelity {fidelity:.12}"),
+                Err(error) => {
+                    eprintln!("error: {error}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            eprintln!(
+                "warning: --verify-opt skipped (needs a dense statevector, circuit too wide)"
+            );
+        }
+    }
+
     let simulator = StochasticSimulator::new()
         .with_backend(options.backend)
         .with_shots(options.shots)
         .with_threads(options.threads)
         .with_seed(options.seed)
         .with_noise(options.noise);
-    let result = simulator.run(&options.circuit);
+    let result = match &transpiled {
+        Some(transpiled) => simulator.run_transpiled(transpiled, &[]),
+        None => simulator.run(&options.circuit),
+    };
 
     println!(
         "{} shots on {} threads in {:.3} s ({:.3} error events per run)",
@@ -205,6 +243,7 @@ fn run(options: Options) {
             width = options.circuit.num_qubits()
         );
     }
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -218,8 +257,16 @@ mod tests {
     #[test]
     fn parses_generate_command_with_flags() {
         let options = parse_args(&args(&[
-            "generate", "ghz", "12", "--shots", "50", "--backend", "dense", "--noiseless",
-            "--top", "3",
+            "generate",
+            "ghz",
+            "12",
+            "--shots",
+            "50",
+            "--backend",
+            "dense",
+            "--noiseless",
+            "--top",
+            "3",
         ]))
         .unwrap();
         assert_eq!(options.circuit.num_qubits(), 12);
@@ -261,5 +308,29 @@ mod tests {
     fn rejects_invalid_probability() {
         let result = parse_args(&args(&["generate", "ghz", "4", "--damping", "1.5"]));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn parses_opt_level_and_verify_flag() {
+        let options = parse_args(&args(&[
+            "generate",
+            "qft",
+            "6",
+            "--opt",
+            "2",
+            "--verify-opt",
+        ]))
+        .unwrap();
+        assert_eq!(options.opt, OptLevel::O2);
+        assert!(options.verify_opt);
+        let defaults = parse_args(&args(&["generate", "qft", "6"])).unwrap();
+        assert_eq!(defaults.opt, OptLevel::O0);
+        assert!(!defaults.verify_opt);
+    }
+
+    #[test]
+    fn rejects_unknown_opt_level() {
+        assert!(parse_args(&args(&["generate", "ghz", "4", "--opt", "9"])).is_err());
+        assert!(parse_args(&args(&["generate", "ghz", "4", "--opt"])).is_err());
     }
 }

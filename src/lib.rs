@@ -6,6 +6,7 @@
 //! - [`qsdd_noise`] — error channels and noise models
 //! - [`qsdd_statevector`] — dense statevector baseline simulator
 //! - [`qsdd_density`] — exact density-matrix reference simulator
+//! - [`qsdd_transpile`] — circuit-optimization pass pipeline
 //! - [`qsdd_core`] — the stochastic decision-diagram simulator
 
 pub use qsdd_circuit as circuit;
@@ -14,3 +15,4 @@ pub use qsdd_dd as dd;
 pub use qsdd_density as density;
 pub use qsdd_noise as noise;
 pub use qsdd_statevector as statevector;
+pub use qsdd_transpile as transpile;

@@ -34,9 +34,7 @@ fn bernstein_vazirani_recovers_the_hidden_string() {
     let result = noiseless(50).run(&circuit);
     // The classical register holds the hidden string: clbit q equals bit q of
     // `hidden`, and clbit 0 is the most significant bit of the outcome.
-    let expected = (0..n - 1).fold(0u64, |acc, q| {
-        (acc << 1) | ((hidden >> q) & 1)
-    }) << 1; // the ancilla clbit (last, least significant) stays 0
+    let expected = (0..n - 1).fold(0u64, |acc, q| (acc << 1) | ((hidden >> q) & 1)) << 1; // the ancilla clbit (last, least significant) stays 0
     assert_eq!(
         result.frequency(expected),
         1.0,
@@ -77,7 +75,7 @@ fn w_state_has_exactly_one_excitation_per_outcome() {
     let n = 7;
     let circuit = w_state(n);
     let result = noiseless(500).run(&circuit);
-    for (&outcome, _) in &result.counts {
+    for &outcome in result.counts.keys() {
         assert_eq!(
             outcome.count_ones(),
             1,

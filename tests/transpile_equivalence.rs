@@ -1,0 +1,316 @@
+//! Property-based equivalence tests for the `qsdd-transpile` pass pipeline:
+//! every pass — individually and composed at `O1`/`O2` — must preserve
+//! circuit semantics (statevector fidelity ≥ 1 − 1e−9 with the original,
+//! output layout applied) and must never increase the gate count. QASM
+//! sources round-trip through `O2` unchanged in semantics.
+
+use proptest::prelude::*;
+use qsdd::circuit::qasm::parse_source;
+use qsdd::circuit::{generators, Circuit};
+use qsdd::transpile::{passes, transpile, transpile_verified, verify, OptLevel, Pass, PassManager};
+
+const TOLERANCE: f64 = 1e-9;
+
+/// Strategy: a random circuit mixing single-qubit gates, rotations,
+/// entanglers, swaps and barriers — deliberately heavy on patterns the
+/// passes rewrite (adjacent duplicates, same-axis rotations, gate runs).
+fn arb_circuit(qubits: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    let op = (0..14u8, 0..qubits, 0..qubits, -3.2f64..3.2);
+    proptest::collection::vec(op, 1..max_len).prop_map(move |ops| {
+        let mut c = Circuit::new(qubits);
+        for (kind, a, b, angle) in ops {
+            match kind {
+                0 => {
+                    c.h(a);
+                }
+                1 => {
+                    c.x(a);
+                }
+                2 => {
+                    c.y(a);
+                }
+                3 => {
+                    c.z(a);
+                }
+                4 => {
+                    c.s(a);
+                }
+                5 => {
+                    c.sdg(a);
+                }
+                6 => {
+                    c.t(a);
+                }
+                7 => {
+                    c.tdg(a);
+                }
+                8 => {
+                    c.rx(angle, a);
+                }
+                9 => {
+                    c.rz(angle, a);
+                }
+                10 => {
+                    c.p(angle, a);
+                }
+                11 => {
+                    if a != b {
+                        c.cx(a, b);
+                    } else {
+                        c.ry(angle, a);
+                    }
+                }
+                12 => {
+                    if a != b {
+                        c.swap(a, b);
+                    } else {
+                        c.barrier();
+                    }
+                }
+                _ => {
+                    if a != b {
+                        c.cp(angle, a, b);
+                    } else {
+                        c.u3(angle, -0.4 * angle, 0.9 * angle, a);
+                    }
+                }
+            }
+        }
+        c
+    })
+}
+
+fn single_pass_manager(pass: Box<dyn Pass>) -> PassManager {
+    let mut manager = PassManager::new();
+    manager.add_pass(pass);
+    manager
+}
+
+fn assert_pass_preserves_semantics(pass: Box<dyn Pass>, circuit: &Circuit) {
+    let name = pass.name();
+    let manager = single_pass_manager(pass);
+    let result = manager.run(circuit);
+    assert!(
+        result.circuit.stats().gate_count <= circuit.stats().gate_count,
+        "{name} increased the gate count"
+    );
+    let fidelity = verify::fidelity(circuit, &result);
+    assert!(
+        fidelity >= 1.0 - TOLERANCE,
+        "{name} broke equivalence: fidelity {fidelity}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Inverse-pair cancellation preserves semantics on random circuits.
+    #[test]
+    fn cancel_inverse_pairs_is_sound(circuit in arb_circuit(4, 24)) {
+        assert_pass_preserves_semantics(Box::new(passes::CancelInversePairs), &circuit);
+    }
+
+    /// Rotation merging preserves semantics on random circuits.
+    #[test]
+    fn merge_rotations_is_sound(circuit in arb_circuit(4, 24)) {
+        assert_pass_preserves_semantics(Box::new(passes::MergeRotations::default()), &circuit);
+    }
+
+    /// Single-qubit fusion preserves semantics on random circuits.
+    #[test]
+    fn fuse_single_qubit_is_sound(circuit in arb_circuit(4, 24)) {
+        assert_pass_preserves_semantics(Box::new(passes::FuseSingleQubitGates::default()), &circuit);
+    }
+
+    /// Identity elimination preserves semantics on random circuits.
+    #[test]
+    fn remove_identities_is_sound(circuit in arb_circuit(4, 24)) {
+        assert_pass_preserves_semantics(Box::new(passes::RemoveIdentities::default()), &circuit);
+    }
+
+    /// Trailing-swap elision preserves semantics (the recorded layout makes
+    /// the permuted statevector match exactly).
+    #[test]
+    fn elide_final_swaps_is_sound(circuit in arb_circuit(4, 24)) {
+        assert_pass_preserves_semantics(Box::new(passes::ElideFinalSwaps), &circuit);
+    }
+
+    /// The full O1 and O2 pipelines preserve semantics and never grow the
+    /// circuit.
+    #[test]
+    fn full_pipelines_are_sound(circuit in arb_circuit(5, 32)) {
+        for level in [OptLevel::O1, OptLevel::O2] {
+            let result = transpile(&circuit, level);
+            prop_assert!(result.circuit.stats().gate_count <= circuit.stats().gate_count);
+            let fidelity = verify::fidelity(&circuit, &result);
+            prop_assert!(
+                fidelity >= 1.0 - TOLERANCE,
+                "{} broke equivalence: fidelity {}", level, fidelity
+            );
+        }
+    }
+
+    /// Transpiling twice changes nothing more: O2 reaches a fixed point.
+    #[test]
+    fn o2_is_idempotent(circuit in arb_circuit(4, 24)) {
+        let once = transpile(&circuit, OptLevel::O2);
+        let twice = transpile(&once.circuit, OptLevel::O2);
+        prop_assert_eq!(
+            once.circuit.stats().gate_count,
+            twice.circuit.stats().gate_count
+        );
+    }
+}
+
+/// Regression test: `Gate::inverse` is only an inverse up to global phase
+/// for some gates (`Sx`). Cancelling such a pair is fine uncontrolled but
+/// must NOT fire for controlled pairs, where the phase becomes relative.
+#[test]
+fn controlled_phase_inexact_inverse_pairs_are_preserved() {
+    use qsdd::circuit::Gate;
+    let mut circuit = Circuit::new(2);
+    circuit
+        .h(0)
+        .controlled_gate(Gate::Sx, &[0], 1)
+        .controlled_gate(Gate::Sx.inverse(), &[0], 1)
+        .h(0);
+    for level in [OptLevel::O1, OptLevel::O2] {
+        let result = transpile(&circuit, level);
+        let fidelity = verify::fidelity(&circuit, &result);
+        assert!(
+            fidelity >= 1.0 - TOLERANCE,
+            "controlled Sx pair broke at {level}: fidelity {fidelity}"
+        );
+    }
+    // The uncontrolled version is a pure global phase and may cancel fully.
+    let mut uncontrolled = Circuit::new(1);
+    uncontrolled.sx(0).gate(Gate::Sx.inverse(), 0);
+    let result = transpile(&uncontrolled, OptLevel::O2);
+    assert_eq!(result.circuit.stats().gate_count, 0);
+    assert!(verify::fidelity(&uncontrolled, &result) >= 1.0 - TOLERANCE);
+}
+
+#[test]
+fn every_generator_verifies_at_every_level() {
+    let suite: Vec<Circuit> = vec![
+        generators::ghz(7),
+        generators::qft(8),
+        generators::grover(4, 9, None),
+        generators::bernstein_vazirani(6, 0b101101),
+        generators::w_state(5),
+        generators::qaoa_maxcut_ring(6, &[(0.4, 0.9), (0.7, 0.3)]),
+        generators::quantum_phase_estimation(4, 0.3125),
+        generators::random_circuit(5, 40, 11),
+    ];
+    for circuit in suite {
+        for level in OptLevel::ALL {
+            let result = transpile(&circuit, level);
+            assert!(
+                result.circuit.stats().gate_count <= circuit.stats().gate_count,
+                "{} grew at {level}",
+                circuit.name()
+            );
+            let fidelity = verify::fidelity(&circuit, &result);
+            assert!(
+                fidelity >= 1.0 - TOLERANCE,
+                "{} at {level}: fidelity {fidelity}",
+                circuit.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn acceptance_qft10_and_grover_reduce_measurably_at_o2() {
+    let qft10 = generators::qft(10);
+    let result = transpile_verified(&qft10, OptLevel::O2).expect("qft verifies");
+    assert!(
+        result.report.total_removed() >= 5,
+        "qft(10) only removed {}",
+        result.report.total_removed()
+    );
+
+    let grover = generators::grover(6, 5, None);
+    let result = transpile_verified(&grover, OptLevel::O2).expect("grover verifies");
+    assert!(
+        result.report.reduction() > 0.3,
+        "grover only removed {:.1} %",
+        100.0 * result.report.reduction()
+    );
+}
+
+#[test]
+fn qasm_sources_round_trip_through_o2() {
+    let sources = [
+        // Redundancy-heavy source: everything should cancel or fuse.
+        r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[3];
+            h q[0]; h q[0];
+            x q[1]; x q[1];
+            t q[2]; tdg q[2];
+            cx q[0], q[1]; cx q[0], q[1];
+            rz(0.25) q[2]; rz(-0.25) q[2];
+        "#,
+        // A realistic mixed circuit with controls and rotations.
+        r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[4];
+            h q[0];
+            cx q[0], q[1];
+            rz(pi/8) q[1];
+            u3(pi/2, 0, pi) q[2];
+            ccx q[0], q[1], q[3];
+            swap q[2], q[3];
+        "#,
+        // Ends in a swap network that O2 turns into a layout.
+        r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[3];
+            h q[0]; cx q[0], q[1]; t q[2];
+            swap q[0], q[2];
+            swap q[1], q[2];
+        "#,
+    ];
+    for (i, source) in sources.iter().enumerate() {
+        let circuit = parse_source(source).expect("source parses");
+        let result = transpile(&circuit, OptLevel::O2);
+        let fidelity = verify::fidelity(&circuit, &result);
+        assert!(
+            fidelity >= 1.0 - TOLERANCE,
+            "qasm source {i} changed semantics: fidelity {fidelity}"
+        );
+        assert!(result.circuit.stats().gate_count <= circuit.stats().gate_count);
+    }
+    // The redundancy-heavy source optimizes away completely.
+    let circuit = parse_source(sources[0]).expect("source parses");
+    let result = transpile(&circuit, OptLevel::O2);
+    assert_eq!(result.circuit.stats().gate_count, 0);
+}
+
+#[test]
+fn pass_trait_objects_expose_names() {
+    let passes: Vec<Box<dyn Pass>> = vec![
+        Box::new(passes::CancelInversePairs),
+        Box::new(passes::MergeRotations::default()),
+        Box::new(passes::FuseSingleQubitGates::default()),
+        Box::new(passes::RemoveIdentities::default()),
+        Box::new(passes::ElideFinalSwaps),
+    ];
+    let names: Vec<_> = passes.iter().map(|p| p.name()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "cancel-inverse-pairs",
+            "merge-rotations",
+            "fuse-single-qubit",
+            "remove-identities",
+            "elide-final-swaps",
+        ]
+    );
+    // And the standard O2 pipeline is exactly these passes.
+    assert_eq!(PassManager::for_level(OptLevel::O2).pass_names(), names);
+}
