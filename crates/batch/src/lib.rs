@@ -1,0 +1,63 @@
+//! # qsdd-batch — multi-job batch execution for the stochastic simulator
+//!
+//! The stochastic method of Grurl, Kueng, Fuß and Wille (DATE 2021) shines
+//! when *fleets* of independent noisy runs are thrown at the hardware. This
+//! crate turns the single-circuit simulator into a batch system:
+//!
+//! 1. **[`jobfile`]** — a plain-text job-file format: one stanza per job
+//!    naming a circuit source (QASM path or generator spec), back-end, noise
+//!    model, optimization level, shot cap, seed and optional early-stop
+//!    target.
+//! 2. **[`scheduler`]** — a shared worker pool that interleaves shots from
+//!    different jobs through a global chunk queue (so one giant job cannot
+//!    starve small ones) and optionally stops a job early once the dominant
+//!    outcome's Wilson confidence interval is tighter than the requested
+//!    epsilon. Results are bit-identical for every thread count.
+//! 3. **[`report`]** — a [`BatchReport`] with per-job outcome histograms,
+//!    error rates, executed shot counts, wall-clock and decision-diagram
+//!    node statistics, serialised by hand-rolled [`json`] and CSV writers
+//!    (this workspace is offline and carries no serde).
+//!
+//! Execution goes through the re-entrant
+//! [`ShotEngine`](qsdd_core::ShotEngine) API of `qsdd-core` — the same
+//! primitive `StochasticSimulator` runs on — so a batch of one job produces
+//! exactly the simulator's histogram.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qsdd_batch::{jobfile, run_batch, BatchOptions};
+//!
+//! let jobs = jobfile::parse_str(
+//!     "
+//!     [job ghz-demo]
+//!     circuit = generate ghz 6
+//!     shots = 512
+//!     seed = 7
+//!     noiseless = true
+//!     epsilon = 0.08
+//!     ",
+//!     None,
+//! )?;
+//! let report = run_batch(&jobs, &BatchOptions::with_threads(2));
+//! assert!(report.all_completed());
+//! let job = &report.jobs[0];
+//! // The two GHZ peaks carry all the probability mass ...
+//! assert_eq!(job.counts.values().sum::<u64>(), job.shots_executed);
+//! // ... and the report round-trips through its own JSON writer.
+//! let parsed = qsdd_batch::BatchReport::from_json(&report.to_json()).unwrap();
+//! assert_eq!(parsed.jobs[0].counts, job.counts);
+//! # Ok::<(), qsdd_batch::JobFileError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod jobfile;
+pub mod json;
+pub mod report;
+pub mod scheduler;
+
+pub use jobfile::{CircuitSource, JobFileError, JobSpec};
+pub use report::{BatchReport, JobReport, JobStatus};
+pub use scheduler::{run_batch, wilson_half_width, BatchOptions};

@@ -1,0 +1,451 @@
+//! The shot-interleaving batch scheduler.
+//!
+//! All jobs share one worker pool. Work lives in a **global chunk queue**:
+//! every entry is a small contiguous range of shot indices of one job, and
+//! idle workers steal the next chunk regardless of which job it belongs to,
+//! so shots from different jobs interleave and a giant job cannot starve
+//! small ones.
+//!
+//! Each job's shots are released in **rounds** of
+//! [`JobSpec::check_interval`] shots. When the last chunk of a round
+//! completes, the finishing worker either declares the job done (shot cap
+//! reached, or the Wilson early-stop rule fired), or pushes the next round
+//! to the *back* of the queue — which is what keeps the interleaving fair:
+//! a 10⁶-shot job only ever occupies the queue with one round at a time.
+//!
+//! # Determinism
+//!
+//! Results are bit-identical for any thread count because
+//!
+//! 1. shot `i` of a job derives its generator from `(job seed, i)` alone
+//!    (the [`ShotEngine`] contract), so the value of a shot does not depend
+//!    on which worker runs it;
+//! 2. histograms merge by addition, which is order-independent; and
+//! 3. early stopping is only evaluated at round boundaries — fixed shot
+//!    counts — over the complete prefix `0..executed`, so the *set* of
+//!    executed shots is a deterministic prefix, never a race.
+//!
+//! Only the wall-clock fields of the report vary between runs.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use qsdd_core::ShotEngine;
+
+use crate::jobfile::JobSpec;
+use crate::report::{BatchReport, JobReport, JobStatus};
+
+/// Shots per queue entry: small enough that jobs interleave at fine grain,
+/// large enough that queue traffic stays negligible next to shot cost.
+const CHUNK_SHOTS: u64 = 32;
+
+/// The z-score of the 95 % Wilson confidence interval used for early
+/// stopping.
+pub const WILSON_Z: f64 = 1.96;
+
+/// Scheduler knobs.
+#[derive(Clone, Debug, Default)]
+pub struct BatchOptions {
+    /// Worker threads; `0` uses all available cores.
+    pub threads: usize,
+}
+
+impl BatchOptions {
+    /// Options with an explicit thread count (`0` = all cores).
+    pub fn with_threads(threads: usize) -> Self {
+        BatchOptions { threads }
+    }
+
+    /// Resolves the effective worker count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Half-width of the Wilson score interval at [`WILSON_Z`] for `successes`
+/// hits in `samples` trials.
+///
+/// The Wilson interval behaves well for proportions near 0 and 1 (where the
+/// naive normal interval collapses), which matters because a converged job
+/// is exactly one whose dominant outcome frequency is extreme.
+///
+/// ```
+/// use qsdd_batch::scheduler::wilson_half_width;
+///
+/// // Quadrupling the sample size roughly halves the interval.
+/// let wide = wilson_half_width(64, 128);
+/// let tight = wilson_half_width(256, 512);
+/// assert!(tight < wide);
+/// assert!((wide / tight - 2.0).abs() < 0.1);
+/// ```
+pub fn wilson_half_width(successes: u64, samples: u64) -> f64 {
+    if samples == 0 {
+        return f64::INFINITY;
+    }
+    let n = samples as f64;
+    let p = successes as f64 / n;
+    let z = WILSON_Z;
+    let denom = 1.0 + z * z / n;
+    (z / denom) * (p * (1.0 - p) / n + z * z / (4.0 * n * n)).sqrt()
+}
+
+/// A contiguous range of shot indices of one job.
+#[derive(Clone, Copy, Debug)]
+struct Chunk {
+    job: usize,
+    start: u64,
+    end: u64,
+}
+
+/// Mutable per-job aggregation state, guarded by one mutex per job so
+/// workers on different jobs never contend.
+#[derive(Debug, Default)]
+struct JobProgress {
+    counts: BTreeMap<u64, u64>,
+    error_events: u64,
+    dd_nodes_sum: u64,
+    dd_nodes_peak: u64,
+    executed: u64,
+    /// Chunks of the current round still in flight.
+    round_pending: usize,
+    early_stopped: bool,
+    finished: bool,
+    wall_time: Duration,
+}
+
+/// A runnable job: its engine plus the knobs the scheduler needs.
+struct JobRuntime {
+    engine: ShotEngine,
+    shots: u64,
+    epsilon: Option<f64>,
+    check_interval: u64,
+    progress: Mutex<JobProgress>,
+}
+
+/// Everything the worker pool shares.
+struct Shared {
+    queue: Mutex<VecDeque<Chunk>>,
+    wake: Condvar,
+    /// Jobs that have not finished yet; workers exit when this hits zero and
+    /// the queue is empty.
+    active: AtomicUsize,
+    started: Instant,
+}
+
+/// Runs all jobs of a batch on a shared worker pool and aggregates a
+/// [`BatchReport`].
+///
+/// Jobs whose circuit fails to load (missing QASM file, parse error,
+/// unknown generator) are reported as [`JobStatus::Failed`] and do not
+/// prevent the remaining jobs from running.
+pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
+    let started = Instant::now();
+    // Build one engine per job up front; transpilation happens here, once.
+    let mut runtimes: Vec<Option<JobRuntime>> = Vec::with_capacity(specs.len());
+    let mut failures: Vec<Option<String>> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        match spec.load_circuit() {
+            Ok(circuit) => {
+                runtimes.push(Some(JobRuntime {
+                    engine: ShotEngine::new(
+                        &circuit,
+                        spec.backend,
+                        spec.noise,
+                        spec.seed,
+                        spec.opt,
+                    ),
+                    shots: spec.shots,
+                    epsilon: spec.epsilon,
+                    check_interval: spec.check_interval,
+                    progress: Mutex::new(JobProgress::default()),
+                }));
+                failures.push(None);
+            }
+            Err(message) => {
+                runtimes.push(None);
+                failures.push(Some(message));
+            }
+        }
+    }
+
+    let shared = Shared {
+        queue: Mutex::new(VecDeque::new()),
+        wake: Condvar::new(),
+        active: AtomicUsize::new(0),
+        started,
+    };
+    // Seed the queue with round 1 of every runnable job, in file order, so
+    // every job makes progress from the first instant.
+    {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        for (index, runtime) in runtimes.iter().enumerate() {
+            let Some(runtime) = runtime else { continue };
+            if runtime.shots == 0 {
+                let mut progress = runtime.progress.lock().expect("progress lock");
+                progress.finished = true;
+                continue;
+            }
+            shared.active.fetch_add(1, Ordering::SeqCst);
+            let mut progress = runtime.progress.lock().expect("progress lock");
+            progress.round_pending = push_round(&mut queue, index, runtime, 0);
+        }
+    }
+
+    let workers = options.effective_threads().max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker_loop(&shared, &runtimes));
+        }
+    });
+
+    let jobs = specs
+        .iter()
+        .zip(runtimes.iter())
+        .zip(failures.iter())
+        .map(|((spec, runtime), failure)| match runtime {
+            Some(runtime) => {
+                let progress = runtime.progress.lock().expect("progress lock");
+                JobReport {
+                    name: spec.name.clone(),
+                    backend: spec.backend.to_string(),
+                    status: JobStatus::Completed,
+                    qubits: runtime.engine.num_qubits(),
+                    shots_requested: spec.shots,
+                    shots_executed: progress.executed,
+                    early_stopped: progress.early_stopped,
+                    counts: progress.counts.clone(),
+                    error_events: progress.error_events,
+                    dd_nodes_avg: if progress.executed == 0 {
+                        0.0
+                    } else {
+                        progress.dd_nodes_sum as f64 / progress.executed as f64
+                    },
+                    dd_nodes_peak: progress.dd_nodes_peak,
+                    wall_time: progress.wall_time,
+                }
+            }
+            None => JobReport::failed(
+                &spec.name,
+                &spec.backend.to_string(),
+                spec.shots,
+                failure.clone().expect("failed jobs carry a message"),
+            ),
+        })
+        .collect();
+
+    BatchReport {
+        jobs,
+        threads: workers,
+        total_wall_time: started.elapsed(),
+    }
+}
+
+/// Enqueues the round of shots starting at `start` and returns its chunk
+/// count.
+fn push_round(queue: &mut VecDeque<Chunk>, job: usize, runtime: &JobRuntime, start: u64) -> usize {
+    let end = (start + runtime.check_interval).min(runtime.shots);
+    let mut pushed = 0;
+    let mut cursor = start;
+    while cursor < end {
+        let chunk_end = (cursor + CHUNK_SHOTS).min(end);
+        queue.push_back(Chunk {
+            job,
+            start: cursor,
+            end: chunk_end,
+        });
+        cursor = chunk_end;
+        pushed += 1;
+    }
+    pushed
+}
+
+fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>]) {
+    loop {
+        // Steal the next chunk, or exit once every job has finished.
+        let chunk = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(chunk) = queue.pop_front() {
+                    break Some(chunk);
+                }
+                if shared.active.load(Ordering::SeqCst) == 0 {
+                    break None;
+                }
+                queue = shared.wake.wait(queue).expect("queue lock");
+            }
+        };
+        let Some(chunk) = chunk else { return };
+        let runtime = runtimes[chunk.job]
+            .as_ref()
+            .expect("only runnable jobs are enqueued");
+
+        // Execute the chunk without holding any lock.
+        let mut local_counts: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut local_errors = 0u64;
+        let mut local_nodes_sum = 0u64;
+        let mut local_nodes_peak = 0u64;
+        for shot in chunk.start..chunk.end {
+            let sample = runtime.engine.run_shot(shot);
+            *local_counts.entry(sample.outcome).or_insert(0) += 1;
+            local_errors += sample.error_events;
+            local_nodes_sum += sample.dd_nodes;
+            local_nodes_peak = local_nodes_peak.max(sample.dd_nodes);
+        }
+
+        // Merge, and if this was the round's last chunk, decide what's next.
+        let mut progress = runtime.progress.lock().expect("progress lock");
+        for (outcome, count) in local_counts {
+            *progress.counts.entry(outcome).or_insert(0) += count;
+        }
+        progress.error_events += local_errors;
+        progress.dd_nodes_sum += local_nodes_sum;
+        progress.dd_nodes_peak = progress.dd_nodes_peak.max(local_nodes_peak);
+        progress.executed += chunk.end - chunk.start;
+        progress.round_pending -= 1;
+        if progress.round_pending > 0 {
+            continue;
+        }
+
+        // Round boundary: `executed` shots form a complete, deterministic
+        // prefix, so the stopping decision is thread-count independent.
+        let converged = runtime.epsilon.is_some_and(|epsilon| {
+            let dominant = progress.counts.values().copied().max().unwrap_or(0);
+            wilson_half_width(dominant, progress.executed) <= epsilon
+        });
+        if converged || progress.executed >= runtime.shots {
+            progress.early_stopped = converged && progress.executed < runtime.shots;
+            progress.finished = true;
+            progress.wall_time = shared.started.elapsed();
+            drop(progress);
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            shared.wake.notify_all();
+        } else {
+            let start = progress.executed;
+            let mut queue = shared.queue.lock().expect("queue lock");
+            progress.round_pending = push_round(&mut queue, chunk.job, runtime, start);
+            drop(queue);
+            drop(progress);
+            shared.wake.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobfile::{CircuitSource, JobSpec};
+    use qsdd_core::BackendKind;
+    use qsdd_noise::NoiseModel;
+
+    fn ghz_spec(name: &str, shots: u64, seed: u64) -> JobSpec {
+        let mut spec = JobSpec::new(
+            name,
+            CircuitSource::Generator {
+                kind: "ghz".to_string(),
+                qubits: 5,
+            },
+            0,
+        );
+        spec.shots = shots;
+        spec.seed = seed;
+        spec
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let mut specs = vec![
+            ghz_spec("a", 300, 1),
+            ghz_spec("b", 700, 2),
+            ghz_spec("c", 64, 3),
+        ];
+        specs[1].backend = BackendKind::Statevector;
+        specs[2].epsilon = Some(0.04);
+        specs[2].check_interval = 32;
+        let reference = run_batch(&specs, &BatchOptions::with_threads(1));
+        for threads in [2, 4] {
+            let report = run_batch(&specs, &BatchOptions::with_threads(threads));
+            for (a, b) in reference.jobs.iter().zip(report.jobs.iter()) {
+                assert_eq!(a.results_json(), b.results_json());
+            }
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_executed_shots() {
+        let specs = vec![ghz_spec("a", 500, 9)];
+        let report = run_batch(&specs, &BatchOptions::with_threads(4));
+        let job = &report.jobs[0];
+        assert_eq!(job.shots_executed, 500);
+        assert!(!job.early_stopped);
+        assert_eq!(job.counts.values().sum::<u64>(), 500);
+        assert!(job.dd_nodes_peak > 0);
+        assert!(job.dd_nodes_avg > 0.0);
+    }
+
+    #[test]
+    fn early_stopping_executes_a_shorter_prefix() {
+        // A noiseless GHZ job: the dominant outcome sits near p = 0.5, so
+        // the 95 % Wilson half-width is ~0.98/sqrt(n) and epsilon = 0.1
+        // converges after a few hundred shots.
+        let mut spec = ghz_spec("fast", 100_000, 5);
+        spec.noise = NoiseModel::noiseless();
+        spec.epsilon = Some(0.1);
+        spec.check_interval = 64;
+        let report = run_batch(&[spec], &BatchOptions::with_threads(3));
+        let job = &report.jobs[0];
+        assert!(job.early_stopped);
+        assert!(
+            job.shots_executed < 1000,
+            "expected early stop, ran {} shots",
+            job.shots_executed
+        );
+        // The executed prefix is a whole number of rounds.
+        assert_eq!(job.shots_executed % 64, 0);
+        assert_eq!(job.counts.values().sum::<u64>(), job.shots_executed);
+    }
+
+    #[test]
+    fn failed_jobs_do_not_block_the_rest() {
+        let mut broken = ghz_spec("broken", 100, 1);
+        broken.source = CircuitSource::Qasm("/definitely/missing.qasm".into());
+        let specs = vec![broken, ghz_spec("ok", 128, 2)];
+        let report = run_batch(&specs, &BatchOptions::with_threads(2));
+        assert!(!report.all_completed());
+        assert!(matches!(report.jobs[0].status, JobStatus::Failed(_)));
+        assert_eq!(report.jobs[0].shots_executed, 0);
+        assert!(report.jobs[1].status.is_completed());
+        assert_eq!(report.jobs[1].shots_executed, 128);
+        assert_eq!(report.total_shots(), 128);
+    }
+
+    #[test]
+    fn zero_shot_jobs_complete_immediately() {
+        let report = run_batch(&[ghz_spec("empty", 0, 1)], &BatchOptions::with_threads(2));
+        let job = &report.jobs[0];
+        assert!(job.status.is_completed());
+        assert_eq!(job.shots_executed, 0);
+        assert!(job.counts.is_empty());
+    }
+
+    #[test]
+    fn wilson_half_width_shrinks_with_samples_and_handles_edges() {
+        assert!(wilson_half_width(0, 0).is_infinite());
+        // Extreme proportions stay inside [0, 1]-sensible bounds.
+        let extreme = wilson_half_width(100, 100);
+        assert!(extreme > 0.0 && extreme < 0.1);
+        let mut last = f64::INFINITY;
+        for n in [16u64, 64, 256, 1024] {
+            let width = wilson_half_width(n / 2, n);
+            assert!(width < last);
+            last = width;
+        }
+    }
+}

@@ -25,6 +25,71 @@ pub use qft::{qft, quantum_phase_estimation};
 
 use crate::Circuit;
 
+/// The smallest qubit count a named generator supports, or `None` for
+/// unknown names.
+///
+/// Front-ends use this to validate user input *before* calling the
+/// generator functions, whose own precondition `assert!`s would otherwise
+/// turn a typo in a job file into a process abort.
+///
+/// ```
+/// use qsdd_circuit::generators::min_qubits;
+///
+/// assert_eq!(min_qubits("ghz"), Some(1));
+/// assert_eq!(min_qubits("qaoa"), Some(3));
+/// assert_eq!(min_qubits("nope"), None);
+/// ```
+pub fn min_qubits(name: &str) -> Option<usize> {
+    match name {
+        "ghz" | "entanglement" | "qft" | "wstate" => Some(1),
+        "grover" | "bv" => Some(2),
+        "qaoa" => Some(3),
+        _ => None,
+    }
+}
+
+/// Builds a generator circuit from its command-line / job-file name.
+///
+/// This is the single lookup shared by `qsdd_cli generate` and the
+/// `qsdd-batch` job-file parser, so both front-ends accept exactly the same
+/// spellings. Returns `None` for unknown names **and** for qubit counts
+/// below the generator's minimum ([`min_qubits`]) — it never panics.
+///
+/// | Name | Circuit |
+/// |------|---------|
+/// | `ghz`, `entanglement` | [`ghz`] (the paper's Table Ia workload) |
+/// | `qft` | [`qft`] (Table Ib) |
+/// | `grover` | [`grover`] with one marked item |
+/// | `bv` | [`bernstein_vazirani`] with the alternating secret |
+/// | `wstate` | [`w_state`] |
+/// | `qaoa` | [`qaoa_maxcut_ring`] with two fixed parameter layers |
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_circuit::generators::by_name;
+///
+/// let circuit = by_name("ghz", 8).expect("known generator");
+/// assert_eq!(circuit.num_qubits(), 8);
+/// assert!(by_name("nope", 8).is_none());
+/// assert!(by_name("grover", 1).is_none()); // below the minimum, no panic
+/// ```
+pub fn by_name(name: &str, qubits: usize) -> Option<Circuit> {
+    if qubits < min_qubits(name)? {
+        return None;
+    }
+    let circuit = match name {
+        "ghz" | "entanglement" => ghz(qubits),
+        "qft" => qft(qubits),
+        "grover" => grover(qubits, 1, None),
+        "bv" => bernstein_vazirani(qubits, 0x5555_5555_5555_5555),
+        "wstate" => w_state(qubits),
+        "qaoa" => qaoa_maxcut_ring(qubits, &[(0.4, 0.9), (0.7, 0.3)]),
+        _ => return None,
+    };
+    Some(circuit)
+}
+
 /// A named benchmark entry of the QASMBench-style suite (Table Ic).
 #[derive(Clone, Debug)]
 pub struct BenchmarkEntry {

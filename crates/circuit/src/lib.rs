@@ -24,7 +24,7 @@
 //! assert_eq!(ghz.num_qubits(), 5);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod circuit;

@@ -37,7 +37,7 @@
 //! assert!(result.observable_estimates[0] > 0.4);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
@@ -45,6 +45,7 @@ pub mod dd_backend;
 pub mod dense_backend;
 pub mod estimator;
 pub mod sampling;
+pub mod shot_engine;
 pub mod simulator;
 pub mod stochastic;
 
@@ -52,8 +53,9 @@ pub use backend::{SingleRun, StochasticBackend};
 pub use dd_backend::{DdRunState, DdSimulator};
 pub use dense_backend::DenseSimulator;
 pub use estimator::{Observable, ObservableAccumulator};
+pub use shot_engine::{ShotEngine, ShotSample};
 pub use simulator::{BackendKind, StochasticSimulator};
-pub use stochastic::{run_stochastic, StochasticConfig, StochasticOutcome};
+pub use stochastic::{run_engine, run_stochastic, StochasticConfig, StochasticOutcome};
 // Re-exported so `StochasticSimulator::with_opt_level` is usable without a
 // direct `qsdd-transpile` dependency.
 pub use qsdd_transpile::OptLevel;

@@ -1,0 +1,383 @@
+//! A re-entrant, shareable shot-execution engine.
+//!
+//! [`ShotEngine`] packages everything a single stochastic run needs — the
+//! (optionally transpiled) circuit, the back-end, the noise model and the
+//! master seed — behind one `&self` method, [`ShotEngine::run_shot`]. Because
+//! the per-shot random number generator is derived purely from the master
+//! seed and the shot index, any number of threads can call into the same
+//! engine concurrently, in any order, and the result of shot `i` is always
+//! the same.
+//!
+//! Two consumers share this API:
+//!
+//! * [`StochasticSimulator`](crate::StochasticSimulator) builds an engine per
+//!   `run` call and drives it with the strided Monte-Carlo loop in
+//!   [`crate::stochastic::run_engine`];
+//! * the `qsdd-batch` scheduler builds one engine per job and lets its worker
+//!   pool pull arbitrary `(job, shot)` pairs from a global queue.
+//!
+//! Outcomes are always reported in the *original* circuit's qubit order: if
+//! the transpiler elided trailing SWAPs into an output relabeling, the engine
+//! undoes that relabeling on every sampled outcome (and offers
+//! [`ShotEngine::map_observables`] for the reverse direction).
+
+use qsdd_circuit::Circuit;
+use qsdd_noise::NoiseModel;
+use qsdd_transpile::{layout, transpile, OptLevel, TranspileResult};
+
+use crate::backend::StochasticBackend;
+use crate::dd_backend::DdSimulator;
+use crate::dense_backend::DenseSimulator;
+use crate::estimator::Observable;
+use crate::simulator::BackendKind;
+use crate::stochastic::shot_rng;
+
+/// The aggregate-relevant result of one stochastic shot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShotSample {
+    /// Sampled measurement outcome as a basis-state index, reported in the
+    /// original circuit's qubit order.
+    pub outcome: u64,
+    /// Number of stochastic error events that fired during the shot.
+    pub error_events: u64,
+    /// Node count of the final state's decision diagram (`0` on the dense
+    /// statevector back-end, which has no diagram).
+    pub dd_nodes: u64,
+}
+
+/// Monomorphised back-end storage (the engine must be a concrete type so the
+/// batch scheduler can hold a heterogeneous fleet of engines in one `Vec`).
+#[derive(Clone, Debug)]
+enum EngineBackend {
+    DecisionDiagram(DdSimulator),
+    Statevector(DenseSimulator),
+}
+
+/// A re-entrant shot executor for one circuit.
+///
+/// Construction does all per-circuit work up front (transpilation, layout
+/// bookkeeping); afterwards [`run_shot`](Self::run_shot) is pure with respect
+/// to `&self` plus the shot index, so engines can be shared freely across
+/// threads (the type is [`Sync`]).
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_circuit::generators::ghz;
+/// use qsdd_core::{BackendKind, OptLevel, ShotEngine};
+/// use qsdd_noise::NoiseModel;
+///
+/// let engine = ShotEngine::new(
+///     &ghz(4),
+///     BackendKind::DecisionDiagram,
+///     NoiseModel::noiseless(),
+///     7,
+///     OptLevel::O0,
+/// );
+/// // Re-entrant: the same shot index always yields the same sample.
+/// assert_eq!(engine.run_shot(3), engine.run_shot(3));
+/// // A noiseless GHZ shot lands on one of the two peaks.
+/// let sample = engine.run_shot(0);
+/// assert!(sample.outcome == 0 || sample.outcome == 0b1111);
+/// assert_eq!(sample.error_events, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShotEngine {
+    backend: EngineBackend,
+    circuit: Circuit,
+    /// `None` when the transpiler's output layout is the identity.
+    output_layout: Option<Vec<usize>>,
+    noise: NoiseModel,
+    seed: u64,
+}
+
+impl ShotEngine {
+    /// Builds an engine for `circuit`, transpiling it at `opt` first.
+    ///
+    /// The transpilation happens exactly once here; every subsequent shot
+    /// executes the optimized circuit.
+    pub fn new(
+        circuit: &Circuit,
+        backend: BackendKind,
+        noise: NoiseModel,
+        seed: u64,
+        opt: OptLevel,
+    ) -> Self {
+        if opt == OptLevel::O0 {
+            return ShotEngine {
+                backend: EngineBackend::from_kind(backend),
+                circuit: circuit.clone(),
+                output_layout: None,
+                noise,
+                seed,
+            };
+        }
+        ShotEngine::from_transpiled(&transpile(circuit, opt), backend, noise, seed)
+    }
+
+    /// Builds an engine from an already-transpiled circuit.
+    ///
+    /// Use this when the [`TranspileResult`] is needed anyway (e.g. to print
+    /// its gate-count report) to avoid transpiling twice.
+    pub fn from_transpiled(
+        transpiled: &TranspileResult,
+        backend: BackendKind,
+        noise: NoiseModel,
+        seed: u64,
+    ) -> Self {
+        ShotEngine {
+            backend: EngineBackend::from_kind(backend),
+            circuit: transpiled.circuit.clone(),
+            output_layout: (!transpiled.has_identity_layout())
+                .then(|| transpiled.output_layout.clone()),
+            noise,
+            seed,
+        }
+    }
+
+    /// The circuit the engine actually executes (after transpilation).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Number of qubits of the executed circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.circuit.num_qubits()
+    }
+
+    /// The master seed shots are derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The noise model applied after every gate.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Which back-end kind executes the shots.
+    pub fn backend_kind(&self) -> BackendKind {
+        match self.backend {
+            EngineBackend::DecisionDiagram(_) => BackendKind::DecisionDiagram,
+            EngineBackend::Statevector(_) => BackendKind::Statevector,
+        }
+    }
+
+    /// Executes stochastic shot number `shot`.
+    ///
+    /// The shot's random number generator is derived deterministically from
+    /// the engine seed and `shot`, so the result does not depend on which
+    /// thread runs the shot or in which order shots are executed.
+    pub fn run_shot(&self, shot: u64) -> ShotSample {
+        self.run_shot_with_observables(shot, &[]).0
+    }
+
+    /// Executes shot `shot` and additionally evaluates quadratic observables
+    /// on the shot's final state.
+    ///
+    /// The observables must already be expressed over the *executed*
+    /// circuit's qubits — pass them through
+    /// [`map_observables`](Self::map_observables) once per batch instead of
+    /// remapping on every shot.
+    pub fn run_shot_with_observables(
+        &self,
+        shot: u64,
+        observables: &[Observable],
+    ) -> (ShotSample, Vec<f64>) {
+        let mut rng = shot_rng(self.seed, shot);
+        let (mut sample, values) = match &self.backend {
+            EngineBackend::DecisionDiagram(backend) => {
+                self.execute(backend, &mut rng, observables, |run| {
+                    run.state.node_count() as u64
+                })
+            }
+            EngineBackend::Statevector(backend) => {
+                self.execute(backend, &mut rng, observables, |_| 0)
+            }
+        };
+        if let Some(output_layout) = &self.output_layout {
+            // The transpiler only elides trailing SWAPs on measurement-free
+            // circuits, where the outcome is a full-register sample, so
+            // shuffling its bits through the layout restores the original
+            // qubit order exactly.
+            sample.outcome = layout::restore_outcome(sample.outcome, output_layout);
+        }
+        (sample, values)
+    }
+
+    /// Runs one shot on a concrete back-end and evaluates the observables;
+    /// `dd_nodes` extracts the back-end-specific diagram size from the final
+    /// run state.
+    fn execute<B: StochasticBackend>(
+        &self,
+        backend: &B,
+        rng: &mut rand::rngs::StdRng,
+        observables: &[Observable],
+        dd_nodes: impl FnOnce(&crate::backend::SingleRun<B::State>) -> u64,
+    ) -> (ShotSample, Vec<f64>) {
+        let mut run = backend.run_once(&self.circuit, &self.noise, rng);
+        let values: Vec<f64> = observables
+            .iter()
+            .map(|o| backend.evaluate(&mut run, o))
+            .collect();
+        let sample = ShotSample {
+            outcome: run.outcome,
+            error_events: run.error_events as u64,
+            dd_nodes: dd_nodes(&run),
+        };
+        (sample, values)
+    }
+
+    /// Re-expresses observables over the original qubits as observables over
+    /// the executed circuit's qubits.
+    ///
+    /// With an identity layout this is a clone; otherwise qubit indices and
+    /// basis indices are pushed through the transpiler's output layout. Call
+    /// once before a shot loop and feed the result to
+    /// [`run_shot_with_observables`](Self::run_shot_with_observables).
+    pub fn map_observables(&self, observables: &[Observable]) -> Vec<Observable> {
+        match &self.output_layout {
+            None => observables.to_vec(),
+            Some(output_layout) => observables
+                .iter()
+                .map(|observable| remap_observable(observable, output_layout))
+                .collect(),
+        }
+    }
+}
+
+impl EngineBackend {
+    fn from_kind(kind: BackendKind) -> Self {
+        match kind {
+            BackendKind::DecisionDiagram => EngineBackend::DecisionDiagram(DdSimulator::new()),
+            BackendKind::Statevector => EngineBackend::Statevector(DenseSimulator::new()),
+        }
+    }
+}
+
+/// Re-expresses an observable over the original qubits as one over the
+/// optimized circuit's qubits (`layout[q]` holds original qubit `q`).
+fn remap_observable(observable: &Observable, output_layout: &[usize]) -> Observable {
+    match observable {
+        Observable::QubitExcitation(q) => Observable::QubitExcitation(output_layout[*q]),
+        Observable::BasisProbability(index) => {
+            Observable::BasisProbability(layout::permute_index(*index, output_layout))
+        }
+        Observable::Fidelity(amplitudes) => {
+            let mut permuted = amplitudes.clone();
+            for (index, amplitude) in amplitudes.iter().enumerate() {
+                permuted[layout::permute_index(index as u64, output_layout) as usize] = *amplitude;
+            }
+            Observable::Fidelity(permuted)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsdd_circuit::generators::{ghz, qft};
+
+    #[test]
+    fn shots_are_deterministic_and_reentrant() {
+        let engine = ShotEngine::new(
+            &ghz(6),
+            BackendKind::DecisionDiagram,
+            NoiseModel::paper_defaults(),
+            42,
+            OptLevel::O0,
+        );
+        let first: Vec<ShotSample> = (0..16).map(|s| engine.run_shot(s)).collect();
+        // Replaying any shot, in any order, yields the identical sample.
+        let replay: Vec<ShotSample> = (0..16).rev().map(|s| engine.run_shot(s)).collect();
+        let mut replay = replay;
+        replay.reverse();
+        assert_eq!(first, replay);
+    }
+
+    #[test]
+    fn engines_share_across_threads() {
+        let engine = ShotEngine::new(
+            &ghz(5),
+            BackendKind::DecisionDiagram,
+            NoiseModel::paper_defaults(),
+            9,
+            OptLevel::O0,
+        );
+        let sequential: Vec<u64> = (0..32).map(|s| engine.run_shot(s).outcome).collect();
+        let mut concurrent = vec![0u64; 32];
+        std::thread::scope(|scope| {
+            for (chunk_index, chunk) in concurrent.chunks_mut(8).enumerate() {
+                let engine = &engine;
+                scope.spawn(move || {
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        *slot = engine.run_shot((chunk_index * 8 + offset) as u64).outcome;
+                    }
+                });
+            }
+        });
+        assert_eq!(sequential, concurrent);
+    }
+
+    #[test]
+    fn transpiled_engine_restores_original_qubit_order() {
+        // qft ends in trailing SWAPs which O2 elides into a relabeling; the
+        // engine must undo it so both engines sample the same distribution.
+        let circuit = qft(3);
+        let raw = ShotEngine::new(
+            &circuit,
+            BackendKind::DecisionDiagram,
+            NoiseModel::noiseless(),
+            3,
+            OptLevel::O0,
+        );
+        let optimized = ShotEngine::new(
+            &circuit,
+            BackendKind::DecisionDiagram,
+            NoiseModel::noiseless(),
+            3,
+            OptLevel::O2,
+        );
+        assert!(optimized.circuit().len() < raw.circuit().len());
+        // Same seed, same shot index, but different circuits: outcomes need
+        // not match shot-by-shot, yet both must stay within range and the
+        // layout restoration must be exercised.
+        for shot in 0..64 {
+            assert!(optimized.run_shot(shot).outcome < 8);
+        }
+    }
+
+    #[test]
+    fn dense_backend_reports_zero_dd_nodes() {
+        let engine = ShotEngine::new(
+            &ghz(4),
+            BackendKind::Statevector,
+            NoiseModel::noiseless(),
+            1,
+            OptLevel::O0,
+        );
+        let sample = engine.run_shot(0);
+        assert_eq!(sample.dd_nodes, 0);
+        let dd = ShotEngine::new(
+            &ghz(4),
+            BackendKind::DecisionDiagram,
+            NoiseModel::noiseless(),
+            1,
+            OptLevel::O0,
+        );
+        assert!(dd.run_shot(0).dd_nodes > 0);
+    }
+
+    #[test]
+    fn map_observables_is_identity_without_layout() {
+        let engine = ShotEngine::new(
+            &ghz(3),
+            BackendKind::DecisionDiagram,
+            NoiseModel::noiseless(),
+            1,
+            OptLevel::O0,
+        );
+        let observables = vec![Observable::QubitExcitation(2)];
+        assert_eq!(engine.map_observables(&observables), observables);
+    }
+}

@@ -7,12 +7,11 @@
 
 use qsdd_circuit::Circuit;
 use qsdd_noise::NoiseModel;
-use qsdd_transpile::{layout, transpile, OptLevel, TranspileResult};
+use qsdd_transpile::{OptLevel, TranspileResult};
 
-use crate::dd_backend::DdSimulator;
-use crate::dense_backend::DenseSimulator;
 use crate::estimator::Observable;
-use crate::stochastic::{run_stochastic, StochasticConfig, StochasticOutcome};
+use crate::shot_engine::ShotEngine;
+use crate::stochastic::{run_engine, StochasticConfig, StochasticOutcome};
 
 /// Which simulation engine executes the individual runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -22,6 +21,28 @@ pub enum BackendKind {
     DecisionDiagram,
     /// The dense statevector baseline (Qiskit/QLM stand-in).
     Statevector,
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    /// Parses the CLI/job-file spelling of a back-end (`dd` or `dense`).
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        match text {
+            "dd" | "decision-diagram" => Ok(BackendKind::DecisionDiagram),
+            "dense" | "statevector" => Ok(BackendKind::Statevector),
+            other => Err(format!("unknown backend `{other}` (expected dd|dense)")),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::DecisionDiagram => write!(f, "dd"),
+            BackendKind::Statevector => write!(f, "dense"),
+        }
+    }
 }
 
 /// A ready-to-use stochastic noise-aware quantum circuit simulator.
@@ -133,10 +154,7 @@ impl StochasticSimulator {
         circuit: &Circuit,
         observables: &[Observable],
     ) -> StochasticOutcome {
-        if self.opt_level == OptLevel::O0 {
-            return self.dispatch(circuit, observables);
-        }
-        self.run_transpiled(&transpile(circuit, self.opt_level), observables)
+        self.drive(&self.engine(circuit), observables)
     }
 
     /// Runs an already-transpiled circuit, remapping outcomes and
@@ -151,54 +169,33 @@ impl StochasticSimulator {
         transpiled: &TranspileResult,
         observables: &[Observable],
     ) -> StochasticOutcome {
-        if transpiled.has_identity_layout() {
-            return self.dispatch(&transpiled.circuit, observables);
-        }
-        // A non-identity layout means trailing SWAPs were elided, which the
-        // transpiler only does for measurement-free circuits — there the
-        // outcome is a full-register sample, so remapping its bits through
-        // the layout restores the original qubit order exactly.
-        let output_layout = &transpiled.output_layout;
-        let mapped: Vec<Observable> = observables
-            .iter()
-            .map(|observable| remap_observable(observable, output_layout))
-            .collect();
-        let mut outcome = self.dispatch(&transpiled.circuit, &mapped);
-        outcome.counts = outcome
-            .counts
-            .into_iter()
-            .map(|(index, count)| (layout::restore_outcome(index, output_layout), count))
-            .collect();
-        outcome
+        let engine = ShotEngine::from_transpiled(
+            transpiled,
+            self.backend,
+            self.config.noise,
+            self.config.seed,
+        );
+        self.drive(&engine, observables)
     }
 
-    fn dispatch(&self, circuit: &Circuit, observables: &[Observable]) -> StochasticOutcome {
-        match self.backend {
-            BackendKind::DecisionDiagram => {
-                run_stochastic(&DdSimulator::new(), circuit, &self.config, observables)
-            }
-            BackendKind::Statevector => {
-                run_stochastic(&DenseSimulator::new(), circuit, &self.config, observables)
-            }
-        }
+    /// Builds the re-entrant [`ShotEngine`] this simulator would execute
+    /// `circuit` on (transpiling at the configured opt level).
+    ///
+    /// The engine is the shareable execution primitive: the batch scheduler
+    /// pulls single shots from it, while [`Self::run`] drives it through the
+    /// strided Monte-Carlo loop. Either way, shot `i` yields the same sample.
+    pub fn engine(&self, circuit: &Circuit) -> ShotEngine {
+        ShotEngine::new(
+            circuit,
+            self.backend,
+            self.config.noise,
+            self.config.seed,
+            self.opt_level,
+        )
     }
-}
 
-/// Re-expresses an observable over the original qubits as one over the
-/// optimized circuit's qubits (`layout[q]` holds original qubit `q`).
-fn remap_observable(observable: &Observable, output_layout: &[usize]) -> Observable {
-    match observable {
-        Observable::QubitExcitation(q) => Observable::QubitExcitation(output_layout[*q]),
-        Observable::BasisProbability(index) => {
-            Observable::BasisProbability(layout::permute_index(*index, output_layout))
-        }
-        Observable::Fidelity(amplitudes) => {
-            let mut permuted = amplitudes.clone();
-            for (index, amplitude) in amplitudes.iter().enumerate() {
-                permuted[layout::permute_index(index as u64, output_layout) as usize] = *amplitude;
-            }
-            Observable::Fidelity(permuted)
-        }
+    fn drive(&self, engine: &ShotEngine, observables: &[Observable]) -> StochasticOutcome {
+        run_engine(engine, self.config.shots, self.config.threads, observables)
     }
 }
 

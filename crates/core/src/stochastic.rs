@@ -20,6 +20,7 @@ use rand::SeedableRng;
 
 use crate::backend::StochasticBackend;
 use crate::estimator::{Observable, ObservableAccumulator};
+use crate::shot_engine::ShotEngine;
 
 /// Configuration of a stochastic simulation.
 #[derive(Clone, Debug, PartialEq)]
@@ -207,8 +208,97 @@ pub fn run_stochastic<B: StochasticBackend>(
     }
 }
 
+/// Runs `shots` independent stochastic shots on a prepared [`ShotEngine`],
+/// estimating the given observables along the way.
+///
+/// This is the engine-driven twin of [`run_stochastic`]: the same strided
+/// shot loop, but executing through the re-entrant [`ShotEngine`] API that
+/// the batch scheduler shares. Observables are remapped through the engine's
+/// output layout once, outcomes arrive already restored to the original
+/// circuit's qubit order, so no post-processing is required.
+///
+/// `threads == 0` uses all available cores. Results are identical for every
+/// thread count because each shot derives its generator from the engine seed
+/// and the shot index alone.
+pub fn run_engine(
+    engine: &ShotEngine,
+    shots: usize,
+    threads: usize,
+    observables: &[Observable],
+) -> StochasticOutcome {
+    let started = Instant::now();
+    if shots == 0 {
+        // Nothing to run: return an empty outcome without spawning workers.
+        return StochasticOutcome {
+            counts: HashMap::new(),
+            shots: 0,
+            observable_estimates: vec![0.0; observables.len()],
+            error_events: 0,
+            wall_time: started.elapsed(),
+            threads: 0,
+        };
+    }
+    let threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+    .min(shots);
+    let mapped = engine.map_observables(observables);
+    let merged_counts: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
+    let merged_observables: Mutex<ObservableAccumulator> =
+        Mutex::new(ObservableAccumulator::new(observables.len()));
+    let merged_errors: Mutex<u64> = Mutex::new(0);
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let merged_counts = &merged_counts;
+            let merged_observables = &merged_observables;
+            let merged_errors = &merged_errors;
+            let mapped = &mapped;
+            scope.spawn(move || {
+                let mut local_counts: HashMap<u64, u64> = HashMap::new();
+                let mut local_observables = ObservableAccumulator::new(mapped.len());
+                let mut local_errors = 0u64;
+                let mut shot = worker;
+                while shot < shots {
+                    let (sample, values) = engine.run_shot_with_observables(shot as u64, mapped);
+                    *local_counts.entry(sample.outcome).or_insert(0) += 1;
+                    local_errors += sample.error_events;
+                    if !mapped.is_empty() {
+                        local_observables.add(&values);
+                    }
+                    shot += threads;
+                }
+                let mut counts = merged_counts.lock();
+                for (outcome, count) in local_counts {
+                    *counts.entry(outcome).or_insert(0) += count;
+                }
+                merged_observables.lock().merge(&local_observables);
+                *merged_errors.lock() += local_errors;
+            });
+        }
+    });
+
+    StochasticOutcome {
+        counts: merged_counts.into_inner(),
+        shots,
+        observable_estimates: merged_observables.into_inner().means(),
+        error_events: merged_errors.into_inner(),
+        wall_time: started.elapsed(),
+        threads,
+    }
+}
+
 /// Derives the per-shot random number generator from the master seed.
-fn shot_rng(seed: u64, shot: u64) -> StdRng {
+///
+/// This derivation is the determinism contract shared by every shot-executing
+/// path in the workspace ([`run_stochastic`], [`ShotEngine`], and through it
+/// the batch scheduler): shot `i` under seed `s` always sees the same
+/// generator, regardless of threads or scheduling.
+pub(crate) fn shot_rng(seed: u64, shot: u64) -> StdRng {
     // SplitMix64-style mixing keeps neighbouring shot seeds uncorrelated.
     let mut z = seed ^ shot.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -330,6 +420,31 @@ mod tests {
         assert_eq!(outcome.most_frequent(), None);
         assert_eq!(outcome.error_rate(), 0.0);
         assert_eq!(outcome.frequency(0), 0.0);
+    }
+
+    #[test]
+    fn run_engine_matches_run_stochastic_exactly() {
+        // Both runners share the per-shot rng derivation, so histograms and
+        // error counts must agree bit for bit, whatever the thread count.
+        let circuit = ghz(5);
+        let config = StochasticConfig::new(300)
+            .with_seed(13)
+            .with_threads(3)
+            .with_noise(NoiseModel::paper_defaults());
+        let generic = run_stochastic(&DdSimulator::new(), &circuit, &config, &[]);
+        let engine = ShotEngine::new(
+            &circuit,
+            crate::BackendKind::DecisionDiagram,
+            config.noise,
+            config.seed,
+            crate::OptLevel::O0,
+        );
+        for threads in [1, 2, 5] {
+            let via_engine = run_engine(&engine, 300, threads, &[]);
+            assert_eq!(via_engine.counts, generic.counts);
+            assert_eq!(via_engine.error_events, generic.error_events);
+            assert_eq!(via_engine.shots, 300);
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@
 //! handles tied to a [`DdPackage`]); the `qsdd-core` crate wraps it in the
 //! circuit-level simulator described in the paper.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod complex;

@@ -44,7 +44,7 @@
 //! assert!(fidelity > 1.0 - 1e-9);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod manager;

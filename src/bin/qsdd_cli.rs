@@ -5,14 +5,19 @@
 //! qsdd_cli run circuit.qasm --shots 2000 --seed 7
 //! qsdd_cli generate ghz 32 --shots 1000 --backend dd
 //! qsdd_cli generate qft 20 --noiseless --top 10
+//! qsdd_cli batch jobs.txt --out report.json
 //! ```
 //!
 //! The tool loads a circuit (from an OpenQASM 2.0 file or a built-in
 //! generator), runs the stochastic simulation under the configured noise
-//! model and prints the outcome histogram.
+//! model and prints the outcome histogram; the `batch` command schedules a
+//! whole job file across one shared worker pool. The complete reference,
+//! including exit-code semantics, lives in `docs/cli.md`.
 
+use std::path::Path;
 use std::process::ExitCode;
 
+use qsdd::batch::{jobfile, run_batch, BatchOptions, BatchReport, JobStatus};
 use qsdd::circuit::{generators, qasm, Circuit};
 use qsdd::core::{BackendKind, OptLevel, StochasticSimulator};
 use qsdd::noise::NoiseModel;
@@ -34,24 +39,39 @@ struct Options {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let options = match parse_args(&args) {
-        Ok(options) => options,
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            return ExitCode::FAILURE;
+    match args.first().map(String::as_str) {
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
         }
-    };
-    run(options)
+        Some("batch") => match parse_batch_args(&args[1..]) {
+            Ok(options) => run_batch_command(options),
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!();
+                eprintln!("{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => match parse_args(&args) {
+            Ok(options) => run(options),
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!();
+                eprintln!("{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+    }
 }
 
 const USAGE: &str = "\
 usage:
   qsdd_cli run <circuit.qasm> [options]
   qsdd_cli generate <ghz|qft|grover|bv|wstate|qaoa> <qubits> [options]
+  qsdd_cli batch <jobfile> [--out <path>] [--format json|csv] [--threads <N>]
 
-options:
+options (run / generate):
   --shots <N>          number of stochastic runs (default 1000)
   --threads <N>        worker threads, 0 = all cores (default 0)
   --seed <N>           master seed (default 2021)
@@ -64,7 +84,138 @@ options:
   --depolarizing <p>   gate error probability (default 0.001)
   --damping <p>        amplitude damping / T1 probability (default 0.002)
   --phaseflip <p>      phase flip / T2 probability (default 0.001)
-  --top <K>            number of outcomes to print (default 10)";
+  --top <K>            number of outcomes to print (default 10)
+
+options (batch):
+  --out <path>         write the report to a file instead of stdout
+  --format <json|csv>  report format (default json, or inferred from --out)
+  --threads <N>        worker threads shared by all jobs, 0 = all cores
+
+Full reference (job-file format, exit codes): docs/cli.md";
+
+/// Parsed options of the `batch` subcommand.
+#[derive(Debug, Clone)]
+struct BatchCliOptions {
+    jobfile: String,
+    out: Option<String>,
+    format: ReportFormat,
+    threads: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReportFormat {
+    Json,
+    Csv,
+}
+
+fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
+    let mut iter = args.iter();
+    let jobfile = iter
+        .next()
+        .ok_or_else(|| "missing job file path".to_string())?
+        .clone();
+    let mut out = None;
+    let mut format = None;
+    let mut threads = 0usize;
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match flag.as_str() {
+            "--out" => out = Some(value("--out")?),
+            "--threads" => threads = parse_number(&value("--threads")?)?,
+            "--format" => {
+                format = Some(match value("--format")?.as_str() {
+                    "json" => ReportFormat::Json,
+                    "csv" => ReportFormat::Csv,
+                    other => return Err(format!("unknown format `{other}` (expected json|csv)")),
+                })
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    // Without an explicit --format, infer CSV from the output extension.
+    let format = format.unwrap_or_else(|| match &out {
+        Some(path) if path.ends_with(".csv") => ReportFormat::Csv,
+        _ => ReportFormat::Json,
+    });
+    Ok(BatchCliOptions {
+        jobfile,
+        out,
+        format,
+        threads,
+    })
+}
+
+fn run_batch_command(options: BatchCliOptions) -> ExitCode {
+    let jobs = match jobfile::parse_file(Path::new(&options.jobfile)) {
+        Ok(jobs) => jobs,
+        Err(error) => {
+            eprintln!("error: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("batch: {} job(s) from `{}`", jobs.len(), options.jobfile);
+    let report = run_batch(&jobs, &BatchOptions::with_threads(options.threads));
+    print_batch_summary(&report);
+
+    let serialized = match options.format {
+        ReportFormat::Json => report.to_json(),
+        ReportFormat::Csv => report.to_csv(),
+    };
+    match &options.out {
+        Some(path) => {
+            if let Err(error) = std::fs::write(path, &serialized) {
+                eprintln!("error: cannot write `{path}`: {error}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("report written to `{path}`");
+        }
+        None => print!("{serialized}"),
+    }
+    if report.all_completed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Prints the human-readable per-job summary to stderr (stdout carries the
+/// machine-readable report when no --out file is given).
+fn print_batch_summary(report: &BatchReport) {
+    for job in &report.jobs {
+        match &job.status {
+            JobStatus::Completed => {
+                let stopped = if job.early_stopped {
+                    " (early stop)"
+                } else {
+                    ""
+                };
+                eprintln!(
+                    "  {:<16} {:>7}/{} shots{} on {} qubits, {:.3} err/run, {:.3} s",
+                    job.name,
+                    job.shots_executed,
+                    job.shots_requested,
+                    stopped,
+                    job.qubits,
+                    job.error_rate(),
+                    job.wall_time.as_secs_f64(),
+                );
+            }
+            JobStatus::Failed(message) => {
+                eprintln!("  {:<16} FAILED: {message}", job.name);
+            }
+        }
+    }
+    eprintln!(
+        "batch: {} shots total on {} threads in {:.3} s",
+        report.total_shots(),
+        report.threads,
+        report.total_wall_time.as_secs_f64()
+    );
+}
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     if args.is_empty() {
@@ -149,16 +300,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn build_generator(kind: &str, qubits: usize) -> Result<Circuit, String> {
-    let circuit = match kind {
-        "ghz" | "entanglement" => generators::ghz(qubits),
-        "qft" => generators::qft(qubits),
-        "grover" => generators::grover(qubits, 1, None),
-        "bv" => generators::bernstein_vazirani(qubits, 0x5555_5555_5555_5555),
-        "wstate" => generators::w_state(qubits),
-        "qaoa" => generators::qaoa_maxcut_ring(qubits, &[(0.4, 0.9), (0.7, 0.3)]),
-        other => return Err(format!("unknown generator `{other}`")),
-    };
-    Ok(circuit)
+    generators::by_name(kind, qubits).ok_or_else(|| match generators::min_qubits(kind) {
+        Some(min) => format!("generator `{kind}` needs at least {min} qubit(s), got {qubits}"),
+        None => format!("unknown generator `{kind}`"),
+    })
 }
 
 fn parse_number(text: &str) -> Result<usize, String> {
@@ -332,5 +477,42 @@ mod tests {
     fn rejects_unknown_opt_level() {
         assert!(parse_args(&args(&["generate", "ghz", "4", "--opt", "9"])).is_err());
         assert!(parse_args(&args(&["generate", "ghz", "4", "--opt"])).is_err());
+    }
+
+    #[test]
+    fn parses_batch_flags() {
+        let options = parse_batch_args(&args(&[
+            "jobs.txt",
+            "--out",
+            "report.json",
+            "--format",
+            "json",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(options.jobfile, "jobs.txt");
+        assert_eq!(options.out.as_deref(), Some("report.json"));
+        assert_eq!(options.format, ReportFormat::Json);
+        assert_eq!(options.threads, 4);
+    }
+
+    #[test]
+    fn batch_format_is_inferred_from_the_out_extension() {
+        let csv = parse_batch_args(&args(&["jobs.txt", "--out", "r.csv"])).unwrap();
+        assert_eq!(csv.format, ReportFormat::Csv);
+        let json = parse_batch_args(&args(&["jobs.txt", "--out", "r.json"])).unwrap();
+        assert_eq!(json.format, ReportFormat::Json);
+        let bare = parse_batch_args(&args(&["jobs.txt"])).unwrap();
+        assert_eq!(bare.format, ReportFormat::Json);
+        assert_eq!(bare.threads, 0);
+    }
+
+    #[test]
+    fn batch_rejects_bad_invocations() {
+        assert!(parse_batch_args(&args(&[])).is_err());
+        assert!(parse_batch_args(&args(&["jobs.txt", "--format", "xml"])).is_err());
+        assert!(parse_batch_args(&args(&["jobs.txt", "--wat"])).is_err());
+        assert!(parse_batch_args(&args(&["jobs.txt", "--out"])).is_err());
     }
 }

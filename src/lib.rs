@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the QSDD workspace.
 //!
-//! See the individual crates for details:
+//! See `ARCHITECTURE.md` at the repository root for the crate map and data
+//! flow, and the individual crates for details:
 //! - [`qsdd_dd`] — decision-diagram package
 //! - [`qsdd_circuit`] — circuit IR, OpenQASM front-end, generators
 //! - [`qsdd_noise`] — error channels and noise models
@@ -8,7 +9,9 @@
 //! - [`qsdd_density`] — exact density-matrix reference simulator
 //! - [`qsdd_transpile`] — circuit-optimization pass pipeline
 //! - [`qsdd_core`] — the stochastic decision-diagram simulator
+//! - [`qsdd_batch`] — multi-job batch execution and reporting
 
+pub use qsdd_batch as batch;
 pub use qsdd_circuit as circuit;
 pub use qsdd_core as core;
 pub use qsdd_dd as dd;
