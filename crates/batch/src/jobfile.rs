@@ -2,7 +2,7 @@
 //!
 //! A job file is plain text: one stanza per job, opened by a `[job NAME]`
 //! header and followed by `key = value` lines. Blank lines and lines starting
-//! with `#` or `;` are ignored.
+//! with `#` or `;` are ignored; inline trailing comments are not supported.
 //!
 //! ```text
 //! # Mixed demo batch.
@@ -12,7 +12,8 @@
 //! shots = 4000
 //! seed = 11
 //! noiseless = true
-//! epsilon = 0.05          # stop early once the 95 % Wilson CI is this tight
+//! # stop early once the 95 % Wilson CI is this tight
+//! epsilon = 0.05
 //!
 //! [job bell-file]
 //! circuit = qasm bell.qasm
@@ -197,6 +198,7 @@ pub fn parse_str(source: &str, base_dir: Option<&Path>) -> Result<Vec<JobSpec>, 
             let name = header
                 .strip_suffix(']')
                 .and_then(|h| h.strip_prefix("job"))
+                .filter(|rest| rest.is_empty() || rest.starts_with(char::is_whitespace))
                 .map(str::trim)
                 .ok_or_else(|| {
                     JobFileError::new(line_no, format!("malformed stanza header `{line}`"))
@@ -505,6 +507,7 @@ circuit = generate ghz 3
             ),
             ("[job ]\ncircuit = generate ghz 4", 1, "empty"),
             ("[nope a]\ncircuit = generate ghz 4", 1, "malformed"),
+            ("[jobfoo]\ncircuit = generate ghz 4", 1, "malformed"),
             ("", 0, "no [job"),
         ];
         for (text, line, needle) in cases {

@@ -325,8 +325,14 @@ fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>]) {
             progress.finished = true;
             progress.wall_time = shared.started.elapsed();
             drop(progress);
+            // Decrement and notify under the queue mutex: a worker that found
+            // the queue empty and read the old `active` value cannot reach
+            // `wait()` while we hold the lock, so the notification cannot be
+            // lost in its check-then-wait window.
+            let queue = shared.queue.lock().expect("queue lock");
             shared.active.fetch_sub(1, Ordering::SeqCst);
             shared.wake.notify_all();
+            drop(queue);
         } else {
             let start = progress.executed;
             let mut queue = shared.queue.lock().expect("queue lock");

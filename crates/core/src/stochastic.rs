@@ -98,7 +98,10 @@ pub struct StochasticOutcome {
     pub error_events: u64,
     /// Wall-clock time of the whole simulation.
     pub wall_time: Duration,
-    /// Number of worker threads used.
+    /// Resolved worker-thread count of the run. For `shots > 0` this is the
+    /// number of workers actually spawned (capped at the shot count); a
+    /// zero-shot run spawns no workers but still reports the resolved
+    /// configuration.
     pub threads: usize,
 }
 
@@ -146,14 +149,15 @@ pub fn run_stochastic<B: StochasticBackend>(
 ) -> StochasticOutcome {
     let started = Instant::now();
     if config.shots == 0 {
-        // Nothing to run: return an empty outcome without spawning workers.
+        // Nothing to run: return an empty outcome without spawning workers,
+        // still reporting the resolved worker count for consistency.
         return StochasticOutcome {
             counts: HashMap::new(),
             shots: 0,
             observable_estimates: vec![0.0; observables.len()],
             error_events: 0,
             wall_time: started.elapsed(),
-            threads: 0,
+            threads: config.effective_threads(),
         };
     }
     let threads = config.effective_threads().max(1).min(config.shots);
@@ -227,25 +231,26 @@ pub fn run_engine(
     observables: &[Observable],
 ) -> StochasticOutcome {
     let started = Instant::now();
-    if shots == 0 {
-        // Nothing to run: return an empty outcome without spawning workers.
-        return StochasticOutcome {
-            counts: HashMap::new(),
-            shots: 0,
-            observable_estimates: vec![0.0; observables.len()],
-            error_events: 0,
-            wall_time: started.elapsed(),
-            threads: 0,
-        };
-    }
     let threads = if threads > 0 {
         threads
     } else {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    };
+    if shots == 0 {
+        // Nothing to run: return an empty outcome without spawning workers,
+        // still reporting the resolved worker count for consistency.
+        return StochasticOutcome {
+            counts: HashMap::new(),
+            shots: 0,
+            observable_estimates: vec![0.0; observables.len()],
+            error_events: 0,
+            wall_time: started.elapsed(),
+            threads,
+        };
     }
-    .min(shots);
+    let threads = threads.min(shots);
     let mapped = engine.map_observables(observables);
     let merged_counts: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
     let merged_observables: Mutex<ObservableAccumulator> =
@@ -415,7 +420,8 @@ mod tests {
         let outcome = run_stochastic(&backend, &ghz(3), &config, &observables);
         assert_eq!(outcome.shots, 0);
         assert!(outcome.counts.is_empty());
-        assert_eq!(outcome.threads, 0);
+        // Even with no workers spawned the resolved thread count is reported.
+        assert_eq!(outcome.threads, 4);
         assert_eq!(outcome.observable_estimates, vec![0.0]);
         assert_eq!(outcome.most_frequent(), None);
         assert_eq!(outcome.error_rate(), 0.0);
