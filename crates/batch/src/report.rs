@@ -58,7 +58,9 @@ pub struct JobReport {
     /// Mean decision-diagram node count of the final per-shot states
     /// (`0.0` on the dense back-end).
     pub dd_nodes_avg: f64,
-    /// Largest final-state decision diagram seen in any shot.
+    /// Peak decision-diagram node count reached at any point *during* any
+    /// shot — the memory high-water mark of the job, sampled after every
+    /// applied operation (not just at shot end).
     pub dd_nodes_peak: u64,
     /// Time from batch start until the job's last shot finished.
     pub wall_time: Duration,

@@ -1,5 +1,9 @@
 //! Ablation A3: effect of the operation caches (compute tables) inside the
 //! decision diagram package on simulation cost.
+//!
+//! Each iteration goes through `run_once` (compile + one shot), so the
+//! comparison covers the caches' effect on both operator construction and
+//! live shot evolution.
 
 use std::time::Duration;
 

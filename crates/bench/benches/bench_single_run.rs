@@ -1,6 +1,12 @@
 //! Ablation A2: cost of a *single* stochastic run, decision diagram vs.
 //! dense statevector, isolating the per-run data-structure advantage from
 //! the Monte-Carlo parallelism.
+//!
+//! Each backend's program is compiled once outside the measurement and the
+//! iterations execute single shots against a pre-seated context, so the
+//! numbers reflect the steady-state per-run cost (what a shot loop
+//! actually pays), not the one-off compile phase. Compile-inclusive
+//! fresh-package cost is measured by `bench_context_reuse`.
 
 use std::time::Duration;
 
@@ -23,16 +29,20 @@ fn bench_single_run(c: &mut Criterion) {
     for (name, circuit) in &workloads {
         group.bench_with_input(BenchmarkId::new("dd", name), circuit, |b, circuit| {
             let backend = DdSimulator::new();
+            let program = backend.compile(circuit, &noise);
+            let mut ctx = backend.new_context();
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(3);
-                backend.run_once(circuit, &noise, &mut rng)
+                backend.run_shot(&program, &mut ctx, &mut rng)
             });
         });
         group.bench_with_input(BenchmarkId::new("dense", name), circuit, |b, circuit| {
             let backend = DenseSimulator::new();
+            let program = backend.compile(circuit, &noise);
+            let mut ctx = backend.new_context();
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(3);
-                backend.run_once(circuit, &noise, &mut rng)
+                backend.run_shot(&program, &mut ctx, &mut rng)
             });
         });
     }

@@ -1,11 +1,28 @@
 //! The back-end abstraction shared by the stochastic simulators.
 //!
-//! A back-end knows how to execute *one* stochastic run of a circuit under a
-//! noise model (Section III of the paper) and how to evaluate quadratic
-//! observables on the resulting pure state. The Monte-Carlo runner in
-//! [`crate::stochastic`] drives any back-end concurrently; the paper's
-//! contribution is the decision-diagram back-end, the dense statevector
-//! back-end reproduces the baseline simulators.
+//! Shot execution is split into two phases (the prepare-once / execute-many
+//! architecture that makes the paper's "shots are i.i.d. and embarrassingly
+//! parallel" observation actually pay off):
+//!
+//! 1. **Compile** ([`StochasticBackend::compile`]): everything that depends
+//!    only on the circuit and the noise model — gate matrices, controlled-op
+//!    and swap operator diagrams, noise-channel operator tables — is
+//!    resolved once into an immutable [`StochasticBackend::Program`].
+//! 2. **Execute** ([`StochasticBackend::run_shot`]): each shot replays the
+//!    program against a mutable per-worker [`StochasticBackend::Context`]
+//!    (scratch state, reusable arenas). Contexts are rewound, not rebuilt,
+//!    between shots, so the per-circuit work is amortised over the whole
+//!    shot loop.
+//!
+//! Reuse is an optimisation, never an observable: a shot executed in a
+//! reused context is bit-identical to the same shot executed in a freshly
+//! created context, for every seed and shot index. The Monte-Carlo runner in
+//! [`crate::stochastic`] drives any back-end concurrently by sharing the
+//! program across workers and giving each worker its own context; the
+//! paper's contribution is the decision-diagram back-end, the dense
+//! statevector back-end reproduces the baseline simulators.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use qsdd_circuit::Circuit;
 use qsdd_noise::NoiseModel;
@@ -26,36 +43,115 @@ pub struct SingleRun<S> {
     pub clbits: Vec<bool>,
     /// Number of stochastic error events that fired during the run.
     pub error_events: usize,
-    /// The final pure state of the run (back-end specific representation).
+    /// Node count of the final state's decision diagram (`0` on back-ends
+    /// without a diagram representation).
+    pub dd_nodes: u64,
+    /// Peak node count the state diagram reached at any point during the
+    /// run (`0` on back-ends without a diagram representation).
+    pub dd_nodes_peak: u64,
+    /// Back-end specific handle to the final pure state of the run.
+    ///
+    /// The handle may borrow storage owned by the context the shot ran in
+    /// (e.g. decision diagram nodes); it is only meaningful until that
+    /// context executes its next shot.
     pub state: S,
 }
 
 /// A simulation engine that can produce independent stochastic runs.
 ///
 /// Implementations must be [`Sync`]: the Monte-Carlo runner shares one
-/// back-end instance across worker threads, and every run receives its own
-/// random number generator.
+/// back-end instance (and one compiled program) across worker threads; every
+/// worker owns a private context and every run receives its own random
+/// number generator.
 pub trait StochasticBackend: Sync {
-    /// Back-end specific representation of the final pure state of a run.
+    /// Back-end specific handle to the final pure state of a run (see
+    /// [`SingleRun::state`]).
     type State;
+
+    /// The compiled, immutable form of one circuit + noise model pair.
+    ///
+    /// Programs are shared across worker threads by reference.
+    type Program: Send + Sync;
+
+    /// Reusable per-worker scratch state (arenas, amplitude buffers).
+    type Context: Send;
 
     /// Human-readable name used in benchmark reports.
     fn name(&self) -> &'static str;
 
-    /// Executes one stochastic run of `circuit` under `noise`.
-    fn run_once(
+    /// Phase 1: resolves `circuit` under `noise` into an executable program,
+    /// performing all per-circuit work (operator construction, noise table
+    /// resolution) exactly once.
+    fn compile(&self, circuit: &Circuit, noise: &NoiseModel) -> Self::Program;
+
+    /// Creates an empty execution context.
+    ///
+    /// A context is lazily seated onto whatever program it first executes
+    /// and re-seats itself when handed a different program, so one
+    /// long-lived context per worker serves any sequence of programs of
+    /// this back-end.
+    fn new_context(&self) -> Self::Context;
+
+    /// Phase 2: executes one stochastic shot of `program` in `ctx`.
+    ///
+    /// The context is rewound at shot entry; any state left over from a
+    /// previous shot (of this or another program) is invalidated first, so
+    /// the result is bit-identical to running the shot in a fresh context.
+    fn run_shot(
         &self,
-        circuit: &Circuit,
-        noise: &NoiseModel,
+        program: &Self::Program,
+        ctx: &mut Self::Context,
         rng: &mut StdRng,
     ) -> SingleRun<Self::State>;
 
     /// Evaluates a quadratic observable `|<omega|psi>|^2`-style property on
     /// the final state of a run.
     ///
-    /// Takes the run mutably because some back-ends fill internal caches
-    /// (e.g. interned complex values) while evaluating.
-    fn evaluate(&self, run: &mut SingleRun<Self::State>, observable: &Observable) -> f64;
+    /// Must be called with the context the run executed in, *before* that
+    /// context runs its next shot (the run's state may live in the
+    /// context). Takes the context mutably because some back-ends fill
+    /// internal caches (e.g. interned complex values) while evaluating.
+    fn evaluate(
+        &self,
+        program: &Self::Program,
+        ctx: &mut Self::Context,
+        run: &mut SingleRun<Self::State>,
+        observable: &Observable,
+    ) -> f64;
+
+    /// Convenience single-shot path: compiles `circuit`, creates a fresh
+    /// context and executes one shot in it.
+    ///
+    /// Every call pays the full compile phase (operator resolution, and
+    /// for the DD back-end the no-error trajectory precompute), so this is
+    /// strictly a convenience — hot loops should compile once and reuse a
+    /// context via [`run_shot`](Self::run_shot) instead.
+    ///
+    /// **Caveat:** the context is dropped on return, so for back-ends
+    /// whose [`SingleRun::state`] handle borrows context storage (the
+    /// decision-diagram back-end) the returned `state` must not be
+    /// dereferenced or passed to [`evaluate`](Self::evaluate); use
+    /// `compile` + `run_shot` with a context you keep, or
+    /// a self-contained path like `DdSimulator::simulate_noiseless`, when
+    /// the final state matters.
+    fn run_once(
+        &self,
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        rng: &mut StdRng,
+    ) -> SingleRun<Self::State> {
+        let program = self.compile(circuit, noise);
+        let mut ctx = self.new_context();
+        self.run_shot(&program, &mut ctx, rng)
+    }
+}
+
+/// Hands out process-unique program identifiers, so execution contexts can
+/// detect whether they are already seated on the program they are asked to
+/// run (reuse) or must re-seat (program switch).
+pub(crate) fn next_program_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Packs a classical register into a basis index (bit 0 of the register is
@@ -75,5 +171,13 @@ mod tests {
         assert_eq!(pack_clbits(&[true, false]), 0b10);
         assert_eq!(pack_clbits(&[false, true, true]), 0b011);
         assert_eq!(pack_clbits(&[]), 0);
+    }
+
+    #[test]
+    fn program_ids_are_unique_and_nonzero() {
+        let a = next_program_id();
+        let b = next_program_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
     }
 }

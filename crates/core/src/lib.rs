@@ -12,6 +12,13 @@
 //!    ([`stochastic::run_stochastic`]) executes the independent runs on
 //!    multiple threads and merges histograms and observable estimates.
 //!
+//! Shot execution follows a **compile / execute** split: a circuit + noise
+//! model pair is compiled once into an immutable program (operator
+//! diagrams, noise tables resolved up front), and every shot replays that
+//! program against a reusable per-worker execution context that is rewound
+//! — not rebuilt — between shots. See [`StochasticBackend`] and
+//! [`ShotEngine`].
+//!
 //! The dense [`DenseSimulator`] back-end executes the identical stochastic
 //! protocol on flat amplitude arrays and serves as the baseline
 //! (Qiskit / Atos QLM stand-in) for the benchmark harness.
@@ -50,10 +57,10 @@ pub mod simulator;
 pub mod stochastic;
 
 pub use backend::{SingleRun, StochasticBackend};
-pub use dd_backend::{DdRunState, DdSimulator};
-pub use dense_backend::DenseSimulator;
+pub use dd_backend::{DdContext, DdProgram, DdRunState, DdSimulator};
+pub use dense_backend::{DenseContext, DenseProgram, DenseSimulator};
 pub use estimator::{Observable, ObservableAccumulator};
-pub use shot_engine::{ShotEngine, ShotSample};
+pub use shot_engine::{ExecContext, ShotEngine, ShotSample};
 pub use simulator::{BackendKind, StochasticSimulator};
 pub use stochastic::{run_engine, run_stochastic, StochasticConfig, StochasticOutcome};
 // Re-exported so `StochasticSimulator::with_opt_level` is usable without a

@@ -1,24 +1,35 @@
 //! A re-entrant, shareable shot-execution engine.
 //!
-//! [`ShotEngine`] packages everything a single stochastic run needs — the
-//! (optionally transpiled) circuit, the back-end, the noise model and the
-//! master seed — behind one `&self` method, [`ShotEngine::run_shot`]. Because
-//! the per-shot random number generator is derived purely from the master
-//! seed and the shot index, any number of threads can call into the same
-//! engine concurrently, in any order, and the result of shot `i` is always
-//! the same.
+//! [`ShotEngine`] packages everything a stochastic shot needs — the
+//! (optionally transpiled) circuit **compiled into an executable program**,
+//! the back-end, the noise model and the master seed — behind `&self`
+//! methods. Construction performs all per-circuit work exactly once:
+//! transpilation, layout bookkeeping, and the back-end's compile phase
+//! (operator diagrams, noise tables; see
+//! [`StochasticBackend::compile`](crate::StochasticBackend::compile)).
+//!
+//! Shots execute against a reusable per-worker [`ExecContext`]: create one
+//! context per worker thread ([`ShotEngine::new_context`]) and feed it to
+//! [`ShotEngine::run_shot_in`] for every shot that worker executes — across
+//! chunks, and across engines (a context re-seats itself when handed a
+//! different engine of the same back-end kind). Because the per-shot random
+//! number generator is derived purely from the master seed and the shot
+//! index, and because context reuse is bit-identical to fresh execution,
+//! any number of threads can pull arbitrary shots from the same engine, in
+//! any order, and the result of shot `i` is always the same.
 //!
 //! Two consumers share this API:
 //!
-//! * [`StochasticSimulator`](crate::StochasticSimulator) builds an engine per
-//!   `run` call and drives it with the strided Monte-Carlo loop in
+//! * [`StochasticSimulator`](crate::StochasticSimulator) builds an engine
+//!   per `run` call and drives it with the strided Monte-Carlo loop in
 //!   [`crate::stochastic::run_engine`];
-//! * the `qsdd-batch` scheduler builds one engine per job and lets its worker
-//!   pool pull arbitrary `(job, shot)` pairs from a global queue.
+//! * the `qsdd-batch` scheduler builds one engine per job and lets its
+//!   worker pool pull arbitrary `(job, shot)` pairs from a global queue,
+//!   each worker reusing one long-lived context per back-end kind.
 //!
 //! Outcomes are always reported in the *original* circuit's qubit order: if
-//! the transpiler elided trailing SWAPs into an output relabeling, the engine
-//! undoes that relabeling on every sampled outcome (and offers
+//! the transpiler elided trailing SWAPs into an output relabeling, the
+//! engine undoes that relabeling on every sampled outcome (and offers
 //! [`ShotEngine::map_observables`] for the reverse direction).
 
 use qsdd_circuit::Circuit;
@@ -26,8 +37,8 @@ use qsdd_noise::NoiseModel;
 use qsdd_transpile::{layout, transpile, OptLevel, TranspileResult};
 
 use crate::backend::StochasticBackend;
-use crate::dd_backend::DdSimulator;
-use crate::dense_backend::DenseSimulator;
+use crate::dd_backend::{DdContext, DdProgram, DdSimulator};
+use crate::dense_backend::{DenseContext, DenseProgram, DenseSimulator};
 use crate::estimator::Observable;
 use crate::simulator::BackendKind;
 use crate::stochastic::shot_rng;
@@ -43,22 +54,66 @@ pub struct ShotSample {
     /// Node count of the final state's decision diagram (`0` on the dense
     /// statevector back-end, which has no diagram).
     pub dd_nodes: u64,
+    /// Peak node count the state diagram reached at any point during the
+    /// shot — the memory high-water mark, sampled after every applied
+    /// operation (`0` on the dense back-end).
+    pub dd_nodes_peak: u64,
 }
 
-/// Monomorphised back-end storage (the engine must be a concrete type so the
-/// batch scheduler can hold a heterogeneous fleet of engines in one `Vec`).
+/// Monomorphised back-end + compiled-program storage (the engine must be a
+/// concrete type so the batch scheduler can hold a heterogeneous fleet of
+/// engines in one `Vec`).
 #[derive(Clone, Debug)]
 enum EngineBackend {
-    DecisionDiagram(DdSimulator),
-    Statevector(DenseSimulator),
+    DecisionDiagram {
+        backend: DdSimulator,
+        program: Box<DdProgram>,
+    },
+    Statevector {
+        backend: DenseSimulator,
+        program: Box<DenseProgram>,
+    },
+}
+
+/// A reusable per-worker execution context for [`ShotEngine`] shots.
+///
+/// A context starts empty and lazily builds one inner context **per
+/// back-end kind** on first use, so a worker alternating between
+/// decision-diagram and statevector engines keeps both warm — neither is
+/// discarded when the other runs. Handing it to a different compiled
+/// program of the same kind re-seats the inner context transparently.
+/// Reuse is purely an optimisation: every shot behaves exactly as if it
+/// ran in a brand-new context.
+#[derive(Debug, Default)]
+pub struct ExecContext {
+    dd: Option<Box<DdContext>>,
+    dense: Option<Box<DenseContext>>,
+}
+
+impl ExecContext {
+    /// Creates an empty context, usable with any engine.
+    pub fn new() -> Self {
+        ExecContext::default()
+    }
+
+    /// Borrows the decision-diagram context, creating it on first use.
+    fn dd_mut(&mut self) -> &mut DdContext {
+        self.dd.get_or_insert_with(Box::default)
+    }
+
+    /// Borrows the statevector context, creating it on first use.
+    fn dense_mut(&mut self) -> &mut DenseContext {
+        self.dense.get_or_insert_with(Box::default)
+    }
 }
 
 /// A re-entrant shot executor for one circuit.
 ///
 /// Construction does all per-circuit work up front (transpilation, layout
-/// bookkeeping); afterwards [`run_shot`](Self::run_shot) is pure with respect
-/// to `&self` plus the shot index, so engines can be shared freely across
-/// threads (the type is [`Sync`]).
+/// bookkeeping, back-end compilation); afterwards
+/// [`run_shot_in`](Self::run_shot_in) is pure with respect to `&self` plus
+/// the shot index, so engines can be shared freely across threads (the type
+/// is [`Sync`]) while each thread supplies its own [`ExecContext`].
 ///
 /// # Examples
 ///
@@ -74,10 +129,12 @@ enum EngineBackend {
 ///     7,
 ///     OptLevel::O0,
 /// );
-/// // Re-entrant: the same shot index always yields the same sample.
-/// assert_eq!(engine.run_shot(3), engine.run_shot(3));
+/// // Re-entrant: the same shot index always yields the same sample, and a
+/// // reused context gives the same results as one-off execution.
+/// let mut ctx = engine.new_context();
+/// assert_eq!(engine.run_shot_in(&mut ctx, 3), engine.run_shot(3));
 /// // A noiseless GHZ shot lands on one of the two peaks.
-/// let sample = engine.run_shot(0);
+/// let sample = engine.run_shot_in(&mut ctx, 0);
 /// assert!(sample.outcome == 0 || sample.outcome == 0b1111);
 /// assert_eq!(sample.error_events, 0);
 /// ```
@@ -94,8 +151,8 @@ pub struct ShotEngine {
 impl ShotEngine {
     /// Builds an engine for `circuit`, transpiling it at `opt` first.
     ///
-    /// The transpilation happens exactly once here; every subsequent shot
-    /// executes the optimized circuit.
+    /// Transpilation and back-end compilation happen exactly once here;
+    /// every subsequent shot executes the precompiled program.
     pub fn new(
         circuit: &Circuit,
         backend: BackendKind,
@@ -105,7 +162,7 @@ impl ShotEngine {
     ) -> Self {
         if opt == OptLevel::O0 {
             return ShotEngine {
-                backend: EngineBackend::from_kind(backend),
+                backend: EngineBackend::compile(backend, circuit, &noise),
                 circuit: circuit.clone(),
                 output_layout: None,
                 noise,
@@ -126,7 +183,7 @@ impl ShotEngine {
         seed: u64,
     ) -> Self {
         ShotEngine {
-            backend: EngineBackend::from_kind(backend),
+            backend: EngineBackend::compile(backend, &transpiled.circuit, &noise),
             circuit: transpiled.circuit.clone(),
             output_layout: (!transpiled.has_identity_layout())
                 .then(|| transpiled.output_layout.clone()),
@@ -158,41 +215,62 @@ impl ShotEngine {
     /// Which back-end kind executes the shots.
     pub fn backend_kind(&self) -> BackendKind {
         match self.backend {
-            EngineBackend::DecisionDiagram(_) => BackendKind::DecisionDiagram,
-            EngineBackend::Statevector(_) => BackendKind::Statevector,
+            EngineBackend::DecisionDiagram { .. } => BackendKind::DecisionDiagram,
+            EngineBackend::Statevector { .. } => BackendKind::Statevector,
         }
     }
 
-    /// Executes stochastic shot number `shot`.
+    /// Creates a fresh execution context for this engine.
     ///
-    /// The shot's random number generator is derived deterministically from
-    /// the engine seed and `shot`, so the result does not depend on which
-    /// thread runs the shot or in which order shots are executed.
-    pub fn run_shot(&self, shot: u64) -> ShotSample {
-        self.run_shot_with_observables(shot, &[]).0
+    /// One context per worker thread is the intended granularity; the same
+    /// context can subsequently be reused with *other* engines too (it
+    /// re-seats itself on the first shot of each program).
+    pub fn new_context(&self) -> ExecContext {
+        ExecContext::new()
     }
 
-    /// Executes shot `shot` and additionally evaluates quadratic observables
-    /// on the shot's final state.
+    /// Executes stochastic shot number `shot` in the given reusable
+    /// context.
+    ///
+    /// The shot's random number generator is derived deterministically from
+    /// the engine seed and `shot`, and context reuse is unobservable, so
+    /// the result does not depend on which thread runs the shot, in which
+    /// order shots are executed, or what the context ran before.
+    pub fn run_shot_in(&self, ctx: &mut ExecContext, shot: u64) -> ShotSample {
+        self.run_shot_with_observables_in(ctx, shot, &[]).0
+    }
+
+    /// Executes shot `shot` in a throwaway context.
+    ///
+    /// Convenience for one-off shots; hot loops should create one context
+    /// per worker with [`new_context`](Self::new_context) and use
+    /// [`run_shot_in`](Self::run_shot_in) to amortise the per-context
+    /// setup.
+    pub fn run_shot(&self, shot: u64) -> ShotSample {
+        let mut ctx = self.new_context();
+        self.run_shot_in(&mut ctx, shot)
+    }
+
+    /// Executes shot `shot` in the given context and additionally evaluates
+    /// quadratic observables on the shot's final state.
     ///
     /// The observables must already be expressed over the *executed*
     /// circuit's qubits — pass them through
     /// [`map_observables`](Self::map_observables) once per batch instead of
     /// remapping on every shot.
-    pub fn run_shot_with_observables(
+    pub fn run_shot_with_observables_in(
         &self,
+        ctx: &mut ExecContext,
         shot: u64,
         observables: &[Observable],
     ) -> (ShotSample, Vec<f64>) {
         let mut rng = shot_rng(self.seed, shot);
         let (mut sample, values) = match &self.backend {
-            EngineBackend::DecisionDiagram(backend) => {
-                self.execute(backend, &mut rng, observables, |run| {
-                    run.state.node_count() as u64
-                })
+            EngineBackend::DecisionDiagram { backend, program } => {
+                execute(backend, program, ctx.dd_mut(), &mut rng, observables)
             }
-            EngineBackend::Statevector(backend) => {
-                self.execute(backend, &mut rng, observables, |_| 0)
+            EngineBackend::Statevector { backend, program } => {
+                execute(backend, program, ctx.dense_mut(), &mut rng, observables)
             }
         };
         if let Some(output_layout) = &self.output_layout {
@@ -205,27 +283,15 @@ impl ShotEngine {
         (sample, values)
     }
 
-    /// Runs one shot on a concrete back-end and evaluates the observables;
-    /// `dd_nodes` extracts the back-end-specific diagram size from the final
-    /// run state.
-    fn execute<B: StochasticBackend>(
+    /// Executes shot `shot` with observables in a throwaway context (see
+    /// [`run_shot_with_observables_in`](Self::run_shot_with_observables_in)).
+    pub fn run_shot_with_observables(
         &self,
-        backend: &B,
-        rng: &mut rand::rngs::StdRng,
+        shot: u64,
         observables: &[Observable],
-        dd_nodes: impl FnOnce(&crate::backend::SingleRun<B::State>) -> u64,
     ) -> (ShotSample, Vec<f64>) {
-        let mut run = backend.run_once(&self.circuit, &self.noise, rng);
-        let values: Vec<f64> = observables
-            .iter()
-            .map(|o| backend.evaluate(&mut run, o))
-            .collect();
-        let sample = ShotSample {
-            outcome: run.outcome,
-            error_events: run.error_events as u64,
-            dd_nodes: dd_nodes(&run),
-        };
-        (sample, values)
+        let mut ctx = self.new_context();
+        self.run_shot_with_observables_in(&mut ctx, shot, observables)
     }
 
     /// Re-expresses observables over the original qubits as observables over
@@ -234,7 +300,7 @@ impl ShotEngine {
     /// With an identity layout this is a clone; otherwise qubit indices and
     /// basis indices are pushed through the transpiler's output layout. Call
     /// once before a shot loop and feed the result to
-    /// [`run_shot_with_observables`](Self::run_shot_with_observables).
+    /// [`run_shot_with_observables_in`](Self::run_shot_with_observables_in).
     pub fn map_observables(&self, observables: &[Observable]) -> Vec<Observable> {
         match &self.output_layout {
             None => observables.to_vec(),
@@ -247,12 +313,46 @@ impl ShotEngine {
 }
 
 impl EngineBackend {
-    fn from_kind(kind: BackendKind) -> Self {
+    fn compile(kind: BackendKind, circuit: &Circuit, noise: &NoiseModel) -> Self {
         match kind {
-            BackendKind::DecisionDiagram => EngineBackend::DecisionDiagram(DdSimulator::new()),
-            BackendKind::Statevector => EngineBackend::Statevector(DenseSimulator::new()),
+            BackendKind::DecisionDiagram => {
+                let backend = DdSimulator::new();
+                let program = Box::new(backend.compile(circuit, noise));
+                EngineBackend::DecisionDiagram { backend, program }
+            }
+            BackendKind::Statevector => {
+                let backend = DenseSimulator::new();
+                let program = Box::new(backend.compile(circuit, noise));
+                EngineBackend::Statevector { backend, program }
+            }
         }
     }
+}
+
+/// Runs one shot on a concrete back-end and evaluates the observables;
+/// `SingleRun` carries the diagram statistics uniformly (zero on back-ends
+/// without diagrams), so both engine arms share this body.
+fn execute<B: StochasticBackend>(
+    backend: &B,
+    program: &B::Program,
+    ctx: &mut B::Context,
+    rng: &mut rand::rngs::StdRng,
+    observables: &[Observable],
+) -> (ShotSample, Vec<f64>) {
+    let mut run = backend.run_shot(program, ctx, rng);
+    let values: Vec<f64> = observables
+        .iter()
+        .map(|o| backend.evaluate(program, ctx, &mut run, o))
+        .collect();
+    (
+        ShotSample {
+            outcome: run.outcome,
+            error_events: run.error_events as u64,
+            dd_nodes: run.dd_nodes,
+            dd_nodes_peak: run.dd_nodes_peak,
+        },
+        values,
+    )
 }
 
 /// Re-expresses an observable over the original qubits as one over the
@@ -287,12 +387,57 @@ mod tests {
             42,
             OptLevel::O0,
         );
-        let first: Vec<ShotSample> = (0..16).map(|s| engine.run_shot(s)).collect();
-        // Replaying any shot, in any order, yields the identical sample.
-        let replay: Vec<ShotSample> = (0..16).rev().map(|s| engine.run_shot(s)).collect();
+        let mut ctx = engine.new_context();
+        let first: Vec<ShotSample> = (0..16).map(|s| engine.run_shot_in(&mut ctx, s)).collect();
+        // Replaying any shot, in any order, in the same (reused) context,
+        // yields the identical sample.
+        let replay: Vec<ShotSample> = (0..16)
+            .rev()
+            .map(|s| engine.run_shot_in(&mut ctx, s))
+            .collect();
         let mut replay = replay;
         replay.reverse();
         assert_eq!(first, replay);
+    }
+
+    #[test]
+    fn reused_context_matches_throwaway_contexts() {
+        let engine = ShotEngine::new(
+            &qft(5),
+            BackendKind::DecisionDiagram,
+            NoiseModel::paper_defaults(),
+            77,
+            OptLevel::O0,
+        );
+        let mut ctx = engine.new_context();
+        for shot in 0..32 {
+            assert_eq!(engine.run_shot_in(&mut ctx, shot), engine.run_shot(shot));
+        }
+    }
+
+    #[test]
+    fn one_context_serves_engines_of_both_kinds() {
+        let dd = ShotEngine::new(
+            &ghz(4),
+            BackendKind::DecisionDiagram,
+            NoiseModel::paper_defaults(),
+            5,
+            OptLevel::O0,
+        );
+        let dense = ShotEngine::new(
+            &ghz(4),
+            BackendKind::Statevector,
+            NoiseModel::paper_defaults(),
+            5,
+            OptLevel::O0,
+        );
+        let mut ctx = ExecContext::new();
+        for shot in 0..8 {
+            // Alternating engine kinds keeps both inner contexts warm;
+            // results still match one-off execution.
+            assert_eq!(dd.run_shot_in(&mut ctx, shot), dd.run_shot(shot));
+            assert_eq!(dense.run_shot_in(&mut ctx, shot), dense.run_shot(shot));
+        }
     }
 
     #[test]
@@ -304,14 +449,20 @@ mod tests {
             9,
             OptLevel::O0,
         );
-        let sequential: Vec<u64> = (0..32).map(|s| engine.run_shot(s).outcome).collect();
+        let mut reference_ctx = engine.new_context();
+        let sequential: Vec<u64> = (0..32)
+            .map(|s| engine.run_shot_in(&mut reference_ctx, s).outcome)
+            .collect();
         let mut concurrent = vec![0u64; 32];
         std::thread::scope(|scope| {
             for (chunk_index, chunk) in concurrent.chunks_mut(8).enumerate() {
                 let engine = &engine;
                 scope.spawn(move || {
+                    let mut ctx = engine.new_context();
                     for (offset, slot) in chunk.iter_mut().enumerate() {
-                        *slot = engine.run_shot((chunk_index * 8 + offset) as u64).outcome;
+                        *slot = engine
+                            .run_shot_in(&mut ctx, (chunk_index * 8 + offset) as u64)
+                            .outcome;
                     }
                 });
             }
@@ -342,8 +493,9 @@ mod tests {
         // Same seed, same shot index, but different circuits: outcomes need
         // not match shot-by-shot, yet both must stay within range and the
         // layout restoration must be exercised.
+        let mut ctx = optimized.new_context();
         for shot in 0..64 {
-            assert!(optimized.run_shot(shot).outcome < 8);
+            assert!(optimized.run_shot_in(&mut ctx, shot).outcome < 8);
         }
     }
 
@@ -358,6 +510,7 @@ mod tests {
         );
         let sample = engine.run_shot(0);
         assert_eq!(sample.dd_nodes, 0);
+        assert_eq!(sample.dd_nodes_peak, 0);
         let dd = ShotEngine::new(
             &ghz(4),
             BackendKind::DecisionDiagram,
@@ -365,7 +518,9 @@ mod tests {
             1,
             OptLevel::O0,
         );
-        assert!(dd.run_shot(0).dd_nodes > 0);
+        let sample = dd.run_shot(0);
+        assert!(sample.dd_nodes > 0);
+        assert!(sample.dd_nodes_peak >= sample.dd_nodes);
     }
 
     #[test]

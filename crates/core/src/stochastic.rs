@@ -2,17 +2,31 @@
 //!
 //! Stochastic quantum circuit simulation needs many independent runs to form
 //! accurate empirical averages (Theorem 1). Because the runs are i.i.d.,
-//! they parallelise perfectly: the runner partitions the requested shot
-//! count over worker threads, gives every *shot* its own deterministically
-//! derived random number generator (so results do not depend on the thread
-//! count), and merges the per-worker histograms and observable sums at the
-//! end. This is the "concurrency across simulation runs" idea of
-//! Section IV-C of the paper.
+//! they parallelise perfectly: the runner compiles the circuit **once**
+//! (resolving every operator the shots will need), partitions the requested
+//! shot count over worker threads, hands each worker one reusable execution
+//! context (rewound, not rebuilt, between shots), gives every *shot* its
+//! own deterministically derived random number generator (so results do not
+//! depend on the thread count), and merges the per-worker histograms and
+//! observable sums in worker order at the end. This is the "concurrency
+//! across simulation runs" idea of Section IV-C of the paper, with the
+//! per-circuit work amortised across the whole shot loop.
+//!
+//! # Determinism
+//!
+//! * Histograms and error counts are identical for every thread count (shot
+//!   `i` depends on the master seed and `i` alone; integer merges are
+//!   order-independent).
+//! * Observable estimates are floating-point sums, so their *low bits*
+//!   depend on the summation grouping and therefore on the thread count —
+//!   but for a **fixed** thread count they are bit-stable: partial sums are
+//!   merged in worker-index order, never in completion order.
+//! * Context reuse never affects any of the above: a reused context
+//!   produces bit-identical shots to a fresh one.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use qsdd_circuit::Circuit;
 use qsdd_noise::NoiseModel;
 use rand::rngs::StdRng;
@@ -96,6 +110,13 @@ pub struct StochasticOutcome {
     pub observable_estimates: Vec<f64>,
     /// Total number of stochastic error events over all runs.
     pub error_events: u64,
+    /// Mean decision-diagram node count of the final per-shot states
+    /// (`0.0` on the dense statevector back-end).
+    pub dd_nodes_avg: f64,
+    /// Peak decision-diagram node count reached at any point in any shot —
+    /// the memory high-water mark of the whole simulation (`0` on the dense
+    /// back-end).
+    pub dd_nodes_peak: u64,
     /// Wall-clock time of the whole simulation.
     pub wall_time: Duration,
     /// Resolved worker-thread count of the run. For `shots > 0` this is the
@@ -106,6 +127,20 @@ pub struct StochasticOutcome {
 }
 
 impl StochasticOutcome {
+    /// An empty outcome (zero shots) reporting the given thread count.
+    fn empty(observables: usize, threads: usize, wall_time: Duration) -> Self {
+        StochasticOutcome {
+            counts: HashMap::new(),
+            shots: 0,
+            observable_estimates: vec![0.0; observables],
+            error_events: 0,
+            dd_nodes_avg: 0.0,
+            dd_nodes_peak: 0,
+            wall_time,
+            threads,
+        }
+    }
+
     /// Relative frequency of a measurement outcome.
     pub fn frequency(&self, outcome: u64) -> f64 {
         if self.shots == 0 {
@@ -134,12 +169,84 @@ impl StochasticOutcome {
     }
 }
 
+/// Everything one worker accumulated over its strided share of the shots.
+struct WorkerPartial {
+    counts: HashMap<u64, u64>,
+    observables: ObservableAccumulator,
+    errors: u64,
+    nodes_sum: u64,
+    nodes_peak: u64,
+}
+
+impl WorkerPartial {
+    fn new(observables: usize) -> Self {
+        WorkerPartial {
+            counts: HashMap::new(),
+            observables: ObservableAccumulator::new(observables),
+            errors: 0,
+            nodes_sum: 0,
+            nodes_peak: 0,
+        }
+    }
+
+    fn record(&mut self, outcome: u64, errors: u64, nodes: u64, peak: u64, values: &[f64]) {
+        *self.counts.entry(outcome).or_insert(0) += 1;
+        self.errors += errors;
+        self.nodes_sum += nodes;
+        self.nodes_peak = self.nodes_peak.max(peak);
+        if !values.is_empty() {
+            self.observables.add(values);
+        }
+    }
+}
+
+/// Merges per-worker partials **in worker-index order** (bit-stable
+/// floating-point sums for a fixed thread count) into an outcome.
+fn merge_partials(
+    partials: Vec<Option<WorkerPartial>>,
+    shots: usize,
+    observables: usize,
+    threads: usize,
+    started: Instant,
+) -> StochasticOutcome {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut merged = ObservableAccumulator::new(observables);
+    let mut errors = 0u64;
+    let mut nodes_sum = 0u64;
+    let mut nodes_peak = 0u64;
+    for partial in partials.into_iter().flatten() {
+        for (outcome, count) in partial.counts {
+            *counts.entry(outcome).or_insert(0) += count;
+        }
+        merged.merge(&partial.observables);
+        errors += partial.errors;
+        nodes_sum += partial.nodes_sum;
+        nodes_peak = nodes_peak.max(partial.nodes_peak);
+    }
+    StochasticOutcome {
+        counts,
+        shots,
+        observable_estimates: merged.means(),
+        error_events: errors,
+        dd_nodes_avg: if shots == 0 {
+            0.0
+        } else {
+            nodes_sum as f64 / shots as f64
+        },
+        dd_nodes_peak: nodes_peak,
+        wall_time: started.elapsed(),
+        threads,
+    }
+}
+
 /// Runs `config.shots` independent stochastic simulations of `circuit` on
 /// `backend`, estimating the given observables along the way.
 ///
-/// Shots are distributed over worker threads ([`StochasticConfig::threads`]);
-/// every shot uses a random number generator derived deterministically from
-/// the master seed and the shot index, so the outcome is independent of how
+/// The circuit is compiled once ([`StochasticBackend::compile`]); shots are
+/// distributed over worker threads ([`StochasticConfig::threads`]), each
+/// worker executing its strided share through one reusable context. Every
+/// shot uses a random number generator derived deterministically from the
+/// master seed and the shot index, so the histogram is independent of how
 /// shots are assigned to threads.
 pub fn run_stochastic<B: StochasticBackend>(
     backend: &B,
@@ -151,65 +258,47 @@ pub fn run_stochastic<B: StochasticBackend>(
     if config.shots == 0 {
         // Nothing to run: return an empty outcome without spawning workers,
         // still reporting the resolved worker count for consistency.
-        return StochasticOutcome {
-            counts: HashMap::new(),
-            shots: 0,
-            observable_estimates: vec![0.0; observables.len()],
-            error_events: 0,
-            wall_time: started.elapsed(),
-            threads: config.effective_threads(),
-        };
+        return StochasticOutcome::empty(
+            observables.len(),
+            config.effective_threads(),
+            started.elapsed(),
+        );
     }
+    let program = backend.compile(circuit, &config.noise);
     let threads = config.effective_threads().max(1).min(config.shots);
-    let merged_counts: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
-    let merged_observables: Mutex<ObservableAccumulator> =
-        Mutex::new(ObservableAccumulator::new(observables.len()));
-    let merged_errors: Mutex<u64> = Mutex::new(0);
+    let mut partials: Vec<Option<WorkerPartial>> = (0..threads).map(|_| None).collect();
 
     std::thread::scope(|scope| {
-        for worker in 0..threads {
-            let merged_counts = &merged_counts;
-            let merged_observables = &merged_observables;
-            let merged_errors = &merged_errors;
+        for (worker, slot) in partials.iter_mut().enumerate() {
+            let program = &program;
             let observables = &observables;
             let config = &config;
             scope.spawn(move || {
-                let mut local_counts: HashMap<u64, u64> = HashMap::new();
-                let mut local_observables = ObservableAccumulator::new(observables.len());
-                let mut local_errors = 0u64;
+                let mut ctx = backend.new_context();
+                let mut partial = WorkerPartial::new(observables.len());
                 let mut shot = worker;
                 while shot < config.shots {
                     let mut rng = shot_rng(config.seed, shot as u64);
-                    let mut run = backend.run_once(circuit, &config.noise, &mut rng);
-                    *local_counts.entry(run.outcome).or_insert(0) += 1;
-                    local_errors += run.error_events as u64;
-                    if !observables.is_empty() {
-                        let values: Vec<f64> = observables
-                            .iter()
-                            .map(|o| backend.evaluate(&mut run, o))
-                            .collect();
-                        local_observables.add(&values);
-                    }
+                    let mut run = backend.run_shot(program, &mut ctx, &mut rng);
+                    let values: Vec<f64> = observables
+                        .iter()
+                        .map(|o| backend.evaluate(program, &mut ctx, &mut run, o))
+                        .collect();
+                    partial.record(
+                        run.outcome,
+                        run.error_events as u64,
+                        run.dd_nodes,
+                        run.dd_nodes_peak,
+                        &values,
+                    );
                     shot += threads;
                 }
-                let mut counts = merged_counts.lock();
-                for (outcome, count) in local_counts {
-                    *counts.entry(outcome).or_insert(0) += count;
-                }
-                merged_observables.lock().merge(&local_observables);
-                *merged_errors.lock() += local_errors;
+                *slot = Some(partial);
             });
         }
     });
 
-    StochasticOutcome {
-        counts: merged_counts.into_inner(),
-        shots: config.shots,
-        observable_estimates: merged_observables.into_inner().means(),
-        error_events: merged_errors.into_inner(),
-        wall_time: started.elapsed(),
-        threads,
-    }
+    merge_partials(partials, config.shots, observables.len(), threads, started)
 }
 
 /// Runs `shots` independent stochastic shots on a prepared [`ShotEngine`],
@@ -217,13 +306,15 @@ pub fn run_stochastic<B: StochasticBackend>(
 ///
 /// This is the engine-driven twin of [`run_stochastic`]: the same strided
 /// shot loop, but executing through the re-entrant [`ShotEngine`] API that
-/// the batch scheduler shares. Observables are remapped through the engine's
-/// output layout once, outcomes arrive already restored to the original
-/// circuit's qubit order, so no post-processing is required.
+/// the batch scheduler shares, with one reusable
+/// [`ExecContext`](crate::ExecContext) per worker. Observables are remapped
+/// through the engine's output layout once, outcomes arrive already
+/// restored to the original circuit's qubit order, so no post-processing is
+/// required.
 ///
-/// `threads == 0` uses all available cores. Results are identical for every
-/// thread count because each shot derives its generator from the engine seed
-/// and the shot index alone.
+/// `threads == 0` uses all available cores. Histograms are identical for
+/// every thread count because each shot derives its generator from the
+/// engine seed and the shot index alone.
 pub fn run_engine(
     engine: &ShotEngine,
     shots: usize,
@@ -241,60 +332,37 @@ pub fn run_engine(
     if shots == 0 {
         // Nothing to run: return an empty outcome without spawning workers,
         // still reporting the resolved worker count for consistency.
-        return StochasticOutcome {
-            counts: HashMap::new(),
-            shots: 0,
-            observable_estimates: vec![0.0; observables.len()],
-            error_events: 0,
-            wall_time: started.elapsed(),
-            threads,
-        };
+        return StochasticOutcome::empty(observables.len(), threads, started.elapsed());
     }
     let threads = threads.min(shots);
     let mapped = engine.map_observables(observables);
-    let merged_counts: Mutex<HashMap<u64, u64>> = Mutex::new(HashMap::new());
-    let merged_observables: Mutex<ObservableAccumulator> =
-        Mutex::new(ObservableAccumulator::new(observables.len()));
-    let merged_errors: Mutex<u64> = Mutex::new(0);
+    let mut partials: Vec<Option<WorkerPartial>> = (0..threads).map(|_| None).collect();
 
     std::thread::scope(|scope| {
-        for worker in 0..threads {
-            let merged_counts = &merged_counts;
-            let merged_observables = &merged_observables;
-            let merged_errors = &merged_errors;
+        for (worker, slot) in partials.iter_mut().enumerate() {
             let mapped = &mapped;
             scope.spawn(move || {
-                let mut local_counts: HashMap<u64, u64> = HashMap::new();
-                let mut local_observables = ObservableAccumulator::new(mapped.len());
-                let mut local_errors = 0u64;
+                let mut ctx = engine.new_context();
+                let mut partial = WorkerPartial::new(mapped.len());
                 let mut shot = worker;
                 while shot < shots {
-                    let (sample, values) = engine.run_shot_with_observables(shot as u64, mapped);
-                    *local_counts.entry(sample.outcome).or_insert(0) += 1;
-                    local_errors += sample.error_events;
-                    if !mapped.is_empty() {
-                        local_observables.add(&values);
-                    }
+                    let (sample, values) =
+                        engine.run_shot_with_observables_in(&mut ctx, shot as u64, mapped);
+                    partial.record(
+                        sample.outcome,
+                        sample.error_events,
+                        sample.dd_nodes,
+                        sample.dd_nodes_peak,
+                        &values,
+                    );
                     shot += threads;
                 }
-                let mut counts = merged_counts.lock();
-                for (outcome, count) in local_counts {
-                    *counts.entry(outcome).or_insert(0) += count;
-                }
-                merged_observables.lock().merge(&local_observables);
-                *merged_errors.lock() += local_errors;
+                *slot = Some(partial);
             });
         }
     });
 
-    StochasticOutcome {
-        counts: merged_counts.into_inner(),
-        shots,
-        observable_estimates: merged_observables.into_inner().means(),
-        error_events: merged_errors.into_inner(),
-        wall_time: started.elapsed(),
-        threads,
-    }
+    merge_partials(partials, shots, observables.len(), threads, started)
 }
 
 /// Derives the per-shot random number generator from the master seed.
@@ -327,6 +395,8 @@ mod tests {
         assert_eq!(total, 500);
         assert_eq!(outcome.shots, 500);
         assert_eq!(outcome.threads, 4);
+        assert!(outcome.dd_nodes_avg > 0.0);
+        assert!(outcome.dd_nodes_peak > 0);
     }
 
     #[test]
@@ -336,6 +406,27 @@ mod tests {
         let single = run_stochastic(&backend, &ghz(4), &base.clone().with_threads(1), &[]);
         let multi = run_stochastic(&backend, &ghz(4), &base.with_threads(4), &[]);
         assert_eq!(single.counts, multi.counts);
+        assert_eq!(single.dd_nodes_peak, multi.dd_nodes_peak);
+        assert!((single.dd_nodes_avg - multi.dd_nodes_avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observable_sums_are_bit_stable_for_a_fixed_thread_count() {
+        let backend = DdSimulator::new();
+        let config = StochasticConfig::new(240).with_seed(3).with_threads(3);
+        let observables = vec![
+            Observable::BasisProbability(0),
+            Observable::QubitExcitation(2),
+        ];
+        let first = run_stochastic(&backend, &ghz(4), &config, &observables);
+        let second = run_stochastic(&backend, &ghz(4), &config, &observables);
+        for (a, b) in first
+            .observable_estimates
+            .iter()
+            .zip(&second.observable_estimates)
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "merge order leaked into sums");
+        }
     }
 
     #[test]
@@ -386,6 +477,8 @@ mod tests {
                 "frequency mismatch {diff} for outcome {outcome}"
             );
         }
+        assert_eq!(dense.dd_nodes_peak, 0);
+        assert_eq!(dense.dd_nodes_avg, 0.0);
     }
 
     #[test]
@@ -395,20 +488,15 @@ mod tests {
             shots: 18,
             observable_estimates: Vec::new(),
             error_events: 0,
+            dd_nodes_avg: 0.0,
+            dd_nodes_peak: 0,
             wall_time: Duration::ZERO,
             threads: 1,
         };
         // All of 2, 4, 7 are tied at 5 counts: the smallest index wins,
         // independent of hash-map iteration order.
         assert_eq!(outcome.most_frequent(), Some(2));
-        let empty = StochasticOutcome {
-            counts: HashMap::new(),
-            shots: 0,
-            observable_estimates: Vec::new(),
-            error_events: 0,
-            wall_time: Duration::ZERO,
-            threads: 0,
-        };
+        let empty = StochasticOutcome::empty(0, 0, Duration::ZERO);
         assert_eq!(empty.most_frequent(), None);
     }
 
@@ -426,6 +514,7 @@ mod tests {
         assert_eq!(outcome.most_frequent(), None);
         assert_eq!(outcome.error_rate(), 0.0);
         assert_eq!(outcome.frequency(0), 0.0);
+        assert_eq!(outcome.dd_nodes_peak, 0);
     }
 
     #[test]
@@ -450,6 +539,7 @@ mod tests {
             assert_eq!(via_engine.counts, generic.counts);
             assert_eq!(via_engine.error_events, generic.error_events);
             assert_eq!(via_engine.shots, 300);
+            assert_eq!(via_engine.dd_nodes_peak, generic.dd_nodes_peak);
         }
     }
 

@@ -61,13 +61,35 @@ pub const DEFAULT_TOLERANCE: f64 = 1e-10;
 /// let b = table.lookup(Complex::new(0.5 + 1e-13, 0.0));
 /// assert_eq!(a, b); // identical within tolerance
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ComplexTable {
     values: Vec<Complex>,
     buckets: HashMap<(i64, i64), Vec<u32>>,
     tolerance: f64,
     lookups: u64,
     hits: u64,
+}
+
+impl Clone for ComplexTable {
+    fn clone(&self) -> Self {
+        ComplexTable {
+            values: self.values.clone(),
+            buckets: self.buckets.clone(),
+            tolerance: self.tolerance,
+            lookups: self.lookups,
+            hits: self.hits,
+        }
+    }
+
+    // Hand-rolled so that re-seating a long-lived execution context onto a
+    // new program template reuses the existing allocations.
+    fn clone_from(&mut self, source: &Self) {
+        self.values.clone_from(&source.values);
+        self.buckets.clone_from(&source.buckets);
+        self.tolerance = source.tolerance;
+        self.lookups = source.lookups;
+        self.hits = source.hits;
+    }
 }
 
 impl ComplexTable {
@@ -235,6 +257,34 @@ impl ComplexTable {
     /// Lookup statistics `(lookups, hits)` since table creation.
     pub fn stats(&self) -> (u64, u64) {
         (self.lookups, self.hits)
+    }
+
+    /// Forgets every value interned after the first `len` entries, keeping
+    /// the bucket map's allocations for reuse.
+    ///
+    /// Ids `>= len` become dangling; the caller ([`crate::DdPackage`]'s
+    /// transient reset) guarantees nothing references them afterwards.
+    pub(crate) fn truncate(&mut self, len: usize) {
+        if self.values.len() <= len {
+            return;
+        }
+        for idx in len..self.values.len() {
+            let key = self.key(self.values[idx]);
+            if let Some(bucket) = self.buckets.get_mut(&key) {
+                // Ids within a bucket are in insertion order, so everything
+                // to drop sits in the tail. Emptied buckets are removed
+                // outright: transient values differ from run to run, and
+                // leaving empty entries behind would grow the bucket map
+                // without bound across a long shot loop.
+                let keep = bucket.partition_point(|&i| (i as usize) < len);
+                if keep == 0 {
+                    self.buckets.remove(&key);
+                } else {
+                    bucket.truncate(keep);
+                }
+            }
+        }
+        self.values.truncate(len);
     }
 
     fn key(&self, value: Complex) -> (i64, i64) {

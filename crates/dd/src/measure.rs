@@ -186,6 +186,51 @@ impl DdPackage {
         (p, normalised)
     }
 
+    /// Allocation-free twin of [`vec_node_count`](Self::vec_node_count) for
+    /// hot loops: marks visited nodes with a generation stamp in a reusable
+    /// scratch buffer instead of a fresh hash set.
+    ///
+    /// The shot executor calls this after every applied operation to track
+    /// the per-shot peak diagram size, so it must not dominate the cost of
+    /// the operation itself.
+    pub fn vec_node_count_fast(&mut self, v: VecEdge) -> usize {
+        if v.is_zero() || v.node.is_terminal() {
+            return 0;
+        }
+        if self.visit_marks.len() < self.vec_nodes.len() {
+            self.visit_marks.resize(self.vec_nodes.len(), 0);
+        }
+        self.visit_stamp = self.visit_stamp.wrapping_add(1);
+        if self.visit_stamp == 0 {
+            // Stamp wrapped: invalidate every stale mark once.
+            self.visit_marks.fill(0);
+            self.visit_stamp = 1;
+        }
+        let stamp = self.visit_stamp;
+        let mut stack = std::mem::take(&mut self.visit_stack);
+        stack.clear();
+        stack.push(v.node);
+        let mut count = 0usize;
+        while let Some(node) = stack.pop() {
+            if node.is_terminal() {
+                continue;
+            }
+            let mark = &mut self.visit_marks[node.index()];
+            if *mark == stamp {
+                continue;
+            }
+            *mark = stamp;
+            count += 1;
+            for e in self.vec_nodes[node.index()].edges {
+                if !e.is_zero() {
+                    stack.push(e.node);
+                }
+            }
+        }
+        self.visit_stack = stack;
+        count
+    }
+
     /// Counts the distinct nodes reachable from `v` (the usual decision
     /// diagram size metric; the terminal is not counted).
     pub fn vec_node_count(&self, v: VecEdge) -> usize {
@@ -321,6 +366,26 @@ mod tests {
         let v1 = dd.to_statevector(s1, 2);
         assert!((v1[0].norm_sqr() - 1.0 / (2.0 - p)).abs() < 1e-12);
         assert!((v1[3].norm_sqr() - (1.0 - p) / (2.0 - p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_node_count_matches_the_hash_set_walk() {
+        let mut dd = DdPackage::new();
+        let bell = bell_state(&mut dd);
+        assert_eq!(dd.vec_node_count_fast(bell), dd.vec_node_count(bell));
+        let zero = dd.zero_state(5);
+        assert_eq!(dd.vec_node_count_fast(zero), dd.vec_node_count(zero));
+        // Repeated calls (new stamp generations) stay correct.
+        assert_eq!(dd.vec_node_count_fast(bell), dd.vec_node_count(bell));
+        assert_eq!(dd.vec_node_count_fast(crate::node::VecEdge::zero()), 0);
+        // Counting still works after a transient rollback.
+        dd.mark_persistent();
+        let s = dd.basis_state_from_index(4, 9);
+        let n = dd.vec_node_count_fast(s);
+        assert_eq!(n, dd.vec_node_count(s));
+        dd.reset_transient();
+        let t = dd.zero_state(4);
+        assert_eq!(dd.vec_node_count_fast(t), 4);
     }
 
     #[test]

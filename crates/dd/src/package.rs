@@ -33,9 +33,21 @@ pub struct PackageStats {
 /// A self-contained decision diagram manager.
 ///
 /// All diagrams handed out by a package (as [`VecEdge`] / [`MatEdge`]) are
-/// only valid together with that package. The stochastic simulator creates
-/// one package per simulation run, which keeps memory bounded and makes
+/// only valid together with that package. Each worker of the stochastic
+/// simulator owns one package, which keeps memory bounded and makes
 /// concurrent runs trivially data-race free.
+///
+/// # Persistent and transient regions
+///
+/// A package can be split into a **persistent region** (precompiled operator
+/// diagrams, their interned weights) and a **transient region** (everything
+/// created afterwards — per-shot states, scratch values):
+/// [`DdPackage::mark_persistent`] freezes the current contents as the
+/// persistent region, and [`DdPackage::reset_transient`] cheaply rolls the
+/// package back to exactly that frozen state — a watermark truncation that
+/// neither frees nor re-hashes the persistent diagrams. This is what lets
+/// the simulator compile a circuit's operators once and then run thousands
+/// of shots against the same package without rebuilding them.
 ///
 /// # Examples
 ///
@@ -52,7 +64,7 @@ pub struct PackageStats {
 /// assert!((amps[0].re - 1.0 / 2f64.sqrt()).abs() < 1e-12);
 /// assert!((amps[3].re - 1.0 / 2f64.sqrt()).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DdPackage {
     pub(crate) ctable: ComplexTable,
     pub(crate) vec_nodes: Vec<VecNode>,
@@ -69,13 +81,81 @@ pub struct DdPackage {
     pub(crate) norm_cache: HashMap<VecNodeId, f64>,
     pub(crate) cache_limit: usize,
     pub(crate) caching_enabled: bool,
+    /// Vector nodes below this index belong to the persistent region.
+    pub(crate) vec_watermark: usize,
+    /// Matrix nodes below this index belong to the persistent region.
+    pub(crate) mat_watermark: usize,
+    /// Complex values below this index belong to the persistent region
+    /// (the canonical 0 and 1 always do).
+    pub(crate) complex_watermark: usize,
+    /// Scratch for the stamp-based reachable-node counter.
+    pub(crate) visit_marks: Vec<u32>,
+    pub(crate) visit_stamp: u32,
+    pub(crate) visit_stack: Vec<VecNodeId>,
+}
+
+impl Clone for DdPackage {
+    fn clone(&self) -> Self {
+        DdPackage {
+            ctable: self.ctable.clone(),
+            vec_nodes: self.vec_nodes.clone(),
+            mat_nodes: self.mat_nodes.clone(),
+            vec_unique: self.vec_unique.clone(),
+            mat_unique: self.mat_unique.clone(),
+            ct_mat_vec: self.ct_mat_vec.clone(),
+            ct_vec_add: self.ct_vec_add.clone(),
+            ct_mat_add: self.ct_mat_add.clone(),
+            ct_mat_mat: self.ct_mat_mat.clone(),
+            ct_inner: self.ct_inner.clone(),
+            ct_prob_one: self.ct_prob_one.clone(),
+            ct_collapse: self.ct_collapse.clone(),
+            norm_cache: self.norm_cache.clone(),
+            cache_limit: self.cache_limit,
+            caching_enabled: self.caching_enabled,
+            vec_watermark: self.vec_watermark,
+            mat_watermark: self.mat_watermark,
+            complex_watermark: self.complex_watermark,
+            visit_marks: Vec::new(),
+            visit_stamp: 0,
+            visit_stack: Vec::new(),
+        }
+    }
+
+    // Hand-rolled so re-seating a worker's package onto another program's
+    // template reuses the arena and table allocations already sized by
+    // earlier work instead of reallocating from scratch.
+    fn clone_from(&mut self, source: &Self) {
+        self.ctable.clone_from(&source.ctable);
+        self.vec_nodes.clone_from(&source.vec_nodes);
+        self.mat_nodes.clone_from(&source.mat_nodes);
+        self.vec_unique.clone_from(&source.vec_unique);
+        self.mat_unique.clone_from(&source.mat_unique);
+        self.ct_mat_vec.clone_from(&source.ct_mat_vec);
+        self.ct_vec_add.clone_from(&source.ct_vec_add);
+        self.ct_mat_add.clone_from(&source.ct_mat_add);
+        self.ct_mat_mat.clone_from(&source.ct_mat_mat);
+        self.ct_inner.clone_from(&source.ct_inner);
+        self.ct_prob_one.clone_from(&source.ct_prob_one);
+        self.ct_collapse.clone_from(&source.ct_collapse);
+        self.norm_cache.clone_from(&source.norm_cache);
+        self.cache_limit = source.cache_limit;
+        self.caching_enabled = source.caching_enabled;
+        self.vec_watermark = source.vec_watermark;
+        self.mat_watermark = source.mat_watermark;
+        self.complex_watermark = source.complex_watermark;
+        self.visit_marks.clear();
+        self.visit_stamp = 0;
+        self.visit_stack.clear();
+    }
 }
 
 impl DdPackage {
     /// Creates an empty package with default settings.
     pub fn new() -> Self {
+        let ctable = ComplexTable::new();
+        let complex_watermark = ctable.len();
         DdPackage {
-            ctable: ComplexTable::new(),
+            ctable,
             vec_nodes: Vec::new(),
             mat_nodes: Vec::new(),
             vec_unique: HashMap::new(),
@@ -90,6 +170,12 @@ impl DdPackage {
             norm_cache: HashMap::new(),
             cache_limit: DEFAULT_CACHE_LIMIT,
             caching_enabled: true,
+            vec_watermark: 0,
+            mat_watermark: 0,
+            complex_watermark,
+            visit_marks: Vec::new(),
+            visit_stamp: 0,
+            visit_stack: Vec::new(),
         }
     }
 
@@ -109,6 +195,19 @@ impl DdPackage {
         if !enabled {
             self.clear_caches();
         }
+    }
+
+    /// Overrides the per-table memoisation cache limit (entries).
+    ///
+    /// Each compute table (and the node norm cache) is cleared individually
+    /// once it exceeds the limit; see [`DEFAULT_CACHE_LIMIT`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn set_cache_limit(&mut self, limit: usize) {
+        assert!(limit > 0, "cache limit must be positive");
+        self.cache_limit = limit;
     }
 
     /// Returns a read-only view of the complex table.
@@ -164,12 +263,97 @@ impl DdPackage {
         self.ct_inner.clear();
         self.ct_prob_one.clear();
         self.ct_collapse.clear();
+        self.norm_cache.clear();
     }
 
+    /// Bounds every memoisation table individually: only a table that grew
+    /// beyond the limit is cleared, so a runaway addition cache cannot wipe
+    /// a perfectly sized multiplication cache (and vice versa). The node
+    /// norm cache is bounded by the same limit.
     pub(crate) fn maybe_trim_caches(&mut self) {
-        if self.ct_mat_vec.len() > self.cache_limit || self.ct_vec_add.len() > self.cache_limit {
-            self.clear_caches();
+        if self.ct_mat_vec.len() > self.cache_limit {
+            self.ct_mat_vec.clear();
         }
+        if self.ct_vec_add.len() > self.cache_limit {
+            self.ct_vec_add.clear();
+        }
+        if self.ct_mat_add.len() > self.cache_limit {
+            self.ct_mat_add.clear();
+        }
+        if self.ct_mat_mat.len() > self.cache_limit {
+            self.ct_mat_mat.clear();
+        }
+        if self.ct_inner.len() > self.cache_limit {
+            self.ct_inner.clear();
+        }
+        if self.ct_prob_one.len() > self.cache_limit {
+            self.ct_prob_one.clear();
+        }
+        if self.ct_collapse.len() > self.cache_limit {
+            self.ct_collapse.clear();
+        }
+        if self.norm_cache.len() > self.cache_limit {
+            self.norm_cache.clear();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent / transient region management
+    // ------------------------------------------------------------------
+
+    /// Freezes the current package contents as the **persistent region**.
+    ///
+    /// Everything created so far — nodes, interned complex values — survives
+    /// every subsequent [`reset_transient`](Self::reset_transient) call.
+    /// The memoisation caches are cleared so that the frozen state is
+    /// exactly reproducible: a fresh clone of the package and a package
+    /// rolled back by `reset_transient` are indistinguishable.
+    ///
+    /// The compile phase of the simulator calls this once, after building
+    /// all operator diagrams of a circuit.
+    pub fn mark_persistent(&mut self) {
+        self.clear_caches();
+        self.vec_watermark = self.vec_nodes.len();
+        self.mat_watermark = self.mat_nodes.len();
+        self.complex_watermark = self.ctable.len();
+    }
+
+    /// Rolls the package back to the state frozen by
+    /// [`mark_persistent`](Self::mark_persistent).
+    ///
+    /// All nodes and complex values created after the mark are forgotten
+    /// (their ids become dangling — any [`VecEdge`] / [`MatEdge`] obtained
+    /// after the mark must not be used again), the memoisation caches are
+    /// cleared, and the persistent diagrams stay untouched: no hashing, no
+    /// reconstruction, no freeing of their storage. Table and arena
+    /// capacities are retained, so a shot loop that resets between shots
+    /// stops allocating once it has warmed up.
+    ///
+    /// On a package without a mark this simply wipes everything back to the
+    /// empty state.
+    pub fn reset_transient(&mut self) {
+        for node in self.vec_nodes.drain(self.vec_watermark..) {
+            self.vec_unique.remove(&node);
+        }
+        for node in self.mat_nodes.drain(self.mat_watermark..) {
+            self.mat_unique.remove(&node);
+        }
+        self.ctable.truncate(self.complex_watermark);
+        self.visit_marks.truncate(self.vec_watermark);
+        self.ct_mat_vec.clear();
+        self.ct_vec_add.clear();
+        self.ct_mat_add.clear();
+        self.ct_mat_mat.clear();
+        self.ct_inner.clear();
+        self.ct_prob_one.clear();
+        self.ct_collapse.clear();
+        self.norm_cache.clear();
+    }
+
+    /// Number of vector nodes in the transient region (created since the
+    /// last [`mark_persistent`](Self::mark_persistent)).
+    pub fn transient_vec_nodes(&self) -> usize {
+        self.vec_nodes.len() - self.vec_watermark
     }
 
     // ------------------------------------------------------------------
@@ -598,5 +782,116 @@ mod tests {
     fn duplicate_assignment_panics() {
         let mut dd = DdPackage::new();
         let _ = dd.kron_operator(3, &[(1, Matrix2::pauli_x()), (1, Matrix2::pauli_z())]);
+    }
+
+    /// Runs a small "shot": H on qubit 0, CX 0->1, returns the final edge.
+    fn evolve_bell(dd: &mut DdPackage, h: MatEdge, cx: MatEdge) -> VecEdge {
+        let s = dd.zero_state(2);
+        let s = dd.mat_vec_mul(h, s);
+        dd.mat_vec_mul(cx, s)
+    }
+
+    #[test]
+    fn reset_transient_restores_the_marked_state_exactly() {
+        let mut dd = DdPackage::new();
+        let h = dd.single_qubit_op(2, 0, Matrix2::hadamard());
+        let cx = dd.controlled_op(2, 1, &[0], Matrix2::pauli_x());
+        dd.mark_persistent();
+        let marked = dd.stats();
+        let marked_complex = dd.complex_table().len();
+
+        // A pristine clone is the reference for what a "fresh" package with
+        // the same compiled operators computes.
+        let mut fresh = dd.clone();
+        let reference = evolve_bell(&mut fresh, h, cx);
+
+        let first = evolve_bell(&mut dd, h, cx);
+        assert_eq!(first, reference);
+        assert!(dd.transient_vec_nodes() > 0);
+
+        dd.reset_transient();
+        assert_eq!(dd.stats().vec_nodes, marked.vec_nodes);
+        assert_eq!(dd.stats().mat_nodes, marked.mat_nodes);
+        assert_eq!(dd.complex_table().len(), marked_complex);
+        assert_eq!(dd.transient_vec_nodes(), 0);
+        assert_eq!(dd.stats().mat_vec_cache, 0);
+
+        // Replaying the same shot after the rollback reproduces the exact
+        // same edges (ids and weights), i.e. reuse is unobservable.
+        let replay = evolve_bell(&mut dd, h, cx);
+        assert_eq!(replay, reference);
+    }
+
+    #[test]
+    fn reset_transient_without_a_mark_wipes_everything() {
+        let mut dd = DdPackage::new();
+        let _ = dd.zero_state(3);
+        let _ = dd.single_qubit_op(3, 1, Matrix2::hadamard());
+        dd.reset_transient();
+        assert_eq!(dd.stats().vec_nodes, 0);
+        assert_eq!(dd.stats().mat_nodes, 0);
+        // Only the canonical 0 and 1 survive in the complex table.
+        assert_eq!(dd.complex_table().len(), 2);
+    }
+
+    #[test]
+    fn transient_nodes_identical_to_persistent_ones_are_reunified() {
+        let mut dd = DdPackage::new();
+        let persistent = dd.zero_state(4);
+        dd.mark_persistent();
+        // Recreating the same state after the mark must find the persistent
+        // nodes, not duplicate them ...
+        let again = dd.zero_state(4);
+        assert_eq!(again, persistent);
+        assert_eq!(dd.transient_vec_nodes(), 0);
+        // ... and resetting must keep them valid.
+        dd.reset_transient();
+        let after_reset = dd.zero_state(4);
+        assert_eq!(after_reset, persistent);
+    }
+
+    #[test]
+    fn trim_clears_only_the_oversized_table() {
+        let mut dd = DdPackage::new();
+        // Grow the mat-vec cache while the add cache stays small: multiply
+        // distinct single-qubit ops onto distinct states. The limit is
+        // lowered only afterwards so the loop itself never trims.
+        let mut states = Vec::new();
+        for idx in 0..6u64 {
+            let s = dd.basis_state_from_index(3, idx);
+            let op = dd.single_qubit_op(3, (idx % 3) as usize, Matrix2::hadamard());
+            states.push(dd.mat_vec_mul(op, s));
+        }
+        assert!(
+            dd.stats().mat_vec_cache > 4,
+            "test setup must overflow the mat-vec cache, got {}",
+            dd.stats().mat_vec_cache
+        );
+        dd.set_cache_limit(4);
+        let add_entries = dd.stats().vec_add_cache;
+        // The next cached operation triggers the trim: the oversized mat-vec
+        // table is cleared, the small add table survives.
+        let a = states[0];
+        let b = states[1];
+        let _ = dd.vec_add(a, b);
+        assert_eq!(dd.stats().mat_vec_cache, 0);
+        assert!(dd.stats().vec_add_cache >= add_entries);
+    }
+
+    #[test]
+    fn norm_cache_is_bounded_by_the_cache_limit() {
+        let mut dd = DdPackage::new();
+        dd.set_cache_limit(2);
+        // Computing norms of several distinct states fills the norm cache
+        // beyond the limit; the next trimmed operation must clear it.
+        for idx in 0..4u64 {
+            let s = dd.basis_state_from_index(3, idx);
+            let _ = dd.norm_sqr(s);
+        }
+        assert!(dd.norm_cache.len() > 2);
+        let s = dd.zero_state(3);
+        let id = dd.identity_op(3);
+        let _ = dd.mat_vec_mul(id, s);
+        assert!(dd.norm_cache.len() <= 2, "norm cache was not trimmed");
     }
 }

@@ -34,6 +34,26 @@ pub enum StochasticAction {
     Kraus(Vec<Matrix2>),
 }
 
+/// A sampled error event resolved to an *index* instead of a matrix.
+///
+/// This is the handle-based twin of [`StochasticAction`] used by compiled
+/// shot programs: the simulator resolves each channel's possible operators
+/// to precompiled form once (via [`ErrorChannel::unitaries`] and
+/// [`ErrorChannel::kraus_branches`]) and then only needs the index at shot
+/// time. [`ErrorChannel::sample_error`] consumes the random number stream
+/// exactly like [`ErrorChannel::sample_action`], so both APIs produce
+/// identical runs from identical generators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampledError {
+    /// No error occurred; leave the state untouched.
+    None,
+    /// Apply unitary number `i` of [`ErrorChannel::unitaries`].
+    Unitary(usize),
+    /// Apply one of the channel's [`ErrorChannel::kraus_branches`], selected
+    /// by the state-dependent branch probabilities.
+    Kraus,
+}
+
 /// A single-qubit error channel with an occurrence probability.
 ///
 /// # Examples
@@ -102,6 +122,82 @@ impl ErrorChannel {
         }
     }
 
+    /// The unitary error operators [`Self::sample_error`] can select, in
+    /// index order.
+    ///
+    /// Compiled shot programs resolve these to precompiled operator diagrams
+    /// once per circuit; [`SampledError::Unitary`] indexes into this list.
+    pub fn unitaries(&self) -> Vec<Matrix2> {
+        match self.kind {
+            ErrorKind::Depolarizing => {
+                vec![Matrix2::pauli_x(), Matrix2::pauli_y(), Matrix2::pauli_z()]
+            }
+            ErrorKind::PhaseFlip => vec![Matrix2::pauli_z()],
+            ErrorKind::AmplitudeDamping => Vec::new(),
+        }
+    }
+
+    /// The `[decay, keep]` Kraus branch pair applied when
+    /// [`Self::sample_error`] returns [`SampledError::Kraus`]; `None` for
+    /// channels that never take the Kraus path.
+    pub fn kraus_branches(&self) -> Option<[Matrix2; 2]> {
+        match self.kind {
+            ErrorKind::AmplitudeDamping => Some([
+                Matrix2::amplitude_damping_a0(self.probability),
+                Matrix2::amplitude_damping_a1(self.probability),
+            ]),
+            ErrorKind::Depolarizing | ErrorKind::PhaseFlip => None,
+        }
+    }
+
+    /// Samples the error event for one application of the channel, resolved
+    /// to operator indices (see [`SampledError`]).
+    ///
+    /// This is the single source of truth for the channel's random number
+    /// consumption: [`Self::sample_action`] is implemented on top of it, so
+    /// the index-based and the matrix-based API are guaranteed to make the
+    /// same decisions from the same generator state.
+    pub fn sample_error<R: Rng + ?Sized>(&self, rng: &mut R) -> SampledError {
+        let p = self.probability;
+        if p == 0.0 {
+            return SampledError::None;
+        }
+        match self.kind {
+            ErrorKind::Depolarizing => {
+                if rng.gen::<f64>() >= p {
+                    SampledError::None
+                } else {
+                    match rng.gen_range(0..4) {
+                        0 => SampledError::None, // identity branch
+                        1 => SampledError::Unitary(0),
+                        2 => SampledError::Unitary(1),
+                        _ => SampledError::Unitary(2),
+                    }
+                }
+            }
+            ErrorKind::PhaseFlip => {
+                if rng.gen::<f64>() < p {
+                    SampledError::Unitary(0)
+                } else {
+                    SampledError::None
+                }
+            }
+            ErrorKind::AmplitudeDamping => SampledError::Kraus,
+        }
+    }
+
+    /// The unitary behind an index of [`Self::unitaries`], without building
+    /// the whole list.
+    fn unitary(&self, index: usize) -> Matrix2 {
+        match (self.kind, index) {
+            (ErrorKind::Depolarizing, 0) => Matrix2::pauli_x(),
+            (ErrorKind::Depolarizing, 1) => Matrix2::pauli_y(),
+            (ErrorKind::Depolarizing, 2) => Matrix2::pauli_z(),
+            (ErrorKind::PhaseFlip, 0) => Matrix2::pauli_z(),
+            (kind, index) => unreachable!("channel {kind:?} has no unitary {index}"),
+        }
+    }
+
     /// Samples the stochastic action for one application of the channel.
     ///
     /// Unitary-equivalent channels (depolarizing, phase flip) resolve their
@@ -109,34 +205,14 @@ impl ErrorChannel {
     /// returns its Kraus branches so the simulator can pick the branch based
     /// on the state (Example 6 of the paper).
     pub fn sample_action<R: Rng + ?Sized>(&self, rng: &mut R) -> StochasticAction {
-        let p = self.probability;
-        if p == 0.0 {
-            return StochasticAction::None;
-        }
-        match self.kind {
-            ErrorKind::Depolarizing => {
-                if rng.gen::<f64>() >= p {
-                    StochasticAction::None
-                } else {
-                    match rng.gen_range(0..4) {
-                        0 => StochasticAction::None, // identity branch
-                        1 => StochasticAction::Unitary(Matrix2::pauli_x()),
-                        2 => StochasticAction::Unitary(Matrix2::pauli_y()),
-                        _ => StochasticAction::Unitary(Matrix2::pauli_z()),
-                    }
-                }
-            }
-            ErrorKind::PhaseFlip => {
-                if rng.gen::<f64>() < p {
-                    StochasticAction::Unitary(Matrix2::pauli_z())
-                } else {
-                    StochasticAction::None
-                }
-            }
-            ErrorKind::AmplitudeDamping => StochasticAction::Kraus(vec![
-                Matrix2::amplitude_damping_a0(p),
-                Matrix2::amplitude_damping_a1(p),
-            ]),
+        match self.sample_error(rng) {
+            SampledError::None => StochasticAction::None,
+            SampledError::Unitary(index) => StochasticAction::Unitary(self.unitary(index)),
+            SampledError::Kraus => StochasticAction::Kraus(
+                self.kraus_branches()
+                    .expect("Kraus events only come from Kraus channels")
+                    .to_vec(),
+            ),
         }
     }
 }
@@ -243,5 +319,39 @@ mod tests {
     #[should_panic(expected = "error probability must lie in [0, 1]")]
     fn invalid_probability_panics() {
         let _ = ErrorChannel::new(ErrorKind::PhaseFlip, 1.5);
+    }
+
+    #[test]
+    fn sample_error_and_sample_action_agree_from_equal_generators() {
+        for (kind, p) in [
+            (ErrorKind::Depolarizing, 0.4),
+            (ErrorKind::PhaseFlip, 0.3),
+            (ErrorKind::AmplitudeDamping, 0.2),
+            (ErrorKind::Depolarizing, 0.0),
+        ] {
+            let c = ErrorChannel::new(kind, p);
+            let unitaries = c.unitaries();
+            let mut rng_a = StdRng::seed_from_u64(99);
+            let mut rng_b = StdRng::seed_from_u64(99);
+            for _ in 0..500 {
+                let indexed = c.sample_error(&mut rng_a);
+                let action = c.sample_action(&mut rng_b);
+                match (indexed, action) {
+                    (SampledError::None, StochasticAction::None) => {}
+                    (SampledError::Unitary(i), StochasticAction::Unitary(m)) => {
+                        assert!(unitaries[i].approx_eq(&m, 0.0));
+                    }
+                    (SampledError::Kraus, StochasticAction::Kraus(branches)) => {
+                        let expected = c.kraus_branches().unwrap();
+                        assert!(branches[0].approx_eq(&expected[0], 0.0));
+                        assert!(branches[1].approx_eq(&expected[1], 0.0));
+                    }
+                    (a, b) => panic!("{kind:?}: indexed {a:?} disagrees with action {b:?}"),
+                }
+            }
+            // Both paths must have consumed the identical amount of
+            // randomness: the next draws agree.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        }
     }
 }

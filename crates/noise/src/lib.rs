@@ -35,5 +35,5 @@
 mod channels;
 mod model;
 
-pub use channels::{ErrorChannel, ErrorKind, StochasticAction};
+pub use channels::{ErrorChannel, ErrorKind, SampledError, StochasticAction};
 pub use model::NoiseModel;

@@ -25,10 +25,26 @@ use rand::Rng;
 /// assert!((state.probability_of_index(0b00) - 0.5).abs() < 1e-12);
 /// assert!((state.probability_of_index(0b11) - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct StateVector {
     num_qubits: usize,
     amplitudes: Vec<Complex>,
+}
+
+impl Clone for StateVector {
+    fn clone(&self) -> Self {
+        StateVector {
+            num_qubits: self.num_qubits,
+            amplitudes: self.amplitudes.clone(),
+        }
+    }
+
+    // Hand-rolled so per-shot scratch copies (e.g. the amplitude-damping
+    // branch probe) reuse their existing allocation.
+    fn clone_from(&mut self, source: &Self) {
+        self.num_qubits = source.num_qubits;
+        self.amplitudes.clone_from(&source.amplitudes);
+    }
 }
 
 impl StateVector {
@@ -71,6 +87,15 @@ impl StateVector {
     /// Number of qubits.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
+    }
+
+    /// Rewinds the state to `|0...0>` in place, without reallocating.
+    ///
+    /// This is the dense back-end's per-shot reset: a reused execution
+    /// context calls it between shots instead of building a new vector.
+    pub fn reset_to_zero(&mut self) {
+        self.amplitudes.fill(Complex::ZERO);
+        self.amplitudes[0] = Complex::ONE;
     }
 
     /// The raw amplitudes in basis order.

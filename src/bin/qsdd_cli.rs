@@ -378,6 +378,12 @@ fn run(options: Options) -> ExitCode {
         result.wall_time.as_secs_f64(),
         result.error_rate()
     );
+    if options.backend == BackendKind::DecisionDiagram {
+        println!(
+            "dd nodes: {:.1} avg final, {} peak (high-water during shots)",
+            result.dd_nodes_avg, result.dd_nodes_peak
+        );
+    }
     let mut outcomes: Vec<_> = result.counts.iter().collect();
     outcomes.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
     println!("top {} outcomes:", options.top.min(outcomes.len()));
