@@ -62,6 +62,14 @@ pub struct JobReport {
     /// shot — the memory high-water mark of the job, sampled after every
     /// applied operation (not just at shot end).
     pub dd_nodes_peak: u64,
+    /// Trajectories actually simulated: distinct presampled error patterns
+    /// plus live shots. Equals `shots_executed` when the job ran on the
+    /// per-shot path (deduplication off or unsupported).
+    pub unique_trajectories: u64,
+    /// Fraction of executed shots served from another shot's trajectory
+    /// (`1 - unique_trajectories / shots_executed`; `0.0` without
+    /// deduplication).
+    pub dedup_hit_rate: f64,
     /// Time from batch start until the job's last shot finished.
     pub wall_time: Duration,
 }
@@ -81,6 +89,8 @@ impl JobReport {
             error_events: 0,
             dd_nodes_avg: 0.0,
             dd_nodes_peak: 0,
+            unique_trajectories: 0,
+            dedup_hit_rate: 0.0,
             wall_time: Duration::ZERO,
         }
     }
@@ -131,6 +141,14 @@ impl JobReport {
             ("error_rate".to_string(), Value::from(self.error_rate())),
             ("dd_nodes_avg".to_string(), Value::from(self.dd_nodes_avg)),
             ("dd_nodes_peak".to_string(), Value::from(self.dd_nodes_peak)),
+            (
+                "unique_trajectories".to_string(),
+                Value::from(self.unique_trajectories),
+            ),
+            (
+                "dedup_hit_rate".to_string(),
+                Value::from(self.dedup_hit_rate),
+            ),
         ];
         let counts: Vec<Value> = self
             .counts
@@ -225,6 +243,22 @@ impl JobReport {
                 .and_then(Value::as_f64)
                 .ok_or("job report: missing `dd_nodes_avg`")?,
             dd_nodes_peak: num_field("dd_nodes_peak")?,
+            // Deduplication fields arrived after the format's introduction:
+            // parse leniently so reports written by earlier versions (every
+            // shot its own trajectory) still round-trip.
+            unique_trajectories: value
+                .get("unique_trajectories")
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| {
+                    value
+                        .get("shots_executed")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(0)
+                }),
+            dedup_hit_rate: value
+                .get("dedup_hit_rate")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
             wall_time: Duration::from_secs_f64(
                 value
                     .get("wall_time_secs")
@@ -318,7 +352,7 @@ impl BatchReport {
         let mut out = String::from(
             "job,backend,status,qubits,shots_requested,shots_executed,early_stopped,\
              error_events,error_rate,top_outcome,top_count,dd_nodes_avg,dd_nodes_peak,\
-             wall_time_secs\n",
+             unique_trajectories,dedup_hit_rate,wall_time_secs\n",
         );
         for job in &self.jobs {
             let status = match &job.status {
@@ -331,7 +365,7 @@ impl BatchReport {
                 .unwrap_or_default();
             writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 csv_escape(&job.name),
                 job.backend,
                 status,
@@ -345,6 +379,8 @@ impl BatchReport {
                 top_count,
                 job.dd_nodes_avg,
                 job.dd_nodes_peak,
+                job.unique_trajectories,
+                job.dedup_hit_rate,
                 job.wall_time.as_secs_f64()
             )
             .expect("writing to a String cannot fail");
@@ -385,6 +421,8 @@ mod tests {
                     error_events: 12,
                     dd_nodes_avg: 4.5,
                     dd_nodes_peak: 7,
+                    unique_trajectories: 21,
+                    dedup_hit_rate: 1.0 - 21.0 / 370.0,
                     wall_time: Duration::from_millis(250),
                 },
                 JobReport::failed("broken", "dense", 50, "cannot read `x.qasm`".to_string()),

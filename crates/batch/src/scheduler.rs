@@ -12,6 +12,16 @@
 //! every job it steals, so per-shot cost is pure execution — no operator
 //! rebuilding, no per-shot allocation churn.
 //!
+//! Jobs whose engine supports **trajectory deduplication** release their
+//! rounds as *pattern-group chunks* instead of plain shot ranges: the
+//! releasing worker presamples the round's shots, groups them by error
+//! pattern, and enqueues bundles of groups (each distinct trajectory is
+//! simulated once per group, fanning its outcome samples across every
+//! member shot) plus one chunk of live shots. Deduplication is
+//! unobservable in the results — same histograms, error counts and node
+//! statistics, for every thread count — and reported per job as
+//! `unique_trajectories` / `dedup_hit_rate`.
+//!
 //! Each job's shots are released in **rounds** of
 //! [`JobSpec::check_interval`] shots. When the last chunk of a round
 //! completes, the finishing worker either declares the job done (shot cap
@@ -39,6 +49,8 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use qsdd_core::{ExecContext, ShotEngine};
+use qsdd_noise::ErrorPattern;
+use rand::rngs::StdRng;
 
 use crate::jobfile::JobSpec;
 use crate::report::{BatchReport, JobReport, JobStatus};
@@ -52,16 +64,37 @@ const CHUNK_SHOTS: u64 = 32;
 pub const WILSON_Z: f64 = 1.96;
 
 /// Scheduler knobs.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct BatchOptions {
     /// Worker threads; `0` uses all available cores.
     pub threads: usize,
+    /// Whether jobs may deduplicate shots by presampled error pattern
+    /// (on by default; results are identical either way).
+    pub dedup: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            threads: 0,
+            dedup: true,
+        }
+    }
 }
 
 impl BatchOptions {
     /// Options with an explicit thread count (`0` = all cores).
     pub fn with_threads(threads: usize) -> Self {
-        BatchOptions { threads }
+        BatchOptions {
+            threads,
+            ..BatchOptions::default()
+        }
+    }
+
+    /// Disables trajectory deduplication (the per-shot fallback path).
+    pub fn without_dedup(mut self) -> Self {
+        self.dedup = false;
+        self
     }
 
     /// Resolves the effective worker count.
@@ -103,12 +136,26 @@ pub fn wilson_half_width(successes: u64, samples: u64) -> f64 {
     (z / denom) * (p * (1.0 - p) / n + z * z / (4.0 * n * n)).sqrt()
 }
 
-/// A contiguous range of shot indices of one job.
-#[derive(Clone, Copy, Debug)]
+/// One unit of queued work for a job.
+#[derive(Debug)]
+enum ChunkWork {
+    /// A contiguous range of shot indices, executed per shot (jobs without
+    /// deduplication).
+    Range { start: u64, end: u64 },
+    /// A bundle of trajectory groups: each distinct error pattern is
+    /// simulated once, its member shots sample from the shared result.
+    Groups(Vec<(ErrorPattern, Vec<(u64, StdRng)>)>),
+    /// Shots that could not be presampled and execute live, one by one.
+    Live(Vec<u64>),
+}
+
+/// A queued chunk: some of one job's shots, in executable form.
+#[derive(Debug)]
 struct Chunk {
     job: usize,
-    start: u64,
-    end: u64,
+    /// Number of member shots the chunk accounts for.
+    shots: u64,
+    work: ChunkWork,
 }
 
 /// Mutable per-job aggregation state, guarded by one mutex per job so
@@ -120,6 +167,9 @@ struct JobProgress {
     dd_nodes_sum: u64,
     dd_nodes_peak: u64,
     executed: u64,
+    /// Trajectories actually simulated (pattern groups + live shots; equal
+    /// to `executed` on the per-shot path).
+    unique_trajectories: u64,
     /// Chunks of the current round still in flight.
     round_pending: usize,
     early_stopped: bool,
@@ -133,6 +183,8 @@ struct JobRuntime {
     shots: u64,
     epsilon: Option<f64>,
     check_interval: u64,
+    /// Whether rounds are released as deduplicated pattern groups.
+    dedup: bool,
     progress: Mutex<JobProgress>,
 }
 
@@ -160,14 +212,11 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
     for spec in specs {
         match spec.load_circuit() {
             Ok(circuit) => {
+                let engine =
+                    ShotEngine::new(&circuit, spec.backend, spec.noise, spec.seed, spec.opt);
                 runtimes.push(Some(JobRuntime {
-                    engine: ShotEngine::new(
-                        &circuit,
-                        spec.backend,
-                        spec.noise,
-                        spec.seed,
-                        spec.opt,
-                    ),
+                    dedup: options.dedup && engine.supports_dedup(),
+                    engine,
                     shots: spec.shots,
                     epsilon: spec.epsilon,
                     check_interval: spec.check_interval,
@@ -189,7 +238,8 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
         started,
     };
     // Seed the queue with round 1 of every runnable job, in file order, so
-    // every job makes progress from the first instant.
+    // every job makes progress from the first instant. No worker is running
+    // yet, so building (and presampling) the rounds needs no locking care.
     {
         let mut queue = shared.queue.lock().expect("queue lock");
         for (index, runtime) in runtimes.iter().enumerate() {
@@ -200,8 +250,10 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
                 continue;
             }
             shared.active.fetch_add(1, Ordering::SeqCst);
+            let chunks = build_round(runtime, index, 0);
             let mut progress = runtime.progress.lock().expect("progress lock");
-            progress.round_pending = push_round(&mut queue, index, runtime, 0);
+            progress.round_pending = chunks.len();
+            queue.extend(chunks);
         }
     }
 
@@ -235,6 +287,12 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
                         progress.dd_nodes_sum as f64 / progress.executed as f64
                     },
                     dd_nodes_peak: progress.dd_nodes_peak,
+                    unique_trajectories: progress.unique_trajectories,
+                    dedup_hit_rate: if progress.executed == 0 {
+                        0.0
+                    } else {
+                        1.0 - progress.unique_trajectories as f64 / progress.executed as f64
+                    },
                     wall_time: progress.wall_time,
                 }
             }
@@ -254,23 +312,69 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
     }
 }
 
-/// Enqueues the round of shots starting at `start` and returns its chunk
-/// count.
-fn push_round(queue: &mut VecDeque<Chunk>, job: usize, runtime: &JobRuntime, start: u64) -> usize {
+/// Builds the executable chunks of the round of shots starting at `start`.
+///
+/// Jobs without deduplication release plain shot ranges. Deduplicating jobs
+/// presample the round here — once, by whichever worker closes the previous
+/// round — and release bundles of pattern groups (kept whole, so one
+/// representative execution serves every member) plus the live remainder.
+/// Either way each chunk accounts for `chunk.shots` member shots and the
+/// round covers exactly `start..min(start + check_interval, shots)`.
+fn build_round(runtime: &JobRuntime, job: usize, start: u64) -> Vec<Chunk> {
     let end = (start + runtime.check_interval).min(runtime.shots);
-    let mut pushed = 0;
-    let mut cursor = start;
-    while cursor < end {
-        let chunk_end = (cursor + CHUNK_SHOTS).min(end);
-        queue.push_back(Chunk {
-            job,
-            start: cursor,
-            end: chunk_end,
-        });
-        cursor = chunk_end;
-        pushed += 1;
+    let mut chunks = Vec::new();
+    if !runtime.dedup {
+        let mut cursor = start;
+        while cursor < end {
+            let chunk_end = (cursor + CHUNK_SHOTS).min(end);
+            chunks.push(Chunk {
+                job,
+                shots: chunk_end - cursor,
+                work: ChunkWork::Range {
+                    start: cursor,
+                    end: chunk_end,
+                },
+            });
+            cursor = chunk_end;
+        }
+        return chunks;
     }
-    pushed
+
+    // Presample the round and group shots by error pattern (groups keep
+    // first-appearance order; members stay in shot order).
+    let (groups, live) = runtime
+        .engine
+        .presample_range(start..end)
+        .expect("dedup rounds are only built for supporting engines");
+    let mut bundle: Vec<(ErrorPattern, Vec<(u64, StdRng)>)> = Vec::new();
+    let mut bundled = 0u64;
+    for group in groups {
+        bundled += group.1.len() as u64;
+        bundle.push(group);
+        if bundled >= CHUNK_SHOTS {
+            chunks.push(Chunk {
+                job,
+                shots: bundled,
+                work: ChunkWork::Groups(std::mem::take(&mut bundle)),
+            });
+            bundled = 0;
+        }
+    }
+    if !bundle.is_empty() {
+        chunks.push(Chunk {
+            job,
+            shots: bundled,
+            work: ChunkWork::Groups(bundle),
+        });
+    }
+    for slice in live.chunks(CHUNK_SHOTS as usize) {
+        chunks.push(Chunk {
+            job,
+            shots: slice.len() as u64,
+            work: ChunkWork::Live(slice.to_vec()),
+        });
+    }
+    chunks
 }
 
 fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>]) {
@@ -307,13 +411,40 @@ fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>]) {
         let mut local_errors = 0u64;
         let mut local_nodes_sum = 0u64;
         let mut local_nodes_peak = 0u64;
-        for shot in chunk.start..chunk.end {
-            let sample = runtime.engine.run_shot_in(&mut context, shot);
+        let mut record = |sample: qsdd_core::ShotSample| {
             *local_counts.entry(sample.outcome).or_insert(0) += 1;
             local_errors += sample.error_events;
             local_nodes_sum += sample.dd_nodes;
             local_nodes_peak = local_nodes_peak.max(sample.dd_nodes_peak);
-        }
+        };
+        let local_trajectories = match chunk.work {
+            ChunkWork::Range { start, end } => {
+                for shot in start..end {
+                    record(runtime.engine.run_shot_in(&mut context, shot));
+                }
+                end - start
+            }
+            ChunkWork::Groups(groups) => {
+                let trajectories = groups.len() as u64;
+                for (pattern, mut shots) in groups {
+                    for (_, sample, _) in
+                        runtime
+                            .engine
+                            .run_group_in(&mut context, &pattern, &mut shots, &[])
+                    {
+                        record(sample);
+                    }
+                }
+                trajectories
+            }
+            ChunkWork::Live(shots) => {
+                let trajectories = shots.len() as u64;
+                for shot in shots {
+                    record(runtime.engine.run_shot_in(&mut context, shot));
+                }
+                trajectories
+            }
+        };
 
         // Merge, and if this was the round's last chunk, decide what's next.
         let mut progress = runtime.progress.lock().expect("progress lock");
@@ -323,7 +454,8 @@ fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>]) {
         progress.error_events += local_errors;
         progress.dd_nodes_sum += local_nodes_sum;
         progress.dd_nodes_peak = progress.dd_nodes_peak.max(local_nodes_peak);
-        progress.executed += chunk.end - chunk.start;
+        progress.executed += chunk.shots;
+        progress.unique_trajectories += local_trajectories;
         progress.round_pending -= 1;
         if progress.round_pending > 0 {
             continue;
@@ -349,9 +481,13 @@ fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>]) {
             shared.wake.notify_all();
             drop(queue);
         } else {
+            // Build (and for dedup jobs presample) the next round before
+            // touching the queue, so the queue lock is held only to push.
             let start = progress.executed;
+            let chunks = build_round(runtime, chunk.job, start);
+            progress.round_pending = chunks.len();
             let mut queue = shared.queue.lock().expect("queue lock");
-            progress.round_pending = push_round(&mut queue, chunk.job, runtime, start);
+            queue.extend(chunks);
             drop(queue);
             drop(progress);
             shared.wake.notify_all();
@@ -445,6 +581,47 @@ mod tests {
         assert!(report.jobs[1].status.is_completed());
         assert_eq!(report.jobs[1].shots_executed, 128);
         assert_eq!(report.total_shots(), 128);
+    }
+
+    #[test]
+    fn dedup_matches_the_per_shot_path_and_reports_sharing() {
+        let mut spec = ghz_spec("dedup", 600, 11);
+        spec.noise = NoiseModel::noiseless().with_depolarizing(0.002);
+        let on = run_batch(&[spec.clone()], &BatchOptions::with_threads(3));
+        let off = run_batch(&[spec], &BatchOptions::with_threads(3).without_dedup());
+        let (on, off) = (&on.jobs[0], &off.jobs[0]);
+        // Deduplication is unobservable in the results ...
+        assert_eq!(on.counts, off.counts);
+        assert_eq!(on.error_events, off.error_events);
+        assert_eq!(on.shots_executed, off.shots_executed);
+        assert_eq!(on.dd_nodes_peak, off.dd_nodes_peak);
+        // ... but very visible in the trajectory accounting.
+        assert!(
+            on.unique_trajectories < on.shots_executed,
+            "expected sharing, got {} trajectories for {} shots",
+            on.unique_trajectories,
+            on.shots_executed
+        );
+        assert!(on.dedup_hit_rate > 0.5);
+        assert_eq!(off.unique_trajectories, off.shots_executed);
+        assert_eq!(off.dedup_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn dedup_results_are_identical_across_thread_counts() {
+        let mut specs = vec![ghz_spec("a", 300, 1), ghz_spec("b", 500, 2)];
+        // Passive-only noise dedups every shot; paper noise mixes pattern
+        // groups with live (damping) shots.
+        specs[0].noise = NoiseModel::noiseless().with_depolarizing(0.01);
+        specs[1].epsilon = Some(0.05);
+        specs[1].check_interval = 64;
+        let reference = run_batch(&specs, &BatchOptions::with_threads(1));
+        for threads in [2, 4] {
+            let report = run_batch(&specs, &BatchOptions::with_threads(threads));
+            for (a, b) in reference.jobs.iter().zip(report.jobs.iter()) {
+                assert_eq!(a.results_json(), b.results_json());
+            }
+        }
     }
 
     #[test]

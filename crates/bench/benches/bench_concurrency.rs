@@ -27,6 +27,7 @@ fn bench_concurrency(c: &mut Criterion) {
                     threads,
                     seed: 5,
                     noise: NoiseModel::paper_defaults(),
+                    dedup: true,
                 };
                 b.iter(|| run_stochastic(&backend, &circuit, &config, &[]));
             },

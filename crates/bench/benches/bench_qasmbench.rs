@@ -16,6 +16,7 @@ fn config() -> StochasticConfig {
         threads: 1,
         seed: 1,
         noise: NoiseModel::paper_defaults(),
+        dedup: true,
     }
 }
 

@@ -1,0 +1,208 @@
+//! `bench_summary` — machine-readable summary of the perf-trajectory
+//! benchmarks.
+//!
+//! Runs the trajectory-deduplication and context-reuse workloads directly
+//! (no criterion harness) and writes `BENCH_4.json`: one entry per
+//! benchmark with the optimized and naive mean per-shot cost in
+//! nanoseconds and the resulting speedup. The JSON is parsed back before
+//! the process exits, so a malformed writer fails loudly (CI runs the
+//! binary in `--test-mode` with tiny shot counts on every push).
+//!
+//! ```text
+//! bench_summary [--test-mode] [--out <path>]
+//! ```
+//!
+//! * `--test-mode` shrinks shots and repetitions so the run finishes in
+//!   well under a second — the timings are then meaningless, but the whole
+//!   pipeline (workloads, cross-checks, JSON writer) is exercised.
+//! * `--out` overrides the output path (default `BENCH_4.json`, i.e. the
+//!   repo root when invoked from there).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use qsdd_batch::json::{self, Value};
+use qsdd_circuit::generators::ghz;
+use qsdd_core::{
+    run_engine, run_engine_dedup, BackendKind, DdSimulator, OptLevel, ShotEngine, StochasticBackend,
+};
+use qsdd_noise::NoiseModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One benchmark row of the summary.
+struct Row {
+    name: &'static str,
+    shots: usize,
+    naive_ns: f64,
+    optimized_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.naive_ns / self.optimized_ns
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut test_mode = false;
+    let mut out = "BENCH_4.json".to_string();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--test-mode" => test_mode = true,
+            "--out" => match iter.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("error: --out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag `{other}` (expected --test-mode / --out)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (shots, reps, reuse_shots) = if test_mode {
+        (200, 2, 8)
+    } else {
+        (10_000, 7, 200)
+    };
+    let rows = vec![
+        dedup_row(
+            "dedup_ghz16_depol_1e-3",
+            {
+                ShotEngine::new(
+                    &ghz(16),
+                    BackendKind::DecisionDiagram,
+                    NoiseModel::noiseless().with_depolarizing(0.001),
+                    7,
+                    OptLevel::O0,
+                )
+            },
+            shots,
+            reps,
+        ),
+        dedup_row(
+            "dedup_ghz16_paper_noise",
+            {
+                ShotEngine::new(
+                    &ghz(16),
+                    BackendKind::DecisionDiagram,
+                    NoiseModel::paper_defaults(),
+                    7,
+                    OptLevel::O0,
+                )
+            },
+            shots,
+            reps,
+        ),
+        context_reuse_row(reuse_shots, reps),
+    ];
+
+    for row in &rows {
+        println!(
+            "{:<28} naive {:>12.1} ns/shot | optimized {:>12.1} ns/shot | speedup {:>6.2}x",
+            row.name,
+            row.naive_ns,
+            row.optimized_ns,
+            row.speedup()
+        );
+    }
+
+    let document = Value::object(vec![
+        ("format".to_string(), Value::from("qsdd-bench-summary/1")),
+        ("test_mode".to_string(), Value::from(test_mode)),
+        (
+            "benchmarks".to_string(),
+            Value::Array(
+                rows.iter()
+                    .map(|row| {
+                        Value::object(vec![
+                            ("name".to_string(), Value::from(row.name)),
+                            ("shots".to_string(), Value::from(row.shots)),
+                            ("naive_mean_ns".to_string(), Value::from(row.naive_ns)),
+                            ("mean_ns".to_string(), Value::from(row.optimized_ns)),
+                            ("speedup".to_string(), Value::from(row.speedup())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let text = document.to_pretty_string();
+    // The writer must stay parseable: round-trip before touching the disk.
+    if let Err(error) = json::parse(&text) {
+        eprintln!("error: summary JSON does not parse back: {error}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(error) = std::fs::write(&out, &text) {
+        eprintln!("error: cannot write `{out}`: {error}");
+        return ExitCode::FAILURE;
+    }
+    println!("summary written to `{out}`");
+    ExitCode::SUCCESS
+}
+
+/// Times the deduplicating runner against the per-shot path on one engine
+/// (interleaved repetitions, minimum per path) and cross-checks that both
+/// produce identical results.
+fn dedup_row(name: &'static str, engine: ShotEngine, shots: usize, reps: usize) -> Row {
+    let mut best_dedup = f64::INFINITY;
+    let mut best_per_shot = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let dedup = run_engine_dedup(&engine, shots, 1, &[]);
+        best_dedup = best_dedup.min(started.elapsed().as_secs_f64());
+        let started = Instant::now();
+        let per_shot = run_engine(&engine, shots, 1, &[]);
+        best_per_shot = best_per_shot.min(started.elapsed().as_secs_f64());
+        assert_eq!(dedup.counts, per_shot.counts, "{name}: histogram mismatch");
+        assert_eq!(dedup.error_events, per_shot.error_events, "{name}");
+    }
+    Row {
+        name,
+        shots,
+        naive_ns: best_per_shot * 1e9 / shots as f64,
+        optimized_ns: best_dedup * 1e9 / shots as f64,
+    }
+}
+
+/// Times compiled-program context reuse against the naive one-off path
+/// (compile + fresh context per shot, the pre-refactor cost model).
+fn context_reuse_row(shots: usize, reps: usize) -> Row {
+    let backend = DdSimulator::new();
+    let circuit = ghz(16);
+    let noise = NoiseModel::paper_defaults();
+    let mut best_naive = f64::INFINITY;
+    let mut best_reused = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let mut acc = 0u64;
+        for shot in 0..shots as u64 {
+            let mut rng = StdRng::seed_from_u64(shot);
+            acc ^= backend.run_once(&circuit, &noise, &mut rng).outcome;
+        }
+        best_naive = best_naive.min(started.elapsed().as_secs_f64());
+
+        let program = backend.compile(&circuit, &noise);
+        let mut ctx = backend.new_context();
+        let started = Instant::now();
+        let mut reused_acc = 0u64;
+        for shot in 0..shots as u64 {
+            let mut rng = StdRng::seed_from_u64(shot);
+            reused_acc ^= backend.run_shot(&program, &mut ctx, &mut rng).outcome;
+        }
+        best_reused = best_reused.min(started.elapsed().as_secs_f64());
+        assert_eq!(acc, reused_acc, "context reuse changed outcomes");
+    }
+    Row {
+        name: "context_reuse_ghz16_paper_noise",
+        shots,
+        naive_ns: best_naive * 1e9 / shots as f64,
+        optimized_ns: best_reused * 1e9 / shots as f64,
+    }
+}

@@ -159,6 +159,7 @@ fn run_cell_with<B: StochasticBackend>(
             threads,
             seed: config.seed.wrapping_add(done as u64),
             noise: config.noise,
+            dedup: true,
         };
         let _ = run_stochastic(backend, circuit, &run_config, &[]);
         done += this_chunk;

@@ -25,9 +25,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use qsdd_circuit::Circuit;
-use qsdd_noise::NoiseModel;
+use qsdd_noise::{ErrorPattern, NoiseModel};
 use rand::rngs::StdRng;
 
+use crate::dedup::DedupSupport;
 use crate::estimator::Observable;
 
 /// The result of a single stochastic simulation run.
@@ -118,6 +119,94 @@ pub trait StochasticBackend: Sync {
         run: &mut SingleRun<Self::State>,
         observable: &Observable,
     ) -> f64;
+
+    /// Describes how `program` supports trajectory deduplication, or `None`
+    /// when every shot must execute live.
+    ///
+    /// A supporting back-end returns the presample plan over the program's
+    /// deduplicable prefix (see [`crate::dedup`]); the deduplicating runner
+    /// then presamples shots against it, groups equal patterns, and drives
+    /// [`run_pattern`](Self::run_pattern) /
+    /// [`sample_outcome`](Self::sample_outcome) /
+    /// [`resume_pattern`](Self::resume_pattern). The default declines, which
+    /// keeps every existing back-end correct on the ordinary per-shot path.
+    fn dedup_support(&self, _program: &Self::Program) -> Option<DedupSupport> {
+        None
+    }
+
+    /// Executes the deduplicable prefix of `program` under a presampled
+    /// error pattern (no randomness is consumed — every decision comes from
+    /// the pattern).
+    ///
+    /// The returned run's state, error count and node statistics are those
+    /// every member shot of the pattern's group would have reached at the
+    /// end of the prefix; its `outcome` is unspecified (each member samples
+    /// its own). Only called when [`dedup_support`](Self::dedup_support)
+    /// returned `Some` for the program.
+    fn run_pattern(
+        &self,
+        _program: &Self::Program,
+        _ctx: &mut Self::Context,
+        _pattern: &ErrorPattern,
+    ) -> SingleRun<Self::State> {
+        unreachable!("dedup_support declined; run_pattern must not be called")
+    }
+
+    /// Samples one member shot's measurement outcome from a completed
+    /// full-program pattern run.
+    ///
+    /// `rng` is the member's generator, positioned exactly after the
+    /// presampled exposures (the presampler consumed the stream like live
+    /// execution). Only called when the program's [`DedupSupport::full`] is
+    /// `true`.
+    fn sample_outcome(
+        &self,
+        _program: &Self::Program,
+        _ctx: &mut Self::Context,
+        _run: &SingleRun<Self::State>,
+        _rng: &mut StdRng,
+    ) -> u64 {
+        unreachable!("dedup_support declined; sample_outcome must not be called")
+    }
+
+    /// Samples every member shot of a full-program pattern group, feeding
+    /// `(shot index, outcome)` pairs into `sink`.
+    ///
+    /// Semantically exactly a loop over
+    /// [`sample_outcome`](Self::sample_outcome); back-ends may override it
+    /// to hoist per-state preparation (e.g. a flattened sampling plan) out
+    /// of the member loop, which is the hottest loop of a deduplicated run.
+    fn sample_outcomes(
+        &self,
+        program: &Self::Program,
+        ctx: &mut Self::Context,
+        run: &SingleRun<Self::State>,
+        shots: &mut [(u64, StdRng)],
+        mut sink: impl FnMut(u64, u64),
+    ) {
+        for (shot, rng) in shots.iter_mut() {
+            sink(*shot, self.sample_outcome(program, ctx, run, rng));
+        }
+    }
+
+    /// Resumes one member shot live from a checkpointed prefix run.
+    ///
+    /// `checkpoint` is the context [`run_pattern`](Self::run_pattern)
+    /// executed in — it must be left untouched so further members can
+    /// resume from it; the member executes the remaining program steps in
+    /// `work` (typically seeded from a clone of the checkpoint) with its
+    /// own generator. Only called when the program's [`DedupSupport::full`]
+    /// is `false`.
+    fn resume_pattern(
+        &self,
+        _program: &Self::Program,
+        _checkpoint: &Self::Context,
+        _prefix: &SingleRun<Self::State>,
+        _work: &mut Self::Context,
+        _rng: &mut StdRng,
+    ) -> SingleRun<Self::State> {
+        unreachable!("dedup_support declined; resume_pattern must not be called")
+    }
 
     /// Convenience single-shot path: compiles `circuit`, creates a fresh
     /// context and executes one shot in it.

@@ -16,11 +16,14 @@
 
 use qsdd_circuit::{Circuit, Operation};
 use qsdd_dd::{DdPackage, MatEdge, Matrix2, VecEdge};
-use qsdd_noise::{ErrorChannel, NoiseModel, SampledError};
+use qsdd_noise::{
+    ErrorChannel, ErrorPattern, NoiseModel, PresamplePlan, SampledError, SiteChannel,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::backend::{next_program_id, pack_clbits, SingleRun, StochasticBackend};
+use crate::dedup::DedupSupport;
 use crate::estimator::Observable;
 
 /// A self-contained noiseless simulation result: the package owning the
@@ -156,6 +159,11 @@ pub struct DdProgram {
     /// Fast-forward data for the leading run of unitary steps (the
     /// trajectory ends at the first measurement or reset).
     trajectory: Vec<StepFF>,
+    /// Number of leading steps whose error decisions can be presampled (the
+    /// deduplicable prefix): unitary steps only, and — when a
+    /// state-dependent channel is present — only steps whose damping
+    /// thresholds the trajectory precomputed.
+    dedup_prefix: usize,
     /// The `|0...0>` initial state, prebuilt in the persistent region.
     initial: VecEdge,
     /// Node count of the initial state.
@@ -181,6 +189,13 @@ impl DdProgram {
         self.trajectory.len()
     }
 
+    /// Number of leading steps whose error decisions can be presampled —
+    /// the region trajectory deduplication replays per distinct pattern
+    /// (see [`crate::dedup`]).
+    pub fn dedup_prefix_steps(&self) -> usize {
+        self.dedup_prefix
+    }
+
     /// Number of nodes in the persistent region of the template package
     /// (all precompiled operator diagrams combined).
     pub fn persistent_mat_nodes(&self) -> usize {
@@ -203,6 +218,11 @@ pub struct DdContext {
     package: DdPackage,
     /// Id of the program the package currently mirrors (`0` = unseated).
     seated: u64,
+    /// Memoised outcome-sampling plan for the most recent pattern run's
+    /// final state (trajectory groups fan many samples out of one state;
+    /// the flat plan replaces per-sample norm recursion). Invalidated on
+    /// every seat/rewind, and keyed by the state edge it was built from.
+    sampler: Option<(VecEdge, qsdd_dd::SamplePlan)>,
 }
 
 impl DdContext {
@@ -211,12 +231,14 @@ impl DdContext {
         DdContext {
             package: DdPackage::new(),
             seated: 0,
+            sampler: None,
         }
     }
 
     /// Rewinds (same program) or re-seats (program switch) the package so
     /// it equals `program`'s template exactly.
     fn seat(&mut self, program: &DdProgram) {
+        self.sampler = None;
         if self.seated == program.id {
             self.package.reset_transient();
         } else {
@@ -438,6 +460,20 @@ impl StochasticBackend for DdSimulator {
         }
         let initial_nodes = base.vec_node_count_fast(initial) as u64;
 
+        // The deduplicable prefix: unitary steps up to the first
+        // measurement/reset; state-dependent (damping) channels additionally
+        // cap it at the trajectory coverage, because only the trajectory
+        // knows their branch thresholds in advance.
+        let first_nonapply = steps
+            .iter()
+            .position(|step| !matches!(step, DdStep::Apply { .. }))
+            .unwrap_or(steps.len());
+        let dedup_prefix = if channels.iter().any(ErrorChannel::state_dependent) {
+            first_nonapply.min(trajectory.len())
+        } else {
+            first_nonapply
+        };
+
         base.mark_persistent();
         DdProgram {
             id: next_program_id(),
@@ -448,6 +484,7 @@ impl StochasticBackend for DdSimulator {
             channels,
             noise_ops,
             trajectory,
+            dedup_prefix,
             initial,
             initial_nodes,
             base,
@@ -583,6 +620,289 @@ impl StochasticBackend for DdSimulator {
             }
         }
     }
+
+    fn dedup_support(&self, program: &DdProgram) -> Option<DedupSupport> {
+        let prefix = program.dedup_prefix;
+        let full = prefix == program.steps.len();
+        // Prefix deduplication pays a per-member checkpoint clone; only
+        // offer it when the saved prefix is at least half the program.
+        if !full && (prefix == 0 || prefix * 2 < program.steps.len()) {
+            return None;
+        }
+        let mut sites = Vec::new();
+        for (index, step) in program.steps[..prefix].iter().enumerate() {
+            match program.trajectory.get(index) {
+                // Trajectory-covered steps carry per-exposure kinds,
+                // including the precomputed damping thresholds.
+                Some(ff) => sites.extend(ff.exposures.iter().map(|exposure| match exposure.kind {
+                    FFKind::Passive => SiteChannel::Passive(program.channels[exposure.channel]),
+                    FFKind::Damping { p_decay } => SiteChannel::Damping { p_decay },
+                })),
+                // Beyond the trajectory the prefix only extends when every
+                // channel is state-independent (see `compile`).
+                None => {
+                    let DdStep::Apply { noise_qubits, .. } = step else {
+                        unreachable!("the dedup prefix only contains Apply steps")
+                    };
+                    for _ in noise_qubits {
+                        sites.extend(program.channels.iter().copied().map(SiteChannel::Passive));
+                    }
+                }
+            }
+        }
+        Some(DedupSupport {
+            plan: PresamplePlan::new(sites),
+            prefix_steps: prefix,
+            full,
+        })
+    }
+
+    fn run_pattern(
+        &self,
+        program: &DdProgram,
+        ctx: &mut DdContext,
+        pattern: &ErrorPattern,
+    ) -> SingleRun<VecEdge> {
+        ctx.seat(program);
+        let dd = &mut ctx.package;
+        let width = program.channels.len();
+        let events = pattern.events();
+        let mut next = 0usize;
+        let mut state = program.initial;
+        let mut peak = program.initial_nodes;
+        let mut site = 0u32;
+        // `false` while the replay is still on the precomputed no-error
+        // trajectory; flips to `true` at the first pattern event (mirroring
+        // `run_shot`, so the operator sequence — and thus the resulting
+        // package state — is identical to what any member shot would have
+        // produced).
+        let mut live = false;
+
+        for (index, step) in program.steps[..program.dedup_prefix].iter().enumerate() {
+            let DdStep::Apply { op, noise_qubits } = step else {
+                unreachable!("the dedup prefix only contains Apply steps")
+            };
+            let step_end = site + (noise_qubits.len() * width) as u32;
+            if !live {
+                if let Some(ff) = program.trajectory.get(index) {
+                    if next < events.len() && events[next].site < step_end {
+                        // First deviation: apply the error onto the
+                        // exposure's precomputed resume state, then finish
+                        // the step's remaining events live.
+                        let event = events[next];
+                        let exposure = &ff.exposures[(event.site - site) as usize];
+                        let err = program.noise_ops[exposure.channel].unitaries[exposure.qubit]
+                            [event.error as usize];
+                        state = dd.mat_vec_mul(err, exposure.before);
+                        next += 1;
+                        live = true;
+                        state = apply_pattern_events(
+                            program,
+                            dd,
+                            noise_qubits,
+                            site,
+                            step_end,
+                            events,
+                            &mut next,
+                            state,
+                        );
+                        peak = peak.max(dd.vec_node_count_fast(state) as u64);
+                    } else {
+                        state = ff.after;
+                        peak = peak.max(ff.nodes_after);
+                    }
+                    site = step_end;
+                    continue;
+                }
+                // The trajectory ended (node budget): the rest of the
+                // prefix replays live.
+                live = true;
+            }
+            state = dd.mat_vec_mul(*op, state);
+            state = apply_pattern_events(
+                program,
+                dd,
+                noise_qubits,
+                site,
+                step_end,
+                events,
+                &mut next,
+                state,
+            );
+            peak = peak.max(dd.vec_node_count_fast(state) as u64);
+            site = step_end;
+        }
+        debug_assert_eq!(next, events.len(), "pattern events beyond the prefix");
+
+        let dd_nodes = dd.vec_node_count_fast(state) as u64;
+        SingleRun {
+            // Each member samples its own outcome; the replay has none.
+            outcome: 0,
+            clbits: vec![false; program.num_clbits],
+            error_events: events.len(),
+            dd_nodes,
+            dd_nodes_peak: peak.max(dd_nodes),
+            state,
+        }
+    }
+
+    fn sample_outcome(
+        &self,
+        program: &DdProgram,
+        ctx: &mut DdContext,
+        run: &SingleRun<VecEdge>,
+        rng: &mut StdRng,
+    ) -> u64 {
+        debug_assert_eq!(
+            ctx.seated, program.id,
+            "sample_outcome must use the context the pattern ran in"
+        );
+        // Full-program patterns never contain explicit measurements (a
+        // measurement ends the deduplicable prefix), so the outcome is
+        // always a full-register sample of the shared final state. The
+        // flat sampling plan is built once per pattern run (the `seat`
+        // inside `run_pattern` invalidates it) and is bit-identical to
+        // `sample_measurement` on the same state.
+        let cached = ctx
+            .sampler
+            .as_ref()
+            .is_some_and(|(state, _)| *state == run.state);
+        if !cached {
+            let plan = ctx.package.sample_plan(run.state, program.num_qubits);
+            ctx.sampler = Some((run.state, plan));
+        }
+        let (_, plan) = ctx.sampler.as_ref().expect("plan was just installed");
+        plan.sample(rng)
+    }
+
+    fn sample_outcomes(
+        &self,
+        program: &DdProgram,
+        ctx: &mut DdContext,
+        run: &SingleRun<VecEdge>,
+        shots: &mut [(u64, StdRng)],
+        mut sink: impl FnMut(u64, u64),
+    ) {
+        debug_assert_eq!(
+            ctx.seated, program.id,
+            "sample_outcomes must use the context the pattern ran in"
+        );
+        // Build the flat plan once and keep it out of the member loop —
+        // this loop fans a whole trajectory group out of one shared state,
+        // so it is the hottest loop of a deduplicated run.
+        let plan = ctx.package.sample_plan(run.state, program.num_qubits);
+        for (shot, rng) in shots.iter_mut() {
+            sink(*shot, plan.sample(rng));
+        }
+        ctx.sampler = Some((run.state, plan));
+    }
+
+    fn resume_pattern(
+        &self,
+        program: &DdProgram,
+        checkpoint: &DdContext,
+        prefix: &SingleRun<VecEdge>,
+        work: &mut DdContext,
+        rng: &mut StdRng,
+    ) -> SingleRun<VecEdge> {
+        debug_assert_eq!(
+            checkpoint.seated, program.id,
+            "resume_pattern must be given the context the pattern ran in"
+        );
+        // Seed the working context with the checkpointed prefix state. When
+        // the pattern created no diagram content (the empty pattern riding
+        // the precomputed trajectory), the checkpoint equals the program
+        // template and the cheap seat/rewind path replaces the full
+        // package clone. Either way the working package is
+        // indistinguishable from the one a per-shot execution would hold
+        // at this point, which keeps the resumed tail byte-identical.
+        if checkpoint.package.transient_is_empty() {
+            work.seat(program);
+        } else {
+            work.package.clone_from(&checkpoint.package);
+            // The cloned persistent region is the program's template, so
+            // the ordinary rewind contract keeps holding for this context.
+            work.seated = program.id;
+        }
+        let dd = &mut work.package;
+        let mut state = prefix.state;
+        let mut clbits = vec![false; program.num_clbits];
+        let mut error_events = prefix.error_events;
+        let mut peak = prefix.dd_nodes_peak;
+
+        for step in &program.steps[program.dedup_prefix..] {
+            match step {
+                DdStep::Apply { op, noise_qubits } => {
+                    state = dd.mat_vec_mul(*op, state);
+                    state = apply_noise_live(
+                        program,
+                        dd,
+                        noise_qubits,
+                        0,
+                        state,
+                        rng,
+                        &mut error_events,
+                    );
+                }
+                DdStep::Measure { qubit, clbit } => {
+                    let (outcome, collapsed) = dd.measure_qubit(state, *qubit, rng);
+                    state = collapsed;
+                    clbits[*clbit] = outcome;
+                }
+                DdStep::Reset { qubit, x_op } => {
+                    let (outcome, collapsed) = dd.measure_qubit(state, *qubit, rng);
+                    state = collapsed;
+                    if outcome {
+                        state = dd.mat_vec_mul(*x_op, state);
+                    }
+                }
+            }
+            peak = peak.max(dd.vec_node_count_fast(state) as u64);
+        }
+
+        let outcome = if program.measured_any {
+            pack_clbits(&clbits)
+        } else {
+            dd.sample_measurement(state, program.num_qubits, rng)
+        };
+        let dd_nodes = dd.vec_node_count_fast(state) as u64;
+        SingleRun {
+            outcome,
+            clbits,
+            error_events,
+            dd_nodes,
+            dd_nodes_peak: peak.max(dd_nodes),
+            state,
+        }
+    }
+}
+
+/// Applies the remaining pattern events of one step (sites in
+/// `[step_start, step_end)`, starting at `events[*next]`) by live diagram
+/// evolution, mirroring the decisions `apply_noise_live` would sample.
+#[allow(clippy::too_many_arguments)]
+fn apply_pattern_events(
+    program: &DdProgram,
+    dd: &mut DdPackage,
+    noise_qubits: &[usize],
+    step_start: u32,
+    step_end: u32,
+    events: &[qsdd_noise::ErrorEvent],
+    next: &mut usize,
+    mut state: VecEdge,
+) -> VecEdge {
+    let width = program.channels.len();
+    while *next < events.len() && events[*next].site < step_end {
+        let event = events[*next];
+        debug_assert!(event.site >= step_start, "events are consumed in order");
+        let position = (event.site - step_start) as usize;
+        let qubit = noise_qubits[position / width];
+        let channel = position % width;
+        let err = program.noise_ops[channel].unitaries[qubit][event.error as usize];
+        state = dd.mat_vec_mul(err, state);
+        *next += 1;
+    }
+    state
 }
 
 /// Result of replaying one trajectory step against the random stream.

@@ -14,12 +14,15 @@
 
 use qsdd_circuit::{Circuit, Operation};
 use qsdd_dd::Matrix2;
-use qsdd_noise::{ErrorChannel, NoiseModel, SampledError};
+use qsdd_noise::{
+    ErrorChannel, ErrorPattern, NoiseModel, PresamplePlan, SampledError, SiteChannel,
+};
 use qsdd_statevector::StateVector;
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::backend::{next_program_id, pack_clbits, SingleRun, StochasticBackend};
+use crate::dedup::DedupSupport;
 use crate::estimator::Observable;
 
 /// One executable step of a compiled dense program.
@@ -59,6 +62,11 @@ pub struct DenseProgram {
     unitaries: Vec<Vec<Matrix2>>,
     /// `kraus[channel]`: the `[decay, keep]` Kraus pair, if any.
     kraus: Vec<Option<[Matrix2; 2]>>,
+    /// Whether every shot's error decisions are presampleable: no
+    /// measurement or reset consumes randomness mid-shot, and every channel
+    /// is state-independent (the dense back-end precomputes no damping
+    /// thresholds, so any state-dependent channel forces the live path).
+    dedupable: bool,
 }
 
 impl DenseProgram {
@@ -186,6 +194,10 @@ impl StochasticBackend for DenseSimulator {
         }
         let unitaries = channels.iter().map(ErrorChannel::unitaries).collect();
         let kraus = channels.iter().map(ErrorChannel::kraus_branches).collect();
+        let dedupable = steps
+            .iter()
+            .all(|step| matches!(step, DenseStep::Gate { .. } | DenseStep::Swap { .. }))
+            && !channels.iter().any(ErrorChannel::state_dependent);
         DenseProgram {
             id: next_program_id(),
             num_qubits: circuit.num_qubits(),
@@ -195,6 +207,7 @@ impl StochasticBackend for DenseSimulator {
             channels,
             unitaries,
             kraus,
+            dedupable,
         }
     }
 
@@ -296,6 +309,99 @@ impl StochasticBackend for DenseSimulator {
                 reference.fidelity(&ctx.state)
             }
         }
+    }
+
+    fn dedup_support(&self, program: &DenseProgram) -> Option<DedupSupport> {
+        if !program.dedupable {
+            return None;
+        }
+        let mut sites = Vec::new();
+        for step in &program.steps {
+            let noise_qubits = match step {
+                DenseStep::Gate { noise_qubits, .. } | DenseStep::Swap { noise_qubits, .. } => {
+                    noise_qubits
+                }
+                DenseStep::Measure { .. } | DenseStep::Reset { .. } => {
+                    unreachable!("dedupable programs contain no measurements or resets")
+                }
+            };
+            for _ in noise_qubits {
+                sites.extend(program.channels.iter().copied().map(SiteChannel::Passive));
+            }
+        }
+        Some(DedupSupport {
+            plan: PresamplePlan::new(sites),
+            prefix_steps: program.steps.len(),
+            full: true,
+        })
+    }
+
+    fn run_pattern(
+        &self,
+        program: &DenseProgram,
+        ctx: &mut DenseContext,
+        pattern: &ErrorPattern,
+    ) -> SingleRun<()> {
+        ctx.seat(program);
+        let width = program.channels.len();
+        let events = pattern.events();
+        let mut next = 0usize;
+        let mut site = 0u32;
+        for step in &program.steps {
+            let noise_qubits: &[usize] = match step {
+                DenseStep::Gate {
+                    matrix,
+                    target,
+                    controls,
+                    noise_qubits,
+                } => {
+                    ctx.state.apply_controlled(controls, *target, matrix);
+                    noise_qubits
+                }
+                DenseStep::Swap { a, b, noise_qubits } => {
+                    ctx.state.apply_swap(*a, *b);
+                    noise_qubits
+                }
+                DenseStep::Measure { .. } | DenseStep::Reset { .. } => {
+                    unreachable!("dedupable programs contain no measurements or resets")
+                }
+            };
+            let step_end = site + (noise_qubits.len() * width) as u32;
+            while next < events.len() && events[next].site < step_end {
+                let event = events[next];
+                let position = (event.site - site) as usize;
+                let qubit = noise_qubits[position / width];
+                let channel = position % width;
+                ctx.state
+                    .apply_single(qubit, &program.unitaries[channel][event.error as usize]);
+                next += 1;
+            }
+            site = step_end;
+        }
+        debug_assert_eq!(next, events.len(), "pattern events beyond the program");
+        SingleRun {
+            // Each member samples its own outcome from the shared state.
+            outcome: 0,
+            clbits: vec![false; program.num_clbits],
+            error_events: events.len(),
+            dd_nodes: 0,
+            dd_nodes_peak: 0,
+            state: (),
+        }
+    }
+
+    fn sample_outcome(
+        &self,
+        program: &DenseProgram,
+        ctx: &mut DenseContext,
+        _run: &SingleRun<()>,
+        rng: &mut StdRng,
+    ) -> u64 {
+        debug_assert_eq!(
+            ctx.seated, program.id,
+            "sample_outcome must use the context the pattern ran in"
+        );
+        ctx.state.sample_measurement(rng)
     }
 }
 

@@ -19,6 +19,13 @@
 //! — not rebuilt — between shots. See [`StochasticBackend`] and
 //! [`ShotEngine`].
 //!
+//! On top of the compiled pipeline sits **trajectory deduplication**
+//! ([`dedup`]): every shot's error decisions are presampled up front,
+//! shots are grouped by their error pattern, and each distinct trajectory
+//! is simulated once — turning the hot path from `O(shots × circuit)` into
+//! `O(unique_patterns × circuit + shots × sampling)` while staying
+//! byte-identical to per-shot execution.
+//!
 //! The dense [`DenseSimulator`] back-end executes the identical stochastic
 //! protocol on flat amplitude arrays and serves as the baseline
 //! (Qiskit / Atos QLM stand-in) for the benchmark harness.
@@ -49,8 +56,10 @@
 
 pub mod backend;
 pub mod dd_backend;
+pub mod dedup;
 pub mod dense_backend;
 pub mod estimator;
+mod fxhash;
 pub mod sampling;
 pub mod shot_engine;
 pub mod simulator;
@@ -58,11 +67,14 @@ pub mod stochastic;
 
 pub use backend::{SingleRun, StochasticBackend};
 pub use dd_backend::{DdContext, DdProgram, DdRunState, DdSimulator};
+pub use dedup::{DedupStats, DedupSupport};
 pub use dense_backend::{DenseContext, DenseProgram, DenseSimulator};
 pub use estimator::{Observable, ObservableAccumulator};
 pub use shot_engine::{ExecContext, ShotEngine, ShotSample};
 pub use simulator::{BackendKind, StochasticSimulator};
-pub use stochastic::{run_engine, run_stochastic, StochasticConfig, StochasticOutcome};
+pub use stochastic::{
+    run_engine, run_engine_dedup, run_stochastic, StochasticConfig, StochasticOutcome,
+};
 // Re-exported so `StochasticSimulator::with_opt_level` is usable without a
 // direct `qsdd-transpile` dependency.
 pub use qsdd_transpile::OptLevel;

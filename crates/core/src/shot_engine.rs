@@ -32,16 +32,20 @@
 //! engine undoes that relabeling on every sampled outcome (and offers
 //! [`ShotEngine::map_observables`] for the reverse direction).
 
+use std::time::Instant;
+
 use qsdd_circuit::Circuit;
-use qsdd_noise::NoiseModel;
+use qsdd_noise::{ErrorPattern, NoiseModel, Presampled};
 use qsdd_transpile::{layout, transpile, OptLevel, TranspileResult};
+use rand::rngs::StdRng;
 
 use crate::backend::StochasticBackend;
 use crate::dd_backend::{DdContext, DdProgram, DdSimulator};
+use crate::dedup::{execute_group, run_dedup, DedupSupport};
 use crate::dense_backend::{DenseContext, DenseProgram, DenseSimulator};
 use crate::estimator::Observable;
 use crate::simulator::BackendKind;
-use crate::stochastic::shot_rng;
+use crate::stochastic::{shot_rng, StochasticOutcome};
 
 /// The aggregate-relevant result of one stochastic shot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +92,11 @@ enum EngineBackend {
 pub struct ExecContext {
     dd: Option<Box<DdContext>>,
     dense: Option<Box<DenseContext>>,
+    /// Secondary contexts for trajectory-group execution: the primary
+    /// context holds a group's checkpointed pattern run while member shots
+    /// resume live in the auxiliary one.
+    dd_aux: Option<Box<DdContext>>,
+    dense_aux: Option<Box<DenseContext>>,
 }
 
 impl ExecContext {
@@ -104,6 +113,26 @@ impl ExecContext {
     /// Borrows the statevector context, creating it on first use.
     fn dense_mut(&mut self) -> &mut DenseContext {
         self.dense.get_or_insert_with(Box::default)
+    }
+
+    /// Borrows the decision-diagram context pair (primary + auxiliary).
+    fn dd_pair(&mut self) -> (&mut DdContext, &mut DdContext) {
+        self.dd.get_or_insert_with(Box::default);
+        self.dd_aux.get_or_insert_with(Box::default);
+        match (&mut self.dd, &mut self.dd_aux) {
+            (Some(primary), Some(aux)) => (primary, aux),
+            _ => unreachable!("both contexts were just created"),
+        }
+    }
+
+    /// Borrows the statevector context pair (primary + auxiliary).
+    fn dense_pair(&mut self) -> (&mut DenseContext, &mut DenseContext) {
+        self.dense.get_or_insert_with(Box::default);
+        self.dense_aux.get_or_insert_with(Box::default);
+        match (&mut self.dense, &mut self.dense_aux) {
+            (Some(primary), Some(aux)) => (primary, aux),
+            _ => unreachable!("both contexts were just created"),
+        }
     }
 }
 
@@ -146,6 +175,9 @@ pub struct ShotEngine {
     output_layout: Option<Vec<usize>>,
     noise: NoiseModel,
     seed: u64,
+    /// How the compiled program supports trajectory deduplication, resolved
+    /// once at construction (`None`: every shot must execute live).
+    dedup: Option<DedupSupport>,
 }
 
 impl ShotEngine {
@@ -161,8 +193,10 @@ impl ShotEngine {
         opt: OptLevel,
     ) -> Self {
         if opt == OptLevel::O0 {
+            let backend = EngineBackend::compile(backend, circuit, &noise);
             return ShotEngine {
-                backend: EngineBackend::compile(backend, circuit, &noise),
+                dedup: backend.dedup_support(),
+                backend,
                 circuit: circuit.clone(),
                 output_layout: None,
                 noise,
@@ -182,8 +216,10 @@ impl ShotEngine {
         noise: NoiseModel,
         seed: u64,
     ) -> Self {
+        let backend = EngineBackend::compile(backend, &transpiled.circuit, &noise);
         ShotEngine {
-            backend: EngineBackend::compile(backend, &transpiled.circuit, &noise),
+            dedup: backend.dedup_support(),
+            backend,
             circuit: transpiled.circuit.clone(),
             output_layout: (!transpiled.has_identity_layout())
                 .then(|| transpiled.output_layout.clone()),
@@ -294,6 +330,159 @@ impl ShotEngine {
         self.run_shot_with_observables_in(&mut ctx, shot, observables)
     }
 
+    /// `true` when the compiled program supports trajectory deduplication
+    /// (see [`crate::dedup`]): shots can then be presampled with
+    /// [`presample_shot`](Self::presample_shot) and executed in groups with
+    /// [`run_group_in`](Self::run_group_in).
+    pub fn supports_dedup(&self) -> bool {
+        self.dedup.is_some()
+    }
+
+    /// Resolves shot `shot`'s error decisions up front.
+    ///
+    /// Returns the shot's [`ErrorPattern`] together with its generator —
+    /// positioned exactly where live execution would be after the covered
+    /// exposures — when the shot is deduplicable; `None` when the engine
+    /// does not support deduplication or the shot must execute live
+    /// (state-dependent decision ahead). Shots with equal patterns belong
+    /// in the same [`run_group_in`](Self::run_group_in) group.
+    pub fn presample_shot(&self, shot: u64) -> Option<(ErrorPattern, StdRng)> {
+        let support = self.dedup.as_ref()?;
+        let mut rng = shot_rng(self.seed, shot);
+        match support.plan.presample(&mut rng) {
+            Presampled::Pattern(pattern) => Some((pattern, rng)),
+            Presampled::Live => None,
+        }
+    }
+
+    /// Presamples a contiguous shot range and groups it by error pattern:
+    /// groups in first-appearance order (members in shot order) plus the
+    /// live shots in index order, or `None` when the engine does not
+    /// support deduplication.
+    ///
+    /// This is the building block for bounded-memory consumers (the batch
+    /// scheduler presamples one round at a time with it); each group feeds
+    /// straight into [`run_group_in`](Self::run_group_in), each live shot
+    /// into [`run_shot_in`](Self::run_shot_in).
+    #[allow(clippy::type_complexity)]
+    pub fn presample_range(
+        &self,
+        range: std::ops::Range<u64>,
+    ) -> Option<(Vec<(ErrorPattern, Vec<(u64, StdRng)>)>, Vec<u64>)> {
+        let support = self.dedup.as_ref()?;
+        Some(crate::dedup::group_range(&support.plan, range, self.seed))
+    }
+
+    /// Executes one trajectory group: the shared `pattern` is simulated
+    /// once and every member shot receives its own sample (outcome drawn
+    /// from the shared state, or resumed live after a deduplicated prefix).
+    ///
+    /// `shots` are `(shot index, generator)` pairs as returned by
+    /// [`presample_shot`](Self::presample_shot), all with the identical
+    /// pattern; `observables` must already be mapped through
+    /// [`map_observables`](Self::map_observables). Every returned sample is
+    /// byte-identical to what [`run_shot_in`](Self::run_shot_in) would
+    /// produce for the same shot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine does not support deduplication
+    /// ([`supports_dedup`](Self::supports_dedup)).
+    pub fn run_group_in(
+        &self,
+        ctx: &mut ExecContext,
+        pattern: &ErrorPattern,
+        shots: &mut [(u64, StdRng)],
+        observables: &[Observable],
+    ) -> Vec<(u64, ShotSample, Vec<f64>)> {
+        let support = self
+            .dedup
+            .as_ref()
+            .expect("run_group_in requires an engine with dedup support");
+        let mut out = Vec::with_capacity(shots.len());
+        let sink = |shot: u64, sample: ShotSample, values: &[f64]| {
+            out.push((shot, sample, values.to_vec()));
+        };
+        match &self.backend {
+            EngineBackend::DecisionDiagram { backend, program } => {
+                let (pattern_ctx, work_ctx) = ctx.dd_pair();
+                execute_group(
+                    backend,
+                    program,
+                    support,
+                    pattern_ctx,
+                    work_ctx,
+                    pattern,
+                    shots,
+                    observables,
+                    sink,
+                );
+            }
+            EngineBackend::Statevector { backend, program } => {
+                let (pattern_ctx, work_ctx) = ctx.dense_pair();
+                execute_group(
+                    backend,
+                    program,
+                    support,
+                    pattern_ctx,
+                    work_ctx,
+                    pattern,
+                    shots,
+                    observables,
+                    sink,
+                );
+            }
+        }
+        if let Some(output_layout) = &self.output_layout {
+            for (_, sample, _) in &mut out {
+                sample.outcome = layout::restore_outcome(sample.outcome, output_layout);
+            }
+        }
+        out
+    }
+
+    /// Runs the deduplicating Monte-Carlo driver over shots `0..shots`, or
+    /// returns `None` when the program does not support deduplication.
+    ///
+    /// `threads` must already be resolved and capped at the shot count;
+    /// observables are mapped and outcomes restored to the original qubit
+    /// order internally.
+    pub(crate) fn dedup_outcome(
+        &self,
+        shots: usize,
+        threads: usize,
+        observables: &[Observable],
+        started: Instant,
+    ) -> Option<StochasticOutcome> {
+        let support = self.dedup.as_ref()?;
+        let mapped = self.map_observables(observables);
+        let output_layout = self.output_layout.as_deref();
+        Some(match &self.backend {
+            EngineBackend::DecisionDiagram { backend, program } => run_dedup(
+                backend,
+                program.as_ref(),
+                support,
+                shots,
+                threads,
+                self.seed,
+                &mapped,
+                output_layout,
+                started,
+            ),
+            EngineBackend::Statevector { backend, program } => run_dedup(
+                backend,
+                program.as_ref(),
+                support,
+                shots,
+                threads,
+                self.seed,
+                &mapped,
+                output_layout,
+                started,
+            ),
+        })
+    }
+
     /// Re-expresses observables over the original qubits as observables over
     /// the executed circuit's qubits.
     ///
@@ -325,6 +514,13 @@ impl EngineBackend {
                 let program = Box::new(backend.compile(circuit, noise));
                 EngineBackend::Statevector { backend, program }
             }
+        }
+    }
+
+    fn dedup_support(&self) -> Option<DedupSupport> {
+        match self {
+            EngineBackend::DecisionDiagram { backend, program } => backend.dedup_support(program),
+            EngineBackend::Statevector { backend, program } => backend.dedup_support(program),
         }
     }
 }

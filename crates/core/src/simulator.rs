@@ -11,7 +11,7 @@ use qsdd_transpile::{OptLevel, TranspileResult};
 
 use crate::estimator::Observable;
 use crate::shot_engine::ShotEngine;
-use crate::stochastic::{run_engine, StochasticConfig, StochasticOutcome};
+use crate::stochastic::{run_engine, run_engine_dedup, StochasticConfig, StochasticOutcome};
 
 /// Which simulation engine executes the individual runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -111,6 +111,17 @@ impl StochasticSimulator {
         self
     }
 
+    /// Enables or disables trajectory deduplication (on by default).
+    ///
+    /// With deduplication, shots are presampled and grouped by error
+    /// pattern and each distinct trajectory is simulated once (see
+    /// [`crate::dedup`]); results are byte-identical either way, so
+    /// disabling it is only useful for benchmarking the per-shot path.
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.config.dedup = dedup;
+        self
+    }
+
     /// Sets the circuit-optimization level applied before the shot loop.
     ///
     /// The circuit is transpiled **once** (see [`qsdd_transpile`]); every
@@ -195,7 +206,11 @@ impl StochasticSimulator {
     }
 
     fn drive(&self, engine: &ShotEngine, observables: &[Observable]) -> StochasticOutcome {
-        run_engine(engine, self.config.shots, self.config.threads, observables)
+        if self.config.dedup {
+            run_engine_dedup(engine, self.config.shots, self.config.threads, observables)
+        } else {
+            run_engine(engine, self.config.shots, self.config.threads, observables)
+        }
     }
 }
 

@@ -33,6 +33,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::backend::StochasticBackend;
+use crate::dedup::{run_dedup, DedupStats};
 use crate::estimator::{Observable, ObservableAccumulator};
 use crate::shot_engine::ShotEngine;
 
@@ -49,6 +50,11 @@ pub struct StochasticConfig {
     pub seed: u64,
     /// The noise model applied after every gate.
     pub noise: NoiseModel,
+    /// Whether to deduplicate shots by presampled error pattern (see
+    /// [`crate::dedup`]). On by default; results are byte-identical either
+    /// way, so turning it off is only useful for benchmarking the per-shot
+    /// path.
+    pub dedup: bool,
 }
 
 impl StochasticConfig {
@@ -59,6 +65,7 @@ impl StochasticConfig {
             threads: 0,
             seed: 0xD1CE_5EED,
             noise: NoiseModel::paper_defaults(),
+            dedup: true,
         }
     }
 
@@ -77,6 +84,12 @@ impl StochasticConfig {
     /// Sets the noise model.
     pub fn with_noise(mut self, noise: NoiseModel) -> Self {
         self.noise = noise;
+        self
+    }
+
+    /// Enables or disables trajectory deduplication.
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
         self
     }
 
@@ -124,6 +137,10 @@ pub struct StochasticOutcome {
     /// zero-shot run spawns no workers but still reports the resolved
     /// configuration.
     pub threads: usize,
+    /// Trajectory-deduplication statistics; `None` when the run executed on
+    /// the ordinary per-shot path (deduplication disabled, or the program
+    /// does not support it).
+    pub dedup: Option<DedupStats>,
 }
 
 impl StochasticOutcome {
@@ -138,6 +155,7 @@ impl StochasticOutcome {
             dd_nodes_peak: 0,
             wall_time,
             threads,
+            dedup: None,
         }
     }
 
@@ -167,11 +185,28 @@ impl StochasticOutcome {
         }
         self.error_events as f64 / self.shots as f64
     }
+
+    /// Fraction of shots served from another shot's trajectory
+    /// (`1 - unique_trajectories / shots`); `0.0` on the per-shot path.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        match &self.dedup {
+            Some(stats) if self.shots > 0 => {
+                1.0 - stats.unique_trajectories as f64 / self.shots as f64
+            }
+            _ => 0.0,
+        }
+    }
 }
 
 /// Everything one worker accumulated over its strided share of the shots.
-struct WorkerPartial {
-    counts: HashMap<u64, u64>,
+///
+/// Also replayed by the deduplicating runner ([`crate::dedup`]) to
+/// reproduce this module's exact per-worker summation order. The local
+/// histogram uses the fast in-process hasher (one entry per shot is the
+/// single hottest map operation of the loop); the merged result is
+/// converted to the outcome's ordinary map.
+pub(crate) struct WorkerPartial {
+    counts: crate::fxhash::FxHashMap<u64, u64>,
     observables: ObservableAccumulator,
     errors: u64,
     nodes_sum: u64,
@@ -179,9 +214,9 @@ struct WorkerPartial {
 }
 
 impl WorkerPartial {
-    fn new(observables: usize) -> Self {
+    pub(crate) fn new(observables: usize) -> Self {
         WorkerPartial {
-            counts: HashMap::new(),
+            counts: crate::fxhash::FxHashMap::default(),
             observables: ObservableAccumulator::new(observables),
             errors: 0,
             nodes_sum: 0,
@@ -189,7 +224,14 @@ impl WorkerPartial {
         }
     }
 
-    fn record(&mut self, outcome: u64, errors: u64, nodes: u64, peak: u64, values: &[f64]) {
+    pub(crate) fn record(
+        &mut self,
+        outcome: u64,
+        errors: u64,
+        nodes: u64,
+        peak: u64,
+        values: &[f64],
+    ) {
         *self.counts.entry(outcome).or_insert(0) += 1;
         self.errors += errors;
         self.nodes_sum += nodes;
@@ -202,7 +244,7 @@ impl WorkerPartial {
 
 /// Merges per-worker partials **in worker-index order** (bit-stable
 /// floating-point sums for a fixed thread count) into an outcome.
-fn merge_partials(
+pub(crate) fn merge_partials(
     partials: Vec<Option<WorkerPartial>>,
     shots: usize,
     observables: usize,
@@ -236,6 +278,7 @@ fn merge_partials(
         dd_nodes_peak: nodes_peak,
         wall_time: started.elapsed(),
         threads,
+        dedup: None,
     }
 }
 
@@ -248,6 +291,13 @@ fn merge_partials(
 /// shot uses a random number generator derived deterministically from the
 /// master seed and the shot index, so the histogram is independent of how
 /// shots are assigned to threads.
+///
+/// When [`StochasticConfig::dedup`] is on (the default) and the compiled
+/// program supports it, shots are deduplicated by presampled error pattern
+/// (see [`crate::dedup`]): each distinct trajectory is simulated once and
+/// fanned out over its shots. The results — histograms, error counts, node
+/// statistics and the bit patterns of the observable sums — are identical
+/// either way.
 pub fn run_stochastic<B: StochasticBackend>(
     backend: &B,
     circuit: &Circuit,
@@ -266,6 +316,21 @@ pub fn run_stochastic<B: StochasticBackend>(
     }
     let program = backend.compile(circuit, &config.noise);
     let threads = config.effective_threads().max(1).min(config.shots);
+    if config.dedup {
+        if let Some(support) = backend.dedup_support(&program) {
+            return run_dedup(
+                backend,
+                &program,
+                &support,
+                config.shots,
+                threads,
+                config.seed,
+                observables,
+                None,
+                started,
+            );
+        }
+    }
     let mut partials: Vec<Option<WorkerPartial>> = (0..threads).map(|_| None).collect();
 
     std::thread::scope(|scope| {
@@ -363,6 +428,38 @@ pub fn run_engine(
     });
 
     merge_partials(partials, shots, observables.len(), threads, started)
+}
+
+/// The deduplicating twin of [`run_engine`]: shots are presampled and
+/// grouped by error pattern, each distinct trajectory is simulated once,
+/// and the results fan out per shot (see [`crate::dedup`]).
+///
+/// Falls back to [`run_engine`] when the engine's program does not support
+/// deduplication (a state-dependent channel outside the precomputed
+/// trajectory, or a dominating non-unitary tail). Results are byte-identical
+/// to [`run_engine`] for every seed and thread count — including the bit
+/// patterns of the observable sums — so callers may pick purely by
+/// expected performance.
+pub fn run_engine_dedup(
+    engine: &ShotEngine,
+    shots: usize,
+    threads: usize,
+    observables: &[Observable],
+) -> StochasticOutcome {
+    let started = Instant::now();
+    let resolved = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    if shots == 0 {
+        return StochasticOutcome::empty(observables.len(), resolved, started.elapsed());
+    }
+    engine
+        .dedup_outcome(shots, resolved.min(shots), observables, started)
+        .unwrap_or_else(|| run_engine(engine, shots, threads, observables))
 }
 
 /// Derives the per-shot random number generator from the master seed.
@@ -492,6 +589,7 @@ mod tests {
             dd_nodes_peak: 0,
             wall_time: Duration::ZERO,
             threads: 1,
+            dedup: None,
         };
         // All of 2, 4, 7 are tied at 5 counts: the smallest index wins,
         // independent of hash-map iteration order.

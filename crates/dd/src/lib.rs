@@ -60,6 +60,7 @@ pub mod matrix2;
 pub use complex::{Complex, FRAC_1_SQRT_2};
 pub use complex_table::{ComplexId, ComplexTable, DEFAULT_TOLERANCE};
 pub use matrix2::Matrix2;
+pub use measure::SamplePlan;
 pub use node::{MatEdge, MatNode, MatNodeId, VecEdge, VecNode, VecNodeId};
 pub use package::{DdPackage, PackageStats, DEFAULT_CACHE_LIMIT};
 

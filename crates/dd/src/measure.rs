@@ -12,6 +12,104 @@ use rand::Rng;
 use crate::node::VecEdge;
 use crate::package::DdPackage;
 
+/// Slot marker for an absent (terminal or zero-edge) successor.
+const TERMINAL_SLOT: u32 = u32::MAX;
+
+/// One flattened node of a [`SamplePlan`]: the branch probabilities and
+/// successor slots [`DdPackage::sample_measurement`] would evaluate at this
+/// node, with deterministic single-branch chains below each successor
+/// collapsed into precomputed bits.
+#[derive(Clone, Copy, Debug, Default)]
+struct PlanNode {
+    probabilities: [f64; 2],
+    /// Landing slot per branch: the next node with a genuine branch
+    /// decision (deterministic chains are skipped over).
+    next: [u32; 2],
+    /// Outcome bits contributed by taking a branch: the branch bit itself
+    /// followed by its deterministic chain's bits.
+    bits: [u64; 2],
+    /// Levels consumed per branch (`1 +` chain length). The chain's levels
+    /// still burn one generator draw each — their comparisons are
+    /// predetermined, their stream consumption is not.
+    levels: [u8; 2],
+}
+
+/// A precomputed walk table for drawing measurement outcomes from one
+/// decision-diagram state (see [`DdPackage::sample_plan`]).
+///
+/// The plan borrows nothing: it stays valid for repeated draws as long as
+/// the state it was built from is the intended one (it snapshots the
+/// probabilities, so later package mutations do not affect it).
+#[derive(Clone, Debug)]
+pub struct SamplePlan {
+    nodes: Vec<PlanNode>,
+    root: u32,
+    num_qubits: usize,
+}
+
+impl SamplePlan {
+    /// Number of qubits an outcome covers.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Draws one complete measurement outcome.
+    ///
+    /// Bit-identical to [`DdPackage::sample_measurement`] on the plan's
+    /// state for every generator state: the same branch probabilities feed
+    /// the same comparisons, and the generator is advanced identically —
+    /// one draw per decided level (including the deterministic chain levels
+    /// the walk collapses, whose draws are burned without a comparison
+    /// because their outcome is predetermined), none past a terminal and
+    /// none for zero-probability levels.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut index: u64 = 0;
+        let mut level = 0;
+        let mut slot = self.root;
+        while level < self.num_qubits {
+            if slot == TERMINAL_SLOT {
+                // Remaining qubits are unreachable; keep their bits zero,
+                // exactly like the package walk. A full-width pad (64
+                // remaining levels) only occurs with `index == 0`, which a
+                // plain shift cannot express.
+                let remaining = self.num_qubits - level;
+                index = if remaining >= 64 {
+                    0
+                } else {
+                    index << remaining
+                };
+                break;
+            }
+            let node = &self.nodes[slot as usize];
+            let [p0, p1] = node.probabilities;
+            let total = p0 + p1;
+            let bit = if total <= 0.0 {
+                0
+            } else {
+                usize::from(rng.gen::<f64>() * total >= p0)
+            };
+            let taken = node.levels[bit] as usize;
+            for _ in 1..taken {
+                // Deterministic chain level: the package walk draws and
+                // compares against a foregone conclusion; only the draw is
+                // observable.
+                let _ = rng.gen::<f64>();
+            }
+            // A 64-level step (the root deciding a full-width register in
+            // one chain) replaces the whole index; a plain shift by 64
+            // would overflow.
+            index = if taken >= 64 {
+                node.bits[bit]
+            } else {
+                (index << taken) | node.bits[bit]
+            };
+            level += taken;
+            slot = node.next[bit];
+        }
+        index
+    }
+}
+
 impl DdPackage {
     /// Probability of observing `|1>` on `qubit` when measuring the state
     /// `v` over `n` qubits.
@@ -104,6 +202,109 @@ impl DdPackage {
             edge = node.edges[bit];
         }
         index
+    }
+
+    /// Precomputes a [`SamplePlan`] for repeatedly drawing measurement
+    /// outcomes from the state `v` over `n` qubits.
+    ///
+    /// The plan flattens every reachable node's branch probabilities — the
+    /// exact values [`DdPackage::sample_measurement`] computes — into an
+    /// array, so each subsequent draw costs `n` array steps instead of
+    /// `O(n)` hash lookups and norm recursions. [`SamplePlan::sample`] is
+    /// bit-identical to `sample_measurement` for every generator state:
+    /// same probabilities, same comparisons, same stream consumption. Use
+    /// it when many outcomes are drawn from one state (trajectory
+    /// deduplication fans a whole shot group out of a single final state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is the zero vector or `n > 64`.
+    pub fn sample_plan(&mut self, v: VecEdge, n: usize) -> SamplePlan {
+        assert!(!v.is_zero(), "cannot sample from the zero vector");
+        assert!(n <= 64, "sampling supports at most 64 qubits");
+        let mut plan = SamplePlan {
+            nodes: Vec::new(),
+            root: TERMINAL_SLOT,
+            num_qubits: n,
+        };
+        if v.node.is_terminal() {
+            return plan;
+        }
+        // Depth-first flattening; slots are assigned on first visit.
+        let mut slots: std::collections::HashMap<crate::node::VecNodeId, u32> =
+            std::collections::HashMap::new();
+        let mut stack = vec![v.node];
+        plan.root = 0;
+        slots.insert(v.node, 0);
+        plan.nodes.push(PlanNode::default());
+        while let Some(id) = stack.pop() {
+            let node = self.vec_nodes[id.index()];
+            let slot = slots[&id] as usize;
+            let mut entry = PlanNode {
+                probabilities: [0.0; 2],
+                next: [TERMINAL_SLOT; 2],
+                bits: [0, 1],
+                levels: [1, 1],
+            };
+            for bit in 0..2 {
+                let edge = node.edges[bit];
+                if edge.is_zero() {
+                    continue;
+                }
+                // The same product `sample_measurement` evaluates per
+                // branch, so the comparisons below reproduce its draws bit
+                // for bit.
+                entry.probabilities[bit] =
+                    self.ctable.norm_sqr(edge.weight) * self.node_norm(edge.node);
+                if !edge.node.is_terminal() {
+                    entry.next[bit] = *slots.entry(edge.node).or_insert_with(|| {
+                        plan.nodes.push(PlanNode::default());
+                        stack.push(edge.node);
+                        (plan.nodes.len() - 1) as u32
+                    });
+                }
+            }
+            plan.nodes[slot] = entry;
+        }
+
+        // Collapse deterministic chains: below a taken branch, every node
+        // whose comparison is a foregone conclusion (exactly one branch
+        // with positive probability) contributes a fixed bit, so the walk
+        // can precompute the bits and only burn the draws. The chain walk
+        // uses the raw successor graph; results are written back per
+        // branch.
+        let raw = plan.nodes.clone();
+        for entry in &mut plan.nodes {
+            for bit in 0..2 {
+                if entry.probabilities[bit] <= 0.0 {
+                    // Only reachable through the zero-total fallback, which
+                    // draws nothing: keep the uncompressed single step.
+                    continue;
+                }
+                let mut bits = bit as u64;
+                let mut levels = 1u8;
+                let mut cursor = entry.next[bit];
+                while cursor != TERMINAL_SLOT {
+                    let [p0, p1] = raw[cursor as usize].probabilities;
+                    let chained = if p0 <= 0.0 && p1 > 0.0 {
+                        1
+                    } else if p1 <= 0.0 && p0 > 0.0 {
+                        0
+                    } else {
+                        // A genuine branch decision (or a zero-total pad,
+                        // which consumes no draw): the chain ends here.
+                        break;
+                    };
+                    bits = (bits << 1) | chained as u64;
+                    levels += 1;
+                    cursor = raw[cursor as usize].next[chained];
+                }
+                entry.bits[bit] = bits;
+                entry.levels[bit] = levels;
+                entry.next[bit] = cursor;
+            }
+        }
+        plan
     }
 
     /// Projects the state onto `qubit = outcome` *without* renormalising.
@@ -386,6 +587,68 @@ mod tests {
         dd.reset_transient();
         let t = dd.zero_state(4);
         assert_eq!(dd.vec_node_count_fast(t), 4);
+    }
+
+    #[test]
+    fn sample_plan_reproduces_sample_measurement_bit_for_bit() {
+        let mut dd = DdPackage::new();
+        // A structured state (Bell pair padded with an excited qubit) plus
+        // a plain basis state: both must sample identically via the plan.
+        let bell = bell_state(&mut dd);
+        let x1 = dd.single_qubit_op(2, 1, Matrix2::pauli_x());
+        let skewed = dd.mat_vec_mul(x1, bell);
+        for state in [bell, skewed] {
+            let plan = dd.sample_plan(state, 2);
+            assert_eq!(plan.num_qubits(), 2);
+            for seed in 0..200u64 {
+                let mut rng_a = StdRng::seed_from_u64(seed);
+                let mut rng_b = StdRng::seed_from_u64(seed);
+                assert_eq!(
+                    plan.sample(&mut rng_a),
+                    dd.sample_measurement(state, 2, &mut rng_b),
+                    "plan diverged for seed {seed}"
+                );
+                // Both paths must consume the identical amount of
+                // randomness: the next draws agree.
+                assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn sample_plan_handles_full_width_registers() {
+        // 64 qubits: a deterministic chain can cover the whole register in
+        // one step, which must not overflow the index shift.
+        let mut dd = DdPackage::new();
+        let wide = dd.basis_state_from_index(64, 1);
+        let plan = dd.sample_plan(wide, 64);
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        for _ in 0..32 {
+            assert_eq!(
+                plan.sample(&mut rng_a),
+                dd.sample_measurement(wide, 64, &mut rng_b)
+            );
+        }
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn sample_plan_handles_basis_states_without_draws() {
+        let mut dd = DdPackage::new();
+        let s = dd.basis_state_from_index(4, 0b1010);
+        let plan = dd.sample_plan(s, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let before = rng.gen::<u64>();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(plan.sample(&mut rng), 0b1010);
+        // Deterministic branches (p = 0 or 1 on one side still draw; only
+        // zero-total levels skip). Cross-check stream position against the
+        // package walk.
+        let mut rng_ref = StdRng::seed_from_u64(1);
+        let _ = dd.sample_measurement(s, 4, &mut rng_ref);
+        assert_eq!(rng.gen::<u64>(), rng_ref.gen::<u64>());
+        let _ = before;
     }
 
     #[test]

@@ -356,6 +356,16 @@ impl DdPackage {
         self.vec_nodes.len() - self.vec_watermark
     }
 
+    /// `true` when no node or complex value has been created since the last
+    /// [`mark_persistent`](Self::mark_persistent) — i.e. the package's
+    /// diagram contents equal the frozen template exactly (memoisation
+    /// caches may still hold entries; they never change computed values).
+    pub fn transient_is_empty(&self) -> bool {
+        self.vec_nodes.len() == self.vec_watermark
+            && self.mat_nodes.len() == self.mat_watermark
+            && self.ctable.len() == self.complex_watermark
+    }
+
     // ------------------------------------------------------------------
     // Node construction with normalisation
     // ------------------------------------------------------------------

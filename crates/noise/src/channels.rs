@@ -5,6 +5,15 @@
 //! decoherence. Each channel is described both by its Kraus operators (used
 //! by the exact density-matrix reference simulator) and by a stochastic
 //! sampling rule (used by the Monte-Carlo simulators of Section III).
+//!
+//! The canonical sampling entry point is the index-based
+//! [`ErrorChannel::sample_error`]: it resolves a draw to *operator indices*
+//! ([`SampledError`]) without materialising matrices, which is what both
+//! the compiled shot programs and the presampling/deduplication layer
+//! ([`crate::presample`]) consume. The matrix-returning
+//! [`ErrorChannel::sample_action`] is a convenience wrapper kept for
+//! uncompiled one-off consumers; it draws through `sample_error`, so both
+//! APIs consume the random number stream identically.
 
 use qsdd_dd::Matrix2;
 use rand::Rng;
@@ -95,6 +104,19 @@ impl ErrorChannel {
         self.probability
     }
 
+    /// `true` for channels whose stochastic effect depends on the quantum
+    /// state (amplitude damping: the Kraus branch probabilities are squared
+    /// norms of the branch states, Example 6 of the paper).
+    ///
+    /// State-dependent channels cannot be presampled from the random stream
+    /// alone; the presampling layer only resolves them where the entering
+    /// state — and thus the branch threshold — is known in advance (along
+    /// the precomputed no-error trajectory), and forces shots onto the live
+    /// execution path everywhere else.
+    pub fn state_dependent(&self) -> bool {
+        matches!(self.kind, ErrorKind::AmplitudeDamping)
+    }
+
     /// The Kraus operators of the channel (they satisfy
     /// `sum_k K_k† K_k = I`).
     pub fn kraus_operators(&self) -> Vec<Matrix2> {
@@ -157,6 +179,7 @@ impl ErrorChannel {
     /// consumption: [`Self::sample_action`] is implemented on top of it, so
     /// the index-based and the matrix-based API are guaranteed to make the
     /// same decisions from the same generator state.
+    #[inline]
     pub fn sample_error<R: Rng + ?Sized>(&self, rng: &mut R) -> SampledError {
         let p = self.probability;
         if p == 0.0 {
@@ -198,12 +221,20 @@ impl ErrorChannel {
         }
     }
 
-    /// Samples the stochastic action for one application of the channel.
+    /// Samples the stochastic action for one application of the channel,
+    /// resolved to concrete matrices.
     ///
-    /// Unitary-equivalent channels (depolarizing, phase flip) resolve their
-    /// randomness here; the state-dependent amplitude-damping channel always
-    /// returns its Kraus branches so the simulator can pick the branch based
-    /// on the state (Example 6 of the paper).
+    /// This is a convenience wrapper for uncompiled one-off consumers; the
+    /// canonical sampling entry point is the index-based
+    /// [`Self::sample_error`], which compiled shot programs and the
+    /// presampling layer use directly (precompiled operators are looked up
+    /// by index, no matrices are built at shot time). The wrapper draws
+    /// through `sample_error`, so both APIs make the same decisions from
+    /// the same generator state: unitary-equivalent channels
+    /// (depolarizing, phase flip) resolve their randomness in the draw,
+    /// while the state-dependent amplitude-damping channel returns its
+    /// Kraus branches for the simulator to pick from based on the state
+    /// (Example 6 of the paper).
     pub fn sample_action<R: Rng + ?Sized>(&self, rng: &mut R) -> StochasticAction {
         match self.sample_error(rng) {
             SampledError::None => StochasticAction::None,

@@ -10,6 +10,15 @@
 //!   Monte-Carlo simulators in `qsdd-core` and `qsdd-statevector`, following
 //!   Section III of the paper).
 //!
+//! The stochastic side is sampled through the index-based
+//! [`ErrorChannel::sample_error`] (the canonical entry point: compiled shot
+//! programs resolve operators once and look them up by index at shot time).
+//! On top of it, the [`presample`] module splits error *sampling* from
+//! error *application*: a shot's complete error decisions are resolved up
+//! front into a compact [`ErrorPattern`], which is what enables
+//! trajectory deduplication — simulating each distinct pattern once and
+//! fanning the result out over every shot that drew it.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -34,6 +43,8 @@
 
 mod channels;
 mod model;
+pub mod presample;
 
 pub use channels::{ErrorChannel, ErrorKind, SampledError, StochasticAction};
 pub use model::NoiseModel;
+pub use presample::{ErrorEvent, ErrorPattern, PresamplePlan, Presampled, SiteChannel};

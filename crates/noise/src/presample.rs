@@ -1,0 +1,371 @@
+//! Presampling: splitting error *sampling* from error *application*.
+//!
+//! The stochastic protocol draws every error decision from a per-shot
+//! random number generator. All of those draws are state-independent for
+//! unitary-equivalent channels (depolarizing, phase flip), and even the
+//! state-dependent amplitude-damping branch decision becomes predictable
+//! along the no-error trajectory, where the branch threshold is known in
+//! advance. A shot's error decisions can therefore be **presampled** —
+//! resolved up front, without simulating anything — into a compact
+//! [`ErrorPattern`]: the `(site, error)` list of every error that fires.
+//!
+//! Shots with equal patterns evolve through *identical* states, so a
+//! simulator only needs to execute one representative per distinct pattern
+//! and can fan the result out to every shot that drew it (trajectory
+//! deduplication). At realistic noise strengths most shots draw the empty
+//! pattern, which turns the shot loop from `O(shots × circuit)` into
+//! `O(unique_patterns × circuit + shots × sampling)`.
+//!
+//! Presampling consumes the random number stream **exactly** like live
+//! execution (the same draws, in the same order, via the same
+//! [`ErrorChannel::sample_error`] calls), so the generator handed back with
+//! a pattern is positioned precisely where live execution would be after
+//! the last exposure — ready for the final measurement sampling. That
+//! stream identity is what makes deduplicated results byte-identical to
+//! per-shot execution.
+
+use rand::Rng;
+
+use crate::channels::{ErrorChannel, ErrorKind, SampledError};
+
+/// One fired error of a presampled shot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ErrorEvent {
+    /// Flattened exposure-site index the error fired at (sites are numbered
+    /// in protocol order: step-major, then qubit-major, then channels in
+    /// noise-model order).
+    pub site: u32,
+    /// Index into the site channel's [`ErrorChannel::unitaries`] list.
+    pub error: u8,
+}
+
+/// The compact key of one presampled trajectory: every error that fires
+/// during the shot, as `(site, error)` pairs in site order.
+///
+/// Two shots with equal patterns apply the identical operator sequence and
+/// therefore reach the identical final state; the empty pattern (no error
+/// fired anywhere) is by far the most common at realistic noise strengths.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_noise::{ErrorChannel, ErrorKind, Presampled, PresamplePlan, SiteChannel};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// // Two exposure sites of a phase-flip channel that never fires.
+/// let site = SiteChannel::Passive(ErrorChannel::new(ErrorKind::PhaseFlip, 0.0));
+/// let plan = PresamplePlan::new(vec![site, site]);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let Presampled::Pattern(pattern) = plan.presample(&mut rng) else {
+///     panic!("state-independent sites always presample");
+/// };
+/// assert!(pattern.is_empty());
+/// assert_eq!(pattern.error_events(), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ErrorPattern {
+    events: Vec<ErrorEvent>,
+}
+
+impl ErrorPattern {
+    /// The fired errors in site order.
+    pub fn events(&self) -> &[ErrorEvent] {
+        &self.events
+    }
+
+    /// `true` when no error fired (the no-error trajectory).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of stochastic error events of the pattern (each entry is one
+    /// fired error; damping "keep" branches are not errors and never appear
+    /// in a pattern).
+    pub fn error_events(&self) -> u64 {
+        self.events.len() as u64
+    }
+}
+
+/// What decides the outcome of one noise-exposure site during presampling.
+#[derive(Clone, Copy, Debug)]
+pub enum SiteChannel {
+    /// A state-independent channel ([`ErrorChannel::state_dependent`] is
+    /// `false`): [`ErrorChannel::sample_error`] fully resolves the draw.
+    Passive(ErrorChannel),
+    /// A state-dependent damping channel whose branch threshold along the
+    /// no-error path has been precomputed: the single branch draw compares
+    /// against `p_decay` exactly as live execution would. The threshold is
+    /// only valid while the shot is still on the no-error path — any
+    /// earlier deviation invalidates it.
+    Damping {
+        /// Probability of the decay branch on the no-error path.
+        p_decay: f64,
+    },
+}
+
+/// Result of presampling one shot against a [`PresamplePlan`].
+#[derive(Clone, Debug)]
+pub enum Presampled {
+    /// Every site resolved; the shot's trajectory is fully described by the
+    /// pattern, and the generator is positioned exactly after the last
+    /// exposure draw.
+    Pattern(ErrorPattern),
+    /// The shot left the presampleable region — a damping branch decayed,
+    /// or an error fired with a state-dependent site still ahead (whose
+    /// precomputed threshold the deviation invalidates). The shot must
+    /// execute live, with a **freshly derived** generator: the one used for
+    /// presampling has been partially consumed and must be discarded.
+    Live,
+}
+
+/// The flattened, dispatch-free form of one site (see
+/// [`PresamplePlan::new`]): the presample inner loop is the hottest loop of
+/// a deduplicated run, so the per-site decision is resolved to one branch
+/// on a dense tag instead of two nested enum matches. The semantics — and
+/// crucially the random-stream consumption — of each arm are exactly those
+/// of [`ErrorChannel::sample_error`] for the corresponding kind.
+#[derive(Clone, Copy, Debug)]
+enum FlatSite {
+    /// Depolarizing channel with probability `p`: one uniform draw against
+    /// `p`, one `0..4` draw when it fires.
+    Depolarizing(f64),
+    /// Phase flip with probability `p`: one uniform draw against `p`.
+    PhaseFlip(f64),
+    /// State-dependent damping with precomputed no-error-path threshold:
+    /// one uniform draw against it; decay forces the live path.
+    Damping(f64),
+    /// Any other state-independent channel: defer to
+    /// [`ErrorChannel::sample_error`].
+    Other(ErrorChannel),
+}
+
+/// The flattened noise-exposure sites of a program's deduplicable prefix.
+///
+/// Built once per compiled program; [`PresamplePlan::presample`] then
+/// resolves any shot's error decisions in `O(sites)` random draws.
+#[derive(Clone, Debug, Default)]
+pub struct PresamplePlan {
+    sites: Vec<FlatSite>,
+    /// Index of the last state-dependent site, if any: an error firing
+    /// before it forces the shot onto the live path (the deviation
+    /// invalidates every later precomputed damping threshold).
+    last_damping: Option<usize>,
+}
+
+impl PresamplePlan {
+    /// Builds a plan over the given exposure sites (in protocol order).
+    pub fn new(sites: Vec<SiteChannel>) -> Self {
+        debug_assert!(
+            sites.iter().all(|site| match site {
+                SiteChannel::Passive(channel) => !channel.state_dependent(),
+                SiteChannel::Damping { .. } => true,
+            }),
+            "state-dependent channels must use SiteChannel::Damping"
+        );
+        let sites: Vec<FlatSite> = sites
+            .into_iter()
+            .map(|site| match site {
+                SiteChannel::Passive(channel) => match channel.kind() {
+                    ErrorKind::Depolarizing => FlatSite::Depolarizing(channel.probability()),
+                    ErrorKind::PhaseFlip => FlatSite::PhaseFlip(channel.probability()),
+                    _ => FlatSite::Other(channel),
+                },
+                SiteChannel::Damping { p_decay } => FlatSite::Damping(p_decay),
+            })
+            .collect();
+        let last_damping = sites
+            .iter()
+            .rposition(|site| matches!(site, FlatSite::Damping(_)));
+        PresamplePlan {
+            sites,
+            last_damping,
+        }
+    }
+
+    /// Number of exposure sites covered by the plan.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Resolves one shot's error decisions against the plan.
+    ///
+    /// Consumes the random number stream exactly like live execution of the
+    /// covered exposures: one [`ErrorChannel::sample_error`] per passive
+    /// site, one branch draw per damping site. On [`Presampled::Pattern`]
+    /// the generator is therefore positioned precisely where a live shot
+    /// would be after the last covered exposure; on [`Presampled::Live`]
+    /// the generator is partially consumed and must be re-derived.
+    #[inline]
+    pub fn presample<R: Rng + ?Sized>(&self, rng: &mut R) -> Presampled {
+        let mut events = Vec::new();
+        for (site, flat) in self.sites.iter().enumerate() {
+            // Each arm consumes the stream exactly like
+            // `ErrorChannel::sample_error` for its kind (the depolarizing
+            // and phase-flip arms are that method's bodies, inlined).
+            let error = match *flat {
+                FlatSite::Depolarizing(p) => {
+                    if p == 0.0 || rng.gen::<f64>() >= p {
+                        continue;
+                    }
+                    match rng.gen_range(0..4) {
+                        0 => continue, // identity branch
+                        branch => branch - 1,
+                    }
+                }
+                FlatSite::PhaseFlip(p) => {
+                    if p == 0.0 || rng.gen::<f64>() >= p {
+                        continue;
+                    }
+                    0
+                }
+                FlatSite::Damping(p_decay) => {
+                    // The damping channel's single draw; the decay branch
+                    // is a state change whose successors are not
+                    // precomputed.
+                    if rng.gen::<f64>() < p_decay {
+                        return Presampled::Live;
+                    }
+                    continue;
+                }
+                FlatSite::Other(channel) => match channel.sample_error(rng) {
+                    SampledError::None => continue,
+                    SampledError::Unitary(error) => error,
+                    SampledError::Kraus => {
+                        unreachable!("passive sites come from state-independent channels")
+                    }
+                },
+            };
+            if self.last_damping.is_some_and(|last| last > site) {
+                // A state-dependent site lies ahead; its precomputed
+                // threshold assumed the no-error path this error just left.
+                return Presampled::Live;
+            }
+            events.push(ErrorEvent {
+                site: site as u32,
+                error: error as u8,
+            });
+        }
+        Presampled::Pattern(ErrorPattern { events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::ErrorKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn passive(kind: ErrorKind, p: f64) -> SiteChannel {
+        SiteChannel::Passive(ErrorChannel::new(kind, p))
+    }
+
+    #[test]
+    fn passive_sites_always_presample() {
+        let plan = PresamplePlan::new(vec![
+            passive(ErrorKind::Depolarizing, 0.3),
+            passive(ErrorKind::PhaseFlip, 0.3),
+            passive(ErrorKind::Depolarizing, 0.3),
+        ]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert!(matches!(plan.presample(&mut rng), Presampled::Pattern(_)));
+        }
+    }
+
+    #[test]
+    fn presampling_consumes_the_stream_like_live_sampling() {
+        // The pattern generator and a hand-rolled live replay must agree on
+        // every event and leave their generators in identical states.
+        let channels = [
+            ErrorChannel::new(ErrorKind::Depolarizing, 0.4),
+            ErrorChannel::new(ErrorKind::PhaseFlip, 0.25),
+        ];
+        let sites: Vec<SiteChannel> = channels
+            .iter()
+            .cycle()
+            .take(20)
+            .map(|c| SiteChannel::Passive(*c))
+            .collect();
+        let plan = PresamplePlan::new(sites.clone());
+        for seed in 0..50 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let Presampled::Pattern(pattern) = plan.presample(&mut rng_a) else {
+                panic!("passive plans always presample");
+            };
+            let mut expected = Vec::new();
+            for (site, channel) in sites.iter().enumerate() {
+                let SiteChannel::Passive(channel) = channel else {
+                    unreachable!()
+                };
+                if let SampledError::Unitary(error) = channel.sample_error(&mut rng_b) {
+                    expected.push(ErrorEvent {
+                        site: site as u32,
+                        error: error as u8,
+                    });
+                }
+            }
+            assert_eq!(pattern.events(), expected.as_slice());
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "stream diverged");
+        }
+    }
+
+    #[test]
+    fn damping_decay_forces_the_live_path() {
+        let plan = PresamplePlan::new(vec![SiteChannel::Damping { p_decay: 1.0 }]);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(plan.presample(&mut rng), Presampled::Live));
+        // A never-decaying damping site stays on the pattern path.
+        let plan = PresamplePlan::new(vec![SiteChannel::Damping { p_decay: 0.0 }]);
+        let Presampled::Pattern(pattern) = plan.presample(&mut rng) else {
+            panic!("p_decay = 0 never deviates");
+        };
+        assert!(pattern.is_empty());
+    }
+
+    #[test]
+    fn deviation_before_a_damping_site_forces_the_live_path() {
+        // A certain phase flip ahead of a damping site: the precomputed
+        // threshold is invalidated, the shot must run live.
+        let plan = PresamplePlan::new(vec![
+            passive(ErrorKind::PhaseFlip, 1.0),
+            SiteChannel::Damping { p_decay: 0.0 },
+        ]);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(matches!(plan.presample(&mut rng), Presampled::Live));
+        // The same deviation *after* the last damping site is fine.
+        let plan = PresamplePlan::new(vec![
+            SiteChannel::Damping { p_decay: 0.0 },
+            passive(ErrorKind::PhaseFlip, 1.0),
+        ]);
+        let Presampled::Pattern(pattern) = plan.presample(&mut rng) else {
+            panic!("trailing deviations stay presampleable");
+        };
+        assert_eq!(
+            pattern.events(),
+            &[ErrorEvent { site: 1, error: 0 }],
+            "the trailing flip must be recorded"
+        );
+        assert_eq!(pattern.error_events(), 1);
+    }
+
+    #[test]
+    fn patterns_hash_and_compare_by_content() {
+        use std::collections::HashMap;
+        let plan = PresamplePlan::new(vec![passive(ErrorKind::Depolarizing, 0.5); 4]);
+        let mut groups: HashMap<ErrorPattern, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let Presampled::Pattern(pattern) = plan.presample(&mut rng) else {
+                unreachable!()
+            };
+            *groups.entry(pattern).or_insert(0) += 1;
+        }
+        // At p = 0.5 over four sites many shots share patterns.
+        assert!(groups.len() > 1);
+        assert!(groups.values().sum::<u64>() == 500);
+        assert!(groups.values().any(|&count| count > 1));
+    }
+}

@@ -35,6 +35,7 @@ struct Options {
     top: usize,
     opt: OptLevel,
     verify_opt: bool,
+    dedup: bool,
 }
 
 fn main() -> ExitCode {
@@ -80,6 +81,9 @@ options (run / generate):
                        report of the transpiler is printed for levels > 0
   --verify-opt         cross-check the optimized circuit against the original
                        via statevector fidelity before running (<= 22 qubits)
+  --no-dedup           disable trajectory deduplication (per-shot execution;
+                       results are identical, this is a benchmarking escape
+                       hatch)
   --noiseless          disable all errors
   --depolarizing <p>   gate error probability (default 0.001)
   --damping <p>        amplitude damping / T1 probability (default 0.002)
@@ -90,6 +94,7 @@ options (batch):
   --out <path>         write the report to a file instead of stdout
   --format <json|csv>  report format (default json, or inferred from --out)
   --threads <N>        worker threads shared by all jobs, 0 = all cores
+  --no-dedup           disable trajectory deduplication for every job
 
 Full reference (job-file format, exit codes): docs/cli.md";
 
@@ -100,6 +105,7 @@ struct BatchCliOptions {
     out: Option<String>,
     format: ReportFormat,
     threads: usize,
+    dedup: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +123,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
     let mut out = None;
     let mut format = None;
     let mut threads = 0usize;
+    let mut dedup = true;
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| -> Result<String, String> {
             iter.next()
@@ -126,6 +133,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
         match flag.as_str() {
             "--out" => out = Some(value("--out")?),
             "--threads" => threads = parse_number(&value("--threads")?)?,
+            "--no-dedup" => dedup = false,
             "--format" => {
                 format = Some(match value("--format")?.as_str() {
                     "json" => ReportFormat::Json,
@@ -146,6 +154,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
         out,
         format,
         threads,
+        dedup,
     })
 }
 
@@ -158,7 +167,11 @@ fn run_batch_command(options: BatchCliOptions) -> ExitCode {
         }
     };
     eprintln!("batch: {} job(s) from `{}`", jobs.len(), options.jobfile);
-    let report = run_batch(&jobs, &BatchOptions::with_threads(options.threads));
+    let mut batch_options = BatchOptions::with_threads(options.threads);
+    if !options.dedup {
+        batch_options = batch_options.without_dedup();
+    }
+    let report = run_batch(&jobs, &batch_options);
     print_batch_summary(&report);
 
     let serialized = match options.format {
@@ -194,13 +207,16 @@ fn print_batch_summary(report: &BatchReport) {
                     ""
                 };
                 eprintln!(
-                    "  {:<16} {:>7}/{} shots{} on {} qubits, {:.3} err/run, {:.3} s",
+                    "  {:<16} {:>7}/{} shots{} on {} qubits, {:.3} err/run, \
+                     {} unique trajectories ({:.1} % dedup hit rate), {:.3} s",
                     job.name,
                     job.shots_executed,
                     job.shots_requested,
                     stopped,
                     job.qubits,
                     job.error_rate(),
+                    job.unique_trajectories,
+                    100.0 * job.dedup_hit_rate,
                     job.wall_time.as_secs_f64(),
                 );
             }
@@ -256,6 +272,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         top: 10,
         opt: OptLevel::O0,
         verify_opt: false,
+        dedup: true,
     };
     let mut depolarizing = options.noise.depolarizing_prob();
     let mut damping = options.noise.amplitude_damping_prob();
@@ -284,6 +301,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.opt = value("--opt")?.parse::<OptLevel>()?;
             }
             "--verify-opt" => options.verify_opt = true,
+            "--no-dedup" => options.dedup = false,
             "--noiseless" => noiseless = true,
             "--depolarizing" => depolarizing = parse_probability(&value("--depolarizing")?)?,
             "--damping" => damping = parse_probability(&value("--damping")?)?,
@@ -365,7 +383,8 @@ fn run(options: Options) -> ExitCode {
         .with_shots(options.shots)
         .with_threads(options.threads)
         .with_seed(options.seed)
-        .with_noise(options.noise);
+        .with_noise(options.noise)
+        .with_dedup(options.dedup);
     let result = match &transpiled {
         Some(transpiled) => simulator.run_transpiled(transpiled, &[]),
         None => simulator.run(&options.circuit),
@@ -382,6 +401,15 @@ fn run(options: Options) -> ExitCode {
         println!(
             "dd nodes: {:.1} avg final, {} peak (high-water during shots)",
             result.dd_nodes_avg, result.dd_nodes_peak
+        );
+    }
+    if let Some(stats) = &result.dedup {
+        println!(
+            "trajectories: {} unique / {} shots ({:.1} % dedup hit rate, {} live)",
+            stats.unique_trajectories,
+            result.shots,
+            100.0 * result.dedup_hit_rate(),
+            stats.live_shots
         );
     }
     let mut outcomes: Vec<_> = result.counts.iter().collect();
@@ -477,6 +505,18 @@ mod tests {
         let defaults = parse_args(&args(&["generate", "qft", "6"])).unwrap();
         assert_eq!(defaults.opt, OptLevel::O0);
         assert!(!defaults.verify_opt);
+    }
+
+    #[test]
+    fn parses_the_no_dedup_escape_hatch() {
+        let defaults = parse_args(&args(&["generate", "ghz", "4"])).unwrap();
+        assert!(defaults.dedup, "dedup must default on");
+        let off = parse_args(&args(&["generate", "ghz", "4", "--no-dedup"])).unwrap();
+        assert!(!off.dedup);
+        let batch_defaults = parse_batch_args(&args(&["jobs.txt"])).unwrap();
+        assert!(batch_defaults.dedup);
+        let batch_off = parse_batch_args(&args(&["jobs.txt", "--no-dedup"])).unwrap();
+        assert!(!batch_off.dedup);
     }
 
     #[test]
