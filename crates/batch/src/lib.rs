@@ -54,9 +54,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod jobfile;
-pub mod json;
 pub mod report;
 pub mod scheduler;
+
+/// The hand-rolled JSON value type, writer and parser backing the report
+/// serialisation, re-exported from the shared [`qsdd_json`] crate (the
+/// module lived here before `qsdd-server` needed the same implementation).
+pub use qsdd_json as json;
 
 pub use jobfile::{CircuitSource, JobFileError, JobSpec};
 pub use report::{BatchReport, JobReport, JobStatus};

@@ -1,0 +1,80 @@
+//! `bench_server` — loopback load generator for the HTTP service.
+//!
+//! Boots `qsdd-server` in-process on an ephemeral port, hammers it with
+//! many concurrent keep-alive clients over real TCP, and reports
+//! throughput and latency split into the cold (uncached simulation) and
+//! hot (content-addressed cache hit) paths.
+//!
+//! ```text
+//! bench_server [--test-mode] [--clients <N>] [--requests <N>]
+//!              [--distinct <N>] [--shots <N>] [--server-threads <N>]
+//! ```
+//!
+//! `--test-mode` shrinks every knob so the run finishes in well under a
+//! second; CI uses it to keep the whole client/server/cache path exercised
+//! on every push. Exits non-zero when any response is dropped or
+//! incorrect.
+
+use std::process::ExitCode;
+
+use qsdd_bench::server_load::{run_load, LoadConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Resolve the baseline first so explicit flags always win, regardless
+    // of where --test-mode appears on the command line.
+    let mut config = if args.iter().any(|flag| flag == "--test-mode") {
+        LoadConfig::test_mode()
+    } else {
+        LoadConfig::default_load()
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<usize, String> {
+            iter.next()
+                .ok_or_else(|| format!("flag {name} requires a value"))?
+                .parse()
+                .map_err(|_| format!("flag {name} requires an integer"))
+        };
+        let result = match flag.as_str() {
+            "--test-mode" => Ok(()), // already applied above
+            "--clients" => value("--clients").map(|v| config.clients = v.max(1)),
+            "--requests" => value("--requests").map(|v| config.requests_per_client = v.max(1)),
+            "--distinct" => value("--distinct").map(|v| config.distinct_jobs = v.max(1)),
+            "--shots" => value("--shots").map(|v| config.shots = v.max(1)),
+            "--server-threads" => value("--server-threads").map(|v| config.server_threads = v),
+            other => Err(format!("unknown flag `{other}`")),
+        };
+        if let Err(message) = result {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "bench_server: {} clients x {} requests over {} distinct ghz-12 jobs ({} shots each)",
+        config.clients, config.requests_per_client, config.distinct_jobs, config.shots
+    );
+    let report = run_load(&config);
+    println!(
+        "cold (uncached) latency : {:>10.3} ms/job",
+        report.cold_latency.as_secs_f64() * 1e3
+    );
+    println!(
+        "cache-hit latency       : {:>10.3} ms/request ({:.1}x faster than cold)",
+        report.hit_latency.as_secs_f64() * 1e3,
+        report.hit_speedup()
+    );
+    println!(
+        "throughput              : {:>10.1} requests/s ({} requests in {:.3} s)",
+        report.throughput_rps,
+        report.requests,
+        report.wall.as_secs_f64()
+    );
+    if report.errors > 0 {
+        eprintln!("error: {} dropped or incorrect responses", report.errors);
+        return ExitCode::FAILURE;
+    }
+    println!("0 dropped responses");
+    ExitCode::SUCCESS
+}

@@ -2,26 +2,30 @@
 //! benchmarks.
 //!
 //! Runs the trajectory-deduplication and context-reuse workloads directly
-//! (no criterion harness) and writes `BENCH_4.json`: one entry per
-//! benchmark with the optimized and naive mean per-shot cost in
-//! nanoseconds and the resulting speedup. The JSON is parsed back before
-//! the process exits, so a malformed writer fails loudly (CI runs the
-//! binary in `--test-mode` with tiny shot counts on every push).
+//! (no criterion harness) plus the HTTP-server load scenario, and writes
+//! `BENCH_5.json`: one entry per benchmark with the optimized and naive
+//! mean per-shot cost in nanoseconds and the resulting speedup, and a
+//! `server` section with the service's throughput and cold-vs-cache-hit
+//! latency. The JSON is parsed back before the process exits, so a
+//! malformed writer fails loudly (CI runs the binary in `--test-mode`
+//! with tiny shot counts on every push).
 //!
 //! ```text
 //! bench_summary [--test-mode] [--out <path>]
 //! ```
 //!
 //! * `--test-mode` shrinks shots and repetitions so the run finishes in
-//!   well under a second — the timings are then meaningless, but the whole
-//!   pipeline (workloads, cross-checks, JSON writer) is exercised.
-//! * `--out` overrides the output path (default `BENCH_4.json`, i.e. the
+//!   seconds — the timings are then meaningless, but the whole pipeline
+//!   (workloads, cross-checks, server round trips, JSON writer) is
+//!   exercised.
+//! * `--out` overrides the output path (default `BENCH_5.json`, i.e. the
 //!   repo root when invoked from there).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use qsdd_batch::json::{self, Value};
+use qsdd_bench::server_load::{run_load, LoadConfig};
 use qsdd_circuit::generators::ghz;
 use qsdd_core::{
     run_engine, run_engine_dedup, BackendKind, DdSimulator, OptLevel, ShotEngine, StochasticBackend,
@@ -47,7 +51,7 @@ impl Row {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut test_mode = false;
-    let mut out = "BENCH_4.json".to_string();
+    let mut out = "BENCH_5.json".to_string();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -113,8 +117,29 @@ fn main() -> ExitCode {
         );
     }
 
+    // The HTTP service scenario: cold (uncached simulation) latency vs the
+    // content-addressed cache-hit path, plus raw request throughput.
+    let load_config = if test_mode {
+        LoadConfig::test_mode()
+    } else {
+        LoadConfig::default_load()
+    };
+    let load = run_load(&load_config);
+    println!(
+        "{:<28} cold {:>13.3} ms | cache hit {:>12.3} ms | speedup {:>6.2}x | {:>8.1} req/s",
+        "server_ghz12_cache",
+        load.cold_latency.as_secs_f64() * 1e3,
+        load.hit_latency.as_secs_f64() * 1e3,
+        load.hit_speedup(),
+        load.throughput_rps,
+    );
+    if load.errors > 0 {
+        eprintln!("error: server load run dropped {} responses", load.errors);
+        return ExitCode::FAILURE;
+    }
+
     let document = Value::object(vec![
-        ("format".to_string(), Value::from("qsdd-bench-summary/1")),
+        ("format".to_string(), Value::from("qsdd-bench-summary/2")),
         ("test_mode".to_string(), Value::from(test_mode)),
         (
             "benchmarks".to_string(),
@@ -131,6 +156,28 @@ fn main() -> ExitCode {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "server".to_string(),
+            Value::object(vec![
+                ("name".to_string(), Value::from("server_ghz12_cache")),
+                ("clients".to_string(), Value::from(load_config.clients)),
+                ("requests".to_string(), Value::from(load.requests)),
+                (
+                    "throughput_rps".to_string(),
+                    Value::from(load.throughput_rps),
+                ),
+                (
+                    "cold_latency_ms".to_string(),
+                    Value::from(load.cold_latency.as_secs_f64() * 1e3),
+                ),
+                (
+                    "hit_latency_ms".to_string(),
+                    Value::from(load.hit_latency.as_secs_f64() * 1e3),
+                ),
+                ("hit_speedup".to_string(), Value::from(load.hit_speedup())),
+                ("errors".to_string(), Value::from(load.errors)),
+            ]),
         ),
     ]);
     let text = document.to_pretty_string();

@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod server_load;
+
 use std::time::{Duration, Instant};
 
 use qsdd_circuit::Circuit;

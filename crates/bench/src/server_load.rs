@@ -1,0 +1,204 @@
+//! Loopback load generator for the `qsdd-server` HTTP service.
+//!
+//! Boots a server in-process on an ephemeral port and drives it with many
+//! concurrent keep-alive clients, separating the two costs that matter for
+//! the service deployment shape:
+//!
+//! * **cold latency** — submit → poll-to-completion of an uncached job
+//!   (one full simulation through the worker pool), and
+//! * **hit latency / throughput** — the steady-state cost of a request
+//!   served by the content-addressed result cache.
+//!
+//! Used by the `bench_server` binary (human-readable report) and by
+//! `bench_summary` (the `BENCH_5.json` server row); both run it with tiny
+//! parameters in `--test-mode` so CI exercises the whole path on every
+//! push.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use qsdd_json::{self as json, Value};
+use qsdd_server::{client, Server, ServerConfig};
+
+/// Knobs of one load run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadConfig {
+    /// Concurrent client threads in the hot phase.
+    pub clients: usize,
+    /// Requests each client issues in the hot phase.
+    pub requests_per_client: usize,
+    /// Distinct jobs in the working set (cycled through by every client).
+    pub distinct_jobs: usize,
+    /// Shots per job.
+    pub shots: usize,
+    /// Simulation worker threads of the server (`0` = all cores).
+    pub server_threads: usize,
+}
+
+impl LoadConfig {
+    /// The full-size configuration of the benchmark report.
+    pub fn default_load() -> Self {
+        LoadConfig {
+            clients: 64,
+            requests_per_client: 50,
+            distinct_jobs: 8,
+            shots: 2000,
+            server_threads: 0,
+        }
+    }
+
+    /// A tiny configuration that finishes in well under a second (CI).
+    pub fn test_mode() -> Self {
+        LoadConfig {
+            clients: 8,
+            requests_per_client: 4,
+            distinct_jobs: 2,
+            shots: 50,
+            server_threads: 2,
+        }
+    }
+}
+
+/// Aggregate results of one load run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadReport {
+    /// Total cache-phase requests completed successfully.
+    pub requests: usize,
+    /// Wall time of the cache phase.
+    pub wall: Duration,
+    /// Cache-phase requests per second (all clients together).
+    pub throughput_rps: f64,
+    /// Mean submit → completed latency of an uncached job (sequential,
+    /// unloaded server).
+    pub cold_latency: Duration,
+    /// Mean latency of a cache-served request, measured like the cold
+    /// latency: one client, sequential requests, unloaded server (so the
+    /// two numbers are comparable; the concurrent phase measures
+    /// throughput, not latency).
+    pub hit_latency: Duration,
+    /// Dropped or incorrect responses (must be zero).
+    pub errors: usize,
+}
+
+impl LoadReport {
+    /// Cold-to-hit latency ratio (how much the result cache buys).
+    pub fn hit_speedup(&self) -> f64 {
+        self.cold_latency.as_secs_f64() / self.hit_latency.as_secs_f64().max(1e-9)
+    }
+}
+
+fn job_body(seed: usize, shots: usize) -> String {
+    format!(r#"{{"circuit":{{"generator":"ghz","qubits":12}},"shots":{shots},"seed":{seed}}}"#)
+}
+
+/// Submits one job and polls it to completion; returns the job id.
+fn submit_and_wait(session: &mut client::Client, body: &str) -> Result<String, String> {
+    let (status, response) = session
+        .request("POST", "/v1/jobs", Some(body))
+        .map_err(|e| e.to_string())?;
+    if status != 200 && status != 202 {
+        return Err(format!("submit returned {status}: {response}"));
+    }
+    let id = json::parse(&response)
+        .map_err(|e| e.to_string())?
+        .get("id")
+        .and_then(Value::as_str)
+        .ok_or("submission response carries no id")?
+        .to_string();
+    loop {
+        let (status, response) = session
+            .request("GET", &format!("/v1/jobs/{id}"), None)
+            .map_err(|e| e.to_string())?;
+        if status != 200 {
+            return Err(format!("poll returned {status}"));
+        }
+        match json::parse(&response)
+            .map_err(|e| e.to_string())?
+            .get("status")
+            .and_then(Value::as_str)
+        {
+            Some("completed") => return Ok(id),
+            Some("failed") => return Err("job failed".to_string()),
+            _ => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Runs the whole load scenario against a freshly booted server.
+///
+/// # Panics
+///
+/// Panics when the server cannot bind the loopback address.
+pub fn run_load(config: &LoadConfig) -> LoadReport {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: config.server_threads,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    // Cold phase: every distinct job once, sequentially, timed end to end.
+    let mut session = client::Client::connect(addr).expect("connect");
+    let mut cold_total = Duration::ZERO;
+    for seed in 0..config.distinct_jobs {
+        let started = Instant::now();
+        submit_and_wait(&mut session, &job_body(seed, config.shots)).expect("cold job");
+        cold_total += started.elapsed();
+    }
+    let cold_latency = cold_total / config.distinct_jobs.max(1) as u32;
+
+    // Unloaded cache-hit latency: same measurement shape as the cold
+    // phase — one client, sequential — so the two are comparable.
+    let hit_samples = (config.distinct_jobs * 4).max(16);
+    let started = Instant::now();
+    for sample in 0..hit_samples {
+        submit_and_wait(
+            &mut session,
+            &job_body(sample % config.distinct_jobs, config.shots),
+        )
+        .expect("cache-hit job");
+    }
+    let hit_latency = started.elapsed() / hit_samples as u32;
+
+    // Hot phase: every request lands in the result cache; many concurrent
+    // clients measure aggregate throughput.
+    let errors = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_index in 0..config.clients {
+            let errors = &errors;
+            let completed = &completed;
+            scope.spawn(move || {
+                let Ok(mut session) = client::Client::connect(addr) else {
+                    errors.fetch_add(config.requests_per_client, Ordering::Relaxed);
+                    return;
+                };
+                for request in 0..config.requests_per_client {
+                    let seed = (client_index + request) % config.distinct_jobs;
+                    match submit_and_wait(&mut session, &job_body(seed, config.shots)) {
+                        Ok(_) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let requests = completed.load(Ordering::Relaxed);
+    server.shutdown_and_join();
+
+    LoadReport {
+        requests,
+        wall,
+        throughput_rps: requests as f64 / wall.as_secs_f64().max(1e-9),
+        cold_latency,
+        hit_latency,
+        errors: errors.load(Ordering::Relaxed),
+    }
+}

@@ -19,8 +19,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
 
-use crate::{Circuit, Gate};
+use crate::{Circuit, Gate, Operation};
 
 /// Error raised while parsing an OpenQASM source.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,7 +73,22 @@ impl std::error::Error for ParseQasmError {}
 /// # Ok::<(), qsdd_circuit::qasm::ParseQasmError>(())
 /// ```
 pub fn parse_source(source: &str) -> Result<Circuit, ParseQasmError> {
-    Parser::new(source)?.parse()
+    parse_source_with_limit(source, usize::MAX)
+}
+
+/// [`parse_source`] with a hard qubit cap, enforced at `qreg` declaration —
+/// **before** any register broadcast materialises per-qubit operations.
+///
+/// Services parsing untrusted sources use this so a tiny request like
+/// `qreg q[9999999999]; h q;` fails fast instead of attempting to expand
+/// billions of gates.
+///
+/// # Errors
+///
+/// Everything [`parse_source`] reports, plus a dedicated error once the
+/// declared quantum registers exceed `max_qubits` in total.
+pub fn parse_source_with_limit(source: &str, max_qubits: usize) -> Result<Circuit, ParseQasmError> {
+    Parser::new(source, max_qubits)?.parse()
 }
 
 // ---------------------------------------------------------------------------
@@ -209,10 +225,11 @@ struct Parser {
     gate_defs: HashMap<String, GateDef>,
     num_qubits: usize,
     num_clbits: usize,
+    max_qubits: usize,
 }
 
 impl Parser {
-    fn new(source: &str) -> Result<Self, ParseQasmError> {
+    fn new(source: &str, max_qubits: usize) -> Result<Self, ParseQasmError> {
         Ok(Parser {
             tokens: tokenize(source)?,
             pos: 0,
@@ -221,6 +238,7 @@ impl Parser {
             gate_defs: HashMap::new(),
             num_qubits: 0,
             num_clbits: 0,
+            max_qubits,
         })
     }
 
@@ -275,6 +293,14 @@ impl Parser {
                     "qreg" => {
                         self.next();
                         let (name, size) = self.parse_reg_decl()?;
+                        // Enforce the cap here, before any broadcast over
+                        // the register can materialise per-qubit work.
+                        if size > self.max_qubits - self.num_qubits.min(self.max_qubits) {
+                            return Err(ParseQasmError::new(format!(
+                                "circuit exceeds the limit of {} qubits",
+                                self.max_qubits
+                            )));
+                        }
                         self.qregs.insert(
                             name,
                             Register {
@@ -287,6 +313,14 @@ impl Parser {
                     "creg" => {
                         self.next();
                         let (name, size) = self.parse_reg_decl()?;
+                        // Classical registers get the same cap: a broadcast
+                        // measure materialises one index per classical bit.
+                        if size > self.max_qubits - self.num_clbits.min(self.max_qubits) {
+                            return Err(ParseQasmError::new(format!(
+                                "circuit exceeds the limit of {} classical bits",
+                                self.max_qubits
+                            )));
+                        }
                         self.cregs.insert(
                             name,
                             Register {
@@ -790,6 +824,191 @@ enum Statement {
 }
 
 // ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Error raised while emitting a circuit as OpenQASM ([`write_source`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteQasmError {
+    message: String,
+}
+
+impl WriteQasmError {
+    fn new(message: impl Into<String>) -> Self {
+        WriteQasmError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WriteQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot emit OpenQASM: {}", self.message)
+    }
+}
+
+impl std::error::Error for WriteQasmError {}
+
+/// Emits a circuit as OpenQASM 2.0 source, the inverse of [`parse_source`].
+///
+/// The output uses a single flattened quantum register `q` and classical
+/// register `c`, so parsing it back yields a circuit with identical
+/// operations (multi-register structure of an original source is not
+/// preserved — the parser already flattens it). Gate parameters are printed
+/// with Rust's shortest-round-trip float formatting, so angles survive a
+/// parse → emit → parse cycle bit-exactly.
+///
+/// # Errors
+///
+/// Not every [`Circuit`] is expressible in the OpenQASM 2.0 subset the
+/// parser accepts: controlled gates are limited to the named `qelib1` forms
+/// (one control on `x`/`y`/`z`/`h`/`rx`/`ry`/`rz`/`p`/`u3`, two controls on
+/// `x`), and parameters must be finite. Anything else returns a
+/// [`WriteQasmError`] naming the offending operation.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_circuit::qasm::{parse_source, write_source};
+/// use qsdd_circuit::Circuit;
+///
+/// let mut circuit = Circuit::new(2);
+/// circuit.h(0).cx(0, 1).measure_all();
+/// let source = write_source(&circuit)?;
+/// let reparsed = parse_source(&source).unwrap();
+/// assert_eq!(reparsed.operations(), circuit.operations());
+/// # Ok::<(), qsdd_circuit::qasm::WriteQasmError>(())
+/// ```
+pub fn write_source(circuit: &Circuit) -> Result<String, WriteQasmError> {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    if circuit.num_clbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_clbits());
+    }
+    for op in circuit.operations() {
+        write_operation(&mut out, op)?;
+    }
+    Ok(out)
+}
+
+/// Formats one gate parameter, rejecting values the tokenizer cannot read
+/// back (non-finite floats have no OpenQASM literal).
+fn format_param(value: f64, gate: &Gate) -> Result<String, WriteQasmError> {
+    if !value.is_finite() {
+        return Err(WriteQasmError::new(format!(
+            "gate `{}` has a non-finite parameter {value}",
+            gate.name()
+        )));
+    }
+    // `{}` on f64 prints the shortest decimal that parses back to the same
+    // bits; the QASM expression grammar covers sign and decimal forms.
+    Ok(format!("{value}"))
+}
+
+/// The `name(params)` call head of an uncontrolled gate.
+fn gate_head(gate: &Gate) -> Result<String, WriteQasmError> {
+    let params: Vec<f64> = match *gate {
+        Gate::Rx(t) | Gate::Ry(t) | Gate::Rz(t) | Gate::Phase(t) => vec![t],
+        Gate::U2(a, b) => vec![a, b],
+        Gate::U3(a, b, c) => vec![a, b, c],
+        _ => Vec::new(),
+    };
+    if params.is_empty() {
+        return Ok(gate.name().to_string());
+    }
+    let rendered: Vec<String> = params
+        .iter()
+        .map(|&p| format_param(p, gate))
+        .collect::<Result<_, _>>()?;
+    Ok(format!("{}({})", gate.name(), rendered.join(",")))
+}
+
+fn write_operation(out: &mut String, op: &Operation) -> Result<(), WriteQasmError> {
+    match op {
+        Operation::Gate {
+            gate,
+            target,
+            controls,
+        } => write_gate(out, gate, *target, controls),
+        Operation::Swap { a, b } => {
+            let _ = writeln!(out, "swap q[{a}], q[{b}];");
+            Ok(())
+        }
+        Operation::Measure { qubit, clbit } => {
+            let _ = writeln!(out, "measure q[{qubit}] -> c[{clbit}];");
+            Ok(())
+        }
+        Operation::Reset { qubit } => {
+            let _ = writeln!(out, "reset q[{qubit}];");
+            Ok(())
+        }
+        Operation::Barrier => {
+            let _ = writeln!(out, "barrier q;");
+            Ok(())
+        }
+    }
+}
+
+fn write_gate(
+    out: &mut String,
+    gate: &Gate,
+    target: usize,
+    controls: &[usize],
+) -> Result<(), WriteQasmError> {
+    match controls {
+        [] => {
+            // `swap` reaches the writer as Operation::Swap; a bare
+            // Gate::Swap has no single target and cannot occur in a valid
+            // circuit, so every remaining gate takes exactly one qubit.
+            if *gate == Gate::Swap {
+                return Err(WriteQasmError::new("bare swap gate outside a swap op"));
+            }
+            let _ = writeln!(out, "{} q[{target}];", gate_head(gate)?);
+        }
+        [control] => {
+            // The named singly-controlled `qelib1` forms; everything else
+            // (e.g. a controlled S or Sx) has no OpenQASM 2.0 spelling the
+            // parser accepts.
+            let head = match gate {
+                Gate::X => "cx".to_string(),
+                Gate::Y => "cy".to_string(),
+                Gate::Z => "cz".to_string(),
+                Gate::H => "ch".to_string(),
+                Gate::Rx(t) => format!("crx({})", format_param(*t, gate)?),
+                Gate::Ry(t) => format!("cry({})", format_param(*t, gate)?),
+                Gate::Rz(t) => format!("crz({})", format_param(*t, gate)?),
+                Gate::Phase(t) => format!("cp({})", format_param(*t, gate)?),
+                Gate::U3(a, b, c) => format!(
+                    "cu3({},{},{})",
+                    format_param(*a, gate)?,
+                    format_param(*b, gate)?,
+                    format_param(*c, gate)?
+                ),
+                other => {
+                    return Err(WriteQasmError::new(format!(
+                        "controlled `{}` has no OpenQASM 2.0 form",
+                        other.name()
+                    )))
+                }
+            };
+            let _ = writeln!(out, "{head} q[{control}], q[{target}];");
+        }
+        [c0, c1] if *gate == Gate::X => {
+            let _ = writeln!(out, "ccx q[{c0}], q[{c1}], q[{target}];");
+        }
+        _ => {
+            return Err(WriteQasmError::new(format!(
+                "`{}` with {} controls has no OpenQASM 2.0 form",
+                gate.name(),
+                controls.len()
+            )))
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Expression evaluation
 // ---------------------------------------------------------------------------
 
@@ -1069,6 +1288,106 @@ mod tests {
         "#;
         let c = parse_source(src).unwrap();
         assert_eq!(c.stats().gate_count, 2);
+    }
+
+    #[test]
+    fn qubit_limit_rejects_oversized_registers_before_expansion() {
+        // The error must fire at the declaration — a broadcast over an
+        // unchecked giant register would try to materialise one op per
+        // qubit.
+        let big = "OPENQASM 2.0; qreg q[9999999]; h q;";
+        let err = parse_source_with_limit(big, 63).unwrap_err();
+        assert!(err.to_string().contains("limit of 63 qubits"), "{err}");
+        let creg = "OPENQASM 2.0; qreg q[2]; creg c[9999999]; h q[0];";
+        let err = parse_source_with_limit(creg, 63).unwrap_err();
+        assert!(err.to_string().contains("classical bits"), "{err}");
+        // Cumulative across registers, and inclusive at the bound.
+        let two = "OPENQASM 2.0; qreg a[40]; qreg b[40]; h a[0];";
+        assert!(parse_source_with_limit(two, 63).is_err());
+        let ok = "OPENQASM 2.0; qreg q[63]; h q[62];";
+        assert_eq!(parse_source_with_limit(ok, 63).unwrap().num_qubits(), 63);
+        // The unlimited entry point is unaffected.
+        assert!(parse_source("OPENQASM 2.0; qreg q[100]; h q[0];").is_ok());
+    }
+
+    #[test]
+    fn write_source_round_trips_primitive_operations() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .x(1)
+            .sdg(2)
+            .sx(0)
+            .rz(-0.725, 1)
+            .p(std::f64::consts::PI / 3.0, 2)
+            .u3(0.1, -0.2, 0.3, 0)
+            .cx(0, 1)
+            .cz(1, 2)
+            .ch(0, 2)
+            .cp(0.25, 0, 1)
+            .crz(-1.5, 2, 0)
+            .ccx(0, 1, 2)
+            .swap(0, 2)
+            .barrier()
+            .reset(1)
+            .measure(0, 0)
+            .measure(2, 1);
+        let source = write_source(&c).unwrap();
+        let back = parse_source(&source).unwrap();
+        assert_eq!(back.num_qubits(), c.num_qubits());
+        assert_eq!(back.operations(), c.operations());
+    }
+
+    #[test]
+    fn write_source_emission_is_a_fixed_point() {
+        // Emitting an already-normalized circuit and reparsing must yield
+        // byte-identical source (the server echoes this canonical form).
+        let mut c = Circuit::new(2);
+        c.h(0).crz(1.25, 0, 1).measure_all();
+        let source = write_source(&c).unwrap();
+        let again = write_source(&parse_source(&source).unwrap()).unwrap();
+        assert_eq!(source, again);
+    }
+
+    #[test]
+    fn write_source_preserves_angle_bits() {
+        let angle = 0.1f64 + 0.2f64; // not exactly representable as 0.3
+        let mut c = Circuit::new(1);
+        c.rx(angle, 0);
+        let back = parse_source(&write_source(&c).unwrap()).unwrap();
+        match &back.operations()[0] {
+            Operation::Gate {
+                gate: Gate::Rx(parsed),
+                ..
+            } => assert_eq!(parsed.to_bits(), angle.to_bits()),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_source_rejects_inexpressible_operations() {
+        let mut controlled_s = Circuit::new(2);
+        controlled_s.controlled_gate(Gate::S, &[0], 1);
+        let err = write_source(&controlled_s).unwrap_err();
+        assert!(err.to_string().contains("controlled `s`"), "{err}");
+
+        let mut mcz = Circuit::new(4);
+        mcz.mcz(&[0, 1, 2], 3);
+        let err = write_source(&mcz).unwrap_err();
+        assert!(err.to_string().contains("3 controls"), "{err}");
+
+        let mut nan = Circuit::new(1);
+        nan.rz(f64::NAN, 0);
+        let err = write_source(&nan).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn cry_round_trips_through_the_writer() {
+        let mut c = Circuit::new(2);
+        c.controlled_gate(Gate::Ry(0.5), &[1], 0);
+        let source = write_source(&c).unwrap();
+        assert!(source.contains("cry(0.5) q[1], q[0];"), "{source}");
+        assert_eq!(parse_source(&source).unwrap().operations(), c.operations());
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! of times per run, where SipHash's per-key setup dominates. This is the
 //! well-known FxHash construction (rotate, xor, multiply by a large odd
 //! constant), which is a few instructions per word and plenty good for the
-//! short structured keys used here. Internal only: the maps it backs never
-//! cross the crate boundary.
+//! short structured keys used here. The maps it backs stay internal;
+//! [`FxHasher`] itself is public because the `qsdd-server` result cache
+//! content-addresses jobs by the FxHash of their canonical key.
 
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -17,7 +18,7 @@ const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 /// A fast, non-cryptographic hasher for trusted in-process keys.
 #[derive(Clone, Default)]
-pub(crate) struct FxHasher {
+pub struct FxHasher {
     hash: u64,
 }
 

@@ -59,7 +59,7 @@ pub mod dd_backend;
 pub mod dedup;
 pub mod dense_backend;
 pub mod estimator;
-mod fxhash;
+pub mod fxhash;
 pub mod sampling;
 pub mod shot_engine;
 pub mod simulator;
@@ -73,7 +73,8 @@ pub use estimator::{Observable, ObservableAccumulator};
 pub use shot_engine::{ExecContext, ShotEngine, ShotSample};
 pub use simulator::{BackendKind, StochasticSimulator};
 pub use stochastic::{
-    run_engine, run_engine_dedup, run_stochastic, StochasticConfig, StochasticOutcome,
+    run_engine, run_engine_dedup, run_engine_in, run_stochastic, StochasticConfig,
+    StochasticOutcome,
 };
 // Re-exported so `StochasticSimulator::with_opt_level` is usable without a
 // direct `qsdd-transpile` dependency.

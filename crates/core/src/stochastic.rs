@@ -462,6 +462,132 @@ pub fn run_engine_dedup(
         .unwrap_or_else(|| run_engine(engine, shots, threads, observables))
 }
 
+/// Runs a whole job — `shots` stochastic shots plus observable estimation —
+/// **inside the caller's execution context**, on the calling thread.
+///
+/// This is the job-execution entry the long-lived `qsdd-server` worker pool
+/// runs on: a worker owns one [`ExecContext`](crate::ExecContext) for its
+/// whole lifetime and executes every job it picks up through this function,
+/// so per-circuit state from previous jobs is rewound — not rebuilt — and
+/// the PR-3 context-reuse path amortises across requests. Unlike
+/// [`run_engine`] / [`run_engine_dedup`] it spawns no threads of its own;
+/// callers that want parallelism run several jobs on several workers.
+///
+/// With `dedup` enabled (and supported by the engine's program) the
+/// trajectory-deduplicating driver executes each distinct presampled error
+/// pattern once (see [`crate::dedup`]); otherwise every shot runs live. The
+/// result is **byte-identical** to `run_engine_dedup(engine, shots, 1,
+/// observables)` respectively `run_engine(engine, shots, 1, observables)` —
+/// histograms, error counts, node statistics, dedup statistics and the bit
+/// patterns of the observable sums all match the single-threaded runner —
+/// which is what lets the server's result cache serve byte-stable reports.
+pub fn run_engine_in(
+    engine: &ShotEngine,
+    ctx: &mut crate::ExecContext,
+    shots: usize,
+    observables: &[Observable],
+    dedup: bool,
+) -> StochasticOutcome {
+    let started = Instant::now();
+    if shots == 0 {
+        return StochasticOutcome::empty(observables.len(), 1, started.elapsed());
+    }
+    let mapped = engine.map_observables(observables);
+    if dedup {
+        if let Some((groups, live)) = engine.presample_range(0..shots as u64) {
+            return run_dedup_serial(engine, ctx, shots, &mapped, groups, live, started);
+        }
+    }
+    let mut partial = WorkerPartial::new(mapped.len());
+    for shot in 0..shots as u64 {
+        let (sample, values) = engine.run_shot_with_observables_in(ctx, shot, &mapped);
+        partial.record(
+            sample.outcome,
+            sample.error_events,
+            sample.dd_nodes,
+            sample.dd_nodes_peak,
+            &values,
+        );
+    }
+    merge_partials(vec![Some(partial)], shots, mapped.len(), 1, started)
+}
+
+/// The single-context twin of the deduplicating driver: groups in
+/// first-appearance order, then live shots in index order, exactly the work
+/// order `run_dedup` deals to its only worker when `threads == 1` (so the
+/// aggregates — including the observable-sum bits, which replay the shot
+/// order — come out identical).
+fn run_dedup_serial(
+    engine: &ShotEngine,
+    ctx: &mut crate::ExecContext,
+    shots: usize,
+    mapped: &[Observable],
+    groups: Vec<(qsdd_noise::ErrorPattern, Vec<(u64, StdRng)>)>,
+    live: Vec<u64>,
+    started: Instant,
+) -> StochasticOutcome {
+    let stats = crate::dedup::DedupStats {
+        unique_trajectories: (groups.len() + live.len()) as u64,
+        live_shots: live.len() as u64,
+    };
+    let mut outcome = if mapped.is_empty() {
+        // Integer-only aggregation: fold records as they are produced.
+        let mut partial = WorkerPartial::new(0);
+        for (pattern, mut members) in groups {
+            for (_, sample, _) in engine.run_group_in(ctx, &pattern, &mut members, &[]) {
+                partial.record(
+                    sample.outcome,
+                    sample.error_events,
+                    sample.dd_nodes,
+                    sample.dd_nodes_peak,
+                    &[],
+                );
+            }
+        }
+        for shot in live {
+            let sample = engine.run_shot_in(ctx, shot);
+            partial.record(
+                sample.outcome,
+                sample.error_events,
+                sample.dd_nodes,
+                sample.dd_nodes_peak,
+                &[],
+            );
+        }
+        merge_partials(vec![Some(partial)], shots, 0, 1, started)
+    } else {
+        // Observable sums are order-sensitive: collect per-shot records,
+        // then replay them in shot-index order (the one-worker stride).
+        let mut records: Vec<Option<(crate::ShotSample, Vec<f64>)>> = Vec::new();
+        records.resize_with(shots, || None);
+        for (pattern, mut members) in groups {
+            for (shot, sample, values) in engine.run_group_in(ctx, &pattern, &mut members, mapped) {
+                records[shot as usize] = Some((sample, values));
+            }
+        }
+        for shot in live {
+            let (sample, values) = engine.run_shot_with_observables_in(ctx, shot, mapped);
+            records[shot as usize] = Some((sample, values));
+        }
+        let mut partial = WorkerPartial::new(mapped.len());
+        for record in &records {
+            let (sample, values) = record
+                .as_ref()
+                .expect("every shot is covered by exactly one group or live entry");
+            partial.record(
+                sample.outcome,
+                sample.error_events,
+                sample.dd_nodes,
+                sample.dd_nodes_peak,
+                values,
+            );
+        }
+        merge_partials(vec![Some(partial)], shots, mapped.len(), 1, started)
+    };
+    outcome.dedup = Some(stats);
+    outcome
+}
+
 /// Derives the per-shot random number generator from the master seed.
 ///
 /// This derivation is the determinism contract shared by every shot-executing
@@ -639,6 +765,87 @@ mod tests {
             assert_eq!(via_engine.shots, 300);
             assert_eq!(via_engine.dd_nodes_peak, generic.dd_nodes_peak);
         }
+    }
+
+    #[test]
+    fn run_engine_in_matches_the_single_threaded_runners_bit_for_bit() {
+        // Paper noise mixes pattern groups with live (damping) shots, which
+        // exercises both arms of the serial dedup driver.
+        let circuit = ghz(6);
+        let engine = ShotEngine::new(
+            &circuit,
+            crate::BackendKind::DecisionDiagram,
+            NoiseModel::paper_defaults(),
+            17,
+            crate::OptLevel::O0,
+        );
+        let observables = vec![
+            Observable::BasisProbability(0),
+            Observable::QubitExcitation(2),
+        ];
+        let mut ctx = engine.new_context();
+        for dedup in [true, false] {
+            let serial = run_engine_in(&engine, &mut ctx, 300, &observables, dedup);
+            let reference = if dedup {
+                run_engine_dedup(&engine, 300, 1, &observables)
+            } else {
+                run_engine(&engine, 300, 1, &observables)
+            };
+            assert_eq!(serial.counts, reference.counts, "dedup={dedup}");
+            assert_eq!(serial.error_events, reference.error_events);
+            assert_eq!(serial.dd_nodes_peak, reference.dd_nodes_peak);
+            assert_eq!(
+                serial.dd_nodes_avg.to_bits(),
+                reference.dd_nodes_avg.to_bits()
+            );
+            assert_eq!(serial.dedup, reference.dedup, "dedup={dedup}");
+            assert_eq!(serial.threads, 1);
+            for (a, b) in serial
+                .observable_estimates
+                .iter()
+                .zip(&reference.observable_estimates)
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "observable sums drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn run_engine_in_reuses_one_context_across_jobs() {
+        // The same context serves jobs of both backend kinds back to back —
+        // the server worker-pool pattern — without affecting results.
+        let mut ctx = crate::ExecContext::new();
+        for kind in [
+            crate::BackendKind::DecisionDiagram,
+            crate::BackendKind::Statevector,
+        ] {
+            let engine = ShotEngine::new(
+                &ghz(4),
+                kind,
+                NoiseModel::paper_defaults(),
+                3,
+                crate::OptLevel::O0,
+            );
+            let warm = run_engine_in(&engine, &mut ctx, 120, &[], true);
+            let fresh = run_engine_in(&engine, &mut engine.new_context(), 120, &[], true);
+            assert_eq!(warm.counts, fresh.counts);
+            assert_eq!(warm.dedup, fresh.dedup);
+        }
+    }
+
+    #[test]
+    fn run_engine_in_handles_zero_shots() {
+        let engine = ShotEngine::new(
+            &ghz(3),
+            crate::BackendKind::DecisionDiagram,
+            NoiseModel::noiseless(),
+            1,
+            crate::OptLevel::O0,
+        );
+        let outcome = run_engine_in(&engine, &mut engine.new_context(), 0, &[], true);
+        assert_eq!(outcome.shots, 0);
+        assert!(outcome.counts.is_empty());
+        assert_eq!(outcome.threads, 1);
     }
 
     #[test]

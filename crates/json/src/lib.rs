@@ -1,13 +1,20 @@
 //! A minimal hand-rolled JSON value type, writer and parser.
 //!
 //! The build environment is offline, so the workspace cannot depend on
-//! `serde`; this module implements exactly the JSON subset the batch report
-//! needs — objects, arrays, strings, finite numbers, booleans and `null` —
-//! in a few hundred lines. Objects preserve insertion order so that report
-//! emission is byte-deterministic.
+//! `serde`; this crate implements exactly the JSON subset the workspace's
+//! serialisation surfaces need — objects, arrays, strings, finite numbers,
+//! booleans and `null` — in a few hundred lines. Objects preserve insertion
+//! order so that emission is byte-deterministic, which both the batch
+//! report's cross-thread-count byte comparisons and the HTTP server's
+//! content-addressed result cache rely on.
+//!
+//! The crate started life as `qsdd-batch`'s private report serialiser and
+//! was extracted once `qsdd-server` needed the same writer/parser for its
+//! request and response bodies; `qsdd_batch::json` remains available as a
+//! re-export.
 //!
 //! ```
-//! use qsdd_batch::json::{parse, Value};
+//! use qsdd_json::{parse, Value};
 //!
 //! let value = Value::object(vec![
 //!     ("name".to_string(), Value::String("ghz".to_string())),
@@ -18,6 +25,9 @@
 //! let back = parse(&text).unwrap();
 //! assert_eq!(back.get("shots").and_then(Value::as_u64), Some(1024));
 //! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 use std::fmt;
 
@@ -256,14 +266,25 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting the parser accepts.
+///
+/// The parser is recursive-descent, so unbounded nesting would let a tiny
+/// hostile document (`[[[[…`) overflow the thread stack — a fatal abort,
+/// not a catchable panic. No legitimate workspace document nests deeper
+/// than a handful of levels.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a JSON document into a [`Value`].
 ///
 /// Accepts exactly the subset this module writes (no comments, no trailing
-/// commas); numbers are parsed as `f64`.
+/// commas); numbers are parsed as `f64`. Containers may nest at most
+/// [`MAX_DEPTH`] levels deep — beyond that the document is rejected with a
+/// parse error instead of risking a stack overflow.
 pub fn parse(source: &str) -> Result<Value, ParseError> {
     let mut parser = Parser {
         bytes: source.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     parser.skip_whitespace();
     let value = parser.value()?;
@@ -277,6 +298,7 @@ pub fn parse(source: &str) -> Result<Value, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -304,6 +326,14 @@ impl<'a> Parser<'a> {
         } else {
             Err(self.error(&format!("expected `{}`", byte as char)))
         }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
     }
 
     fn value(&mut self) -> Result<Value, ParseError> {
@@ -408,11 +438,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -423,6 +455,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.error("expected `,` or `]`")),
@@ -431,11 +464,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, ParseError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(pairs));
         }
         loop {
@@ -451,6 +486,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(pairs));
                 }
                 _ => return Err(self.error("expected `,` or `}`")),
@@ -500,6 +536,23 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"abc"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting_instead_of_overflowing_the_stack() {
+        // A recursive-descent parser without a depth cap aborts the whole
+        // process on `[[[[…` — fatal for a server parsing untrusted bodies.
+        let deep = "[".repeat(4_000_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let mixed = format!("{}{}", "{\"k\":[".repeat(100), "]}".repeat(100));
+        assert!(parse(&mixed).unwrap_err().message.contains("nesting"));
+        // Reasonable nesting is untouched, and depth resets between
+        // siblings (the counter decrements on container exit).
+        let wide = format!("[{}]", vec!["[[[]]]"; 64].join(","));
+        assert!(parse(&wide).is_ok());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

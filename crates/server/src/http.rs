@@ -1,0 +1,311 @@
+//! A minimal HTTP/1.1 layer hand-rolled on `std::net`.
+//!
+//! The build environment is offline, so the server cannot pull in `hyper`
+//! or even `httparse`; this module implements exactly the slice of
+//! HTTP/1.1 the job API needs — request-line + header parsing,
+//! `Content-Length` bodies, keep-alive, and response writing — in plain
+//! safe Rust over [`std::io`] streams. Bodies and header blocks are
+//! size-capped so a misbehaving client cannot balloon server memory.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body. Inline QASM sources are the largest
+/// legitimate payload; 4 MiB covers every QASMBench circuit with room to
+/// spare.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (path only; the API uses no query strings).
+    pub path: String,
+    /// Decoded body (empty when the request carried none).
+    pub body: String,
+    /// Whether the client asked to keep the connection open afterwards.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The peer closed the connection before sending a request line —
+    /// the normal end of a keep-alive session, not an error condition.
+    Closed,
+    /// An I/O failure mid-request.
+    Io(io::Error),
+    /// The bytes were not parseable HTTP; the message is client-facing.
+    Malformed(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`] (maps to `413`).
+    BodyTooLarge(usize),
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Closed => write!(f, "connection closed"),
+            RequestError::Io(error) => write!(f, "i/o error: {error}"),
+            RequestError::Malformed(message) => write!(f, "malformed request: {message}"),
+            RequestError::BodyTooLarge(size) => {
+                write!(f, "request body of {size} bytes exceeds {MAX_BODY_BYTES}")
+            }
+        }
+    }
+}
+
+impl From<io::Error> for RequestError {
+    fn from(error: io::Error) -> Self {
+        if error.kind() == io::ErrorKind::UnexpectedEof {
+            RequestError::Closed
+        } else {
+            RequestError::Io(error)
+        }
+    }
+}
+
+/// Reads one HTTP/1.1 request from a buffered stream.
+///
+/// Returns [`RequestError::Closed`] on a clean end-of-stream before the
+/// request line (the keep-alive loop's exit signal). Only `Content-Length`
+/// bodies are supported; chunked transfer encoding is rejected as
+/// malformed.
+pub fn read_request(reader: &mut BufReader<impl Read>) -> Result<Request, RequestError> {
+    let request_line = match read_line(reader, MAX_HEAD_BYTES)? {
+        Some(line) if !line.is_empty() => line,
+        _ => return Err(RequestError::Closed),
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request line".to_string()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing request target".to_string()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    // Headers: the API only needs Content-Length and Connection; everything
+    // else is skipped (but still counted against the head cap).
+    let mut content_length = 0usize;
+    let mut head_bytes = request_line.len();
+    let mut keep_alive = version != "HTTP/1.0";
+    loop {
+        let line = read_line(reader, MAX_HEAD_BYTES - head_bytes.min(MAX_HEAD_BYTES))?
+            .ok_or_else(|| RequestError::Malformed("truncated header block".to_string()))?;
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(RequestError::Malformed(
+                "header block too large".to_string(),
+            ));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed(format!("bad header `{line}`")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| {
+                    RequestError::Malformed(format!("bad Content-Length `{value}`"))
+                })?;
+            }
+            "transfer-encoding" => {
+                return Err(RequestError::Malformed(
+                    "chunked transfer encoding is not supported".to_string(),
+                ));
+            }
+            "connection" => {
+                let value = value.to_ascii_lowercase();
+                if value.contains("close") {
+                    keep_alive = false;
+                } else if value.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| RequestError::Malformed("request body is not UTF-8".to_string()))?;
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// Reads one CRLF-terminated line (LF tolerated), or `None` on EOF.
+fn read_line(
+    reader: &mut BufReader<impl Read>,
+    cap: usize,
+) -> Result<Option<String>, RequestError> {
+    let mut line = Vec::new();
+    loop {
+        let buffer = reader.fill_buf()?;
+        if buffer.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(RequestError::Malformed("truncated line".to_string()))
+            };
+        }
+        let newline = buffer.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buffer.len(), |at| at + 1);
+        line.extend_from_slice(&buffer[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+        if line.len() > cap {
+            return Err(RequestError::Malformed("line too long".to_string()));
+        }
+    }
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    if line.len() > cap {
+        return Err(RequestError::Malformed("line too long".to_string()));
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".to_string()))
+}
+
+/// The reason phrase for the status codes the API emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one `application/json` response with an explicit `Content-Length`
+/// (the framing keep-alive depends on).
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+        reason_phrase(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let request =
+            parse("POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world")
+                .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/jobs");
+        assert_eq!(request.body, "hello world");
+        assert!(request.keep_alive);
+    }
+
+    #[test]
+    fn parses_a_bodyless_get_and_connection_close() {
+        let request = parse("GET /v1/healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.body, "");
+        assert!(!request.keep_alive);
+        // HTTP/1.0 defaults to close.
+        let old = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!old.keep_alive);
+    }
+
+    #[test]
+    fn eof_before_the_request_line_reads_as_closed() {
+        assert!(matches!(parse(""), Err(RequestError::Closed)));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(RequestError::Malformed(_))),
+                "accepted {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_with_a_dedicated_error() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&raw), Err(RequestError::BodyTooLarge(_))));
+    }
+
+    #[test]
+    fn keep_alive_sessions_read_back_to_back_requests() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        assert_eq!(read_request(&mut reader).unwrap().path, "/a");
+        assert_eq!(read_request(&mut reader).unwrap().path, "/b");
+        assert!(matches!(
+            read_request(&mut reader),
+            Err(RequestError::Closed)
+        ));
+    }
+
+    #[test]
+    fn responses_carry_framing_headers() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

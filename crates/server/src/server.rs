@@ -1,0 +1,572 @@
+//! The HTTP service: listener, router, worker pool and lifecycle.
+//!
+//! # Request lifecycle
+//!
+//! 1. A single **acceptor** thread owns the [`TcpListener`] and spawns one
+//!    short-lived handler thread per connection (keep-alive: a handler
+//!    serves every request of its connection).
+//! 2. `POST /v1/jobs` parses and validates the body ([`crate::api`]), then
+//!    resolves it against the content-addressed cache ([`crate::cache`]):
+//!    a completed identical job answers from the cache, an in-flight one
+//!    coalesces, and a genuinely new one is pushed onto the **bounded
+//!    execution queue** — or rejected with `429` when the queue is full.
+//! 3. **Worker** threads pop cells off the queue. Each worker owns one
+//!    long-lived [`ExecContext`] for its entire lifetime and executes every
+//!    job through [`run_engine_in`], so decision-diagram arenas, amplitude
+//!    buffers and operator caches are rewound — never rebuilt — across
+//!    requests (the PR-3 reuse path), and the PR-4 trajectory-dedup driver
+//!    runs whenever the job allows it.
+//! 4. Completion publishes the deterministic result payload to the cell
+//!    (waking every coalesced submission at once) and registers it with the
+//!    cache's LRU for eviction accounting.
+//!
+//! # Shutdown
+//!
+//! `POST /v1/shutdown` (or [`Server::shutdown`]) flips the shutdown flag,
+//! wakes the workers (which drain the queue, then exit) and unblocks the
+//! acceptor with a loopback wakeup connection. In-flight connections finish
+//! their current request; new connections are no longer accepted.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qsdd_core::{run_engine_in, ExecContext, ShotEngine};
+use qsdd_json::Value;
+
+use crate::api::{self, JobInput};
+use crate::cache::{CellState, ExecutionCell, ResultCache, Submission};
+use crate::http::{self, Request, RequestError};
+
+/// Idle keep-alive connections are dropped after this long so shutdown is
+/// never held hostage by a silent client.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Concurrent connections served at once; beyond this the acceptor answers
+/// `503` inline instead of spawning a handler thread, so a connection
+/// flood cannot exhaust OS threads (job load is bounded separately by the
+/// queue depth).
+const MAX_CONNECTIONS: usize = 1024;
+/// How long [`Server::join`] waits for detached connection handlers.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Server configuration (every knob has a CLI flag on `qsdd_cli serve`).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Simulation worker threads; `0` uses all available cores.
+    pub threads: usize,
+    /// Completed results retained by the cache.
+    pub cache_entries: usize,
+    /// Maximum queued (not yet running) jobs before `429`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            cache_entries: 1024,
+            queue_depth: 256,
+        }
+    }
+}
+
+/// Monotonic service counters, all updated with relaxed atomics (the stats
+/// endpoint is informational, not a synchronisation point).
+#[derive(Debug, Default)]
+struct Stats {
+    http_requests: AtomicU64,
+    /// Accepted submissions (new + coalesced + cache hits).
+    jobs_accepted: AtomicU64,
+    /// Submissions answered from a completed cache entry.
+    cache_hits: AtomicU64,
+    /// Submissions attached to an in-flight identical job.
+    coalesced: AtomicU64,
+    /// Submissions rejected with `429`.
+    rejected: AtomicU64,
+    /// Simulations actually started by workers.
+    simulations: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+}
+
+/// Everything the acceptor, handlers and workers share.
+struct ServerState {
+    addr: SocketAddr,
+    workers: usize,
+    queue_depth: usize,
+    started: Instant,
+    shutdown: AtomicBool,
+    cache: ResultCache,
+    queue: Mutex<std::collections::VecDeque<Arc<ExecutionCell>>>,
+    queue_wake: Condvar,
+    stats: Stats,
+    active_connections: AtomicUsize,
+}
+
+impl ServerState {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running simulation service.
+///
+/// # Examples
+///
+/// ```
+/// use qsdd_server::{Server, ServerConfig};
+///
+/// let server = Server::start(ServerConfig::default()).unwrap();
+/// let addr = server.addr();
+/// let (status, body) =
+///     qsdd_server::client::request(addr, "GET", "/v1/healthz", None).unwrap();
+/// assert_eq!(status, 200);
+/// assert!(body.contains("\"ok\""));
+/// server.shutdown_and_join();
+/// ```
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the worker pool and the acceptor, and
+    /// returns the running server.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if config.threads > 0 {
+            config.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let state = Arc::new(ServerState {
+            addr,
+            workers,
+            queue_depth: config.queue_depth.max(1),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            cache: ResultCache::new(config.cache_entries),
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            queue_wake: Condvar::new(),
+            stats: Stats::default(),
+            active_connections: AtomicUsize::new(0),
+        });
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let state = Arc::clone(&state);
+            worker_handles.push(std::thread::spawn(move || worker_loop(&state)));
+        }
+        let acceptor_state = Arc::clone(&state);
+        let acceptor = std::thread::spawn(move || accept_loop(listener, &acceptor_state));
+
+        Ok(Server {
+            state,
+            addr,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (the actual port when `addr` requested port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful shutdown: stop accepting, drain the queue, then
+    /// let every thread exit. Idempotent; returns immediately.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.state);
+    }
+
+    /// Waits until the server has shut down (triggered by
+    /// [`shutdown`](Self::shutdown) or `POST /v1/shutdown`) and all worker
+    /// and acceptor threads have exited.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Connection handlers are detached; give in-flight ones a bounded
+        // window to finish their current response.
+        let deadline = Instant::now() + DRAIN_TIMEOUT;
+        while self.state.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// [`shutdown`](Self::shutdown) followed by [`join`](Self::join).
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Flips the shutdown flag, wakes the workers and unblocks the acceptor.
+fn initiate_shutdown(state: &Arc<ServerState>) {
+    if state.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Wake workers blocked on an empty queue (they drain, then exit).
+    {
+        let _queue = state.queue.lock().expect("queue lock");
+        state.queue_wake.notify_all();
+    }
+    // Unblock the acceptor's `accept()` with a throwaway loopback
+    // connection; it observes the flag and exits. A wildcard bind
+    // (0.0.0.0 / [::]) is not a connectable destination everywhere, so
+    // aim at the loopback of the same family instead.
+    let mut target = state.addr;
+    if target.ip().is_unspecified() {
+        target.set_ip(match target {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect(target);
+}
+
+/// The acceptor: accepts until shutdown, one detached handler thread per
+/// connection.
+fn accept_loop(listener: TcpListener, state: &Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.shutting_down() {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        if state.active_connections.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
+            // Shed load without spawning: one thread per connection is the
+            // model, so the connection count must be bounded.
+            let _ = http::write_response(
+                &mut stream,
+                503,
+                &error_body("connection limit reached, retry later"),
+                false,
+            );
+            continue;
+        }
+        let state = Arc::clone(state);
+        state.active_connections.fetch_add(1, Ordering::SeqCst);
+        std::thread::spawn(move || {
+            handle_connection(stream, &state);
+            state.active_connections.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+}
+
+/// Serves one connection's keep-alive session.
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let request = match http::read_request(&mut reader) {
+            Ok(request) => request,
+            Err(RequestError::Closed) | Err(RequestError::Io(_)) => return,
+            Err(RequestError::Malformed(message)) => {
+                let _ = http::write_response(&mut writer, 400, &error_body(&message), false);
+                return;
+            }
+            Err(RequestError::BodyTooLarge(size)) => {
+                let _ = http::write_response(
+                    &mut writer,
+                    413,
+                    &error_body(&format!("request body of {size} bytes is too large")),
+                    false,
+                );
+                return;
+            }
+        };
+        state.stats.http_requests.fetch_add(1, Ordering::Relaxed);
+        let (status, body) = route(state, &request);
+        // Finish the session once shutdown started: handlers must not
+        // outlive the acceptor indefinitely.
+        let keep_alive = request.keep_alive && !state.shutting_down();
+        if http::write_response(&mut writer, status, &body, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request to its endpoint handler.
+fn route(state: &Arc<ServerState>, request: &Request) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/v1/healthz") => (200, r#"{"status":"ok"}"#.to_string()),
+        ("GET", "/v1/stats") => (200, stats_body(state)),
+        ("POST", "/v1/jobs") => submit_job(state, &request.body),
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            job_status(state, &path["/v1/jobs/".len()..])
+        }
+        ("POST", "/v1/shutdown") => {
+            initiate_shutdown(state);
+            (200, r#"{"status":"shutting-down"}"#.to_string())
+        }
+        (_, "/v1/healthz" | "/v1/stats" | "/v1/jobs" | "/v1/shutdown") => {
+            (405, error_body("method not allowed"))
+        }
+        (_, path) if path.starts_with("/v1/jobs/") => (405, error_body("method not allowed")),
+        _ => (404, error_body("no such endpoint")),
+    }
+}
+
+/// `POST /v1/jobs`: validate, content-address, coalesce or enqueue.
+fn submit_job(state: &Arc<ServerState>, body: &str) -> (u16, String) {
+    if state.shutting_down() {
+        return (503, error_body("server is shutting down"));
+    }
+    let input = match api::parse_job_request(body) {
+        Ok(input) => input,
+        Err(message) => return (400, error_body(&message)),
+    };
+    let submission = state.cache.submit_with(input, |cell| {
+        let mut queue = state.queue.lock().expect("queue lock");
+        // Re-check shutdown under the queue lock: workers only observe the
+        // flag while holding it, so a cell enqueued here is guaranteed to
+        // be drained — a check outside the lock could accept a job after
+        // the last worker already found the queue empty and exited.
+        if state.shutting_down() || queue.len() >= state.queue_depth {
+            return false;
+        }
+        queue.push_back(Arc::clone(cell));
+        state.queue_wake.notify_one();
+        true
+    });
+    let stats = &state.stats;
+    match submission {
+        Submission::New(cell) => {
+            stats.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+            (202, submission_body(&cell, false))
+        }
+        Submission::Coalesced(cell) => {
+            stats.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+            stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            (202, submission_body(&cell, false))
+        }
+        Submission::Hit(cell) => {
+            stats.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+            stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            (200, submission_body(&cell, true))
+        }
+        Submission::Rejected if state.shutting_down() => {
+            (503, error_body("server is shutting down"))
+        }
+        Submission::Rejected => {
+            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            (429, error_body("job queue is full, retry later"))
+        }
+    }
+}
+
+/// The `POST /v1/jobs` response body.
+fn submission_body(cell: &ExecutionCell, cached: bool) -> String {
+    format!(
+        r#"{{"id":{},"status":{},"cached":{cached}}}"#,
+        Value::from(cell.id.as_str()),
+        Value::from(cell.state().status()),
+    )
+}
+
+/// `GET /v1/jobs/<id>`: the job envelope around the cached result payload.
+fn job_status(state: &Arc<ServerState>, id: &str) -> (u16, String) {
+    let Some(cell) = state.cache.get(id) else {
+        return (
+            404,
+            error_body(&format!("no job `{id}` (unknown or evicted)")),
+        );
+    };
+    // One state snapshot for the whole envelope: reading twice could race
+    // with the worker's completion and emit "status":"running" next to a
+    // "result" field.
+    let snapshot = cell.state();
+    let mut body = format!(
+        r#"{{"id":{},"status":{}"#,
+        Value::from(cell.id.as_str()),
+        Value::from(snapshot.status()),
+    );
+    if let Some(qasm) = &cell.input.circuit_qasm {
+        body.push_str(&format!(
+            r#","circuit_qasm":{}"#,
+            Value::from(qasm.as_str())
+        ));
+    }
+    match snapshot {
+        CellState::Done(payload) => {
+            body.push_str(",\"result\":");
+            body.push_str(&payload);
+        }
+        CellState::Failed(message) => {
+            body.push_str(&format!(r#","error":{}"#, Value::from(message.as_str())));
+        }
+        _ => {}
+    }
+    body.push('}');
+    (200, body)
+}
+
+/// `GET /v1/stats`.
+fn stats_body(state: &Arc<ServerState>) -> String {
+    let stats = &state.stats;
+    let accepted = stats.jobs_accepted.load(Ordering::Relaxed);
+    let served_from_cache =
+        stats.cache_hits.load(Ordering::Relaxed) + stats.coalesced.load(Ordering::Relaxed);
+    let hit_rate = if accepted == 0 {
+        0.0
+    } else {
+        served_from_cache as f64 / accepted as f64
+    };
+    let queue_len = state.queue.lock().expect("queue lock").len();
+    Value::object(vec![
+        (
+            "uptime_secs".to_string(),
+            Value::from(state.started.elapsed().as_secs_f64()),
+        ),
+        ("workers".to_string(), Value::from(state.workers)),
+        ("queue_len".to_string(), Value::from(queue_len)),
+        ("queue_depth".to_string(), Value::from(state.queue_depth)),
+        (
+            "cache_entries".to_string(),
+            Value::from(state.cache.completed_entries()),
+        ),
+        (
+            "http_requests".to_string(),
+            Value::from(stats.http_requests.load(Ordering::Relaxed)),
+        ),
+        ("jobs_accepted".to_string(), Value::from(accepted)),
+        (
+            "cache_hits".to_string(),
+            Value::from(stats.cache_hits.load(Ordering::Relaxed)),
+        ),
+        (
+            "coalesced".to_string(),
+            Value::from(stats.coalesced.load(Ordering::Relaxed)),
+        ),
+        ("cache_hit_rate".to_string(), Value::from(hit_rate)),
+        (
+            "rejected".to_string(),
+            Value::from(stats.rejected.load(Ordering::Relaxed)),
+        ),
+        (
+            "simulations".to_string(),
+            Value::from(stats.simulations.load(Ordering::Relaxed)),
+        ),
+        (
+            "jobs_completed".to_string(),
+            Value::from(stats.jobs_completed.load(Ordering::Relaxed)),
+        ),
+        (
+            "jobs_failed".to_string(),
+            Value::from(stats.jobs_failed.load(Ordering::Relaxed)),
+        ),
+        (
+            "shutting_down".to_string(),
+            Value::from(state.shutting_down()),
+        ),
+    ])
+    .to_string()
+}
+
+fn error_body(message: &str) -> String {
+    format!(r#"{{"error":{}}}"#, Value::from(message))
+}
+
+/// One worker: pop → compile (once per job) → execute in the worker's
+/// long-lived context → publish.
+fn worker_loop(state: &Arc<ServerState>) {
+    // The worker's whole point: this context lives as long as the worker,
+    // so every job it executes reuses the warmed per-backend-kind state.
+    let mut ctx = ExecContext::new();
+    loop {
+        let cell = {
+            let mut queue = state.queue.lock().expect("queue lock");
+            loop {
+                if let Some(cell) = queue.pop_front() {
+                    break Some(cell);
+                }
+                if state.shutting_down() {
+                    break None;
+                }
+                queue = state.queue_wake.wait(queue).expect("queue lock");
+            }
+        };
+        let Some(cell) = cell else { return };
+        cell.mark_running();
+        state.stats.simulations.fetch_add(1, Ordering::Relaxed);
+        execute_job(state, &cell, &mut ctx);
+    }
+}
+
+/// Runs one job to completion and publishes the result (or failure) to
+/// its cell.
+///
+/// A panic anywhere in compilation or execution must not take the worker
+/// down with the job: the cell would be stuck in `running` forever (it is
+/// exempt from LRU eviction while in flight), every coalesced submitter
+/// would poll a job that can never finish, and the pool would shrink by
+/// one worker for the server's lifetime. So the simulation runs under
+/// `catch_unwind`, a panic publishes [`CellState::Failed`], and the
+/// worker's context — whose rewind invariants cannot be trusted after an
+/// unwind — is replaced with a fresh one.
+fn execute_job(state: &Arc<ServerState>, cell: &Arc<ExecutionCell>, ctx: &mut ExecContext) {
+    let input: &JobInput = &cell.input;
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let engine = ShotEngine::new(
+            &input.circuit,
+            input.backend,
+            input.noise,
+            input.seed,
+            input.opt,
+        );
+        let outcome = run_engine_in(&engine, ctx, input.shots, &input.observables, input.dedup);
+        api::result_payload(input, &outcome)
+    }));
+    match result {
+        Ok(payload) => {
+            cell.complete(Arc::new(payload));
+            state.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "simulation panicked".to_string());
+            cell.fail(format!("simulation failed: {message}"));
+            state.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            *ctx = ExecContext::new();
+        }
+    }
+    state.cache.mark_terminal(&cell.id);
+}
+
+/// Runs the server until shutdown is requested (via `POST /v1/shutdown` or
+/// a [`Server::shutdown`] call from another thread), logging the bound
+/// address to `out` first. This is the `qsdd_cli serve` entry point.
+pub fn serve_forever(config: ServerConfig, out: &mut impl Write) -> io::Result<()> {
+    let server = Server::start(config)?;
+    writeln!(out, "qsdd-server listening on http://{}", server.addr())?;
+    writeln!(
+        out,
+        "endpoints: POST /v1/jobs, GET /v1/jobs/<id>, GET /v1/healthz, GET /v1/stats, POST /v1/shutdown"
+    )?;
+    out.flush()?;
+    server.join();
+    Ok(())
+}

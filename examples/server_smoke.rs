@@ -1,0 +1,89 @@
+//! Server smoke check: boot the HTTP service on an ephemeral port, then
+//! act as a plain HTTP client — health probe, submit one GHZ job, poll it
+//! to completion, verify the cache answers a repeat submission — and shut
+//! the service down cleanly. CI runs this on every push.
+//!
+//! ```bash
+//! cargo run --release --example server_smoke
+//! ```
+
+use qsdd::json::{self, Value};
+use qsdd::server::{client, Server, ServerConfig};
+
+fn main() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral loopback port");
+    let addr = server.addr();
+    println!("server_smoke: listening on http://{addr}");
+
+    // 1. Health probe.
+    let (status, body) = client::request(addr, "GET", "/v1/healthz", None).expect("healthz");
+    assert_eq!(status, 200, "healthz returned {status}: {body}");
+    println!("server_smoke: healthz ok");
+
+    // 2. Submit one GHZ job and poll it to completion.
+    let job = r#"{"circuit":{"generator":"ghz","qubits":10},"shots":500,"seed":42}"#;
+    let (status, body) = client::request(addr, "POST", "/v1/jobs", Some(job)).expect("submit");
+    assert_eq!(status, 202, "submit returned {status}: {body}");
+    let id = json::parse(&body)
+        .expect("submission response is JSON")
+        .get("id")
+        .and_then(Value::as_str)
+        .expect("submission response carries an id")
+        .to_string();
+    println!("server_smoke: submitted job {id}");
+
+    let mut session = client::Client::connect(addr).expect("connect");
+    let result = loop {
+        let (status, body) = session
+            .request("GET", &format!("/v1/jobs/{id}"), None)
+            .expect("poll");
+        assert_eq!(status, 200, "poll returned {status}: {body}");
+        let envelope = json::parse(&body).expect("envelope is JSON");
+        match envelope.get("status").and_then(Value::as_str) {
+            Some("completed") => break envelope,
+            Some("failed") => panic!("job failed: {body}"),
+            _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    };
+    let shots = result
+        .get("result")
+        .and_then(|r| r.get("shots_executed"))
+        .and_then(Value::as_u64)
+        .expect("result carries shots_executed");
+    assert_eq!(shots, 500);
+    println!("server_smoke: job completed with {shots} shots");
+
+    // 3. The identical submission must answer from the cache.
+    let (status, body) = client::request(addr, "POST", "/v1/jobs", Some(job)).expect("resubmit");
+    assert_eq!(status, 200, "cached submit returned {status}: {body}");
+    assert!(
+        body.contains("\"cached\":true"),
+        "expected a cache hit: {body}"
+    );
+    let (_, stats) = client::request(addr, "GET", "/v1/stats", None).expect("stats");
+    let stats = json::parse(&stats).expect("stats are JSON");
+    assert_eq!(stats.get("simulations").and_then(Value::as_u64), Some(1));
+    assert!(
+        stats
+            .get("cache_hit_rate")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+            > 0.0
+    );
+    println!("server_smoke: cache hit confirmed");
+
+    // 4. Graceful shutdown over HTTP.
+    let (status, _) = client::request(addr, "POST", "/v1/shutdown", None).expect("shutdown");
+    assert_eq!(status, 200);
+    server.join();
+    assert!(
+        client::request(addr, "GET", "/v1/healthz", None).is_err(),
+        "listener survived shutdown"
+    );
+    println!("server_smoke: clean shutdown — all checks passed");
+}

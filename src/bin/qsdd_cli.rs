@@ -6,13 +6,15 @@
 //! qsdd_cli generate ghz 32 --shots 1000 --backend dd
 //! qsdd_cli generate qft 20 --noiseless --top 10
 //! qsdd_cli batch jobs.txt --out report.json
+//! qsdd_cli serve --addr 127.0.0.1:8080 --threads 4
 //! ```
 //!
 //! The tool loads a circuit (from an OpenQASM 2.0 file or a built-in
 //! generator), runs the stochastic simulation under the configured noise
 //! model and prints the outcome histogram; the `batch` command schedules a
-//! whole job file across one shared worker pool. The complete reference,
-//! including exit-code semantics, lives in `docs/cli.md`.
+//! whole job file across one shared worker pool; the `serve` command runs
+//! the long-lived HTTP job service (`docs/server.md`). The complete
+//! reference, including exit-code semantics, lives in `docs/cli.md`.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -21,6 +23,7 @@ use qsdd::batch::{jobfile, run_batch, BatchOptions, BatchReport, JobStatus};
 use qsdd::circuit::{generators, qasm, Circuit};
 use qsdd::core::{BackendKind, OptLevel, StochasticSimulator};
 use qsdd::noise::NoiseModel;
+use qsdd::server::{serve_forever, ServerConfig};
 use qsdd::transpile::{transpile, verify, DEFAULT_FIDELITY_TOLERANCE};
 
 /// Parsed command-line options.
@@ -38,30 +41,61 @@ struct Options {
     dedup: bool,
 }
 
+/// The top-level subcommands, resolved **before** any flag parsing so a
+/// typoed subcommand reports itself instead of a misleading "unknown flag"
+/// from run-mode parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Help,
+    RunOrGenerate,
+    Batch,
+    Serve,
+}
+
+/// Classifies the first CLI argument into a subcommand.
+///
+/// The error message for an unrecognised word lists the valid subcommands
+/// (regression: `qsdd_cli serev` used to fall through to run-mode flag
+/// parsing and die with ``unknown command `serev` `` buried in flag
+/// context).
+fn classify_command(first: Option<&str>) -> Result<Command, String> {
+    match first {
+        None => Err("missing subcommand".to_string()),
+        Some("--help" | "-h" | "help") => Ok(Command::Help),
+        Some("run" | "generate") => Ok(Command::RunOrGenerate),
+        Some("batch") => Ok(Command::Batch),
+        Some("serve") => Ok(Command::Serve),
+        Some(other) => Err(format!(
+            "unknown subcommand `{other}`: expected run|generate|batch|serve|help"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("--help" | "-h" | "help") => {
+    let fail = |message: String| {
+        eprintln!("error: {message}");
+        eprintln!();
+        eprintln!("{USAGE}");
+        ExitCode::FAILURE
+    };
+    match classify_command(args.first().map(String::as_str)) {
+        Err(message) => fail(message),
+        Ok(Command::Help) => {
             println!("{USAGE}");
             ExitCode::SUCCESS
         }
-        Some("batch") => match parse_batch_args(&args[1..]) {
+        Ok(Command::Batch) => match parse_batch_args(&args[1..]) {
             Ok(options) => run_batch_command(options),
-            Err(message) => {
-                eprintln!("error: {message}");
-                eprintln!();
-                eprintln!("{USAGE}");
-                ExitCode::FAILURE
-            }
+            Err(message) => fail(message),
         },
-        _ => match parse_args(&args) {
+        Ok(Command::Serve) => match parse_serve_args(&args[1..]) {
+            Ok(config) => run_serve_command(config),
+            Err(message) => fail(message),
+        },
+        Ok(Command::RunOrGenerate) => match parse_args(&args) {
             Ok(options) => run(options),
-            Err(message) => {
-                eprintln!("error: {message}");
-                eprintln!();
-                eprintln!("{USAGE}");
-                ExitCode::FAILURE
-            }
+            Err(message) => fail(message),
         },
     }
 }
@@ -71,6 +105,8 @@ usage:
   qsdd_cli run <circuit.qasm> [options]
   qsdd_cli generate <ghz|qft|grover|bv|wstate|qaoa> <qubits> [options]
   qsdd_cli batch <jobfile> [--out <path>] [--format json|csv] [--threads <N>]
+  qsdd_cli serve [--addr <host:port>] [--threads <N>] [--cache-entries <N>]
+                 [--queue-depth <N>]
 
 options (run / generate):
   --shots <N>          number of stochastic runs (default 1000)
@@ -96,7 +132,15 @@ options (batch):
   --threads <N>        worker threads shared by all jobs, 0 = all cores
   --no-dedup           disable trajectory deduplication for every job
 
-Full reference (job-file format, exit codes): docs/cli.md";
+options (serve):
+  --addr <host:port>   bind address (default 127.0.0.1:8080; port 0 picks
+                       an ephemeral port, printed on startup)
+  --threads <N>        simulation worker threads, 0 = all cores (default 0)
+  --cache-entries <N>  completed results kept by the cache (default 1024)
+  --queue-depth <N>    queued jobs before 429 backpressure (default 256)
+
+Full reference (job-file format, HTTP API, exit codes): docs/cli.md,
+docs/server.md";
 
 /// Parsed options of the `batch` subcommand.
 #[derive(Debug, Clone)]
@@ -231,6 +275,52 @@ fn print_batch_summary(report: &BatchReport) {
         report.threads,
         report.total_wall_time.as_secs_f64()
     );
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--threads" => config.threads = parse_number(&value("--threads")?)?,
+            "--cache-entries" => {
+                config.cache_entries = parse_number(&value("--cache-entries")?)?;
+                if config.cache_entries == 0 {
+                    return Err("--cache-entries must be positive".to_string());
+                }
+            }
+            "--queue-depth" => {
+                config.queue_depth = parse_number(&value("--queue-depth")?)?;
+                if config.queue_depth == 0 {
+                    return Err("--queue-depth must be positive".to_string());
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn run_serve_command(config: ServerConfig) -> ExitCode {
+    match serve_forever(config, &mut std::io::stdout()) {
+        Ok(()) => {
+            eprintln!("qsdd-server: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: cannot serve: {error}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -552,6 +642,59 @@ mod tests {
         let bare = parse_batch_args(&args(&["jobs.txt"])).unwrap();
         assert_eq!(bare.format, ReportFormat::Json);
         assert_eq!(bare.threads, 0);
+    }
+
+    #[test]
+    fn unknown_subcommands_name_themselves_not_a_flag() {
+        // Regression: `qsdd_cli serev` used to fall through to run-mode
+        // parsing and die with a misleading flag error.
+        let err = classify_command(Some("serev")).unwrap_err();
+        assert!(err.contains("unknown subcommand `serev`"), "{err}");
+        assert!(err.contains("run|generate|batch|serve|help"), "{err}");
+        assert_eq!(classify_command(None).unwrap_err(), "missing subcommand");
+        for (word, expected) in [
+            ("run", Command::RunOrGenerate),
+            ("generate", Command::RunOrGenerate),
+            ("batch", Command::Batch),
+            ("serve", Command::Serve),
+            ("help", Command::Help),
+            ("--help", Command::Help),
+        ] {
+            assert_eq!(classify_command(Some(word)).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn parses_serve_flags_with_defaults() {
+        let defaults = parse_serve_args(&args(&[])).unwrap();
+        assert_eq!(defaults.addr, "127.0.0.1:8080");
+        assert_eq!(defaults.threads, 0);
+        assert_eq!(defaults.cache_entries, 1024);
+        assert_eq!(defaults.queue_depth, 256);
+        let custom = parse_serve_args(&args(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--threads",
+            "4",
+            "--cache-entries",
+            "64",
+            "--queue-depth",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(custom.addr, "0.0.0.0:9000");
+        assert_eq!(custom.threads, 4);
+        assert_eq!(custom.cache_entries, 64);
+        assert_eq!(custom.queue_depth, 16);
+    }
+
+    #[test]
+    fn serve_rejects_bad_invocations() {
+        assert!(parse_serve_args(&args(&["--wat"])).is_err());
+        assert!(parse_serve_args(&args(&["--addr"])).is_err());
+        assert!(parse_serve_args(&args(&["--cache-entries", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--queue-depth", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--threads", "x"])).is_err());
     }
 
     #[test]

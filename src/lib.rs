@@ -10,12 +10,17 @@
 //! - [`qsdd_transpile`] — circuit-optimization pass pipeline
 //! - [`qsdd_core`] — the stochastic decision-diagram simulator
 //! - [`qsdd_batch`] — multi-job batch execution and reporting
+//! - [`qsdd_json`] — the shared hand-rolled JSON writer/parser
+//! - [`qsdd_server`] — the HTTP simulation service with its
+//!   content-addressed result cache
 
 pub use qsdd_batch as batch;
 pub use qsdd_circuit as circuit;
 pub use qsdd_core as core;
 pub use qsdd_dd as dd;
 pub use qsdd_density as density;
+pub use qsdd_json as json;
 pub use qsdd_noise as noise;
+pub use qsdd_server as server;
 pub use qsdd_statevector as statevector;
 pub use qsdd_transpile as transpile;
