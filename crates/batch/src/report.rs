@@ -13,6 +13,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use crate::json::{self, Value};
+use qsdd_telemetry::{Stage, StageTimings};
 
 /// Outcome of one job.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -72,6 +73,11 @@ pub struct JobReport {
     pub dedup_hit_rate: f64,
     /// Time from batch start until the job's last shot finished.
     pub wall_time: Duration,
+    /// Wall-time breakdown by pipeline stage (compile, presample, execute,
+    /// ...). A timing field like `wall_time`: it varies between runs and is
+    /// serialised in the timing layer (`stage_seconds`), never in
+    /// [`Self::results_json`].
+    pub stage_timings: StageTimings,
 }
 
 impl JobReport {
@@ -92,6 +98,7 @@ impl JobReport {
             unique_trajectories: 0,
             dedup_hit_rate: 0.0,
             wall_time: Duration::ZERO,
+            stage_timings: StageTimings::new(),
         }
     }
 
@@ -179,6 +186,20 @@ impl JobReport {
             "wall_time_secs".to_string(),
             Value::from(self.wall_time.as_secs_f64()),
         ));
+        pairs.push((
+            "stage_seconds".to_string(),
+            Value::object(
+                Stage::ALL
+                    .iter()
+                    .map(|&stage| {
+                        (
+                            stage.name().to_string(),
+                            Value::from(self.stage_timings.get(stage).as_secs_f64()),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
         Value::Object(pairs)
     }
 
@@ -265,6 +286,19 @@ impl JobReport {
                     .and_then(Value::as_f64)
                     .unwrap_or(0.0),
             ),
+            stage_timings: {
+                // Nanosecond-exact round trip: stage durations are far below
+                // the ~2^52 ns point where `f64` seconds lose nanoseconds.
+                let mut timings = StageTimings::new();
+                if let Some(stages) = value.get("stage_seconds") {
+                    for &stage in &Stage::ALL {
+                        if let Some(secs) = stages.get(stage.name()).and_then(Value::as_f64) {
+                            timings.record(stage, Duration::from_secs_f64(secs));
+                        }
+                    }
+                }
+                timings
+            },
         })
     }
 }
@@ -424,6 +458,12 @@ mod tests {
                     unique_trajectories: 21,
                     dedup_hit_rate: 1.0 - 21.0 / 370.0,
                     wall_time: Duration::from_millis(250),
+                    stage_timings: {
+                        let mut timings = StageTimings::new();
+                        timings.record(Stage::Compile, Duration::from_nanos(1_234_567));
+                        timings.record(Stage::Execute, Duration::from_nanos(248_000_001));
+                        timings
+                    },
                 },
                 JobReport::failed("broken", "dense", 50, "cannot read `x.qasm`".to_string()),
             ],

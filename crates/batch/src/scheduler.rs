@@ -45,11 +45,12 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use qsdd_core::{ExecContext, ShotEngine};
 use qsdd_noise::ErrorPattern;
+use qsdd_telemetry::{Counter, Gauge, Stage, StageTimings};
 use rand::rngs::StdRng;
 
 use crate::jobfile::JobSpec;
@@ -175,6 +176,11 @@ struct JobProgress {
     early_stopped: bool,
     finished: bool,
     wall_time: Duration,
+    /// Per-stage wall-time breakdown: compile/transpile seeded from the
+    /// engine build, presample recorded at round boundaries, execute
+    /// accumulated per chunk (always filled; cost is one `Instant` read per
+    /// chunk under a lock already held).
+    stage_timings: StageTimings,
 }
 
 /// A runnable job: its engine plus the knobs the scheduler needs.
@@ -196,6 +202,72 @@ struct Shared {
     /// the queue is empty.
     active: AtomicUsize,
     started: Instant,
+    /// Global-registry handles, resolved once per batch; `None` while
+    /// telemetry is disabled so the hot path pays nothing.
+    metrics: Option<BatchMetrics>,
+}
+
+/// Pre-resolved telemetry handles for the scheduler's shared structures
+/// (looking up a metric by name takes the registry lock, so it happens
+/// once per batch here, never per chunk).
+struct BatchMetrics {
+    /// Chunks executed, labelled by work kind (`range`/`groups`/`live`).
+    chunks_range: Arc<Counter>,
+    chunks_groups: Arc<Counter>,
+    chunks_live: Arc<Counter>,
+    /// Member shots those chunks accounted for.
+    shots: Arc<Counter>,
+    /// Instantaneous chunk-queue depth (sampled at push/pop under the
+    /// queue lock) and its high-water mark.
+    queue_depth: Arc<Gauge>,
+    queue_depth_peak: Arc<Gauge>,
+}
+
+impl BatchMetrics {
+    /// Resolves the handles from the global registry when telemetry is on.
+    fn resolve() -> Option<BatchMetrics> {
+        if !qsdd_telemetry::enabled() {
+            return None;
+        }
+        let registry = qsdd_telemetry::global();
+        let chunks = "Chunks executed by the batch worker pool";
+        Some(BatchMetrics {
+            chunks_range: registry.counter_with(
+                "qsdd_batch_chunks_total",
+                chunks,
+                &[("kind", "range")],
+            ),
+            chunks_groups: registry.counter_with(
+                "qsdd_batch_chunks_total",
+                chunks,
+                &[("kind", "groups")],
+            ),
+            chunks_live: registry.counter_with(
+                "qsdd_batch_chunks_total",
+                chunks,
+                &[("kind", "live")],
+            ),
+            shots: registry.counter(
+                "qsdd_batch_shots_total",
+                "Member shots accounted for by executed batch chunks",
+            ),
+            queue_depth: registry.gauge(
+                "qsdd_batch_queue_depth",
+                "Chunks currently waiting in the batch scheduler queue",
+            ),
+            queue_depth_peak: registry.gauge(
+                "qsdd_batch_queue_depth_peak",
+                "Deepest the batch chunk queue has been",
+            ),
+        })
+    }
+
+    /// Samples the queue depth (call with the queue lock held).
+    fn observe_depth(&self, depth: usize) {
+        let depth = depth as i64;
+        self.queue_depth.set(depth);
+        self.queue_depth_peak.set_max(depth);
+    }
 }
 
 /// Runs all jobs of a batch on a shared worker pool and aggregates a
@@ -214,13 +286,18 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
             Ok(circuit) => {
                 let engine =
                     ShotEngine::new(&circuit, spec.backend, spec.noise, spec.seed, spec.opt);
+                let progress = JobProgress {
+                    // Transpile/compile happened inside the engine build.
+                    stage_timings: engine.stage_timings(),
+                    ..JobProgress::default()
+                };
                 runtimes.push(Some(JobRuntime {
                     dedup: options.dedup && engine.supports_dedup(),
                     engine,
                     shots: spec.shots,
                     epsilon: spec.epsilon,
                     check_interval: spec.check_interval,
-                    progress: Mutex::new(JobProgress::default()),
+                    progress: Mutex::new(progress),
                 }));
                 failures.push(None);
             }
@@ -236,6 +313,7 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
         wake: Condvar::new(),
         active: AtomicUsize::new(0),
         started,
+        metrics: BatchMetrics::resolve(),
     };
     // Seed the queue with round 1 of every runnable job, in file order, so
     // every job makes progress from the first instant. No worker is running
@@ -250,17 +328,28 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
                 continue;
             }
             shared.active.fetch_add(1, Ordering::SeqCst);
+            let round_started = Instant::now();
             let chunks = build_round(runtime, index, 0);
             let mut progress = runtime.progress.lock().expect("progress lock");
+            if runtime.dedup {
+                progress
+                    .stage_timings
+                    .record(Stage::Presample, round_started.elapsed());
+            }
             progress.round_pending = chunks.len();
             queue.extend(chunks);
+        }
+        if let Some(metrics) = &shared.metrics {
+            metrics.observe_depth(queue.len());
         }
     }
 
     let workers = options.effective_threads().max(1);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| worker_loop(&shared, &runtimes));
+        let shared = &shared;
+        let runtimes = &runtimes;
+        for worker in 0..workers {
+            scope.spawn(move || worker_loop(shared, runtimes, worker));
         }
     });
 
@@ -294,6 +383,7 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
                         1.0 - progress.unique_trajectories as f64 / progress.executed as f64
                     },
                     wall_time: progress.wall_time,
+                    stage_timings: progress.stage_timings,
                 }
             }
             None => JobReport::failed(
@@ -377,7 +467,7 @@ fn build_round(runtime: &JobRuntime, job: usize, start: u64) -> Vec<Chunk> {
     chunks
 }
 
-fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>]) {
+fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>], worker: usize) {
     // One long-lived execution context (internally caching per-back-end
     // state), reused across chunks *and* jobs: the context re-seats itself
     // when the stolen chunk belongs to a different job's program, and
@@ -386,12 +476,26 @@ fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>]) {
     // is unobservable in the results (the ShotEngine contract), so the
     // interleaving stays bit-deterministic.
     let mut context = ExecContext::new();
+    // Busy time accumulates locally and is flushed once at exit (one
+    // labelled counter update per worker per batch, nothing per chunk).
+    let worker_label = worker.to_string();
+    let busy_counter = shared.metrics.as_ref().map(|_| {
+        qsdd_telemetry::global().counter_with(
+            "qsdd_batch_worker_busy_usec_total",
+            "Microseconds each batch worker spent executing chunks",
+            &[("worker", worker_label.as_str())],
+        )
+    });
+    let mut busy = Duration::ZERO;
     loop {
         // Steal the next chunk, or exit once every job has finished.
         let chunk = {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
                 if let Some(chunk) = queue.pop_front() {
+                    if let Some(metrics) = &shared.metrics {
+                        metrics.observe_depth(queue.len());
+                    }
                     break Some(chunk);
                 }
                 if shared.active.load(Ordering::SeqCst) == 0 {
@@ -400,10 +504,24 @@ fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>]) {
                 queue = shared.wake.wait(queue).expect("queue lock");
             }
         };
-        let Some(chunk) = chunk else { return };
+        let Some(chunk) = chunk else {
+            if let Some(counter) = &busy_counter {
+                counter.add(u64::try_from(busy.as_micros()).unwrap_or(u64::MAX));
+            }
+            return;
+        };
         let runtime = runtimes[chunk.job]
             .as_ref()
             .expect("only runnable jobs are enqueued");
+        if let Some(metrics) = &shared.metrics {
+            match &chunk.work {
+                ChunkWork::Range { .. } => metrics.chunks_range.inc(),
+                ChunkWork::Groups(_) => metrics.chunks_groups.inc(),
+                ChunkWork::Live(_) => metrics.chunks_live.inc(),
+            }
+            metrics.shots.add(chunk.shots);
+        }
+        let chunk_started = Instant::now();
 
         // Execute the chunk without holding any lock, through the worker's
         // long-lived context.
@@ -445,9 +563,12 @@ fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>]) {
                 trajectories
             }
         };
+        let chunk_elapsed = chunk_started.elapsed();
+        busy += chunk_elapsed;
 
         // Merge, and if this was the round's last chunk, decide what's next.
         let mut progress = runtime.progress.lock().expect("progress lock");
+        progress.stage_timings.record(Stage::Execute, chunk_elapsed);
         for (outcome, count) in local_counts {
             *progress.counts.entry(outcome).or_insert(0) += count;
         }
@@ -484,10 +605,19 @@ fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>]) {
             // Build (and for dedup jobs presample) the next round before
             // touching the queue, so the queue lock is held only to push.
             let start = progress.executed;
+            let round_started = Instant::now();
             let chunks = build_round(runtime, chunk.job, start);
+            if runtime.dedup {
+                progress
+                    .stage_timings
+                    .record(Stage::Presample, round_started.elapsed());
+            }
             progress.round_pending = chunks.len();
             let mut queue = shared.queue.lock().expect("queue lock");
             queue.extend(chunks);
+            if let Some(metrics) = &shared.metrics {
+                metrics.observe_depth(queue.len());
+            }
             drop(queue);
             drop(progress);
             shared.wake.notify_all();

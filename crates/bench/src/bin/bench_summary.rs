@@ -3,22 +3,24 @@
 //!
 //! Runs the trajectory-deduplication and context-reuse workloads directly
 //! (no criterion harness) plus the HTTP-server load scenario, and writes
-//! `BENCH_5.json`: one entry per benchmark with the optimized and naive
-//! mean per-shot cost in nanoseconds and the resulting speedup, and a
+//! `BENCH_6.json`: one entry per benchmark with the optimized and naive
+//! mean per-shot cost in nanoseconds and the resulting speedup, a
 //! `server` section with the service's throughput and cold-vs-cache-hit
-//! latency. The JSON is parsed back before the process exits, so a
-//! malformed writer fails loudly (CI runs the binary in `--test-mode`
-//! with tiny shot counts on every push).
+//! latency, and a `metrics_overhead` row measuring what the disabled-mode
+//! telemetry hooks cost the context-reuse hot loop. The JSON is parsed
+//! back before the process exits, so a malformed writer fails loudly (CI
+//! runs the binary in `--test-mode` with tiny shot counts on every push).
 //!
 //! ```text
 //! bench_summary [--test-mode] [--out <path>]
 //! ```
 //!
 //! * `--test-mode` shrinks shots and repetitions so the run finishes in
-//!   seconds — the timings are then meaningless, but the whole pipeline
-//!   (workloads, cross-checks, server round trips, JSON writer) is
-//!   exercised.
-//! * `--out` overrides the output path (default `BENCH_5.json`, i.e. the
+//!   seconds — the timings are then meaningless (except the overhead row,
+//!   which keeps enough shots to stay meaningful and is asserted ≤ 2 %),
+//!   but the whole pipeline (workloads, cross-checks, server round trips,
+//!   JSON writer) is exercised.
+//! * `--out` overrides the output path (default `BENCH_6.json`, i.e. the
 //!   repo root when invoked from there).
 
 use std::process::ExitCode;
@@ -31,6 +33,7 @@ use qsdd_core::{
     run_engine, run_engine_dedup, BackendKind, DdSimulator, OptLevel, ShotEngine, StochasticBackend,
 };
 use qsdd_noise::NoiseModel;
+use qsdd_telemetry::{Stage, StageTimings};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -51,7 +54,7 @@ impl Row {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut test_mode = false;
-    let mut out = "BENCH_5.json".to_string();
+    let mut out = "BENCH_6.json".to_string();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -117,6 +120,23 @@ fn main() -> ExitCode {
         );
     }
 
+    // The telemetry overhead smoke: the disabled-mode hooks must stay
+    // within 2 % of the bare context-reuse loop. Enough shots to make the
+    // comparison meaningful even in test mode, where it is a hard gate.
+    let (overhead_shots, overhead_reps) = if test_mode { (2_000, 9) } else { (20_000, 7) };
+    let overhead = metrics_overhead_row(overhead_shots, overhead_reps);
+    println!(
+        "{:<28} bare {:>13.1} ns/shot | instrumented {:>10.1} ns/shot | overhead {:>5.2} %",
+        overhead.name, overhead.baseline_ns, overhead.instrumented_ns, overhead.overhead_percent
+    );
+    if test_mode && overhead.overhead_percent > 2.0 {
+        eprintln!(
+            "error: disabled-mode telemetry overhead {:.2} % exceeds the 2 % budget",
+            overhead.overhead_percent
+        );
+        return ExitCode::FAILURE;
+    }
+
     // The HTTP service scenario: cold (uncached simulation) latency vs the
     // content-addressed cache-hit path, plus raw request throughput.
     let load_config = if test_mode {
@@ -139,7 +159,7 @@ fn main() -> ExitCode {
     }
 
     let document = Value::object(vec![
-        ("format".to_string(), Value::from("qsdd-bench-summary/2")),
+        ("format".to_string(), Value::from("qsdd-bench-summary/3")),
         ("test_mode".to_string(), Value::from(test_mode)),
         (
             "benchmarks".to_string(),
@@ -179,6 +199,23 @@ fn main() -> ExitCode {
                 ("errors".to_string(), Value::from(load.errors)),
             ]),
         ),
+        (
+            "metrics_overhead".to_string(),
+            Value::object(vec![
+                ("name".to_string(), Value::from(overhead.name)),
+                ("shots".to_string(), Value::from(overhead.shots)),
+                ("baseline_ns".to_string(), Value::from(overhead.baseline_ns)),
+                (
+                    "instrumented_ns".to_string(),
+                    Value::from(overhead.instrumented_ns),
+                ),
+                (
+                    "overhead_percent".to_string(),
+                    Value::from(overhead.overhead_percent),
+                ),
+                ("budget_percent".to_string(), Value::from(2.0)),
+            ]),
+        ),
     ]);
     let text = document.to_pretty_string();
     // The writer must stay parseable: round-trip before touching the disk.
@@ -215,6 +252,63 @@ fn dedup_row(name: &'static str, engine: ShotEngine, shots: usize, reps: usize) 
         shots,
         naive_ns: best_per_shot * 1e9 / shots as f64,
         optimized_ns: best_dedup * 1e9 / shots as f64,
+    }
+}
+
+/// The telemetry-overhead measurement of the context-reuse hot loop.
+struct OverheadRow {
+    name: &'static str,
+    shots: usize,
+    baseline_ns: f64,
+    instrumented_ns: f64,
+    overhead_percent: f64,
+}
+
+/// Times the context-reuse shot loop bare against the same loop carrying
+/// the per-job telemetry hooks the engine layer added (a stage-timings
+/// span around the loop plus the enabled-gated publish), with telemetry
+/// disabled — exactly the serving-path configuration the ≤ 2 % budget
+/// protects. Repetitions interleave the two sides and each takes its
+/// minimum, so scheduler noise hits both equally.
+fn metrics_overhead_row(shots: usize, reps: usize) -> OverheadRow {
+    qsdd_telemetry::set_enabled(false);
+    let backend = DdSimulator::new();
+    let circuit = ghz(16);
+    let noise = NoiseModel::paper_defaults();
+    let program = backend.compile(&circuit, &noise);
+    let mut ctx = backend.new_context();
+    let mut best_bare = f64::INFINITY;
+    let mut best_hooked = f64::INFINITY;
+    let mut bare_acc = 0u64;
+    let mut hooked_acc = 0u64;
+    for _ in 0..reps {
+        let started = Instant::now();
+        for shot in 0..shots as u64 {
+            let mut rng = StdRng::seed_from_u64(shot);
+            bare_acc ^= backend.run_shot(&program, &mut ctx, &mut rng).outcome;
+        }
+        best_bare = best_bare.min(started.elapsed().as_secs_f64());
+
+        let started = Instant::now();
+        let mut timings = StageTimings::new();
+        let span = Instant::now();
+        for shot in 0..shots as u64 {
+            let mut rng = StdRng::seed_from_u64(shot);
+            hooked_acc ^= backend.run_shot(&program, &mut ctx, &mut rng).outcome;
+        }
+        timings.record(Stage::Execute, span.elapsed());
+        timings.publish();
+        best_hooked = best_hooked.min(started.elapsed().as_secs_f64());
+    }
+    assert_eq!(bare_acc, hooked_acc, "telemetry hooks changed outcomes");
+    let baseline_ns = best_bare * 1e9 / shots as f64;
+    let instrumented_ns = best_hooked * 1e9 / shots as f64;
+    OverheadRow {
+        name: "telemetry_off_ghz16",
+        shots,
+        baseline_ns,
+        instrumented_ns,
+        overhead_percent: 100.0 * (instrumented_ns - baseline_ns) / baseline_ns,
     }
 }
 

@@ -283,7 +283,9 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
     started: Instant,
 ) -> StochasticOutcome {
     // Phase 1 + 2: presample every shot, group by pattern.
+    let presample_started = Instant::now();
     let (mut work, live_shots) = plan_shots(&support.plan, shots, threads, seed);
+    let presample_time = presample_started.elapsed();
     let unique_trajectories = work.len() as u64;
 
     // Phase 3: execute each trajectory once, fanning results out per shot.
@@ -315,6 +317,7 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
             }
         })
         .collect();
+    let execute_started = Instant::now();
     std::thread::scope(|scope| {
         for (items, sink) in worker_items.into_iter().zip(sinks.iter_mut()) {
             scope.spawn(move || {
@@ -375,8 +378,11 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
         }
     });
 
+    let execute_time = execute_started.elapsed();
+
     // Phase 4: merge. Integer-only aggregates merge directly; observable
     // runs replay the strided per-worker summation order first.
+    let aggregate_started = Instant::now();
     let partials: Vec<Option<WorkerPartial>> = if keep_records {
         let mut records: Vec<Option<(ShotSample, Vec<f64>)>> = Vec::new();
         records.resize_with(shots, || None);
@@ -426,6 +432,16 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
         unique_trajectories,
         live_shots,
     });
+    outcome
+        .stage_timings
+        .record(qsdd_telemetry::Stage::Presample, presample_time);
+    outcome
+        .stage_timings
+        .record(qsdd_telemetry::Stage::Execute, execute_time);
+    outcome.stage_timings.record(
+        qsdd_telemetry::Stage::Aggregate,
+        aggregate_started.elapsed(),
+    );
     outcome
 }
 

@@ -79,3 +79,6 @@ pub use stochastic::{
 // Re-exported so `StochasticSimulator::with_opt_level` is usable without a
 // direct `qsdd-transpile` dependency.
 pub use qsdd_transpile::OptLevel;
+// Re-exported so consumers of `StochasticOutcome::stage_timings` can name
+// the types without a direct `qsdd-telemetry` dependency.
+pub use qsdd_telemetry::{Stage, StageTimings};

@@ -35,7 +35,9 @@
 use std::time::Instant;
 
 use qsdd_circuit::Circuit;
+use qsdd_dd::TableStats;
 use qsdd_noise::{ErrorPattern, NoiseModel, Presampled};
+use qsdd_telemetry::{Stage, StageTimings};
 use qsdd_transpile::{layout, transpile, OptLevel, TranspileResult};
 use rand::rngs::StdRng;
 
@@ -115,6 +117,26 @@ impl ExecContext {
         self.dense.get_or_insert_with(Box::default)
     }
 
+    /// Snapshot of the decision-diagram table counters accumulated by this
+    /// context's packages (primary + auxiliary), for before/after deltas
+    /// around a job. Zero when no decision-diagram shot ran yet.
+    pub(crate) fn dd_table_stats(&self) -> TableStats {
+        let mut total = TableStats::default();
+        for ctx in [self.dd.as_deref(), self.dd_aux.as_deref()]
+            .into_iter()
+            .flatten()
+        {
+            let stats = ctx.package().table_stats();
+            total.vec_unique_hits += stats.vec_unique_hits;
+            total.vec_unique_misses += stats.vec_unique_misses;
+            total.mat_unique_hits += stats.mat_unique_hits;
+            total.mat_unique_misses += stats.mat_unique_misses;
+            total.compute_hits += stats.compute_hits;
+            total.compute_misses += stats.compute_misses;
+        }
+        total
+    }
+
     /// Borrows the decision-diagram context pair (primary + auxiliary).
     fn dd_pair(&mut self) -> (&mut DdContext, &mut DdContext) {
         self.dd.get_or_insert_with(Box::default);
@@ -178,6 +200,9 @@ pub struct ShotEngine {
     /// How the compiled program supports trajectory deduplication, resolved
     /// once at construction (`None`: every shot must execute live).
     dedup: Option<DedupSupport>,
+    /// Wall time spent in the construction stages (transpile, compile), so
+    /// runners can fold the one-off setup cost into a job's stage breakdown.
+    timings: StageTimings,
 }
 
 impl ShotEngine {
@@ -193,7 +218,10 @@ impl ShotEngine {
         opt: OptLevel,
     ) -> Self {
         if opt == OptLevel::O0 {
+            let compile_started = Instant::now();
             let backend = EngineBackend::compile(backend, circuit, &noise);
+            let mut timings = StageTimings::new();
+            timings.record(Stage::Compile, compile_started.elapsed());
             return ShotEngine {
                 dedup: backend.dedup_support(),
                 backend,
@@ -201,9 +229,15 @@ impl ShotEngine {
                 output_layout: None,
                 noise,
                 seed,
+                timings,
             };
         }
-        ShotEngine::from_transpiled(&transpile(circuit, opt), backend, noise, seed)
+        let transpile_started = Instant::now();
+        let transpiled = transpile(circuit, opt);
+        let transpile_time = transpile_started.elapsed();
+        let mut engine = ShotEngine::from_transpiled(&transpiled, backend, noise, seed);
+        engine.timings.record(Stage::Transpile, transpile_time);
+        engine
     }
 
     /// Builds an engine from an already-transpiled circuit.
@@ -216,7 +250,10 @@ impl ShotEngine {
         noise: NoiseModel,
         seed: u64,
     ) -> Self {
+        let compile_started = Instant::now();
         let backend = EngineBackend::compile(backend, &transpiled.circuit, &noise);
+        let mut timings = StageTimings::new();
+        timings.record(Stage::Compile, compile_started.elapsed());
         ShotEngine {
             dedup: backend.dedup_support(),
             backend,
@@ -225,7 +262,14 @@ impl ShotEngine {
                 .then(|| transpiled.output_layout.clone()),
             noise,
             seed,
+            timings,
         }
+    }
+
+    /// Wall time the construction stages took (transpile and compile), as a
+    /// [`StageTimings`] ready to merge into a run's breakdown.
+    pub fn stage_timings(&self) -> StageTimings {
+        self.timings
     }
 
     /// The circuit the engine actually executes (after transpilation).

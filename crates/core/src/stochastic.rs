@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use qsdd_circuit::Circuit;
 use qsdd_noise::NoiseModel;
+use qsdd_telemetry::{Stage, StageTimings};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -141,6 +142,11 @@ pub struct StochasticOutcome {
     /// the ordinary per-shot path (deduplication disabled, or the program
     /// does not support it).
     pub dedup: Option<DedupStats>,
+    /// Wall-time breakdown by pipeline stage (transpile, compile,
+    /// presample, group, execute, aggregate). Always filled — reading a
+    /// few `Instant`s per *job* costs nothing measurable — so callers can
+    /// render a profile without enabling global telemetry.
+    pub stage_timings: StageTimings,
 }
 
 impl StochasticOutcome {
@@ -156,6 +162,7 @@ impl StochasticOutcome {
             wall_time,
             threads,
             dedup: None,
+            stage_timings: StageTimings::new(),
         }
     }
 
@@ -279,6 +286,7 @@ pub(crate) fn merge_partials(
         wall_time: started.elapsed(),
         threads,
         dedup: None,
+        stage_timings: StageTimings::new(),
     }
 }
 
@@ -314,11 +322,13 @@ pub fn run_stochastic<B: StochasticBackend>(
             started.elapsed(),
         );
     }
+    let compile_started = Instant::now();
     let program = backend.compile(circuit, &config.noise);
+    let compile_time = compile_started.elapsed();
     let threads = config.effective_threads().max(1).min(config.shots);
     if config.dedup {
         if let Some(support) = backend.dedup_support(&program) {
-            return run_dedup(
+            let mut outcome = run_dedup(
                 backend,
                 &program,
                 &support,
@@ -329,9 +339,12 @@ pub fn run_stochastic<B: StochasticBackend>(
                 None,
                 started,
             );
+            outcome.stage_timings.record(Stage::Compile, compile_time);
+            return outcome;
         }
     }
     let mut partials: Vec<Option<WorkerPartial>> = (0..threads).map(|_| None).collect();
+    let execute_started = Instant::now();
 
     std::thread::scope(|scope| {
         for (worker, slot) in partials.iter_mut().enumerate() {
@@ -362,8 +375,16 @@ pub fn run_stochastic<B: StochasticBackend>(
             });
         }
     });
+    let execute_time = execute_started.elapsed();
 
-    merge_partials(partials, config.shots, observables.len(), threads, started)
+    let aggregate_started = Instant::now();
+    let mut outcome = merge_partials(partials, config.shots, observables.len(), threads, started);
+    outcome.stage_timings.record(Stage::Compile, compile_time);
+    outcome.stage_timings.record(Stage::Execute, execute_time);
+    outcome
+        .stage_timings
+        .record(Stage::Aggregate, aggregate_started.elapsed());
+    outcome
 }
 
 /// Runs `shots` independent stochastic shots on a prepared [`ShotEngine`],
@@ -403,6 +424,7 @@ pub fn run_engine(
     let mapped = engine.map_observables(observables);
     let mut partials: Vec<Option<WorkerPartial>> = (0..threads).map(|_| None).collect();
 
+    let execute_started = Instant::now();
     std::thread::scope(|scope| {
         for (worker, slot) in partials.iter_mut().enumerate() {
             let mapped = &mapped;
@@ -426,8 +448,16 @@ pub fn run_engine(
             });
         }
     });
+    let execute_time = execute_started.elapsed();
 
-    merge_partials(partials, shots, observables.len(), threads, started)
+    let aggregate_started = Instant::now();
+    let mut outcome = merge_partials(partials, shots, observables.len(), threads, started);
+    outcome.stage_timings = engine.stage_timings();
+    outcome.stage_timings.record(Stage::Execute, execute_time);
+    outcome
+        .stage_timings
+        .record(Stage::Aggregate, aggregate_started.elapsed());
+    outcome
 }
 
 /// The deduplicating twin of [`run_engine`]: shots are presampled and
@@ -459,6 +489,10 @@ pub fn run_engine_dedup(
     }
     engine
         .dedup_outcome(shots, resolved.min(shots), observables, started)
+        .map(|mut outcome| {
+            outcome.stage_timings.merge(&engine.stage_timings());
+            outcome
+        })
         .unwrap_or_else(|| run_engine(engine, shots, threads, observables))
 }
 
@@ -492,15 +526,41 @@ pub fn run_engine_in(
     if shots == 0 {
         return StochasticOutcome::empty(observables.len(), 1, started.elapsed());
     }
+    let dd_before = ctx.dd_table_stats();
     let mapped = engine.map_observables(observables);
+    let mut outcome = run_engine_in_inner(engine, ctx, shots, &mapped, dedup, started);
+    outcome.stage_timings.merge(&engine.stage_timings());
+    publish_job_metrics(&outcome, ctx.dd_table_stats().since(&dd_before));
+    outcome
+}
+
+/// The timed body of [`run_engine_in`]: executes the shots and fills the
+/// presample/execute/aggregate entries of the outcome's stage breakdown
+/// (the engine's own transpile/compile times are merged by the caller).
+fn run_engine_in_inner(
+    engine: &ShotEngine,
+    ctx: &mut crate::ExecContext,
+    shots: usize,
+    mapped: &[Observable],
+    dedup: bool,
+    started: Instant,
+) -> StochasticOutcome {
     if dedup {
-        if let Some((groups, live)) = engine.presample_range(0..shots as u64) {
-            return run_dedup_serial(engine, ctx, shots, &mapped, groups, live, started);
+        let presample_started = Instant::now();
+        let presampled = engine.presample_range(0..shots as u64);
+        let presample_time = presample_started.elapsed();
+        if let Some((groups, live)) = presampled {
+            let mut outcome = run_dedup_serial(engine, ctx, shots, mapped, groups, live, started);
+            outcome
+                .stage_timings
+                .record(Stage::Presample, presample_time);
+            return outcome;
         }
     }
+    let execute_started = Instant::now();
     let mut partial = WorkerPartial::new(mapped.len());
     for shot in 0..shots as u64 {
-        let (sample, values) = engine.run_shot_with_observables_in(ctx, shot, &mapped);
+        let (sample, values) = engine.run_shot_with_observables_in(ctx, shot, mapped);
         partial.record(
             sample.outcome,
             sample.error_events,
@@ -509,7 +569,95 @@ pub fn run_engine_in(
             &values,
         );
     }
-    merge_partials(vec![Some(partial)], shots, mapped.len(), 1, started)
+    let execute_time = execute_started.elapsed();
+    let aggregate_started = Instant::now();
+    let mut outcome = merge_partials(vec![Some(partial)], shots, mapped.len(), 1, started);
+    outcome.stage_timings.record(Stage::Execute, execute_time);
+    outcome
+        .stage_timings
+        .record(Stage::Aggregate, aggregate_started.elapsed());
+    outcome
+}
+
+/// Publishes a finished job's stage timings and decision-diagram table
+/// traffic to the global telemetry registry. A no-op while telemetry is
+/// disabled — one relaxed atomic load — so the per-job cost off the
+/// serving path is negligible.
+fn publish_job_metrics(outcome: &StochasticOutcome, dd_delta: qsdd_dd::TableStats) {
+    if !qsdd_telemetry::enabled() {
+        return;
+    }
+    outcome.stage_timings.publish();
+    let registry = qsdd_telemetry::global();
+    let counters: [(&str, &str, u64); 8] = [
+        (
+            "qsdd_dd_vec_unique_hits_total",
+            "Vector unique-table lookups that found an existing node",
+            dd_delta.vec_unique_hits,
+        ),
+        (
+            "qsdd_dd_vec_unique_misses_total",
+            "Vector unique-table lookups that created a new node",
+            dd_delta.vec_unique_misses,
+        ),
+        (
+            "qsdd_dd_mat_unique_hits_total",
+            "Matrix unique-table lookups that found an existing node",
+            dd_delta.mat_unique_hits,
+        ),
+        (
+            "qsdd_dd_mat_unique_misses_total",
+            "Matrix unique-table lookups that created a new node",
+            dd_delta.mat_unique_misses,
+        ),
+        (
+            "qsdd_dd_compute_hits_total",
+            "Compute-table lookups that hit a cached result",
+            dd_delta.compute_hits,
+        ),
+        (
+            "qsdd_dd_compute_misses_total",
+            "Compute-table lookups that missed and computed",
+            dd_delta.compute_misses,
+        ),
+        (
+            "qsdd_jobs_shots_total",
+            "Stochastic shots aggregated into finished jobs",
+            outcome.shots as u64,
+        ),
+        (
+            "qsdd_jobs_error_events_total",
+            "Stochastic error events over all finished jobs",
+            outcome.error_events,
+        ),
+    ];
+    for (name, help, value) in counters {
+        if value > 0 {
+            registry.counter(name, help).add(value);
+        }
+    }
+    if outcome.dd_nodes_peak > 0 {
+        registry
+            .gauge(
+                "qsdd_dd_peak_nodes",
+                "Highest decision-diagram node count any job reached",
+            )
+            .set_max(outcome.dd_nodes_peak as i64);
+    }
+    if let Some(stats) = &outcome.dedup {
+        registry
+            .counter(
+                "qsdd_dedup_unique_trajectories_total",
+                "Distinct trajectories actually simulated by deduplicated jobs",
+            )
+            .add(stats.unique_trajectories);
+        registry
+            .counter(
+                "qsdd_dedup_live_shots_total",
+                "Shots that fell back to live execution in deduplicated jobs",
+            )
+            .add(stats.live_shots);
+    }
 }
 
 /// The single-context twin of the deduplicating driver: groups in
@@ -530,6 +678,7 @@ fn run_dedup_serial(
         unique_trajectories: (groups.len() + live.len()) as u64,
         live_shots: live.len() as u64,
     };
+    let execute_started = Instant::now();
     let mut outcome = if mapped.is_empty() {
         // Integer-only aggregation: fold records as they are produced.
         let mut partial = WorkerPartial::new(0);
@@ -554,7 +703,14 @@ fn run_dedup_serial(
                 &[],
             );
         }
-        merge_partials(vec![Some(partial)], shots, 0, 1, started)
+        let execute_time = execute_started.elapsed();
+        let aggregate_started = Instant::now();
+        let mut outcome = merge_partials(vec![Some(partial)], shots, 0, 1, started);
+        outcome.stage_timings.record(Stage::Execute, execute_time);
+        outcome
+            .stage_timings
+            .record(Stage::Aggregate, aggregate_started.elapsed());
+        outcome
     } else {
         // Observable sums are order-sensitive: collect per-shot records,
         // then replay them in shot-index order (the one-worker stride).
@@ -569,6 +725,8 @@ fn run_dedup_serial(
             let (sample, values) = engine.run_shot_with_observables_in(ctx, shot, mapped);
             records[shot as usize] = Some((sample, values));
         }
+        let execute_time = execute_started.elapsed();
+        let aggregate_started = Instant::now();
         let mut partial = WorkerPartial::new(mapped.len());
         for record in &records {
             let (sample, values) = record
@@ -582,7 +740,12 @@ fn run_dedup_serial(
                 values,
             );
         }
-        merge_partials(vec![Some(partial)], shots, mapped.len(), 1, started)
+        let mut outcome = merge_partials(vec![Some(partial)], shots, mapped.len(), 1, started);
+        outcome.stage_timings.record(Stage::Execute, execute_time);
+        outcome
+            .stage_timings
+            .record(Stage::Aggregate, aggregate_started.elapsed());
+        outcome
     };
     outcome.dedup = Some(stats);
     outcome
@@ -705,6 +868,40 @@ mod tests {
     }
 
     #[test]
+    fn stage_timings_cover_the_pipeline_on_every_runner() {
+        use crate::{BackendKind, ShotEngine};
+        use qsdd_transpile::OptLevel;
+
+        // Threaded runner: compile + execute are always timed.
+        let backend = DdSimulator::new();
+        let config = StochasticConfig::new(64).with_threads(2).with_seed(5);
+        let outcome = run_stochastic(&backend, &ghz(4), &config, &[]);
+        assert!(outcome.stage_timings.get(Stage::Execute) > Duration::ZERO);
+        assert!(outcome.stage_timings.total() >= outcome.stage_timings.get(Stage::Execute));
+
+        // In-context runner (the server path): the engine's compile time is
+        // merged in, the dedup driver fills presample, and the
+        // instrumentation never alters results.
+        let engine = ShotEngine::new(
+            &ghz(4),
+            BackendKind::DecisionDiagram,
+            NoiseModel::noiseless().with_depolarizing(0.05),
+            9,
+            OptLevel::O1,
+        );
+        let mut ctx = engine.new_context();
+        let in_ctx = run_engine_in(&engine, &mut ctx, 64, &[], true);
+        assert!(in_ctx.stage_timings.get(Stage::Compile) > Duration::ZERO);
+        assert!(in_ctx.stage_timings.get(Stage::Execute) > Duration::ZERO);
+        if in_ctx.dedup.is_some() {
+            assert!(in_ctx.stage_timings.get(Stage::Presample) > Duration::ZERO);
+        }
+        let reference = run_engine_dedup(&engine, 64, 1, &[]);
+        assert_eq!(in_ctx.counts, reference.counts);
+        assert_eq!(in_ctx.error_events, reference.error_events);
+    }
+
+    #[test]
     fn most_frequent_breaks_ties_by_smallest_outcome() {
         let outcome = StochasticOutcome {
             counts: HashMap::from([(7u64, 5u64), (2, 5), (4, 5), (9, 3)]),
@@ -716,6 +913,7 @@ mod tests {
             wall_time: Duration::ZERO,
             threads: 1,
             dedup: None,
+            stage_timings: StageTimings::new(),
         };
         // All of 2, 4, 7 are tied at 5 counts: the smallest index wins,
         // independent of hash-map iteration order.

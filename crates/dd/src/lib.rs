@@ -62,7 +62,7 @@ pub use complex_table::{ComplexId, ComplexTable, DEFAULT_TOLERANCE};
 pub use matrix2::Matrix2;
 pub use measure::SamplePlan;
 pub use node::{MatEdge, MatNode, MatNodeId, VecEdge, VecNode, VecNodeId};
-pub use package::{DdPackage, PackageStats, DEFAULT_CACHE_LIMIT};
+pub use package::{DdPackage, PackageStats, TableStats, DEFAULT_CACHE_LIMIT};
 
 #[cfg(test)]
 mod crate_tests {

@@ -38,6 +38,7 @@ impl DdPackage {
         );
         if self.caching_enabled {
             if let Some(&cached) = self.ct_mat_vec.get(&(m.node, v.node)) {
+                self.counters.compute_hits += 1;
                 let w = self.ctable.mul(weight, cached.weight);
                 return VecEdge {
                     node: cached.node,
@@ -59,6 +60,7 @@ impl DdPackage {
         }
         let result = self.make_vec_node(mnode.var, children);
         if self.caching_enabled {
+            self.counters.compute_misses += 1;
             self.ct_mat_vec.insert((m.node, v.node), result);
         }
         VecEdge {
@@ -96,6 +98,7 @@ impl DdPackage {
         };
         if self.caching_enabled {
             if let Some(&cached) = self.ct_vec_add.get(&(x, y)) {
+                self.counters.compute_hits += 1;
                 return cached;
             }
         }
@@ -116,6 +119,7 @@ impl DdPackage {
         }
         let result = self.make_vec_node(xn.var, children);
         if self.caching_enabled {
+            self.counters.compute_misses += 1;
             self.ct_vec_add.insert((x, y), result);
         }
         result
@@ -149,6 +153,7 @@ impl DdPackage {
         };
         if self.caching_enabled {
             if let Some(&cached) = self.ct_mat_add.get(&(x, y)) {
+                self.counters.compute_hits += 1;
                 return cached;
             }
         }
@@ -169,6 +174,7 @@ impl DdPackage {
         }
         let result = self.make_mat_node(xn.var, children);
         if self.caching_enabled {
+            self.counters.compute_misses += 1;
             self.ct_mat_add.insert((x, y), result);
         }
         result
@@ -199,6 +205,7 @@ impl DdPackage {
         }
         if self.caching_enabled {
             if let Some(&cached) = self.ct_mat_mat.get(&(a.node, b.node)) {
+                self.counters.compute_hits += 1;
                 let w = self.ctable.mul(weight, cached.weight);
                 return MatEdge {
                     node: cached.node,
@@ -219,6 +226,7 @@ impl DdPackage {
         }
         let result = self.make_mat_node(an.var, children);
         if self.caching_enabled {
+            self.counters.compute_misses += 1;
             self.ct_mat_mat.insert((a.node, b.node), result);
         }
         MatEdge {
@@ -247,6 +255,7 @@ impl DdPackage {
         );
         if self.caching_enabled {
             if let Some(&cached) = self.ct_inner.get(&(a.node, b.node)) {
+                self.counters.compute_hits += 1;
                 return cached * w;
             }
         }
@@ -258,6 +267,7 @@ impl DdPackage {
             sum += self.inner_rec(an.edges[i], bn.edges[i]);
         }
         if self.caching_enabled {
+            self.counters.compute_misses += 1;
             self.ct_inner.insert((a.node, b.node), sum);
         }
         sum * w

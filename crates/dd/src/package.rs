@@ -30,6 +30,52 @@ pub struct PackageStats {
     pub vec_add_cache: usize,
 }
 
+/// Lifetime hit/miss counters of a package's unique and compute tables.
+///
+/// Maintained unconditionally — each counter is one unconditional `u64`
+/// increment on a field the table lookup just touched, which is
+/// unmeasurable next to the hash probe it annotates. The counters track
+/// the *owning package's* whole lifetime: rewinds ([`DdPackage::
+/// reset_transient`]) and re-seats (`clone_from`) do not reset them, so a
+/// long-lived worker context accumulates its true table effectiveness.
+/// Read them with [`DdPackage::table_stats`], difference snapshots for
+/// per-job rates, or reset with [`DdPackage::reset_table_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Vector unique-table lookups that found an existing node.
+    pub vec_unique_hits: u64,
+    /// Vector unique-table lookups that created a new node.
+    pub vec_unique_misses: u64,
+    /// Matrix unique-table lookups that found an existing node.
+    pub mat_unique_hits: u64,
+    /// Matrix unique-table lookups that created a new node.
+    pub mat_unique_misses: u64,
+    /// Compute-table lookups (all operation caches) that hit.
+    pub compute_hits: u64,
+    /// Compute-table lookups that missed and computed.
+    pub compute_misses: u64,
+}
+
+impl TableStats {
+    /// Counter-wise `self - earlier`, for per-job deltas over a reused
+    /// package (saturating: a fresh snapshot against an older package is
+    /// never negative).
+    pub fn since(&self, earlier: &TableStats) -> TableStats {
+        TableStats {
+            vec_unique_hits: self.vec_unique_hits.saturating_sub(earlier.vec_unique_hits),
+            vec_unique_misses: self
+                .vec_unique_misses
+                .saturating_sub(earlier.vec_unique_misses),
+            mat_unique_hits: self.mat_unique_hits.saturating_sub(earlier.mat_unique_hits),
+            mat_unique_misses: self
+                .mat_unique_misses
+                .saturating_sub(earlier.mat_unique_misses),
+            compute_hits: self.compute_hits.saturating_sub(earlier.compute_hits),
+            compute_misses: self.compute_misses.saturating_sub(earlier.compute_misses),
+        }
+    }
+}
+
 /// A self-contained decision diagram manager.
 ///
 /// All diagrams handed out by a package (as [`VecEdge`] / [`MatEdge`]) are
@@ -92,6 +138,8 @@ pub struct DdPackage {
     pub(crate) visit_marks: Vec<u32>,
     pub(crate) visit_stamp: u32,
     pub(crate) visit_stack: Vec<VecNodeId>,
+    /// Lifetime table hit/miss counters (diagnostics; see [`TableStats`]).
+    pub(crate) counters: TableStats,
 }
 
 impl Clone for DdPackage {
@@ -118,6 +166,7 @@ impl Clone for DdPackage {
             visit_marks: Vec::new(),
             visit_stamp: 0,
             visit_stack: Vec::new(),
+            counters: self.counters,
         }
     }
 
@@ -146,6 +195,12 @@ impl Clone for DdPackage {
         self.visit_marks.clear();
         self.visit_stamp = 0;
         self.visit_stack.clear();
+        // Deliberately NOT copied from `source`: the counters describe the
+        // destination package's lifetime of table traffic, and a re-seat
+        // onto another program's template must not erase what this package
+        // has already counted (the template's counters describe compile
+        // time, not this worker). Simulation state is unaffected — the
+        // counters are pure diagnostics.
     }
 }
 
@@ -176,6 +231,7 @@ impl DdPackage {
             visit_marks: Vec::new(),
             visit_stamp: 0,
             visit_stack: Vec::new(),
+            counters: TableStats::default(),
         }
     }
 
@@ -252,6 +308,17 @@ impl DdPackage {
             mat_vec_cache: self.ct_mat_vec.len(),
             vec_add_cache: self.ct_vec_add.len(),
         }
+    }
+
+    /// Lifetime unique/compute-table hit and miss counters (see
+    /// [`TableStats`]).
+    pub fn table_stats(&self) -> TableStats {
+        self.counters
+    }
+
+    /// Resets the table hit/miss counters to zero.
+    pub fn reset_table_stats(&mut self) {
+        self.counters = TableStats::default();
     }
 
     /// Clears all operation caches (not the unique tables).
@@ -408,8 +475,12 @@ impl DdPackage {
             edges: new_edges,
         };
         let id = match self.vec_unique.get(&node) {
-            Some(&id) => id,
+            Some(&id) => {
+                self.counters.vec_unique_hits += 1;
+                id
+            }
             None => {
+                self.counters.vec_unique_misses += 1;
                 let id = VecNodeId(self.vec_nodes.len() as u32);
                 self.vec_nodes.push(node);
                 self.vec_unique.insert(node, id);
@@ -460,8 +531,12 @@ impl DdPackage {
             edges: new_edges,
         };
         let id = match self.mat_unique.get(&node) {
-            Some(&id) => id,
+            Some(&id) => {
+                self.counters.mat_unique_hits += 1;
+                id
+            }
             None => {
+                self.counters.mat_unique_misses += 1;
                 let id = MatNodeId(self.mat_nodes.len() as u32);
                 self.mat_nodes.push(node);
                 self.mat_unique.insert(node, id);
@@ -903,5 +978,48 @@ mod tests {
         let id = dd.identity_op(3);
         let _ = dd.mat_vec_mul(id, s);
         assert!(dd.norm_cache.len() <= 2, "norm cache was not trimmed");
+    }
+
+    #[test]
+    fn table_stats_count_unique_and_compute_traffic() {
+        let mut dd = DdPackage::new();
+        let s = dd.zero_state(4);
+        let h = dd.single_qubit_op(4, 0, Matrix2::hadamard());
+        let stats = dd.table_stats();
+        assert!(stats.vec_unique_misses >= 4, "zero_state builds 4 nodes");
+        assert!(stats.mat_unique_misses > 0);
+        // Applying the same operator twice: the second pass replays cached
+        // results, so compute hits must appear.
+        let t = dd.mat_vec_mul(h, s);
+        let _ = dd.mat_vec_mul(h, t);
+        let _ = dd.mat_vec_mul(h, s);
+        let after = dd.table_stats();
+        assert!(after.compute_misses > stats.compute_misses);
+        assert!(after.compute_hits > 0, "repeated ops must hit the cache");
+
+        // Deltas subtract counter-wise and saturate.
+        let delta = after.since(&stats);
+        assert_eq!(
+            delta.compute_misses,
+            after.compute_misses - stats.compute_misses
+        );
+        assert_eq!(stats.since(&after).compute_misses, 0);
+
+        // Counters describe the package lifetime: a rewind keeps them, a
+        // reset clears them, clone copies them, and clone_from preserves
+        // the destination's own history.
+        dd.mark_persistent();
+        dd.reset_transient();
+        assert_eq!(dd.table_stats(), after);
+        let cloned = dd.clone();
+        assert_eq!(cloned.table_stats(), after);
+        let mut other = DdPackage::new();
+        let probe = other.zero_state(2);
+        let _ = probe;
+        let own = other.table_stats();
+        other.clone_from(&dd);
+        assert_eq!(other.table_stats(), own, "re-seat must keep own counters");
+        dd.reset_table_stats();
+        assert_eq!(dd.table_stats(), TableStats::default());
     }
 }

@@ -397,6 +397,9 @@ pub fn result_payload(input: &JobInput, outcome: &StochasticOutcome) -> String {
             .map_or(outcome.shots as u64, |stats| stats.unique_trajectories),
         dedup_hit_rate: outcome.dedup_hit_rate(),
         wall_time: outcome.wall_time,
+        // Timing fields never reach the payload (results_value drops them);
+        // the per-stage breakdown lives in the job envelope instead.
+        stage_timings: Default::default(),
     };
     let Value::Object(mut pairs) = report.results_value() else {
         unreachable!("results_value always builds an object");

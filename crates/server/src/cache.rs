@@ -20,6 +20,9 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use qsdd_telemetry::{Stage, StageTimings};
 
 use crate::api::JobInput;
 
@@ -63,8 +66,13 @@ pub struct ExecutionCell {
     pub key: String,
     /// The validated job input the worker executes.
     pub input: JobInput,
+    /// When the submission created the cell — the start of its queue wait.
+    created_at: Instant,
     state: Mutex<CellState>,
     done: Condvar,
+    /// The job's accumulated stage breakdown (parse and queue wait on the
+    /// serving path, the simulation stages merged in on completion).
+    timings: Mutex<StageTimings>,
 }
 
 impl ExecutionCell {
@@ -73,8 +81,10 @@ impl ExecutionCell {
             id,
             key,
             input,
+            created_at: Instant::now(),
             state: Mutex::new(CellState::Queued),
             done: Condvar::new(),
+            timings: Mutex::new(StageTimings::new()),
         }
     }
 
@@ -84,9 +94,37 @@ impl ExecutionCell {
         self.state.lock().expect("cell lock").clone()
     }
 
-    /// Marks the cell as picked up by a worker.
-    pub fn mark_running(&self) {
+    /// Marks the cell as picked up by a worker; records and returns how
+    /// long it waited in the queue since submission.
+    pub fn mark_running(&self) -> Duration {
         *self.state.lock().expect("cell lock") = CellState::Running;
+        let waited = self.created_at.elapsed();
+        self.record_stage(Stage::QueueWait, waited);
+        waited
+    }
+
+    /// Adds `elapsed` to one stage of the job's timing breakdown.
+    pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        self.timings
+            .lock()
+            .expect("cell lock")
+            .record(stage, elapsed);
+    }
+
+    /// Merges a finished run's stage breakdown into the job's.
+    pub fn merge_timings(&self, timings: &StageTimings) {
+        self.timings.lock().expect("cell lock").merge(timings);
+    }
+
+    /// A snapshot of the job's stage-timing breakdown so far.
+    pub fn stage_timings(&self) -> StageTimings {
+        *self.timings.lock().expect("cell lock")
+    }
+
+    /// Time since the cell was created (submission → now); at completion
+    /// this is the job's end-to-end latency.
+    pub fn age(&self) -> Duration {
+        self.created_at.elapsed()
     }
 
     /// Publishes the result payload and wakes synchronous waiters.
@@ -219,10 +257,12 @@ impl ResultCache {
 
     /// Records that `id` reached a terminal state, making it evictable;
     /// evicts the least recently used completed entries beyond capacity.
-    pub fn mark_terminal(&self, id: &str) {
+    /// Returns how many entries were evicted (for the metrics counter).
+    pub fn mark_terminal(&self, id: &str) -> usize {
         let mut inner = self.inner.lock().expect("cache lock");
         inner.stamps.insert(id.to_string(), 0);
         inner.lru_queue.push_back((id.to_string(), 0));
+        let mut evicted = 0;
         while inner.stamps.len() > self.capacity {
             let Some((candidate, stamp)) = inner.lru_queue.pop_front() else {
                 break;
@@ -232,8 +272,10 @@ impl ResultCache {
             if inner.stamps.get(&candidate) == Some(&stamp) {
                 inner.stamps.remove(&candidate);
                 inner.cells.remove(&candidate);
+                evicted += 1;
             }
         }
+        evicted
     }
 
     /// Number of completed entries currently retained.

@@ -8,6 +8,10 @@
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
+/// A decoded response: status code, lower-cased `(name, value)` header
+/// pairs in wire order, and the body.
+pub type RawResponse = (u16, Vec<(String, String)>, String);
+
 /// A keep-alive connection to the server.
 ///
 /// One client maps to one TCP connection; requests issued through it are
@@ -37,6 +41,18 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<(u16, String)> {
+        self.request_with_headers(method, path, body)
+            .map(|(status, _, body)| (status, body))
+    }
+
+    /// Issues one request and additionally returns the response headers as
+    /// lower-cased `(name, value)` pairs (e.g. to read `retry-after`).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<RawResponse> {
         let body = body.unwrap_or("");
         write!(
             self.writer,
@@ -59,7 +75,7 @@ pub fn request(
 }
 
 /// Reads one `HTTP/1.1` response with a `Content-Length` body.
-fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String)> {
+fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<RawResponse> {
     let mut status_line = String::new();
     if reader.read_line(&mut status_line)? == 0 {
         return Err(io::Error::new(
@@ -78,6 +94,7 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String)>
             )
         })?;
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -91,16 +108,19 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String)>
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
                     io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
                 })?;
             }
+            headers.push((name, value));
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     String::from_utf8(body)
-        .map(|body| (status, body))
+        .map(|body| (status, headers, body))
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body is not UTF-8"))
 }

@@ -216,13 +216,35 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(stream, status, "application/json", &[], body, keep_alive)
+}
+
+/// [`write_response`] with an explicit content type and extra headers
+/// (e.g. `Retry-After` on `429`, `text/plain` for `/v1/metrics`).
+///
+/// Extra header names/values must already be valid HTTP header text: no
+/// CR/LF, no colons in names (they are written verbatim).
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         reason_phrase(status),
         body.len(),
-    )?;
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    write!(stream, "{head}\r\n{body}")?;
     stream.flush()
 }
 
@@ -307,5 +329,37 @@ mod tests {
         assert!(text.contains("content-length: 11\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_and_content_type_are_written_before_the_blank_line() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            429,
+            "application/json",
+            &[("retry-after", "1")],
+            "{}",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        let head = text.split("\r\n\r\n").next().unwrap();
+        assert!(head.contains("retry-after: 1"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            200,
+            "text/plain; version=0.0.4",
+            &[],
+            "x 1\n",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("content-type: text/plain; version=0.0.4\r\n"));
     }
 }

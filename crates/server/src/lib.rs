@@ -57,6 +57,7 @@ pub mod api;
 pub mod cache;
 pub mod client;
 pub mod http;
+mod metrics;
 pub mod server;
 
 pub use api::{parse_job_request, result_payload, JobInput};

@@ -1,0 +1,202 @@
+//! Per-server-instance Prometheus metrics.
+//!
+//! Each [`Server`](crate::Server) owns its own
+//! [`Registry`](qsdd_telemetry::Registry) rather than sharing the
+//! process-global one, so several servers in one process (the test suite
+//! boots them side by side) never mix counters, and `GET /v1/metrics` can
+//! assert exact values against a scripted workload. The rendered page
+//! concatenates this registry with the global one (stage histograms,
+//! decision-diagram table traffic), whose metric names do not overlap.
+
+use std::sync::Arc;
+
+use qsdd_telemetry::{Counter, Gauge, Histogram, Registry, LATENCY_BOUNDS};
+
+/// Pre-resolved handles into the server's private registry (resolving a
+/// metric by name takes the registry lock, so the fixed-name series are
+/// looked up once at startup).
+#[derive(Debug)]
+pub(crate) struct ServerMetrics {
+    registry: Registry,
+    /// Submissions answered from a completed cache entry.
+    pub cache_hits: Arc<Counter>,
+    /// Submissions that created a new cell (a cache miss).
+    pub cache_misses: Arc<Counter>,
+    /// Submissions attached to an identical in-flight job.
+    pub coalesced: Arc<Counter>,
+    /// Completed entries dropped by the cache's LRU bound.
+    pub evictions: Arc<Counter>,
+    /// Submissions shed with `429` because the queue was full.
+    pub rejected: Arc<Counter>,
+    /// Jobs whose simulation finished and published a result.
+    pub jobs_completed: Arc<Counter>,
+    /// Jobs whose simulation panicked.
+    pub jobs_failed: Arc<Counter>,
+    /// Seconds jobs spent queued before a worker picked them up.
+    pub queue_wait: Arc<Histogram>,
+    /// Seconds from submission to published result (end-to-end).
+    pub job_duration: Arc<Histogram>,
+    /// Jobs currently waiting in the bounded execution queue.
+    pub queue_depth: Arc<Gauge>,
+}
+
+impl ServerMetrics {
+    /// Creates the registry and registers every fixed-name series (so the
+    /// metrics page lists them from the first scrape, at zero).
+    pub fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        let cache_hits = registry.counter(
+            "qsdd_cache_hits_total",
+            "Submissions answered from a completed cache entry",
+        );
+        let cache_misses = registry.counter(
+            "qsdd_cache_misses_total",
+            "Submissions that created a new job (cache miss)",
+        );
+        let coalesced = registry.counter(
+            "qsdd_cache_coalesced_total",
+            "Submissions attached to an identical in-flight job",
+        );
+        let evictions = registry.counter(
+            "qsdd_cache_evictions_total",
+            "Completed results evicted by the cache's LRU bound",
+        );
+        let rejected = registry.counter(
+            "qsdd_jobs_rejected_total",
+            "Submissions shed with 429 because the queue was full",
+        );
+        let jobs_completed = registry.counter(
+            "qsdd_jobs_completed_total",
+            "Jobs that finished and published a result",
+        );
+        let jobs_failed =
+            registry.counter("qsdd_jobs_failed_total", "Jobs whose simulation failed");
+        let queue_wait = registry.histogram(
+            "qsdd_queue_wait_seconds",
+            "Time jobs spent queued before a worker picked them up",
+            LATENCY_BOUNDS,
+        );
+        let job_duration = registry.histogram(
+            "qsdd_job_duration_seconds",
+            "Time from job submission to published result",
+            LATENCY_BOUNDS,
+        );
+        let queue_depth = registry.gauge(
+            "qsdd_queue_depth",
+            "Jobs currently waiting in the execution queue",
+        );
+        ServerMetrics {
+            registry,
+            cache_hits,
+            cache_misses,
+            coalesced,
+            evictions,
+            rejected,
+            jobs_completed,
+            jobs_failed,
+            queue_wait,
+            job_duration,
+            queue_depth,
+        }
+    }
+
+    /// Counts one finished HTTP exchange under its normalized endpoint and
+    /// status labels (label resolution takes the registry lock — fine at
+    /// per-request granularity).
+    pub fn observe_request(&self, path: &str, status: u16) {
+        self.registry
+            .counter_with(
+                "qsdd_http_requests_total",
+                "HTTP requests served, by endpoint and status",
+                &[
+                    ("endpoint", normalize_endpoint(path)),
+                    ("status", status_label(status)),
+                ],
+            )
+            .inc();
+    }
+
+    /// Renders this server's registry as Prometheus text.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+}
+
+/// Collapses request paths onto a bounded endpoint label set, so an
+/// attacker probing random paths cannot grow the registry without bound.
+pub(crate) fn normalize_endpoint(path: &str) -> &'static str {
+    match path {
+        "/v1/healthz" => "/v1/healthz",
+        "/v1/stats" => "/v1/stats",
+        "/v1/metrics" => "/v1/metrics",
+        "/v1/jobs" => "/v1/jobs",
+        "/v1/shutdown" => "/v1/shutdown",
+        path if path.starts_with("/v1/jobs/") => "/v1/jobs/{id}",
+        _ => "other",
+    }
+}
+
+/// The bounded status-label set (every status the server emits).
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        202 => "202",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        413 => "413",
+        429 => "429",
+        503 => "503",
+        _ => "500",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_normalize_onto_a_bounded_label_set() {
+        assert_eq!(normalize_endpoint("/v1/jobs"), "/v1/jobs");
+        assert_eq!(normalize_endpoint("/v1/jobs/j0123abc"), "/v1/jobs/{id}");
+        assert_eq!(normalize_endpoint("/v1/metrics"), "/v1/metrics");
+        assert_eq!(normalize_endpoint("/etc/passwd"), "other");
+        assert_eq!(normalize_endpoint(""), "other");
+    }
+
+    #[test]
+    fn request_counters_render_with_labels() {
+        let metrics = ServerMetrics::new();
+        metrics.observe_request("/v1/jobs", 202);
+        metrics.observe_request("/v1/jobs", 202);
+        metrics.observe_request("/v1/jobs/jdeadbeef", 200);
+        let text = metrics.render();
+        assert!(
+            text.contains("qsdd_http_requests_total{endpoint=\"/v1/jobs\",status=\"202\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qsdd_http_requests_total{endpoint=\"/v1/jobs/{id}\",status=\"200\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn fixed_series_are_present_from_the_first_scrape() {
+        let text = ServerMetrics::new().render();
+        for name in [
+            "qsdd_cache_hits_total",
+            "qsdd_cache_misses_total",
+            "qsdd_cache_coalesced_total",
+            "qsdd_cache_evictions_total",
+            "qsdd_jobs_rejected_total",
+            "qsdd_jobs_completed_total",
+            "qsdd_jobs_failed_total",
+            "qsdd_queue_wait_seconds_count",
+            "qsdd_job_duration_seconds_count",
+            "qsdd_queue_depth",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+}

@@ -36,10 +36,12 @@ use std::time::{Duration, Instant};
 
 use qsdd_core::{run_engine_in, ExecContext, ShotEngine};
 use qsdd_json::Value;
+use qsdd_telemetry::{log_kv, Level, SpanTimer, Stage, StageTimings};
 
 use crate::api::{self, JobInput};
 use crate::cache::{CellState, ExecutionCell, ResultCache, Submission};
 use crate::http::{self, Request, RequestError};
+use crate::metrics::ServerMetrics;
 
 /// Idle keep-alive connections are dropped after this long so shutdown is
 /// never held hostage by a silent client.
@@ -107,6 +109,9 @@ struct ServerState {
     queue_wake: Condvar,
     stats: Stats,
     active_connections: AtomicUsize,
+    /// This instance's Prometheus registry (`GET /v1/metrics`); private per
+    /// server so concurrent instances in one process never mix counters.
+    metrics: ServerMetrics,
 }
 
 impl ServerState {
@@ -141,6 +146,10 @@ impl Server {
     /// Binds the listener, spawns the worker pool and the acceptor, and
     /// returns the running server.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
+        // Serving mode turns the process-global telemetry on: the per-stage
+        // histograms and decision-diagram counters the simulation layers
+        // publish become part of this server's `/v1/metrics` page.
+        qsdd_telemetry::set_enabled(true);
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = if config.threads > 0 {
@@ -161,7 +170,16 @@ impl Server {
             queue_wake: Condvar::new(),
             stats: Stats::default(),
             active_connections: AtomicUsize::new(0),
+            metrics: ServerMetrics::new(),
         });
+        log_kv(
+            Level::Info,
+            "server.start",
+            &[
+                ("addr", &addr.to_string()),
+                ("workers", &workers.to_string()),
+            ],
+        );
 
         let mut worker_handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -297,10 +315,37 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
         };
         state.stats.http_requests.fetch_add(1, Ordering::Relaxed);
         let (status, body) = route(state, &request);
+        state.metrics.observe_request(&request.path, status);
+        log_kv(
+            Level::Debug,
+            "server.request",
+            &[
+                ("method", &request.method),
+                ("path", &request.path),
+                ("status", &status.to_string()),
+            ],
+        );
         // Finish the session once shutdown started: handlers must not
         // outlive the acceptor indefinitely.
         let keep_alive = request.keep_alive && !state.shutting_down();
-        if http::write_response(&mut writer, status, &body, keep_alive).is_err() || !keep_alive {
+        // A rejected job is retryable as soon as a worker frees a queue
+        // slot — tell clients how long to back off.
+        let retry_after: [(&str, &str); 1] = [("retry-after", "1")];
+        let extra_headers: &[(&str, &str)] = if status == 429 { &retry_after } else { &[] };
+        let content_type = if request.path == "/v1/metrics" && status == 200 {
+            "text/plain; version=0.0.4; charset=utf-8"
+        } else {
+            "application/json"
+        };
+        let written = http::write_response_with(
+            &mut writer,
+            status,
+            content_type,
+            extra_headers,
+            &body,
+            keep_alive,
+        );
+        if written.is_err() || !keep_alive {
             return;
         }
     }
@@ -311,6 +356,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/v1/healthz") => (200, r#"{"status":"ok"}"#.to_string()),
         ("GET", "/v1/stats") => (200, stats_body(state)),
+        ("GET", "/v1/metrics") => (200, metrics_body(state)),
         ("POST", "/v1/jobs") => submit_job(state, &request.body),
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             job_status(state, &path["/v1/jobs/".len()..])
@@ -319,7 +365,7 @@ fn route(state: &Arc<ServerState>, request: &Request) -> (u16, String) {
             initiate_shutdown(state);
             (200, r#"{"status":"shutting-down"}"#.to_string())
         }
-        (_, "/v1/healthz" | "/v1/stats" | "/v1/jobs" | "/v1/shutdown") => {
+        (_, "/v1/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/jobs" | "/v1/shutdown") => {
             (405, error_body("method not allowed"))
         }
         (_, path) if path.starts_with("/v1/jobs/") => (405, error_body("method not allowed")),
@@ -332,10 +378,13 @@ fn submit_job(state: &Arc<ServerState>, body: &str) -> (u16, String) {
     if state.shutting_down() {
         return (503, error_body("server is shutting down"));
     }
+    let parse_started = Instant::now();
     let input = match api::parse_job_request(body) {
         Ok(input) => input,
         Err(message) => return (400, error_body(&message)),
     };
+    let parse_time = parse_started.elapsed();
+    let lookup = SpanTimer::start(Stage::CacheLookup);
     let submission = state.cache.submit_with(input, |cell| {
         let mut queue = state.queue.lock().expect("queue lock");
         // Re-check shutdown under the queue lock: workers only observe the
@@ -346,23 +395,31 @@ fn submit_job(state: &Arc<ServerState>, body: &str) -> (u16, String) {
             return false;
         }
         queue.push_back(Arc::clone(cell));
+        state.metrics.queue_depth.set(queue.len() as i64);
         state.queue_wake.notify_one();
         true
     });
+    lookup.stop();
     let stats = &state.stats;
+    let metrics = &state.metrics;
     match submission {
         Submission::New(cell) => {
             stats.jobs_accepted.fetch_add(1, Ordering::Relaxed);
+            metrics.cache_misses.inc();
+            cell.record_stage(Stage::Parse, parse_time);
+            log_kv(Level::Info, "server.accept", &[("id", &cell.id)]);
             (202, submission_body(&cell, false))
         }
         Submission::Coalesced(cell) => {
             stats.jobs_accepted.fetch_add(1, Ordering::Relaxed);
             stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            metrics.coalesced.inc();
             (202, submission_body(&cell, false))
         }
         Submission::Hit(cell) => {
             stats.jobs_accepted.fetch_add(1, Ordering::Relaxed);
             stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            metrics.cache_hits.inc();
             (200, submission_body(&cell, true))
         }
         Submission::Rejected if state.shutting_down() => {
@@ -370,6 +427,8 @@ fn submit_job(state: &Arc<ServerState>, body: &str) -> (u16, String) {
         }
         Submission::Rejected => {
             stats.rejected.fetch_add(1, Ordering::Relaxed);
+            metrics.rejected.inc();
+            log_kv(Level::Warn, "server.reject", &[("reason", "queue_full")]);
             (429, error_body("job queue is full, retry later"))
         }
     }
@@ -407,6 +466,14 @@ fn job_status(state: &Arc<ServerState>, id: &str) -> (u16, String) {
             Value::from(qasm.as_str())
         ));
     }
+    // The stage breakdown accumulated so far (parse and queue wait while
+    // pending; the full simulation stages once terminal). Lives in the
+    // envelope, never in the cached result payload, which must stay a pure
+    // function of the job's canonical key.
+    body.push_str(&format!(
+        r#","timings":{}"#,
+        timings_json(&cell.stage_timings())
+    ));
     match snapshot {
         CellState::Done(payload) => {
             body.push_str(",\"result\":");
@@ -464,6 +531,12 @@ fn stats_body(state: &Arc<ServerState>) -> String {
             Value::from(stats.rejected.load(Ordering::Relaxed)),
         ),
         (
+            // The explicit name clients alert on; `rejected` above is the
+            // original spelling, kept for compatibility.
+            "rejected_jobs".to_string(),
+            Value::from(stats.rejected.load(Ordering::Relaxed)),
+        ),
+        (
             "simulations".to_string(),
             Value::from(stats.simulations.load(Ordering::Relaxed)),
         ),
@@ -483,6 +556,33 @@ fn stats_body(state: &Arc<ServerState>) -> String {
     .to_string()
 }
 
+/// `GET /v1/metrics`: Prometheus text — this instance's registry (request,
+/// cache and queue series) followed by the process-global one (stage
+/// histograms, decision-diagram table traffic). The name sets are disjoint.
+fn metrics_body(state: &Arc<ServerState>) -> String {
+    // Refresh the depth gauge at scrape time so an idle server reports the
+    // true (empty) queue even though no push/pop sampled it recently.
+    let queue_len = state.queue.lock().expect("queue lock").len();
+    state.metrics.queue_depth.set(queue_len as i64);
+    let mut page = state.metrics.render();
+    page.push_str(&qsdd_telemetry::global().render());
+    page
+}
+
+/// The job envelope's `timings` object: every pipeline stage in order (in
+/// seconds, zero when the stage did not run) plus the total.
+fn timings_json(timings: &StageTimings) -> String {
+    let mut fields: Vec<(String, Value)> = timings
+        .iter()
+        .map(|(stage, elapsed)| (stage.name().to_string(), Value::from(elapsed.as_secs_f64())))
+        .collect();
+    fields.push((
+        "total".to_string(),
+        Value::from(timings.total().as_secs_f64()),
+    ));
+    Value::object(fields).to_string()
+}
+
 fn error_body(message: &str) -> String {
     format!(r#"{{"error":{}}}"#, Value::from(message))
 }
@@ -498,6 +598,7 @@ fn worker_loop(state: &Arc<ServerState>) {
             let mut queue = state.queue.lock().expect("queue lock");
             loop {
                 if let Some(cell) = queue.pop_front() {
+                    state.metrics.queue_depth.set(queue.len() as i64);
                     break Some(cell);
                 }
                 if state.shutting_down() {
@@ -507,7 +608,8 @@ fn worker_loop(state: &Arc<ServerState>) {
             }
         };
         let Some(cell) = cell else { return };
-        cell.mark_running();
+        let waited = cell.mark_running();
+        state.metrics.queue_wait.observe_duration(waited);
         state.stats.simulations.fetch_add(1, Ordering::Relaxed);
         execute_job(state, &cell, &mut ctx);
     }
@@ -535,12 +637,25 @@ fn execute_job(state: &Arc<ServerState>, cell: &Arc<ExecutionCell>, ctx: &mut Ex
             input.opt,
         );
         let outcome = run_engine_in(&engine, ctx, input.shots, &input.observables, input.dedup);
-        api::result_payload(input, &outcome)
+        // The payload is timing-free by contract (byte-identical cache
+        // serving); the breakdown rides alongside into the job envelope.
+        (api::result_payload(input, &outcome), outcome.stage_timings)
     }));
     match result {
-        Ok(payload) => {
+        Ok((payload, timings)) => {
+            cell.merge_timings(&timings);
             cell.complete(Arc::new(payload));
             state.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            state.metrics.jobs_completed.inc();
+            state.metrics.job_duration.observe_duration(cell.age());
+            log_kv(
+                Level::Info,
+                "server.complete",
+                &[
+                    ("id", &cell.id),
+                    ("secs", &format!("{:.6}", cell.age().as_secs_f64())),
+                ],
+            );
         }
         Err(panic) => {
             let message = panic
@@ -550,10 +665,19 @@ fn execute_job(state: &Arc<ServerState>, cell: &Arc<ExecutionCell>, ctx: &mut Ex
                 .unwrap_or_else(|| "simulation panicked".to_string());
             cell.fail(format!("simulation failed: {message}"));
             state.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            state.metrics.jobs_failed.inc();
+            log_kv(
+                Level::Error,
+                "server.job_failed",
+                &[("id", &cell.id), ("message", &message)],
+            );
             *ctx = ExecContext::new();
         }
     }
-    state.cache.mark_terminal(&cell.id);
+    let evicted = state.cache.mark_terminal(&cell.id);
+    if evicted > 0 {
+        state.metrics.evictions.add(evicted as u64);
+    }
 }
 
 /// Runs the server until shutdown is requested (via `POST /v1/shutdown` or
@@ -564,7 +688,7 @@ pub fn serve_forever(config: ServerConfig, out: &mut impl Write) -> io::Result<(
     writeln!(out, "qsdd-server listening on http://{}", server.addr())?;
     writeln!(
         out,
-        "endpoints: POST /v1/jobs, GET /v1/jobs/<id>, GET /v1/healthz, GET /v1/stats, POST /v1/shutdown"
+        "endpoints: POST /v1/jobs, GET /v1/jobs/<id>, GET /v1/healthz, GET /v1/stats, GET /v1/metrics, POST /v1/shutdown"
     )?;
     out.flush()?;
     server.join();

@@ -1,0 +1,94 @@
+//! Dependency-free observability for the qsdd pipeline.
+//!
+//! Three small, orthogonal pieces:
+//!
+//! * **Metrics** ([`metrics`], [`registry`]) — sharded atomic counters,
+//!   gauges and fixed-bucket histograms, registered by name in a
+//!   [`Registry`] and rendered in Prometheus text exposition format.
+//!   Registries are plain values: the server owns one per instance (so
+//!   tests can assert exact counts), while library layers share the
+//!   process-wide [`global()`] registry.
+//! * **Spans** ([`spans`]) — a [`Stage`] vocabulary for the pipeline
+//!   (parse → transpile → compile → presample → group → execute →
+//!   aggregate, plus cache-lookup and queue-wait on the serving path), a
+//!   [`SpanTimer`] that records elapsed time into the global registry's
+//!   per-stage histograms, and a [`StageTimings`] accumulator for per-job
+//!   breakdowns.
+//! * **Logging** ([`log`]) — level-filtered `key=value` lines on stderr,
+//!   controlled by the `QSDD_LOG` environment variable.
+//!
+//! # The enabled gate
+//!
+//! Recording into the *global* registry is gated on a process-wide flag
+//! ([`enabled()`], default **off**) so the shot loop pays one relaxed
+//! atomic load — nothing else — when nobody is watching. The server and
+//! the CLI's `--profile` flag turn the gate on. Per-instance registries
+//! (the server's request counters) are not gated: their updates happen
+//! once per HTTP request, not per shot.
+//!
+//! The build environment is offline, so everything here is hand-rolled on
+//! `std` — no `prometheus`, no `tracing`.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+pub mod log;
+pub mod metrics;
+pub mod registry;
+pub mod spans;
+
+pub use log::{log_enabled, log_kv, Level};
+pub use metrics::{Counter, Gauge, Histogram, LATENCY_BOUNDS, SIZE_BOUNDS};
+pub use registry::Registry;
+pub use spans::{SpanTimer, Stage, StageTimings};
+
+/// Process-wide switch for recording into the [`global()`] registry.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether global-registry recording is on (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns global-registry recording on or off.
+///
+/// The server and `qsdd_cli --profile` call this with `true`; everything
+/// recorded before that is simply dropped.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide registry shared by the library layers (stage
+/// histograms, decision-diagram table counters, batch-scheduler gauges).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_gate_defaults_off_and_toggles() {
+        // Tests run in one process; restore the gate so ordering between
+        // tests cannot leak state.
+        let before = enabled();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(before);
+    }
+
+    #[test]
+    fn the_global_registry_is_a_singleton() {
+        let a = global() as *const Registry;
+        let b = global() as *const Registry;
+        assert_eq!(a, b);
+    }
+}

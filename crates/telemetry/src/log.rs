@@ -1,0 +1,146 @@
+//! A structured `key=value` logger on stderr, filtered by `QSDD_LOG`.
+//!
+//! `QSDD_LOG` holds a single level name (`error`, `warn`, `info`,
+//! `debug`, `trace`; `off`/unset disables logging). Lines look like
+//!
+//! ```text
+//! level=info target=server.accept id=j1f3a… queue=2
+//! ```
+//!
+//! — one line per event, machine-splittable on spaces, written with a
+//! single `eprintln!` so concurrent lines do not interleave mid-line.
+//! Diagnostics go to **stderr** by design: stdout is reserved for
+//! results throughout the qsdd tools.
+
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or dropped work.
+    Error,
+    /// Suspicious but handled.
+    Warn,
+    /// Lifecycle events (accepted jobs, completed batches).
+    Info,
+    /// Per-request detail.
+    Debug,
+    /// Everything.
+    Trace,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn parse(text: &str) -> Option<Level> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// The level threshold from `QSDD_LOG`, parsed once per process.
+fn threshold() -> Option<Level> {
+    static THRESHOLD: OnceLock<Option<Level>> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("QSDD_LOG")
+            .ok()
+            .as_deref()
+            .and_then(Level::parse)
+    })
+}
+
+/// Whether events at `level` would be emitted.
+///
+/// Use this to skip building expensive log values:
+///
+/// ```
+/// use qsdd_telemetry::{log_enabled, log_kv, Level};
+/// if log_enabled(Level::Debug) {
+///     log_kv(Level::Debug, "doc.example", &[("answer", "42")]);
+/// }
+/// ```
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    threshold().is_some_and(|max| level <= max)
+}
+
+/// Emits one `key=value` line on stderr if `level` passes the `QSDD_LOG`
+/// filter.
+///
+/// Values containing whitespace are quoted. `target` names the emitting
+/// component (`server.accept`, `batch.round`, ...).
+pub fn log_kv(level: Level, target: &str, pairs: &[(&str, &str)]) {
+    if !log_enabled(level) {
+        return;
+    }
+    let mut line = format!("level={} target={}", level.name(), target);
+    for (key, value) in pairs {
+        line.push(' ');
+        line.push_str(key);
+        line.push('=');
+        if value.contains(char::is_whitespace) || value.is_empty() {
+            line.push('"');
+            line.push_str(&value.replace('"', "'"));
+            line.push('"');
+        } else {
+            line.push_str(value);
+        }
+    }
+    eprintln!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+    }
+
+    #[test]
+    fn level_names_parse_round_trip() {
+        for level in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(Level::parse(level.name()), Some(level));
+        }
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("off"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn logging_without_qsdd_log_is_disabled() {
+        // The test environment does not set QSDD_LOG (and the threshold is
+        // latched per process, so setting it here would race other tests).
+        if std::env::var("QSDD_LOG").is_err() {
+            assert!(!log_enabled(Level::Error));
+        }
+        // Emitting is safe either way.
+        log_kv(
+            Level::Trace,
+            "test",
+            &[("key", "value"), ("two words", "a b")],
+        );
+    }
+}

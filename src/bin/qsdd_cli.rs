@@ -19,9 +19,9 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use qsdd::batch::{jobfile, run_batch, BatchOptions, BatchReport, JobStatus};
+use qsdd::batch::{jobfile, json::Value, run_batch, BatchOptions, BatchReport, JobStatus};
 use qsdd::circuit::{generators, qasm, Circuit};
-use qsdd::core::{BackendKind, OptLevel, StochasticSimulator};
+use qsdd::core::{BackendKind, OptLevel, Stage, StageTimings, StochasticSimulator};
 use qsdd::noise::NoiseModel;
 use qsdd::server::{serve_forever, ServerConfig};
 use qsdd::transpile::{transpile, verify, DEFAULT_FIDELITY_TOLERANCE};
@@ -39,6 +39,17 @@ struct Options {
     opt: OptLevel,
     verify_opt: bool,
     dedup: bool,
+    profile: bool,
+    format: RunFormat,
+}
+
+/// Output format of the `run` / `generate` result on stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunFormat {
+    /// Human-readable top-K histogram (the default).
+    Text,
+    /// A machine-readable JSON document (`qsdd_cli run ... > out.json`).
+    Json,
 }
 
 /// The top-level subcommands, resolved **before** any flag parsing so a
@@ -125,12 +136,19 @@ options (run / generate):
   --damping <p>        amplitude damping / T1 probability (default 0.002)
   --phaseflip <p>      phase flip / T2 probability (default 0.001)
   --top <K>            number of outcomes to print (default 10)
+  --format <text|json> result format on stdout (default text); json emits a
+                       single machine-readable document, so
+                       `qsdd_cli run c.qasm --format json > out.json` composes
+  --profile            print a per-stage timing breakdown (parse, transpile,
+                       compile, presample, execute, ...) to stderr
 
 options (batch):
   --out <path>         write the report to a file instead of stdout
   --format <json|csv>  report format (default json, or inferred from --out)
   --threads <N>        worker threads shared by all jobs, 0 = all cores
   --no-dedup           disable trajectory deduplication for every job
+  --profile            print the aggregated per-stage timing breakdown of
+                       the whole batch to stderr
 
 options (serve):
   --addr <host:port>   bind address (default 127.0.0.1:8080; port 0 picks
@@ -138,6 +156,10 @@ options (serve):
   --threads <N>        simulation worker threads, 0 = all cores (default 0)
   --cache-entries <N>  completed results kept by the cache (default 1024)
   --queue-depth <N>    queued jobs before 429 backpressure (default 256)
+
+Diagnostics and progress lines go to stderr; stdout carries only results
+(the histogram / JSON document / batch report), so output redirection
+composes with pipes.
 
 Full reference (job-file format, HTTP API, exit codes): docs/cli.md,
 docs/server.md";
@@ -150,6 +172,7 @@ struct BatchCliOptions {
     format: ReportFormat,
     threads: usize,
     dedup: bool,
+    profile: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,6 +191,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
     let mut format = None;
     let mut threads = 0usize;
     let mut dedup = true;
+    let mut profile = false;
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| -> Result<String, String> {
             iter.next()
@@ -178,6 +202,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
             "--out" => out = Some(value("--out")?),
             "--threads" => threads = parse_number(&value("--threads")?)?,
             "--no-dedup" => dedup = false,
+            "--profile" => profile = true,
             "--format" => {
                 format = Some(match value("--format")?.as_str() {
                     "json" => ReportFormat::Json,
@@ -199,6 +224,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
         format,
         threads,
         dedup,
+        profile,
     })
 }
 
@@ -211,12 +237,24 @@ fn run_batch_command(options: BatchCliOptions) -> ExitCode {
         }
     };
     eprintln!("batch: {} job(s) from `{}`", jobs.len(), options.jobfile);
+    if options.profile {
+        // Profiling opts into process-wide telemetry: the batch pool's
+        // chunk/queue/worker series publish to the global registry.
+        qsdd::telemetry::set_enabled(true);
+    }
     let mut batch_options = BatchOptions::with_threads(options.threads);
     if !options.dedup {
         batch_options = batch_options.without_dedup();
     }
     let report = run_batch(&jobs, &batch_options);
     print_batch_summary(&report);
+    if options.profile {
+        let mut total = StageTimings::new();
+        for job in &report.jobs {
+            total.merge(&job.stage_timings);
+        }
+        print_profile(&total);
+    }
 
     let serialized = match options.format {
         ReportFormat::Json => report.to_json(),
@@ -277,6 +315,31 @@ fn print_batch_summary(report: &BatchReport) {
     );
 }
 
+/// Prints the `--profile` stage-breakdown table to stderr (CPU seconds per
+/// pipeline stage; on multi-threaded runs the execute row sums over workers
+/// and can exceed wall-clock time).
+fn print_profile(timings: &StageTimings) {
+    eprintln!("profile: stage breakdown");
+    let total = timings.total();
+    for (stage, elapsed) in timings.iter() {
+        if elapsed.is_zero() {
+            continue;
+        }
+        let share = if total.is_zero() {
+            0.0
+        } else {
+            100.0 * elapsed.as_secs_f64() / total.as_secs_f64()
+        };
+        eprintln!(
+            "  {:<12} {:>12.6} s  {:>5.1} %",
+            stage.name(),
+            elapsed.as_secs_f64(),
+            share
+        );
+    }
+    eprintln!("  {:<12} {:>12.6} s", "total", total.as_secs_f64());
+}
+
 fn parse_serve_args(args: &[String]) -> Result<ServerConfig, String> {
     let mut config = ServerConfig {
         addr: "127.0.0.1:8080".to_string(),
@@ -311,7 +374,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServerConfig, String> {
 }
 
 fn run_serve_command(config: ServerConfig) -> ExitCode {
-    match serve_forever(config, &mut std::io::stdout()) {
+    // The startup banner (bound address, endpoint list) is diagnostics, so
+    // it goes to stderr like every other non-result line.
+    match serve_forever(config, &mut std::io::stderr()) {
         Ok(()) => {
             eprintln!("qsdd-server: shut down cleanly");
             ExitCode::SUCCESS
@@ -363,6 +428,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         opt: OptLevel::O0,
         verify_opt: false,
         dedup: true,
+        profile: false,
+        format: RunFormat::Text,
     };
     let mut depolarizing = options.noise.depolarizing_prob();
     let mut damping = options.noise.amplitude_damping_prob();
@@ -392,6 +459,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--verify-opt" => options.verify_opt = true,
             "--no-dedup" => options.dedup = false,
+            "--profile" => options.profile = true,
+            "--format" => {
+                options.format = match value("--format")?.as_str() {
+                    "text" => RunFormat::Text,
+                    "json" => RunFormat::Json,
+                    other => return Err(format!("unknown format `{other}` (expected text|json)")),
+                }
+            }
             "--noiseless" => noiseless = true,
             "--depolarizing" => depolarizing = parse_probability(&value("--depolarizing")?)?,
             "--damping" => damping = parse_probability(&value("--damping")?)?,
@@ -430,15 +505,23 @@ fn parse_probability(text: &str) -> Result<f64, String> {
 }
 
 fn run(options: Options) -> ExitCode {
+    if options.profile {
+        // Profiling opts into process-wide telemetry (stage histograms,
+        // DD table counters); the per-job table works either way.
+        qsdd::telemetry::set_enabled(true);
+    }
+    // Everything up to the result is diagnostics and goes to stderr, so
+    // `qsdd_cli run c.qasm --format json > out.json` captures only the
+    // result document.
     let stats = options.circuit.stats();
-    println!(
+    eprintln!(
         "circuit `{}`: {} qubits, {} gates, depth {}",
         options.circuit.name(),
         options.circuit.num_qubits(),
         stats.gate_count,
         stats.depth
     );
-    println!(
+    eprintln!(
         "noise: depolarizing {:.4}, damping {:.4}, phase flip {:.4}",
         options.noise.depolarizing_prob(),
         options.noise.amplitude_damping_prob(),
@@ -449,13 +532,13 @@ fn run(options: Options) -> ExitCode {
     // verification and the simulation itself.
     let transpiled = (options.opt != OptLevel::O0).then(|| {
         let transpiled = transpile(&options.circuit, options.opt);
-        print!("{}", transpiled.report);
+        eprint!("{}", transpiled.report);
         transpiled
     });
     if let (Some(transpiled), true) = (&transpiled, options.verify_opt) {
         if options.circuit.num_qubits() <= 22 {
             match verify::verify(&options.circuit, transpiled, DEFAULT_FIDELITY_TOLERANCE) {
-                Ok(fidelity) => println!("verified: fidelity {fidelity:.12}"),
+                Ok(fidelity) => eprintln!("verified: fidelity {fidelity:.12}"),
                 Err(error) => {
                     eprintln!("error: {error}");
                     return ExitCode::FAILURE;
@@ -480,7 +563,7 @@ fn run(options: Options) -> ExitCode {
         None => simulator.run(&options.circuit),
     };
 
-    println!(
+    eprintln!(
         "{} shots on {} threads in {:.3} s ({:.3} error events per run)",
         result.shots,
         result.threads,
@@ -488,13 +571,13 @@ fn run(options: Options) -> ExitCode {
         result.error_rate()
     );
     if options.backend == BackendKind::DecisionDiagram {
-        println!(
+        eprintln!(
             "dd nodes: {:.1} avg final, {} peak (high-water during shots)",
             result.dd_nodes_avg, result.dd_nodes_peak
         );
     }
     if let Some(stats) = &result.dedup {
-        println!(
+        eprintln!(
             "trajectories: {} unique / {} shots ({:.1} % dedup hit rate, {} live)",
             stats.unique_trajectories,
             result.shots,
@@ -502,17 +585,104 @@ fn run(options: Options) -> ExitCode {
             stats.live_shots
         );
     }
-    let mut outcomes: Vec<_> = result.counts.iter().collect();
-    outcomes.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
-    println!("top {} outcomes:", options.top.min(outcomes.len()));
-    for (outcome, count) in outcomes.into_iter().take(options.top) {
-        println!(
-            "  |{outcome:0width$b}>  {count:6}  ({:.2} %)",
-            100.0 * *count as f64 / result.shots as f64,
-            width = options.circuit.num_qubits()
-        );
+    if options.profile {
+        print_profile(&result.stage_timings);
+    }
+
+    match options.format {
+        RunFormat::Json => println!("{}", run_result_json(&options, &result)),
+        RunFormat::Text => {
+            let mut outcomes: Vec<_> = result.counts.iter().collect();
+            outcomes.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            println!("top {} outcomes:", options.top.min(outcomes.len()));
+            for (outcome, count) in outcomes.into_iter().take(options.top) {
+                println!(
+                    "  |{outcome:0width$b}>  {count:6}  ({:.2} %)",
+                    100.0 * *count as f64 / result.shots as f64,
+                    width = options.circuit.num_qubits()
+                );
+            }
+        }
     }
     ExitCode::SUCCESS
+}
+
+/// The `--format json` result document: the full outcome (histogram,
+/// error/node statistics, dedup stats, wall time, stage breakdown) as one
+/// JSON object with deterministically ordered keys and counts.
+fn run_result_json(options: &Options, result: &qsdd::core::StochasticOutcome) -> String {
+    let mut pairs = vec![
+        ("format".to_string(), Value::from("qsdd-run-result/1")),
+        ("circuit".to_string(), Value::from(options.circuit.name())),
+        (
+            "qubits".to_string(),
+            Value::from(options.circuit.num_qubits()),
+        ),
+        (
+            "backend".to_string(),
+            Value::from(match options.backend {
+                BackendKind::DecisionDiagram => "dd",
+                BackendKind::Statevector => "dense",
+            }),
+        ),
+        ("seed".to_string(), Value::from(options.seed)),
+        ("shots".to_string(), Value::from(result.shots)),
+        ("threads".to_string(), Value::from(result.threads)),
+        ("error_events".to_string(), Value::from(result.error_events)),
+        ("error_rate".to_string(), Value::from(result.error_rate())),
+        ("dd_nodes_avg".to_string(), Value::from(result.dd_nodes_avg)),
+        (
+            "dd_nodes_peak".to_string(),
+            Value::from(result.dd_nodes_peak),
+        ),
+        (
+            "wall_time_secs".to_string(),
+            Value::from(result.wall_time.as_secs_f64()),
+        ),
+    ];
+    if let Some(stats) = &result.dedup {
+        pairs.push((
+            "dedup".to_string(),
+            Value::object(vec![
+                (
+                    "unique_trajectories".to_string(),
+                    Value::from(stats.unique_trajectories),
+                ),
+                ("live_shots".to_string(), Value::from(stats.live_shots)),
+            ]),
+        ));
+    }
+    pairs.push((
+        "stage_seconds".to_string(),
+        Value::object(
+            Stage::ALL
+                .iter()
+                .map(|&stage| {
+                    (
+                        stage.name().to_string(),
+                        Value::from(result.stage_timings.get(stage).as_secs_f64()),
+                    )
+                })
+                .collect(),
+        ),
+    ));
+    let counts: std::collections::BTreeMap<u64, u64> =
+        result.counts.iter().map(|(&k, &v)| (k, v)).collect();
+    pairs.push((
+        "counts".to_string(),
+        Value::Array(
+            counts
+                .into_iter()
+                .map(|(outcome, count)| {
+                    Value::object(vec![
+                        ("outcome".to_string(), Value::from(outcome)),
+                        ("count".to_string(), Value::from(count)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Value::object(pairs).to_string()
 }
 
 #[cfg(test)]
@@ -607,6 +777,31 @@ mod tests {
         assert!(batch_defaults.dedup);
         let batch_off = parse_batch_args(&args(&["jobs.txt", "--no-dedup"])).unwrap();
         assert!(!batch_off.dedup);
+    }
+
+    #[test]
+    fn parses_profile_and_run_format_flags() {
+        let defaults = parse_args(&args(&["generate", "ghz", "4"])).unwrap();
+        assert!(!defaults.profile);
+        assert_eq!(defaults.format, RunFormat::Text);
+        let options = parse_args(&args(&[
+            "generate",
+            "ghz",
+            "4",
+            "--profile",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(options.profile);
+        assert_eq!(options.format, RunFormat::Json);
+        assert!(parse_args(&args(&["generate", "ghz", "4", "--format", "xml"])).is_err());
+        assert!(parse_args(&args(&["generate", "ghz", "4", "--format"])).is_err());
+
+        let batch_defaults = parse_batch_args(&args(&["jobs.txt"])).unwrap();
+        assert!(!batch_defaults.profile);
+        let batch_on = parse_batch_args(&args(&["jobs.txt", "--profile"])).unwrap();
+        assert!(batch_on.profile);
     }
 
     #[test]

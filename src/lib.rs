@@ -13,6 +13,7 @@
 //! - [`qsdd_json`] — the shared hand-rolled JSON writer/parser
 //! - [`qsdd_server`] — the HTTP simulation service with its
 //!   content-addressed result cache
+//! - [`qsdd_telemetry`] — metrics, stage timings and structured logging
 
 pub use qsdd_batch as batch;
 pub use qsdd_circuit as circuit;
@@ -23,4 +24,5 @@ pub use qsdd_json as json;
 pub use qsdd_noise as noise;
 pub use qsdd_server as server;
 pub use qsdd_statevector as statevector;
+pub use qsdd_telemetry as telemetry;
 pub use qsdd_transpile as transpile;

@@ -134,6 +134,7 @@ fn http_report_is_byte_identical_to_direct_execution() {
         unique_trajectories: outcome.dedup.as_ref().unwrap().unique_trajectories,
         dedup_hit_rate: outcome.dedup_hit_rate(),
         wall_time: Duration::ZERO,
+        stage_timings: Default::default(),
     };
     assert_eq!(via_http.results_json(), reference.results_json());
     // The dedup extension field matches too.
@@ -145,6 +146,45 @@ fn http_report_is_byte_identical_to_direct_execution() {
             .and_then(Value::as_u64),
         Some(outcome.dedup.as_ref().unwrap().live_shots)
     );
+    // The envelope carries the per-stage `timings` breakdown: every stage
+    // key plus the total, in seconds — and the cached result payload stays
+    // timing-free (timings are per-envelope, not part of the byte-stable
+    // payload).
+    let timings = envelope.get("timings").expect("envelope carries timings");
+    for stage in [
+        "parse",
+        "transpile",
+        "compile",
+        "presample",
+        "group",
+        "execute",
+        "aggregate",
+        "cache_lookup",
+        "queue_wait",
+        "total",
+    ] {
+        assert!(
+            timings.get(stage).and_then(Value::as_f64).is_some(),
+            "timings missing `{stage}`: {timings:?}"
+        );
+    }
+    assert!(
+        timings.get("execute").and_then(Value::as_f64).unwrap() > 0.0,
+        "a 400-shot job must report execute time"
+    );
+    assert!(
+        timings.get("total").and_then(Value::as_f64).unwrap()
+            >= timings.get("execute").and_then(Value::as_f64).unwrap()
+    );
+    assert!(
+        envelope
+            .get("result")
+            .unwrap()
+            .get("stage_seconds")
+            .is_none(),
+        "the cacheable payload must stay timing-free"
+    );
+
     // The envelope echoes the normalized circuit.
     let qasm = envelope
         .get("circuit_qasm")
@@ -384,11 +424,13 @@ fn full_queue_rejects_with_429_and_drains_on_shutdown() {
             r#"{{"circuit":{{"generator":"qft","qubits":9}},"backend":"dense","dedup":false,"shots":1500,"seed":{seed}}}"#
         )
     };
+    let mut session = client::Client::connect(addr).unwrap();
     let mut ids = Vec::new();
     let mut rejected = 0;
     for seed in 0..6 {
-        let (status, response) =
-            client::request(addr, "POST", "/v1/jobs", Some(&slow_body(seed))).unwrap();
+        let (status, headers, response) = session
+            .request_with_headers("POST", "/v1/jobs", Some(&slow_body(seed)))
+            .unwrap();
         match status {
             202 => ids.push(
                 json::parse(&response)
@@ -398,20 +440,27 @@ fn full_queue_rejects_with_429_and_drains_on_shutdown() {
                     .unwrap()
                     .to_string(),
             ),
-            429 => rejected += 1,
+            429 => {
+                rejected += 1;
+                // Sheds advertise when to retry.
+                let retry_after = headers
+                    .iter()
+                    .find(|(name, _)| name == "retry-after")
+                    .map(|(_, value)| value.as_str());
+                assert_eq!(retry_after, Some("1"), "429 without Retry-After");
+            }
             other => panic!("unexpected status {other}: {response}"),
         }
     }
     assert!(rejected >= 1, "expected backpressure with a 1-deep queue");
     assert!(!ids.is_empty());
     let (_, stats) = client::request(addr, "GET", "/v1/stats", None).unwrap();
-    assert!(
-        json::parse(&stats)
-            .unwrap()
-            .get("rejected")
-            .and_then(Value::as_u64)
-            .unwrap()
-            >= 1
+    let stats = json::parse(&stats).unwrap();
+    assert!(stats.get("rejected").and_then(Value::as_u64).unwrap() >= 1);
+    // The explicit alias load generators alert on mirrors `rejected`.
+    assert_eq!(
+        stats.get("rejected_jobs").and_then(Value::as_u64),
+        stats.get("rejected").and_then(Value::as_u64)
     );
 
     // Graceful shutdown over HTTP: accepted jobs still complete (the queue
