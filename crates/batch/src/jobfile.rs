@@ -35,6 +35,7 @@
 //! | `depolarizing` / `damping` / `phaseflip` | per-channel probabilities | paper defaults |
 //! | `epsilon` | Wilson-CI half-width that triggers early stopping | off |
 //! | `check` | shots between early-stop checkpoints | `256` |
+//! | `weighted` | `true` enables weighted trajectory enumeration | `false` |
 //!
 //! QASM paths are resolved relative to the job file's directory when parsed
 //! via [`parse_file`].
@@ -99,6 +100,11 @@ pub struct JobSpec {
     /// Shots between early-stop checkpoints (also the scheduling round
     /// size); determinism requires checks at fixed shot counts.
     pub check_interval: u64,
+    /// Run the job through the weighted-enumeration driver (see
+    /// `qsdd_core::weighted`) with default options instead of the sampling
+    /// loop. Incompatible with `epsilon` early stopping (the weighted
+    /// driver runs the job in one piece).
+    pub weighted: bool,
 }
 
 impl JobSpec {
@@ -117,6 +123,7 @@ impl JobSpec {
             noise: NoiseModel::paper_defaults(),
             epsilon: None,
             check_interval: DEFAULT_CHECK_INTERVAL,
+            weighted: false,
         }
     }
 
@@ -265,6 +272,7 @@ pub fn parse_str(source: &str, base_dir: Option<&Path>) -> Result<Vec<JobSpec>, 
                 }
                 job.epsilon = Some(eps);
             }
+            "weighted" => job.weighted = parse_bool(key, value, line_no)?,
             "noiseless" => {
                 noise_overrides.noiseless = parse_bool(key, value, line_no)?;
             }
@@ -309,6 +317,15 @@ fn finish_stanza(
         return Err(JobFileError::new(
             header_line,
             format!("job `{}` is missing the `circuit` key", job.name),
+        ));
+    }
+    if job.weighted && job.epsilon.is_some() {
+        return Err(JobFileError::new(
+            header_line,
+            format!(
+                "job `{}` cannot combine `weighted` with `epsilon` early stopping",
+                job.name
+            ),
         ));
     }
     job.noise = if overrides.noiseless {
@@ -425,6 +442,7 @@ circuit = qasm sub/qft.qasm
 backend = dense
 opt = 2
 depolarizing = 0.01
+weighted = true
 ";
 
     #[test]
@@ -462,6 +480,8 @@ depolarizing = 0.01
         // Default seed is derived from the job index.
         assert_eq!(jobs[1].seed, 2022);
         assert_eq!(jobs[1].epsilon, None);
+        assert!(jobs[1].weighted);
+        assert!(!jobs[0].weighted);
     }
 
     #[test]
@@ -504,6 +524,16 @@ circuit = generate ghz 3
                 "[job a]\ncircuit = generate ghz 4\ndepolarizing = 2.0",
                 3,
                 "[0, 1]",
+            ),
+            (
+                "[job a]\ncircuit = generate ghz 4\nweighted = maybe",
+                3,
+                "must be true or false",
+            ),
+            (
+                "[job a]\ncircuit = generate ghz 4\nweighted = true\nepsilon = 0.05",
+                1,
+                "cannot combine `weighted`",
             ),
             ("[job ]\ncircuit = generate ghz 4", 1, "empty"),
             ("[nope a]\ncircuit = generate ghz 4", 1, "malformed"),

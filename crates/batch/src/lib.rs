@@ -12,7 +12,10 @@
 //!    different jobs through a global chunk queue (so one giant job cannot
 //!    starve small ones) and optionally stops a job early once the dominant
 //!    outcome's Wilson confidence interval is tighter than the requested
-//!    epsilon. Results are bit-identical for every thread count.
+//!    epsilon. Results are bit-identical for every thread count. Jobs marked
+//!    `weighted = true` instead run whole through the weighted
+//!    trajectory-enumeration driver of `qsdd-core` and report the covered
+//!    probability mass alongside the enumerated trajectory count.
 //! 3. **[`report`]** — a [`BatchReport`] with per-job outcome histograms,
 //!    error rates, executed shot counts, wall-clock and decision-diagram
 //!    node statistics, serialised by hand-rolled [`json`] and CSV writers

@@ -71,6 +71,12 @@ pub struct JobReport {
     /// (`1 - unique_trajectories / shots_executed`; `0.0` without
     /// deduplication).
     pub dedup_hit_rate: f64,
+    /// Probability mass covered by weighted trajectory enumeration
+    /// (`0.0` when the job ran on a sampling path).
+    pub covered_mass: f64,
+    /// Trajectories enumerated (and simulated exactly once each) by the
+    /// weighted driver (`0` on the sampling paths).
+    pub enumerated_trajectories: u64,
     /// Time from batch start until the job's last shot finished.
     pub wall_time: Duration,
     /// Wall-time breakdown by pipeline stage (compile, presample, execute,
@@ -97,6 +103,8 @@ impl JobReport {
             dd_nodes_peak: 0,
             unique_trajectories: 0,
             dedup_hit_rate: 0.0,
+            covered_mass: 0.0,
+            enumerated_trajectories: 0,
             wall_time: Duration::ZERO,
             stage_timings: StageTimings::new(),
         }
@@ -155,6 +163,11 @@ impl JobReport {
             (
                 "dedup_hit_rate".to_string(),
                 Value::from(self.dedup_hit_rate),
+            ),
+            ("covered_mass".to_string(), Value::from(self.covered_mass)),
+            (
+                "enumerated_trajectories".to_string(),
+                Value::from(self.enumerated_trajectories),
             ),
         ];
         let counts: Vec<Value> = self
@@ -280,6 +293,16 @@ impl JobReport {
                 .get("dedup_hit_rate")
                 .and_then(Value::as_f64)
                 .unwrap_or(0.0),
+            // Weighted-enumeration fields are newer still: reports from
+            // sampling-only versions parse as "not weighted".
+            covered_mass: value
+                .get("covered_mass")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            enumerated_trajectories: value
+                .get("enumerated_trajectories")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
             wall_time: Duration::from_secs_f64(
                 value
                     .get("wall_time_secs")
@@ -386,7 +409,8 @@ impl BatchReport {
         let mut out = String::from(
             "job,backend,status,qubits,shots_requested,shots_executed,early_stopped,\
              error_events,error_rate,top_outcome,top_count,dd_nodes_avg,dd_nodes_peak,\
-             unique_trajectories,dedup_hit_rate,wall_time_secs\n",
+             unique_trajectories,dedup_hit_rate,covered_mass,enumerated_trajectories,\
+             wall_time_secs\n",
         );
         for job in &self.jobs {
             let status = match &job.status {
@@ -399,7 +423,7 @@ impl BatchReport {
                 .unwrap_or_default();
             writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 csv_escape(&job.name),
                 job.backend,
                 status,
@@ -415,6 +439,8 @@ impl BatchReport {
                 job.dd_nodes_peak,
                 job.unique_trajectories,
                 job.dedup_hit_rate,
+                job.covered_mass,
+                job.enumerated_trajectories,
                 job.wall_time.as_secs_f64()
             )
             .expect("writing to a String cannot fail");
@@ -457,6 +483,8 @@ mod tests {
                     dd_nodes_peak: 7,
                     unique_trajectories: 21,
                     dedup_hit_rate: 1.0 - 21.0 / 370.0,
+                    covered_mass: 0.875,
+                    enumerated_trajectories: 9,
                     wall_time: Duration::from_millis(250),
                     stage_timings: {
                         let mut timings = StageTimings::new();

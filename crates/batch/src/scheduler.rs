@@ -22,6 +22,13 @@
 //! statistics, for every thread count — and reported per job as
 //! `unique_trajectories` / `dedup_hit_rate`.
 //!
+//! Jobs with `weighted = true` bypass rounds entirely: the whole job is
+//! released as one **weighted chunk** and executed in a single piece by
+//! the worker that steals it, through the weighted-enumeration driver
+//! ([`qsdd_core::run_engine_weighted_in`]). Weighted jobs report
+//! `covered_mass` / `enumerated_trajectories` and never early-stop (the
+//! job file forbids combining `weighted` with `epsilon`).
+//!
 //! Each job's shots are released in **rounds** of
 //! [`JobSpec::check_interval`] shots. When the last chunk of a round
 //! completes, the finishing worker either declares the job done (shot cap
@@ -148,6 +155,10 @@ enum ChunkWork {
     Groups(Vec<(ErrorPattern, Vec<(u64, StdRng)>)>),
     /// Shots that could not be presampled and execute live, one by one.
     Live(Vec<u64>),
+    /// The entire job, executed in one piece by the weighted-enumeration
+    /// driver (enumerate trajectories in probability order, simulate each
+    /// once, sample only the residual tail).
+    Weighted,
 }
 
 /// A queued chunk: some of one job's shots, in executable form.
@@ -171,6 +182,11 @@ struct JobProgress {
     /// Trajectories actually simulated (pattern groups + live shots; equal
     /// to `executed` on the per-shot path).
     unique_trajectories: u64,
+    /// Probability mass covered by enumerated trajectories (weighted jobs
+    /// only; `0.0` otherwise).
+    covered_mass: f64,
+    /// Trajectories enumerated in probability order (weighted jobs only).
+    enumerated_trajectories: u64,
     /// Chunks of the current round still in flight.
     round_pending: usize,
     early_stopped: bool,
@@ -191,6 +207,9 @@ struct JobRuntime {
     check_interval: u64,
     /// Whether rounds are released as deduplicated pattern groups.
     dedup: bool,
+    /// Whether the job runs in one piece through the weighted-enumeration
+    /// driver instead of sampled rounds.
+    weighted: bool,
     progress: Mutex<JobProgress>,
 }
 
@@ -211,10 +230,12 @@ struct Shared {
 /// (looking up a metric by name takes the registry lock, so it happens
 /// once per batch here, never per chunk).
 struct BatchMetrics {
-    /// Chunks executed, labelled by work kind (`range`/`groups`/`live`).
+    /// Chunks executed, labelled by work kind
+    /// (`range`/`groups`/`live`/`weighted`).
     chunks_range: Arc<Counter>,
     chunks_groups: Arc<Counter>,
     chunks_live: Arc<Counter>,
+    chunks_weighted: Arc<Counter>,
     /// Member shots those chunks accounted for.
     shots: Arc<Counter>,
     /// Instantaneous chunk-queue depth (sampled at push/pop under the
@@ -246,6 +267,11 @@ impl BatchMetrics {
                 "qsdd_batch_chunks_total",
                 chunks,
                 &[("kind", "live")],
+            ),
+            chunks_weighted: registry.counter_with(
+                "qsdd_batch_chunks_total",
+                chunks,
+                &[("kind", "weighted")],
             ),
             shots: registry.counter(
                 "qsdd_batch_shots_total",
@@ -293,6 +319,7 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
                 };
                 runtimes.push(Some(JobRuntime {
                     dedup: options.dedup && engine.supports_dedup(),
+                    weighted: spec.weighted,
                     engine,
                     shots: spec.shots,
                     epsilon: spec.epsilon,
@@ -331,7 +358,7 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
             let round_started = Instant::now();
             let chunks = build_round(runtime, index, 0);
             let mut progress = runtime.progress.lock().expect("progress lock");
-            if runtime.dedup {
+            if runtime.dedup && !runtime.weighted {
                 progress
                     .stage_timings
                     .record(Stage::Presample, round_started.elapsed());
@@ -382,6 +409,8 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
                     } else {
                         1.0 - progress.unique_trajectories as f64 / progress.executed as f64
                     },
+                    covered_mass: progress.covered_mass,
+                    enumerated_trajectories: progress.enumerated_trajectories,
                     wall_time: progress.wall_time,
                     stage_timings: progress.stage_timings,
                 }
@@ -411,6 +440,16 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
 /// Either way each chunk accounts for `chunk.shots` member shots and the
 /// round covers exactly `start..min(start + check_interval, shots)`.
 fn build_round(runtime: &JobRuntime, job: usize, start: u64) -> Vec<Chunk> {
+    if runtime.weighted {
+        // Weighted jobs run whole: one chunk covers every shot, so this is
+        // only ever called with `start == 0` and there is no next round.
+        debug_assert_eq!(start, 0);
+        return vec![Chunk {
+            job,
+            shots: runtime.shots,
+            work: ChunkWork::Weighted,
+        }];
+    }
     let end = (start + runtime.check_interval).min(runtime.shots);
     let mut chunks = Vec::new();
     if !runtime.dedup {
@@ -518,6 +557,7 @@ fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>], worker: usize) 
                 ChunkWork::Range { .. } => metrics.chunks_range.inc(),
                 ChunkWork::Groups(_) => metrics.chunks_groups.inc(),
                 ChunkWork::Live(_) => metrics.chunks_live.inc(),
+                ChunkWork::Weighted => metrics.chunks_weighted.inc(),
             }
             metrics.shots.add(chunk.shots);
         }
@@ -535,12 +575,33 @@ fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>], worker: usize) 
             local_nodes_sum += sample.dd_nodes;
             local_nodes_peak = local_nodes_peak.max(sample.dd_nodes_peak);
         };
+        let mut weighted_outcome: Option<qsdd_core::StochasticOutcome> = None;
         let local_trajectories = match chunk.work {
             ChunkWork::Range { start, end } => {
                 for shot in start..end {
                     record(runtime.engine.run_shot_in(&mut context, shot));
                 }
                 end - start
+            }
+            ChunkWork::Weighted => {
+                // The whole job in one call: enumerate trajectories in
+                // probability order, simulate each once, tail-sample the
+                // residual. Falls back to deduplicated sampling when the
+                // program does not support enumeration.
+                let outcome = qsdd_core::run_engine_weighted_in(
+                    &runtime.engine,
+                    &mut context,
+                    runtime.shots as usize,
+                    &[],
+                    &qsdd_core::WeightedOptions::default(),
+                );
+                let trajectories = match (&outcome.weighted, &outcome.dedup) {
+                    (Some(stats), _) => stats.enumerated_trajectories + stats.tail_shots,
+                    (None, Some(stats)) => stats.unique_trajectories,
+                    (None, None) => outcome.shots as u64,
+                };
+                weighted_outcome = Some(outcome);
+                trajectories
             }
             ChunkWork::Groups(groups) => {
                 let trajectories = groups.len() as u64;
@@ -568,13 +629,30 @@ fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>], worker: usize) 
 
         // Merge, and if this was the round's last chunk, decide what's next.
         let mut progress = runtime.progress.lock().expect("progress lock");
-        progress.stage_timings.record(Stage::Execute, chunk_elapsed);
-        for (outcome, count) in local_counts {
-            *progress.counts.entry(outcome).or_insert(0) += count;
+        if let Some(outcome) = weighted_outcome {
+            // The weighted driver produced the complete job result in one
+            // piece: adopt its histogram, statistics and stage breakdown
+            // wholesale (its timings already include the engine build).
+            progress.stage_timings = outcome.stage_timings;
+            for (value, count) in outcome.counts {
+                *progress.counts.entry(value).or_insert(0) += count;
+            }
+            progress.error_events += outcome.error_events;
+            progress.dd_nodes_sum += (outcome.dd_nodes_avg * outcome.shots as f64).round() as u64;
+            progress.dd_nodes_peak = progress.dd_nodes_peak.max(outcome.dd_nodes_peak);
+            if let Some(stats) = outcome.weighted {
+                progress.covered_mass = stats.covered_mass;
+                progress.enumerated_trajectories = stats.enumerated_trajectories;
+            }
+        } else {
+            progress.stage_timings.record(Stage::Execute, chunk_elapsed);
+            for (outcome, count) in local_counts {
+                *progress.counts.entry(outcome).or_insert(0) += count;
+            }
+            progress.error_events += local_errors;
+            progress.dd_nodes_sum += local_nodes_sum;
+            progress.dd_nodes_peak = progress.dd_nodes_peak.max(local_nodes_peak);
         }
-        progress.error_events += local_errors;
-        progress.dd_nodes_sum += local_nodes_sum;
-        progress.dd_nodes_peak = progress.dd_nodes_peak.max(local_nodes_peak);
         progress.executed += chunk.shots;
         progress.unique_trajectories += local_trajectories;
         progress.round_pending -= 1;
@@ -752,6 +830,48 @@ mod tests {
                 assert_eq!(a.results_json(), b.results_json());
             }
         }
+    }
+
+    #[test]
+    fn weighted_jobs_run_whole_and_report_covered_mass() {
+        let mut spec = ghz_spec("weighted", 400, 21);
+        spec.noise = NoiseModel::noiseless().with_depolarizing(0.004);
+        spec.weighted = true;
+        let reference = run_batch(&[spec.clone()], &BatchOptions::with_threads(1));
+        let job = &reference.jobs[0];
+        assert!(job.status.is_completed());
+        assert_eq!(job.shots_executed, 400);
+        assert_eq!(job.counts.values().sum::<u64>(), 400);
+        assert!(
+            job.covered_mass > 0.9,
+            "expected near-complete coverage, got {}",
+            job.covered_mass
+        );
+        assert!(job.enumerated_trajectories > 0);
+        assert!(!job.early_stopped);
+        // Weighted execution is single-piece and seed-derived, so the whole
+        // report is identical for any worker count (and across repeats).
+        for threads in [2, 4] {
+            let report = run_batch(&[spec.clone()], &BatchOptions::with_threads(threads));
+            assert_eq!(job.results_json(), report.jobs[0].results_json());
+        }
+    }
+
+    #[test]
+    fn weighted_jobs_interleave_with_sampled_jobs() {
+        let mut weighted = ghz_spec("weighted", 256, 5);
+        weighted.noise = NoiseModel::noiseless().with_phase_flip(0.01);
+        weighted.weighted = true;
+        let sampled = ghz_spec("sampled", 256, 5);
+        let report = run_batch(&[weighted, sampled], &BatchOptions::with_threads(2));
+        assert!(report.all_completed());
+        for job in &report.jobs {
+            assert_eq!(job.counts.values().sum::<u64>(), 256);
+        }
+        // Only the weighted job carries enumeration statistics.
+        assert!(report.jobs[0].enumerated_trajectories > 0);
+        assert_eq!(report.jobs[1].enumerated_trajectories, 0);
+        assert_eq!(report.jobs[1].covered_mass, 0.0);
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn bench_concurrency(c: &mut Criterion) {
                     seed: 5,
                     noise: NoiseModel::paper_defaults(),
                     dedup: true,
+                    weighted: None,
                 };
                 b.iter(|| run_stochastic(&backend, &circuit, &config, &[]));
             },

@@ -18,6 +18,7 @@ fn config() -> StochasticConfig {
         seed: 1,
         noise: NoiseModel::paper_defaults(),
         dedup: true,
+        weighted: None,
     }
 }
 

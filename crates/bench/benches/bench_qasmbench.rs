@@ -17,6 +17,7 @@ fn config() -> StochasticConfig {
         seed: 1,
         noise: NoiseModel::paper_defaults(),
         dedup: true,
+        weighted: None,
     }
 }
 

@@ -3,13 +3,18 @@
 //!
 //! Runs the trajectory-deduplication and context-reuse workloads directly
 //! (no criterion harness) plus the HTTP-server load scenario, and writes
-//! `BENCH_6.json`: one entry per benchmark with the optimized and naive
+//! `BENCH_7.json`: one entry per benchmark with the optimized and naive
 //! mean per-shot cost in nanoseconds and the resulting speedup, a
+//! `weighted` section racing the weighted trajectory-enumeration driver
+//! against both the dedup and per-shot paths on GHZ-16 under the paper's
+//! mixed noise (the case where dedup alone only reached ~1.3x), a
 //! `server` section with the service's throughput and cold-vs-cache-hit
 //! latency, and a `metrics_overhead` row measuring what the disabled-mode
 //! telemetry hooks cost the context-reuse hot loop. The JSON is parsed
 //! back before the process exits, so a malformed writer fails loudly (CI
-//! runs the binary in `--test-mode` with tiny shot counts on every push).
+//! runs the binary in `--test-mode` with tiny shot counts on every push;
+//! test mode also hard-gates the weighted row: it must beat dedup and be
+//! at least 3x over per-shot).
 //!
 //! ```text
 //! bench_summary [--test-mode] [--out <path>]
@@ -20,7 +25,7 @@
 //!   which keeps enough shots to stay meaningful and is asserted ≤ 2 %),
 //!   but the whole pipeline (workloads, cross-checks, server round trips,
 //!   JSON writer) is exercised.
-//! * `--out` overrides the output path (default `BENCH_6.json`, i.e. the
+//! * `--out` overrides the output path (default `BENCH_7.json`, i.e. the
 //!   repo root when invoked from there).
 
 use std::process::ExitCode;
@@ -30,7 +35,8 @@ use qsdd_batch::json::{self, Value};
 use qsdd_bench::server_load::{run_load, LoadConfig};
 use qsdd_circuit::generators::ghz;
 use qsdd_core::{
-    run_engine, run_engine_dedup, BackendKind, DdSimulator, OptLevel, ShotEngine, StochasticBackend,
+    run_engine, run_engine_dedup, run_engine_in, run_engine_weighted_in, BackendKind, DdSimulator,
+    OptLevel, ShotEngine, StochasticBackend, WeightedOptions,
 };
 use qsdd_noise::NoiseModel;
 use qsdd_telemetry::{Stage, StageTimings};
@@ -54,7 +60,7 @@ impl Row {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut test_mode = false;
-    let mut out = "BENCH_6.json".to_string();
+    let mut out = "BENCH_7.json".to_string();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -120,6 +126,47 @@ fn main() -> ExitCode {
         );
     }
 
+    // The headline of this summary: the weighted-enumeration driver on the
+    // very workload where dedup alone plateaued (GHZ-16 under the paper's
+    // mixed noise, where amplitude damping keeps almost every sampled
+    // trajectory distinct). Measured at a higher shot count than the dedup
+    // rows: the weighted driver's cost is (nearly) shot-independent, so the
+    // speedup is a function of the shot budget it replaces, and 200 shots
+    // would mostly measure the tail-sample floor.
+    let weighted_shots = if test_mode { 2_000 } else { shots };
+    let weighted = weighted_row(weighted_shots, reps);
+    println!(
+        "{:<28} per-shot {:>8.1} ns | dedup {:>8.1} ns | weighted {:>8.1} ns | {:>5.2}x vs per-shot, {:>5.2}x vs dedup",
+        weighted.name,
+        weighted.per_shot_ns,
+        weighted.dedup_ns,
+        weighted.weighted_ns,
+        weighted.speedup_vs_per_shot(),
+        weighted.speedup_vs_dedup(),
+    );
+    println!(
+        "{:<28} {} trajectories enumerated covering {:.4} of the mass, {} tail shots",
+        "", weighted.enumerated_trajectories, weighted.covered_mass, weighted.tail_shots
+    );
+    if test_mode {
+        // Hard gates (CI): the weighted driver must beat the dedup path it
+        // cross-checks against, and clear 3x over per-shot execution.
+        if weighted.speedup_vs_dedup() <= 1.0 {
+            eprintln!(
+                "error: weighted driver ({:.1} ns) does not beat dedup ({:.1} ns)",
+                weighted.weighted_ns, weighted.dedup_ns
+            );
+            return ExitCode::FAILURE;
+        }
+        if weighted.speedup_vs_per_shot() < 3.0 {
+            eprintln!(
+                "error: weighted speedup {:.2}x vs per-shot is below the 3x floor",
+                weighted.speedup_vs_per_shot()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
     // The telemetry overhead smoke: the disabled-mode hooks must stay
     // within 2 % of the bare context-reuse loop. Enough shots to make the
     // comparison meaningful even in test mode, where it is a hard gate.
@@ -159,7 +206,7 @@ fn main() -> ExitCode {
     }
 
     let document = Value::object(vec![
-        ("format".to_string(), Value::from("qsdd-bench-summary/3")),
+        ("format".to_string(), Value::from("qsdd-bench-summary/4")),
         ("test_mode".to_string(), Value::from(test_mode)),
         (
             "benchmarks".to_string(),
@@ -176,6 +223,36 @@ fn main() -> ExitCode {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "weighted".to_string(),
+            Value::object(vec![
+                ("name".to_string(), Value::from(weighted.name)),
+                ("shots".to_string(), Value::from(weighted.shots)),
+                (
+                    "per_shot_mean_ns".to_string(),
+                    Value::from(weighted.per_shot_ns),
+                ),
+                ("dedup_mean_ns".to_string(), Value::from(weighted.dedup_ns)),
+                ("mean_ns".to_string(), Value::from(weighted.weighted_ns)),
+                (
+                    "speedup_vs_per_shot".to_string(),
+                    Value::from(weighted.speedup_vs_per_shot()),
+                ),
+                (
+                    "speedup_vs_dedup".to_string(),
+                    Value::from(weighted.speedup_vs_dedup()),
+                ),
+                (
+                    "covered_mass".to_string(),
+                    Value::from(weighted.covered_mass),
+                ),
+                (
+                    "enumerated_trajectories".to_string(),
+                    Value::from(weighted.enumerated_trajectories),
+                ),
+                ("tail_shots".to_string(), Value::from(weighted.tail_shots)),
+            ]),
         ),
         (
             "server".to_string(),
@@ -219,8 +296,36 @@ fn main() -> ExitCode {
     ]);
     let text = document.to_pretty_string();
     // The writer must stay parseable: round-trip before touching the disk.
-    if let Err(error) = json::parse(&text) {
-        eprintln!("error: summary JSON does not parse back: {error}");
+    let parsed = match json::parse(&text) {
+        Ok(parsed) => parsed,
+        Err(error) => {
+            eprintln!("error: summary JSON does not parse back: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // And the weighted row must survive the round trip field-for-field —
+    // this is what downstream tooling (and CI) reads.
+    let weighted_ok = parsed
+        .get("weighted")
+        .map(|row| {
+            row.get("name").and_then(Value::as_str) == Some(weighted.name)
+                && row
+                    .get("speedup_vs_per_shot")
+                    .and_then(Value::as_f64)
+                    .is_some()
+                && row
+                    .get("speedup_vs_dedup")
+                    .and_then(Value::as_f64)
+                    .is_some()
+                && row.get("covered_mass").and_then(Value::as_f64).is_some()
+                && row
+                    .get("enumerated_trajectories")
+                    .and_then(Value::as_u64)
+                    .is_some()
+        })
+        .unwrap_or(false);
+    if !weighted_ok {
+        eprintln!("error: weighted row missing or malformed in the summary JSON");
         return ExitCode::FAILURE;
     }
     if let Err(error) = std::fs::write(&out, &text) {
@@ -252,6 +357,99 @@ fn dedup_row(name: &'static str, engine: ShotEngine, shots: usize, reps: usize) 
         shots,
         naive_ns: best_per_shot * 1e9 / shots as f64,
         optimized_ns: best_dedup * 1e9 / shots as f64,
+    }
+}
+
+/// The three-way weighted-enumeration comparison row.
+struct WeightedRow {
+    name: &'static str,
+    shots: usize,
+    per_shot_ns: f64,
+    dedup_ns: f64,
+    weighted_ns: f64,
+    covered_mass: f64,
+    enumerated_trajectories: u64,
+    tail_shots: u64,
+}
+
+impl WeightedRow {
+    fn speedup_vs_per_shot(&self) -> f64 {
+        self.per_shot_ns / self.weighted_ns
+    }
+
+    fn speedup_vs_dedup(&self) -> f64 {
+        self.dedup_ns / self.weighted_ns
+    }
+}
+
+/// Races the weighted trajectory-enumeration driver against the dedup and
+/// per-shot paths on GHZ-16 under the paper's mixed noise model — the
+/// workload where amplitude damping defeats exact-pattern sharing (dedup
+/// barely reaches ~1.3x) but enumeration still pays: the no-error
+/// trajectory alone covers ~89 % of the probability mass, so only the
+/// ~11 % residual needs tail shots.
+///
+/// All three paths run serially through one long-lived, pre-warmed
+/// [`ExecContext`] (the steady-state serving configuration), so the row
+/// compares the drivers themselves, not one-off context construction.
+/// Repetitions interleave the three paths and each takes its minimum.
+/// Cross-checks per repetition: dedup stays byte-identical to per-shot
+/// (the existing oracle), and the weighted histogram accounts for every
+/// requested shot with sane coverage statistics.
+fn weighted_row(shots: usize, reps: usize) -> WeightedRow {
+    let engine = ShotEngine::new(
+        &ghz(16),
+        BackendKind::DecisionDiagram,
+        NoiseModel::paper_defaults(),
+        7,
+        OptLevel::O0,
+    );
+    let options = WeightedOptions::default();
+    let mut ctx = engine.new_context();
+    // Warm the context (program seating, operator caches) off the clock.
+    let _ = run_engine_in(&engine, &mut ctx, 1, &[], false);
+    let mut best_per_shot = f64::INFINITY;
+    let mut best_dedup = f64::INFINITY;
+    let mut best_weighted = f64::INFINITY;
+    let mut coverage = (0.0, 0, 0);
+    for _ in 0..reps {
+        let started = Instant::now();
+        let per_shot = run_engine_in(&engine, &mut ctx, shots, &[], false);
+        best_per_shot = best_per_shot.min(started.elapsed().as_secs_f64());
+        let started = Instant::now();
+        let dedup = run_engine_in(&engine, &mut ctx, shots, &[], true);
+        best_dedup = best_dedup.min(started.elapsed().as_secs_f64());
+        let started = Instant::now();
+        let weighted = run_engine_weighted_in(&engine, &mut ctx, shots, &[], &options);
+        best_weighted = best_weighted.min(started.elapsed().as_secs_f64());
+
+        assert_eq!(dedup.counts, per_shot.counts, "dedup oracle mismatch");
+        let stats = weighted
+            .weighted
+            .as_ref()
+            .expect("GHZ-16 supports weighted enumeration");
+        assert_eq!(
+            weighted.counts.values().sum::<u64>(),
+            shots as u64,
+            "weighted histogram must account for every requested shot"
+        );
+        assert!(stats.covered_mass > 0.5 && stats.covered_mass <= 1.0 + 1e-12);
+        assert!(stats.enumerated_trajectories > 0);
+        coverage = (
+            stats.covered_mass,
+            stats.enumerated_trajectories,
+            stats.tail_shots,
+        );
+    }
+    WeightedRow {
+        name: "weighted_ghz16_paper_noise",
+        shots,
+        per_shot_ns: best_per_shot * 1e9 / shots as f64,
+        dedup_ns: best_dedup * 1e9 / shots as f64,
+        weighted_ns: best_weighted * 1e9 / shots as f64,
+        covered_mass: coverage.0,
+        enumerated_trajectories: coverage.1,
+        tail_shots: coverage.2,
     }
 }
 

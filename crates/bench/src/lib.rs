@@ -162,6 +162,7 @@ fn run_cell_with<B: StochasticBackend>(
             seed: config.seed.wrapping_add(done as u64),
             noise: config.noise,
             dedup: true,
+            weighted: None,
         };
         let _ = run_stochastic(backend, circuit, &run_config, &[]);
         done += this_chunk;

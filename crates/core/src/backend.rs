@@ -189,6 +189,27 @@ pub trait StochasticBackend: Sync {
         }
     }
 
+    /// Feeds the exact measurement-outcome distribution of a completed
+    /// full-program pattern run into `sink` as `(outcome, probability)`
+    /// pairs, one per basis state with non-zero probability.
+    ///
+    /// This is the weighted-enumeration counterpart of
+    /// [`sample_outcomes`](Self::sample_outcomes): instead of sampling
+    /// member shots from the final state, the caller takes the whole
+    /// distribution and scales it by the pattern's probability. Must be
+    /// called with the context the run executed in, before that context
+    /// runs its next shot. Only called when the program's
+    /// [`DedupSupport::full`] is `true`.
+    fn outcome_distribution(
+        &self,
+        _program: &Self::Program,
+        _ctx: &mut Self::Context,
+        _run: &SingleRun<Self::State>,
+        _sink: &mut dyn FnMut(u64, f64),
+    ) {
+        unreachable!("dedup_support declined; outcome_distribution must not be called")
+    }
+
     /// Resumes one member shot live from a checkpointed prefix run.
     ///
     /// `checkpoint` is the context [`run_pattern`](Self::run_pattern)

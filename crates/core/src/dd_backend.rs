@@ -797,6 +797,25 @@ impl StochasticBackend for DdSimulator {
         ctx.sampler = Some((run.state, plan));
     }
 
+    fn outcome_distribution(
+        &self,
+        program: &DdProgram,
+        ctx: &mut DdContext,
+        run: &SingleRun<VecEdge>,
+        sink: &mut dyn FnMut(u64, f64),
+    ) {
+        debug_assert_eq!(
+            ctx.seated, program.id,
+            "outcome_distribution must use the context the pattern ran in"
+        );
+        // Sparse DFS over the diagram: basis states outside the state's
+        // support are never visited, so the cost tracks the diagram size,
+        // not 2^n. Same outcome convention as `sample_outcome` (the full
+        // register, qubit 0 as the most significant bit).
+        ctx.package
+            .outcome_probabilities(run.state, program.num_qubits, sink);
+    }
+
     fn resume_pattern(
         &self,
         program: &DdProgram,

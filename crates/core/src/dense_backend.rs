@@ -403,6 +403,27 @@ impl StochasticBackend for DenseSimulator {
         );
         ctx.state.sample_measurement(rng)
     }
+
+    fn outcome_distribution(
+        &self,
+        program: &DenseProgram,
+        ctx: &mut DenseContext,
+        _run: &SingleRun<()>,
+        sink: &mut dyn FnMut(u64, f64),
+    ) {
+        debug_assert_eq!(
+            ctx.seated, program.id,
+            "outcome_distribution must use the context the pattern ran in"
+        );
+        // Same outcome convention as `sample_measurement`: the amplitude
+        // index with qubit 0 as the most significant bit.
+        for (index, amplitude) in ctx.state.amplitudes().iter().enumerate() {
+            let probability = amplitude.norm_sqr();
+            if probability > 0.0 {
+                sink(index as u64, probability);
+            }
+        }
+    }
 }
 
 /// Applies the state-dependent amplitude-damping channel: the decay branch

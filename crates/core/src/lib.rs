@@ -64,6 +64,7 @@ pub mod sampling;
 pub mod shot_engine;
 pub mod simulator;
 pub mod stochastic;
+pub mod weighted;
 
 pub use backend::{SingleRun, StochasticBackend};
 pub use dd_backend::{DdContext, DdProgram, DdRunState, DdSimulator};
@@ -75,6 +76,10 @@ pub use simulator::{BackendKind, StochasticSimulator};
 pub use stochastic::{
     run_engine, run_engine_dedup, run_engine_in, run_stochastic, StochasticConfig,
     StochasticOutcome,
+};
+pub use weighted::{
+    run_engine_weighted, run_engine_weighted_in, WeightedOptions, WeightedStats,
+    MAX_WEIGHTED_QUBITS,
 };
 // Re-exported so `StochasticSimulator::with_opt_level` is usable without a
 // direct `qsdd-transpile` dependency.

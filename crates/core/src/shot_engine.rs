@@ -345,12 +345,24 @@ impl ShotEngine {
         observables: &[Observable],
     ) -> (ShotSample, Vec<f64>) {
         let mut rng = shot_rng(self.seed, shot);
+        self.run_with_rng_in(ctx, &mut rng, observables)
+    }
+
+    /// Executes one live shot with a caller-supplied generator (the
+    /// weighted tail sampler derives its generators from a salted seed
+    /// stream rather than the shot index).
+    pub(crate) fn run_with_rng_in(
+        &self,
+        ctx: &mut ExecContext,
+        rng: &mut StdRng,
+        observables: &[Observable],
+    ) -> (ShotSample, Vec<f64>) {
         let (mut sample, values) = match &self.backend {
             EngineBackend::DecisionDiagram { backend, program } => {
-                execute(backend, program, ctx.dd_mut(), &mut rng, observables)
+                execute(backend, program, ctx.dd_mut(), rng, observables)
             }
             EngineBackend::Statevector { backend, program } => {
-                execute(backend, program, ctx.dense_mut(), &mut rng, observables)
+                execute(backend, program, ctx.dense_mut(), rng, observables)
             }
         };
         if let Some(output_layout) = &self.output_layout {
@@ -380,6 +392,95 @@ impl ShotEngine {
     /// [`run_group_in`](Self::run_group_in).
     pub fn supports_dedup(&self) -> bool {
         self.dedup.is_some()
+    }
+
+    /// `true` when the compiled program supports weighted trajectory
+    /// enumeration (see [`crate::weighted`]): the whole program must be
+    /// pattern-replayable ([`DedupSupport::full`] — no mid-circuit
+    /// measurements or resets) and small enough that the exact outcome
+    /// histogram stays tractable.
+    pub fn supports_weighted(&self) -> bool {
+        self.dedup.as_ref().is_some_and(|support| support.full)
+            && self.num_qubits() <= crate::weighted::MAX_WEIGHTED_QUBITS
+    }
+
+    /// The presample plan weighted enumeration walks; `None` when the
+    /// engine does not support weighted enumeration.
+    pub(crate) fn weighted_plan(&self) -> Option<&qsdd_noise::PresamplePlan> {
+        if !self.supports_weighted() {
+            return None;
+        }
+        self.dedup.as_ref().map(|support| &support.plan)
+    }
+
+    /// Simulates one enumerated error pattern and feeds the final state's
+    /// exact outcome distribution into `sink` (outcomes restored to the
+    /// original qubit order). Returns the pattern run's statistics and the
+    /// observables' exact values on the pattern's final state.
+    ///
+    /// `observables` must already be mapped through
+    /// [`map_observables`](Self::map_observables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine does not support weighted enumeration
+    /// ([`supports_weighted`](Self::supports_weighted)).
+    pub(crate) fn run_weighted_pattern_in(
+        &self,
+        ctx: &mut ExecContext,
+        pattern: &ErrorPattern,
+        observables: &[Observable],
+        sink: &mut dyn FnMut(u64, f64),
+    ) -> (ShotSample, Vec<f64>) {
+        assert!(
+            self.supports_weighted(),
+            "run_weighted_pattern_in requires an engine with weighted support"
+        );
+        let output_layout = self.output_layout.as_deref();
+        let mut restore = |outcome: u64, probability: f64| match output_layout {
+            Some(output_layout) => {
+                sink(layout::restore_outcome(outcome, output_layout), probability)
+            }
+            None => sink(outcome, probability),
+        };
+        match &self.backend {
+            EngineBackend::DecisionDiagram { backend, program } => {
+                let ctx = ctx.dd_mut();
+                let mut run = backend.run_pattern(program, ctx, pattern);
+                let values: Vec<f64> = observables
+                    .iter()
+                    .map(|o| backend.evaluate(program, ctx, &mut run, o))
+                    .collect();
+                backend.outcome_distribution(program, ctx, &run, &mut restore);
+                (
+                    ShotSample {
+                        outcome: 0,
+                        error_events: run.error_events as u64,
+                        dd_nodes: run.dd_nodes,
+                        dd_nodes_peak: run.dd_nodes_peak,
+                    },
+                    values,
+                )
+            }
+            EngineBackend::Statevector { backend, program } => {
+                let ctx = ctx.dense_mut();
+                let mut run = backend.run_pattern(program, ctx, pattern);
+                let values: Vec<f64> = observables
+                    .iter()
+                    .map(|o| backend.evaluate(program, ctx, &mut run, o))
+                    .collect();
+                backend.outcome_distribution(program, ctx, &run, &mut restore);
+                (
+                    ShotSample {
+                        outcome: 0,
+                        error_events: run.error_events as u64,
+                        dd_nodes: run.dd_nodes,
+                        dd_nodes_peak: run.dd_nodes_peak,
+                    },
+                    values,
+                )
+            }
+        }
     }
 
     /// Resolves shot `shot`'s error decisions up front.

@@ -122,6 +122,16 @@ impl StochasticSimulator {
         self
     }
 
+    /// Enables the weighted-enumeration driver (see [`crate::weighted`]):
+    /// error patterns are enumerated in probability order and their exact
+    /// outcome distributions weighted, with sampled shots covering only the
+    /// residual mass. Falls back to the configured sampling path when the
+    /// circuit does not support enumeration.
+    pub fn with_weighted(mut self, options: crate::weighted::WeightedOptions) -> Self {
+        self.config.weighted = Some(options);
+        self
+    }
+
     /// Sets the circuit-optimization level applied before the shot loop.
     ///
     /// The circuit is transpiled **once** (see [`qsdd_transpile`]); every
@@ -206,6 +216,15 @@ impl StochasticSimulator {
     }
 
     fn drive(&self, engine: &ShotEngine, observables: &[Observable]) -> StochasticOutcome {
+        if let Some(options) = &self.config.weighted {
+            return crate::weighted::run_engine_weighted(
+                engine,
+                self.config.shots,
+                self.config.threads,
+                observables,
+                options,
+            );
+        }
         if self.config.dedup {
             run_engine_dedup(engine, self.config.shots, self.config.threads, observables)
         } else {

@@ -56,6 +56,13 @@ pub struct StochasticConfig {
     /// way, so turning it off is only useful for benchmarking the per-shot
     /// path.
     pub dedup: bool,
+    /// When set, runs the weighted-enumeration driver (see
+    /// [`crate::weighted`]): error patterns are enumerated in probability
+    /// order and their outcome distributions weighted exactly, with
+    /// rejection-sampled shots covering only the residual mass. Falls back
+    /// to the configured sampling path when the program does not support
+    /// enumeration.
+    pub weighted: Option<crate::weighted::WeightedOptions>,
 }
 
 impl StochasticConfig {
@@ -67,6 +74,7 @@ impl StochasticConfig {
             seed: 0xD1CE_5EED,
             noise: NoiseModel::paper_defaults(),
             dedup: true,
+            weighted: None,
         }
     }
 
@@ -91,6 +99,13 @@ impl StochasticConfig {
     /// Enables or disables trajectory deduplication.
     pub fn with_dedup(mut self, dedup: bool) -> Self {
         self.dedup = dedup;
+        self
+    }
+
+    /// Enables the weighted-enumeration driver with the given options
+    /// (see [`crate::weighted`]).
+    pub fn with_weighted(mut self, options: crate::weighted::WeightedOptions) -> Self {
+        self.weighted = Some(options);
         self
     }
 
@@ -142,6 +157,11 @@ pub struct StochasticOutcome {
     /// the ordinary per-shot path (deduplication disabled, or the program
     /// does not support it).
     pub dedup: Option<DedupStats>,
+    /// Weighted-enumeration statistics; `None` when the run sampled shots
+    /// instead of enumerating trajectories (see [`crate::weighted`]). When
+    /// set, [`counts`](Self::counts) is an integer rendering of the exact
+    /// [`WeightedStats::distribution`](crate::weighted::WeightedStats).
+    pub weighted: Option<crate::weighted::WeightedStats>,
     /// Wall-time breakdown by pipeline stage (transpile, compile,
     /// presample, group, execute, aggregate). Always filled — reading a
     /// few `Instant`s per *job* costs nothing measurable — so callers can
@@ -162,6 +182,7 @@ impl StochasticOutcome {
             wall_time,
             threads,
             dedup: None,
+            weighted: None,
             stage_timings: StageTimings::new(),
         }
     }
@@ -286,6 +307,7 @@ pub(crate) fn merge_partials(
         wall_time: started.elapsed(),
         threads,
         dedup: None,
+        weighted: None,
         stage_timings: StageTimings::new(),
     }
 }
@@ -583,7 +605,7 @@ fn run_engine_in_inner(
 /// traffic to the global telemetry registry. A no-op while telemetry is
 /// disabled — one relaxed atomic load — so the per-job cost off the
 /// serving path is negligible.
-fn publish_job_metrics(outcome: &StochasticOutcome, dd_delta: qsdd_dd::TableStats) {
+pub(crate) fn publish_job_metrics(outcome: &StochasticOutcome, dd_delta: qsdd_dd::TableStats) {
     if !qsdd_telemetry::enabled() {
         return;
     }
@@ -913,6 +935,7 @@ mod tests {
             wall_time: Duration::ZERO,
             threads: 1,
             dedup: None,
+            weighted: None,
             stage_timings: StageTimings::new(),
         };
         // All of 2, 4, 7 are tied at 5 counts: the smallest index wins,

@@ -66,6 +66,46 @@ impl DdPackage {
         self.fill_statevector(node.edges[1], n, level + 1, (prefix << 1) | 1, acc, out);
     }
 
+    /// Visits every computational basis state with non-zero amplitude,
+    /// calling `sink(index, probability)` with the squared magnitude
+    /// (qubit 0 is the most significant bit of the index, matching
+    /// [`DdPackage::amplitude`]).
+    ///
+    /// Unlike [`DdPackage::to_statevector`] this never materialises the
+    /// dense vector: the traversal skips zero-weight edges, so sparse
+    /// states (the common case for stabilizer-like circuits) are walked
+    /// in time proportional to their support rather than `2^n`.
+    pub fn outcome_probabilities(&self, v: VecEdge, n: usize, sink: &mut dyn FnMut(u64, f64)) {
+        assert!((1..=64).contains(&n), "qubit count must be within 1..=64");
+        self.visit_probabilities(v, n, 0, 0, 1.0, sink);
+    }
+
+    fn visit_probabilities(
+        &self,
+        edge: VecEdge,
+        n: usize,
+        level: usize,
+        prefix: u64,
+        acc: f64,
+        sink: &mut dyn FnMut(u64, f64),
+    ) {
+        if edge.is_zero() {
+            return;
+        }
+        let acc = acc * self.ctable.value(edge.weight).norm_sqr();
+        if acc == 0.0 {
+            return;
+        }
+        if level == n {
+            sink(prefix, acc);
+            return;
+        }
+        debug_assert!(!edge.node.is_terminal(), "state shorter than qubit count");
+        let node = self.vec_nodes[edge.node.index()];
+        self.visit_probabilities(node.edges[0], n, level + 1, prefix << 1, acc, sink);
+        self.visit_probabilities(node.edges[1], n, level + 1, (prefix << 1) | 1, acc, sink);
+    }
+
     /// Builds a decision diagram state from a dense amplitude vector.
     ///
     /// The vector length must be a power of two; the state is not
@@ -232,6 +272,28 @@ mod tests {
                 .amplitude(s, 3, idx)
                 .approx_eq(dense[idx as usize], 1e-12));
         }
+    }
+
+    #[test]
+    fn outcome_probabilities_matches_dense_norms() {
+        let mut dd = DdPackage::new();
+        let s = dd.zero_state(3);
+        let h0 = dd.single_qubit_op(3, 0, Matrix2::hadamard());
+        let cx = dd.controlled_op(3, 1, &[0], Matrix2::pauli_x());
+        let s = dd.mat_vec_mul(h0, s);
+        let s = dd.mat_vec_mul(cx, s);
+        let dense = dd.to_statevector(s, 3);
+        let mut sparse = std::collections::HashMap::new();
+        dd.outcome_probabilities(s, 3, &mut |index, p| {
+            assert!(sparse.insert(index, p).is_none(), "index visited twice");
+        });
+        for (idx, amp) in dense.iter().enumerate() {
+            let expected = amp.norm_sqr();
+            let got = sparse.get(&(idx as u64)).copied().unwrap_or(0.0);
+            assert!((expected - got).abs() < 1e-12, "index {idx}");
+        }
+        // GHZ-like support: only |000> and |110> are populated.
+        assert_eq!(sparse.len(), 2);
     }
 
     #[test]

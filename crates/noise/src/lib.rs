@@ -42,9 +42,11 @@
 #![warn(rust_2018_idioms)]
 
 mod channels;
+pub mod enumerate;
 mod model;
 pub mod presample;
 
 pub use channels::{ErrorChannel, ErrorKind, SampledError, StochasticAction};
+pub use enumerate::{PatternEnumerator, WeightedPattern};
 pub use model::NoiseModel;
 pub use presample::{ErrorEvent, ErrorPattern, PresamplePlan, Presampled, SiteChannel};

@@ -69,6 +69,17 @@ pub struct ErrorPattern {
 }
 
 impl ErrorPattern {
+    /// Builds a pattern from its fired errors (must be sorted by site, one
+    /// event per site). Used by the enumeration layer ([`crate::enumerate`])
+    /// to construct the patterns it weighs.
+    pub(crate) fn from_events(events: Vec<ErrorEvent>) -> Self {
+        debug_assert!(
+            events.windows(2).all(|w| w[0].site < w[1].site),
+            "pattern events must be strictly site-ordered"
+        );
+        ErrorPattern { events }
+    }
+
     /// The fired errors in site order.
     pub fn events(&self) -> &[ErrorEvent] {
         &self.events
@@ -126,7 +137,7 @@ pub enum Presampled {
 /// crucially the random-stream consumption — of each arm are exactly those
 /// of [`ErrorChannel::sample_error`] for the corresponding kind.
 #[derive(Clone, Copy, Debug)]
-enum FlatSite {
+pub(crate) enum FlatSite {
     /// Depolarizing channel with probability `p`: one uniform draw against
     /// `p`, one `0..4` draw when it fires.
     Depolarizing(f64),
@@ -146,11 +157,11 @@ enum FlatSite {
 /// resolves any shot's error decisions in `O(sites)` random draws.
 #[derive(Clone, Debug, Default)]
 pub struct PresamplePlan {
-    sites: Vec<FlatSite>,
+    pub(crate) sites: Vec<FlatSite>,
     /// Index of the last state-dependent site, if any: an error firing
     /// before it forces the shot onto the live path (the deviation
     /// invalidates every later precomputed damping threshold).
-    last_damping: Option<usize>,
+    pub(crate) last_damping: Option<usize>,
 }
 
 impl PresamplePlan {

@@ -14,7 +14,7 @@ use std::hash::Hasher as _;
 use qsdd_batch::{JobReport, JobStatus};
 use qsdd_circuit::{generators, qasm, Circuit};
 use qsdd_core::fxhash::FxHasher;
-use qsdd_core::{BackendKind, Observable, OptLevel, StochasticOutcome};
+use qsdd_core::{BackendKind, Observable, OptLevel, StochasticOutcome, WeightedOptions};
 use qsdd_json::Value;
 use qsdd_noise::NoiseModel;
 
@@ -31,6 +31,11 @@ pub const MAX_DD_QUBITS: usize = 63;
 /// Qubit cap on the dense statevector back-end (the amplitude buffer is
 /// `2^n` complex numbers; 24 qubits is already a 256 MiB state).
 pub const MAX_DENSE_QUBITS: usize = 24;
+/// Enumeration-budget cap on weighted jobs: each enumerated pattern is one
+/// full trajectory simulation, so the cap bounds a weighted request's CPU
+/// the same way [`MAX_SHOTS`] bounds a sampled one (and bounds the
+/// enumerator's frontier heap, which grows with the budget).
+pub const MAX_WEIGHTED_PATTERNS: u64 = 100_000;
 
 /// A fully validated job submission.
 #[derive(Clone, Debug)]
@@ -57,6 +62,9 @@ pub struct JobInput {
     pub noise: NoiseModel,
     /// Observables estimated over the shots, in request order.
     pub observables: Vec<Observable>,
+    /// When set, the job runs through the weighted trajectory-enumeration
+    /// driver with these knobs instead of sampling every shot.
+    pub weighted: Option<WeightedOptions>,
 }
 
 impl JobInput {
@@ -82,6 +90,16 @@ impl JobInput {
             self.noise.amplitude_damping_prob().to_bits(),
             self.noise.phase_flip_prob().to_bits(),
         ));
+        if let Some(weighted) = &self.weighted {
+            // Absent and `"weighted": false` collapse to the same key (both
+            // mean ordinary sampling), so older cached results stay valid.
+            key.push_str(&format!(
+                "|weighted=cutoff:{:016x},max:{},exact:{}",
+                weighted.mass_cutoff.to_bits(),
+                weighted.max_patterns,
+                weighted.exact_histogram,
+            ));
+        }
         for observable in &self.observables {
             match observable {
                 Observable::QubitExcitation(q) => key.push_str(&format!("|exc={q}")),
@@ -161,7 +179,15 @@ pub fn parse_job_request(body: &str) -> Result<JobInput, String> {
     for (key, _) in pairs {
         if !matches!(
             key.as_str(),
-            "circuit" | "shots" | "seed" | "backend" | "opt" | "dedup" | "noise" | "observables"
+            "circuit"
+                | "shots"
+                | "seed"
+                | "backend"
+                | "opt"
+                | "dedup"
+                | "noise"
+                | "observables"
+                | "weighted"
         ) {
             return Err(format!("unknown field `{key}`"));
         }
@@ -217,6 +243,14 @@ pub fn parse_job_request(body: &str) -> Result<JobInput, String> {
 
     let noise = parse_noise(value.get("noise"))?;
     let observables = parse_observables(value.get("observables"), &circuit)?;
+    let weighted = parse_weighted(value.get("weighted"))?;
+    if let Some(options) = &weighted {
+        if shots == 0 && !options.exact_histogram {
+            return Err("weighted jobs with `shots` 0 must set `exact_histogram` \
+                 (there are no samples to synthesize counts from)"
+                .to_string());
+        }
+    }
 
     let circuit_qasm = qasm::write_source(&circuit).ok();
     Ok(JobInput {
@@ -229,7 +263,51 @@ pub fn parse_job_request(body: &str) -> Result<JobInput, String> {
         dedup,
         noise,
         observables,
+        weighted,
     })
+}
+
+/// `"weighted": true` (default knobs), `false` (ordinary sampling) or an
+/// object overriding `mass_cutoff` / `max_patterns` / `exact_histogram`.
+fn parse_weighted(value: Option<&Value>) -> Result<Option<WeightedOptions>, String> {
+    let Some(value) = value else {
+        return Ok(None);
+    };
+    if let Some(flag) = value.as_bool() {
+        return Ok(flag.then(WeightedOptions::default));
+    }
+    reject_unknown_keys(
+        value,
+        "weighted",
+        &["mass_cutoff", "max_patterns", "exact_histogram"],
+    )?;
+    let mut options = WeightedOptions::default();
+    if let Some(cutoff) = value.get("mass_cutoff") {
+        let cutoff = cutoff.as_f64().ok_or("`mass_cutoff` must be a number")?;
+        if !(cutoff > 0.0 && cutoff <= 1.0) {
+            return Err(format!(
+                "`mass_cutoff` must be a probability in (0, 1], got {cutoff}"
+            ));
+        }
+        options.mass_cutoff = cutoff;
+    }
+    if let Some(max) = value.get("max_patterns") {
+        let max = max
+            .as_u64()
+            .ok_or("`max_patterns` must be a non-negative integer")?;
+        if max > MAX_WEIGHTED_PATTERNS {
+            return Err(format!(
+                "`max_patterns` {max} exceeds the limit of {MAX_WEIGHTED_PATTERNS}"
+            ));
+        }
+        options.max_patterns = max;
+    }
+    if let Some(exact) = value.get("exact_histogram") {
+        options.exact_histogram = exact
+            .as_bool()
+            .ok_or("`exact_histogram` must be a boolean")?;
+    }
+    Ok(Some(options))
 }
 
 /// `{"generator": "...", "qubits": N}` or `{"qasm": "..."}`.
@@ -367,8 +445,9 @@ fn parse_observables(value: Option<&Value>, circuit: &Circuit) -> Result<Vec<Obs
 ///
 /// The payload is the [`JobReport`] results object (exactly what
 /// `qsdd_cli batch` writes per job, minus wall-clock timing) extended with
-/// the dedup `live_shots` counter and — when the job requested observables
-/// — their estimates. Everything in it is a pure function of the canonical
+/// the dedup `live_shots` counter, the weighted `tail_shots` count and
+/// exact `distribution` (weighted jobs only) and — when the job requested
+/// observables — their estimates. Everything in it is a pure function of the canonical
 /// key, which is what makes cached responses byte-identical to freshly
 /// computed ones. In particular the report's `name` is the job's content
 /// address, **not** the circuit's display name: equivalent submissions
@@ -392,10 +471,20 @@ pub fn result_payload(input: &JobInput, outcome: &StochasticOutcome) -> String {
         error_events: outcome.error_events,
         dd_nodes_avg: outcome.dd_nodes_avg,
         dd_nodes_peak: outcome.dd_nodes_peak,
-        unique_trajectories: outcome
-            .dedup
-            .map_or(outcome.shots as u64, |stats| stats.unique_trajectories),
+        unique_trajectories: match (&outcome.weighted, &outcome.dedup) {
+            (Some(stats), _) => stats.enumerated_trajectories + stats.tail_shots,
+            (None, Some(stats)) => stats.unique_trajectories,
+            (None, None) => outcome.shots as u64,
+        },
         dedup_hit_rate: outcome.dedup_hit_rate(),
+        covered_mass: outcome
+            .weighted
+            .as_ref()
+            .map_or(0.0, |stats| stats.covered_mass),
+        enumerated_trajectories: outcome
+            .weighted
+            .as_ref()
+            .map_or(0, |stats| stats.enumerated_trajectories),
         wall_time: outcome.wall_time,
         // Timing fields never reach the payload (results_value drops them);
         // the per-stage breakdown lives in the job envelope instead.
@@ -408,6 +497,22 @@ pub fn result_payload(input: &JobInput, outcome: &StochasticOutcome) -> String {
         "live_shots".to_string(),
         Value::from(outcome.dedup.map_or(0, |stats| stats.live_shots)),
     ));
+    if let Some(stats) = &outcome.weighted {
+        pairs.push(("tail_shots".to_string(), Value::from(stats.tail_shots)));
+        // The exact weighted distribution (outcome -> probability), the
+        // quantity the enumeration computed; counts above are its
+        // largest-remainder rounding to integer shots.
+        pairs.push((
+            "distribution".to_string(),
+            Value::Object(
+                stats
+                    .distribution
+                    .iter()
+                    .map(|&(outcome, probability)| (format!("{outcome}"), Value::from(probability)))
+                    .collect(),
+            ),
+        ));
+    }
     if !input.observables.is_empty() {
         pairs.push((
             "observable_estimates".to_string(),
@@ -545,6 +650,35 @@ mod tests {
                 r#"{"circuit":{"generator":"ghz","qubits":4},"observables":[{"qubit_excitation":1,"basis_probability":0}]}"#,
                 "each observable",
             ),
+            // Weighted knobs are validated as strictly as the rest.
+            (
+                r#"{"circuit":{"generator":"ghz","qubits":4},"weighted":"yes"}"#,
+                "`weighted` must be an object",
+            ),
+            (
+                r#"{"circuit":{"generator":"ghz","qubits":4},"weighted":{"cutoff":0.9}}"#,
+                "unknown field `cutoff` in `weighted`",
+            ),
+            (
+                r#"{"circuit":{"generator":"ghz","qubits":4},"weighted":{"mass_cutoff":0}}"#,
+                "(0, 1]",
+            ),
+            (
+                r#"{"circuit":{"generator":"ghz","qubits":4},"weighted":{"mass_cutoff":1.5}}"#,
+                "(0, 1]",
+            ),
+            (
+                r#"{"circuit":{"generator":"ghz","qubits":4},"weighted":{"max_patterns":100000000}}"#,
+                "exceeds the limit of 100000",
+            ),
+            (
+                r#"{"circuit":{"generator":"ghz","qubits":4},"weighted":{"exact_histogram":1}}"#,
+                "`exact_histogram` must be a boolean",
+            ),
+            (
+                r#"{"circuit":{"generator":"ghz","qubits":4},"shots":0,"weighted":true}"#,
+                "must set `exact_histogram`",
+            ),
         ];
         for (body, needle) in cases {
             let err = parse_job_request(body).unwrap_err();
@@ -572,6 +706,10 @@ mod tests {
             r#","dedup":false"#,
             r#","noise":{"noiseless":true}"#,
             r#","observables":[{"qubit_excitation":0}]"#,
+            r#","weighted":true"#,
+            r#","weighted":{"mass_cutoff":0.5}"#,
+            r#","weighted":{"max_patterns":16}"#,
+            r#","weighted":{"exact_histogram":true}"#,
         ] {
             let other = parse_job_request(&bare_request(extra)).unwrap();
             assert_ne!(
@@ -583,6 +721,27 @@ mod tests {
         let other =
             parse_job_request(&bare_request("").replace(r#""qubits":5"#, r#""qubits":6"#)).unwrap();
         assert_ne!(a.canonical_key(), other.canonical_key());
+        // `"weighted": false` means ordinary sampling, exactly like leaving
+        // the field out — the two spellings share one cache cell.
+        let disabled = parse_job_request(&bare_request(r#","weighted":false"#)).unwrap();
+        assert_eq!(a.canonical_key(), disabled.canonical_key());
+    }
+
+    #[test]
+    fn weighted_submissions_parse_their_knobs() {
+        let input = parse_job_request(&bare_request(r#","weighted":true"#)).unwrap();
+        assert_eq!(input.weighted, Some(WeightedOptions::default()));
+        let input = parse_job_request(&bare_request(
+            r#","weighted":{"mass_cutoff":0.75,"max_patterns":32,"exact_histogram":true}"#,
+        ))
+        .unwrap();
+        let options = input.weighted.unwrap();
+        assert_eq!(options.mass_cutoff, 0.75);
+        assert_eq!(options.max_patterns, 32);
+        assert!(options.exact_histogram);
+        // Zero shots are fine once the exact histogram is requested.
+        let body = r#"{"circuit":{"generator":"ghz","qubits":5},"shots":0,"weighted":{"exact_histogram":true}}"#;
+        assert!(parse_job_request(body).is_ok());
     }
 
     #[test]

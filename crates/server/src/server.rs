@@ -636,7 +636,16 @@ fn execute_job(state: &Arc<ServerState>, cell: &Arc<ExecutionCell>, ctx: &mut Ex
             input.seed,
             input.opt,
         );
-        let outcome = run_engine_in(&engine, ctx, input.shots, &input.observables, input.dedup);
+        let outcome = match &input.weighted {
+            Some(options) => qsdd_core::run_engine_weighted_in(
+                &engine,
+                ctx,
+                input.shots,
+                &input.observables,
+                options,
+            ),
+            None => run_engine_in(&engine, ctx, input.shots, &input.observables, input.dedup),
+        };
         // The payload is timing-free by contract (byte-identical cache
         // serving); the breakdown rides alongside into the job envelope.
         (api::result_payload(input, &outcome), outcome.stage_timings)

@@ -21,7 +21,9 @@ use std::process::ExitCode;
 
 use qsdd::batch::{jobfile, json::Value, run_batch, BatchOptions, BatchReport, JobStatus};
 use qsdd::circuit::{generators, qasm, Circuit};
-use qsdd::core::{BackendKind, OptLevel, Stage, StageTimings, StochasticSimulator};
+use qsdd::core::{
+    BackendKind, OptLevel, Stage, StageTimings, StochasticSimulator, WeightedOptions,
+};
 use qsdd::noise::NoiseModel;
 use qsdd::server::{serve_forever, ServerConfig};
 use qsdd::transpile::{transpile, verify, DEFAULT_FIDELITY_TOLERANCE};
@@ -41,6 +43,7 @@ struct Options {
     dedup: bool,
     profile: bool,
     format: RunFormat,
+    weighted: Option<WeightedOptions>,
 }
 
 /// Output format of the `run` / `generate` result on stdout.
@@ -131,6 +134,15 @@ options (run / generate):
   --no-dedup           disable trajectory deduplication (per-shot execution;
                        results are identical, this is a benchmarking escape
                        hatch)
+  --weighted           enumerate error trajectories in descending probability
+                       order and simulate each distinct one once, exactly;
+                       only the residual probability mass is sampled
+  --mass-cutoff <p>    stop enumerating once this much probability mass is
+                       covered (default 0.999; requires --weighted)
+  --max-patterns <N>   cap on enumerated trajectories (default 1024;
+                       requires --weighted)
+  --exact-histogram    skip residual-tail sampling and report the enumerated
+                       distribution alone (requires --weighted)
   --noiseless          disable all errors
   --depolarizing <p>   gate error probability (default 0.001)
   --damping <p>        amplitude damping / T1 probability (default 0.002)
@@ -430,11 +442,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         dedup: true,
         profile: false,
         format: RunFormat::Text,
+        weighted: None,
     };
     let mut depolarizing = options.noise.depolarizing_prob();
     let mut damping = options.noise.amplitude_damping_prob();
     let mut phase_flip = options.noise.phase_flip_prob();
     let mut noiseless = false;
+    let mut weighted = false;
+    let mut weighted_options = WeightedOptions::default();
+    let mut weighted_knob_seen: Option<&'static str> = None;
 
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -471,6 +487,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--depolarizing" => depolarizing = parse_probability(&value("--depolarizing")?)?,
             "--damping" => damping = parse_probability(&value("--damping")?)?,
             "--phaseflip" => phase_flip = parse_probability(&value("--phaseflip")?)?,
+            "--weighted" => weighted = true,
+            "--mass-cutoff" => {
+                let cutoff = parse_probability(&value("--mass-cutoff")?)?;
+                if cutoff == 0.0 {
+                    return Err("--mass-cutoff must be in (0, 1]".to_string());
+                }
+                weighted_options.mass_cutoff = cutoff;
+                weighted_knob_seen = Some("--mass-cutoff");
+            }
+            "--max-patterns" => {
+                weighted_options.max_patterns = parse_number(&value("--max-patterns")?)? as u64;
+                weighted_knob_seen = Some("--max-patterns");
+            }
+            "--exact-histogram" => {
+                weighted_options.exact_histogram = true;
+                weighted_knob_seen = Some("--exact-histogram");
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -479,6 +512,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     } else {
         NoiseModel::new(depolarizing, damping, phase_flip)
     };
+    if weighted {
+        options.weighted = Some(weighted_options);
+    } else if let Some(knob) = weighted_knob_seen {
+        // A tuning knob without the mode is almost certainly a mistake —
+        // silently sampling every shot would hide it.
+        return Err(format!("{knob} requires --weighted"));
+    }
     Ok(options)
 }
 
@@ -551,13 +591,16 @@ fn run(options: Options) -> ExitCode {
         }
     }
 
-    let simulator = StochasticSimulator::new()
+    let mut simulator = StochasticSimulator::new()
         .with_backend(options.backend)
         .with_shots(options.shots)
         .with_threads(options.threads)
         .with_seed(options.seed)
         .with_noise(options.noise)
         .with_dedup(options.dedup);
+    if let Some(weighted) = options.weighted.clone() {
+        simulator = simulator.with_weighted(weighted);
+    }
     let result = match &transpiled {
         Some(transpiled) => simulator.run_transpiled(transpiled, &[]),
         None => simulator.run(&options.circuit),
@@ -583,6 +626,15 @@ fn run(options: Options) -> ExitCode {
             result.shots,
             100.0 * result.dedup_hit_rate(),
             stats.live_shots
+        );
+    }
+    if let Some(stats) = &result.weighted {
+        eprintln!(
+            "weighted: {} trajectories enumerated, covering {:.4} % of the \
+             probability mass ({} tail shots for the residual)",
+            stats.enumerated_trajectories,
+            100.0 * stats.covered_mass,
+            stats.tail_shots
         );
     }
     if options.profile {
@@ -649,6 +701,19 @@ fn run_result_json(options: &Options, result: &qsdd::core::StochasticOutcome) ->
                     Value::from(stats.unique_trajectories),
                 ),
                 ("live_shots".to_string(), Value::from(stats.live_shots)),
+            ]),
+        ));
+    }
+    if let Some(stats) = &result.weighted {
+        pairs.push((
+            "weighted".to_string(),
+            Value::object(vec![
+                (
+                    "enumerated_trajectories".to_string(),
+                    Value::from(stats.enumerated_trajectories),
+                ),
+                ("covered_mass".to_string(), Value::from(stats.covered_mass)),
+                ("tail_shots".to_string(), Value::from(stats.tail_shots)),
             ]),
         ));
     }
@@ -802,6 +867,53 @@ mod tests {
         assert!(!batch_defaults.profile);
         let batch_on = parse_batch_args(&args(&["jobs.txt", "--profile"])).unwrap();
         assert!(batch_on.profile);
+    }
+
+    #[test]
+    fn parses_weighted_flags() {
+        let defaults = parse_args(&args(&["generate", "ghz", "4"])).unwrap();
+        assert!(defaults.weighted.is_none());
+        let on = parse_args(&args(&["generate", "ghz", "4", "--weighted"])).unwrap();
+        assert_eq!(on.weighted, Some(WeightedOptions::default()));
+        let tuned = parse_args(&args(&[
+            "generate",
+            "ghz",
+            "4",
+            "--weighted",
+            "--mass-cutoff",
+            "0.75",
+            "--max-patterns",
+            "64",
+            "--exact-histogram",
+        ]))
+        .unwrap();
+        let options = tuned.weighted.unwrap();
+        assert_eq!(options.mass_cutoff, 0.75);
+        assert_eq!(options.max_patterns, 64);
+        assert!(options.exact_histogram);
+        // Tuning knobs without the mode are an error, not a silent no-op.
+        let err = parse_args(&args(&["generate", "ghz", "4", "--mass-cutoff", "0.5"])).unwrap_err();
+        assert!(err.contains("requires --weighted"), "{err}");
+        let err = parse_args(&args(&["generate", "ghz", "4", "--exact-histogram"])).unwrap_err();
+        assert!(err.contains("requires --weighted"), "{err}");
+        assert!(parse_args(&args(&[
+            "generate",
+            "ghz",
+            "4",
+            "--weighted",
+            "--mass-cutoff",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "generate",
+            "ghz",
+            "4",
+            "--weighted",
+            "--mass-cutoff",
+            "1.5"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -133,6 +133,8 @@ fn http_report_is_byte_identical_to_direct_execution() {
         dd_nodes_peak: outcome.dd_nodes_peak,
         unique_trajectories: outcome.dedup.as_ref().unwrap().unique_trajectories,
         dedup_hit_rate: outcome.dedup_hit_rate(),
+        covered_mass: 0.0,
+        enumerated_trajectories: 0,
         wall_time: Duration::ZERO,
         stage_timings: Default::default(),
     };
@@ -404,6 +406,138 @@ fn load_test_64_concurrent_clients_with_cache_hits() {
         hit_rate > 0.5,
         "expected a high cache hit rate, got {hit_rate}"
     );
+    server.shutdown_and_join();
+}
+
+#[test]
+fn malformed_weighted_submissions_bounce_with_400() {
+    // Negative paths of the weighted job knobs: every malformed combination
+    // must be rejected at parse time with a 400 and a structured error —
+    // nothing reaches the queue, so the stats stay clean.
+    let server = boot(1);
+    let addr = server.addr();
+    let cases: &[(&str, &str)] = &[
+        // Oversized enumeration budget: each pattern is one trajectory
+        // simulation, so the cap is a CPU-bound guard.
+        (
+            r#"{"circuit":{"generator":"ghz","qubits":6},"weighted":{"max_patterns":100001}}"#,
+            "exceeds the limit",
+        ),
+        // Weighted with zero shots needs the exact-histogram mode (there is
+        // no shot budget to size the residual tail or the histogram).
+        (
+            r#"{"circuit":{"generator":"ghz","qubits":6},"shots":0,"weighted":true}"#,
+            "exact_histogram",
+        ),
+        // Knob domain errors.
+        (
+            r#"{"circuit":{"generator":"ghz","qubits":6},"weighted":{"mass_cutoff":0}}"#,
+            "mass_cutoff",
+        ),
+        (
+            r#"{"circuit":{"generator":"ghz","qubits":6},"weighted":{"mass_cutoff":1.5}}"#,
+            "mass_cutoff",
+        ),
+        (
+            r#"{"circuit":{"generator":"ghz","qubits":6},"weighted":"yes"}"#,
+            "must be",
+        ),
+        (
+            r#"{"circuit":{"generator":"ghz","qubits":6},"weighted":{"cutoff":0.9}}"#,
+            "unknown field",
+        ),
+    ];
+    for (body, needle) in cases {
+        let (status, response) = client::request(addr, "POST", "/v1/jobs", Some(body)).unwrap();
+        assert_eq!(status, 400, "accepted malformed body: {body}");
+        let error = json::parse(&response)
+            .unwrap()
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string();
+        assert!(
+            error.contains(needle),
+            "error `{error}` does not mention `{needle}`"
+        );
+    }
+    let (_, stats) = client::request(addr, "GET", "/v1/stats", None).unwrap();
+    let stats = json::parse(&stats).unwrap();
+    assert_eq!(stats.get("jobs_accepted").and_then(Value::as_u64), Some(0));
+    assert_eq!(stats.get("simulations").and_then(Value::as_u64), Some(0));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn cached_weighted_results_are_byte_identical() {
+    // Weighted jobs flow through the same content-addressed cache as
+    // sampled jobs: a repeated submission must be served from the cache
+    // with a byte-identical result, and both must equal direct library
+    // execution through the weighted driver.
+    let server = boot(2);
+    let addr = server.addr();
+    let body = r#"{"circuit":{"generator":"ghz","qubits":6},"shots":500,"seed":3,
+                   "weighted":{"mass_cutoff":0.99,"max_patterns":64}}"#;
+
+    let input = qsdd::server::parse_job_request(body).unwrap();
+    let engine = ShotEngine::new(
+        &input.circuit,
+        input.backend,
+        input.noise,
+        input.seed,
+        input.opt,
+    );
+    let reference = qsdd::server::result_payload(
+        &input,
+        &qsdd::core::run_engine_weighted_in(
+            &engine,
+            &mut engine.new_context(),
+            input.shots,
+            &[],
+            input.weighted.as_ref().expect("weighted options parsed"),
+        ),
+    );
+
+    let mut results = Vec::new();
+    for _ in 0..2 {
+        let (status, response) = client::request(addr, "POST", "/v1/jobs", Some(body)).unwrap();
+        assert!(status == 200 || status == 202, "unexpected {status}");
+        let id = json::parse(&response)
+            .unwrap()
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string();
+        results.push(result_text(&poll_job(addr, &id)));
+    }
+    assert_eq!(results[0], results[1], "cache replay changed the bytes");
+    assert_eq!(results[0], reference, "served result diverged from direct");
+
+    // The weighted extension fields made it into the payload.
+    let payload = json::parse(&results[0]).unwrap();
+    let covered = payload
+        .get("covered_mass")
+        .and_then(Value::as_f64)
+        .expect("weighted results report covered_mass");
+    assert!(covered > 0.9, "GHZ-6 paper noise covers most of the mass");
+    assert!(payload
+        .get("enumerated_trajectories")
+        .and_then(Value::as_u64)
+        .is_some());
+    assert!(payload.get("tail_shots").and_then(Value::as_u64).is_some());
+    assert!(
+        payload.get("distribution").is_some(),
+        "weighted results carry the exact distribution"
+    );
+
+    let (_, stats) = client::request(addr, "GET", "/v1/stats", None).unwrap();
+    let stats = json::parse(&stats).unwrap();
+    assert_eq!(
+        stats.get("simulations").and_then(Value::as_u64),
+        Some(1),
+        "the second submission must be a cache hit"
+    );
+    assert!(stats.get("cache_hits").and_then(Value::as_u64).unwrap() >= 1);
     server.shutdown_and_join();
 }
 
