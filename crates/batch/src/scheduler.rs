@@ -79,6 +79,11 @@ pub struct BatchOptions {
     /// Whether jobs may deduplicate shots by presampled error pattern
     /// (on by default; results are identical either way).
     pub dedup: bool,
+    /// Fork-join width *inside* each shot (see [`qsdd_core::IntraPool`]).
+    /// `1` (the default) keeps shots serial; `0` lets big jobs borrow the
+    /// shot-workers that would otherwise idle when the batch has fewer
+    /// runnable jobs than workers. Results are bit-identical either way.
+    pub intra_threads: usize,
 }
 
 impl Default for BatchOptions {
@@ -86,6 +91,7 @@ impl Default for BatchOptions {
         BatchOptions {
             threads: 0,
             dedup: true,
+            intra_threads: 1,
         }
     }
 }
@@ -102,6 +108,13 @@ impl BatchOptions {
     /// Disables trajectory deduplication (the per-shot fallback path).
     pub fn without_dedup(mut self) -> Self {
         self.dedup = false;
+        self
+    }
+
+    /// Sets the intra-shot fork-join width (`1` = serial, `0` = borrow
+    /// idle shot-workers).
+    pub fn with_intra_threads(mut self, intra_threads: usize) -> Self {
+        self.intra_threads = intra_threads;
         self
     }
 
@@ -372,11 +385,31 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
     }
 
     let workers = options.effective_threads().max(1);
+    // Intra-shot fork-join pool, shared by every worker. In auto mode
+    // (`intra_threads == 0`) big jobs borrow the shot-workers that would
+    // idle when the batch has fewer runnable jobs than workers: the
+    // request becomes `workers / runnable` and the oversubscription clamp
+    // is taken against the workers that can actually stay busy. Results
+    // are bit-identical with or without the pool, so this is purely a
+    // throughput knob.
+    let runnable = runtimes
+        .iter()
+        .flatten()
+        .filter(|runtime| runtime.shots > 0)
+        .count()
+        .max(1);
+    let requested_intra = if options.intra_threads == 0 {
+        (workers / runnable).max(1)
+    } else {
+        options.intra_threads
+    };
+    let intra = qsdd_core::build_intra_pool(requested_intra, workers.min(runnable));
     std::thread::scope(|scope| {
         let shared = &shared;
         let runtimes = &runtimes;
+        let intra = &intra;
         for worker in 0..workers {
-            scope.spawn(move || worker_loop(shared, runtimes, worker));
+            scope.spawn(move || worker_loop(shared, runtimes, worker, intra.clone()));
         }
     });
 
@@ -506,15 +539,22 @@ fn build_round(runtime: &JobRuntime, job: usize, start: u64) -> Vec<Chunk> {
     chunks
 }
 
-fn worker_loop(shared: &Shared, runtimes: &[Option<JobRuntime>], worker: usize) {
+fn worker_loop(
+    shared: &Shared,
+    runtimes: &[Option<JobRuntime>],
+    worker: usize,
+    intra: Option<Arc<qsdd_core::IntraPool>>,
+) {
     // One long-lived execution context (internally caching per-back-end
     // state), reused across chunks *and* jobs: the context re-seats itself
     // when the stolen chunk belongs to a different job's program, and
     // merely rewinds when it belongs to the same one, so each worker
     // compiles nothing and allocates almost nothing in steady state. Reuse
     // is unobservable in the results (the ShotEngine contract), so the
-    // interleaving stays bit-deterministic.
+    // interleaving stays bit-deterministic — including with an intra-shot
+    // pool installed, by the speculation contract of `qsdd_dd`.
     let mut context = ExecContext::new();
+    context.set_intra_pool(intra);
     // Busy time accumulates locally and is flushed once at exit (one
     // labelled counter update per worker per batch, nothing per chunk).
     let worker_label = worker.to_string();
@@ -739,6 +779,27 @@ mod tests {
             let report = run_batch(&specs, &BatchOptions::with_threads(threads));
             for (a, b) in reference.jobs.iter().zip(report.jobs.iter()) {
                 assert_eq!(a.results_json(), b.results_json());
+            }
+        }
+    }
+
+    #[test]
+    fn intra_shot_parallelism_is_unobservable_in_reports() {
+        let mut specs = vec![ghz_spec("a", 300, 1), ghz_spec("b", 200, 2)];
+        specs[0].noise = NoiseModel::noiseless().with_depolarizing(0.01);
+        specs[1].backend = BackendKind::Statevector;
+        let reference = run_batch(&specs, &BatchOptions::with_threads(2));
+        // A single worker with an explicit width skips the oversubscription
+        // clamp, so (1, 2) and (1, 4) really install a pool on any machine.
+        for (threads, intra) in [(2, 0), (2, 2), (1, 2), (1, 4)] {
+            let options = BatchOptions::with_threads(threads).with_intra_threads(intra);
+            let report = run_batch(&specs, &options);
+            for (a, b) in reference.jobs.iter().zip(report.jobs.iter()) {
+                assert_eq!(
+                    a.results_json(),
+                    b.results_json(),
+                    "threads = {threads}, intra = {intra}"
+                );
             }
         }
     }

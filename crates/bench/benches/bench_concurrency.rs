@@ -29,6 +29,7 @@ fn bench_concurrency(c: &mut Criterion) {
                     noise: NoiseModel::paper_defaults(),
                     dedup: true,
                     weighted: None,
+                    intra_threads: 1,
                 };
                 b.iter(|| run_stochastic(&backend, &circuit, &config, &[]));
             },

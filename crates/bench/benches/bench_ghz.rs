@@ -19,6 +19,7 @@ fn config() -> StochasticConfig {
         noise: NoiseModel::paper_defaults(),
         dedup: true,
         weighted: None,
+        intra_threads: 1,
     }
 }
 

@@ -18,6 +18,7 @@ fn config() -> StochasticConfig {
         noise: NoiseModel::paper_defaults(),
         dedup: true,
         weighted: None,
+        intra_threads: 1,
     }
 }
 

@@ -34,6 +34,7 @@ fn config() -> StochasticConfig {
         noise: NoiseModel::paper_defaults(),
         dedup: true,
         weighted: None,
+        intra_threads: 1,
     }
 }
 

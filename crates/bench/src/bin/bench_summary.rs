@@ -3,18 +3,23 @@
 //!
 //! Runs the trajectory-deduplication and context-reuse workloads directly
 //! (no criterion harness) plus the HTTP-server load scenario, and writes
-//! `BENCH_7.json`: one entry per benchmark with the optimized and naive
+//! `BENCH_8.json`: one entry per benchmark with the optimized and naive
 //! mean per-shot cost in nanoseconds and the resulting speedup, a
 //! `weighted` section racing the weighted trajectory-enumeration driver
 //! against both the dedup and per-shot paths on GHZ-16 under the paper's
-//! mixed noise (the case where dedup alone only reached ~1.3x), a
+//! mixed noise (the case where dedup alone only reached ~1.3x), an
+//! `intra` section racing intra-shot fork-join execution against serial
+//! on a 22-qubit dense workload and a deep decision-diagram workload
+//! (interleaved min-of-reps, outcomes cross-checked bit for bit), a
 //! `server` section with the service's throughput and cold-vs-cache-hit
 //! latency, and a `metrics_overhead` row measuring what the disabled-mode
 //! telemetry hooks cost the context-reuse hot loop. The JSON is parsed
 //! back before the process exits, so a malformed writer fails loudly (CI
 //! runs the binary in `--test-mode` with tiny shot counts on every push;
-//! test mode also hard-gates the weighted row: it must beat dedup and be
-//! at least 3x over per-shot).
+//! test mode also hard-gates the weighted row — it must beat dedup and be
+//! at least 3x over per-shot — and the intra row, with a core-count-aware
+//! dense-speedup floor: ≥ 2.0x on 8+ cores, ≥ 1.3x on 4–7, correctness
+//! only below that).
 //!
 //! ```text
 //! bench_summary [--test-mode] [--out <path>]
@@ -25,7 +30,7 @@
 //!   which keeps enough shots to stay meaningful and is asserted ≤ 2 %),
 //!   but the whole pipeline (workloads, cross-checks, server round trips,
 //!   JSON writer) is exercised.
-//! * `--out` overrides the output path (default `BENCH_7.json`, i.e. the
+//! * `--out` overrides the output path (default `BENCH_8.json`, i.e. the
 //!   repo root when invoked from there).
 
 use std::process::ExitCode;
@@ -33,7 +38,7 @@ use std::time::Instant;
 
 use qsdd_batch::json::{self, Value};
 use qsdd_bench::server_load::{run_load, LoadConfig};
-use qsdd_circuit::generators::ghz;
+use qsdd_circuit::generators::{ghz, qft};
 use qsdd_core::{
     run_engine, run_engine_dedup, run_engine_in, run_engine_weighted_in, BackendKind, DdSimulator,
     OptLevel, ShotEngine, StochasticBackend, WeightedOptions,
@@ -60,7 +65,7 @@ impl Row {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut test_mode = false;
-    let mut out = "BENCH_7.json".to_string();
+    let mut out = "BENCH_8.json".to_string();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -184,6 +189,45 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // The intra-shot fork-join comparison: serial vs parallel execution of
+    // the same engines, interleaved min-of-reps, outcomes cross-checked
+    // bit for bit (the determinism contract makes the cross-check exact).
+    let intra = intra_row(test_mode);
+    for workload in [&intra.dense, &intra.dd] {
+        println!(
+            "{:<28} serial {:>12.1} ns/shot | intra({}) {:>10.1} ns/shot | speedup {:>6.2}x",
+            workload.name,
+            workload.serial_ns,
+            intra.width,
+            workload.parallel_ns,
+            workload.speedup()
+        );
+    }
+    if test_mode {
+        // Core-count-aware hard gate on the dense workload: the flat
+        // chunk-partitioned kernels must actually scale where the machine
+        // has room, and small/virtualized runners degrade to a pure
+        // correctness check (the cross-check above already ran).
+        let floor = match intra.cores {
+            cores if cores >= 8 => Some(2.0),
+            cores if cores >= 4 => Some(1.3),
+            _ => None,
+        };
+        if let Some(floor) = floor {
+            if intra.dense.speedup() < floor {
+                eprintln!(
+                    "error: intra-shot dense speedup {:.2}x is below the {:.1}x floor \
+                     ({} cores, width {})",
+                    intra.dense.speedup(),
+                    floor,
+                    intra.cores,
+                    intra.width
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     // The HTTP service scenario: cold (uncached simulation) latency vs the
     // content-addressed cache-hit path, plus raw request throughput.
     let load_config = if test_mode {
@@ -206,7 +250,7 @@ fn main() -> ExitCode {
     }
 
     let document = Value::object(vec![
-        ("format".to_string(), Value::from("qsdd-bench-summary/4")),
+        ("format".to_string(), Value::from("qsdd-bench-summary/5")),
         ("test_mode".to_string(), Value::from(test_mode)),
         (
             "benchmarks".to_string(),
@@ -252,6 +296,15 @@ fn main() -> ExitCode {
                     Value::from(weighted.enumerated_trajectories),
                 ),
                 ("tail_shots".to_string(), Value::from(weighted.tail_shots)),
+            ]),
+        ),
+        (
+            "intra".to_string(),
+            Value::object(vec![
+                ("cores".to_string(), Value::from(intra.cores)),
+                ("width".to_string(), Value::from(intra.width)),
+                ("dense".to_string(), intra_workload_json(&intra.dense)),
+                ("dd".to_string(), intra_workload_json(&intra.dd)),
             ]),
         ),
         (
@@ -507,6 +560,124 @@ fn metrics_overhead_row(shots: usize, reps: usize) -> OverheadRow {
         baseline_ns,
         instrumented_ns,
         overhead_percent: 100.0 * (instrumented_ns - baseline_ns) / baseline_ns,
+    }
+}
+
+/// One serial-vs-fork-join comparison of the intra row.
+struct IntraWorkload {
+    name: &'static str,
+    shots: usize,
+    serial_ns: f64,
+    parallel_ns: f64,
+}
+
+impl IntraWorkload {
+    fn speedup(&self) -> f64 {
+        self.serial_ns / self.parallel_ns
+    }
+}
+
+/// The intra-shot fork-join comparison: both workloads plus the machine
+/// shape the gate decisions are based on.
+struct IntraRow {
+    cores: usize,
+    width: usize,
+    dense: IntraWorkload,
+    dd: IntraWorkload,
+}
+
+fn intra_workload_json(workload: &IntraWorkload) -> Value {
+    Value::object(vec![
+        ("name".to_string(), Value::from(workload.name)),
+        ("shots".to_string(), Value::from(workload.shots)),
+        ("serial_ns".to_string(), Value::from(workload.serial_ns)),
+        ("mean_ns".to_string(), Value::from(workload.parallel_ns)),
+        ("speedup".to_string(), Value::from(workload.speedup())),
+    ])
+}
+
+/// Interleaved min-of-reps race of one engine at intra width 1 vs `width`,
+/// on a single shot-worker (a single worker's intra request is honoured
+/// as-is; several workers would clamp against `cores / workers`). Every
+/// repetition cross-checks the parallel outcome against the serial one bit
+/// for bit — the determinism contract says nothing may move.
+fn intra_workload(
+    name: &'static str,
+    mut engine: ShotEngine,
+    width: usize,
+    shots: usize,
+    reps: usize,
+) -> IntraWorkload {
+    let mut best_serial = f64::INFINITY;
+    let mut best_parallel = f64::INFINITY;
+    for _ in 0..reps {
+        engine.set_intra_threads(1);
+        let started = Instant::now();
+        let serial = run_engine(&engine, shots, 1, &[]);
+        best_serial = best_serial.min(started.elapsed().as_secs_f64());
+
+        engine.set_intra_threads(width);
+        let started = Instant::now();
+        let parallel = run_engine(&engine, shots, 1, &[]);
+        best_parallel = best_parallel.min(started.elapsed().as_secs_f64());
+
+        assert_eq!(parallel.counts, serial.counts, "{name}: histogram moved");
+        assert_eq!(parallel.error_events, serial.error_events, "{name}");
+        assert_eq!(parallel.dd_nodes_peak, serial.dd_nodes_peak, "{name}");
+    }
+    IntraWorkload {
+        name,
+        shots,
+        serial_ns: best_serial * 1e9 / shots as f64,
+        parallel_ns: best_parallel * 1e9 / shots as f64,
+    }
+}
+
+/// Races intra-shot fork-join execution against serial on the two shapes
+/// it targets: a 22-qubit dense statevector workload (the flat
+/// chunk-partitioned kernels) and a deep decision-diagram workload (QFT-16
+/// under the paper's noise, where cofactor fork-join engages above the
+/// level cutoff). The fork-join width adapts to the machine — `cores`
+/// clamped into 2..=8 — so the row is meaningful on big runners and still
+/// exercises the parallel code paths (as pure correctness evidence) on
+/// small ones.
+fn intra_row(test_mode: bool) -> IntraRow {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let width = cores.clamp(2, 8);
+    let (dense_shots, dd_shots, reps) = if test_mode { (2, 8, 2) } else { (6, 200, 5) };
+    let dense = intra_workload(
+        "intra_dense_ghz22",
+        ShotEngine::new(
+            &ghz(22),
+            BackendKind::Statevector,
+            NoiseModel::noiseless().with_depolarizing(0.001),
+            7,
+            OptLevel::O0,
+        ),
+        width,
+        dense_shots,
+        reps,
+    );
+    let dd = intra_workload(
+        "intra_dd_qft16_paper_noise",
+        ShotEngine::new(
+            &qft(16),
+            BackendKind::DecisionDiagram,
+            NoiseModel::paper_defaults(),
+            7,
+            OptLevel::O0,
+        ),
+        width,
+        dd_shots,
+        reps,
+    );
+    IntraRow {
+        cores,
+        width,
+        dense,
+        dd,
     }
 }
 

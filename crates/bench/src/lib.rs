@@ -163,6 +163,7 @@ fn run_cell_with<B: StochasticBackend>(
             noise: config.noise,
             dedup: true,
             weighted: None,
+            intra_threads: 1,
         };
         let _ = run_stochastic(backend, circuit, &run_config, &[]);
         done += this_chunk;

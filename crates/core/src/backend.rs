@@ -93,6 +93,19 @@ pub trait StochasticBackend: Sync {
     /// this back-end.
     fn new_context(&self) -> Self::Context;
 
+    /// Installs (or clears) a fork-join pool for *intra-shot* parallelism
+    /// on a context: back-ends that support it split the work of a single
+    /// shot (diagram cofactor recursions, dense kernel chunks) across the
+    /// pool's threads. Results must stay bit-identical to serial
+    /// execution. The default is a no-op, which keeps back-ends without
+    /// intra-shot parallelism correct.
+    fn set_intra_pool(
+        &self,
+        _ctx: &mut Self::Context,
+        _pool: Option<std::sync::Arc<qsdd_dd::IntraPool>>,
+    ) {
+    }
+
     /// Phase 2: executes one stochastic shot of `program` in `ctx`.
     ///
     /// The context is rewound at shot entry; any state left over from a

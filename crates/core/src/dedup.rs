@@ -43,7 +43,10 @@
 //! non-deduplicated runner.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
+
+use qsdd_dd::IntraPool;
 
 use qsdd_noise::{ErrorPattern, PresamplePlan, Presampled};
 use rand::rngs::StdRng;
@@ -280,6 +283,7 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
     seed: u64,
     observables: &[Observable],
     output_layout: Option<&[usize]>,
+    intra: Option<&Arc<IntraPool>>,
     started: Instant,
 ) -> StochasticOutcome {
     // Phase 1 + 2: presample every shot, group by pattern.
@@ -323,6 +327,10 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
             scope.spawn(move || {
                 let mut pattern_ctx = backend.new_context();
                 let mut work_ctx = backend.new_context();
+                if let Some(pool) = intra {
+                    backend.set_intra_pool(&mut pattern_ctx, Some(Arc::clone(pool)));
+                    backend.set_intra_pool(&mut work_ctx, Some(Arc::clone(pool)));
+                }
                 let mut emit = |shot: u64, mut sample: ShotSample, values: &[f64]| {
                     if let Some(output_layout) = output_layout {
                         sample.outcome =

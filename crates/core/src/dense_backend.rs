@@ -88,6 +88,10 @@ pub struct DenseContext {
     state: StateVector,
     scratch: StateVector,
     seated: u64,
+    /// Fork-join pool for chunk-partitioned kernels; kept here so seating
+    /// onto a different-width program (which reallocates the buffers) can
+    /// re-install it.
+    pool: Option<std::sync::Arc<qsdd_dd::IntraPool>>,
 }
 
 impl DenseContext {
@@ -97,7 +101,18 @@ impl DenseContext {
             state: StateVector::new(1),
             scratch: StateVector::new(1),
             seated: 0,
+            pool: None,
         }
+    }
+
+    /// Installs (or clears) a fork-join pool: subsequent gate kernels
+    /// split their chunk-partitioned loops across the pool (see
+    /// [`StateVector::set_intra_pool`]). Results stay bit-identical to
+    /// serial execution.
+    pub fn set_intra_pool(&mut self, pool: Option<std::sync::Arc<qsdd_dd::IntraPool>>) {
+        self.state.set_intra_pool(pool.clone());
+        self.scratch.set_intra_pool(pool.clone());
+        self.pool = pool;
     }
 
     /// Rewinds the live buffer to `|0...0>`, reallocating only when the
@@ -109,6 +124,7 @@ impl DenseContext {
             self.state.reset_to_zero();
         } else {
             self.state = StateVector::new(program.num_qubits);
+            self.state.set_intra_pool(self.pool.clone());
         }
         self.seated = program.id;
     }
@@ -213,6 +229,14 @@ impl StochasticBackend for DenseSimulator {
 
     fn new_context(&self) -> DenseContext {
         DenseContext::new()
+    }
+
+    fn set_intra_pool(
+        &self,
+        ctx: &mut DenseContext,
+        pool: Option<std::sync::Arc<qsdd_dd::IntraPool>>,
+    ) {
+        ctx.set_intra_pool(pool);
     }
 
     fn run_shot(

@@ -1,124 +1,12 @@
-//! A minimal multiply-xor hasher for the shot loop's hot hash maps.
+//! Re-export of the workspace's shared FxHash definitions.
 //!
-//! The standard library's default hasher (SipHash) is a keyed PRF built to
-//! resist collision attacks from untrusted keys; the deduplication layer
-//! hashes *trusted, tiny* keys (error patterns, outcome indices) millions
-//! of times per run, where SipHash's per-key setup dominates. This is the
-//! well-known FxHash construction (rotate, xor, multiply by a large odd
-//! constant), which is a few instructions per word and plenty good for the
-//! short structured keys used here. The maps it backs stay internal;
-//! [`FxHasher`] itself is public because the `qsdd-server` result cache
-//! content-addresses jobs by the FxHash of their canonical key.
+//! The hasher is defined once, in [`qsdd_dd::fxhash`], where the hottest
+//! maps live (unique tables, compute tables, the complex table); this
+//! module re-exports it so the deduplication layer's pattern maps and the
+//! `qsdd-server` content-addressed result cache keep hashing identically
+//! to the diagram package — one definition, one set of collision
+//! characteristics, instead of three drifting copies.
 
-use std::hash::{BuildHasherDefault, Hasher};
+pub use qsdd_dd::fxhash::{FxBuildHasher, FxHasher};
 
-/// The multiplier of the FxHash construction (a large odd constant with a
-/// good bit mix; the same one used by rustc's FxHasher).
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-/// A fast, non-cryptographic hasher for trusted in-process keys.
-#[derive(Clone, Default)]
-pub struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for chunk in &mut chunks {
-            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
-        }
-        let mut tail = 0u64;
-        for (index, &byte) in chunks.remainder().iter().enumerate() {
-            tail |= u64::from(byte) << (8 * index);
-        }
-        if !chunks.remainder().is_empty() {
-            self.add(tail);
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, value: u8) {
-        self.add(u64::from(value));
-    }
-
-    #[inline]
-    fn write_u16(&mut self, value: u16) {
-        self.add(u64::from(value));
-    }
-
-    #[inline]
-    fn write_u32(&mut self, value: u32) {
-        self.add(u64::from(value));
-    }
-
-    #[inline]
-    fn write_u64(&mut self, value: u64) {
-        self.add(value);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, value: usize) {
-        self.add(value as u64);
-    }
-}
-
-/// `BuildHasher` for [`FxHasher`]-backed maps.
-pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
-
-/// A `HashMap` keyed by the fast in-process hasher.
-pub(crate) type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::hash::{BuildHasher, Hash};
-
-    fn hash_of<T: Hash>(value: &T) -> u64 {
-        FxBuildHasher::default().hash_one(value)
-    }
-
-    #[test]
-    fn equal_keys_hash_equal_and_near_keys_differ() {
-        assert_eq!(hash_of(&42u64), hash_of(&42u64));
-        assert_ne!(hash_of(&42u64), hash_of(&43u64));
-        let a = vec![(3u32, 1u8), (9, 0)];
-        let b = vec![(3u32, 1u8), (9, 1)];
-        assert_eq!(hash_of(&a), hash_of(&a.clone()));
-        assert_ne!(hash_of(&a), hash_of(&b));
-    }
-
-    #[test]
-    fn byte_slices_cover_chunks_and_tails() {
-        let mut h = FxHasher::default();
-        h.write(b"0123456789abcdef");
-        let full = h.finish();
-        let mut h = FxHasher::default();
-        h.write(b"0123456789abcde");
-        assert_ne!(full, h.finish());
-    }
-
-    #[test]
-    fn outcome_keys_spread_across_buckets() {
-        use std::collections::HashSet;
-        let buckets: HashSet<u64> = (0..1024u64).map(|v| hash_of(&v) % 64).collect();
-        assert!(
-            buckets.len() > 32,
-            "outcome hashes clump: {}",
-            buckets.len()
-        );
-    }
-}
+pub(crate) use qsdd_dd::fxhash::FxHashMap;

@@ -74,9 +74,12 @@ pub use estimator::{Observable, ObservableAccumulator};
 pub use shot_engine::{ExecContext, ShotEngine, ShotSample};
 pub use simulator::{BackendKind, StochasticSimulator};
 pub use stochastic::{
-    run_engine, run_engine_dedup, run_engine_in, run_stochastic, StochasticConfig,
-    StochasticOutcome,
+    build_intra_pool, resolve_intra_threads, run_engine, run_engine_dedup, run_engine_in,
+    run_stochastic, StochasticConfig, StochasticOutcome,
 };
+// Re-exported so callers can share one fork-join pool across contexts
+// without a direct `qsdd-dd` dependency.
+pub use qsdd_dd::IntraPool;
 pub use weighted::{
     run_engine_weighted, run_engine_weighted_in, WeightedOptions, WeightedStats,
     MAX_WEIGHTED_QUBITS,

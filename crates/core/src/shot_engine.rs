@@ -32,10 +32,11 @@
 //! engine undoes that relabeling on every sampled outcome (and offers
 //! [`ShotEngine::map_observables`] for the reverse direction).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use qsdd_circuit::Circuit;
-use qsdd_dd::TableStats;
+use qsdd_dd::{IntraPool, TableStats};
 use qsdd_noise::{ErrorPattern, NoiseModel, Presampled};
 use qsdd_telemetry::{Stage, StageTimings};
 use qsdd_transpile::{layout, transpile, OptLevel, TranspileResult};
@@ -99,6 +100,23 @@ pub struct ExecContext {
     /// resume live in the auxiliary one.
     dd_aux: Option<Box<DdContext>>,
     dense_aux: Option<Box<DenseContext>>,
+    /// Fork-join pool for intra-shot parallelism, installed into every
+    /// inner context (existing and lazily created).
+    intra: Option<Arc<IntraPool>>,
+}
+
+/// Creates an inner DD context with the pool pre-installed.
+fn new_dd_ctx(intra: &Option<Arc<IntraPool>>) -> Box<DdContext> {
+    let mut ctx = Box::<DdContext>::default();
+    ctx.set_intra_pool(intra.clone());
+    ctx
+}
+
+/// Creates an inner dense context with the pool pre-installed.
+fn new_dense_ctx(intra: &Option<Arc<IntraPool>>) -> Box<DenseContext> {
+    let mut ctx = Box::<DenseContext>::default();
+    ctx.set_intra_pool(intra.clone());
+    ctx
 }
 
 impl ExecContext {
@@ -107,14 +125,54 @@ impl ExecContext {
         ExecContext::default()
     }
 
+    /// Requests intra-shot parallelism with `threads` workers for every
+    /// shot executed in this context (see [`IntraPool`]); `threads <= 1`
+    /// restores serial execution. The pool is created once and reused
+    /// across calls with the same width. Results are bit-identical for
+    /// every setting.
+    pub fn set_intra_threads(&mut self, threads: usize) {
+        if threads <= 1 {
+            self.set_intra_pool(None);
+        } else if self.intra.as_ref().map(|pool| pool.threads()) != Some(threads) {
+            self.set_intra_pool(Some(Arc::new(IntraPool::new(threads))));
+        }
+    }
+
+    /// Installs (or clears) a shared fork-join pool for intra-shot
+    /// parallelism. Drivers that run several contexts concurrently hand
+    /// every worker a clone of one pool instead of letting each build its
+    /// own (see [`crate::run_engine`]).
+    pub fn set_intra_pool(&mut self, pool: Option<Arc<IntraPool>>) {
+        self.intra = pool;
+        if let Some(ctx) = self.dd.as_deref_mut() {
+            ctx.set_intra_pool(self.intra.clone());
+        }
+        if let Some(ctx) = self.dd_aux.as_deref_mut() {
+            ctx.set_intra_pool(self.intra.clone());
+        }
+        if let Some(ctx) = self.dense.as_deref_mut() {
+            ctx.set_intra_pool(self.intra.clone());
+        }
+        if let Some(ctx) = self.dense_aux.as_deref_mut() {
+            ctx.set_intra_pool(self.intra.clone());
+        }
+    }
+
+    /// The currently installed fork-join pool, if any.
+    pub fn intra_pool(&self) -> Option<&Arc<IntraPool>> {
+        self.intra.as_ref()
+    }
+
     /// Borrows the decision-diagram context, creating it on first use.
     fn dd_mut(&mut self) -> &mut DdContext {
-        self.dd.get_or_insert_with(Box::default)
+        let intra = &self.intra;
+        self.dd.get_or_insert_with(|| new_dd_ctx(intra))
     }
 
     /// Borrows the statevector context, creating it on first use.
     fn dense_mut(&mut self) -> &mut DenseContext {
-        self.dense.get_or_insert_with(Box::default)
+        let intra = &self.intra;
+        self.dense.get_or_insert_with(|| new_dense_ctx(intra))
     }
 
     /// Snapshot of the decision-diagram table counters accumulated by this
@@ -133,14 +191,39 @@ impl ExecContext {
             total.mat_unique_misses += stats.mat_unique_misses;
             total.compute_hits += stats.compute_hits;
             total.compute_misses += stats.compute_misses;
+            total.stripe_contention += stats.stripe_contention;
         }
         total
     }
 
+    /// Entries per lock stripe of the decision-diagram tables (primary and
+    /// auxiliary contexts summed per stripe), as
+    /// `(table name, occupancy per stripe)` pairs. Empty when no
+    /// decision-diagram shot ran yet.
+    pub(crate) fn dd_stripe_occupancy(&self) -> Vec<(&'static str, Vec<usize>)> {
+        let mut merged: Vec<(&'static str, Vec<usize>)> = Vec::new();
+        for ctx in [self.dd.as_deref(), self.dd_aux.as_deref()]
+            .into_iter()
+            .flatten()
+        {
+            for (at, (name, lens)) in ctx.package().stripe_occupancy().into_iter().enumerate() {
+                if merged.len() <= at {
+                    merged.push((name, lens));
+                } else {
+                    for (slot, add) in merged[at].1.iter_mut().zip(lens) {
+                        *slot += add;
+                    }
+                }
+            }
+        }
+        merged
+    }
+
     /// Borrows the decision-diagram context pair (primary + auxiliary).
     fn dd_pair(&mut self) -> (&mut DdContext, &mut DdContext) {
-        self.dd.get_or_insert_with(Box::default);
-        self.dd_aux.get_or_insert_with(Box::default);
+        let intra = &self.intra;
+        self.dd.get_or_insert_with(|| new_dd_ctx(intra));
+        self.dd_aux.get_or_insert_with(|| new_dd_ctx(intra));
         match (&mut self.dd, &mut self.dd_aux) {
             (Some(primary), Some(aux)) => (primary, aux),
             _ => unreachable!("both contexts were just created"),
@@ -149,8 +232,9 @@ impl ExecContext {
 
     /// Borrows the statevector context pair (primary + auxiliary).
     fn dense_pair(&mut self) -> (&mut DenseContext, &mut DenseContext) {
-        self.dense.get_or_insert_with(Box::default);
-        self.dense_aux.get_or_insert_with(Box::default);
+        let intra = &self.intra;
+        self.dense.get_or_insert_with(|| new_dense_ctx(intra));
+        self.dense_aux.get_or_insert_with(|| new_dense_ctx(intra));
         match (&mut self.dense, &mut self.dense_aux) {
             (Some(primary), Some(aux)) => (primary, aux),
             _ => unreachable!("both contexts were just created"),
@@ -203,6 +287,10 @@ pub struct ShotEngine {
     /// Wall time spent in the construction stages (transpile, compile), so
     /// runners can fold the one-off setup cost into a job's stage breakdown.
     timings: StageTimings,
+    /// Requested intra-shot parallelism width (1 = serial). Drivers resolve
+    /// this against their own worker count and core budget before building
+    /// a pool (see [`crate::run_engine`]).
+    intra_threads: usize,
 }
 
 impl ShotEngine {
@@ -230,6 +318,7 @@ impl ShotEngine {
                 noise,
                 seed,
                 timings,
+                intra_threads: 1,
             };
         }
         let transpile_started = Instant::now();
@@ -263,7 +352,29 @@ impl ShotEngine {
             noise,
             seed,
             timings,
+            intra_threads: 1,
         }
+    }
+
+    /// Requests intra-shot parallelism with `threads` workers for shots
+    /// driven through this engine's runners ([`crate::run_engine`] and
+    /// friends); `1` (the default) keeps execution serial. The request is
+    /// clamped against the driver's own worker count so inter-shot and
+    /// intra-shot parallelism never oversubscribe the machine. Results are
+    /// bit-identical for every setting.
+    pub fn set_intra_threads(&mut self, threads: usize) {
+        self.intra_threads = threads.max(1);
+    }
+
+    /// Builder form of [`set_intra_threads`](Self::set_intra_threads).
+    pub fn with_intra_threads(mut self, threads: usize) -> Self {
+        self.set_intra_threads(threads);
+        self
+    }
+
+    /// The requested intra-shot parallelism width (1 = serial).
+    pub fn intra_threads(&self) -> usize {
+        self.intra_threads
     }
 
     /// Wall time the construction stages took (transpile and compile), as a
@@ -597,6 +708,7 @@ impl ShotEngine {
         shots: usize,
         threads: usize,
         observables: &[Observable],
+        intra: Option<&Arc<IntraPool>>,
         started: Instant,
     ) -> Option<StochasticOutcome> {
         let support = self.dedup.as_ref()?;
@@ -612,6 +724,7 @@ impl ShotEngine {
                 self.seed,
                 &mapped,
                 output_layout,
+                intra,
                 started,
             ),
             EngineBackend::Statevector { backend, program } => run_dedup(
@@ -623,6 +736,7 @@ impl ShotEngine {
                 self.seed,
                 &mapped,
                 output_layout,
+                intra,
                 started,
             ),
         })

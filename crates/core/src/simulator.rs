@@ -122,6 +122,18 @@ impl StochasticSimulator {
         self
     }
 
+    /// Sets the intra-shot fork-join width (`1` = serial, the default).
+    ///
+    /// Each shot's diagram/dense operations split across this many pool
+    /// workers (see [`qsdd_dd::IntraPool`]); the request is clamped against
+    /// the shot-worker count so the two parallelism layers never
+    /// oversubscribe the machine. Results are bit-identical for every
+    /// setting.
+    pub fn with_intra_threads(mut self, intra_threads: usize) -> Self {
+        self.config.intra_threads = intra_threads;
+        self
+    }
+
     /// Enables the weighted-enumeration driver (see [`crate::weighted`]):
     /// error patterns are enumerated in probability order and their exact
     /// outcome distributions weighted, with sampled shots covering only the
@@ -195,7 +207,8 @@ impl StochasticSimulator {
             self.backend,
             self.config.noise,
             self.config.seed,
-        );
+        )
+        .with_intra_threads(self.config.intra_threads);
         self.drive(&engine, observables)
     }
 
@@ -213,6 +226,7 @@ impl StochasticSimulator {
             self.config.seed,
             self.opt_level,
         )
+        .with_intra_threads(self.config.intra_threads)
     }
 
     fn drive(&self, engine: &ShotEngine, observables: &[Observable]) -> StochasticOutcome {

@@ -33,6 +33,10 @@ use qsdd_telemetry::{Stage, StageTimings};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use std::sync::Arc;
+
+use qsdd_dd::IntraPool;
+
 use crate::backend::StochasticBackend;
 use crate::dedup::{run_dedup, DedupStats};
 use crate::estimator::{Observable, ObservableAccumulator};
@@ -63,6 +67,13 @@ pub struct StochasticConfig {
     /// to the configured sampling path when the program does not support
     /// enumeration.
     pub weighted: Option<crate::weighted::WeightedOptions>,
+    /// Intra-shot parallelism width: the number of fork-join workers every
+    /// shot's own execution (diagram operations, dense kernels) may split
+    /// across. `1` (the default) keeps shots serial. The request is clamped
+    /// against the shot-worker count so the two levels of parallelism never
+    /// oversubscribe the machine; results are bit-identical for every
+    /// setting.
+    pub intra_threads: usize,
 }
 
 impl StochasticConfig {
@@ -75,6 +86,7 @@ impl StochasticConfig {
             noise: NoiseModel::paper_defaults(),
             dedup: true,
             weighted: None,
+            intra_threads: 1,
         }
     }
 
@@ -109,6 +121,12 @@ impl StochasticConfig {
         self
     }
 
+    /// Sets the intra-shot parallelism width (`1` = serial shots).
+    pub fn with_intra_threads(mut self, intra_threads: usize) -> Self {
+        self.intra_threads = intra_threads.max(1);
+        self
+    }
+
     /// Resolves the effective number of worker threads.
     pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
@@ -125,6 +143,30 @@ impl Default for StochasticConfig {
     fn default() -> Self {
         StochasticConfig::new(1024)
     }
+}
+
+/// Resolves a requested intra-shot width against the shot-worker count.
+///
+/// A single shot-worker gets the request as-is; with several workers the
+/// request is clamped to the cores left over per worker (`cores /
+/// workers`, floored at 1), so inter-shot and intra-shot parallelism
+/// together never oversubscribe the machine.
+pub fn resolve_intra_threads(requested: usize, workers: usize) -> usize {
+    let requested = requested.max(1);
+    if requested == 1 || workers <= 1 {
+        return requested;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    requested.min((cores / workers).max(1))
+}
+
+/// Builds the shared fork-join pool of a run — every shot-worker installs a
+/// clone — or `None` when the resolved width stays serial.
+pub fn build_intra_pool(requested: usize, workers: usize) -> Option<Arc<IntraPool>> {
+    let resolved = resolve_intra_threads(requested, workers);
+    (resolved > 1).then(|| Arc::new(IntraPool::new(resolved)))
 }
 
 /// Aggregated result of a stochastic simulation.
@@ -348,6 +390,7 @@ pub fn run_stochastic<B: StochasticBackend>(
     let program = backend.compile(circuit, &config.noise);
     let compile_time = compile_started.elapsed();
     let threads = config.effective_threads().max(1).min(config.shots);
+    let intra = build_intra_pool(config.intra_threads, threads);
     if config.dedup {
         if let Some(support) = backend.dedup_support(&program) {
             let mut outcome = run_dedup(
@@ -359,9 +402,16 @@ pub fn run_stochastic<B: StochasticBackend>(
                 config.seed,
                 observables,
                 None,
+                intra.as_ref(),
                 started,
             );
             outcome.stage_timings.record(Stage::Compile, compile_time);
+            if intra.is_some() {
+                let execute_time = outcome.stage_timings.get(Stage::Execute);
+                outcome
+                    .stage_timings
+                    .record(Stage::IntraExecute, execute_time);
+            }
             return outcome;
         }
     }
@@ -373,8 +423,12 @@ pub fn run_stochastic<B: StochasticBackend>(
             let program = &program;
             let observables = &observables;
             let config = &config;
+            let intra = intra.as_ref();
             scope.spawn(move || {
                 let mut ctx = backend.new_context();
+                if let Some(pool) = intra {
+                    backend.set_intra_pool(&mut ctx, Some(Arc::clone(pool)));
+                }
                 let mut partial = WorkerPartial::new(observables.len());
                 let mut shot = worker;
                 while shot < config.shots {
@@ -403,6 +457,11 @@ pub fn run_stochastic<B: StochasticBackend>(
     let mut outcome = merge_partials(partials, config.shots, observables.len(), threads, started);
     outcome.stage_timings.record(Stage::Compile, compile_time);
     outcome.stage_timings.record(Stage::Execute, execute_time);
+    if intra.is_some() {
+        outcome
+            .stage_timings
+            .record(Stage::IntraExecute, execute_time);
+    }
     outcome
         .stage_timings
         .record(Stage::Aggregate, aggregate_started.elapsed());
@@ -443,6 +502,7 @@ pub fn run_engine(
         return StochasticOutcome::empty(observables.len(), threads, started.elapsed());
     }
     let threads = threads.min(shots);
+    let intra = build_intra_pool(engine.intra_threads(), threads);
     let mapped = engine.map_observables(observables);
     let mut partials: Vec<Option<WorkerPartial>> = (0..threads).map(|_| None).collect();
 
@@ -450,8 +510,12 @@ pub fn run_engine(
     std::thread::scope(|scope| {
         for (worker, slot) in partials.iter_mut().enumerate() {
             let mapped = &mapped;
+            let intra = intra.as_ref();
             scope.spawn(move || {
                 let mut ctx = engine.new_context();
+                if let Some(pool) = intra {
+                    ctx.set_intra_pool(Some(Arc::clone(pool)));
+                }
                 let mut partial = WorkerPartial::new(mapped.len());
                 let mut shot = worker;
                 while shot < shots {
@@ -476,6 +540,11 @@ pub fn run_engine(
     let mut outcome = merge_partials(partials, shots, observables.len(), threads, started);
     outcome.stage_timings = engine.stage_timings();
     outcome.stage_timings.record(Stage::Execute, execute_time);
+    if intra.is_some() {
+        outcome
+            .stage_timings
+            .record(Stage::IntraExecute, execute_time);
+    }
     outcome
         .stage_timings
         .record(Stage::Aggregate, aggregate_started.elapsed());
@@ -509,10 +578,18 @@ pub fn run_engine_dedup(
     if shots == 0 {
         return StochasticOutcome::empty(observables.len(), resolved, started.elapsed());
     }
+    let workers = resolved.min(shots);
+    let intra = build_intra_pool(engine.intra_threads(), workers);
     engine
-        .dedup_outcome(shots, resolved.min(shots), observables, started)
+        .dedup_outcome(shots, workers, observables, intra.as_ref(), started)
         .map(|mut outcome| {
             outcome.stage_timings.merge(&engine.stage_timings());
+            if intra.is_some() {
+                let execute_time = outcome.stage_timings.get(Stage::Execute);
+                outcome
+                    .stage_timings
+                    .record(Stage::IntraExecute, execute_time);
+            }
             outcome
         })
         .unwrap_or_else(|| run_engine(engine, shots, threads, observables))
@@ -552,7 +629,13 @@ pub fn run_engine_in(
     let mapped = engine.map_observables(observables);
     let mut outcome = run_engine_in_inner(engine, ctx, shots, &mapped, dedup, started);
     outcome.stage_timings.merge(&engine.stage_timings());
-    publish_job_metrics(&outcome, ctx.dd_table_stats().since(&dd_before));
+    if ctx.intra_pool().is_some() {
+        let execute_time = outcome.stage_timings.get(Stage::Execute);
+        outcome
+            .stage_timings
+            .record(Stage::IntraExecute, execute_time);
+    }
+    publish_job_metrics(&outcome, ctx.dd_table_stats().since(&dd_before), ctx);
     outcome
 }
 
@@ -605,13 +688,17 @@ fn run_engine_in_inner(
 /// traffic to the global telemetry registry. A no-op while telemetry is
 /// disabled — one relaxed atomic load — so the per-job cost off the
 /// serving path is negligible.
-pub(crate) fn publish_job_metrics(outcome: &StochasticOutcome, dd_delta: qsdd_dd::TableStats) {
+pub(crate) fn publish_job_metrics(
+    outcome: &StochasticOutcome,
+    dd_delta: qsdd_dd::TableStats,
+    ctx: &crate::ExecContext,
+) {
     if !qsdd_telemetry::enabled() {
         return;
     }
     outcome.stage_timings.publish();
     let registry = qsdd_telemetry::global();
-    let counters: [(&str, &str, u64); 8] = [
+    let counters: [(&str, &str, u64); 9] = [
         (
             "qsdd_dd_vec_unique_hits_total",
             "Vector unique-table lookups that found an existing node",
@@ -643,6 +730,11 @@ pub(crate) fn publish_job_metrics(outcome: &StochasticOutcome, dd_delta: qsdd_dd
             dd_delta.compute_misses,
         ),
         (
+            "qsdd_dd_stripe_contention_total",
+            "Striped-table lock acquisitions that found the stripe contended",
+            dd_delta.stripe_contention,
+        ),
+        (
             "qsdd_jobs_shots_total",
             "Stochastic shots aggregated into finished jobs",
             outcome.shots as u64,
@@ -665,6 +757,18 @@ pub(crate) fn publish_job_metrics(outcome: &StochasticOutcome, dd_delta: qsdd_dd
                 "Highest decision-diagram node count any job reached",
             )
             .set_max(outcome.dd_nodes_peak as i64);
+    }
+    for (table, lens) in ctx.dd_stripe_occupancy() {
+        for (stripe, len) in lens.into_iter().enumerate() {
+            let stripe = stripe.to_string();
+            registry
+                .gauge_with(
+                    "qsdd_dd_stripe_occupancy",
+                    "Entries per lock stripe of the striped decision-diagram tables",
+                    &[("table", table), ("stripe", &stripe)],
+                )
+                .set(len as i64);
+        }
     }
     if let Some(stats) = &outcome.dedup {
         registry

@@ -161,6 +161,9 @@ pub fn run_engine_weighted(
         return run_engine_dedup(engine, shots, threads, observables);
     }
     let mut ctx = engine.new_context();
+    // The weighted driver is serial (one worker), so the engine's requested
+    // intra-shot width is honoured as-is.
+    ctx.set_intra_threads(engine.intra_threads());
     run_engine_weighted_in(engine, &mut ctx, shots, observables, options)
 }
 
@@ -360,7 +363,12 @@ pub fn run_engine_weighted_in(
         .stage_timings
         .record(Stage::Aggregate, aggregate_started.elapsed());
     outcome.stage_timings.merge(&engine.stage_timings());
-    publish_job_metrics(&outcome, ctx.dd_table_stats().since(&dd_before));
+    if ctx.intra_pool().is_some() {
+        outcome
+            .stage_timings
+            .record(Stage::IntraExecute, execute_time);
+    }
+    publish_job_metrics(&outcome, ctx.dd_table_stats().since(&dd_before), ctx);
     outcome
 }
 

@@ -9,10 +9,50 @@
 //! which absorbs floating point round-off accumulated during decision diagram
 //! operations (the approach of the JKU DD package, cf. Zulehner et al.,
 //! ICCAD 2019).
+//!
+//! ## First-comer representatives, not grid points
+//!
+//! Matching is *ball*-based: a looked-up value joins the first interned
+//! entry within `tolerance` of it (per component), and that first value —
+//! bits and all — stays the canonical representative of its neighbourhood.
+//! Storing the first *actual* value matters: if entries were instead snapped
+//! to tolerance-grid points, every arithmetic step would re-quantise through
+//! representatives carrying ~`tolerance/2` error, so two mathematically
+//! equal amplitudes computed along different operation routes would diverge
+//! at the same scale as the matching cell and land in different cells —
+//! node sharing collapses and diagram sizes explode (measured: a 16-qubit
+//! QFT grows from 16 to ~15k nodes, at *any* grid pitch, because the
+//! injected noise scales with the pitch). First-comer representatives keep
+//! the stored values accurate to genuine float round-off (~1e-15), so
+//! differently-routed computations of the same amplitude stay deep inside
+//! one matching ball and reconverge onto one id.
+//!
+//! ## Concurrency and determinism
+//!
+//! All interning operations take `&self`: the value arena supports
+//! concurrent appends, the spatial index is sharded behind per-stripe locks,
+//! and *creation* of new entries is serialised behind a single creation lock
+//! with a double-check, so racing threads can never insert two entries for
+//! one neighbourhood. Hits are pure functions of the table contents, but
+//! **which value becomes a representative depends on creation order** — a
+//! ball-matching table cannot be order-independent (any canonicalisation
+//! that is both a pure function of the value and constant on tolerance
+//! balls is a grid, see above). Byte-for-bit reproducibility across thread
+//! counts is therefore enforced one level up: [`crate::DdPackage`]'s
+//! fork-join operations run speculatively and roll back any parallel
+//! attempt that created a table entry, re-running it serially, so entry
+//! creation only ever happens in the deterministic serial order (see the
+//! module docs of [`crate::ops`]).
+//!
+//! Values within tolerance of the exact constants `0` and `1` snap to those
+//! constants so the `is_zero`/`is_one` fast paths stay reliable.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 use crate::complex::Complex;
+use crate::concurrent::{ChunkedArena, StripedMap, STRIPES};
 
 /// Handle to an interned complex value inside a [`ComplexTable`].
 ///
@@ -49,25 +89,37 @@ impl ComplexId {
 /// Default tolerance under which two complex values are considered equal.
 pub const DEFAULT_TOLERANCE: f64 = 1e-10;
 
-/// Interning table for complex edge weights with tolerance-based lookup.
+/// Interning table for complex edge weights with tolerance-ball lookup.
+///
+/// All interning operations take `&self`: the value arena supports
+/// concurrent appends and the spatial index is sharded behind per-stripe
+/// locks, so several fork-join workers can intern weights into one table.
+/// See the module docs for the determinism contract.
 ///
 /// # Examples
 ///
 /// ```
 /// use qsdd_dd::{Complex, ComplexTable};
 ///
-/// let mut table = ComplexTable::new();
+/// let table = ComplexTable::new();
 /// let a = table.lookup(Complex::new(0.5, 0.0));
 /// let b = table.lookup(Complex::new(0.5 + 1e-13, 0.0));
 /// assert_eq!(a, b); // identical within tolerance
 /// ```
 #[derive(Debug)]
 pub struct ComplexTable {
-    values: Vec<Complex>,
-    buckets: HashMap<(i64, i64), Vec<u32>>,
+    values: ChunkedArena<Complex>,
+    /// Spatial index: bucket cell -> indices of entries whose value lies in
+    /// that cell. Cells span `4 * tolerance`, so a ball probe only needs the
+    /// cell and its eight neighbours.
+    buckets: StripedMap<(i64, i64), Vec<u32>>,
+    /// Serialises entry creation (with a double-check under the lock) so
+    /// racing threads cannot insert two representatives for one ball.
+    create_lock: Mutex<()>,
+    create_contention: AtomicU64,
     tolerance: f64,
-    lookups: u64,
-    hits: u64,
+    lookups: AtomicU64,
+    hits: AtomicU64,
 }
 
 impl Clone for ComplexTable {
@@ -75,9 +127,11 @@ impl Clone for ComplexTable {
         ComplexTable {
             values: self.values.clone(),
             buckets: self.buckets.clone(),
+            create_lock: Mutex::new(()),
+            create_contention: AtomicU64::new(self.create_contention.load(Ordering::Relaxed)),
             tolerance: self.tolerance,
-            lookups: self.lookups,
-            hits: self.hits,
+            lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
         }
     }
 
@@ -87,8 +141,8 @@ impl Clone for ComplexTable {
         self.values.clone_from(&source.values);
         self.buckets.clone_from(&source.buckets);
         self.tolerance = source.tolerance;
-        self.lookups = source.lookups;
-        self.hits = source.hits;
+        *self.lookups.get_mut() = source.lookups.load(Ordering::Relaxed);
+        *self.hits.get_mut() = source.hits.load(Ordering::Relaxed);
     }
 }
 
@@ -106,15 +160,17 @@ impl ComplexTable {
     pub fn with_tolerance(tolerance: f64) -> Self {
         assert!(tolerance > 0.0, "tolerance must be positive");
         let mut table = ComplexTable {
-            values: Vec::with_capacity(64),
-            buckets: HashMap::new(),
+            values: ChunkedArena::new(),
+            buckets: StripedMap::new(),
+            create_lock: Mutex::new(()),
+            create_contention: AtomicU64::new(0),
             tolerance,
-            lookups: 0,
-            hits: 0,
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
         };
         // Insert 0 and 1 at the fixed positions expected by ComplexId.
-        let zero = table.insert(Complex::ZERO);
-        let one = table.insert(Complex::ONE);
+        let zero = table.insert_exclusive(Complex::ZERO);
+        let one = table.insert_exclusive(Complex::ONE);
         debug_assert_eq!(zero, ComplexId::ZERO);
         debug_assert_eq!(one, ComplexId::ONE);
         table
@@ -126,26 +182,71 @@ impl ComplexTable {
         self.tolerance
     }
 
-    /// Number of distinct values currently interned.
+    /// Number of interned values (including the built-in constants).
     #[inline]
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
-    /// Returns `true` when only the two default entries (0 and 1) exist.
-    #[inline]
+    /// Returns `true` when only the built-in constants are interned.
     pub fn is_empty(&self) -> bool {
         self.values.len() <= 2
     }
 
-    /// Returns the interned value for `id`.
+    /// The complex value an id stands for.
     ///
     /// # Panics
     ///
-    /// Panics if `id` was not produced by this table.
+    /// Panics if the id does not come from this table.
     #[inline]
     pub fn value(&self, id: ComplexId) -> Complex {
         self.values[id.0 as usize]
+    }
+
+    /// Bucket-cell coordinates of `value`.
+    ///
+    /// A cell spans several tolerances so that near-boundary values only
+    /// require inspecting the immediate neighbour cells.
+    #[inline]
+    fn key(&self, value: Complex) -> (i64, i64) {
+        let cell = self.tolerance * 4.0;
+        (
+            (value.re / cell).round() as i64,
+            (value.im / cell).round() as i64,
+        )
+    }
+
+    /// Searches the value's cell and its eight neighbours for an entry
+    /// within tolerance. Stripe locks are taken one cell at a time and
+    /// never nested.
+    fn find(&self, value: Complex) -> Option<ComplexId> {
+        let (kr, ki) = self.key(value);
+        for dr in -1..=1 {
+            for di in -1..=1 {
+                let cell = (kr + dr, ki + di);
+                let stripe = self.buckets.lock_stripe(&cell);
+                if let Some(candidates) = stripe.get(&cell) {
+                    for &idx in candidates {
+                        if self.values[idx as usize].approx_eq(value, self.tolerance) {
+                            return Some(ComplexId(idx));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Appends `value` without taking any lock (construction only).
+    fn insert_exclusive(&mut self, value: Complex) -> ComplexId {
+        let idx = self.values.push(value) as u32;
+        let key = self.key(value);
+        self.buckets
+            .stripe_mut(&key)
+            .entry(key)
+            .or_default()
+            .push(idx);
+        ComplexId(idx)
     }
 
     /// Interns `value`, returning the id of an existing entry within
@@ -154,28 +255,50 @@ impl ComplexTable {
     /// # Panics
     ///
     /// Panics if `value` contains NaN components.
-    pub fn lookup(&mut self, value: Complex) -> ComplexId {
+    pub fn lookup(&self, value: Complex) -> ComplexId {
         assert!(!value.is_nan(), "cannot intern NaN complex value");
-        self.lookups += 1;
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         // Values within tolerance of the canonical 0/1 snap to them so that
         // the fast-path identities (is_zero / is_one) stay reliable.
         if value.approx_eq(Complex::ZERO, self.tolerance) {
-            self.hits += 1;
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return ComplexId::ZERO;
         }
         if value.approx_eq(Complex::ONE, self.tolerance) {
-            self.hits += 1;
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return ComplexId::ONE;
         }
         if let Some(found) = self.find(value) {
-            self.hits += 1;
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return found;
         }
-        self.insert(value)
+        // Creation path: serialise, then re-probe under the lock — a racing
+        // thread may have created a matching entry between our miss and the
+        // lock acquisition.
+        let guard = match self.create_lock.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.create_contention.fetch_add(1, Ordering::Relaxed);
+                self.create_lock.lock()
+            }
+        };
+        if let Some(found) = self.find(value) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return found;
+        }
+        let idx = self.values.push(value) as u32;
+        let key = self.key(value);
+        self.buckets
+            .lock_stripe(&key)
+            .entry(key)
+            .or_default()
+            .push(idx);
+        drop(guard);
+        ComplexId(idx)
     }
 
     /// Looks up the product of two interned values.
-    pub fn mul(&mut self, a: ComplexId, b: ComplexId) -> ComplexId {
+    pub fn mul(&self, a: ComplexId, b: ComplexId) -> ComplexId {
         if a.is_zero() || b.is_zero() {
             return ComplexId::ZERO;
         }
@@ -190,7 +313,7 @@ impl ComplexTable {
     }
 
     /// Looks up the sum of two interned values.
-    pub fn add(&mut self, a: ComplexId, b: ComplexId) -> ComplexId {
+    pub fn add(&self, a: ComplexId, b: ComplexId) -> ComplexId {
         if a.is_zero() {
             return b;
         }
@@ -202,7 +325,7 @@ impl ComplexTable {
     }
 
     /// Looks up the difference of two interned values.
-    pub fn sub(&mut self, a: ComplexId, b: ComplexId) -> ComplexId {
+    pub fn sub(&self, a: ComplexId, b: ComplexId) -> ComplexId {
         if b.is_zero() {
             return a;
         }
@@ -215,7 +338,7 @@ impl ComplexTable {
     /// # Panics
     ///
     /// Panics if `b` is the zero id.
-    pub fn div(&mut self, a: ComplexId, b: ComplexId) -> ComplexId {
+    pub fn div(&self, a: ComplexId, b: ComplexId) -> ComplexId {
         assert!(!b.is_zero(), "division by interned zero");
         if a.is_zero() {
             return ComplexId::ZERO;
@@ -231,7 +354,7 @@ impl ComplexTable {
     }
 
     /// Looks up the complex conjugate of an interned value.
-    pub fn conj(&mut self, a: ComplexId) -> ComplexId {
+    pub fn conj(&self, a: ComplexId) -> ComplexId {
         if a.is_zero() || a.is_one() {
             return a;
         }
@@ -240,7 +363,7 @@ impl ComplexTable {
     }
 
     /// Looks up the negation of an interned value.
-    pub fn neg(&mut self, a: ComplexId) -> ComplexId {
+    pub fn neg(&self, a: ComplexId) -> ComplexId {
         if a.is_zero() {
             return a;
         }
@@ -255,70 +378,58 @@ impl ComplexTable {
     }
 
     /// Lookup statistics `(lookups, hits)` since table creation.
+    ///
+    /// Counters are maintained with relaxed atomics; under intra-shot
+    /// parallelism their exact values depend on thread interleaving and
+    /// must not be part of any determinism contract.
     pub fn stats(&self) -> (u64, u64) {
-        (self.lookups, self.hits)
+        (
+            self.lookups.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of lock acquisitions (bucket stripes and the creation lock)
+    /// that had to wait.
+    pub(crate) fn contention(&self) -> u64 {
+        self.buckets.contention() + self.create_contention.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the contention counters.
+    pub(crate) fn reset_contention(&self) {
+        self.buckets.set_contention(0);
+        self.create_contention.store(0, Ordering::Relaxed);
+    }
+
+    /// Interned entries per index stripe, in stripe order.
+    pub(crate) fn stripe_lens(&self) -> [usize; STRIPES] {
+        self.buckets.stripe_lens()
     }
 
     /// Forgets every value interned after the first `len` entries, keeping
-    /// the bucket map's allocations for reuse.
+    /// the map's allocations for reuse.
     ///
     /// Ids `>= len` become dangling; the caller ([`crate::DdPackage`]'s
-    /// transient reset) guarantees nothing references them afterwards.
+    /// transient reset and speculation rollback) guarantees nothing
+    /// references them afterwards.
     pub(crate) fn truncate(&mut self, len: usize) {
         if self.values.len() <= len {
             return;
         }
         for idx in len..self.values.len() {
+            // Each entry lives in exactly one bucket list — the cell of its
+            // own value — so dropping the tail means removing the tail
+            // indices from their cells.
             let key = self.key(self.values[idx]);
-            if let Some(bucket) = self.buckets.get_mut(&key) {
-                // Ids within a bucket are in insertion order, so everything
-                // to drop sits in the tail. Emptied buckets are removed
-                // outright: transient values differ from run to run, and
-                // leaving empty entries behind would grow the bucket map
-                // without bound across a long shot loop.
-                let keep = bucket.partition_point(|&i| (i as usize) < len);
-                if keep == 0 {
-                    self.buckets.remove(&key);
-                } else {
-                    bucket.truncate(keep);
+            let stripe = self.buckets.stripe_mut(&key);
+            if let Some(list) = stripe.get_mut(&key) {
+                list.retain(|&stored| stored != idx as u32);
+                if list.is_empty() {
+                    stripe.remove(&key);
                 }
             }
         }
         self.values.truncate(len);
-    }
-
-    fn key(&self, value: Complex) -> (i64, i64) {
-        // A bucket spans several tolerances so that near-boundary values only
-        // require inspecting the immediate neighbour buckets.
-        let cell = self.tolerance * 4.0;
-        (
-            (value.re / cell).round() as i64,
-            (value.im / cell).round() as i64,
-        )
-    }
-
-    fn find(&self, value: Complex) -> Option<ComplexId> {
-        let (kr, ki) = self.key(value);
-        for dr in -1..=1 {
-            for di in -1..=1 {
-                if let Some(candidates) = self.buckets.get(&(kr + dr, ki + di)) {
-                    for &idx in candidates {
-                        if self.values[idx as usize].approx_eq(value, self.tolerance) {
-                            return Some(ComplexId(idx));
-                        }
-                    }
-                }
-            }
-        }
-        None
-    }
-
-    fn insert(&mut self, value: Complex) -> ComplexId {
-        let idx = self.values.len() as u32;
-        self.values.push(value);
-        let key = self.key(value);
-        self.buckets.entry(key).or_default().push(idx);
-        ComplexId(idx)
     }
 }
 
@@ -334,7 +445,7 @@ mod tests {
 
     #[test]
     fn zero_and_one_have_fixed_ids() {
-        let mut t = ComplexTable::new();
+        let t = ComplexTable::new();
         assert_eq!(t.lookup(Complex::ZERO), ComplexId::ZERO);
         assert_eq!(t.lookup(Complex::ONE), ComplexId::ONE);
         assert!(t.lookup(Complex::new(1e-14, -1e-14)).is_zero());
@@ -343,7 +454,7 @@ mod tests {
 
     #[test]
     fn nearby_values_share_an_id() {
-        let mut t = ComplexTable::new();
+        let t = ComplexTable::new();
         let a = t.lookup(Complex::new(0.25, -0.75));
         let b = t.lookup(Complex::new(0.25 + 1e-12, -0.75 - 1e-12));
         assert_eq!(a, b);
@@ -352,7 +463,7 @@ mod tests {
 
     #[test]
     fn distinct_values_get_distinct_ids() {
-        let mut t = ComplexTable::new();
+        let t = ComplexTable::new();
         let a = t.lookup(Complex::new(0.5, 0.0));
         let b = t.lookup(Complex::new(0.5, 0.5));
         let c = t.lookup(Complex::new(-0.5, 0.0));
@@ -362,19 +473,70 @@ mod tests {
     }
 
     #[test]
-    fn boundary_values_near_bucket_edges_still_dedupe() {
-        let mut t = ComplexTable::with_tolerance(1e-10);
-        // Choose a value right at a bucket boundary (cell = 4 * tol).
-        let v = Complex::new(2.0e-10, 0.0);
-        let a = t.lookup(v);
-        let b = t.lookup(Complex::new(2.0e-10 + 0.9e-10, 0.0));
-        // These differ by less than the tolerance? No: 0.9e-10 < 1e-10, so yes.
-        assert_eq!(a, b);
+    fn first_comer_value_is_the_representative() {
+        // Ball matching: whichever of two nearby values is interned first
+        // becomes the stored representative, bits and all. Canonicity needs
+        // the representative to track a *real* computed value (grid points
+        // would inject cell-scale noise into every downstream operation).
+        let u = Complex::new(0.3 + 0.2e-10, 0.7);
+        let v = Complex::new(0.3 - 0.2e-10, 0.7);
+        let t1 = ComplexTable::new();
+        let a1 = t1.lookup(u);
+        assert_eq!(t1.lookup(v), a1);
+        assert_eq!(t1.value(a1).re.to_bits(), u.re.to_bits());
+        let t2 = ComplexTable::new();
+        let a2 = t2.lookup(v);
+        assert_eq!(t2.lookup(u), a2);
+        assert_eq!(t2.value(a2).re.to_bits(), v.re.to_bits());
+    }
+
+    #[test]
+    fn boundary_straddling_values_still_unify() {
+        // Ball matching must unify values within tolerance even when they
+        // fall in different spatial index cells (the failure mode of pure
+        // grid quantisation).
+        let t = ComplexTable::with_tolerance(1e-10);
+        let cell = 4e-10;
+        for i in 1..50 {
+            let near_boundary = (i as f64 + 0.5) * cell;
+            let a = t.lookup(Complex::new(near_boundary - 0.4e-10, 0.0));
+            let b = t.lookup(Complex::new(near_boundary + 0.4e-10, 0.0));
+            assert_eq!(a, b, "split at boundary {i}");
+        }
+        // More than a tolerance apart: always distinct.
+        let a = t.lookup(Complex::new(0.5, 0.0));
+        let c = t.lookup(Complex::new(0.5 + 2.5e-10, 0.0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree_with_each_other() {
+        // Threads hammering one table must agree on one id per value and
+        // the creation double-check must never mint two entries for one
+        // ball. (Id *numbering* depends on creation order, so each thread
+        // records its own view and the views are compared afterwards.)
+        let t = ComplexTable::new();
+        let probe: Vec<Complex> = (0..256)
+            .map(|i| Complex::new(0.001 * i as f64, -0.002 * i as f64))
+            .collect();
+        let views: Vec<Vec<ComplexId>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (t, probe) = (&t, &probe);
+                    s.spawn(move || probe.iter().map(|&v| t.lookup(v)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for view in &views[1..] {
+            assert_eq!(view, &views[0], "threads disagree on interned ids");
+        }
+        assert_eq!(t.len(), 2 + 255); // i == 0 snapped to ZERO
     }
 
     #[test]
     fn arithmetic_helpers_match_direct_computation() {
-        let mut t = ComplexTable::new();
+        let t = ComplexTable::new();
         let a = t.lookup(Complex::new(0.3, 0.4));
         let b = t.lookup(Complex::new(-0.1, 0.9));
         let prod = t.mul(a, b);
@@ -391,7 +553,7 @@ mod tests {
 
     #[test]
     fn mul_fast_paths() {
-        let mut t = ComplexTable::new();
+        let t = ComplexTable::new();
         let a = t.lookup(Complex::new(0.3, 0.4));
         assert_eq!(t.mul(ComplexId::ZERO, a), ComplexId::ZERO);
         assert_eq!(t.mul(a, ComplexId::ZERO), ComplexId::ZERO);
@@ -403,14 +565,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "division by interned zero")]
     fn division_by_zero_panics() {
-        let mut t = ComplexTable::new();
+        let t = ComplexTable::new();
         let a = t.lookup(Complex::new(0.3, 0.4));
         let _ = t.div(a, ComplexId::ZERO);
     }
 
     #[test]
     fn table_does_not_grow_for_repeated_values() {
-        let mut t = ComplexTable::new();
+        let t = ComplexTable::new();
         for _ in 0..1000 {
             t.lookup(Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0));
         }
@@ -418,5 +580,34 @@ mod tests {
         let (lookups, hits) = t.stats();
         assert_eq!(lookups, 1000);
         assert_eq!(hits, 999);
+    }
+
+    #[test]
+    fn truncate_forgets_the_tail_and_frees_its_keys() {
+        let mut t = ComplexTable::new();
+        let kept = t.lookup(Complex::new(0.5, 0.25));
+        let mark = t.len();
+        let dropped = t.lookup(Complex::new(0.125, -0.125));
+        assert_eq!(dropped.index(), mark);
+        t.truncate(mark);
+        assert_eq!(t.len(), mark);
+        // The kept entry still resolves; re-interning the dropped value
+        // allocates a fresh id at the old position.
+        assert_eq!(t.lookup(Complex::new(0.5, 0.25)), kept);
+        let again = t.lookup(Complex::new(0.125, -0.125));
+        assert_eq!(again.index(), mark);
+    }
+
+    #[test]
+    fn truncate_keeps_cell_mates_of_dropped_entries() {
+        // Two distinct entries can share one spatial cell (cells span four
+        // tolerances); truncating one must not evict the other.
+        let mut t = ComplexTable::with_tolerance(1e-10);
+        let kept = t.lookup(Complex::new(0.5, 0.0));
+        let mark = t.len();
+        let dropped = t.lookup(Complex::new(0.5 + 1.5e-10, 0.0));
+        assert_ne!(kept, dropped);
+        t.truncate(mark);
+        assert_eq!(t.lookup(Complex::new(0.5, 0.0)), kept);
     }
 }

@@ -1,0 +1,469 @@
+//! Concurrency-ready storage for the decision diagram package.
+//!
+//! Two building blocks live here:
+//!
+//! * [`ChunkedArena`] — an append-only arena with stable addresses, so node
+//!   records can be pushed from several worker threads (each reserving its
+//!   slot with a fetch-add) while readers hold plain `&T` references that
+//!   are never invalidated by growth. Storage is a spine of geometrically
+//!   growing buckets; no push ever moves an existing element, unlike
+//!   `Vec`'s reallocation.
+//! * [`StripedMap`] — a hash map split into [`STRIPES`] independently locked
+//!   shards. Keys are routed by their (Fx) hash, so two threads touching
+//!   different nodes almost always take different locks. Serial code paths
+//!   (`&mut self` on the package) bypass the locks entirely through
+//!   `get_mut`, keeping the single-threaded cost at one branch.
+//!
+//! Both types are only ever *published* through a stripe lock or an
+//! exclusive borrow: a node id becomes visible to other threads only via a
+//! `StripedMap` insert performed while holding the stripe lock, which gives
+//! the necessary happens-before edge for the arena write that produced it.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::fxhash::{FxBuildHasher, FxHashMap};
+
+/// log2 of the first bucket's capacity (4096 entries).
+const BASE_SHIFT: u32 = 12;
+/// Number of bucket slots; bucket `b` holds `2^(BASE_SHIFT + b)` entries,
+/// enough to cover the full `u32` id space with room to spare.
+const BUCKETS: usize = 24;
+
+/// Append-only arena of `Copy` records with stable addresses.
+pub(crate) struct ChunkedArena<T: Copy> {
+    buckets: [AtomicPtr<T>; BUCKETS],
+    len: AtomicUsize,
+}
+
+/// Maps a flat index to its (bucket, offset) coordinates.
+#[inline]
+fn locate(index: usize) -> (usize, usize) {
+    // Bucket b covers indices [2^BASE_SHIFT * (2^b - 1), 2^BASE_SHIFT * (2^(b+1) - 1)).
+    let k = (index >> BASE_SHIFT) + 1;
+    let b = (usize::BITS - 1 - k.leading_zeros()) as usize;
+    let offset = index - (((1usize << b) - 1) << BASE_SHIFT);
+    (b, offset)
+}
+
+/// Capacity of bucket `b`.
+#[inline]
+fn bucket_capacity(b: usize) -> usize {
+    1usize << (BASE_SHIFT + b as u32)
+}
+
+impl<T: Copy> ChunkedArena<T> {
+    /// Creates an empty arena. No bucket is allocated until the first push.
+    pub(crate) fn new() -> Self {
+        ChunkedArena {
+            buckets: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of records ever pushed (net of [`truncate`](Self::truncate)).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Returns the bucket base pointer, allocating the bucket on first use.
+    fn bucket_ptr(&self, b: usize) -> *mut T {
+        let slot = &self.buckets[b];
+        let existing = slot.load(Ordering::Acquire);
+        if !existing.is_null() {
+            return existing;
+        }
+        let cap = bucket_capacity(b);
+        let layout = std::alloc::Layout::array::<T>(cap).expect("bucket layout");
+        // SAFETY: `T` is `Copy` (no drop glue); the memory is written before
+        // any index inside it is published to a reader.
+        let fresh = unsafe { std::alloc::alloc(layout) as *mut T };
+        assert!(!fresh.is_null(), "arena bucket allocation failed");
+        match slot.compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => fresh,
+            Err(winner) => {
+                // Another thread installed the bucket first; free ours.
+                // SAFETY: `fresh` came from `alloc` with this exact layout
+                // and was never shared.
+                unsafe { std::alloc::dealloc(fresh as *mut u8, layout) };
+                winner
+            }
+        }
+    }
+
+    /// Appends `value`, returning its index. Safe to call from several
+    /// threads at once; each call reserves a distinct slot.
+    pub(crate) fn push(&self, value: T) -> usize {
+        let index = self.len.fetch_add(1, Ordering::Relaxed);
+        let (b, offset) = locate(index);
+        assert!(b < BUCKETS, "arena exhausted its id space");
+        let base = self.bucket_ptr(b);
+        // SAFETY: `offset < bucket_capacity(b)` by construction of `locate`,
+        // and the fetch-add above makes this slot exclusively ours. The
+        // value is published to other threads only through a subsequent
+        // lock-protected map insert, which orders this write before any read.
+        unsafe { base.add(offset).write(value) };
+        index
+    }
+
+    /// Drops all records at index `new_len` and beyond. Buckets stay
+    /// allocated for reuse; `T: Copy` means no destructors need to run.
+    pub(crate) fn truncate(&mut self, new_len: usize) {
+        let len = self.len.get_mut();
+        if new_len < *len {
+            *len = new_len;
+        }
+    }
+
+    /// Iterates over the first `len()` records in index order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        (0..self.len()).map(move |i| self[i])
+    }
+}
+
+impl<T: Copy> std::ops::Index<usize> for ChunkedArena<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, index: usize) -> &T {
+        debug_assert!(index < self.len(), "arena index {index} out of bounds");
+        let (b, offset) = locate(index);
+        let base = self.buckets[b].load(Ordering::Acquire);
+        debug_assert!(!base.is_null());
+        // SAFETY: any index below `len` that reached this thread was
+        // published through a stripe lock (or an exclusive borrow), so the
+        // slot write happens-before this read and the bucket is allocated.
+        unsafe { &*base.add(offset) }
+    }
+}
+
+impl<T: Copy> Drop for ChunkedArena<T> {
+    fn drop(&mut self) {
+        for (b, slot) in self.buckets.iter_mut().enumerate() {
+            let ptr = *slot.get_mut();
+            if !ptr.is_null() {
+                let layout = std::alloc::Layout::array::<T>(bucket_capacity(b)).expect("layout");
+                // SAFETY: allocated by `bucket_ptr` with this layout; `T` is
+                // `Copy`, so the elements need no drop.
+                unsafe { std::alloc::dealloc(ptr as *mut u8, layout) };
+            }
+        }
+    }
+}
+
+impl<T: Copy> Clone for ChunkedArena<T> {
+    fn clone(&self) -> Self {
+        let fresh = ChunkedArena::new();
+        for value in self.iter() {
+            fresh.push(value);
+        }
+        fresh
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.truncate(0);
+        for value in source.iter() {
+            self.push(value);
+        }
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for ChunkedArena<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkedArena")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+// SAFETY: records are `Copy` plain data; cross-thread publication of every
+// index goes through a `Mutex`-protected map (see module docs).
+unsafe impl<T: Copy + Send> Send for ChunkedArena<T> {}
+unsafe impl<T: Copy + Send + Sync> Sync for ChunkedArena<T> {}
+
+/// Number of lock shards per [`StripedMap`]. Sixteen keeps the footprint
+/// small while making same-stripe collisions rare for the worker counts the
+/// intra-shot pool targets (2–16 threads).
+pub(crate) const STRIPES: usize = 16;
+
+/// A hash map sharded into [`STRIPES`] independently locked stripes.
+///
+/// The map can optionally *journal* insertions (see
+/// [`begin_journal`](Self::begin_journal)): while journaling is active,
+/// every key inserted through [`insert_logged`](Self::insert_logged) is
+/// recorded, and [`rollback_journal`](Self::rollback_journal) removes those
+/// keys again. The decision diagram package uses this to undo compute-cache
+/// insertions made by a speculative parallel operation that has to be
+/// re-run serially.
+pub(crate) struct StripedMap<K, V> {
+    stripes: [Mutex<FxHashMap<K, V>>; STRIPES],
+    journals: [Mutex<Vec<K>>; STRIPES],
+    journaling: AtomicBool,
+    contention: AtomicU64,
+}
+
+impl<K: std::hash::Hash + Eq, V> StripedMap<K, V> {
+    /// Creates an empty map.
+    pub(crate) fn new() -> Self {
+        StripedMap {
+            stripes: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
+            journals: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            journaling: AtomicBool::new(false),
+            contention: AtomicU64::new(0),
+        }
+    }
+
+    /// Stripe index for `key` — the top bits of the Fx hash, which are the
+    /// best-mixed after the final multiply.
+    #[inline]
+    fn stripe_of(key: &K) -> usize {
+        use std::hash::BuildHasher;
+        let hash = FxBuildHasher::default().hash_one(key);
+        (hash >> 60) as usize & (STRIPES - 1)
+    }
+
+    /// Locks the stripe holding `key`, counting the acquisition as contended
+    /// when another thread currently owns it.
+    #[inline]
+    pub(crate) fn lock_stripe(&self, key: &K) -> MutexGuard<'_, FxHashMap<K, V>> {
+        let stripe = &self.stripes[Self::stripe_of(key)];
+        match stripe.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                stripe.lock()
+            }
+        }
+    }
+
+    /// Exclusive (lock-free) access to the stripe holding `key`.
+    #[inline]
+    pub(crate) fn stripe_mut(&mut self, key: &K) -> &mut FxHashMap<K, V> {
+        self.stripes[Self::stripe_of(key)].get_mut()
+    }
+
+    /// Total number of lock acquisitions that found the stripe held.
+    pub(crate) fn contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the contention counter (used by `clone_from` to preserve
+    /// the destination's own statistics).
+    pub(crate) fn set_contention(&self, value: u64) {
+        self.contention.store(value, Ordering::Relaxed);
+    }
+
+    /// Number of entries across all stripes (exclusive access).
+    pub(crate) fn len_mut(&mut self) -> usize {
+        self.stripes.iter_mut().map(|s| s.get_mut().len()).sum()
+    }
+
+    /// Number of entries across all stripes, taking each stripe lock.
+    pub(crate) fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Entries per stripe, in stripe order, without exclusive access.
+    pub(crate) fn stripe_lens(&self) -> [usize; STRIPES] {
+        std::array::from_fn(|i| self.stripes[i].lock().len())
+    }
+
+    /// Removes all entries (exclusive access).
+    pub(crate) fn clear(&mut self) {
+        for stripe in &mut self.stripes {
+            stripe.get_mut().clear();
+        }
+    }
+
+    /// Removes `key`, returning its value if present (exclusive access).
+    pub(crate) fn remove(&mut self, key: &K) -> Option<V> {
+        self.stripe_mut(key).remove(key)
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Copy, V> StripedMap<K, V> {
+    /// Inserts `key -> value`, recording the key in the stripe's journal
+    /// when journaling is active. Only first insertions are recorded — an
+    /// overwrite of a key inserted earlier in the same journal window is
+    /// already covered by the original record, and a key present *before*
+    /// the window can never be overwritten by the package's cache
+    /// discipline (inserts only follow a miss on the same key).
+    pub(crate) fn insert_logged(&self, key: K, value: V) {
+        let index = Self::stripe_of(&key);
+        let stripe = &self.stripes[index];
+        let mut guard = match stripe.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                stripe.lock()
+            }
+        };
+        let fresh = guard.insert(key, value).is_none();
+        drop(guard);
+        if fresh && self.journaling.load(Ordering::Relaxed) {
+            self.journals[index].lock().push(key);
+        }
+    }
+
+    /// Starts recording insertions made through
+    /// [`insert_logged`](Self::insert_logged).
+    pub(crate) fn begin_journal(&self) {
+        debug_assert!(!self.journaling.load(Ordering::Relaxed));
+        self.journaling.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording and keeps the recorded insertions.
+    pub(crate) fn commit_journal(&mut self) {
+        self.journaling.store(false, Ordering::Relaxed);
+        for journal in &mut self.journals {
+            journal.get_mut().clear();
+        }
+    }
+
+    /// Stops recording and removes every key inserted since
+    /// [`begin_journal`](Self::begin_journal).
+    pub(crate) fn rollback_journal(&mut self) {
+        self.journaling.store(false, Ordering::Relaxed);
+        for index in 0..STRIPES {
+            let keys = std::mem::take(self.journals[index].get_mut());
+            let stripe = self.stripes[index].get_mut();
+            for key in keys {
+                stripe.remove(&key);
+            }
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> Clone for StripedMap<K, V> {
+    fn clone(&self) -> Self {
+        StripedMap {
+            stripes: std::array::from_fn(|i| Mutex::new(self.stripes[i].lock().clone())),
+            journals: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            journaling: AtomicBool::new(false),
+            contention: AtomicU64::new(self.contention()),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        for (dst, src) in self.stripes.iter_mut().zip(source.stripes.iter()) {
+            dst.get_mut().clone_from(&src.lock());
+        }
+        // Contention is a property of this instance's history, not the
+        // source's contents; leave it untouched.
+    }
+}
+
+impl<K, V> std::fmt::Debug for StripedMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StripedMap").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_partitions_the_index_space() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(4095), (0, 4095));
+        assert_eq!(locate(4096), (1, 0));
+        assert_eq!(locate(4096 + 8191), (1, 8191));
+        assert_eq!(locate(4096 + 8192), (2, 0));
+        // Exhaustive continuity check over the first few buckets.
+        let mut expected = (0usize, 0usize);
+        for i in 0..(1usize << 16) {
+            assert_eq!(locate(i), expected, "index {i}");
+            expected.1 += 1;
+            if expected.1 == bucket_capacity(expected.0) {
+                expected = (expected.0 + 1, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_push_index_truncate_round_trip() {
+        let mut arena = ChunkedArena::new();
+        for i in 0..10_000u64 {
+            assert_eq!(arena.push(i * 3), i as usize);
+        }
+        assert_eq!(arena.len(), 10_000);
+        assert_eq!(arena[0], 0);
+        assert_eq!(arena[9_999], 9_999 * 3);
+        arena.truncate(5_000);
+        assert_eq!(arena.len(), 5_000);
+        assert_eq!(arena.push(7), 5_000);
+        assert_eq!(arena[5_000], 7);
+    }
+
+    #[test]
+    fn arena_clone_and_clone_from_copy_contents() {
+        let arena = ChunkedArena::new();
+        for i in 0..6_000u32 {
+            arena.push(i);
+        }
+        let copy = arena.clone();
+        assert_eq!(copy.len(), 6_000);
+        assert_eq!(copy[5_999], 5_999);
+        let mut other = ChunkedArena::new();
+        other.push(42u32);
+        other.clone_from(&arena);
+        assert_eq!(other.len(), 6_000);
+        assert_eq!(other[123], 123);
+    }
+
+    #[test]
+    fn concurrent_pushes_reserve_distinct_slots() {
+        let arena = ChunkedArena::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let arena = &arena;
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        arena.push(t * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.len(), 20_000);
+        let mut seen: Vec<u64> = arena.iter().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 20_000, "lost or duplicated slots");
+    }
+
+    #[test]
+    fn striped_map_basic_and_concurrent_inserts() {
+        let map: StripedMap<u64, u64> = StripedMap::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let map = &map;
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let key = i % 512;
+                        let mut stripe = map.lock_stripe(&key);
+                        stripe.entry(key).or_insert(t);
+                    }
+                });
+            }
+        });
+        let mut map = map;
+        assert_eq!(map.len_mut(), 512);
+        let lens = map.stripe_lens();
+        assert_eq!(lens.iter().sum::<usize>(), 512);
+        assert!(
+            lens.iter().filter(|&&l| l > 0).count() > 4,
+            "keys clump in one stripe"
+        );
+        assert!(map.remove(&0).is_some());
+        map.clear();
+        assert_eq!(map.len_mut(), 0);
+    }
+}

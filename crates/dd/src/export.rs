@@ -200,7 +200,7 @@ impl DdPackage {
     /// omitted, matching the "0-stub" convention of the paper's figures.
     pub fn vec_to_dot(&self, v: VecEdge) -> String {
         let mut out = String::from("digraph dd {\n  rankdir=TB;\n  root [shape=point];\n");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = crate::fxhash::FxHashSet::default();
         let mut stack = vec![v.node];
         out.push_str(&format!(
             "  root -> {} [label=\"{}\"];\n",
@@ -283,7 +283,7 @@ mod tests {
         let s = dd.mat_vec_mul(h0, s);
         let s = dd.mat_vec_mul(cx, s);
         let dense = dd.to_statevector(s, 3);
-        let mut sparse = std::collections::HashMap::new();
+        let mut sparse = crate::fxhash::FxHashMap::default();
         dd.outcome_probabilities(s, 3, &mut |index, p| {
             assert!(sparse.insert(index, p).is_none(), "index visited twice");
         });

@@ -1,0 +1,114 @@
+//! A minimal multiply-xor hasher for the package's hot hash maps.
+//!
+//! The standard library's default hasher (SipHash) is a keyed PRF built to
+//! resist collision attacks from untrusted keys; the decision diagram
+//! package hashes *trusted, tiny* keys (node structures, id pairs,
+//! quantised complex coordinates) millions of times per shot, where
+//! SipHash's per-key setup dominates. This is the well-known FxHash
+//! construction (rotate, xor, multiply by a large odd constant), which is a
+//! few instructions per word and plenty good for the short structured keys
+//! used here. The module is public so that the higher layers (`qsdd-core`'s
+//! dedup maps, the `qsdd-server` content-addressed result cache) share one
+//! hasher definition instead of three copies.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier of the FxHash construction (a large odd constant with a
+/// good bit mix; the same one used by rustc's FxHasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for trusted in-process keys.
+#[derive(Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let mut tail = 0u64;
+        for (index, &byte) in chunks.remainder().iter().enumerate() {
+            tail |= u64::from(byte) << (8 * index);
+        }
+        if !chunks.remainder().is_empty() {
+            self.add(tail);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.add(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, value: u16) {
+        self.add(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add(value as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-backed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the fast in-process hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the fast in-process hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn equal_keys_hash_equal_and_near_keys_differ() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_ne!(hash_of(&42u64), hash_of(&43u64));
+        let a = vec![(3u32, 1u8), (9, 0)];
+        let b = vec![(3u32, 1u8), (9, 1)];
+        assert_eq!(hash_of(&a), hash_of(&a.clone()));
+        assert_ne!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn node_keys_spread_across_buckets() {
+        use std::collections::HashSet;
+        let buckets: HashSet<u64> = (0..1024u64).map(|v| hash_of(&v) % 64).collect();
+        assert!(buckets.len() > 32, "node hashes clump: {}", buckets.len());
+    }
+}

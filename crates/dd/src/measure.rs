@@ -231,8 +231,8 @@ impl DdPackage {
             return plan;
         }
         // Depth-first flattening; slots are assigned on first visit.
-        let mut slots: std::collections::HashMap<crate::node::VecNodeId, u32> =
-            std::collections::HashMap::new();
+        let mut slots: crate::fxhash::FxHashMap<crate::node::VecNodeId, u32> =
+            crate::fxhash::FxHashMap::default();
         let mut stack = vec![v.node];
         plan.root = 0;
         slots.insert(v.node, 0);
@@ -435,7 +435,7 @@ impl DdPackage {
     /// Counts the distinct nodes reachable from `v` (the usual decision
     /// diagram size metric; the terminal is not counted).
     pub fn vec_node_count(&self, v: VecEdge) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = crate::fxhash::FxHashSet::default();
         let mut stack = vec![v.node];
         while let Some(node) = stack.pop() {
             if node.is_terminal() || !seen.insert(node) {
@@ -453,7 +453,7 @@ impl DdPackage {
 
     /// Counts the distinct nodes reachable from the matrix diagram `m`.
     pub fn mat_node_count(&self, m: crate::node::MatEdge) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = crate::fxhash::FxHashSet::default();
         let mut stack = vec![m.node];
         while let Some(node) = stack.pop() {
             if node.is_terminal() || !seen.insert(node) {

@@ -5,22 +5,102 @@
 //! keyed on node ids only (the incoming edge weights factor out of the
 //! bilinear operations); addition caches include the weights because addition
 //! does not factor.
+//!
+//! ## Intra-shot fork-join: speculate, detect creations, roll back
+//!
+//! `mat_vec_mul` and `vec_add` can traverse in parallel: when the package
+//! has an [`IntraPool`](crate::IntraPool) installed, the two cofactor
+//! sub-calls at each recursion level fork onto the pool until a level
+//! budget (≈ `log2(threads) + 2`) is exhausted, below which the recursion
+//! stays serial.
+//!
+//! Thread safety comes from the striped tables (unique tables hold their
+//! stripe lock across the lookup-insert sequence, so racing constructions
+//! of one node agree on one id; the complex table serialises entry
+//! creation behind a creation lock with a double-check). *Determinism* —
+//! results byte-identical to a serial run, for any thread count — needs
+//! more, because the complex table's representatives are first-comer-wins:
+//! which value anchors a tolerance ball depends on creation order, and a
+//! parallel schedule cannot reproduce the serial order.
+//!
+//! The resolution is speculative execution. Each top-level operation marks
+//! the complex-table and node-arena lengths, journals its compute-cache
+//! insertions, and runs the parallel traversal. If the attempt **created
+//! nothing** (the common case once the tables have saturated), every
+//! lookup it performed was a pure function of the pre-operation state:
+//! hits return ids determined by table contents alone, racing compute-cache
+//! inserts for one key store identical edges (idempotent), and the final
+//! cache contents equal the serial run's — so the attempt commits, and the
+//! result is provably byte-identical to serial. If anything *was* created,
+//! the attempt is rolled back exactly (journaled cache keys removed, node
+//! arena and complex table truncated to the mark) and the operation re-runs
+//! serially. Entry creation therefore only ever survives from serial
+//! execution, which makes the whole run — ids, representatives, amplitudes,
+//! node counts — deterministic by induction over operations. Only the
+//! relaxed diagnostic counters (hits/misses/contention) are outside the
+//! contract. A short cooldown after each rollback keeps creation-heavy
+//! phases from paying for doomed parallel attempts on every operation.
 
 use crate::complex::Complex;
 use crate::node::{MatEdge, VecEdge};
-use crate::package::DdPackage;
+use crate::package::{DdPackage, TableCounters};
+
+/// Operations to run serially after a speculation rollback before trying
+/// to parallelise again.
+const SPEC_COOLDOWN: u32 = 8;
 
 impl DdPackage {
+    /// Fork levels available for one traversal: the pool's budget, or zero
+    /// when no pool is installed (pure serial recursion).
+    #[inline]
+    fn fork_budget(&self) -> u32 {
+        self.intra.as_ref().map_or(0, |pool| pool.fork_budget())
+    }
+
+    /// Fork levels to attempt for the next top-level operation, accounting
+    /// for the post-rollback cooldown.
+    fn take_fork_budget(&mut self) -> u32 {
+        let budget = self.fork_budget();
+        if budget == 0 {
+            return 0;
+        }
+        if self.spec_cooldown > 0 {
+            self.spec_cooldown -= 1;
+            return 0;
+        }
+        budget
+    }
+
+    /// Runs `op` as a speculative parallel attempt, committing it when it
+    /// created no table entries and rolling back + re-running serially
+    /// otherwise (see the module docs for why this preserves bit-for-bit
+    /// determinism).
+    fn speculate(&mut self, op: impl Fn(&Self, u32) -> VecEdge, budget: u32) -> VecEdge {
+        let mark = self.begin_speculation();
+        let result = op(self, budget);
+        if self.speculation_clean(&mark) {
+            self.commit_speculation();
+            result
+        } else {
+            self.rollback_speculation(mark);
+            self.spec_cooldown = SPEC_COOLDOWN;
+            op(self, 0)
+        }
+    }
+
     /// Multiplies a matrix diagram onto a vector diagram (`m * v`).
     ///
     /// Both diagrams must have been built over the same number of qubits by
     /// this package.
     pub fn mat_vec_mul(&mut self, m: MatEdge, v: VecEdge) -> VecEdge {
         self.maybe_trim_caches();
-        self.mat_vec_rec(m, v)
+        match self.take_fork_budget() {
+            0 => self.mat_vec_rec(m, v, 0),
+            budget => self.speculate(|dd, b| dd.mat_vec_rec(m, v, b), budget),
+        }
     }
 
-    fn mat_vec_rec(&mut self, m: MatEdge, v: VecEdge) -> VecEdge {
+    fn mat_vec_rec(&self, m: MatEdge, v: VecEdge, budget: u32) -> VecEdge {
         if m.is_zero() || v.is_zero() {
             return VecEdge::zero();
         }
@@ -36,9 +116,11 @@ impl DdPackage {
             !v.node.is_terminal(),
             "operator extends below the state vector terminal"
         );
+        let key = (m.node, v.node);
         if self.caching_enabled {
-            if let Some(&cached) = self.ct_mat_vec.get(&(m.node, v.node)) {
-                self.counters.compute_hits += 1;
+            let cached = self.ct_mat_vec.lock_stripe(&key).get(&key).copied();
+            if let Some(cached) = cached {
+                TableCounters::bump(&self.counters.compute_hits);
                 let w = self.ctable.mul(weight, cached.weight);
                 return VecEdge {
                     node: cached.node,
@@ -52,16 +134,22 @@ impl DdPackage {
             mnode.var, vnode.var,
             "operator and state decide different qubits"
         );
-        let mut children = [VecEdge::zero(); 2];
-        for (r, child) in children.iter_mut().enumerate() {
-            let p0 = self.mat_vec_rec(mnode.edges[2 * r], vnode.edges[0]);
-            let p1 = self.mat_vec_rec(mnode.edges[2 * r + 1], vnode.edges[1]);
-            *child = self.vec_add_rec(p0, p1);
-        }
+        let cofactor = |r: usize, budget: u32| {
+            let p0 = self.mat_vec_rec(mnode.edges[2 * r], vnode.edges[0], budget);
+            let p1 = self.mat_vec_rec(mnode.edges[2 * r + 1], vnode.edges[1], budget);
+            self.vec_add_rec(p0, p1, budget)
+        };
+        let children = match &self.intra {
+            Some(pool) if budget > 0 => {
+                let (c0, c1) = pool.join(|| cofactor(0, budget - 1), || cofactor(1, budget - 1));
+                [c0, c1]
+            }
+            _ => [cofactor(0, 0), cofactor(1, 0)],
+        };
         let result = self.make_vec_node(mnode.var, children);
         if self.caching_enabled {
-            self.counters.compute_misses += 1;
-            self.ct_mat_vec.insert((m.node, v.node), result);
+            TableCounters::bump(&self.counters.compute_misses);
+            self.ct_mat_vec.insert_logged(key, result);
         }
         VecEdge {
             node: result.node,
@@ -72,10 +160,13 @@ impl DdPackage {
     /// Adds two vector diagrams element-wise.
     pub fn vec_add(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
         self.maybe_trim_caches();
-        self.vec_add_rec(a, b)
+        match self.take_fork_budget() {
+            0 => self.vec_add_rec(a, b, 0),
+            budget => self.speculate(|dd, bud| dd.vec_add_rec(a, b, bud), budget),
+        }
     }
 
-    pub(crate) fn vec_add_rec(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+    pub(crate) fn vec_add_rec(&self, a: VecEdge, b: VecEdge, budget: u32) -> VecEdge {
         if a.is_zero() {
             return b;
         }
@@ -90,23 +181,27 @@ impl DdPackage {
             !a.node.is_terminal() && !b.node.is_terminal(),
             "cannot add vectors of different heights"
         );
-        // Addition is commutative: order the operands for better cache reuse.
+        // Addition is commutative: order the operands for better cache
+        // reuse. The swap cannot change result bits — IEEE addition of the
+        // leaf weights commutes bitwise, and the child recursion below is
+        // indexed by successor position, not by operand order.
         let (x, y) = if (a.node, a.weight) <= (b.node, b.weight) {
             (a, b)
         } else {
             (b, a)
         };
+        let key = (x, y);
         if self.caching_enabled {
-            if let Some(&cached) = self.ct_vec_add.get(&(x, y)) {
-                self.counters.compute_hits += 1;
+            let cached = self.ct_vec_add.lock_stripe(&key).get(&key).copied();
+            if let Some(cached) = cached {
+                TableCounters::bump(&self.counters.compute_hits);
                 return cached;
             }
         }
         let xn = self.vec_nodes[x.node.index()];
         let yn = self.vec_nodes[y.node.index()];
         debug_assert_eq!(xn.var, yn.var, "operands decide different qubits");
-        let mut children = [VecEdge::zero(); 2];
-        for (i, child) in children.iter_mut().enumerate() {
+        let successor = |i: usize, budget: u32| {
             let ex = VecEdge {
                 node: xn.edges[i].node,
                 weight: self.ctable.mul(x.weight, xn.edges[i].weight),
@@ -115,12 +210,19 @@ impl DdPackage {
                 node: yn.edges[i].node,
                 weight: self.ctable.mul(y.weight, yn.edges[i].weight),
             };
-            *child = self.vec_add_rec(ex, ey);
-        }
+            self.vec_add_rec(ex, ey, budget)
+        };
+        let children = match &self.intra {
+            Some(pool) if budget > 0 => {
+                let (c0, c1) = pool.join(|| successor(0, budget - 1), || successor(1, budget - 1));
+                [c0, c1]
+            }
+            _ => [successor(0, 0), successor(1, 0)],
+        };
         let result = self.make_vec_node(xn.var, children);
         if self.caching_enabled {
-            self.counters.compute_misses += 1;
-            self.ct_vec_add.insert((x, y), result);
+            TableCounters::bump(&self.counters.compute_misses);
+            self.ct_vec_add.insert_logged(key, result);
         }
         result
     }
@@ -153,7 +255,7 @@ impl DdPackage {
         };
         if self.caching_enabled {
             if let Some(&cached) = self.ct_mat_add.get(&(x, y)) {
-                self.counters.compute_hits += 1;
+                TableCounters::bump(&self.counters.compute_hits);
                 return cached;
             }
         }
@@ -174,7 +276,7 @@ impl DdPackage {
         }
         let result = self.make_mat_node(xn.var, children);
         if self.caching_enabled {
-            self.counters.compute_misses += 1;
+            TableCounters::bump(&self.counters.compute_misses);
             self.ct_mat_add.insert((x, y), result);
         }
         result
@@ -205,7 +307,7 @@ impl DdPackage {
         }
         if self.caching_enabled {
             if let Some(&cached) = self.ct_mat_mat.get(&(a.node, b.node)) {
-                self.counters.compute_hits += 1;
+                TableCounters::bump(&self.counters.compute_hits);
                 let w = self.ctable.mul(weight, cached.weight);
                 return MatEdge {
                     node: cached.node,
@@ -226,7 +328,7 @@ impl DdPackage {
         }
         let result = self.make_mat_node(an.var, children);
         if self.caching_enabled {
-            self.counters.compute_misses += 1;
+            TableCounters::bump(&self.counters.compute_misses);
             self.ct_mat_mat.insert((a.node, b.node), result);
         }
         MatEdge {
@@ -255,7 +357,7 @@ impl DdPackage {
         );
         if self.caching_enabled {
             if let Some(&cached) = self.ct_inner.get(&(a.node, b.node)) {
-                self.counters.compute_hits += 1;
+                TableCounters::bump(&self.counters.compute_hits);
                 return cached * w;
             }
         }
@@ -267,7 +369,7 @@ impl DdPackage {
             sum += self.inner_rec(an.edges[i], bn.edges[i]);
         }
         if self.caching_enabled {
-            self.counters.compute_misses += 1;
+            TableCounters::bump(&self.counters.compute_misses);
             self.ct_inner.insert((a.node, b.node), sum);
         }
         sum * w
@@ -454,6 +556,64 @@ mod tests {
         let vb = uncached.to_statevector(b, 2);
         for (x, y) in va.iter().zip(vb.iter()) {
             assert!(x.approx_eq(*y, 1e-12));
+        }
+    }
+
+    /// Runs an interference-heavy 6-qubit circuit and returns the final
+    /// statevector plus structural statistics.
+    fn run_circuit(pool: Option<std::sync::Arc<crate::IntraPool>>) -> (Vec<Complex>, usize, usize) {
+        let n = 6;
+        let mut dd = DdPackage::new();
+        dd.set_intra_pool(pool);
+        let mut state = dd.zero_state(n);
+        for q in 0..n {
+            let h = dd.single_qubit_op(n, q, Matrix2::hadamard());
+            state = dd.mat_vec_mul(h, state);
+        }
+        for q in 0..n - 1 {
+            let cx = dd.controlled_op(n, q + 1, &[q], Matrix2::pauli_x());
+            state = dd.mat_vec_mul(cx, state);
+        }
+        for q in 0..n {
+            let p = dd.single_qubit_op(n, q, Matrix2::phase(0.1 + 0.37 * q as f64));
+            state = dd.mat_vec_mul(p, state);
+        }
+        for q in 0..n {
+            let h = dd.single_qubit_op(n, q, Matrix2::hadamard());
+            state = dd.mat_vec_mul(h, state);
+        }
+        let stats = dd.stats();
+        (
+            dd.to_statevector(state, n),
+            stats.vec_nodes,
+            stats.complex_values,
+        )
+    }
+
+    #[test]
+    fn fork_join_matches_serial_bit_for_bit() {
+        // The speculative fork-join must reproduce the serial run exactly:
+        // same amplitudes to the bit, same node-arena and complex-table
+        // growth (creation only ever survives from serial execution).
+        let (serial, serial_nodes, serial_values) = run_circuit(None);
+        for threads in [2usize, 4, 8] {
+            let pool = std::sync::Arc::new(crate::IntraPool::new(threads));
+            let (parallel, nodes, values) = run_circuit(Some(pool));
+            assert_eq!(
+                nodes, serial_nodes,
+                "node growth differs at {threads} threads"
+            );
+            assert_eq!(
+                values, serial_values,
+                "value growth differs at {threads} threads"
+            );
+            for (i, (a, b)) in serial.iter().zip(parallel.iter()).enumerate() {
+                assert_eq!(
+                    (a.re.to_bits(), a.im.to_bits()),
+                    (b.re.to_bits(), b.im.to_bits()),
+                    "amplitude {i} differs at {threads} threads"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,189 @@
+//! Contention stress for the striped shared-state paths of one package.
+//!
+//! Every entry point exercised here takes `&self` — the complex-value
+//! table's `lookup` and the package's `make_vec_node` — so many threads
+//! can hammer **one** instance at once. The striping (per-stripe
+//! `parking_lot`-style locks over hash-partitioned buckets) plus the
+//! complex table's serialised creation path must guarantee, under heavy
+//! deliberate contention:
+//!
+//! * **agreement** — racing threads interning the same value, or
+//!   constructing the same node, always receive the same id;
+//! * **no duplicates** — the tables never grow two entries for one value
+//!   or one node, no matter how the races interleave;
+//! * **accounting** — stripe-occupancy snapshots stay consistent with the
+//!   table lengths, and the contention counter (a relaxed diagnostic,
+//!   deliberately outside the determinism contract) never makes results
+//!   observable.
+//!
+//! Thread counts here intentionally exceed the machine's cores: the point
+//! is interleaving under preemption, not speedup.
+
+use std::thread;
+
+use qsdd_dd::{Complex, ComplexId, ComplexTable, DdPackage, VecEdge};
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 400;
+
+/// A small palette of values every thread interns over and over, plus
+/// near-duplicates within tolerance that must unify onto the same id.
+fn palette() -> Vec<Complex> {
+    let mut values = Vec::new();
+    for i in 0..24 {
+        let base = 0.05 + 0.035 * i as f64;
+        values.push(Complex::new(base, -base / 3.0));
+        // Within the default tolerance of the exact value above: racing
+        // threads may intern either spelling first, and both must land on
+        // one id either way.
+        values.push(Complex::new(base + 1e-13, -base / 3.0 - 1e-13));
+    }
+    values
+}
+
+#[test]
+fn concurrent_complex_lookups_agree_and_never_duplicate() {
+    let table = ComplexTable::new();
+    let values = palette();
+
+    let views: Vec<Vec<ComplexId>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|worker| {
+                let table = &table;
+                let values = &values;
+                scope.spawn(move || {
+                    let mut ids = Vec::new();
+                    for round in 0..ROUNDS {
+                        // Start each worker at a different palette offset so
+                        // first-interning races land on different stripes
+                        // for different workers.
+                        for i in 0..values.len() {
+                            let value = values[(i + worker * 7 + round) % values.len()];
+                            let id = table.lookup(value);
+                            // The stored representative must match what was
+                            // asked for (within tolerance), every time.
+                            assert!(
+                                table.value(id).approx_eq(value, table.tolerance()),
+                                "id resolves outside tolerance"
+                            );
+                        }
+                        if round == 0 {
+                            // Record this worker's view of the palette, in
+                            // palette order, for cross-thread comparison.
+                            ids = values.iter().map(|&v| table.lookup(v)).collect();
+                        }
+                    }
+                    ids
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Agreement: every thread resolved every palette entry to the same id.
+    for view in &views[1..] {
+        assert_eq!(view, &views[0], "threads disagree on interned ids");
+    }
+    // No duplicates: each exact/near-duplicate pair unified, so at most one
+    // entry per pair (plus the fixed 0 and 1) survives.
+    let distinct = palette().len() / 2;
+    assert!(
+        table.len() <= 2 + distinct,
+        "table grew duplicates: {} entries for {} distinct values",
+        table.len(),
+        distinct
+    );
+}
+
+#[test]
+fn concurrent_node_construction_agrees_and_never_duplicates() {
+    let mut package = DdPackage::new();
+    // Weights are interned serially up front; the parallel phase only
+    // *constructs nodes* over this fixed weight palette.
+    let weights: Vec<ComplexId> = palette()
+        .iter()
+        .step_by(2)
+        .map(|&v| package.lookup_complex(v))
+        .collect();
+    let package = &package;
+
+    let views: Vec<Vec<VecEdge>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|worker| {
+                let weights = &weights;
+                scope.spawn(move || {
+                    let mut view = Vec::new();
+                    for round in 0..ROUNDS {
+                        let mut edges = Vec::new();
+                        for (i, &w) in weights.iter().enumerate() {
+                            // Level-0 node over weighted terminals, offset
+                            // per worker so creation races spread out.
+                            let j = (i + worker * 5 + round) % weights.len();
+                            let leaf = package.make_vec_node(
+                                0,
+                                [VecEdge::terminal(w), VecEdge::terminal(weights[j])],
+                            );
+                            // Level-1 node over two copies of the leaf: a
+                            // second striped lookup-insert on a different
+                            // stripe population.
+                            edges.push(package.make_vec_node(1, [leaf, leaf]));
+                        }
+                        if round == 0 {
+                            // Deterministic probe set, identical across
+                            // workers, recorded for comparison.
+                            view = (0..weights.len())
+                                .map(|i| {
+                                    let leaf = package.make_vec_node(
+                                        0,
+                                        [
+                                            VecEdge::terminal(weights[i]),
+                                            VecEdge::terminal(weights[(i + 1) % weights.len()]),
+                                        ],
+                                    );
+                                    package.make_vec_node(1, [leaf, leaf])
+                                })
+                                .collect();
+                        }
+                    }
+                    view
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Agreement: identical construction requests resolved to identical
+    // edges (same node id, same weight id) on every thread.
+    for view in &views[1..] {
+        assert_eq!(view, &views[0], "threads disagree on constructed nodes");
+    }
+
+    // No duplicates: the node population is bounded by the distinct
+    // (weight-pair, level) combinations actually requested, not by
+    // THREADS * ROUNDS constructions.
+    let stats = package.stats();
+    let pairs = weights.len() * weights.len();
+    assert!(
+        stats.vec_nodes <= 2 * pairs + 2,
+        "unique table grew duplicates: {} nodes for <= {} distinct requests",
+        stats.vec_nodes,
+        2 * pairs
+    );
+
+    // Accounting: the stripe-occupancy snapshot of the vector unique table
+    // sums to the number of live nodes, and the contention counter is
+    // readable (its value is timing-dependent by design, so only its
+    // existence is asserted).
+    let occupancy = package.stripe_occupancy();
+    let (table_name, lens) = occupancy
+        .iter()
+        .find(|(name, _)| *name == "vec_unique")
+        .expect("vector unique table must report occupancy");
+    assert_eq!(*table_name, "vec_unique");
+    let total: usize = lens.iter().sum();
+    assert_eq!(
+        total, stats.vec_nodes,
+        "stripe occupancy disagrees with node count"
+    );
+    let _ = package.stripe_contention();
+}

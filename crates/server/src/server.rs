@@ -628,6 +628,14 @@ fn worker_loop(state: &Arc<ServerState>) {
 /// unwind — is replaced with a fresh one.
 fn execute_job(state: &Arc<ServerState>, cell: &Arc<ExecutionCell>, ctx: &mut ExecContext) {
     let input: &JobInput = &cell.input;
+    // Per-job intra-shot width, clamped against the worker-pool size so a
+    // fully loaded pool never oversubscribes the machine. The knob never
+    // affects the payload (bit-identical by the `qsdd_dd` speculation
+    // contract), which is what keeps it safely outside the cache key.
+    ctx.set_intra_threads(qsdd_core::resolve_intra_threads(
+        input.intra_threads,
+        state.workers,
+    ));
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let engine = ShotEngine::new(
             &input.circuit,

@@ -4,9 +4,117 @@
 //! the paper compares against (Qiskit's statevector simulator and the Atos
 //! QLM LinAlg simulator): all `2^n` amplitudes are stored explicitly and
 //! every gate touches half (or a quarter) of them.
+//!
+//! The gate kernels are written as *flat pair-stride loops*: a pair index
+//! `p` expands to the amplitude pair `(i, i | mask)` by inserting a zero
+//! bit at the target qubit's position, so the inner loop has no branch on
+//! the bit test and autovectorizes. The same pair space is partitioned
+//! into fixed [`CHUNK`]-sized chunks, which an optional [`IntraPool`]
+//! splits across threads; because the chunk boundaries do not depend on
+//! the thread count and reductions merge per-chunk partial sums in chunk
+//! order, every result is byte-identical to the serial path.
 
-use qsdd_dd::{Complex, Matrix2};
+use std::sync::Arc;
+
+use qsdd_dd::{Complex, IntraPool, Matrix2};
 use rand::Rng;
+
+/// Fixed width (in pair or amplitude indices) of one kernel chunk. Both
+/// the serial and pooled paths partition work on these boundaries, so
+/// floating-point reductions see the same association regardless of
+/// `intra_threads`.
+const CHUNK: usize = 1 << 14;
+
+/// A raw pointer the fork-join closures may share across threads.
+///
+/// Safety is established at each use site: chunks address disjoint
+/// amplitude pairs (or disjoint partial-sum slots), so no two threads
+/// touch the same element.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    // A method (rather than direct field access) so closures capture the
+    // Sync wrapper, not the raw pointer, under disjoint field capture.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Applies `m` to every amplitude pair whose pair index lies in `lo..hi`.
+///
+/// Pair index `p` expands to `i` by shifting the bits above the target
+/// position left by one (inserting a zero at `mask`); `j = i | mask` is
+/// the partner amplitude.
+///
+/// # Safety
+///
+/// Every pair index in `lo..hi` must expand to in-bounds amplitudes, and
+/// no other thread may access those pairs concurrently.
+unsafe fn single_qubit_pairs(amps: *mut Complex, mask: usize, m: &Matrix2, lo: usize, hi: usize) {
+    let (m00, m01) = (m.entry(0, 0), m.entry(0, 1));
+    let (m10, m11) = (m.entry(1, 0), m.entry(1, 1));
+    let low = mask - 1;
+    for p in lo..hi {
+        let i = ((p & !low) << 1) | (p & low);
+        let j = i | mask;
+        let a0 = *amps.add(i);
+        let a1 = *amps.add(j);
+        *amps.add(i) = m00 * a0 + m01 * a1;
+        *amps.add(j) = m10 * a0 + m11 * a1;
+    }
+}
+
+/// Like [`single_qubit_pairs`], but only touches pairs whose index has
+/// every bit of `control_mask` set.
+///
+/// # Safety
+///
+/// Same contract as [`single_qubit_pairs`].
+unsafe fn controlled_pairs(
+    amps: *mut Complex,
+    mask: usize,
+    control_mask: usize,
+    m: &Matrix2,
+    lo: usize,
+    hi: usize,
+) {
+    let (m00, m01) = (m.entry(0, 0), m.entry(0, 1));
+    let (m10, m11) = (m.entry(1, 0), m.entry(1, 1));
+    let low = mask - 1;
+    for p in lo..hi {
+        let i = ((p & !low) << 1) | (p & low);
+        if i & control_mask == control_mask {
+            let j = i | mask;
+            let a0 = *amps.add(i);
+            let a1 = *amps.add(j);
+            *amps.add(i) = m00 * a0 + m01 * a1;
+            *amps.add(j) = m10 * a0 + m11 * a1;
+        }
+    }
+}
+
+/// Exchanges the amplitudes of `|..a=1,b=0..>` and `|..a=0,b=1..>` for
+/// every pair index in `lo..hi` (the pair space of qubit mask `ma`).
+///
+/// # Safety
+///
+/// Same contract as [`single_qubit_pairs`]: sources (`ma` set) and
+/// destinations (`mb` set, `ma` clear) are disjoint across pair indices.
+unsafe fn swap_pairs(amps: *mut Complex, ma: usize, mb: usize, lo: usize, hi: usize) {
+    let low = ma - 1;
+    for p in lo..hi {
+        let i = ((p & !low) << 1) | (p & low) | ma;
+        if i & mb == 0 {
+            let j = (i & !ma) | mb;
+            let tmp = *amps.add(i);
+            *amps.add(i) = *amps.add(j);
+            *amps.add(j) = tmp;
+        }
+    }
+}
 
 /// A dense `2^n` amplitude vector.
 ///
@@ -25,10 +133,18 @@ use rand::Rng;
 /// assert!((state.probability_of_index(0b00) - 0.5).abs() < 1e-12);
 /// assert!((state.probability_of_index(0b11) - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, PartialEq)]
+#[derive(Debug)]
 pub struct StateVector {
     num_qubits: usize,
     amplitudes: Vec<Complex>,
+    pool: Option<Arc<IntraPool>>,
+}
+
+impl PartialEq for StateVector {
+    // The pool is an execution detail, not part of the state's value.
+    fn eq(&self, other: &Self) -> bool {
+        self.num_qubits == other.num_qubits && self.amplitudes == other.amplitudes
+    }
 }
 
 impl Clone for StateVector {
@@ -36,6 +152,7 @@ impl Clone for StateVector {
         StateVector {
             num_qubits: self.num_qubits,
             amplitudes: self.amplitudes.clone(),
+            pool: self.pool.clone(),
         }
     }
 
@@ -44,6 +161,7 @@ impl Clone for StateVector {
     fn clone_from(&mut self, source: &Self) {
         self.num_qubits = source.num_qubits;
         self.amplitudes.clone_from(&source.amplitudes);
+        self.pool.clone_from(&source.pool);
     }
 }
 
@@ -65,6 +183,7 @@ impl StateVector {
         StateVector {
             num_qubits: n,
             amplitudes,
+            pool: None,
         }
     }
 
@@ -81,12 +200,27 @@ impl StateVector {
         StateVector {
             num_qubits: amplitudes.len().trailing_zeros() as usize,
             amplitudes,
+            pool: None,
         }
     }
 
     /// Number of qubits.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
+    }
+
+    /// Installs (or clears) the fork-join pool used by the gate kernels
+    /// and reductions. A pool with one thread is equivalent to `None`.
+    ///
+    /// Results are byte-identical with and without a pool: the chunk
+    /// partition is fixed and partial sums merge in chunk order.
+    pub fn set_intra_pool(&mut self, pool: Option<Arc<IntraPool>>) {
+        self.pool = pool;
+    }
+
+    /// The pool that will actually run work in parallel, if any.
+    fn active_pool(&self) -> Option<Arc<IntraPool>> {
+        self.pool.clone().filter(|p| p.threads() > 1)
     }
 
     /// Rewinds the state to `|0...0>` in place, without reallocating.
@@ -118,18 +252,42 @@ impl StateVector {
         1usize << (self.num_qubits - 1 - qubit)
     }
 
+    /// Runs `kernel` over the pair-index range `0..pairs`, split into
+    /// fixed chunks across the pool when one is installed.
+    ///
+    /// # Safety contract (internal)
+    ///
+    /// `kernel(lo, hi)` must only touch amplitudes reachable from pair
+    /// indices in `lo..hi`, and distinct pair indices must address
+    /// disjoint amplitudes.
+    fn run_pair_kernel(
+        &mut self,
+        pairs: usize,
+        kernel: impl Fn(*mut Complex, usize, usize) + Sync,
+    ) {
+        let pool = self.active_pool();
+        let base = SendPtr(self.amplitudes.as_mut_ptr());
+        match pool {
+            Some(pool) => {
+                let chunks = pairs.div_ceil(CHUNK);
+                pool.for_each_chunk(chunks, &|c| {
+                    let lo = c * CHUNK;
+                    kernel(base.get(), lo, (lo + CHUNK).min(pairs));
+                });
+            }
+            None => kernel(base.get(), 0, pairs),
+        }
+    }
+
     /// Applies a single-qubit unitary (or Kraus operator) to `target`.
     pub fn apply_single(&mut self, target: usize, m: &Matrix2) {
         let mask = self.bit_mask(target);
-        for i in 0..self.amplitudes.len() {
-            if i & mask == 0 {
-                let j = i | mask;
-                let a0 = self.amplitudes[i];
-                let a1 = self.amplitudes[j];
-                self.amplitudes[i] = m.entry(0, 0) * a0 + m.entry(0, 1) * a1;
-                self.amplitudes[j] = m.entry(1, 0) * a0 + m.entry(1, 1) * a1;
-            }
-        }
+        let pairs = self.amplitudes.len() >> 1;
+        // SAFETY: every pair index below `pairs` expands to two in-bounds
+        // amplitudes, and distinct pair indices never share an amplitude.
+        self.run_pair_kernel(pairs, |amps, lo, hi| unsafe {
+            single_qubit_pairs(amps, mask, m, lo, hi)
+        });
     }
 
     /// Applies a single-qubit operator to `target`, conditioned on every
@@ -148,15 +306,11 @@ impl StateVector {
         );
         let mask = self.bit_mask(target);
         let control_mask: usize = controls.iter().map(|&c| self.bit_mask(c)).sum();
-        for i in 0..self.amplitudes.len() {
-            if i & mask == 0 && i & control_mask == control_mask {
-                let j = i | mask;
-                let a0 = self.amplitudes[i];
-                let a1 = self.amplitudes[j];
-                self.amplitudes[i] = m.entry(0, 0) * a0 + m.entry(0, 1) * a1;
-                self.amplitudes[j] = m.entry(1, 0) * a0 + m.entry(1, 1) * a1;
-            }
-        }
+        let pairs = self.amplitudes.len() >> 1;
+        // SAFETY: as in `apply_single`; the control test only skips pairs.
+        self.run_pair_kernel(pairs, |amps, lo, hi| unsafe {
+            controlled_pairs(amps, mask, control_mask, m, lo, hi)
+        });
     }
 
     /// Exchanges two qubits.
@@ -164,19 +318,52 @@ impl StateVector {
         assert_ne!(a, b, "swap requires two distinct qubits");
         let ma = self.bit_mask(a);
         let mb = self.bit_mask(b);
-        for i in 0..self.amplitudes.len() {
-            let bit_a = i & ma != 0;
-            let bit_b = i & mb != 0;
-            if bit_a && !bit_b {
-                let j = (i & !ma) | mb;
-                self.amplitudes.swap(i, j);
+        let pairs = self.amplitudes.len() >> 1;
+        // SAFETY: sources have `ma` set and destinations have `ma` clear,
+        // so the index sets are disjoint across the whole pair space.
+        self.run_pair_kernel(pairs, |amps, lo, hi| unsafe {
+            swap_pairs(amps, ma, mb, lo, hi)
+        });
+    }
+
+    /// Sums `f(index, amplitude)` over all amplitudes by fixed chunks,
+    /// merging the per-chunk partial sums in chunk order. Serial and
+    /// pooled paths produce bit-identical results because the chunk
+    /// boundaries and both summation orders are independent of the pool.
+    fn chunked_sum(&self, f: impl Fn(usize, Complex) -> f64 + Sync) -> f64 {
+        let len = self.amplitudes.len();
+        let chunks = len.div_ceil(CHUNK);
+        let mut partials = vec![0.0f64; chunks];
+        let amps = &self.amplitudes;
+        let sum_chunk = |c: usize| -> f64 {
+            let lo = c * CHUNK;
+            let hi = (lo + CHUNK).min(len);
+            let mut acc = 0.0;
+            for (offset, a) in amps[lo..hi].iter().enumerate() {
+                acc += f(lo + offset, *a);
+            }
+            acc
+        };
+        match self.active_pool() {
+            Some(pool) => {
+                let out = SendPtr(partials.as_mut_ptr());
+                pool.for_each_chunk(chunks, &|c| {
+                    // SAFETY: each chunk index writes only its own slot.
+                    unsafe { *out.get().add(c) = sum_chunk(c) };
+                });
+            }
+            None => {
+                for (c, slot) in partials.iter_mut().enumerate() {
+                    *slot = sum_chunk(c);
+                }
             }
         }
+        partials.iter().sum()
     }
 
     /// Squared Euclidean norm of the state.
     pub fn norm_sqr(&self) -> f64 {
-        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+        self.chunked_sum(|_, a| a.norm_sqr())
     }
 
     /// Rescales the state to unit norm.
@@ -195,13 +382,7 @@ impl StateVector {
     /// Probability of observing `|1>` on `qubit` (relative to the norm).
     pub fn probability_one(&self, qubit: usize) -> f64 {
         let mask = self.bit_mask(qubit);
-        let p1: f64 = self
-            .amplitudes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & mask != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum();
+        let p1 = self.chunked_sum(|i, a| if i & mask != 0 { a.norm_sqr() } else { 0.0 });
         let total = self.norm_sqr();
         if total <= 0.0 {
             0.0
@@ -287,6 +468,7 @@ impl StateVector {
         StateVector {
             num_qubits: n,
             amplitudes,
+            pool: self.pool.clone(),
         }
     }
 
@@ -435,5 +617,53 @@ mod tests {
     fn out_of_range_qubit_panics() {
         let mut s = StateVector::new(2);
         s.apply_single(5, &Matrix2::pauli_x());
+    }
+
+    /// Runs the same non-trivial circuit with and without a pool on a
+    /// state large enough to span several kernel chunks (17 qubits =
+    /// 2^17 amplitudes = 8 chunks), then compares every amplitude and
+    /// both reductions bit for bit — the core determinism contract of
+    /// the intra-shot parallel kernels.
+    #[test]
+    fn pooled_kernels_are_bit_identical_to_serial() {
+        fn build(pool: Option<Arc<IntraPool>>) -> StateVector {
+            let n = 17;
+            let mut s = StateVector::new(n);
+            s.set_intra_pool(pool);
+            for q in 0..n {
+                s.apply_single(q, &Matrix2::hadamard());
+            }
+            for q in 0..n - 1 {
+                s.apply_controlled(&[q], q + 1, &Matrix2::phase(0.37 * (q as f64 + 1.0)));
+            }
+            s.apply_controlled(&[0, 8], 16, &Matrix2::ry(0.81));
+            s.apply_swap(0, n - 1);
+            s.apply_single(3, &Matrix2::u3(0.4, 1.1, -0.6));
+            s
+        }
+        let serial = build(None);
+        for threads in [2, 4] {
+            let pooled = build(Some(Arc::new(IntraPool::new(threads))));
+            for (a, b) in serial.amplitudes().iter().zip(pooled.amplitudes()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+            assert_eq!(serial.norm_sqr().to_bits(), pooled.norm_sqr().to_bits());
+            assert_eq!(
+                serial.probability_one(5).to_bits(),
+                pooled.probability_one(5).to_bits()
+            );
+        }
+    }
+
+    /// A 1-thread pool must behave exactly like no pool at all.
+    #[test]
+    fn one_thread_pool_is_a_no_op() {
+        let mut s = StateVector::new(4);
+        s.set_intra_pool(Some(Arc::new(IntraPool::new(1))));
+        s.apply_single(0, &Matrix2::hadamard());
+        s.apply_controlled(&[0], 3, &Matrix2::pauli_x());
+        assert!((s.probability_of_index(0b0000) - 0.5).abs() < 1e-12);
+        assert!((s.probability_of_index(0b1001) - 0.5).abs() < 1e-12);
     }
 }

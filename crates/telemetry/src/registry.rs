@@ -150,10 +150,18 @@ impl Registry {
 
     /// Registers (or fetches) an unlabelled gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or fetches) a gauge with label pairs.
+    ///
+    /// As with [`counter_with`](Registry::counter_with), each distinct
+    /// label combination is its own series; keep cardinality bounded.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         self.get_or_insert(
             name,
             help,
-            &[],
+            labels,
             || {
                 let gauge = Arc::new(Gauge::new());
                 (Kind::Gauge(Arc::clone(&gauge)), gauge)

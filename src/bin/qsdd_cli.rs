@@ -34,6 +34,7 @@ struct Options {
     circuit: Circuit,
     shots: usize,
     threads: usize,
+    intra_threads: usize,
     seed: u64,
     backend: BackendKind,
     noise: NoiseModel,
@@ -125,6 +126,9 @@ usage:
 options (run / generate):
   --shots <N>          number of stochastic runs (default 1000)
   --threads <N>        worker threads, 0 = all cores (default 0)
+  --intra-threads <N>  fork-join width inside each shot (default 1 = serial);
+                       clamped against the shot-worker count, results are
+                       bit-identical for every setting
   --seed <N>           master seed (default 2021)
   --backend <dd|dense> simulation engine (default dd)
   --opt <0|1|2>        circuit optimization level (default 0); the gate-count
@@ -158,6 +162,8 @@ options (batch):
   --out <path>         write the report to a file instead of stdout
   --format <json|csv>  report format (default json, or inferred from --out)
   --threads <N>        worker threads shared by all jobs, 0 = all cores
+  --intra-threads <N>  fork-join width inside each shot (default 1 = serial;
+                       0 = big jobs borrow idle shot-workers)
   --no-dedup           disable trajectory deduplication for every job
   --profile            print the aggregated per-stage timing breakdown of
                        the whole batch to stderr
@@ -183,6 +189,7 @@ struct BatchCliOptions {
     out: Option<String>,
     format: ReportFormat,
     threads: usize,
+    intra_threads: usize,
     dedup: bool,
     profile: bool,
 }
@@ -202,6 +209,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
     let mut out = None;
     let mut format = None;
     let mut threads = 0usize;
+    let mut intra_threads = 1usize;
     let mut dedup = true;
     let mut profile = false;
     while let Some(flag) = iter.next() {
@@ -213,6 +221,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
         match flag.as_str() {
             "--out" => out = Some(value("--out")?),
             "--threads" => threads = parse_number(&value("--threads")?)?,
+            "--intra-threads" => intra_threads = parse_number(&value("--intra-threads")?)?,
             "--no-dedup" => dedup = false,
             "--profile" => profile = true,
             "--format" => {
@@ -235,6 +244,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
         out,
         format,
         threads,
+        intra_threads,
         dedup,
         profile,
     })
@@ -254,7 +264,8 @@ fn run_batch_command(options: BatchCliOptions) -> ExitCode {
         // chunk/queue/worker series publish to the global registry.
         qsdd::telemetry::set_enabled(true);
     }
-    let mut batch_options = BatchOptions::with_threads(options.threads);
+    let mut batch_options =
+        BatchOptions::with_threads(options.threads).with_intra_threads(options.intra_threads);
     if !options.dedup {
         batch_options = batch_options.without_dedup();
     }
@@ -433,6 +444,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         circuit,
         shots: 1000,
         threads: 0,
+        intra_threads: 1,
         seed: 2021,
         backend: BackendKind::DecisionDiagram,
         noise: NoiseModel::paper_defaults(),
@@ -461,6 +473,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match flag.as_str() {
             "--shots" => options.shots = parse_number(&value("--shots")?)?,
             "--threads" => options.threads = parse_number(&value("--threads")?)?,
+            "--intra-threads" => {
+                options.intra_threads = parse_number(&value("--intra-threads")?)?;
+                if options.intra_threads == 0 {
+                    return Err("--intra-threads must be at least 1".to_string());
+                }
+            }
             "--seed" => options.seed = parse_number(&value("--seed")?)? as u64,
             "--top" => options.top = parse_number(&value("--top")?)?,
             "--backend" => {
@@ -595,6 +613,7 @@ fn run(options: Options) -> ExitCode {
         .with_backend(options.backend)
         .with_shots(options.shots)
         .with_threads(options.threads)
+        .with_intra_threads(options.intra_threads)
         .with_seed(options.seed)
         .with_noise(options.noise)
         .with_dedup(options.dedup);
@@ -914,6 +933,27 @@ mod tests {
             "1.5"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_intra_threads_on_run_and_batch() {
+        let defaults = parse_args(&args(&["generate", "ghz", "4"])).unwrap();
+        assert_eq!(defaults.intra_threads, 1);
+        let wide = parse_args(&args(&["generate", "ghz", "4", "--intra-threads", "4"])).unwrap();
+        assert_eq!(wide.intra_threads, 4);
+        // Run mode has no borrow-idle-workers auto mode: 0 is an error, not
+        // a silent serial run.
+        let err = parse_args(&args(&["generate", "ghz", "4", "--intra-threads", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(parse_args(&args(&["generate", "ghz", "4", "--intra-threads"])).is_err());
+
+        let batch_defaults = parse_batch_args(&args(&["jobs.txt"])).unwrap();
+        assert_eq!(batch_defaults.intra_threads, 1);
+        // Batch mode does: 0 lends idle shot-workers to big jobs.
+        let auto = parse_batch_args(&args(&["jobs.txt", "--intra-threads", "0"])).unwrap();
+        assert_eq!(auto.intra_threads, 0);
+        let wide = parse_batch_args(&args(&["jobs.txt", "--intra-threads", "2"])).unwrap();
+        assert_eq!(wide.intra_threads, 2);
     }
 
     #[test]
