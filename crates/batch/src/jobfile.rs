@@ -36,6 +36,7 @@
 //! | `epsilon` | Wilson-CI half-width that triggers early stopping | off |
 //! | `check` | shots between early-stop checkpoints | `256` |
 //! | `weighted` | `true` enables weighted trajectory enumeration | `false` |
+//! | `timeout_ms` | per-job deadline in milliseconds; an expired job reports `timed_out` | off |
 //!
 //! QASM paths are resolved relative to the job file's directory when parsed
 //! via [`parse_file`].
@@ -105,6 +106,11 @@ pub struct JobSpec {
     /// loop. Incompatible with `epsilon` early stopping (the weighted
     /// driver runs the job in one piece).
     pub weighted: bool,
+    /// Cooperative per-job deadline in milliseconds (`None` = unbounded):
+    /// the scheduler stops handing out the job's chunks once it expires and
+    /// reports the job as failed with a `timed_out` message. Shots already
+    /// simulated for it are discarded, never partially reported.
+    pub timeout_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -124,6 +130,7 @@ impl JobSpec {
             epsilon: None,
             check_interval: DEFAULT_CHECK_INTERVAL,
             weighted: false,
+            timeout_ms: None,
         }
     }
 
@@ -273,6 +280,13 @@ pub fn parse_str(source: &str, base_dir: Option<&Path>) -> Result<Vec<JobSpec>, 
                 job.epsilon = Some(eps);
             }
             "weighted" => job.weighted = parse_bool(key, value, line_no)?,
+            "timeout_ms" => {
+                let ms = parse_num(key, value, line_no)?;
+                if ms == 0 {
+                    return Err(JobFileError::new(line_no, "`timeout_ms` must be positive"));
+                }
+                job.timeout_ms = Some(ms);
+            }
             "noiseless" => {
                 noise_overrides.noiseless = parse_bool(key, value, line_no)?;
             }
@@ -482,6 +496,24 @@ weighted = true
         assert_eq!(jobs[1].epsilon, None);
         assert!(jobs[1].weighted);
         assert!(!jobs[0].weighted);
+    }
+
+    #[test]
+    fn timeout_ms_is_parsed_and_validated() {
+        let text = "\
+[job bounded]
+circuit = generate ghz 3
+timeout_ms = 1500
+[job unbounded]
+circuit = generate ghz 3
+";
+        let jobs = parse_str(text, None).unwrap();
+        assert_eq!(jobs[0].timeout_ms, Some(1500));
+        assert_eq!(jobs[1].timeout_ms, None);
+
+        let err = parse_str("[job a]\ncircuit = generate ghz 3\ntimeout_ms = 0", None).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("positive"), "{}", err.message);
     }
 
     #[test]

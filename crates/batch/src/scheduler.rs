@@ -55,7 +55,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use qsdd_core::{ExecContext, ShotEngine};
+use qsdd_core::{Deadline, ExecContext, ShotEngine, TimedOut};
 use qsdd_noise::ErrorPattern;
 use qsdd_telemetry::{Counter, Gauge, Stage, StageTimings};
 use rand::rngs::StdRng;
@@ -203,6 +203,9 @@ struct JobProgress {
     /// Chunks of the current round still in flight.
     round_pending: usize,
     early_stopped: bool,
+    /// The job's deadline expired; its partial aggregates are discarded and
+    /// the report shows `timed_out`, never a truncated histogram.
+    timed_out: bool,
     finished: bool,
     wall_time: Duration,
     /// Per-stage wall-time breakdown: compile/transpile seeded from the
@@ -223,6 +226,10 @@ struct JobRuntime {
     /// Whether the job runs in one piece through the weighted-enumeration
     /// driver instead of sampled rounds.
     weighted: bool,
+    /// The job's cooperative deadline (`timeout_ms`; unbounded without
+    /// one). Workers consult it at chunk boundaries, so an expired job's
+    /// remaining chunks drain instantly instead of simulating.
+    deadline: Deadline,
     progress: Mutex<JobProgress>,
 }
 
@@ -337,6 +344,10 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
                     shots: spec.shots,
                     epsilon: spec.epsilon,
                     check_interval: spec.check_interval,
+                    deadline: match spec.timeout_ms {
+                        Some(ms) => Deadline::from_millis(ms),
+                        None => Deadline::unbounded(),
+                    },
                     progress: Mutex::new(progress),
                 }));
                 failures.push(None);
@@ -420,32 +431,48 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
         .map(|((spec, runtime), failure)| match runtime {
             Some(runtime) => {
                 let progress = runtime.progress.lock().expect("progress lock");
-                JobReport {
-                    name: spec.name.clone(),
-                    backend: spec.backend.to_string(),
-                    status: JobStatus::Completed,
-                    qubits: runtime.engine.num_qubits(),
-                    shots_requested: spec.shots,
-                    shots_executed: progress.executed,
-                    early_stopped: progress.early_stopped,
-                    counts: progress.counts.clone(),
-                    error_events: progress.error_events,
-                    dd_nodes_avg: if progress.executed == 0 {
-                        0.0
-                    } else {
-                        progress.dd_nodes_sum as f64 / progress.executed as f64
-                    },
-                    dd_nodes_peak: progress.dd_nodes_peak,
-                    unique_trajectories: progress.unique_trajectories,
-                    dedup_hit_rate: if progress.executed == 0 {
-                        0.0
-                    } else {
-                        1.0 - progress.unique_trajectories as f64 / progress.executed as f64
-                    },
-                    covered_mass: progress.covered_mass,
-                    enumerated_trajectories: progress.enumerated_trajectories,
-                    wall_time: progress.wall_time,
-                    stage_timings: progress.stage_timings,
+                if progress.timed_out {
+                    // Deliberately drop the partial aggregates: a truncated
+                    // histogram is indistinguishable from a converged one
+                    // downstream, so a timed-out job reports nothing but
+                    // the reason.
+                    JobReport::failed(
+                        &spec.name,
+                        &spec.backend.to_string(),
+                        spec.shots,
+                        format!(
+                            "timed_out: exceeded the {} ms deadline",
+                            spec.timeout_ms.unwrap_or(0)
+                        ),
+                    )
+                } else {
+                    JobReport {
+                        name: spec.name.clone(),
+                        backend: spec.backend.to_string(),
+                        status: JobStatus::Completed,
+                        qubits: runtime.engine.num_qubits(),
+                        shots_requested: spec.shots,
+                        shots_executed: progress.executed,
+                        early_stopped: progress.early_stopped,
+                        counts: progress.counts.clone(),
+                        error_events: progress.error_events,
+                        dd_nodes_avg: if progress.executed == 0 {
+                            0.0
+                        } else {
+                            progress.dd_nodes_sum as f64 / progress.executed as f64
+                        },
+                        dd_nodes_peak: progress.dd_nodes_peak,
+                        unique_trajectories: progress.unique_trajectories,
+                        dedup_hit_rate: if progress.executed == 0 {
+                            0.0
+                        } else {
+                            1.0 - progress.unique_trajectories as f64 / progress.executed as f64
+                        },
+                        covered_mass: progress.covered_mass,
+                        enumerated_trajectories: progress.enumerated_trajectories,
+                        wall_time: progress.wall_time,
+                        stage_timings: progress.stage_timings,
+                    }
                 }
             }
             None => JobReport::failed(
@@ -592,6 +619,27 @@ fn worker_loop(
         let runtime = runtimes[chunk.job]
             .as_ref()
             .expect("only runnable jobs are enqueued");
+        // Chunk-boundary deadline check: once the job's budget is spent,
+        // its remaining chunks drain without simulating, and whichever
+        // worker drains the round's last chunk retires the job. Results
+        // are discarded wholesale (see `JobProgress::timed_out`), so
+        // skipping work cannot skew a histogram.
+        let bounded = !runtime.deadline.is_unbounded();
+        if bounded && runtime.deadline.expired() {
+            let mut progress = runtime.progress.lock().expect("progress lock");
+            progress.timed_out = true;
+            progress.round_pending -= 1;
+            if progress.round_pending == 0 {
+                progress.finished = true;
+                progress.wall_time = shared.started.elapsed();
+                drop(progress);
+                let queue = shared.queue.lock().expect("queue lock");
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.wake.notify_all();
+                drop(queue);
+            }
+            continue;
+        }
         if let Some(metrics) = &shared.metrics {
             match &chunk.work {
                 ChunkWork::Range { .. } => metrics.chunks_range.inc(),
@@ -616,6 +664,7 @@ fn worker_loop(
             local_nodes_peak = local_nodes_peak.max(sample.dd_nodes_peak);
         };
         let mut weighted_outcome: Option<qsdd_core::StochasticOutcome> = None;
+        let mut chunk_timed_out = false;
         let local_trajectories = match chunk.work {
             ChunkWork::Range { start, end } => {
                 for shot in start..end {
@@ -627,21 +676,32 @@ fn worker_loop(
                 // The whole job in one call: enumerate trajectories in
                 // probability order, simulate each once, tail-sample the
                 // residual. Falls back to deduplicated sampling when the
-                // program does not support enumeration.
-                let outcome = qsdd_core::run_engine_weighted_in(
+                // program does not support enumeration. The deadline rides
+                // along because this chunk *is* the job — trajectory-level
+                // checks inside the driver are its only cancellation
+                // points.
+                match qsdd_core::run_engine_weighted_in_deadline(
                     &runtime.engine,
                     &mut context,
                     runtime.shots as usize,
                     &[],
                     &qsdd_core::WeightedOptions::default(),
-                );
-                let trajectories = match (&outcome.weighted, &outcome.dedup) {
-                    (Some(stats), _) => stats.enumerated_trajectories + stats.tail_shots,
-                    (None, Some(stats)) => stats.unique_trajectories,
-                    (None, None) => outcome.shots as u64,
-                };
-                weighted_outcome = Some(outcome);
-                trajectories
+                    &runtime.deadline,
+                ) {
+                    Ok(outcome) => {
+                        let trajectories = match (&outcome.weighted, &outcome.dedup) {
+                            (Some(stats), _) => stats.enumerated_trajectories + stats.tail_shots,
+                            (None, Some(stats)) => stats.unique_trajectories,
+                            (None, None) => outcome.shots as u64,
+                        };
+                        weighted_outcome = Some(outcome);
+                        trajectories
+                    }
+                    Err(TimedOut) => {
+                        chunk_timed_out = true;
+                        0
+                    }
+                }
             }
             ChunkWork::Groups(groups) => {
                 let trajectories = groups.len() as u64;
@@ -696,17 +756,26 @@ fn worker_loop(
         progress.executed += chunk.shots;
         progress.unique_trajectories += local_trajectories;
         progress.round_pending -= 1;
+        if chunk_timed_out {
+            progress.timed_out = true;
+        }
         if progress.round_pending > 0 {
             continue;
         }
 
         // Round boundary: `executed` shots form a complete, deterministic
         // prefix, so the stopping decision is thread-count independent.
-        let converged = runtime.epsilon.is_some_and(|epsilon| {
-            let dominant = progress.counts.values().copied().max().unwrap_or(0);
-            wilson_half_width(dominant, progress.executed) <= epsilon
-        });
-        if converged || progress.executed >= runtime.shots {
+        // Re-check the deadline here too, so an expired job stops without
+        // waiting to be drained chunk by chunk.
+        if bounded && runtime.deadline.expired() {
+            progress.timed_out = true;
+        }
+        let converged = !progress.timed_out
+            && runtime.epsilon.is_some_and(|epsilon| {
+                let dominant = progress.counts.values().copied().max().unwrap_or(0);
+                wilson_half_width(dominant, progress.executed) <= epsilon
+            });
+        if progress.timed_out || converged || progress.executed >= runtime.shots {
             progress.early_stopped = converged && progress.executed < runtime.shots;
             progress.finished = true;
             progress.wall_time = shared.started.elapsed();
@@ -802,6 +871,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn expired_deadlines_fail_jobs_without_poisoning_the_batch() {
+        // An already-expired deadline on a large job: every chunk drains at
+        // the boundary check, the job reports `timed_out`, and the healthy
+        // sibling completes exactly as it would alone.
+        let mut specs = vec![ghz_spec("doomed", 200_000, 1), ghz_spec("fine", 300, 2)];
+        specs[0].timeout_ms = Some(1);
+        std::thread::sleep(Duration::from_millis(5));
+        let report = run_batch(&specs, &BatchOptions::with_threads(4));
+        match &report.jobs[0].status {
+            JobStatus::Failed(message) => {
+                assert!(message.contains("timed_out"), "{message}");
+                assert!(message.contains("1 ms"), "{message}");
+            }
+            other => panic!("expected timed_out failure, got {other:?}"),
+        }
+        // No partial aggregates leak into the report.
+        assert!(report.jobs[0].counts.is_empty());
+        assert_eq!(report.jobs[0].shots_executed, 0);
+        assert!(matches!(report.jobs[1].status, JobStatus::Completed));
+        let alone = run_batch(&specs[1..], &BatchOptions::with_threads(1));
+        assert_eq!(report.jobs[1].results_json(), alone.jobs[0].results_json());
+
+        // Weighted jobs pass the deadline into their single-piece driver.
+        let mut weighted = ghz_spec("weighted-doomed", 200_000, 3);
+        weighted.weighted = true;
+        weighted.timeout_ms = Some(1);
+        std::thread::sleep(Duration::from_millis(5));
+        let report = run_batch(&[weighted], &BatchOptions::with_threads(2));
+        assert!(
+            matches!(&report.jobs[0].status, JobStatus::Failed(m) if m.contains("timed_out")),
+            "{:?}",
+            report.jobs[0].status
+        );
     }
 
     #[test]

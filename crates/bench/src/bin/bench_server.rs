@@ -17,7 +17,7 @@
 
 use std::process::ExitCode;
 
-use qsdd_bench::server_load::{run_load, LoadConfig};
+use qsdd_bench::server_load::{run_load, run_warm_restart, LoadConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,5 +76,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("0 dropped responses");
+
+    // The durability scenario: what the result store buys across a
+    // process restart (store-warmed GETs instead of re-simulating).
+    let warm = run_warm_restart(&config);
+    println!(
+        "warm-restart hit latency: {:>10.3} ms/request ({:.1}x faster than a cold re-run)",
+        warm.warm_hit_latency.as_secs_f64() * 1e3,
+        warm.warm_speedup()
+    );
+    if !warm.byte_identical || warm.errors > 0 {
+        eprintln!(
+            "error: warm restart broke the durability contract ({} errors, byte_identical={})",
+            warm.errors, warm.byte_identical
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("restart preserved every byte");
     ExitCode::SUCCESS
 }

@@ -3,7 +3,7 @@
 //!
 //! Runs the trajectory-deduplication and context-reuse workloads directly
 //! (no criterion harness) plus the HTTP-server load scenario, and writes
-//! `BENCH_8.json`: one entry per benchmark with the optimized and naive
+//! `BENCH_9.json`: one entry per benchmark with the optimized and naive
 //! mean per-shot cost in nanoseconds and the resulting speedup, a
 //! `weighted` section racing the weighted trajectory-enumeration driver
 //! against both the dedup and per-shot paths on GHZ-16 under the paper's
@@ -12,7 +12,9 @@
 //! on a 22-qubit dense workload and a deep decision-diagram workload
 //! (interleaved min-of-reps, outcomes cross-checked bit for bit), a
 //! `server` section with the service's throughput and cold-vs-cache-hit
-//! latency, and a `metrics_overhead` row measuring what the disabled-mode
+//! latency, a `warm_restart` section comparing a cold boot's simulation
+//! cost against store-warmed GETs after a restart (byte-identity is
+//! hard-gated), and a `metrics_overhead` row measuring what the disabled-mode
 //! telemetry hooks cost the context-reuse hot loop. The JSON is parsed
 //! back before the process exits, so a malformed writer fails loudly (CI
 //! runs the binary in `--test-mode` with tiny shot counts on every push;
@@ -30,14 +32,14 @@
 //!   which keeps enough shots to stay meaningful and is asserted ≤ 2 %),
 //!   but the whole pipeline (workloads, cross-checks, server round trips,
 //!   JSON writer) is exercised.
-//! * `--out` overrides the output path (default `BENCH_8.json`, i.e. the
+//! * `--out` overrides the output path (default `BENCH_9.json`, i.e. the
 //!   repo root when invoked from there).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use qsdd_batch::json::{self, Value};
-use qsdd_bench::server_load::{run_load, LoadConfig};
+use qsdd_bench::server_load::{run_load, run_warm_restart, LoadConfig};
 use qsdd_circuit::generators::{ghz, qft};
 use qsdd_core::{
     run_engine, run_engine_dedup, run_engine_in, run_engine_weighted_in, BackendKind, DdSimulator,
@@ -65,7 +67,7 @@ impl Row {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut test_mode = false;
-    let mut out = "BENCH_8.json".to_string();
+    let mut out = "BENCH_9.json".to_string();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -249,8 +251,29 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // The durability scenario: cold boot (every job simulated) vs a
+    // store-warmed restart (every GET answered from the replayed log).
+    let warm = run_warm_restart(&load_config);
+    println!(
+        "{:<28} cold {:>13.3} ms | warm GET   {:>12.3} ms | speedup {:>6.2}x | byte-identical: {}",
+        "server_warm_restart",
+        warm.cold_latency.as_secs_f64() * 1e3,
+        warm.warm_hit_latency.as_secs_f64() * 1e3,
+        warm.warm_speedup(),
+        warm.byte_identical,
+    );
+    // Byte identity across restart is a correctness gate, not a timing:
+    // it holds at any shot count, so enforce it in test mode too.
+    if !warm.byte_identical || warm.errors > 0 {
+        eprintln!(
+            "error: warm restart broke the durability contract ({} errors, byte_identical={})",
+            warm.errors, warm.byte_identical
+        );
+        return ExitCode::FAILURE;
+    }
+
     let document = Value::object(vec![
-        ("format".to_string(), Value::from("qsdd-bench-summary/5")),
+        ("format".to_string(), Value::from("qsdd-bench-summary/6")),
         ("test_mode".to_string(), Value::from(test_mode)),
         (
             "benchmarks".to_string(),
@@ -327,6 +350,27 @@ fn main() -> ExitCode {
                 ),
                 ("hit_speedup".to_string(), Value::from(load.hit_speedup())),
                 ("errors".to_string(), Value::from(load.errors)),
+            ]),
+        ),
+        (
+            "warm_restart".to_string(),
+            Value::object(vec![
+                ("name".to_string(), Value::from("server_warm_restart")),
+                ("jobs".to_string(), Value::from(warm.jobs)),
+                (
+                    "cold_latency_ms".to_string(),
+                    Value::from(warm.cold_latency.as_secs_f64() * 1e3),
+                ),
+                (
+                    "warm_hit_latency_ms".to_string(),
+                    Value::from(warm.warm_hit_latency.as_secs_f64() * 1e3),
+                ),
+                ("warm_speedup".to_string(), Value::from(warm.warm_speedup())),
+                (
+                    "byte_identical".to_string(),
+                    Value::from(warm.byte_identical),
+                ),
+                ("errors".to_string(), Value::from(warm.errors)),
             ]),
         ),
         (

@@ -92,10 +92,15 @@ fn job_body(seed: usize, shots: usize) -> String {
 }
 
 /// Submits one job and polls it to completion; returns the job id.
+///
+/// Submission goes through [`client::with_retry`]: under heavy concurrency
+/// the queue can transiently fill, and a 429 is an invitation to retry
+/// with backoff, not a dropped response.
 fn submit_and_wait(session: &mut client::Client, body: &str) -> Result<String, String> {
-    let (status, response) = session
-        .request("POST", "/v1/jobs", Some(body))
-        .map_err(|e| e.to_string())?;
+    let (status, _, response) = client::with_retry(4, Duration::from_millis(5), 0x9d, || {
+        session.request_with_headers("POST", "/v1/jobs", Some(body))
+    })
+    .map_err(|e| e.to_string())?;
     if status != 200 && status != 202 {
         return Err(format!("submit returned {status}: {response}"));
     }
@@ -200,5 +205,105 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         cold_latency,
         hit_latency,
         errors: errors.load(Ordering::Relaxed),
+    }
+}
+
+/// Results of the warm-restart scenario: what the durable result store
+/// buys across a process restart.
+#[derive(Clone, Copy, Debug)]
+pub struct WarmRestartReport {
+    /// Jobs completed (and persisted) in the first server life.
+    pub jobs: usize,
+    /// Mean submit → completed latency of an uncached job in life one
+    /// (the cost a restart without a store would pay again).
+    pub cold_latency: Duration,
+    /// Mean GET latency against the store-warmed cache after the restart
+    /// (no simulation runs; the store replayed every record at boot).
+    pub warm_hit_latency: Duration,
+    /// Whether every post-restart response was byte-identical to its
+    /// pre-restart counterpart (must be true — the durability invariant).
+    pub byte_identical: bool,
+    /// Dropped or failed requests across both lives (must be zero).
+    pub errors: usize,
+}
+
+impl WarmRestartReport {
+    /// Cold-to-warm latency ratio (what the store saves on restart).
+    pub fn warm_speedup(&self) -> f64 {
+        self.cold_latency.as_secs_f64() / self.warm_hit_latency.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the warm-restart scenario: complete the working set against a
+/// store-backed server, shut it down, boot a second server on the same
+/// store directory, and measure how fast (and how faithfully) the restored
+/// cache answers.
+///
+/// # Panics
+///
+/// Panics when the server cannot bind the loopback address or the scratch
+/// store directory cannot be created.
+pub fn run_warm_restart(config: &LoadConfig) -> WarmRestartReport {
+    let store_dir =
+        std::env::temp_dir().join(format!("qsdd-bench-warm-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let boot = |dir: &std::path::Path| {
+        Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: config.server_threads,
+            store_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback")
+    };
+
+    // Life one: run every distinct job cold and capture the exact bytes
+    // each GET answers with.
+    let server = boot(&store_dir);
+    let mut session = client::Client::connect(server.addr()).expect("connect");
+    let mut errors = 0usize;
+    let mut cold_total = Duration::ZERO;
+    let mut served: Vec<(String, String)> = Vec::new();
+    for seed in 0..config.distinct_jobs {
+        let started = Instant::now();
+        match submit_and_wait(&mut session, &job_body(seed, config.shots)) {
+            Ok(id) => {
+                cold_total += started.elapsed();
+                match session.request("GET", &format!("/v1/jobs/{id}"), None) {
+                    Ok((200, body)) => served.push((id, body)),
+                    _ => errors += 1,
+                }
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let cold_latency = cold_total / config.distinct_jobs.max(1) as u32;
+    server.shutdown_and_join();
+
+    // Life two: same directory. The store replays every record into the
+    // cache at boot; GETs must be fast and byte-identical.
+    let server = boot(&store_dir);
+    let mut session = client::Client::connect(server.addr()).expect("connect");
+    let mut byte_identical = !served.is_empty();
+    let samples = 4;
+    let started = Instant::now();
+    for _ in 0..samples {
+        for (id, before) in &served {
+            match session.request("GET", &format!("/v1/jobs/{id}"), None) {
+                Ok((200, body)) => byte_identical &= &body == before,
+                _ => errors += 1,
+            }
+        }
+    }
+    let warm_hit_latency = started.elapsed() / (samples * served.len().max(1)) as u32;
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    WarmRestartReport {
+        jobs: served.len(),
+        cold_latency,
+        warm_hit_latency,
+        byte_identical,
+        errors,
     }
 }

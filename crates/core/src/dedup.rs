@@ -43,6 +43,7 @@
 //! non-deduplicated runner.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -52,6 +53,7 @@ use qsdd_noise::{ErrorPattern, PresamplePlan, Presampled};
 use rand::rngs::StdRng;
 
 use crate::backend::StochasticBackend;
+use crate::deadline::{Deadline, TimedOut};
 use crate::estimator::Observable;
 use crate::fxhash::FxHashMap;
 use crate::shot_engine::ShotSample;
@@ -273,6 +275,10 @@ pub(crate) fn execute_group<B: StochasticBackend>(
 /// the per-shot runner's is `O(threads)`. For shot counts where that
 /// matters, the batch scheduler provides the bounded alternative: it
 /// presamples and executes one `check`-interval round at a time.
+///
+/// The `deadline` is checked between work items (one trajectory group or
+/// one live shot); on expiry the whole run returns [`TimedOut`] before the
+/// replay phase, which requires complete shot coverage.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_dedup<B: StochasticBackend>(
     backend: &B,
@@ -285,7 +291,8 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
     output_layout: Option<&[usize]>,
     intra: Option<&Arc<IntraPool>>,
     started: Instant,
-) -> StochasticOutcome {
+    deadline: &Deadline,
+) -> Result<StochasticOutcome, TimedOut> {
     // Phase 1 + 2: presample every shot, group by pattern.
     let presample_started = Instant::now();
     let (mut work, live_shots) = plan_shots(&support.plan, shots, threads, seed);
@@ -321,9 +328,12 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
             }
         })
         .collect();
+    let bounded = !deadline.is_unbounded();
+    let aborted = AtomicBool::new(false);
     let execute_started = Instant::now();
     std::thread::scope(|scope| {
         for (items, sink) in worker_items.into_iter().zip(sinks.iter_mut()) {
+            let aborted = &aborted;
             scope.spawn(move || {
                 let mut pattern_ctx = backend.new_context();
                 let mut work_ctx = backend.new_context();
@@ -348,6 +358,10 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
                     }
                 };
                 for item in items {
+                    if bounded && deadline.expired() {
+                        aborted.store(true, Ordering::Relaxed);
+                        return;
+                    }
                     match item {
                         Work::Group { pattern, mut shots } => execute_group(
                             backend,
@@ -387,6 +401,11 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
     });
 
     let execute_time = execute_started.elapsed();
+    // A timed-out run must bail here: the replay below expects every shot
+    // to be covered, and partial aggregates are never exposed.
+    if aborted.load(Ordering::Relaxed) {
+        return Err(TimedOut);
+    }
 
     // Phase 4: merge. Integer-only aggregates merge directly; observable
     // runs replay the strided per-worker summation order first.
@@ -450,7 +469,7 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
         qsdd_telemetry::Stage::Aggregate,
         aggregate_started.elapsed(),
     );
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]

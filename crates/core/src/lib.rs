@@ -56,6 +56,7 @@
 
 pub mod backend;
 pub mod dd_backend;
+pub mod deadline;
 pub mod dedup;
 pub mod dense_backend;
 pub mod estimator;
@@ -68,21 +69,23 @@ pub mod weighted;
 
 pub use backend::{SingleRun, StochasticBackend};
 pub use dd_backend::{DdContext, DdProgram, DdRunState, DdSimulator};
+pub use deadline::{Deadline, TimedOut};
 pub use dedup::{DedupStats, DedupSupport};
 pub use dense_backend::{DenseContext, DenseProgram, DenseSimulator};
 pub use estimator::{Observable, ObservableAccumulator};
 pub use shot_engine::{ExecContext, ShotEngine, ShotSample};
 pub use simulator::{BackendKind, StochasticSimulator};
 pub use stochastic::{
-    build_intra_pool, resolve_intra_threads, run_engine, run_engine_dedup, run_engine_in,
-    run_stochastic, StochasticConfig, StochasticOutcome,
+    build_intra_pool, resolve_intra_threads, run_engine, run_engine_deadline, run_engine_dedup,
+    run_engine_dedup_deadline, run_engine_in, run_engine_in_deadline, run_stochastic,
+    StochasticConfig, StochasticOutcome,
 };
 // Re-exported so callers can share one fork-join pool across contexts
 // without a direct `qsdd-dd` dependency.
 pub use qsdd_dd::IntraPool;
 pub use weighted::{
-    run_engine_weighted, run_engine_weighted_in, WeightedOptions, WeightedStats,
-    MAX_WEIGHTED_QUBITS,
+    run_engine_weighted, run_engine_weighted_deadline, run_engine_weighted_in,
+    run_engine_weighted_in_deadline, WeightedOptions, WeightedStats, MAX_WEIGHTED_QUBITS,
 };
 // Re-exported so `StochasticSimulator::with_opt_level` is usable without a
 // direct `qsdd-transpile` dependency.

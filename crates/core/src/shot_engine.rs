@@ -44,6 +44,7 @@ use rand::rngs::StdRng;
 
 use crate::backend::StochasticBackend;
 use crate::dd_backend::{DdContext, DdProgram, DdSimulator};
+use crate::deadline::{Deadline, TimedOut};
 use crate::dedup::{execute_group, run_dedup, DedupSupport};
 use crate::dense_backend::{DenseContext, DenseProgram, DenseSimulator};
 use crate::estimator::Observable;
@@ -702,7 +703,8 @@ impl ShotEngine {
     ///
     /// `threads` must already be resolved and capped at the shot count;
     /// observables are mapped and outcomes restored to the original qubit
-    /// order internally.
+    /// order internally. The inner `Result` carries the `deadline`'s
+    /// cooperative-timeout verdict.
     pub(crate) fn dedup_outcome(
         &self,
         shots: usize,
@@ -710,7 +712,8 @@ impl ShotEngine {
         observables: &[Observable],
         intra: Option<&Arc<IntraPool>>,
         started: Instant,
-    ) -> Option<StochasticOutcome> {
+        deadline: &Deadline,
+    ) -> Option<Result<StochasticOutcome, TimedOut>> {
         let support = self.dedup.as_ref()?;
         let mapped = self.map_observables(observables);
         let output_layout = self.output_layout.as_deref();
@@ -726,6 +729,7 @@ impl ShotEngine {
                 output_layout,
                 intra,
                 started,
+                deadline,
             ),
             EngineBackend::Statevector { backend, program } => run_dedup(
                 backend,
@@ -738,6 +742,7 @@ impl ShotEngine {
                 output_layout,
                 intra,
                 started,
+                deadline,
             ),
         })
     }

@@ -9,9 +9,12 @@ use qsdd_circuit::Circuit;
 use qsdd_noise::NoiseModel;
 use qsdd_transpile::{OptLevel, TranspileResult};
 
+use crate::deadline::{Deadline, TimedOut};
 use crate::estimator::Observable;
 use crate::shot_engine::ShotEngine;
-use crate::stochastic::{run_engine, run_engine_dedup, StochasticConfig, StochasticOutcome};
+use crate::stochastic::{
+    run_engine_deadline, run_engine_dedup_deadline, StochasticConfig, StochasticOutcome,
+};
 
 /// Which simulation engine executes the individual runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -187,7 +190,22 @@ impl StochasticSimulator {
         circuit: &Circuit,
         observables: &[Observable],
     ) -> StochasticOutcome {
-        self.drive(&self.engine(circuit), observables)
+        self.drive_deadline(&self.engine(circuit), observables, &Deadline::unbounded())
+            .expect("an unbounded deadline never expires")
+    }
+
+    /// [`Self::run_with_observables`] under a cooperative [`Deadline`]: the
+    /// run bails out with [`TimedOut`] (no partial results) once the budget
+    /// expires, checked at trajectory boundaries. Transpilation happens
+    /// before the budget is consulted, so very short budgets still pay for
+    /// the one-time compile.
+    pub fn run_with_observables_deadline(
+        &self,
+        circuit: &Circuit,
+        observables: &[Observable],
+        deadline: &Deadline,
+    ) -> Result<StochasticOutcome, TimedOut> {
+        self.drive_deadline(&self.engine(circuit), observables, deadline)
     }
 
     /// Runs an already-transpiled circuit, remapping outcomes and
@@ -202,6 +220,18 @@ impl StochasticSimulator {
         transpiled: &TranspileResult,
         observables: &[Observable],
     ) -> StochasticOutcome {
+        self.run_transpiled_deadline(transpiled, observables, &Deadline::unbounded())
+            .expect("an unbounded deadline never expires")
+    }
+
+    /// [`Self::run_transpiled`] under a cooperative [`Deadline`] (see
+    /// [`Self::run_with_observables_deadline`] for the timeout contract).
+    pub fn run_transpiled_deadline(
+        &self,
+        transpiled: &TranspileResult,
+        observables: &[Observable],
+        deadline: &Deadline,
+    ) -> Result<StochasticOutcome, TimedOut> {
         let engine = ShotEngine::from_transpiled(
             transpiled,
             self.backend,
@@ -209,7 +239,7 @@ impl StochasticSimulator {
             self.config.seed,
         )
         .with_intra_threads(self.config.intra_threads);
-        self.drive(&engine, observables)
+        self.drive_deadline(&engine, observables, deadline)
     }
 
     /// Builds the re-entrant [`ShotEngine`] this simulator would execute
@@ -229,20 +259,38 @@ impl StochasticSimulator {
         .with_intra_threads(self.config.intra_threads)
     }
 
-    fn drive(&self, engine: &ShotEngine, observables: &[Observable]) -> StochasticOutcome {
+    fn drive_deadline(
+        &self,
+        engine: &ShotEngine,
+        observables: &[Observable],
+        deadline: &Deadline,
+    ) -> Result<StochasticOutcome, TimedOut> {
         if let Some(options) = &self.config.weighted {
-            return crate::weighted::run_engine_weighted(
+            return crate::weighted::run_engine_weighted_deadline(
                 engine,
                 self.config.shots,
                 self.config.threads,
                 observables,
                 options,
+                deadline,
             );
         }
         if self.config.dedup {
-            run_engine_dedup(engine, self.config.shots, self.config.threads, observables)
+            run_engine_dedup_deadline(
+                engine,
+                self.config.shots,
+                self.config.threads,
+                observables,
+                deadline,
+            )
         } else {
-            run_engine(engine, self.config.shots, self.config.threads, observables)
+            run_engine_deadline(
+                engine,
+                self.config.shots,
+                self.config.threads,
+                observables,
+                deadline,
+            )
         }
     }
 }
@@ -362,6 +410,47 @@ mod tests {
         let simulator = StochasticSimulator::new().with_opt_level(OptLevel::O1);
         assert_eq!(simulator.opt_level(), OptLevel::O1);
         assert_eq!(StochasticSimulator::new().opt_level(), OptLevel::O0);
+    }
+
+    #[test]
+    fn expired_deadlines_time_out_every_driver() {
+        use std::time::Duration;
+        let circuit = ghz(5);
+        let spent = Deadline::within(Duration::ZERO);
+        for simulator in [
+            StochasticSimulator::new().with_shots(200).with_seed(2),
+            StochasticSimulator::new()
+                .with_shots(200)
+                .with_seed(2)
+                .with_dedup(false),
+            StochasticSimulator::new()
+                .with_shots(200)
+                .with_seed(2)
+                .with_weighted(crate::weighted::WeightedOptions::default()),
+        ] {
+            let result = simulator.run_with_observables_deadline(&circuit, &[], &spent);
+            assert_eq!(result.unwrap_err(), TimedOut);
+        }
+    }
+
+    #[test]
+    fn generous_deadlines_match_unbounded_runs_exactly() {
+        use std::time::Duration;
+        let circuit = ghz(6);
+        let simulator = StochasticSimulator::new()
+            .with_shots(300)
+            .with_seed(7)
+            .with_threads(2);
+        let unbounded = simulator.run(&circuit);
+        let bounded = simulator
+            .run_with_observables_deadline(
+                &circuit,
+                &[],
+                &Deadline::within(Duration::from_secs(600)),
+            )
+            .expect("a ten-minute budget outlives a 300-shot GHZ");
+        assert_eq!(bounded.counts, unbounded.counts);
+        assert_eq!(bounded.error_events, unbounded.error_events);
     }
 
     #[test]

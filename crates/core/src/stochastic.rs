@@ -25,6 +25,7 @@
 //!   produces bit-identical shots to a fresh one.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use qsdd_circuit::Circuit;
@@ -38,6 +39,7 @@ use std::sync::Arc;
 use qsdd_dd::IntraPool;
 
 use crate::backend::StochasticBackend;
+use crate::deadline::{Deadline, TimedOut};
 use crate::dedup::{run_dedup, DedupStats};
 use crate::estimator::{Observable, ObservableAccumulator};
 use crate::shot_engine::ShotEngine;
@@ -404,7 +406,9 @@ pub fn run_stochastic<B: StochasticBackend>(
                 None,
                 intra.as_ref(),
                 started,
-            );
+                &Deadline::unbounded(),
+            )
+            .expect("an unbounded deadline never expires");
             outcome.stage_timings.record(Stage::Compile, compile_time);
             if intra.is_some() {
                 let execute_time = outcome.stage_timings.get(Stage::Execute);
@@ -488,6 +492,22 @@ pub fn run_engine(
     threads: usize,
     observables: &[Observable],
 ) -> StochasticOutcome {
+    run_engine_deadline(engine, shots, threads, observables, &Deadline::unbounded())
+        .expect("an unbounded deadline never expires")
+}
+
+/// [`run_engine`] under a cooperative [`Deadline`]: workers check the
+/// budget before every shot and the run returns [`TimedOut`] — no partial
+/// aggregates — when any worker observed expiry before finishing. With
+/// [`Deadline::unbounded`] the check is a hoisted boolean, so this *is*
+/// [`run_engine`].
+pub fn run_engine_deadline(
+    engine: &ShotEngine,
+    shots: usize,
+    threads: usize,
+    observables: &[Observable],
+    deadline: &Deadline,
+) -> Result<StochasticOutcome, TimedOut> {
     let started = Instant::now();
     let threads = if threads > 0 {
         threads
@@ -499,26 +519,39 @@ pub fn run_engine(
     if shots == 0 {
         // Nothing to run: return an empty outcome without spawning workers,
         // still reporting the resolved worker count for consistency.
-        return StochasticOutcome::empty(observables.len(), threads, started.elapsed());
+        return Ok(StochasticOutcome::empty(
+            observables.len(),
+            threads,
+            started.elapsed(),
+        ));
     }
     let threads = threads.min(shots);
     let intra = build_intra_pool(engine.intra_threads(), threads);
     let mapped = engine.map_observables(observables);
     let mut partials: Vec<Option<WorkerPartial>> = (0..threads).map(|_| None).collect();
+    let aborted = AtomicBool::new(false);
 
     let execute_started = Instant::now();
     std::thread::scope(|scope| {
         for (worker, slot) in partials.iter_mut().enumerate() {
             let mapped = &mapped;
             let intra = intra.as_ref();
+            let aborted = &aborted;
             scope.spawn(move || {
                 let mut ctx = engine.new_context();
                 if let Some(pool) = intra {
                     ctx.set_intra_pool(Some(Arc::clone(pool)));
                 }
+                let bounded = !deadline.is_unbounded();
                 let mut partial = WorkerPartial::new(mapped.len());
                 let mut shot = worker;
                 while shot < shots {
+                    if bounded && deadline.expired() {
+                        // `expired` latched the shared flag, so sibling
+                        // workers exit on their next check too.
+                        aborted.store(true, Ordering::Relaxed);
+                        return;
+                    }
                     let (sample, values) =
                         engine.run_shot_with_observables_in(&mut ctx, shot as u64, mapped);
                     partial.record(
@@ -534,6 +567,9 @@ pub fn run_engine(
             });
         }
     });
+    if aborted.load(Ordering::Relaxed) {
+        return Err(TimedOut);
+    }
     let execute_time = execute_started.elapsed();
 
     let aggregate_started = Instant::now();
@@ -548,7 +584,7 @@ pub fn run_engine(
     outcome
         .stage_timings
         .record(Stage::Aggregate, aggregate_started.elapsed());
-    outcome
+    Ok(outcome)
 }
 
 /// The deduplicating twin of [`run_engine`]: shots are presampled and
@@ -567,6 +603,21 @@ pub fn run_engine_dedup(
     threads: usize,
     observables: &[Observable],
 ) -> StochasticOutcome {
+    run_engine_dedup_deadline(engine, shots, threads, observables, &Deadline::unbounded())
+        .expect("an unbounded deadline never expires")
+}
+
+/// [`run_engine_dedup`] under a cooperative [`Deadline`]: workers check
+/// the budget between trajectory work items (one group or one live shot)
+/// and the run returns [`TimedOut`] when it expired before completion.
+/// The per-shot fallback inherits the same deadline.
+pub fn run_engine_dedup_deadline(
+    engine: &ShotEngine,
+    shots: usize,
+    threads: usize,
+    observables: &[Observable],
+    deadline: &Deadline,
+) -> Result<StochasticOutcome, TimedOut> {
     let started = Instant::now();
     let resolved = if threads > 0 {
         threads
@@ -576,13 +627,23 @@ pub fn run_engine_dedup(
             .unwrap_or(1)
     };
     if shots == 0 {
-        return StochasticOutcome::empty(observables.len(), resolved, started.elapsed());
+        return Ok(StochasticOutcome::empty(
+            observables.len(),
+            resolved,
+            started.elapsed(),
+        ));
     }
     let workers = resolved.min(shots);
     let intra = build_intra_pool(engine.intra_threads(), workers);
-    engine
-        .dedup_outcome(shots, workers, observables, intra.as_ref(), started)
-        .map(|mut outcome| {
+    match engine.dedup_outcome(
+        shots,
+        workers,
+        observables,
+        intra.as_ref(),
+        started,
+        deadline,
+    ) {
+        Some(result) => result.map(|mut outcome| {
             outcome.stage_timings.merge(&engine.stage_timings());
             if intra.is_some() {
                 let execute_time = outcome.stage_timings.get(Stage::Execute);
@@ -591,8 +652,9 @@ pub fn run_engine_dedup(
                     .record(Stage::IntraExecute, execute_time);
             }
             outcome
-        })
-        .unwrap_or_else(|| run_engine(engine, shots, threads, observables))
+        }),
+        None => run_engine_deadline(engine, shots, threads, observables, deadline),
+    }
 }
 
 /// Runs a whole job — `shots` stochastic shots plus observable estimation —
@@ -621,13 +683,41 @@ pub fn run_engine_in(
     observables: &[Observable],
     dedup: bool,
 ) -> StochasticOutcome {
+    run_engine_in_deadline(
+        engine,
+        ctx,
+        shots,
+        observables,
+        dedup,
+        &Deadline::unbounded(),
+    )
+    .expect("an unbounded deadline never expires")
+}
+
+/// [`run_engine_in`] under a cooperative [`Deadline`] — the server
+/// worker-pool entry for jobs carrying a `timeout_ms`. The budget is
+/// checked between shots (and between trajectory groups on the dedup
+/// path); on expiry the job returns [`TimedOut`] with no partial results
+/// and the context remains reusable for the next job.
+pub fn run_engine_in_deadline(
+    engine: &ShotEngine,
+    ctx: &mut crate::ExecContext,
+    shots: usize,
+    observables: &[Observable],
+    dedup: bool,
+    deadline: &Deadline,
+) -> Result<StochasticOutcome, TimedOut> {
     let started = Instant::now();
     if shots == 0 {
-        return StochasticOutcome::empty(observables.len(), 1, started.elapsed());
+        return Ok(StochasticOutcome::empty(
+            observables.len(),
+            1,
+            started.elapsed(),
+        ));
     }
     let dd_before = ctx.dd_table_stats();
     let mapped = engine.map_observables(observables);
-    let mut outcome = run_engine_in_inner(engine, ctx, shots, &mapped, dedup, started);
+    let mut outcome = run_engine_in_inner(engine, ctx, shots, &mapped, dedup, started, deadline)?;
     outcome.stage_timings.merge(&engine.stage_timings());
     if ctx.intra_pool().is_some() {
         let execute_time = outcome.stage_timings.get(Stage::Execute);
@@ -636,7 +726,7 @@ pub fn run_engine_in(
             .record(Stage::IntraExecute, execute_time);
     }
     publish_job_metrics(&outcome, ctx.dd_table_stats().since(&dd_before), ctx);
-    outcome
+    Ok(outcome)
 }
 
 /// The timed body of [`run_engine_in`]: executes the shots and fills the
@@ -649,22 +739,28 @@ fn run_engine_in_inner(
     mapped: &[Observable],
     dedup: bool,
     started: Instant,
-) -> StochasticOutcome {
+    deadline: &Deadline,
+) -> Result<StochasticOutcome, TimedOut> {
     if dedup {
         let presample_started = Instant::now();
         let presampled = engine.presample_range(0..shots as u64);
         let presample_time = presample_started.elapsed();
         if let Some((groups, live)) = presampled {
-            let mut outcome = run_dedup_serial(engine, ctx, shots, mapped, groups, live, started);
+            let mut outcome =
+                run_dedup_serial(engine, ctx, shots, mapped, groups, live, started, deadline)?;
             outcome
                 .stage_timings
                 .record(Stage::Presample, presample_time);
-            return outcome;
+            return Ok(outcome);
         }
     }
+    let bounded = !deadline.is_unbounded();
     let execute_started = Instant::now();
     let mut partial = WorkerPartial::new(mapped.len());
     for shot in 0..shots as u64 {
+        if bounded && deadline.expired() {
+            return Err(TimedOut);
+        }
         let (sample, values) = engine.run_shot_with_observables_in(ctx, shot, mapped);
         partial.record(
             sample.outcome,
@@ -681,7 +777,7 @@ fn run_engine_in_inner(
     outcome
         .stage_timings
         .record(Stage::Aggregate, aggregate_started.elapsed());
-    outcome
+    Ok(outcome)
 }
 
 /// Publishes a finished job's stage timings and decision-diagram table
@@ -790,7 +886,9 @@ pub(crate) fn publish_job_metrics(
 /// first-appearance order, then live shots in index order, exactly the work
 /// order `run_dedup` deals to its only worker when `threads == 1` (so the
 /// aggregates — including the observable-sum bits, which replay the shot
-/// order — come out identical).
+/// order — come out identical). The `deadline` is checked per group and per
+/// live shot.
+#[allow(clippy::too_many_arguments)]
 fn run_dedup_serial(
     engine: &ShotEngine,
     ctx: &mut crate::ExecContext,
@@ -799,16 +897,21 @@ fn run_dedup_serial(
     groups: Vec<(qsdd_noise::ErrorPattern, Vec<(u64, StdRng)>)>,
     live: Vec<u64>,
     started: Instant,
-) -> StochasticOutcome {
+    deadline: &Deadline,
+) -> Result<StochasticOutcome, TimedOut> {
     let stats = crate::dedup::DedupStats {
         unique_trajectories: (groups.len() + live.len()) as u64,
         live_shots: live.len() as u64,
     };
+    let bounded = !deadline.is_unbounded();
     let execute_started = Instant::now();
     let mut outcome = if mapped.is_empty() {
         // Integer-only aggregation: fold records as they are produced.
         let mut partial = WorkerPartial::new(0);
         for (pattern, mut members) in groups {
+            if bounded && deadline.expired() {
+                return Err(TimedOut);
+            }
             for (_, sample, _) in engine.run_group_in(ctx, &pattern, &mut members, &[]) {
                 partial.record(
                     sample.outcome,
@@ -820,6 +923,9 @@ fn run_dedup_serial(
             }
         }
         for shot in live {
+            if bounded && deadline.expired() {
+                return Err(TimedOut);
+            }
             let sample = engine.run_shot_in(ctx, shot);
             partial.record(
                 sample.outcome,
@@ -843,11 +949,17 @@ fn run_dedup_serial(
         let mut records: Vec<Option<(crate::ShotSample, Vec<f64>)>> = Vec::new();
         records.resize_with(shots, || None);
         for (pattern, mut members) in groups {
+            if bounded && deadline.expired() {
+                return Err(TimedOut);
+            }
             for (shot, sample, values) in engine.run_group_in(ctx, &pattern, &mut members, mapped) {
                 records[shot as usize] = Some((sample, values));
             }
         }
         for shot in live {
+            if bounded && deadline.expired() {
+                return Err(TimedOut);
+            }
             let (sample, values) = engine.run_shot_with_observables_in(ctx, shot, mapped);
             records[shot as usize] = Some((sample, values));
         }
@@ -874,7 +986,7 @@ fn run_dedup_serial(
         outcome
     };
     outcome.dedup = Some(stats);
-    outcome
+    Ok(outcome)
 }
 
 /// Derives the per-shot random number generator from the master seed.

@@ -47,11 +47,13 @@ use std::time::Instant;
 use qsdd_noise::{ErrorPattern, PatternEnumerator, Presampled, WeightedPattern};
 use qsdd_telemetry::Stage;
 
+use crate::deadline::{Deadline, TimedOut};
 use crate::estimator::Observable;
 use crate::fxhash::FxHashMap;
 use crate::shot_engine::{ExecContext, ShotEngine};
 use crate::stochastic::{
-    publish_job_metrics, run_engine_dedup, run_engine_in, shot_rng, StochasticOutcome,
+    publish_job_metrics, run_engine_dedup_deadline, run_engine_in_deadline, shot_rng,
+    StochasticOutcome,
 };
 
 /// Largest circuit (in qubits) the weighted driver accepts: beyond this the
@@ -157,14 +159,36 @@ pub fn run_engine_weighted(
     observables: &[Observable],
     options: &WeightedOptions,
 ) -> StochasticOutcome {
+    run_engine_weighted_deadline(
+        engine,
+        shots,
+        threads,
+        observables,
+        options,
+        &Deadline::unbounded(),
+    )
+    .expect("an unbounded deadline never expires")
+}
+
+/// [`run_engine_weighted`] under a cooperative [`Deadline`], checked per
+/// enumerated pattern and per tail candidate; on expiry the run returns
+/// [`TimedOut`] with no partial results.
+pub fn run_engine_weighted_deadline(
+    engine: &ShotEngine,
+    shots: usize,
+    threads: usize,
+    observables: &[Observable],
+    options: &WeightedOptions,
+    deadline: &Deadline,
+) -> Result<StochasticOutcome, TimedOut> {
     if engine.weighted_plan().is_none() {
-        return run_engine_dedup(engine, shots, threads, observables);
+        return run_engine_dedup_deadline(engine, shots, threads, observables, deadline);
     }
     let mut ctx = engine.new_context();
     // The weighted driver is serial (one worker), so the engine's requested
     // intra-shot width is honoured as-is.
     ctx.set_intra_threads(engine.intra_threads());
-    run_engine_weighted_in(engine, &mut ctx, shots, observables, options)
+    run_engine_weighted_in_deadline(engine, &mut ctx, shots, observables, options, deadline)
 }
 
 /// The in-context twin of [`run_engine_weighted`], for callers that own a
@@ -177,9 +201,31 @@ pub fn run_engine_weighted_in(
     observables: &[Observable],
     options: &WeightedOptions,
 ) -> StochasticOutcome {
+    run_engine_weighted_in_deadline(
+        engine,
+        ctx,
+        shots,
+        observables,
+        options,
+        &Deadline::unbounded(),
+    )
+    .expect("an unbounded deadline never expires")
+}
+
+/// [`run_engine_weighted_in`] under a cooperative [`Deadline`] (see
+/// [`run_engine_weighted_deadline`] for the check sites).
+pub fn run_engine_weighted_in_deadline(
+    engine: &ShotEngine,
+    ctx: &mut ExecContext,
+    shots: usize,
+    observables: &[Observable],
+    options: &WeightedOptions,
+    deadline: &Deadline,
+) -> Result<StochasticOutcome, TimedOut> {
     let started = Instant::now();
+    let bounded = !deadline.is_unbounded();
     let Some(plan) = engine.weighted_plan() else {
-        return run_engine_in(engine, ctx, shots, observables, true);
+        return run_engine_in_deadline(engine, ctx, shots, observables, true, deadline);
     };
     let dd_before = ctx.dd_table_stats();
     let mapped = engine.map_observables(observables);
@@ -204,6 +250,9 @@ pub fn run_engine_weighted_in(
     let mut nodes_sum = 0u64;
     let mut nodes_peak = 0u64;
     for weighted in &patterns {
+        if bounded && deadline.expired() {
+            return Err(TimedOut);
+        }
         let probability = weighted.probability;
         let mut sink = |outcome: u64, p: f64| {
             *distribution.entry(outcome).or_insert(0.0) += probability * p;
@@ -245,6 +294,9 @@ pub fn run_engine_weighted_in(
         let mut accepted = 0u64;
         let mut candidate = 0u64;
         while accepted < target && candidate < max_candidates {
+            if bounded && deadline.expired() {
+                return Err(TimedOut);
+            }
             let k = candidate;
             candidate += 1;
             let presample_started = Instant::now();
@@ -369,7 +421,7 @@ pub fn run_engine_weighted_in(
             .record(Stage::IntraExecute, execute_time);
     }
     publish_job_metrics(&outcome, ctx.dd_table_stats().since(&dd_before), ctx);
-    outcome
+    Ok(outcome)
 }
 
 /// Renders a normalised distribution as an integer histogram of exactly

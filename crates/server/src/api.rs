@@ -75,6 +75,12 @@ pub struct JobInput {
     /// [`canonical_key`](Self::canonical_key) and two submissions differing
     /// only here share one simulation and one cached result.
     pub intra_threads: usize,
+    /// Wall-clock budget for the simulation in milliseconds; the job fails
+    /// with reason `timed_out` when it cannot finish in time. Unlike
+    /// `intra_threads` this **is** part of the canonical key (when present):
+    /// a timed-out failure must never be served as the cached answer for an
+    /// unbounded submission of the same circuit, and vice versa.
+    pub timeout_ms: Option<u64>,
 }
 
 impl JobInput {
@@ -103,6 +109,11 @@ impl JobInput {
         // `intra_threads` is deliberately absent: it only changes how the
         // job is executed, never what it computes, so all widths must hit
         // the same cache entry.
+        if let Some(timeout_ms) = self.timeout_ms {
+            // Only-when-present keeps every pre-existing key (and with it
+            // every previously persisted result) byte-identical.
+            key.push_str(&format!("|timeout_ms={timeout_ms}"));
+        }
         if let Some(weighted) = &self.weighted {
             // Absent and `"weighted": false` collapse to the same key (both
             // mean ordinary sampling), so older cached results stay valid.
@@ -202,6 +213,7 @@ pub fn parse_job_request(body: &str) -> Result<JobInput, String> {
                 | "observables"
                 | "weighted"
                 | "intra_threads"
+                | "timeout_ms"
         ) {
             return Err(format!("unknown field `{key}`"));
         }
@@ -284,6 +296,19 @@ pub fn parse_job_request(body: &str) -> Result<JobInput, String> {
         }
     };
 
+    let timeout_ms = match value.get("timeout_ms") {
+        None => None,
+        Some(v) => {
+            let ms = v
+                .as_u64()
+                .ok_or("`timeout_ms` must be a positive integer")?;
+            if ms == 0 {
+                return Err("`timeout_ms` must be at least 1".to_string());
+            }
+            Some(ms)
+        }
+    };
+
     let circuit_qasm = qasm::write_source(&circuit).ok();
     Ok(JobInput {
         circuit,
@@ -297,6 +322,7 @@ pub fn parse_job_request(body: &str) -> Result<JobInput, String> {
         observables,
         weighted,
         intra_threads,
+        timeout_ms,
     })
 }
 
@@ -764,6 +790,7 @@ mod tests {
             r#","weighted":{"mass_cutoff":0.5}"#,
             r#","weighted":{"max_patterns":16}"#,
             r#","weighted":{"exact_histogram":true}"#,
+            r#","timeout_ms":5000"#,
         ] {
             let other = parse_job_request(&bare_request(extra)).unwrap();
             assert_ne!(
@@ -779,6 +806,26 @@ mod tests {
         // the field out — the two spellings share one cache cell.
         let disabled = parse_job_request(&bare_request(r#","weighted":false"#)).unwrap();
         assert_eq!(a.canonical_key(), disabled.canonical_key());
+    }
+
+    #[test]
+    fn timeout_ms_is_validated_and_joins_the_key_only_when_present() {
+        // Absent by default, and an absent timeout keeps the historical key
+        // (no trailing `|timeout_ms=` marker) so persisted results stay
+        // addressable across upgrades.
+        let unbounded = parse_job_request(&bare_request("")).unwrap();
+        assert_eq!(unbounded.timeout_ms, None);
+        assert!(!unbounded.canonical_key().contains("timeout_ms"));
+        // Present: parses and distinguishes the key per budget.
+        let bounded = parse_job_request(&bare_request(r#","timeout_ms":250"#)).unwrap();
+        assert_eq!(bounded.timeout_ms, Some(250));
+        let other = parse_job_request(&bare_request(r#","timeout_ms":251"#)).unwrap();
+        assert_ne!(bounded.canonical_key(), other.canonical_key());
+        // Invalid budgets are rejected with pointed messages.
+        let zero = parse_job_request(&bare_request(r#","timeout_ms":0"#)).unwrap_err();
+        assert!(zero.contains("at least 1"), "{zero}");
+        let text = parse_job_request(&bare_request(r#","timeout_ms":"soon""#)).unwrap_err();
+        assert!(text.contains("positive integer"), "{text}");
     }
 
     #[test]

@@ -64,8 +64,14 @@ pub struct ExecutionCell {
     /// astronomically unlikely 64-bit hash collision, which is resolved by
     /// probing).
     pub key: String,
-    /// The validated job input the worker executes.
-    pub input: JobInput,
+    /// The validated job input the worker executes. `None` only for cells
+    /// restored from the durable store at boot — those are already terminal
+    /// and never execute, so only the envelope fields they carry
+    /// ([`Self::circuit_qasm`]) are needed.
+    input: Option<JobInput>,
+    /// The QASM echo of a *restored* cell (live cells read it from `input`),
+    /// persisted so a restart serves the identical job envelope.
+    restored_qasm: Option<String>,
     /// When the submission created the cell — the start of its queue wait.
     created_at: Instant,
     state: Mutex<CellState>,
@@ -80,11 +86,48 @@ impl ExecutionCell {
         ExecutionCell {
             id,
             key,
-            input,
+            input: Some(input),
+            restored_qasm: None,
             created_at: Instant::now(),
             state: Mutex::new(CellState::Queued),
             done: Condvar::new(),
             timings: Mutex::new(StageTimings::new()),
+        }
+    }
+
+    /// A cell rebuilt from a persisted record: born terminal, input-free.
+    fn restored(
+        id: String,
+        key: String,
+        circuit_qasm: Option<String>,
+        payload: Arc<String>,
+        timings: StageTimings,
+    ) -> Self {
+        ExecutionCell {
+            id,
+            key,
+            input: None,
+            restored_qasm: circuit_qasm,
+            created_at: Instant::now(),
+            state: Mutex::new(CellState::Done(payload)),
+            done: Condvar::new(),
+            timings: Mutex::new(timings),
+        }
+    }
+
+    /// The validated input of a live (submitted this process) cell; `None`
+    /// for cells restored from the store, which are terminal by
+    /// construction and never reach a worker.
+    pub fn input(&self) -> Option<&JobInput> {
+        self.input.as_ref()
+    }
+
+    /// The job's OpenQASM echo for the status envelope, whichever side of a
+    /// restart the cell was born on.
+    pub fn circuit_qasm(&self) -> Option<&str> {
+        match &self.input {
+            Some(input) => input.circuit_qasm.as_deref(),
+            None => self.restored_qasm.as_deref(),
         }
     }
 
@@ -243,6 +286,39 @@ impl ResultCache {
         }
         inner.cells.insert(id, Arc::clone(&cell));
         Submission::New(cell)
+    }
+
+    /// Rebuilds one completed entry from a persisted store record (boot
+    /// path). The cell is born terminal and immediately evictable; capacity
+    /// is enforced exactly as for freshly completed jobs, so restoring more
+    /// records than the cache holds keeps the *latest-restored* entries.
+    /// Returns `false` (without touching anything) when the id is already
+    /// present — the store replays records oldest-first, so the caller
+    /// resolves duplicates by last-wins *before* restoring.
+    pub fn restore_completed(
+        &self,
+        id: &str,
+        key: &str,
+        circuit_qasm: Option<String>,
+        payload: Arc<String>,
+        timings: StageTimings,
+    ) -> bool {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            if inner.cells.contains_key(id) {
+                return false;
+            }
+            let cell = Arc::new(ExecutionCell::restored(
+                id.to_string(),
+                key.to_string(),
+                circuit_qasm,
+                payload,
+                timings,
+            ));
+            inner.cells.insert(id.to_string(), cell);
+        }
+        self.mark_terminal(id);
+        true
     }
 
     /// Looks up a job by id.
@@ -451,6 +527,53 @@ mod tests {
             cache.submit_with(input(0), |_| true),
             Submission::Coalesced(_)
         ));
+    }
+
+    #[test]
+    fn restored_entries_serve_hits_like_native_completions() {
+        let cache = ResultCache::new(8);
+        let job = input(1);
+        let key = job.canonical_key();
+        let id = job.content_address();
+        let payload = Arc::new(r#"{"restored":true}"#.to_string());
+        assert!(cache.restore_completed(
+            &id,
+            &key,
+            Some("OPENQASM 2.0;".to_string()),
+            Arc::clone(&payload),
+            StageTimings::new(),
+        ));
+        // Duplicate ids are refused (the store resolves last-wins first).
+        assert!(!cache.restore_completed(&id, &key, None, payload, StageTimings::new()));
+        // A fresh submission of the same job hits the restored entry.
+        let Submission::Hit(cell) = cache.submit_with(job, |_| true) else {
+            panic!("submission after restore must hit");
+        };
+        assert!(cell.input().is_none(), "restored cells carry no input");
+        assert_eq!(cell.circuit_qasm(), Some("OPENQASM 2.0;"));
+        let CellState::Done(served) = cell.state() else {
+            panic!("restored cell must be done");
+        };
+        assert_eq!(served.as_str(), r#"{"restored":true}"#);
+    }
+
+    #[test]
+    fn restore_enforces_capacity_like_completion() {
+        let cache = ResultCache::new(2);
+        for seed in 0..4u64 {
+            let job = input(seed);
+            assert!(cache.restore_completed(
+                &job.content_address(),
+                &job.canonical_key(),
+                None,
+                Arc::new("{}".to_string()),
+                StageTimings::new(),
+            ));
+        }
+        assert_eq!(cache.completed_entries(), 2, "capacity holds at boot too");
+        // The latest-restored entries survive.
+        assert!(cache.get(&input(3).content_address()).is_some());
+        assert!(cache.get(&input(0).content_address()).is_none());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 /// A decoded response: status code, lower-cased `(name, value)` header
 /// pairs in wire order, and the body.
@@ -62,6 +63,62 @@ impl Client {
         self.writer.flush()?;
         read_response(&mut self.reader)
     }
+}
+
+/// Issues a request through `attempt` until it succeeds, retrying
+/// transient failures with capped exponential backoff.
+///
+/// Retried outcomes are connection-level I/O errors and the server's two
+/// shed-load statuses, `429` (queue full) and `503` (connection limit /
+/// shutting down); everything else — including application errors like
+/// `400` — returns immediately. The wait before attempt `n` doubles from
+/// `base_delay` and is capped at 100× base; when the response carried a
+/// `Retry-After` header (the server sets it on `429`), that many seconds
+/// are honored instead if longer. A deterministic jitter derived from
+/// `seed` (SplitMix64, so two clients with different seeds desynchronize)
+/// adds 0–25% so retry storms from simultaneous rejections spread out.
+///
+/// Returns the last response (or I/O error) once `attempts` are exhausted.
+/// `attempts` is clamped to at least 1.
+pub fn with_retry(
+    attempts: u32,
+    base_delay: Duration,
+    seed: u64,
+    mut attempt: impl FnMut() -> io::Result<RawResponse>,
+) -> io::Result<RawResponse> {
+    // SplitMix64: cheap, seedable, and good enough to decorrelate clients.
+    let mut jitter_state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next_jitter = move || {
+        jitter_state = jitter_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let attempts = attempts.max(1);
+    let mut delay = base_delay;
+    let cap = base_delay.saturating_mul(100);
+    for round in 0..attempts {
+        let outcome = attempt();
+        let last_round = round + 1 == attempts;
+        let retry_after = match &outcome {
+            Ok((status, headers, _)) if *status == 429 || *status == 503 => headers
+                .iter()
+                .find(|(name, _)| name == "retry-after")
+                .and_then(|(_, value)| value.parse::<u64>().ok())
+                .map(Duration::from_secs),
+            Ok(_) => return outcome,
+            Err(_) => None,
+        };
+        if last_round {
+            return outcome;
+        }
+        let wait = retry_after.unwrap_or(Duration::ZERO).max(delay);
+        let jitter = wait.mul_f64((next_jitter() % 256) as f64 / 1024.0);
+        std::thread::sleep(wait + jitter);
+        delay = (delay + delay).min(cap);
+    }
+    unreachable!("the final round returns above");
 }
 
 /// One-shot convenience: connect, issue a single request, disconnect.
@@ -123,4 +180,81 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<RawResponse> {
     String::from_utf8(body)
         .map(|body| (status, headers, body))
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response body is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(status: u16) -> io::Result<RawResponse> {
+        Ok((status, Vec::new(), String::new()))
+    }
+
+    #[test]
+    fn successes_and_application_errors_return_without_retrying() {
+        for status in [200, 202, 400, 404] {
+            let mut calls = 0;
+            let result = with_retry(5, Duration::from_millis(1), 7, || {
+                calls += 1;
+                ok(status)
+            });
+            assert_eq!(result.unwrap().0, status);
+            assert_eq!(calls, 1, "status {status} must not retry");
+        }
+    }
+
+    #[test]
+    fn shed_load_statuses_and_io_errors_are_retried() {
+        let mut calls = 0;
+        let (status, _, _) = with_retry(5, Duration::from_millis(1), 7, || {
+            calls += 1;
+            match calls {
+                1 => ok(429),
+                2 => Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "boot race",
+                )),
+                3 => ok(503),
+                _ => ok(200),
+            }
+        })
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn exhausted_attempts_return_the_last_outcome() {
+        let mut calls = 0;
+        let result = with_retry(3, Duration::from_millis(1), 7, || {
+            calls += 1;
+            ok(429)
+        });
+        assert_eq!(result.unwrap().0, 429);
+        assert_eq!(calls, 3);
+        // ... including a final I/O error.
+        let result = with_retry(2, Duration::from_millis(1), 7, || {
+            Err(io::Error::new(io::ErrorKind::ConnectionReset, "gone"))
+        });
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn retry_after_headers_stretch_the_wait() {
+        // Observable via wall time: one retry that must honor a 1-second
+        // Retry-After would stall the test, so assert on the small end —
+        // a parseable header shorter than the backoff changes nothing.
+        let started = std::time::Instant::now();
+        let mut calls = 0;
+        let _ = with_retry(2, Duration::from_millis(1), 7, || {
+            calls += 1;
+            Ok((
+                429,
+                vec![("retry-after".to_string(), "0".to_string())],
+                String::new(),
+            ))
+        });
+        assert_eq!(calls, 2);
+        assert!(started.elapsed() < Duration::from_secs(1));
+    }
 }

@@ -9,6 +9,8 @@
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -16,6 +18,76 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// legitimate payload; 4 MiB covers every QASMBench circuit with room to
 /// spare.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A [`TcpStream`] reader that enforces a **total** deadline across every
+/// read until re-armed.
+///
+/// A plain `set_read_timeout` only bounds the gap between bytes: a client
+/// trickling one header byte per interval (a slow-loris) resets the clock
+/// on every read and can hold a handler thread for as long as it likes.
+/// `DeadlineStream` fixes the budget when [`arm`](Self::arm) is called —
+/// once per request, before the request line — and shrinks the socket's
+/// read timeout to whatever remains before each read, so idle waiting and
+/// trickled bytes draw down the same allowance. An exhausted budget reads
+/// as [`io::ErrorKind::TimedOut`].
+#[derive(Debug)]
+pub struct DeadlineStream {
+    inner: TcpStream,
+    deadline: Option<Instant>,
+}
+
+impl DeadlineStream {
+    /// Wraps a stream with no deadline armed (reads block indefinitely,
+    /// subject to any timeout already set on the socket).
+    pub fn new(inner: TcpStream) -> DeadlineStream {
+        DeadlineStream {
+            inner,
+            deadline: None,
+        }
+    }
+
+    /// Starts a fresh budget: every read from now on fails with
+    /// [`io::ErrorKind::TimedOut`] once `budget` has elapsed in total.
+    pub fn arm(&mut self, budget: Duration) {
+        self.deadline = Some(Instant::now() + budget);
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "request deadline exceeded",
+                ));
+            }
+            // `set_read_timeout(Some(0))` is an error by contract; the
+            // zero case returned above, but clamp anyway so a sub-
+            // millisecond remainder cannot round down to it either.
+            self.inner
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+        }
+        match self.inner.read(buf) {
+            // Unix reports an expired socket timeout as WouldBlock;
+            // normalize so callers see one kind for "deadline exceeded".
+            Err(error)
+                if self.deadline.is_some()
+                    && matches!(
+                        error.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "request deadline exceeded",
+                ))
+            }
+            other => other,
+        }
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Clone, Debug)]
@@ -318,6 +390,63 @@ mod tests {
             read_request(&mut reader),
             Err(RequestError::Closed)
         ));
+    }
+
+    #[test]
+    fn an_armed_deadline_bounds_the_total_time_to_read_a_request() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // A slow-loris: trickle header bytes forever, each gap far shorter
+        // than any per-read timeout, so only a *total* budget can stop it.
+        let loris = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let _ = stream.write_all(b"GET /v1/healthz HTTP/1.1\r\n");
+            for _ in 0..200 {
+                if stream.write_all(b"x").is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut stream = DeadlineStream::new(stream);
+        stream.arm(Duration::from_millis(150));
+        let started = Instant::now();
+        let result = read_request(&mut BufReader::new(stream));
+        let elapsed = started.elapsed();
+        match result {
+            Err(RequestError::Io(error)) => assert_eq!(error.kind(), io::ErrorKind::TimedOut),
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        // The trickle alone would keep the old per-read timeout alive for
+        // ~2s; the armed deadline must cut the session well before that.
+        assert!(elapsed < Duration::from_millis(1500), "took {elapsed:?}");
+        drop(loris); // detach: the writer exits on its next broken write
+    }
+
+    #[test]
+    fn rearming_grants_each_request_its_own_budget() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+                .unwrap();
+            // Hold the connection open past both reads.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(DeadlineStream::new(stream));
+        reader.get_mut().arm(Duration::from_secs(5));
+        assert_eq!(read_request(&mut reader).unwrap().path, "/a");
+        reader.get_mut().arm(Duration::from_secs(5));
+        assert_eq!(read_request(&mut reader).unwrap().path, "/b");
+        client.join().unwrap();
     }
 
     #[test]

@@ -23,8 +23,14 @@
 //!   across every job it executes (the compile/execute split of
 //!   `qsdd-core` amortises across requests) and runs the
 //!   trajectory-deduplicating driver whenever the job supports it.
+//! * **[`store`]** — the durable result store: completed results are
+//!   appended to a checksummed on-disk log (`qsdd-store`) *behind* the
+//!   cache and replayed into it at the next boot, so a restart — including
+//!   `kill -9` — never changes the bytes a job id answers with. Disk
+//!   trouble degrades the server to memory-only; it never fails jobs.
 //! * **[`client`]** — a small blocking HTTP client for loopback tests,
-//!   the CI smoke check and the benchmark load generator.
+//!   the CI smoke check and the benchmark load generator (including
+//!   [`client::with_retry`], the bounded-backoff retry helper).
 //!
 //! Determinism is the backbone: a job's result payload is a pure function
 //! of its canonical key (seeded shots, single-context execution, ordered
@@ -59,6 +65,7 @@ pub mod client;
 pub mod http;
 mod metrics;
 pub mod server;
+pub mod store;
 
 pub use api::{parse_job_request, result_payload, JobInput};
 pub use cache::{CellState, ExecutionCell, ResultCache, Submission};

@@ -32,6 +32,17 @@ pub(crate) struct ServerMetrics {
     pub jobs_completed: Arc<Counter>,
     /// Jobs whose simulation panicked.
     pub jobs_failed: Arc<Counter>,
+    /// Jobs cancelled at their `timeout_ms` deadline (a subset of failed).
+    pub jobs_timed_out: Arc<Counter>,
+    /// Completed results appended to the durable store.
+    pub store_writes: Arc<Counter>,
+    /// Store appends that failed (the job still completed in memory).
+    pub store_write_failures: Arc<Counter>,
+    /// Records in the durable store (restored at boot + written since).
+    pub store_records: Arc<Gauge>,
+    /// 1 when the store has degraded to memory-only, else 0 (also 0 when
+    /// the server runs without a store).
+    pub store_degraded: Arc<Gauge>,
     /// Seconds jobs spent queued before a worker picked them up.
     pub queue_wait: Arc<Histogram>,
     /// Seconds from submission to published result (end-to-end).
@@ -71,6 +82,26 @@ impl ServerMetrics {
         );
         let jobs_failed =
             registry.counter("qsdd_jobs_failed_total", "Jobs whose simulation failed");
+        let jobs_timed_out = registry.counter(
+            "qsdd_jobs_timed_out_total",
+            "Jobs cancelled at their timeout_ms deadline",
+        );
+        let store_writes = registry.counter(
+            "qsdd_store_writes_total",
+            "Completed results appended to the durable store",
+        );
+        let store_write_failures = registry.counter(
+            "qsdd_store_write_failures_total",
+            "Durable-store appends that failed",
+        );
+        let store_records = registry.gauge(
+            "qsdd_store_records",
+            "Records in the durable store (restored + written)",
+        );
+        let store_degraded = registry.gauge(
+            "qsdd_store_degraded",
+            "1 when the durable store has fallen back to memory-only",
+        );
         let queue_wait = registry.histogram(
             "qsdd_queue_wait_seconds",
             "Time jobs spent queued before a worker picked them up",
@@ -94,6 +125,11 @@ impl ServerMetrics {
             rejected,
             jobs_completed,
             jobs_failed,
+            jobs_timed_out,
+            store_writes,
+            store_write_failures,
+            store_records,
+            store_degraded,
             queue_wait,
             job_duration,
             queue_depth,
@@ -192,6 +228,11 @@ mod tests {
             "qsdd_jobs_rejected_total",
             "qsdd_jobs_completed_total",
             "qsdd_jobs_failed_total",
+            "qsdd_jobs_timed_out_total",
+            "qsdd_store_writes_total",
+            "qsdd_store_write_failures_total",
+            "qsdd_store_records",
+            "qsdd_store_degraded",
             "qsdd_queue_wait_seconds_count",
             "qsdd_job_duration_seconds_count",
             "qsdd_queue_depth",

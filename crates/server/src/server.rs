@@ -34,18 +34,21 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use qsdd_core::{run_engine_in, ExecContext, ShotEngine};
+use qsdd_core::{run_engine_in_deadline, Deadline, ExecContext, ShotEngine, TimedOut};
 use qsdd_json::Value;
 use qsdd_telemetry::{log_kv, Level, SpanTimer, Stage, StageTimings};
 
 use crate::api::{self, JobInput};
 use crate::cache::{CellState, ExecutionCell, ResultCache, Submission};
-use crate::http::{self, Request, RequestError};
+use crate::http::{self, DeadlineStream, Request, RequestError};
 use crate::metrics::ServerMetrics;
+use crate::store::{AppendOutcome, RestoredRecord, ResultStore};
 
-/// Idle keep-alive connections are dropped after this long so shutdown is
-/// never held hostage by a silent client.
-const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default total budget for reading one request (idle keep-alive waiting
+/// and trickled bytes draw down the same clock — see
+/// [`DeadlineStream`]), so neither a silent nor a slow-loris client can
+/// hold a handler thread indefinitely.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
 /// Concurrent connections served at once; beyond this the acceptor answers
 /// `503` inline instead of spawning a handler thread, so a connection
 /// flood cannot exhaust OS threads (job load is bounded separately by the
@@ -65,6 +68,14 @@ pub struct ServerConfig {
     pub cache_entries: usize,
     /// Maximum queued (not yet running) jobs before `429`.
     pub queue_depth: usize,
+    /// Durable result store directory (`--store-dir`). `None` runs
+    /// memory-only; `Some` persists every completed result and replays
+    /// them into the cache at the next boot.
+    pub store_dir: Option<String>,
+    /// Total time a client gets to deliver one request before its
+    /// connection is dropped (no CLI flag; tests shrink it to exercise the
+    /// slow-loris defence quickly).
+    pub request_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +85,8 @@ impl Default for ServerConfig {
             threads: 0,
             cache_entries: 1024,
             queue_depth: 256,
+            store_dir: None,
+            request_timeout: REQUEST_TIMEOUT,
         }
     }
 }
@@ -112,6 +125,9 @@ struct ServerState {
     /// This instance's Prometheus registry (`GET /v1/metrics`); private per
     /// server so concurrent instances in one process never mix counters.
     metrics: ServerMetrics,
+    /// The durable result store (`None` when running memory-only).
+    store: Option<ResultStore>,
+    request_timeout: Duration,
 }
 
 impl ServerState {
@@ -150,6 +166,10 @@ impl Server {
         // histograms and decision-diagram counters the simulation layers
         // publish become part of this server's `/v1/metrics` page.
         qsdd_telemetry::set_enabled(true);
+        // Arm the fault-injection seam from `QSDD_FAULTS` (a no-op outside
+        // the robustness tests; the checks it leaves behind are two relaxed
+        // atomic loads).
+        qsdd_store::fault::init_from_env();
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = if config.threads > 0 {
@@ -159,18 +179,43 @@ impl Server {
                 .map(|n| n.get())
                 .unwrap_or(1)
         };
+        // Open the durable store (when configured) and replay every
+        // surviving record into the cache as an already-completed entry, so
+        // a restarted server answers previously finished jobs byte-for-byte
+        // identically from the first request.
+        let cache = ResultCache::new(config.cache_entries);
+        let store = config.store_dir.as_ref().map(|dir| {
+            let (store, restored) = ResultStore::open(std::path::Path::new(dir));
+            for record in restored {
+                cache.restore_completed(
+                    &record.id,
+                    &record.key,
+                    record.circuit_qasm,
+                    Arc::new(record.payload),
+                    record.timings,
+                );
+            }
+            store
+        });
+        let metrics = ServerMetrics::new();
+        if let Some(store) = &store {
+            metrics.store_records.set(store.records() as i64);
+            metrics.store_degraded.set(store.is_degraded() as i64);
+        }
         let state = Arc::new(ServerState {
             addr,
             workers,
             queue_depth: config.queue_depth.max(1),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
-            cache: ResultCache::new(config.cache_entries),
+            cache,
             queue: Mutex::new(std::collections::VecDeque::new()),
             queue_wake: Condvar::new(),
             stats: Stats::default(),
             active_connections: AtomicUsize::new(0),
-            metrics: ServerMetrics::new(),
+            metrics,
+            store,
+            request_timeout: config.request_timeout,
         });
         log_kv(
             Level::Info,
@@ -200,6 +245,29 @@ impl Server {
     /// The bound address (the actual port when `addr` requested port `0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// One human-readable line describing the durable store's status —
+    /// `None` when the server runs without one. Printed under the serve
+    /// banner so restarts and degraded (memory-only) operation are visible
+    /// without scraping `/v1/stats`.
+    pub fn store_banner(&self) -> Option<String> {
+        self.state.store.as_ref().map(|store| {
+            if store.is_degraded() {
+                format!(
+                    "store: DEGRADED to memory-only ({} unusable)",
+                    store.path().display()
+                )
+            } else {
+                let boot = store.boot_report();
+                format!(
+                    "store: {} ({} records restored, {} bytes recovered)",
+                    store.path().display(),
+                    boot.records_restored,
+                    boot.truncated_bytes,
+                )
+            }
+        })
     }
 
     /// Initiates graceful shutdown: stop accepting, drain the queue, then
@@ -288,14 +356,18 @@ fn accept_loop(listener: TcpListener, state: &Arc<ServerState>) {
 
 /// Serves one connection's keep-alive session.
 fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let mut reader = BufReader::new(DeadlineStream::new(read_half));
     let mut writer = stream;
     loop {
+        // One *total* budget per request: a client that goes silent and one
+        // that trickles a byte at a time (slow-loris) are both cut off at
+        // the same deadline, instead of resetting a per-read timeout with
+        // every byte.
+        reader.get_mut().arm(state.request_timeout);
         let request = match http::read_request(&mut reader) {
             Ok(request) => request,
             Err(RequestError::Closed) | Err(RequestError::Io(_)) => return,
@@ -386,6 +458,11 @@ fn submit_job(state: &Arc<ServerState>, body: &str) -> (u16, String) {
     let parse_time = parse_started.elapsed();
     let lookup = SpanTimer::start(Stage::CacheLookup);
     let submission = state.cache.submit_with(input, |cell| {
+        // Stamp the parse time before the cell becomes visible to a
+        // worker: a fast worker can complete (and persist) the job before
+        // this thread runs again, and a record written without the parse
+        // stage would make the restored envelope differ from the live one.
+        cell.record_stage(Stage::Parse, parse_time);
         let mut queue = state.queue.lock().expect("queue lock");
         // Re-check shutdown under the queue lock: workers only observe the
         // flag while holding it, so a cell enqueued here is guaranteed to
@@ -406,7 +483,6 @@ fn submit_job(state: &Arc<ServerState>, body: &str) -> (u16, String) {
         Submission::New(cell) => {
             stats.jobs_accepted.fetch_add(1, Ordering::Relaxed);
             metrics.cache_misses.inc();
-            cell.record_stage(Stage::Parse, parse_time);
             log_kv(Level::Info, "server.accept", &[("id", &cell.id)]);
             (202, submission_body(&cell, false))
         }
@@ -460,11 +536,8 @@ fn job_status(state: &Arc<ServerState>, id: &str) -> (u16, String) {
         Value::from(cell.id.as_str()),
         Value::from(snapshot.status()),
     );
-    if let Some(qasm) = &cell.input.circuit_qasm {
-        body.push_str(&format!(
-            r#","circuit_qasm":{}"#,
-            Value::from(qasm.as_str())
-        ));
+    if let Some(qasm) = cell.circuit_qasm() {
+        body.push_str(&format!(r#","circuit_qasm":{}"#, Value::from(qasm)));
     }
     // The stage breakdown accumulated so far (parse and queue wait while
     // pending; the full simulation stages once terminal). Lives in the
@@ -552,8 +625,40 @@ fn stats_body(state: &Arc<ServerState>) -> String {
             "shutting_down".to_string(),
             Value::from(state.shutting_down()),
         ),
+        ("store".to_string(), store_stats(state)),
     ])
     .to_string()
+}
+
+/// The `store` object inside `/v1/stats` (`null` when memory-only by
+/// configuration; `degraded: true` when memory-only by disk failure).
+fn store_stats(state: &Arc<ServerState>) -> Value {
+    let Some(store) = &state.store else {
+        return Value::Null;
+    };
+    let boot = store.boot_report();
+    Value::object(vec![
+        (
+            "path".to_string(),
+            Value::from(store.path().display().to_string().as_str()),
+        ),
+        ("records".to_string(), Value::from(store.records())),
+        ("writes".to_string(), Value::from(store.writes())),
+        (
+            "write_failures".to_string(),
+            Value::from(store.write_failures()),
+        ),
+        ("degraded".to_string(), Value::from(store.is_degraded())),
+        (
+            "restored_at_boot".to_string(),
+            Value::from(boot.records_restored),
+        ),
+        (
+            "truncated_bytes_at_boot".to_string(),
+            Value::from(boot.truncated_bytes),
+        ),
+        ("compacted_at_boot".to_string(), Value::from(boot.compacted)),
+    ])
 }
 
 /// `GET /v1/metrics`: Prometheus text — this instance's registry (request,
@@ -627,7 +732,9 @@ fn worker_loop(state: &Arc<ServerState>) {
 /// worker's context — whose rewind invariants cannot be trusted after an
 /// unwind — is replaced with a fresh one.
 fn execute_job(state: &Arc<ServerState>, cell: &Arc<ExecutionCell>, ctx: &mut ExecContext) {
-    let input: &JobInput = &cell.input;
+    let input: &JobInput = cell
+        .input()
+        .expect("queued cells always carry their input (only restored cells do not)");
     // Per-job intra-shot width, clamped against the worker-pool size so a
     // fully loaded pool never oversubscribes the machine. The knob never
     // affects the payload (bit-identical by the `qsdd_dd` speculation
@@ -636,32 +743,53 @@ fn execute_job(state: &Arc<ServerState>, cell: &Arc<ExecutionCell>, ctx: &mut Ex
         input.intra_threads,
         state.workers,
     ));
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let engine = ShotEngine::new(
-            &input.circuit,
-            input.backend,
-            input.noise,
-            input.seed,
-            input.opt,
-        );
-        let outcome = match &input.weighted {
-            Some(options) => qsdd_core::run_engine_weighted_in(
-                &engine,
-                ctx,
-                input.shots,
-                &input.observables,
-                options,
-            ),
-            None => run_engine_in(&engine, ctx, input.shots, &input.observables, input.dedup),
-        };
-        // The payload is timing-free by contract (byte-identical cache
-        // serving); the breakdown rides alongside into the job envelope.
-        (api::result_payload(input, &outcome), outcome.stage_timings)
-    }));
+    // The job's deadline (when it set one). Cancellation is cooperative —
+    // the drivers check at chunk and trajectory boundaries — so the context
+    // stays reusable after a timeout, unlike after a panic.
+    let deadline = match input.timeout_ms {
+        Some(ms) => Deadline::from_millis(ms),
+        None => Deadline::unbounded(),
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<(String, StageTimings), TimedOut> {
+            if qsdd_store::fault::should_panic_worker() {
+                panic!("injected worker fault (QSDD_FAULTS worker_panic)");
+            }
+            let engine = ShotEngine::new(
+                &input.circuit,
+                input.backend,
+                input.noise,
+                input.seed,
+                input.opt,
+            );
+            let outcome = match &input.weighted {
+                Some(options) => qsdd_core::run_engine_weighted_in_deadline(
+                    &engine,
+                    ctx,
+                    input.shots,
+                    &input.observables,
+                    options,
+                    &deadline,
+                )?,
+                None => run_engine_in_deadline(
+                    &engine,
+                    ctx,
+                    input.shots,
+                    &input.observables,
+                    input.dedup,
+                    &deadline,
+                )?,
+            };
+            // The payload is timing-free by contract (byte-identical cache
+            // serving); the breakdown rides alongside into the job envelope.
+            Ok((api::result_payload(input, &outcome), outcome.stage_timings))
+        },
+    ));
     match result {
-        Ok((payload, timings)) => {
+        Ok(Ok((payload, timings))) => {
             cell.merge_timings(&timings);
-            cell.complete(Arc::new(payload));
+            let payload = Arc::new(payload);
+            cell.complete(Arc::clone(&payload));
             state.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
             state.metrics.jobs_completed.inc();
             state.metrics.job_duration.observe_duration(cell.age());
@@ -672,6 +800,42 @@ fn execute_job(state: &Arc<ServerState>, cell: &Arc<ExecutionCell>, ctx: &mut Ex
                     ("id", &cell.id),
                     ("secs", &format!("{:.6}", cell.age().as_secs_f64())),
                 ],
+            );
+            // Persist behind the cache: the client is already served from
+            // memory, so store trouble can only cost durability.
+            if let Some(store) = &state.store {
+                let record = RestoredRecord {
+                    id: cell.id.clone(),
+                    key: cell.key.clone(),
+                    circuit_qasm: input.circuit_qasm.clone(),
+                    payload: (*payload).clone(),
+                    // The merged breakdown, so a restored envelope reports
+                    // the same timings the original run did.
+                    timings: cell.stage_timings(),
+                };
+                match store.record_completion(&record) {
+                    AppendOutcome::Written => {
+                        state.metrics.store_writes.inc();
+                        state.metrics.store_records.set(store.records() as i64);
+                    }
+                    AppendOutcome::Failed => {
+                        state.metrics.store_write_failures.inc();
+                        state.metrics.store_degraded.set(store.is_degraded() as i64);
+                    }
+                    AppendOutcome::Skipped => {}
+                }
+            }
+        }
+        Ok(Err(TimedOut)) => {
+            let budget = input.timeout_ms.unwrap_or(0);
+            cell.fail(format!("timed_out: exceeded the {budget} ms deadline"));
+            state.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            state.metrics.jobs_failed.inc();
+            state.metrics.jobs_timed_out.inc();
+            log_kv(
+                Level::Warn,
+                "server.job_timed_out",
+                &[("id", &cell.id), ("timeout_ms", &budget.to_string())],
             );
         }
         Err(panic) => {
@@ -707,6 +871,9 @@ pub fn serve_forever(config: ServerConfig, out: &mut impl Write) -> io::Result<(
         out,
         "endpoints: POST /v1/jobs, GET /v1/jobs/<id>, GET /v1/healthz, GET /v1/stats, GET /v1/metrics, POST /v1/shutdown"
     )?;
+    if let Some(line) = server.store_banner() {
+        writeln!(out, "{line}")?;
+    }
     out.flush()?;
     server.join();
     Ok(())

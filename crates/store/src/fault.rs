@@ -1,0 +1,216 @@
+//! Fault injection for the robustness test suite.
+//!
+//! Production code sprinkles *named fault sites* (worker panics, store
+//! write/open failures, delayed writes) that the kill-restart and
+//! degradation tests arm either in-process ([`install`]) or across a
+//! subprocess boundary via the `QSDD_FAULTS` environment variable
+//! ([`init_from_env`], called once at server startup).
+//!
+//! When no plan is installed — the production state — every site check is
+//! a single relaxed atomic load of a `false` flag, so the seam costs
+//! nothing on hot paths. Counters are *budgets*: `store_write_err=2` makes
+//! the next two store appends fail and then heals, which is exactly the
+//! shape transient disk faults take.
+//!
+//! ## Spec syntax
+//!
+//! Comma-separated `site=count` pairs, e.g.
+//! `QSDD_FAULTS=worker_panic=1,store_write_err=3,store_write_delay_ms=50`:
+//!
+//! | site | effect |
+//! |------|--------|
+//! | `worker_panic` | the next *count* simulations panic mid-job |
+//! | `store_write_err` | the next *count* store appends return an I/O error |
+//! | `store_open_err` | the next *count* store opens return an I/O error |
+//! | `store_write_delay_ms` | every store append sleeps this long first |
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Master switch: `false` (production) short-circuits every site check.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Remaining worker panics to inject.
+static WORKER_PANIC: AtomicU64 = AtomicU64::new(0);
+/// Remaining store-append failures to inject.
+static STORE_WRITE_ERR: AtomicU64 = AtomicU64::new(0);
+/// Remaining store-open failures to inject.
+static STORE_OPEN_ERR: AtomicU64 = AtomicU64::new(0);
+/// Delay (milliseconds) applied to every store append while non-zero.
+static STORE_WRITE_DELAY_MS: AtomicU64 = AtomicU64::new(0);
+
+/// A parsed fault plan: how many times each named site fires.
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub struct FaultPlan {
+    /// Simulations that will panic mid-job.
+    pub worker_panic: u64,
+    /// Store appends that will return an injected I/O error.
+    pub store_write_err: u64,
+    /// Store opens that will return an injected I/O error.
+    pub store_open_err: u64,
+    /// Sleep applied to every store append (0 = none).
+    pub store_write_delay_ms: u64,
+}
+
+/// Installs `plan`, replacing any previous one. Tests that install a plan
+/// must [`clear`] it afterwards (the state is process-global).
+pub fn install(plan: FaultPlan) {
+    WORKER_PANIC.store(plan.worker_panic, Ordering::Relaxed);
+    STORE_WRITE_ERR.store(plan.store_write_err, Ordering::Relaxed);
+    STORE_OPEN_ERR.store(plan.store_open_err, Ordering::Relaxed);
+    STORE_WRITE_DELAY_MS.store(plan.store_write_delay_ms, Ordering::Relaxed);
+    ENABLED.store(plan != FaultPlan::default(), Ordering::Release);
+}
+
+/// Disarms every fault site.
+pub fn clear() {
+    install(FaultPlan::default());
+}
+
+/// Arms the plan described by the `QSDD_FAULTS` environment variable, if
+/// set. Called once at server startup so subprocess tests can inject
+/// faults without a code path into the child. A malformed spec panics —
+/// a test that asks for faults and silently gets none would pass vacuously.
+pub fn init_from_env() {
+    if let Ok(spec) = std::env::var("QSDD_FAULTS") {
+        if !spec.is_empty() {
+            install(parse_spec(&spec).unwrap_or_else(|e| panic!("bad QSDD_FAULTS: {e}")));
+        }
+    }
+}
+
+/// Parses a `site=count,site=count` spec (see the module docs for the
+/// site table).
+pub fn parse_spec(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::default();
+    for pair in spec.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (site, count) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("`{pair}` is not `site=count`"))?;
+        let count: u64 = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("`{count}` is not a count"))?;
+        match site.trim() {
+            "worker_panic" => plan.worker_panic = count,
+            "store_write_err" => plan.store_write_err = count,
+            "store_open_err" => plan.store_open_err = count,
+            "store_write_delay_ms" => plan.store_write_delay_ms = count,
+            other => return Err(format!("unknown fault site `{other}`")),
+        }
+    }
+    Ok(plan)
+}
+
+/// Decrements `counter` if positive; true exactly when this call consumed
+/// one injection budget unit.
+fn take(counter: &AtomicU64) -> bool {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return false;
+    }
+    counter
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+/// Site check: should this simulation panic? (Consumes one budget unit.)
+pub fn should_panic_worker() -> bool {
+    take(&WORKER_PANIC)
+}
+
+/// Site check: should this store append fail? (Consumes one budget unit.)
+pub fn take_store_write_error() -> bool {
+    take(&STORE_WRITE_ERR)
+}
+
+/// Site check: should this store open fail? (Consumes one budget unit.)
+pub fn take_store_open_error() -> bool {
+    take(&STORE_OPEN_ERR)
+}
+
+/// Site check: the delay every store append must apply, if armed.
+pub fn write_delay() -> Option<Duration> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    match STORE_WRITE_DELAY_MS.load(Ordering::Relaxed) {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The fault state is process-global, so every test here serializes on
+    // one lock and restores the disarmed state before releasing it.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disabled_sites_never_fire() {
+        let _guard = LOCK.lock().unwrap();
+        clear();
+        assert!(!should_panic_worker());
+        assert!(!take_store_write_error());
+        assert!(!take_store_open_error());
+        assert!(write_delay().is_none());
+    }
+
+    #[test]
+    fn budgets_fire_exactly_count_times() {
+        // Only the worker-panic site is armed here: the store sites are
+        // checked by RecordLog, whose unit tests run concurrently in this
+        // same process (their coverage lives in tests/fault_injection.rs,
+        // a separate test binary and therefore a separate process).
+        let _guard = LOCK.lock().unwrap();
+        install(FaultPlan {
+            worker_panic: 2,
+            ..FaultPlan::default()
+        });
+        assert!(should_panic_worker());
+        assert!(should_panic_worker());
+        assert!(!should_panic_worker());
+        clear();
+    }
+
+    #[test]
+    fn specs_parse_and_reject_unknown_sites() {
+        let _guard = LOCK.lock().unwrap();
+        let plan = parse_spec("worker_panic=3, store_write_err=1,store_write_delay_ms=50").unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan {
+                worker_panic: 3,
+                store_write_err: 1,
+                store_open_err: 0,
+                store_write_delay_ms: 50,
+            }
+        );
+        assert!(parse_spec("explode=1").unwrap_err().contains("unknown"));
+        assert!(parse_spec("worker_panic")
+            .unwrap_err()
+            .contains("site=count"));
+        assert!(parse_spec("worker_panic=lots")
+            .unwrap_err()
+            .contains("count"));
+        // Empty segments are tolerated (trailing commas).
+        assert_eq!(parse_spec("").unwrap(), FaultPlan::default());
+        clear();
+    }
+
+    #[test]
+    fn write_delay_reads_without_consuming() {
+        let _guard = LOCK.lock().unwrap();
+        install(FaultPlan {
+            store_write_delay_ms: 7,
+            ..FaultPlan::default()
+        });
+        assert_eq!(write_delay(), Some(Duration::from_millis(7)));
+        assert_eq!(write_delay(), Some(Duration::from_millis(7)));
+        clear();
+    }
+}

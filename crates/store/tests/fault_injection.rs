@@ -1,0 +1,97 @@
+//! Store-site fault injection, exercised through [`RecordLog`].
+//!
+//! Lives in its own integration-test binary on purpose: fault plans are
+//! process-global, and arming store I/O errors inside the crate's unit
+//! tests would race the concurrently running `RecordLog` unit tests. Here
+//! the whole process belongs to these tests (serialized by a local lock).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use qsdd_store::fault::{self, FaultPlan};
+use qsdd_store::{RecordLog, SyncPolicy};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_path(tag: &str) -> PathBuf {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "qsdd-store-fault-{}-{tag}-{n}.log",
+        std::process::id()
+    ))
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn injected_write_errors_fail_the_budgeted_appends_then_heal() {
+    let _guard = LOCK.lock().unwrap();
+    let path = temp_path("write-err");
+    let _cleanup = Cleanup(path.clone());
+    let (mut log, _, _) = RecordLog::open(&path, SyncPolicy::Never).unwrap();
+    fault::install(FaultPlan {
+        store_write_err: 2,
+        ..FaultPlan::default()
+    });
+    assert!(log.append(b"fails-1").is_err());
+    assert!(log.append(b"fails-2").is_err());
+    // Budget exhausted: the site heals and the log is still usable.
+    log.append(b"lands").unwrap();
+    fault::clear();
+    drop(log);
+    let (_log, records, report) = RecordLog::open(&path, SyncPolicy::Never).unwrap();
+    assert_eq!(records, vec![b"lands".to_vec()]);
+    assert_eq!(report.truncated_bytes, 0, "failed appends wrote nothing");
+}
+
+#[test]
+fn injected_open_errors_surface_as_io_errors() {
+    let _guard = LOCK.lock().unwrap();
+    let path = temp_path("open-err");
+    let _cleanup = Cleanup(path.clone());
+    fault::install(FaultPlan {
+        store_open_err: 1,
+        ..FaultPlan::default()
+    });
+    let err = RecordLog::open(&path, SyncPolicy::Never).unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+    // Second open succeeds (budget spent) — transient faults heal.
+    let (_log, records, _) = RecordLog::open(&path, SyncPolicy::Never).unwrap();
+    assert!(records.is_empty());
+    fault::clear();
+}
+
+#[test]
+fn injected_delays_slow_appends_without_failing_them() {
+    let _guard = LOCK.lock().unwrap();
+    let path = temp_path("delay");
+    let _cleanup = Cleanup(path.clone());
+    let (mut log, _, _) = RecordLog::open(&path, SyncPolicy::Never).unwrap();
+    fault::install(FaultPlan {
+        store_write_delay_ms: 30,
+        ..FaultPlan::default()
+    });
+    let started = Instant::now();
+    log.append(b"slow").unwrap();
+    assert!(started.elapsed().as_millis() >= 30, "delay was not applied");
+    fault::clear();
+    assert_eq!(log.records(), 1);
+}
+
+#[test]
+fn env_specs_round_trip_through_the_parser() {
+    // Pure parsing — no global state touched until install, which this
+    // test never calls.
+    let plan = fault::parse_spec("store_write_err=1,store_open_err=2").unwrap();
+    assert_eq!(plan.store_write_err, 1);
+    assert_eq!(plan.store_open_err, 2);
+    assert_eq!(plan.worker_panic, 0);
+}

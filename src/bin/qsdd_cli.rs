@@ -45,6 +45,7 @@ struct Options {
     profile: bool,
     format: RunFormat,
     weighted: Option<WeightedOptions>,
+    timeout_ms: Option<u64>,
 }
 
 /// Output format of the `run` / `generate` result on stdout.
@@ -121,7 +122,7 @@ usage:
   qsdd_cli generate <ghz|qft|grover|bv|wstate|qaoa> <qubits> [options]
   qsdd_cli batch <jobfile> [--out <path>] [--format json|csv] [--threads <N>]
   qsdd_cli serve [--addr <host:port>] [--threads <N>] [--cache-entries <N>]
-                 [--queue-depth <N>]
+                 [--queue-depth <N>] [--store-dir <path>]
 
 options (run / generate):
   --shots <N>          number of stochastic runs (default 1000)
@@ -157,6 +158,9 @@ options (run / generate):
                        `qsdd_cli run c.qasm --format json > out.json` composes
   --profile            print a per-stage timing breakdown (parse, transpile,
                        compile, presample, execute, ...) to stderr
+  --timeout <ms>       cancel the run once this many milliseconds have
+                       elapsed (cooperative, checked between shots); a
+                       timed-out run prints `timed_out` and exits nonzero
 
 options (batch):
   --out <path>         write the report to a file instead of stdout
@@ -174,6 +178,10 @@ options (serve):
   --threads <N>        simulation worker threads, 0 = all cores (default 0)
   --cache-entries <N>  completed results kept by the cache (default 1024)
   --queue-depth <N>    queued jobs before 429 backpressure (default 256)
+  --store-dir <path>   persist completed results to this directory and
+                       reload them on the next boot (default: memory-only);
+                       restarts serve previously completed jobs
+                       byte-identically
 
 Diagnostics and progress lines go to stderr; stdout carries only results
 (the histogram / JSON document / batch report), so output redirection
@@ -390,6 +398,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServerConfig, String> {
                     return Err("--queue-depth must be positive".to_string());
                 }
             }
+            "--store-dir" => config.store_dir = Some(value("--store-dir")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -455,6 +464,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         profile: false,
         format: RunFormat::Text,
         weighted: None,
+        timeout_ms: None,
     };
     let mut depolarizing = options.noise.depolarizing_prob();
     let mut damping = options.noise.amplitude_damping_prob();
@@ -521,6 +531,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--exact-histogram" => {
                 weighted_options.exact_histogram = true;
                 weighted_knob_seen = Some("--exact-histogram");
+            }
+            "--timeout" => {
+                let ms = parse_number(&value("--timeout")?)? as u64;
+                if ms == 0 {
+                    return Err("--timeout must be at least 1 millisecond".to_string());
+                }
+                options.timeout_ms = Some(ms);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -620,9 +637,26 @@ fn run(options: Options) -> ExitCode {
     if let Some(weighted) = options.weighted.clone() {
         simulator = simulator.with_weighted(weighted);
     }
+    // The run's deadline (when --timeout set one). Cancellation is
+    // cooperative — checked between shots — so a timed-out run exits
+    // promptly without leaving partial results on stdout.
+    let deadline = match options.timeout_ms {
+        Some(ms) => qsdd::core::Deadline::from_millis(ms),
+        None => qsdd::core::Deadline::unbounded(),
+    };
     let result = match &transpiled {
-        Some(transpiled) => simulator.run_transpiled(transpiled, &[]),
-        None => simulator.run(&options.circuit),
+        Some(transpiled) => simulator.run_transpiled_deadline(transpiled, &[], &deadline),
+        None => simulator.run_with_observables_deadline(&options.circuit, &[], &deadline),
+    };
+    let result = match result {
+        Ok(result) => result,
+        Err(qsdd::core::TimedOut) => {
+            eprintln!(
+                "error: timed_out: the run exceeded its {} ms deadline",
+                options.timeout_ms.unwrap_or(0)
+            );
+            return ExitCode::FAILURE;
+        }
     };
 
     eprintln!(
@@ -1018,6 +1052,7 @@ mod tests {
         assert_eq!(defaults.threads, 0);
         assert_eq!(defaults.cache_entries, 1024);
         assert_eq!(defaults.queue_depth, 256);
+        assert_eq!(defaults.store_dir, None);
         let custom = parse_serve_args(&args(&[
             "--addr",
             "0.0.0.0:9000",
@@ -1027,12 +1062,15 @@ mod tests {
             "64",
             "--queue-depth",
             "16",
+            "--store-dir",
+            "/tmp/results",
         ]))
         .unwrap();
         assert_eq!(custom.addr, "0.0.0.0:9000");
         assert_eq!(custom.threads, 4);
         assert_eq!(custom.cache_entries, 64);
         assert_eq!(custom.queue_depth, 16);
+        assert_eq!(custom.store_dir.as_deref(), Some("/tmp/results"));
     }
 
     #[test]
@@ -1042,6 +1080,17 @@ mod tests {
         assert!(parse_serve_args(&args(&["--cache-entries", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--queue-depth", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--threads", "x"])).is_err());
+        assert!(parse_serve_args(&args(&["--store-dir"])).is_err());
+    }
+
+    #[test]
+    fn parses_the_run_timeout_flag() {
+        let defaults = parse_args(&args(&["generate", "ghz", "4"])).unwrap();
+        assert_eq!(defaults.timeout_ms, None);
+        let bounded = parse_args(&args(&["generate", "ghz", "4", "--timeout", "2500"])).unwrap();
+        assert_eq!(bounded.timeout_ms, Some(2500));
+        assert!(parse_args(&args(&["generate", "ghz", "4", "--timeout", "0"])).is_err());
+        assert!(parse_args(&args(&["generate", "ghz", "4", "--timeout"])).is_err());
     }
 
     #[test]

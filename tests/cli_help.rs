@@ -39,6 +39,7 @@ const RUN_FLAGS: &[&str] = &[
     "--top",
     "--format",
     "--profile",
+    "--timeout",
 ];
 const BATCH_FLAGS: &[&str] = &[
     "--out",
@@ -48,7 +49,13 @@ const BATCH_FLAGS: &[&str] = &[
     "--no-dedup",
     "--profile",
 ];
-const SERVE_FLAGS: &[&str] = &["--addr", "--threads", "--cache-entries", "--queue-depth"];
+const SERVE_FLAGS: &[&str] = &[
+    "--addr",
+    "--threads",
+    "--cache-entries",
+    "--queue-depth",
+    "--store-dir",
+];
 
 fn cli(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_qsdd_cli"))
@@ -114,6 +121,8 @@ fn listed_flags_are_actually_accepted() {
         "--format",
         "json",
         "--profile",
+        "--timeout",
+        "60000",
     ]);
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(

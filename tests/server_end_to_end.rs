@@ -354,8 +354,23 @@ fn load_test_64_concurrent_clients_with_cache_hits() {
                             r#"{{"circuit":{{"generator":"ghz","qubits":7}},"shots":500,"seed":{job}}}"#
                         );
                         barrier.wait();
-                        let (status, response) =
-                            client::request(addr, "POST", "/v1/jobs", Some(&body)).unwrap();
+                        // Submit through the bounded-backoff retry helper:
+                        // a 64-client stampede may transiently fill the
+                        // queue, and 429s are an invitation to retry, not
+                        // a dropped response.
+                        let (status, _, response) = client::with_retry(
+                            5,
+                            Duration::from_millis(10),
+                            client_index as u64,
+                            || {
+                                client::Client::connect(addr)?.request_with_headers(
+                                    "POST",
+                                    "/v1/jobs",
+                                    Some(&body),
+                                )
+                            },
+                        )
+                        .unwrap();
                         if status != 200 && status != 202 {
                             failures.fetch_add(1, Ordering::SeqCst);
                             return (job, String::new());

@@ -1,0 +1,316 @@
+//! Subprocess crash-recovery tests: `kill -9` a serving `qsdd_cli serve`
+//! process mid-flight, restart it on the same `--store-dir`, and assert
+//! that every completed job's GET response is byte-identical — the
+//! durability acceptance contract for the result store.
+//!
+//! The fault-injection seam (`QSDD_FAULTS`) is exercised here too, since
+//! it only activates at process start and therefore needs a subprocess.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStderr, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use qsdd::json::{self, Value};
+use qsdd::server::client;
+
+/// Kills the child on drop so a failing assertion never leaks a server.
+struct ServerProcess {
+    child: Child,
+    addr: SocketAddr,
+    stderr: BufReader<ChildStderr>,
+}
+
+impl Drop for ServerProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl ServerProcess {
+    /// Spawns `qsdd_cli serve --addr 127.0.0.1:0 --store-dir <dir>` (plus
+    /// `envs`) and blocks until the banner announces the bound address.
+    fn spawn(store_dir: Option<&Path>, envs: &[(&str, &str)]) -> ServerProcess {
+        let mut command = Command::new(env!("CARGO_BIN_EXE_qsdd_cli"));
+        command.args(["serve", "--addr", "127.0.0.1:0", "--threads", "1"]);
+        if let Some(dir) = store_dir {
+            command.arg("--store-dir").arg(dir);
+        }
+        for (name, value) in envs {
+            command.env(name, value);
+        }
+        let mut child = command
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn qsdd_cli serve");
+        let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            assert!(
+                stderr.read_line(&mut line).expect("read banner") > 0,
+                "server exited before announcing its address"
+            );
+            if let Some(index) = line.find("http://") {
+                break line[index + "http://".len()..]
+                    .trim()
+                    .parse::<SocketAddr>()
+                    .expect("parseable bound address");
+            }
+        };
+        ServerProcess {
+            child,
+            addr,
+            stderr,
+        }
+    }
+
+    /// Reads banner lines until one contains `needle` (the store banner is
+    /// printed right after the endpoints line).
+    fn await_banner_line(&mut self, needle: &str) -> String {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            assert!(
+                self.stderr.read_line(&mut line).expect("read banner") > 0,
+                "server exited before printing a line containing `{needle}`"
+            );
+            if line.contains(needle) {
+                return line.trim().to_string();
+            }
+        }
+    }
+
+    /// SIGKILL — no destructors, no flushes, the crash we recover from.
+    fn kill_dash_nine(mut self) {
+        self.child.kill().expect("kill -9");
+        self.child.wait().expect("reap");
+        // Skip the Drop re-kill path (already dead and reaped).
+        std::mem::forget(self);
+    }
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qsdd-restart-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn submit(addr: SocketAddr, body: &str) -> String {
+    // Retry the connect+POST: right after boot the listener can still be
+    // settling, and this is exactly what `with_retry` is for.
+    let (status, _, response) = client::with_retry(5, Duration::from_millis(20), 1, || {
+        client::Client::connect(addr)?.request_with_headers("POST", "/v1/jobs", Some(body))
+    })
+    .expect("submit");
+    assert!(status == 200 || status == 202, "submit failed: {response}");
+    json::parse(&response)
+        .unwrap()
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string()
+}
+
+fn poll_terminal(addr: SocketAddr, id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut session = client::Client::connect(addr).expect("connect");
+    loop {
+        let (status, body) = session
+            .request("GET", &format!("/v1/jobs/{id}"), None)
+            .expect("poll");
+        assert_eq!(status, 200, "poll failed: {body}");
+        let envelope = json::parse(&body).expect("envelope json");
+        match envelope.get("status").and_then(Value::as_str) {
+            Some("completed") | Some("failed") => return body,
+            _ => {
+                assert!(Instant::now() < deadline, "job {id} never finished");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Polls `/v1/stats` until `predicate` holds (or ~10 s pass) and returns
+/// the last snapshot — store appends land just *after* a job completes,
+/// so tests that kill or inspect right afterwards must wait for them.
+fn await_stats(addr: SocketAddr, predicate: impl Fn(&Value) -> bool) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, body) = client::request(addr, "GET", "/v1/stats", None).unwrap();
+        let stats = json::parse(&body).unwrap();
+        if predicate(&stats) || Instant::now() > deadline {
+            return stats;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn store_u64(stats: &Value, field: &str) -> Option<u64> {
+    stats
+        .get("store")
+        .and_then(|store| store.get(field))
+        .and_then(Value::as_u64)
+}
+
+#[test]
+fn kill_nine_then_restart_serves_byte_identical_results() {
+    let dir = scratch_dir("kill-nine");
+    let jobs: Vec<String> = (0..4)
+        .map(|seed| {
+            format!(r#"{{"circuit":{{"generator":"ghz","qubits":6}},"shots":300,"seed":{seed}}}"#)
+        })
+        .collect();
+
+    // Life one: complete the jobs, capture the served bytes, then die
+    // without warning.
+    let server = ServerProcess::spawn(Some(&dir), &[]);
+    let addr = server.addr;
+    let ids: Vec<String> = jobs.iter().map(|body| submit(addr, body)).collect();
+    let before: Vec<String> = ids.iter().map(|id| poll_terminal(addr, id)).collect();
+    for body in &before {
+        assert!(body.contains(r#""status":"completed""#), "{body}");
+    }
+    let stats = await_stats(addr, |stats| store_u64(stats, "writes") == Some(4));
+    assert_eq!(store_u64(&stats, "writes"), Some(4));
+    server.kill_dash_nine();
+
+    // Life two: same directory. Every id must answer byte-identically,
+    // with zero simulations run.
+    let mut server = ServerProcess::spawn(Some(&dir), &[]);
+    let addr = server.addr;
+    let banner = server.await_banner_line("store:");
+    assert!(
+        banner.contains("4 records restored"),
+        "banner drifted: {banner}"
+    );
+    for (id, before) in ids.iter().zip(&before) {
+        let after = poll_terminal(addr, id);
+        assert_eq!(
+            &after, before,
+            "kill -9 + restart changed the bytes of {id}"
+        );
+    }
+    let (status, stats) = client::request(addr, "GET", "/v1/stats", None).unwrap();
+    assert_eq!(status, 200);
+    let stats = json::parse(&stats).unwrap();
+    assert_eq!(stats.get("simulations").and_then(Value::as_u64), Some(0));
+    let store = stats.get("store").expect("store stats present");
+    assert_eq!(
+        store.get("restored_at_boot").and_then(Value::as_u64),
+        Some(4)
+    );
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_torn_tail_is_truncated_and_older_records_survive() {
+    let dir = scratch_dir("torn-tail");
+    let server = ServerProcess::spawn(Some(&dir), &[]);
+    let addr = server.addr;
+    let id = submit(
+        addr,
+        r#"{"circuit":{"generator":"ghz","qubits":5},"shots":150,"seed":7}"#,
+    );
+    let before = poll_terminal(addr, &id);
+    await_stats(addr, |stats| store_u64(stats, "writes") == Some(1));
+    server.kill_dash_nine();
+
+    // Simulate a write torn mid-record by the crash: append garbage that
+    // looks like a record header with a length pointing past EOF.
+    let log = dir.join("results.log");
+    let mut bytes = std::fs::read(&log).expect("log exists");
+    let intact = bytes.len();
+    bytes.extend_from_slice(&1024u32.to_le_bytes());
+    bytes.extend_from_slice(&[0xAB; 20]);
+    std::fs::write(&log, &bytes).unwrap();
+
+    let mut server = ServerProcess::spawn(Some(&dir), &[]);
+    let addr = server.addr;
+    let banner = server.await_banner_line("store:");
+    assert!(
+        banner.contains("1 records restored"),
+        "banner drifted: {banner}"
+    );
+    assert_eq!(poll_terminal(addr, &id), before, "recovery changed bytes");
+    let (_, stats) = client::request(addr, "GET", "/v1/stats", None).unwrap();
+    let stats = json::parse(&stats).unwrap();
+    let store = stats.get("store").unwrap();
+    assert_eq!(
+        store.get("truncated_bytes_at_boot").and_then(Value::as_u64),
+        Some((bytes.len() - intact) as u64),
+        "the torn tail's bytes must be reported"
+    );
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_worker_panics_fail_the_job_but_not_the_server() {
+    // QSDD_FAULTS is read once at process start, so the seam needs a
+    // subprocess. One armed panic: the first executed job dies, the
+    // worker's catch_unwind contains it, and the next job runs clean.
+    let server = ServerProcess::spawn(None, &[("QSDD_FAULTS", "worker_panic=1")]);
+    let addr = server.addr;
+    let doomed = submit(
+        addr,
+        r#"{"circuit":{"generator":"ghz","qubits":4},"shots":100,"seed":1}"#,
+    );
+    let envelope = json::parse(&poll_terminal(addr, &doomed)).unwrap();
+    assert_eq!(
+        envelope.get("status").and_then(Value::as_str),
+        Some("failed")
+    );
+    let error = envelope
+        .get("error")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string();
+    assert!(error.contains("simulation failed"), "{error}");
+
+    // The process survived; a fresh job completes.
+    let healthy = submit(
+        addr,
+        r#"{"circuit":{"generator":"ghz","qubits":4},"shots":100,"seed":2}"#,
+    );
+    let envelope = json::parse(&poll_terminal(addr, &healthy)).unwrap();
+    assert_eq!(
+        envelope.get("status").and_then(Value::as_str),
+        Some("completed")
+    );
+}
+
+#[test]
+fn injected_store_write_errors_degrade_but_jobs_still_complete() {
+    let dir = scratch_dir("write-faults");
+    // Three consecutive write failures is the degradation threshold: the
+    // server must drop to memory-only, keep completing jobs, and say so.
+    let server = ServerProcess::spawn(Some(&dir), &[("QSDD_FAULTS", "store_write_err=3")]);
+    let addr = server.addr;
+    let mut ids = Vec::new();
+    for seed in 0..4 {
+        let id = submit(
+            addr,
+            &format!(r#"{{"circuit":{{"generator":"ghz","qubits":4}},"shots":100,"seed":{seed}}}"#),
+        );
+        let body = poll_terminal(addr, &id);
+        assert!(body.contains(r#""status":"completed""#), "{body}");
+        ids.push(id);
+    }
+    let stats = await_stats(addr, |stats| store_u64(stats, "write_failures") == Some(3));
+    let store = stats.get("store").unwrap();
+    assert_eq!(store.get("degraded").and_then(Value::as_bool), Some(true));
+    assert_eq!(store.get("write_failures").and_then(Value::as_u64), Some(3));
+    let (_, metrics) = client::request(addr, "GET", "/v1/metrics", None).unwrap();
+    assert!(metrics.contains("qsdd_store_degraded 1"), "{metrics}");
+    assert!(
+        metrics.contains("qsdd_store_write_failures_total 3"),
+        "{metrics}"
+    );
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
