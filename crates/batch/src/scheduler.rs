@@ -57,6 +57,7 @@ use std::time::{Duration, Instant};
 
 use qsdd_core::{Deadline, ExecContext, ShotEngine, TimedOut};
 use qsdd_noise::ErrorPattern;
+use qsdd_telemetry::trace;
 use qsdd_telemetry::{Counter, Gauge, Stage, StageTimings};
 use rand::rngs::StdRng;
 
@@ -415,12 +416,17 @@ pub fn run_batch(specs: &[JobSpec], options: &BatchOptions) -> BatchReport {
         options.intra_threads
     };
     let intra = qsdd_core::build_intra_pool(requested_intra, workers.min(runnable));
+    let trace_handle = trace::propagate();
     std::thread::scope(|scope| {
         let shared = &shared;
         let runtimes = &runtimes;
         let intra = &intra;
         for worker in 0..workers {
-            scope.spawn(move || worker_loop(shared, runtimes, worker, intra.clone()));
+            let trace_handle = trace_handle.clone();
+            scope.spawn(move || {
+                let _lane = trace_handle.as_ref().map(|h| h.install(worker as u32 + 1));
+                worker_loop(shared, runtimes, worker, intra.clone())
+            });
         }
     });
 
@@ -531,10 +537,16 @@ fn build_round(runtime: &JobRuntime, job: usize, start: u64) -> Vec<Chunk> {
 
     // Presample the round and group shots by error pattern (groups keep
     // first-appearance order; members stay in shot order).
+    let presample_span = trace::span("presample_round");
+    trace::attr("job", job);
+    trace::attr("shots", (end - start) as usize);
     let (groups, live) = runtime
         .engine
         .presample_range(start..end)
         .expect("dedup rounds are only built for supporting engines");
+    trace::attr("groups", groups.len());
+    trace::attr("live_shots", live.len());
+    drop(presample_span);
     let mut bundle: Vec<(ErrorPattern, Vec<(u64, StdRng)>)> = Vec::new();
     let mut bundled = 0u64;
     for group in groups {
@@ -650,6 +662,18 @@ fn worker_loop(
             metrics.shots.add(chunk.shots);
         }
         let chunk_started = Instant::now();
+        let chunk_span = trace::span("chunk");
+        trace::attr("job", chunk.job);
+        trace::attr("shots", chunk.shots);
+        trace::attr(
+            "kind",
+            match &chunk.work {
+                ChunkWork::Range { .. } => "range",
+                ChunkWork::Groups(_) => "groups",
+                ChunkWork::Live(_) => "live",
+                ChunkWork::Weighted => "weighted",
+            },
+        );
 
         // Execute the chunk without holding any lock, through the worker's
         // long-lived context.
@@ -724,6 +748,8 @@ fn worker_loop(
                 trajectories
             }
         };
+        trace::attr("trajectories", local_trajectories);
+        drop(chunk_span);
         let chunk_elapsed = chunk_started.elapsed();
         busy += chunk_elapsed;
 

@@ -3,7 +3,9 @@
 //!
 //! Runs the trajectory-deduplication and context-reuse workloads directly
 //! (no criterion harness) plus the HTTP-server load scenario, and writes
-//! `BENCH_9.json`: one entry per benchmark with the optimized and naive
+//! `BENCH_<SCHEMA_VERSION + 3>.json` (so schema 7 writes `BENCH_10.json`
+//! — the name tracks the schema instead of being pinned by hand): one
+//! entry per benchmark with the optimized and naive
 //! mean per-shot cost in nanoseconds and the resulting speedup, a
 //! `weighted` section racing the weighted trajectory-enumeration driver
 //! against both the dedup and per-shot paths on GHZ-16 under the paper's
@@ -14,8 +16,12 @@
 //! `server` section with the service's throughput and cold-vs-cache-hit
 //! latency, a `warm_restart` section comparing a cold boot's simulation
 //! cost against store-warmed GETs after a restart (byte-identity is
-//! hard-gated), and a `metrics_overhead` row measuring what the disabled-mode
-//! telemetry hooks cost the context-reuse hot loop. The JSON is parsed
+//! hard-gated), a `metrics_overhead` row measuring what the disabled-mode
+//! telemetry hooks cost the context-reuse hot loop, and a
+//! `tracing_overhead` row doing the same for the span hooks with the
+//! trace gate off (per-shot `trace::span` + `trace::attr` calls — far
+//! denser than the real per-group instrumentation — must also stay
+//! within 2 %). The JSON is parsed
 //! back before the process exits, so a malformed writer fails loudly (CI
 //! runs the binary in `--test-mode` with tiny shot counts on every push;
 //! test mode also hard-gates the weighted row — it must beat dedup and be
@@ -28,12 +34,13 @@
 //! ```
 //!
 //! * `--test-mode` shrinks shots and repetitions so the run finishes in
-//!   seconds — the timings are then meaningless (except the overhead row,
-//!   which keeps enough shots to stay meaningful and is asserted ≤ 2 %),
+//!   seconds — the timings are then meaningless (except the overhead rows,
+//!   which keep enough shots to stay meaningful and are asserted ≤ 2 %),
 //!   but the whole pipeline (workloads, cross-checks, server round trips,
 //!   JSON writer) is exercised.
-//! * `--out` overrides the output path (default `BENCH_9.json`, i.e. the
-//!   repo root when invoked from there).
+//! * `--out` overrides the output path (default derived from the schema
+//!   version, `BENCH_10.json` today, i.e. the repo root when invoked from
+//!   there).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -49,6 +56,18 @@ use qsdd_noise::NoiseModel;
 use qsdd_telemetry::{Stage, StageTimings};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Version of the summary's JSON schema. Bumped whenever the document
+/// gains or changes a section; the default output name derives from it
+/// (`BENCH_{SCHEMA_VERSION + 3}.json` — the offset keeps continuity with
+/// the historical hand-numbered files).
+const SCHEMA_VERSION: u32 = 7;
+
+/// The default output path, derived from [`SCHEMA_VERSION`] so a schema
+/// bump can never silently overwrite the previous schema's artifact.
+fn default_out() -> String {
+    format!("BENCH_{}.json", SCHEMA_VERSION + 3)
+}
 
 /// One benchmark row of the summary.
 struct Row {
@@ -67,7 +86,7 @@ impl Row {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut test_mode = false;
-    let mut out = "BENCH_9.json".to_string();
+    let mut out = default_out();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -191,6 +210,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Same budget for the tracing layer: span hooks with the trace gate
+    // off, at a per-shot density the real drivers never reach.
+    let tracing = tracing_overhead_row(overhead_shots, overhead_reps);
+    println!(
+        "{:<28} bare {:>13.1} ns/shot | instrumented {:>10.1} ns/shot | overhead {:>5.2} %",
+        tracing.name, tracing.baseline_ns, tracing.instrumented_ns, tracing.overhead_percent
+    );
+    if test_mode && tracing.overhead_percent > 2.0 {
+        eprintln!(
+            "error: tracing-off span-hook overhead {:.2} % exceeds the 2 % budget",
+            tracing.overhead_percent
+        );
+        return ExitCode::FAILURE;
+    }
+
     // The intra-shot fork-join comparison: serial vs parallel execution of
     // the same engines, interleaved min-of-reps, outcomes cross-checked
     // bit for bit (the determinism contract makes the cross-check exact).
@@ -273,7 +307,10 @@ fn main() -> ExitCode {
     }
 
     let document = Value::object(vec![
-        ("format".to_string(), Value::from("qsdd-bench-summary/6")),
+        (
+            "format".to_string(),
+            Value::from(format!("qsdd-bench-summary/{SCHEMA_VERSION}").as_str()),
+        ),
         ("test_mode".to_string(), Value::from(test_mode)),
         (
             "benchmarks".to_string(),
@@ -386,6 +423,23 @@ fn main() -> ExitCode {
                 (
                     "overhead_percent".to_string(),
                     Value::from(overhead.overhead_percent),
+                ),
+                ("budget_percent".to_string(), Value::from(2.0)),
+            ]),
+        ),
+        (
+            "tracing_overhead".to_string(),
+            Value::object(vec![
+                ("name".to_string(), Value::from(tracing.name)),
+                ("shots".to_string(), Value::from(tracing.shots)),
+                ("baseline_ns".to_string(), Value::from(tracing.baseline_ns)),
+                (
+                    "instrumented_ns".to_string(),
+                    Value::from(tracing.instrumented_ns),
+                ),
+                (
+                    "overhead_percent".to_string(),
+                    Value::from(tracing.overhead_percent),
                 ),
                 ("budget_percent".to_string(), Value::from(2.0)),
             ]),
@@ -600,6 +654,56 @@ fn metrics_overhead_row(shots: usize, reps: usize) -> OverheadRow {
     let instrumented_ns = best_hooked * 1e9 / shots as f64;
     OverheadRow {
         name: "telemetry_off_ghz16",
+        shots,
+        baseline_ns,
+        instrumented_ns,
+        overhead_percent: 100.0 * (instrumented_ns - baseline_ns) / baseline_ns,
+    }
+}
+
+/// Times the context-reuse shot loop bare against the same loop opening a
+/// trace span (plus one attribute probe) around *every shot*, with the
+/// trace gate off — a far denser span rate than the real drivers use
+/// (they trace per trajectory group / scheduler chunk), so the ≤ 2 %
+/// budget bounds the worst case. With the gate off and no tracer
+/// installed, `span` returns a no-op guard after one relaxed atomic load
+/// and `attr` bails on the TLS check. Interleaved min-of-reps, outcomes
+/// cross-checked by xor accumulator.
+fn tracing_overhead_row(shots: usize, reps: usize) -> OverheadRow {
+    use qsdd_telemetry::trace;
+    trace::set_trace_enabled(false);
+    let backend = DdSimulator::new();
+    let circuit = ghz(16);
+    let noise = NoiseModel::paper_defaults();
+    let program = backend.compile(&circuit, &noise);
+    let mut ctx = backend.new_context();
+    let mut best_bare = f64::INFINITY;
+    let mut best_hooked = f64::INFINITY;
+    let mut bare_acc = 0u64;
+    let mut hooked_acc = 0u64;
+    for _ in 0..reps {
+        let started = Instant::now();
+        for shot in 0..shots as u64 {
+            let mut rng = StdRng::seed_from_u64(shot);
+            bare_acc ^= backend.run_shot(&program, &mut ctx, &mut rng).outcome;
+        }
+        best_bare = best_bare.min(started.elapsed().as_secs_f64());
+
+        let started = Instant::now();
+        for shot in 0..shots as u64 {
+            let _span = trace::span("shots");
+            let mut rng = StdRng::seed_from_u64(shot);
+            let outcome = backend.run_shot(&program, &mut ctx, &mut rng).outcome;
+            trace::attr("outcome", outcome);
+            hooked_acc ^= outcome;
+        }
+        best_hooked = best_hooked.min(started.elapsed().as_secs_f64());
+    }
+    assert_eq!(bare_acc, hooked_acc, "span hooks changed outcomes");
+    let baseline_ns = best_bare * 1e9 / shots as f64;
+    let instrumented_ns = best_hooked * 1e9 / shots as f64;
+    OverheadRow {
+        name: "tracing_off_ghz16",
         shots,
         baseline_ns,
         instrumented_ns,

@@ -50,6 +50,7 @@ use std::time::Instant;
 use qsdd_dd::IntraPool;
 
 use qsdd_noise::{ErrorPattern, PresamplePlan, Presampled};
+use qsdd_telemetry::trace;
 use rand::rngs::StdRng;
 
 use crate::backend::StochasticBackend;
@@ -164,11 +165,19 @@ fn plan_shots(plan: &PresamplePlan, shots: usize, threads: usize, seed: u64) -> 
         workers.push(only);
     } else {
         workers.resize_with(threads, WorkerGroups::default);
+        let trace_handle = trace::propagate();
         std::thread::scope(|scope| {
             for (worker, slot) in workers.iter_mut().enumerate() {
                 let start = (worker as u64 * chunk).min(shots as u64);
                 let end = (start + chunk).min(shots as u64);
-                scope.spawn(move || slot.presample_range(plan, start..end, seed));
+                let trace_handle = trace_handle.clone();
+                scope.spawn(move || {
+                    let _lane = trace_handle.as_ref().map(|h| h.install(worker as u32 + 1));
+                    let _span = trace::span("presample_shard");
+                    trace::attr("worker", worker);
+                    trace::attr("shots", (end - start) as usize);
+                    slot.presample_range(plan, start..end, seed)
+                });
             }
         });
     }
@@ -295,7 +304,12 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
 ) -> Result<StochasticOutcome, TimedOut> {
     // Phase 1 + 2: presample every shot, group by pattern.
     let presample_started = Instant::now();
+    let presample_span = trace::span("presample");
     let (mut work, live_shots) = plan_shots(&support.plan, shots, threads, seed);
+    trace::attr("shots", shots);
+    trace::attr("groups", work.len().saturating_sub(live_shots as usize));
+    trace::attr("live_shots", live_shots);
+    drop(presample_span);
     let presample_time = presample_started.elapsed();
     let unique_trajectories = work.len() as u64;
 
@@ -331,10 +345,16 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
     let bounded = !deadline.is_unbounded();
     let aborted = AtomicBool::new(false);
     let execute_started = Instant::now();
+    let trace_handle = trace::propagate();
     std::thread::scope(|scope| {
-        for (items, sink) in worker_items.into_iter().zip(sinks.iter_mut()) {
+        for (worker, (items, sink)) in worker_items.into_iter().zip(sinks.iter_mut()).enumerate() {
             let aborted = &aborted;
+            let trace_handle = trace_handle.clone();
             scope.spawn(move || {
+                let _lane = trace_handle.as_ref().map(|h| h.install(worker as u32 + 1));
+                let _span = trace::span("worker_trajectories");
+                trace::attr("worker", worker);
+                trace::attr("items", items.len());
                 let mut pattern_ctx = backend.new_context();
                 let mut work_ctx = backend.new_context();
                 if let Some(pool) = intra {
@@ -363,17 +383,22 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
                         return;
                     }
                     match item {
-                        Work::Group { pattern, mut shots } => execute_group(
-                            backend,
-                            program,
-                            support,
-                            &mut pattern_ctx,
-                            &mut work_ctx,
-                            &pattern,
-                            &mut shots,
-                            observables,
-                            &mut emit,
-                        ),
+                        Work::Group { pattern, mut shots } => {
+                            let group_span = trace::span("trajectory_group");
+                            trace::attr("members", shots.len());
+                            execute_group(
+                                backend,
+                                program,
+                                support,
+                                &mut pattern_ctx,
+                                &mut work_ctx,
+                                &pattern,
+                                &mut shots,
+                                observables,
+                                &mut emit,
+                            );
+                            drop(group_span);
+                        }
                         Work::Live(shot) => {
                             // Presampling left this shot's stream partially
                             // consumed; live execution re-derives it.
@@ -410,6 +435,7 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
     // Phase 4: merge. Integer-only aggregates merge directly; observable
     // runs replay the strided per-worker summation order first.
     let aggregate_started = Instant::now();
+    let aggregate_span = trace::span("aggregate");
     let partials: Vec<Option<WorkerPartial>> = if keep_records {
         let mut records: Vec<Option<(ShotSample, Vec<f64>)>> = Vec::new();
         records.resize_with(shots, || None);
@@ -455,6 +481,7 @@ pub(crate) fn run_dedup<B: StochasticBackend>(
             .collect()
     };
     let mut outcome = merge_partials(partials, shots, observables.len(), threads, started);
+    drop(aggregate_span);
     outcome.dedup = Some(DedupStats {
         unique_trajectories,
         live_shots,

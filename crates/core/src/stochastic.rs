@@ -30,6 +30,7 @@ use std::time::{Duration, Instant};
 
 use qsdd_circuit::Circuit;
 use qsdd_noise::NoiseModel;
+use qsdd_telemetry::trace;
 use qsdd_telemetry::{Stage, StageTimings};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -422,18 +423,24 @@ pub fn run_stochastic<B: StochasticBackend>(
     let mut partials: Vec<Option<WorkerPartial>> = (0..threads).map(|_| None).collect();
     let execute_started = Instant::now();
 
+    let trace_handle = trace::propagate();
     std::thread::scope(|scope| {
         for (worker, slot) in partials.iter_mut().enumerate() {
             let program = &program;
             let observables = &observables;
             let config = &config;
             let intra = intra.as_ref();
+            let trace_handle = trace_handle.clone();
             scope.spawn(move || {
+                let _lane = trace_handle.as_ref().map(|h| h.install(worker as u32 + 1));
+                let _span = trace::span("worker_shots");
+                trace::attr("worker", worker);
                 let mut ctx = backend.new_context();
                 if let Some(pool) = intra {
                     backend.set_intra_pool(&mut ctx, Some(Arc::clone(pool)));
                 }
                 let mut partial = WorkerPartial::new(observables.len());
+                let mut executed = 0usize;
                 let mut shot = worker;
                 while shot < config.shots {
                     let mut rng = shot_rng(config.seed, shot as u64);
@@ -449,8 +456,10 @@ pub fn run_stochastic<B: StochasticBackend>(
                         run.dd_nodes_peak,
                         &values,
                     );
+                    executed += 1;
                     shot += threads;
                 }
+                trace::attr("shots", executed);
                 *slot = Some(partial);
             });
         }
@@ -532,18 +541,24 @@ pub fn run_engine_deadline(
     let aborted = AtomicBool::new(false);
 
     let execute_started = Instant::now();
+    let trace_handle = trace::propagate();
     std::thread::scope(|scope| {
         for (worker, slot) in partials.iter_mut().enumerate() {
             let mapped = &mapped;
             let intra = intra.as_ref();
             let aborted = &aborted;
+            let trace_handle = trace_handle.clone();
             scope.spawn(move || {
+                let _lane = trace_handle.as_ref().map(|h| h.install(worker as u32 + 1));
+                let _span = trace::span("worker_shots");
+                trace::attr("worker", worker);
                 let mut ctx = engine.new_context();
                 if let Some(pool) = intra {
                     ctx.set_intra_pool(Some(Arc::clone(pool)));
                 }
                 let bounded = !deadline.is_unbounded();
                 let mut partial = WorkerPartial::new(mapped.len());
+                let mut executed = 0usize;
                 let mut shot = worker;
                 while shot < shots {
                     if bounded && deadline.expired() {
@@ -561,8 +576,10 @@ pub fn run_engine_deadline(
                         sample.dd_nodes_peak,
                         &values,
                     );
+                    executed += 1;
                     shot += threads;
                 }
+                trace::attr("shots", executed);
                 *slot = Some(partial);
             });
         }
@@ -743,7 +760,14 @@ fn run_engine_in_inner(
 ) -> Result<StochasticOutcome, TimedOut> {
     if dedup {
         let presample_started = Instant::now();
+        let presample_span = trace::span("presample");
         let presampled = engine.presample_range(0..shots as u64);
+        trace::attr("shots", shots);
+        if let Some((groups, live)) = &presampled {
+            trace::attr("groups", groups.len());
+            trace::attr("live_shots", live.len());
+        }
+        drop(presample_span);
         let presample_time = presample_started.elapsed();
         if let Some((groups, live)) = presampled {
             let mut outcome =
@@ -756,6 +780,16 @@ fn run_engine_in_inner(
     }
     let bounded = !deadline.is_unbounded();
     let execute_started = Instant::now();
+    let shots_span = trace::span(if ctx.intra_pool().is_some() {
+        "intra_shots"
+    } else {
+        "shots"
+    });
+    trace::attr("shots", shots);
+    if let Some(pool) = ctx.intra_pool() {
+        trace::attr("intra_width", pool.threads());
+    }
+    let dd_before = trace_dd_stats(ctx);
     let mut partial = WorkerPartial::new(mapped.len());
     for shot in 0..shots as u64 {
         if bounded && deadline.expired() {
@@ -770,6 +804,8 @@ fn run_engine_in_inner(
             &values,
         );
     }
+    trace_dd_attrs(ctx, dd_before);
+    drop(shots_span);
     let execute_time = execute_started.elapsed();
     let aggregate_started = Instant::now();
     let mut outcome = merge_partials(vec![Some(partial)], shots, mapped.len(), 1, started);
@@ -778,6 +814,32 @@ fn run_engine_in_inner(
         .stage_timings
         .record(Stage::Aggregate, aggregate_started.elapsed());
     Ok(outcome)
+}
+
+/// Snapshot of the context's decision-diagram table counters, taken only
+/// when the calling thread is actively traced (the stats walk both
+/// packages, so skip the work for un-traced runs).
+pub(crate) fn trace_dd_stats(ctx: &crate::ExecContext) -> Option<qsdd_dd::TableStats> {
+    trace::active().then(|| ctx.dd_table_stats())
+}
+
+/// Attaches the decision-diagram table-traffic delta since `before` to
+/// the innermost open span (the per-group / per-loop node and table-hit
+/// attributes the trace vocabulary promises).
+pub(crate) fn trace_dd_attrs(ctx: &crate::ExecContext, before: Option<qsdd_dd::TableStats>) {
+    if let Some(before) = before {
+        let delta = ctx.dd_table_stats().since(&before);
+        trace::attr("dd_compute_hits", delta.compute_hits);
+        trace::attr("dd_compute_misses", delta.compute_misses);
+        trace::attr(
+            "dd_unique_hits",
+            delta.vec_unique_hits + delta.mat_unique_hits,
+        );
+        trace::attr(
+            "dd_unique_misses",
+            delta.vec_unique_misses + delta.mat_unique_misses,
+        );
+    }
 }
 
 /// Publishes a finished job's stage timings and decision-diagram table
@@ -912,6 +974,9 @@ fn run_dedup_serial(
             if bounded && deadline.expired() {
                 return Err(TimedOut);
             }
+            let group_span = trace::span("trajectory_group");
+            trace::attr("members", members.len());
+            let dd_before = trace_dd_stats(ctx);
             for (_, sample, _) in engine.run_group_in(ctx, &pattern, &mut members, &[]) {
                 partial.record(
                     sample.outcome,
@@ -921,7 +986,11 @@ fn run_dedup_serial(
                     &[],
                 );
             }
+            trace_dd_attrs(ctx, dd_before);
+            drop(group_span);
         }
+        let live_span = trace::span("live_shots");
+        trace::attr("shots", live.len());
         for shot in live {
             if bounded && deadline.expired() {
                 return Err(TimedOut);
@@ -935,9 +1004,12 @@ fn run_dedup_serial(
                 &[],
             );
         }
+        drop(live_span);
         let execute_time = execute_started.elapsed();
         let aggregate_started = Instant::now();
+        let aggregate_span = trace::span("aggregate");
         let mut outcome = merge_partials(vec![Some(partial)], shots, 0, 1, started);
+        drop(aggregate_span);
         outcome.stage_timings.record(Stage::Execute, execute_time);
         outcome
             .stage_timings
@@ -952,10 +1024,17 @@ fn run_dedup_serial(
             if bounded && deadline.expired() {
                 return Err(TimedOut);
             }
+            let group_span = trace::span("trajectory_group");
+            trace::attr("members", members.len());
+            let dd_before = trace_dd_stats(ctx);
             for (shot, sample, values) in engine.run_group_in(ctx, &pattern, &mut members, mapped) {
                 records[shot as usize] = Some((sample, values));
             }
+            trace_dd_attrs(ctx, dd_before);
+            drop(group_span);
         }
+        let live_span = trace::span("live_shots");
+        trace::attr("shots", live.len());
         for shot in live {
             if bounded && deadline.expired() {
                 return Err(TimedOut);
@@ -963,8 +1042,10 @@ fn run_dedup_serial(
             let (sample, values) = engine.run_shot_with_observables_in(ctx, shot, mapped);
             records[shot as usize] = Some((sample, values));
         }
+        drop(live_span);
         let execute_time = execute_started.elapsed();
         let aggregate_started = Instant::now();
+        let aggregate_span = trace::span("aggregate");
         let mut partial = WorkerPartial::new(mapped.len());
         for record in &records {
             let (sample, values) = record
@@ -979,6 +1060,7 @@ fn run_dedup_serial(
             );
         }
         let mut outcome = merge_partials(vec![Some(partial)], shots, mapped.len(), 1, started);
+        drop(aggregate_span);
         outcome.stage_timings.record(Stage::Execute, execute_time);
         outcome
             .stage_timings

@@ -45,6 +45,7 @@ use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use qsdd_noise::{ErrorPattern, PatternEnumerator, Presampled, WeightedPattern};
+use qsdd_telemetry::trace;
 use qsdd_telemetry::Stage;
 
 use crate::deadline::{Deadline, TimedOut};
@@ -53,7 +54,7 @@ use crate::fxhash::FxHashMap;
 use crate::shot_engine::{ExecContext, ShotEngine};
 use crate::stochastic::{
     publish_job_metrics, run_engine_dedup_deadline, run_engine_in_deadline, shot_rng,
-    StochasticOutcome,
+    trace_dd_attrs, trace_dd_stats, StochasticOutcome,
 };
 
 /// Largest circuit (in qubits) the weighted driver accepts: beyond this the
@@ -233,17 +234,24 @@ pub fn run_engine_weighted_in_deadline(
     // Enumeration books under the presample stage: it is the weighted
     // counterpart of resolving shots' error decisions up front.
     let enumerate_started = Instant::now();
+    let enumerate_span = trace::span("weighted_enumerate");
     let mut enumerator = PatternEnumerator::new(plan)
         .with_mass_cutoff(options.mass_cutoff)
         .with_max_patterns(options.max_patterns);
     let patterns: Vec<WeightedPattern> = enumerator.by_ref().collect();
     let covered = enumerator.covered_mass();
     let residual = enumerator.residual_mass();
+    trace::attr("patterns", patterns.len());
+    trace::attr("covered_mass", covered);
+    drop(enumerate_span);
     let enumerate_time = enumerate_started.elapsed();
     // Tail candidate presampling also books under the presample stage.
     let mut tail_presample_time = std::time::Duration::ZERO;
 
     let execute_started = Instant::now();
+    let patterns_span = trace::span("weighted_patterns");
+    trace::attr("patterns", patterns.len());
+    let patterns_dd_before = trace_dd_stats(ctx);
     let mut distribution: FxHashMap<u64, f64> = FxHashMap::default();
     let mut observable_sums = vec![0.0f64; mapped.len()];
     let mut error_events = 0u64;
@@ -266,6 +274,8 @@ pub fn run_engine_weighted_in_deadline(
         nodes_sum += sample.dd_nodes;
         nodes_peak = nodes_peak.max(sample.dd_nodes_peak);
     }
+    trace_dd_attrs(ctx, patterns_dd_before);
+    drop(patterns_span);
     let simulated = patterns.len() as u64;
 
     // Residual tail: rejection-sample the conditional distribution over the
@@ -283,6 +293,8 @@ pub fn run_engine_weighted_in_deadline(
     let mut tail_shots = 0u64;
     let run_tail = !options.exact_histogram && residual > RESIDUAL_EPSILON && shots > 0;
     if run_tail {
+        let tail_span = trace::span("weighted_tail");
+        trace::attr("residual_mass", residual);
         let enumerated: HashSet<&ErrorPattern> =
             patterns.iter().map(|weighted| &weighted.pattern).collect();
         let matched = (residual * residual * shots as f64).ceil() as u64;
@@ -350,6 +362,8 @@ pub fn run_engine_weighted_in_deadline(
                 *sum += scale * tail_sum;
             }
         }
+        trace::attr("tail_shots", accepted);
+        drop(tail_span);
         tail_shots = accepted;
     }
     let execute_time = execute_started
@@ -361,6 +375,7 @@ pub fn run_engine_weighted_in_deadline(
     // residual when the tail ran) so the distribution sums to 1 and the
     // observable sums become proper expectations.
     let aggregate_started = Instant::now();
+    let aggregate_span = trace::span("aggregate");
     let accounted = if tail_shots > 0 {
         covered + residual
     } else {
@@ -380,6 +395,7 @@ pub fn run_engine_weighted_in_deadline(
         }
     }
     let counts = synthesize_counts(&entries, shots);
+    drop(aggregate_span);
 
     let mut outcome = StochasticOutcome {
         counts,

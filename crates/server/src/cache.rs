@@ -22,6 +22,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use qsdd_telemetry::trace::Tracer;
 use qsdd_telemetry::{Stage, StageTimings};
 
 use crate::api::JobInput;
@@ -79,6 +80,10 @@ pub struct ExecutionCell {
     /// The job's accumulated stage breakdown (parse and queue wait on the
     /// serving path, the simulation stages merged in on completion).
     timings: Mutex<StageTimings>,
+    /// The job's tracer, attached at submission when tracing samples the
+    /// job; the executing worker takes it, so coalesced submissions never
+    /// race over it. Diagnostics only — never part of the result payload.
+    tracer: Mutex<Option<Tracer>>,
 }
 
 impl ExecutionCell {
@@ -92,6 +97,7 @@ impl ExecutionCell {
             state: Mutex::new(CellState::Queued),
             done: Condvar::new(),
             timings: Mutex::new(StageTimings::new()),
+            tracer: Mutex::new(None),
         }
     }
 
@@ -112,6 +118,7 @@ impl ExecutionCell {
             state: Mutex::new(CellState::Done(payload)),
             done: Condvar::new(),
             timings: Mutex::new(timings),
+            tracer: Mutex::new(None),
         }
     }
 
@@ -162,6 +169,17 @@ impl ExecutionCell {
     /// A snapshot of the job's stage-timing breakdown so far.
     pub fn stage_timings(&self) -> StageTimings {
         *self.timings.lock().expect("cell lock")
+    }
+
+    /// Attaches the job's tracer (called at submission, before the cell
+    /// becomes visible to a worker).
+    pub fn attach_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock().expect("cell lock") = Some(tracer);
+    }
+
+    /// Takes the job's tracer; the executing worker finishes it.
+    pub fn take_tracer(&self) -> Option<Tracer> {
+        self.tracer.lock().expect("cell lock").take()
     }
 
     /// Time since the cell was created (submission → now); at completion

@@ -43,6 +43,12 @@ pub(crate) struct ServerMetrics {
     /// 1 when the store has degraded to memory-only, else 0 (also 0 when
     /// the server runs without a store).
     pub store_degraded: Arc<Gauge>,
+    /// Seconds each durable-store append took (fsync included).
+    pub store_append: Arc<Histogram>,
+    /// Milliseconds the boot-time store replay took (0 without a store).
+    pub store_restore_millis: Arc<Gauge>,
+    /// Records replayed from the durable store at the last boot.
+    pub store_restored_records: Arc<Gauge>,
     /// Seconds jobs spent queued before a worker picked them up.
     pub queue_wait: Arc<Histogram>,
     /// Seconds from submission to published result (end-to-end).
@@ -102,6 +108,19 @@ impl ServerMetrics {
             "qsdd_store_degraded",
             "1 when the durable store has fallen back to memory-only",
         );
+        let store_append = registry.histogram(
+            "qsdd_store_append_seconds",
+            "Time to append one completed result to the durable store",
+            LATENCY_BOUNDS,
+        );
+        let store_restore_millis = registry.gauge(
+            "qsdd_store_restore_millis",
+            "Milliseconds the boot-time durable-store replay took",
+        );
+        let store_restored_records = registry.gauge(
+            "qsdd_store_restored_records",
+            "Records replayed from the durable store at the last boot",
+        );
         let queue_wait = registry.histogram(
             "qsdd_queue_wait_seconds",
             "Time jobs spent queued before a worker picked them up",
@@ -130,6 +149,9 @@ impl ServerMetrics {
             store_write_failures,
             store_records,
             store_degraded,
+            store_append,
+            store_restore_millis,
+            store_restored_records,
             queue_wait,
             job_duration,
             queue_depth,
@@ -167,6 +189,8 @@ pub(crate) fn normalize_endpoint(path: &str) -> &'static str {
         "/v1/metrics" => "/v1/metrics",
         "/v1/jobs" => "/v1/jobs",
         "/v1/shutdown" => "/v1/shutdown",
+        "/v1/traces" => "/v1/traces",
+        path if path.starts_with("/v1/jobs/") && path.ends_with("/trace") => "/v1/jobs/{id}/trace",
         path if path.starts_with("/v1/jobs/") => "/v1/jobs/{id}",
         _ => "other",
     }
@@ -195,6 +219,11 @@ mod tests {
     fn endpoints_normalize_onto_a_bounded_label_set() {
         assert_eq!(normalize_endpoint("/v1/jobs"), "/v1/jobs");
         assert_eq!(normalize_endpoint("/v1/jobs/j0123abc"), "/v1/jobs/{id}");
+        assert_eq!(
+            normalize_endpoint("/v1/jobs/j0123abc/trace"),
+            "/v1/jobs/{id}/trace"
+        );
+        assert_eq!(normalize_endpoint("/v1/traces"), "/v1/traces");
         assert_eq!(normalize_endpoint("/v1/metrics"), "/v1/metrics");
         assert_eq!(normalize_endpoint("/etc/passwd"), "other");
         assert_eq!(normalize_endpoint(""), "other");
@@ -233,6 +262,9 @@ mod tests {
             "qsdd_store_write_failures_total",
             "qsdd_store_records",
             "qsdd_store_degraded",
+            "qsdd_store_append_seconds_count",
+            "qsdd_store_restore_millis",
+            "qsdd_store_restored_records",
             "qsdd_queue_wait_seconds_count",
             "qsdd_job_duration_seconds_count",
             "qsdd_queue_depth",

@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 
 use qsdd_core::{run_engine_in_deadline, Deadline, ExecContext, ShotEngine, TimedOut};
 use qsdd_json::Value;
+use qsdd_telemetry::trace::{self, AttrValue, TraceStore, Tracer};
 use qsdd_telemetry::{log_kv, Level, SpanTimer, Stage, StageTimings};
 
 use crate::api::{self, JobInput};
@@ -56,6 +57,10 @@ const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
 const MAX_CONNECTIONS: usize = 1024;
 /// How long [`Server::join`] waits for detached connection handlers.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+/// Completed traces retained by the in-memory ring buffer behind
+/// `GET /v1/jobs/<id>/trace`. Volatile by design — traces are a
+/// diagnostics side channel and are re-recorded when a job re-executes.
+const TRACE_CAPACITY: usize = 256;
 
 /// Server configuration (every knob has a CLI flag on `qsdd_cli serve`).
 #[derive(Clone, Debug)]
@@ -127,6 +132,9 @@ struct ServerState {
     metrics: ServerMetrics,
     /// The durable result store (`None` when running memory-only).
     store: Option<ResultStore>,
+    /// Ring buffer of recently completed job traces (`GET /v1/traces`,
+    /// `GET /v1/jobs/<id>/trace`). In-memory only; restarts lose it.
+    traces: TraceStore,
     request_timeout: Duration,
 }
 
@@ -166,6 +174,9 @@ impl Server {
         // histograms and decision-diagram counters the simulation layers
         // publish become part of this server's `/v1/metrics` page.
         qsdd_telemetry::set_enabled(true);
+        // Tracing defaults on while serving (coarse spans; `QSDD_TRACE=off`
+        // or `QSDD_TRACE_SAMPLE=<n>` tune it down for high-QPS fleets).
+        trace::configure_trace_from_env(true);
         // Arm the fault-injection seam from `QSDD_FAULTS` (a no-op outside
         // the robustness tests; the checks it leaves behind are two relaxed
         // atomic loads).
@@ -184,9 +195,12 @@ impl Server {
         // a restarted server answers previously finished jobs byte-for-byte
         // identically from the first request.
         let cache = ResultCache::new(config.cache_entries);
+        let restore_started = Instant::now();
+        let mut restored_records = 0usize;
         let store = config.store_dir.as_ref().map(|dir| {
             let (store, restored) = ResultStore::open(std::path::Path::new(dir));
             for record in restored {
+                restored_records += 1;
                 cache.restore_completed(
                     &record.id,
                     &record.key,
@@ -197,10 +211,29 @@ impl Server {
             }
             store
         });
+        let restore_elapsed = restore_started.elapsed();
         let metrics = ServerMetrics::new();
+        let traces = TraceStore::new(TRACE_CAPACITY);
         if let Some(store) = &store {
             metrics.store_records.set(store.records() as i64);
             metrics.store_degraded.set(store.is_degraded() as i64);
+            metrics
+                .store_restore_millis
+                .set(restore_elapsed.as_millis() as i64);
+            metrics.store_restored_records.set(restored_records as i64);
+            // A synthetic boot trace makes the restore visible in the same
+            // span vocabulary as live jobs (`GET /v1/jobs/boot/trace`).
+            if trace::trace_enabled() {
+                let boot = Tracer::forced_at("boot", "boot", restore_started);
+                boot.record_span_at(
+                    0,
+                    "store_restore",
+                    Duration::from_secs(0),
+                    restore_elapsed,
+                    vec![("records", AttrValue::U64(restored_records as u64))],
+                );
+                traces.insert(boot.finish("boot"));
+            }
         }
         let state = Arc::new(ServerState {
             addr,
@@ -215,6 +248,7 @@ impl Server {
             active_connections: AtomicUsize::new(0),
             metrics,
             store,
+            traces,
             request_timeout: config.request_timeout,
         });
         log_kv(
@@ -430,6 +464,11 @@ fn route(state: &Arc<ServerState>, request: &Request) -> (u16, String) {
         ("GET", "/v1/stats") => (200, stats_body(state)),
         ("GET", "/v1/metrics") => (200, metrics_body(state)),
         ("POST", "/v1/jobs") => submit_job(state, &request.body),
+        ("GET", "/v1/traces") => (200, traces_body(state)),
+        // The `/trace` sub-resource must match before the generic job arm.
+        ("GET", path) if path.starts_with("/v1/jobs/") && path.ends_with("/trace") => {
+            job_trace(state, &path["/v1/jobs/".len()..path.len() - "/trace".len()])
+        }
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             job_status(state, &path["/v1/jobs/".len()..])
         }
@@ -437,9 +476,11 @@ fn route(state: &Arc<ServerState>, request: &Request) -> (u16, String) {
             initiate_shutdown(state);
             (200, r#"{"status":"shutting-down"}"#.to_string())
         }
-        (_, "/v1/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/jobs" | "/v1/shutdown") => {
-            (405, error_body("method not allowed"))
-        }
+        (
+            _,
+            "/v1/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/jobs" | "/v1/shutdown"
+            | "/v1/traces",
+        ) => (405, error_body("method not allowed")),
         (_, path) if path.starts_with("/v1/jobs/") => (405, error_body("method not allowed")),
         _ => (404, error_body("no such endpoint")),
     }
@@ -457,12 +498,36 @@ fn submit_job(state: &Arc<ServerState>, body: &str) -> (u16, String) {
     };
     let parse_time = parse_started.elapsed();
     let lookup = SpanTimer::start(Stage::CacheLookup);
+    let lookup_started = Instant::now();
+    let body_bytes = body.len() as u64;
     let submission = state.cache.submit_with(input, |cell| {
         // Stamp the parse time before the cell becomes visible to a
         // worker: a fast worker can complete (and persist) the job before
         // this thread runs again, and a record written without the parse
         // stage would make the restored envelope differ from the live one.
         cell.record_stage(Stage::Parse, parse_time);
+        // Start the job's trace (gated + sampled) with the request arrival
+        // as its epoch, so the parse span begins at offset zero. The
+        // handler-side stages are recorded here and the tracer rides the
+        // cell to the worker — all before the cell is queued, so the
+        // worker can never pop it tracer-less.
+        if let Some(tracer) = Tracer::start_at(&cell.id, &cell.id, parse_started) {
+            tracer.record_span_at(
+                0,
+                "parse",
+                Duration::from_secs(0),
+                parse_time,
+                vec![("bytes", AttrValue::U64(body_bytes))],
+            );
+            tracer.record_span_at(
+                0,
+                "cache_lookup",
+                lookup_started.saturating_duration_since(parse_started),
+                parse_started.elapsed(),
+                Vec::new(),
+            );
+            cell.attach_tracer(tracer);
+        }
         let mut queue = state.queue.lock().expect("queue lock");
         // Re-check shutdown under the queue lock: workers only observe the
         // flag while holding it, so a cell enqueued here is guaranteed to
@@ -559,6 +624,47 @@ fn job_status(state: &Arc<ServerState>, id: &str) -> (u16, String) {
     }
     body.push('}');
     (200, body)
+}
+
+/// `GET /v1/jobs/<id>/trace`: the job's recorded span tree. Served from
+/// the volatile ring buffer — a restart clears it until the job
+/// re-executes (results, by contrast, survive via the durable store).
+fn job_trace(state: &Arc<ServerState>, id: &str) -> (u16, String) {
+    match state.traces.get(id) {
+        Some(trace) => (200, trace.to_json().to_string()),
+        None => (
+            404,
+            error_body(&format!(
+                "no trace for job `{id}` (tracing off, sampled out, \
+                 not yet executed, or evicted from the ring buffer)"
+            )),
+        ),
+    }
+}
+
+/// `GET /v1/traces`: an index of resident traces, most recent first.
+fn traces_body(state: &Arc<ServerState>) -> String {
+    let traces = state.traces.recent();
+    Value::object(vec![
+        ("count".to_string(), Value::from(traces.len())),
+        (
+            "traces".to_string(),
+            Value::Array(
+                traces
+                    .iter()
+                    .map(|trace| {
+                        Value::object(vec![
+                            ("trace_id".to_string(), Value::from(trace.trace_id.as_str())),
+                            ("job_id".to_string(), Value::from(trace.job_id.as_str())),
+                            ("duration_ns".to_string(), Value::from(trace.duration_ns())),
+                            ("span_count".to_string(), Value::from(trace.spans.len())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string()
 }
 
 /// `GET /v1/stats`.
@@ -716,7 +822,27 @@ fn worker_loop(state: &Arc<ServerState>) {
         let waited = cell.mark_running();
         state.metrics.queue_wait.observe_duration(waited);
         state.stats.simulations.fetch_add(1, Ordering::Relaxed);
-        execute_job(state, &cell, &mut ctx);
+        // Take the job's tracer (attached at submission): record the queue
+        // wait retroactively, then trace the execution on lane 0 of this
+        // worker's thread. `finish` merges and publishes the span tree.
+        let tracer = cell.take_tracer();
+        if let Some(tracer) = &tracer {
+            let picked_up = tracer.elapsed();
+            tracer.record_span_at(
+                0,
+                "queue_wait",
+                picked_up.saturating_sub(waited),
+                picked_up,
+                Vec::new(),
+            );
+        }
+        {
+            let _traced = tracer.as_ref().map(|tracer| tracer.install(0));
+            execute_job(state, &cell, &mut ctx);
+        }
+        if let Some(tracer) = tracer {
+            state.traces.insert(tracer.finish("job"));
+        }
     }
 }
 
@@ -755,13 +881,18 @@ fn execute_job(state: &Arc<ServerState>, cell: &Arc<ExecutionCell>, ctx: &mut Ex
             if qsdd_store::fault::should_panic_worker() {
                 panic!("injected worker fault (QSDD_FAULTS worker_panic)");
             }
-            let engine = ShotEngine::new(
-                &input.circuit,
-                input.backend,
-                input.noise,
-                input.seed,
-                input.opt,
-            );
+            let _execute = trace::span("execute");
+            trace::attr("shots", input.shots as u64);
+            let engine = {
+                let _compile = trace::span("compile");
+                ShotEngine::new(
+                    &input.circuit,
+                    input.backend,
+                    input.noise,
+                    input.seed,
+                    input.opt,
+                )
+            };
             let outcome = match &input.weighted {
                 Some(options) => qsdd_core::run_engine_weighted_in_deadline(
                     &engine,
@@ -813,7 +944,15 @@ fn execute_job(state: &Arc<ServerState>, cell: &Arc<ExecutionCell>, ctx: &mut Ex
                     // the same timings the original run did.
                     timings: cell.stage_timings(),
                 };
-                match store.record_completion(&record) {
+                let append_span = trace::span("store_append");
+                let append_started = Instant::now();
+                let outcome = store.record_completion(&record);
+                state
+                    .metrics
+                    .store_append
+                    .observe_duration(append_started.elapsed());
+                drop(append_span);
+                match outcome {
                     AppendOutcome::Written => {
                         state.metrics.store_writes.inc();
                         state.metrics.store_records.set(store.records() as i64);
@@ -869,7 +1008,7 @@ pub fn serve_forever(config: ServerConfig, out: &mut impl Write) -> io::Result<(
     writeln!(out, "qsdd-server listening on http://{}", server.addr())?;
     writeln!(
         out,
-        "endpoints: POST /v1/jobs, GET /v1/jobs/<id>, GET /v1/healthz, GET /v1/stats, GET /v1/metrics, POST /v1/shutdown"
+        "endpoints: POST /v1/jobs, GET /v1/jobs/<id>, GET /v1/jobs/<id>/trace, GET /v1/traces, GET /v1/healthz, GET /v1/stats, GET /v1/metrics, POST /v1/shutdown"
     )?;
     if let Some(line) = server.store_banner() {
         writeln!(out, "{line}")?;

@@ -15,7 +15,12 @@
 //!   per-stage histograms, and a [`StageTimings`] accumulator for per-job
 //!   breakdowns.
 //! * **Logging** ([`log`]) — level-filtered `key=value` lines on stderr,
-//!   controlled by the `QSDD_LOG` environment variable.
+//!   controlled by the `QSDD_LOG` environment variable. Lines emitted
+//!   inside a traced job automatically carry `trace_id`/`job_id`.
+//! * **Tracing** ([`trace`]) — hierarchical per-job span trees
+//!   (request lifecycle → trajectory groups → worker lanes) behind an
+//!   independent gate with deterministic sampling, merged at job end
+//!   into a [`trace::Trace`] that renders as Chrome trace-event JSON.
 //!
 //! # The enabled gate
 //!
@@ -39,11 +44,15 @@ pub mod log;
 pub mod metrics;
 pub mod registry;
 pub mod spans;
+pub mod trace;
 
 pub use log::{log_enabled, log_kv, Level};
 pub use metrics::{Counter, Gauge, Histogram, LATENCY_BOUNDS, SIZE_BOUNDS};
 pub use registry::Registry;
 pub use spans::{SpanTimer, Stage, StageTimings};
+pub use trace::{
+    set_trace_enabled, set_trace_sample_rate, trace_enabled, Trace, TraceStore, Tracer,
+};
 
 /// Process-wide switch for recording into the [`global()`] registry.
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -82,12 +82,21 @@ pub fn log_enabled(level: Level) -> bool {
 /// filter.
 ///
 /// Values containing whitespace are quoted. `target` names the emitting
-/// component (`server.accept`, `batch.round`, ...).
+/// component (`server.accept`, `batch.round`, ...). When the calling
+/// thread is inside a traced job, the line automatically carries
+/// `trace_id=… job_id=…` right after the target, so logs correlate
+/// with the job's span tree.
 pub fn log_kv(level: Level, target: &str, pairs: &[(&str, &str)]) {
     if !log_enabled(level) {
         return;
     }
     let mut line = format!("level={} target={}", level.name(), target);
+    if let Some((trace_id, job_id)) = crate::trace::current_ids() {
+        line.push_str(" trace_id=");
+        line.push_str(&trace_id);
+        line.push_str(" job_id=");
+        line.push_str(&job_id);
+    }
     for (key, value) in pairs {
         line.push(' ');
         line.push_str(key);

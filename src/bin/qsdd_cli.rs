@@ -46,6 +46,7 @@ struct Options {
     format: RunFormat,
     weighted: Option<WeightedOptions>,
     timeout_ms: Option<u64>,
+    trace_out: Option<String>,
 }
 
 /// Output format of the `run` / `generate` result on stdout.
@@ -161,6 +162,10 @@ options (run / generate):
   --timeout <ms>       cancel the run once this many milliseconds have
                        elapsed (cooperative, checked between shots); a
                        timed-out run prints `timed_out` and exits nonzero
+  --trace-out <path>   record the run's span trace and write it as Chrome
+                       trace-event JSON (loadable in Perfetto or
+                       chrome://tracing); results are byte-identical with
+                       and without tracing
 
 options (batch):
   --out <path>         write the report to a file instead of stdout
@@ -171,6 +176,8 @@ options (batch):
   --no-dedup           disable trajectory deduplication for every job
   --profile            print the aggregated per-stage timing breakdown of
                        the whole batch to stderr
+  --trace-out <path>   record the batch's span trace (scheduler chunks per
+                       worker lane) as Chrome trace-event JSON
 
 options (serve):
   --addr <host:port>   bind address (default 127.0.0.1:8080; port 0 picks
@@ -200,6 +207,7 @@ struct BatchCliOptions {
     intra_threads: usize,
     dedup: bool,
     profile: bool,
+    trace_out: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -220,6 +228,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
     let mut intra_threads = 1usize;
     let mut dedup = true;
     let mut profile = false;
+    let mut trace_out = None;
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| -> Result<String, String> {
             iter.next()
@@ -232,6 +241,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
             "--intra-threads" => intra_threads = parse_number(&value("--intra-threads")?)?,
             "--no-dedup" => dedup = false,
             "--profile" => profile = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
             "--format" => {
                 format = Some(match value("--format")?.as_str() {
                     "json" => ReportFormat::Json,
@@ -255,6 +265,7 @@ fn parse_batch_args(args: &[String]) -> Result<BatchCliOptions, String> {
         intra_threads,
         dedup,
         profile,
+        trace_out,
     })
 }
 
@@ -277,7 +288,20 @@ fn run_batch_command(options: BatchCliOptions) -> ExitCode {
     if !options.dedup {
         batch_options = batch_options.without_dedup();
     }
+    // --trace-out records the batch's scheduler chunks per worker lane.
+    let tracer = options.trace_out.as_ref().map(|_| {
+        qsdd::telemetry::trace::configure_trace_from_env(true);
+        qsdd::telemetry::trace::Tracer::forced("batch", "batch")
+    });
+    let traced = tracer.as_ref().map(|tracer| tracer.install(0));
     let report = run_batch(&jobs, &batch_options);
+    drop(traced);
+    if let (Some(tracer), Some(path)) = (tracer, &options.trace_out) {
+        if let Err(message) = write_trace(path, tracer.finish("batch")) {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
     print_batch_summary(&report);
     if options.profile {
         let mut total = StageTimings::new();
@@ -369,6 +393,15 @@ fn print_profile(timings: &StageTimings) {
         );
     }
     eprintln!("  {:<12} {:>12.6} s", "total", total.as_secs_f64());
+}
+
+/// Writes a finished trace as Chrome trace-event JSON (Perfetto /
+/// `chrome://tracing` loadable) and reports it on stderr.
+fn write_trace(path: &str, trace: qsdd::telemetry::trace::Trace) -> Result<(), String> {
+    std::fs::write(path, trace.to_chrome_json().to_pretty_string())
+        .map_err(|error| format!("cannot write trace `{path}`: {error}"))?;
+    eprintln!("trace written to `{path}` ({} spans)", trace.spans.len());
+    Ok(())
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServerConfig, String> {
@@ -465,6 +498,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         format: RunFormat::Text,
         weighted: None,
         timeout_ms: None,
+        trace_out: None,
     };
     let mut depolarizing = options.noise.depolarizing_prob();
     let mut damping = options.noise.amplitude_damping_prob();
@@ -539,6 +573,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 options.timeout_ms = Some(ms);
             }
+            "--trace-out" => options.trace_out = Some(value("--trace-out")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -644,10 +679,20 @@ fn run(options: Options) -> ExitCode {
         Some(ms) => qsdd::core::Deadline::from_millis(ms),
         None => qsdd::core::Deadline::unbounded(),
     };
+    // --trace-out opts this run into span tracing: install the tracer on
+    // this thread so the engine drivers' spans (presample, shots, worker
+    // lanes) land in it. The trace never changes the result — it is
+    // written to its own file after the run.
+    let tracer = options.trace_out.as_ref().map(|_| {
+        qsdd::telemetry::trace::configure_trace_from_env(true);
+        qsdd::telemetry::trace::Tracer::forced(options.circuit.name(), options.circuit.name())
+    });
+    let traced = tracer.as_ref().map(|tracer| tracer.install(0));
     let result = match &transpiled {
         Some(transpiled) => simulator.run_transpiled_deadline(transpiled, &[], &deadline),
         None => simulator.run_with_observables_deadline(&options.circuit, &[], &deadline),
     };
+    drop(traced);
     let result = match result {
         Ok(result) => result,
         Err(qsdd::core::TimedOut) => {
@@ -658,6 +703,12 @@ fn run(options: Options) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let (Some(tracer), Some(path)) = (tracer, &options.trace_out) {
+        if let Err(message) = write_trace(path, tracer.finish("job")) {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     eprintln!(
         "{} shots on {} threads in {:.3} s ({:.3} error events per run)",
@@ -1091,6 +1142,22 @@ mod tests {
         assert_eq!(bounded.timeout_ms, Some(2500));
         assert!(parse_args(&args(&["generate", "ghz", "4", "--timeout", "0"])).is_err());
         assert!(parse_args(&args(&["generate", "ghz", "4", "--timeout"])).is_err());
+    }
+
+    #[test]
+    fn parses_the_trace_out_flag_on_run_and_batch() {
+        let defaults = parse_args(&args(&["generate", "ghz", "4"])).unwrap();
+        assert_eq!(defaults.trace_out, None);
+        let traced = parse_args(&args(&["generate", "ghz", "4", "--trace-out", "t.json"])).unwrap();
+        assert_eq!(traced.trace_out.as_deref(), Some("t.json"));
+        assert!(parse_args(&args(&["generate", "ghz", "4", "--trace-out"])).is_err());
+
+        let batch_defaults = parse_batch_args(&args(&["jobs.txt"])).unwrap();
+        assert_eq!(batch_defaults.trace_out, None);
+        let batch_traced =
+            parse_batch_args(&args(&["jobs.txt", "--trace-out", "batch.json"])).unwrap();
+        assert_eq!(batch_traced.trace_out.as_deref(), Some("batch.json"));
+        assert!(parse_batch_args(&args(&["jobs.txt", "--trace-out"])).is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@ const RUN_FLAGS: &[&str] = &[
     "--format",
     "--profile",
     "--timeout",
+    "--trace-out",
 ];
 const BATCH_FLAGS: &[&str] = &[
     "--out",
@@ -48,6 +49,7 @@ const BATCH_FLAGS: &[&str] = &[
     "--intra-threads",
     "--no-dedup",
     "--profile",
+    "--trace-out",
 ];
 const SERVE_FLAGS: &[&str] = &[
     "--addr",
@@ -92,6 +94,9 @@ fn listed_flags_are_actually_accepted() {
     // The inverse direction for a run-mode sample: every flag in the pinned
     // list parses (an error would print `unknown flag` and exit 1). Value
     // flags get a benign value; --mass-cutoff and friends need --weighted.
+    let trace_out =
+        std::env::temp_dir().join(format!("qsdd-help-{}.trace.json", std::process::id()));
+    let trace_out = trace_out.to_str().expect("temp path is UTF-8");
     let output = cli(&[
         "generate",
         "ghz",
@@ -123,7 +128,10 @@ fn listed_flags_are_actually_accepted() {
         "--profile",
         "--timeout",
         "60000",
+        "--trace-out",
+        trace_out,
     ]);
+    let _ = std::fs::remove_file(trace_out);
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(
         output.status.success(),

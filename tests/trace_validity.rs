@@ -1,0 +1,280 @@
+//! Validity of the exported trace artifacts: the Chrome trace-event file
+//! `qsdd_cli run --trace-out` writes, and the span tree the server serves
+//! from `GET /v1/jobs/<id>/trace`.
+//!
+//! The exported file must be loadable by Perfetto / `chrome://tracing`:
+//! complete (`ph:"X"`) events with microsecond timestamps, monotone `ts`
+//! per lane (`tid`), every `parent_id` resolving to a real span, and
+//! every stage span nested inside the root job span. The server's trace
+//! endpoint must replay an *identical span structure* after a restart
+//! with no `--store-dir` — the ring buffer itself is volatile (the trace
+//! 404s until the job re-executes), but re-execution reproduces the
+//! structure exactly.
+
+use std::net::SocketAddr;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use qsdd::json::{self, Value};
+use qsdd::server::{client, Server, ServerConfig};
+
+/// Runs `qsdd_cli` with `args` in `dir`, asserting success.
+fn run_cli(dir: &std::path::Path, args: &[&str]) {
+    let output = Command::new(env!("CARGO_BIN_EXE_qsdd_cli"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn qsdd_cli");
+    assert!(
+        output.status.success(),
+        "qsdd_cli {:?} failed:\n{}",
+        args,
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("qsdd-trace-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn cli_trace_export_is_valid_chrome_trace_event_json() {
+    let dir = temp_dir("cli");
+    let trace_path = dir.join("trace.json");
+    run_cli(
+        &dir,
+        &[
+            "generate",
+            "ghz",
+            "6",
+            "--shots",
+            "300",
+            "--threads",
+            "2",
+            "--seed",
+            "7",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ],
+    );
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let doc = json::parse(&text).expect("trace file is valid JSON");
+
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms")
+    );
+    let other = doc.get("otherData").expect("otherData object");
+    assert!(other.get("trace_id").and_then(Value::as_str).is_some());
+    assert!(other.get("job_id").and_then(Value::as_str).is_some());
+
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(events.len() >= 4, "a traced run has several spans");
+
+    // Collect every span id first so parent links can be resolved.
+    let ids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .map(|event| {
+            event
+                .get("args")
+                .and_then(|args| args.get("span_id"))
+                .and_then(Value::as_u64)
+                .expect("every event carries its span_id")
+        })
+        .collect();
+    assert_eq!(ids.len(), events.len(), "span ids are unique");
+
+    // The root job span: parent 0, starts at ts 0, covers everything.
+    let root = events
+        .iter()
+        .find(|event| {
+            event
+                .get("args")
+                .and_then(|args| args.get("parent_id"))
+                .and_then(Value::as_u64)
+                == Some(0)
+        })
+        .expect("exactly one root span");
+    assert_eq!(root.get("name").and_then(Value::as_str), Some("job"));
+    let root_ts = root.get("ts").and_then(Value::as_f64).unwrap();
+    let root_end = root_ts + root.get("dur").and_then(Value::as_f64).unwrap();
+    assert_eq!(root_ts, 0.0, "the job span starts at the trace epoch");
+
+    let mut last_ts_per_lane: std::collections::BTreeMap<u64, f64> = Default::default();
+    for event in events {
+        // Complete-event schema, as Perfetto expects it.
+        assert_eq!(event.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(event.get("pid").and_then(Value::as_u64), Some(1));
+        assert_eq!(event.get("cat").and_then(Value::as_str), Some("qsdd"));
+        let ts = event.get("ts").and_then(Value::as_f64).expect("ts");
+        let dur = event.get("dur").and_then(Value::as_f64).expect("dur");
+        let tid = event.get("tid").and_then(Value::as_u64).expect("tid");
+        assert!(ts >= 0.0 && dur >= 0.0);
+
+        // Every parent id resolves (0 marks the root only).
+        let parent = event
+            .get("args")
+            .and_then(|args| args.get("parent_id"))
+            .and_then(Value::as_u64)
+            .unwrap();
+        assert!(
+            parent == 0 || ids.contains(&parent),
+            "parent {parent} of `{:?}` must exist",
+            event.get("name")
+        );
+
+        // Stage spans nest inside the job span (dur tolerance: values
+        // are rounded to microseconds independently).
+        assert!(
+            ts + dur <= root_end + 1.0,
+            "span must end within the job span: {} + {} vs {}",
+            ts,
+            dur,
+            root_end
+        );
+
+        // Monotone ts per lane: span ids are allocated in start order
+        // per lane, and the export preserves id order.
+        if let Some(previous) = last_ts_per_lane.insert(tid, ts) {
+            assert!(
+                ts >= previous,
+                "lane {tid} timestamps must be monotone ({previous} then {ts})"
+            );
+        }
+    }
+}
+
+/// Boots a memory-only server with a deterministic single worker.
+fn boot() -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+fn submit(addr: SocketAddr, body: &str) -> String {
+    let (status, response) = client::request(addr, "POST", "/v1/jobs", Some(body)).expect("submit");
+    assert!(status == 200 || status == 202, "submit failed: {response}");
+    json::parse(&response)
+        .expect("submission json")
+        .get("id")
+        .and_then(Value::as_str)
+        .expect("submission id")
+        .to_string()
+}
+
+fn wait_done(addr: SocketAddr, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) =
+            client::request(addr, "GET", &format!("/v1/jobs/{id}"), None).expect("poll");
+        assert_eq!(status, 200, "{body}");
+        match json::parse(&body)
+            .expect("envelope")
+            .get("status")
+            .and_then(Value::as_str)
+        {
+            Some("completed") => return,
+            Some("failed") => panic!("job failed: {body}"),
+            _ => {
+                assert!(Instant::now() < deadline, "job {id} never finished");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Fetches the job's trace and reduces it to its structural signature
+/// (`id>parent:name@lane` per span) — timestamps excluded.
+fn trace_structure(addr: SocketAddr, id: &str) -> String {
+    let (status, body) =
+        client::request(addr, "GET", &format!("/v1/jobs/{id}/trace"), None).expect("trace");
+    assert_eq!(status, 200, "trace fetch failed: {body}");
+    let doc = json::parse(&body).expect("trace json");
+    assert_eq!(doc.get("job_id").and_then(Value::as_str), Some(id));
+    let spans = doc
+        .get("spans")
+        .and_then(Value::as_array)
+        .expect("spans array");
+    spans
+        .iter()
+        .map(|span| {
+            format!(
+                "{:x}>{:x}:{}@{}",
+                span.get("id").and_then(Value::as_u64).unwrap(),
+                span.get("parent").and_then(Value::as_u64).unwrap(),
+                span.get("name").and_then(Value::as_str).unwrap(),
+                span.get("lane").and_then(Value::as_u64).unwrap(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+const JOB: &str = r#"{"circuit":{"generator":"ghz","qubits":5},"shots":400,"seed":11}"#;
+
+#[test]
+fn server_trace_replays_identically_across_restart() {
+    // First life: execute the job and capture its span structure.
+    let server = boot();
+    let addr = server.addr();
+    let id = submit(addr, JOB);
+    wait_done(addr, &id);
+    let first = trace_structure(addr, &id);
+    assert!(first.contains(":job@"), "has a root span: {first}");
+    for stage in ["parse", "cache_lookup", "queue_wait", "execute", "compile"] {
+        assert!(
+            first.contains(&format!(":{stage}@")),
+            "missing {stage} span: {first}"
+        );
+    }
+
+    // The index lists it.
+    let (status, body) = client::request(addr, "GET", "/v1/traces", None).expect("index");
+    assert_eq!(status, 200);
+    let index = json::parse(&body).expect("index json");
+    let listed = index.get("traces").and_then(Value::as_array).expect("list");
+    assert!(
+        listed
+            .iter()
+            .any(|entry| entry.get("job_id").and_then(Value::as_str) == Some(id.as_str())),
+        "{body}"
+    );
+    server.shutdown_and_join();
+
+    // Second life, no --store-dir: the ring buffer is volatile, so the
+    // trace is gone until the job re-executes...
+    let server = boot();
+    let addr = server.addr();
+    let (status, body) =
+        client::request(addr, "GET", &format!("/v1/jobs/{id}/trace"), None).expect("trace");
+    assert_eq!(status, 404, "volatile ring buffer must not survive: {body}");
+
+    // ...and re-execution replays the identical span structure.
+    let again = submit(addr, JOB);
+    assert_eq!(again, id, "content addressing is stable across restarts");
+    wait_done(addr, &id);
+    let second = trace_structure(addr, &id);
+    assert_eq!(first, second, "span structure must replay identically");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn trace_endpoints_reject_unknown_jobs_and_wrong_methods() {
+    let server = boot();
+    let addr = server.addr();
+    let (status, _) =
+        client::request(addr, "GET", "/v1/jobs/jdeadbeef/trace", None).expect("request");
+    assert_eq!(status, 404);
+    let (status, _) = client::request(addr, "POST", "/v1/traces", None).expect("request");
+    assert_eq!(status, 405);
+    server.shutdown_and_join();
+}
